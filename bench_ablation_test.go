@@ -1,0 +1,177 @@
+package uvdiagram_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// C-pruning on/off, seed-sector and seed-k sizing, angular resolution
+// of the pruning bounds, and the access-method comparison (UV-index vs
+// R-tree vs uniform grid) for PNN candidate retrieval. These go beyond
+// the paper's figures; they justify the defaults the paper fixes.
+
+import (
+	"fmt"
+	"testing"
+
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/grid"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/uncertain"
+)
+
+func ablationStore(b *testing.B, n int) (*uncertain.Store, geom.Rect) {
+	b.Helper()
+	cfg := datagen.Config{N: n, Side: benchSide, Diameter: datagen.DefaultDiameter, Seed: 7}
+	objs := datagen.Uniform(cfg)
+	store, err := uncertain.NewStore(objs, pager.New(uncertain.ObjectPageBytes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return store, cfg.Domain()
+}
+
+// Benchmark_Ablation_CPrune: construction with and without Lemma 3.
+// Without C-pruning the cr-sets are the raw I-pruning survivors, so
+// indexing pays for every extra candidate.
+func Benchmark_Ablation_CPrune(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "With"
+		if disable {
+			name = "Without"
+		}
+		b.Run(name, func(b *testing.B) {
+			store, domain := ablationStore(b, 2000)
+			opts := core.DefaultBuildOptions()
+			opts.SeedK = 100
+			opts.DisableCPrune = disable
+			tree := core.BuildHelperRTree(store, opts.Fanout)
+			b.ResetTimer()
+			var last core.BuildStats
+			for i := 0; i < b.N; i++ {
+				_, stats, err := core.Build(store, domain, tree, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = stats
+			}
+			b.StopTimer()
+			b.ReportMetric(last.AvgCR(), "avg-cr-objects")
+			b.ReportMetric(last.IndexDur.Seconds()*1000, "index-ms")
+		})
+	}
+}
+
+// Benchmark_Ablation_SeedSectors: more sectors shape a tighter initial
+// possible region (smaller pruning circle) at higher seeding cost.
+func Benchmark_Ablation_SeedSectors(b *testing.B) {
+	for _, ks := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("Sectors=%d", ks), func(b *testing.B) {
+			store, domain := ablationStore(b, 2000)
+			opts := core.DefaultBuildOptions()
+			opts.SeedK = 100
+			opts.SeedSectors = ks
+			tree := core.BuildHelperRTree(store, opts.Fanout)
+			b.ResetTimer()
+			var last core.BuildStats
+			for i := 0; i < b.N; i++ {
+				_, stats, err := core.Build(store, domain, tree, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = stats
+			}
+			b.StopTimer()
+			b.ReportMetric(last.AvgCR(), "avg-cr-objects")
+		})
+	}
+}
+
+// Benchmark_Ablation_SeedK: the k of the seed k-NN query (paper: 300).
+// Too small a k can fail to fill all sectors, inflating the region.
+func Benchmark_Ablation_SeedK(b *testing.B) {
+	for _, k := range []int{30, 100, 300} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			store, domain := ablationStore(b, 2000)
+			opts := core.DefaultBuildOptions()
+			opts.SeedK = k
+			tree := core.BuildHelperRTree(store, opts.Fanout)
+			b.ResetTimer()
+			var last core.BuildStats
+			for i := 0; i < b.N; i++ {
+				_, stats, err := core.Build(store, domain, tree, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = stats
+			}
+			b.StopTimer()
+			b.ReportMetric(last.AvgCR(), "avg-cr-objects")
+		})
+	}
+}
+
+// Benchmark_Ablation_RegionSamples: angular resolution of the pruning
+// bound/hull. Finer sweeps tighten d (better pruning) but cost time.
+func Benchmark_Ablation_RegionSamples(b *testing.B) {
+	for _, samples := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("Samples=%d", samples), func(b *testing.B) {
+			store, domain := ablationStore(b, 2000)
+			opts := core.DefaultBuildOptions()
+			opts.SeedK = 100
+			opts.RegionSamples = samples
+			tree := core.BuildHelperRTree(store, opts.Fanout)
+			b.ResetTimer()
+			var last core.BuildStats
+			for i := 0; i < b.N; i++ {
+				_, stats, err := core.Build(store, domain, tree, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = stats
+			}
+			b.StopTimer()
+			b.ReportMetric(last.AvgCR(), "avg-cr-objects")
+		})
+	}
+}
+
+// Benchmark_Ablation_AccessMethods: PNN candidate retrieval across the
+// three access methods the introduction discusses — the UV-index, the
+// R-tree branch-and-prune of [14], and the uniform grid of [16].
+func Benchmark_Ablation_AccessMethods(b *testing.B) {
+	const n = 4000
+	f := getFixture(b, n, datagen.DefaultDiameter)
+	cfg := datagen.Config{N: n, Side: benchSide, Diameter: datagen.DefaultDiameter, Seed: 7}
+	objs := datagen.Uniform(cfg)
+	g, err := grid.Build(objs, cfg.Domain(), 64, pager.New(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("UVIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := f.db.PNN(f.queries[i%len(f.queries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RTree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := f.db.PNNViaRTree(f.queries[i%len(f.queries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Grid", func(b *testing.B) {
+		var ios int64
+		pg := g.Pager()
+		pg.ResetStats()
+		for i := 0; i < b.N; i++ {
+			q := f.queries[i%len(f.queries)]
+			ids, _ := g.PNNCandidates(q)
+			if len(ids) == 0 {
+				b.Fatal("grid found no candidates")
+			}
+		}
+		ios = pg.Reads()
+		b.ReportMetric(float64(ios)/float64(b.N), "index-ios/op")
+	})
+}

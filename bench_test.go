@@ -1,0 +1,378 @@
+package uvdiagram_test
+
+// One benchmark per table/figure of the paper's evaluation (Section
+// VI). These run at reduced scale so `go test -bench=. -benchmem`
+// finishes quickly; cmd/uvbench regenerates the full sweeps (use
+// `-scale paper` for Section VI-A's exact sizes). Custom metrics carry
+// the figures' units: index I/Os per query, pruning ratios, component
+// milliseconds.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"uvdiagram"
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/uncertain"
+)
+
+const benchSide = 10000.0
+
+type fixture struct {
+	db      *uvdiagram.DB
+	queries []uvdiagram.Point
+}
+
+var (
+	fixMu sync.Mutex
+	fixes = map[string]*fixture{}
+)
+
+// getFixture builds (once) a DB over a uniform dataset.
+func getFixture(b *testing.B, n int, diameter float64) *fixture {
+	b.Helper()
+	key := fmt.Sprintf("u-%d-%g", n, diameter)
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if f, ok := fixes[key]; ok {
+		return f
+	}
+	cfg := datagen.Config{N: n, Side: benchSide, Diameter: diameter, Seed: 7}
+	objs := datagen.Uniform(cfg)
+	db, err := uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{SeedK: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &fixture{db: db, queries: datagen.Queries(256, benchSide, 13)}
+	fixes[key] = f
+	return f
+}
+
+// ---------------------------------------------------------------------
+// Figure 6(a): PNN query time vs |O| — UV-index vs R-tree.
+
+func Benchmark_Fig6a_PNN_UVIndex(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			f := getFixture(b, n, datagen.DefaultDiameter)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := f.db.PNN(f.queries[i%len(f.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func Benchmark_Fig6a_PNN_RTree(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			f := getFixture(b, n, datagen.DefaultDiameter)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := f.db.PNNViaRTree(f.queries[i%len(f.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 6(b): PNN index I/O vs |O| (reported as index-ios/op).
+
+func Benchmark_Fig6b_IO(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("UVIndex/N=%d", n), func(b *testing.B) {
+			f := getFixture(b, n, datagen.DefaultDiameter)
+			var ios int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := f.db.PNN(f.queries[i%len(f.queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				ios += st.IndexIOs
+			}
+			b.ReportMetric(float64(ios)/float64(b.N), "index-ios/op")
+		})
+		b.Run(fmt.Sprintf("RTree/N=%d", n), func(b *testing.B) {
+			f := getFixture(b, n, datagen.DefaultDiameter)
+			var ios int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := f.db.PNNViaRTree(f.queries[i%len(f.queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				ios += st.IndexIOs
+			}
+			b.ReportMetric(float64(ios)/float64(b.N), "index-ios/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 6(c): query time components (traverse / retrieve / probability)
+// reported as custom ms/op metrics.
+
+func Benchmark_Fig6c_Components(b *testing.B) {
+	runComponents := func(b *testing.B, via func(uvdiagram.Point) (uvdiagram.QueryStats, error), f *fixture) {
+		var trav, retr, prob float64
+		for i := 0; i < b.N; i++ {
+			st, err := via(f.queries[i%len(f.queries)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			trav += st.TraverseDur.Seconds() * 1000
+			retr += st.RetrieveDur.Seconds() * 1000
+			prob += st.ProbDur.Seconds() * 1000
+		}
+		b.ReportMetric(trav/float64(b.N), "traverse-ms/op")
+		b.ReportMetric(retr/float64(b.N), "retrieve-ms/op")
+		b.ReportMetric(prob/float64(b.N), "qp-ms/op")
+	}
+	b.Run("UVIndex", func(b *testing.B) {
+		f := getFixture(b, 4000, datagen.DefaultDiameter)
+		b.ResetTimer()
+		runComponents(b, func(q uvdiagram.Point) (uvdiagram.QueryStats, error) {
+			_, st, err := f.db.PNN(q)
+			return st, err
+		}, f)
+	})
+	b.Run("RTree", func(b *testing.B) {
+		f := getFixture(b, 4000, datagen.DefaultDiameter)
+		b.ResetTimer()
+		runComponents(b, func(q uvdiagram.Point) (uvdiagram.QueryStats, error) {
+			_, st, err := f.db.PNNViaRTree(q)
+			return st, err
+		}, f)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Figure 6(d): query time vs uncertainty region size.
+
+func Benchmark_Fig6d_UncertaintySize(b *testing.B) {
+	for _, dia := range []float64{20, 60, 100} {
+		b.Run(fmt.Sprintf("UVIndex/D=%.0f", dia), func(b *testing.B) {
+			f := getFixture(b, 4000, dia)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := f.db.PNN(f.queries[i%len(f.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("RTree/D=%.0f", dia), func(b *testing.B) {
+			f := getFixture(b, 4000, dia)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := f.db.PNNViaRTree(f.queries[i%len(f.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 7(a)–(e): index construction. Each op is one full build; the
+// pruning ratios of Figure 7(b) and the phase breakdowns of 7(d)/7(e)
+// are attached as custom metrics.
+
+func benchBuild(b *testing.B, n int, strategy core.Strategy) {
+	cfg := datagen.Config{N: n, Side: benchSide, Diameter: datagen.DefaultDiameter, Seed: 7}
+	objs := datagen.Uniform(cfg)
+	store, err := uncertain.NewStore(objs, pager.New(uncertain.ObjectPageBytes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultBuildOptions()
+	opts.Strategy = strategy
+	opts.SeedK = 100
+	tree := core.BuildHelperRTree(store, opts.Fanout)
+	b.ResetTimer()
+	var last core.BuildStats
+	for i := 0; i < b.N; i++ {
+		_, stats, err := core.Build(store, cfg.Domain(), tree, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = stats
+	}
+	b.StopTimer()
+	if strategy != core.StrategyBasic {
+		b.ReportMetric(last.IPruneRatio(), "i-prune-ratio")
+		b.ReportMetric(last.CPruneRatio(), "c-prune-ratio")
+		b.ReportMetric((last.SeedDur+last.PruneDur).Seconds()*1000, "prune-ms")
+	}
+	b.ReportMetric(last.RefineDur.Seconds()*1000, "refine-ms")
+	b.ReportMetric(last.IndexDur.Seconds()*1000, "index-ms")
+}
+
+func Benchmark_Fig7a_Construction_Basic(b *testing.B) {
+	for _, n := range []int{200, 400} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { benchBuild(b, n, core.StrategyBasic) })
+	}
+}
+
+func Benchmark_Fig7a_Construction_ICR(b *testing.B) {
+	for _, n := range []int{1000, 2000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { benchBuild(b, n, core.StrategyICR) })
+	}
+}
+
+func Benchmark_Fig7a_Construction_IC(b *testing.B) {
+	for _, n := range []int{1000, 2000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { benchBuild(b, n, core.StrategyIC) })
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 7(f): construction time vs uncertainty size (ICR vs IC).
+
+func Benchmark_Fig7f_ConstructionVsUncertainty(b *testing.B) {
+	for _, strat := range []core.Strategy{core.StrategyICR, core.StrategyIC} {
+		for _, dia := range []float64{20, 100} {
+			b.Run(fmt.Sprintf("%v/D=%.0f", strat, dia), func(b *testing.B) {
+				cfg := datagen.Config{N: 1500, Side: benchSide, Diameter: dia, Seed: 7}
+				objs := datagen.Uniform(cfg)
+				store, err := uncertain.NewStore(objs, pager.New(uncertain.ObjectPageBytes))
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := core.DefaultBuildOptions()
+				opts.Strategy = strat
+				opts.SeedK = 100
+				tree := core.BuildHelperRTree(store, opts.Fanout)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.Build(store, cfg.Domain(), tree, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 7(g): construction time under center skew.
+
+func Benchmark_Fig7g_ConstructionVsSkew(b *testing.B) {
+	for _, sigma := range []float64{1500, 3500} {
+		b.Run(fmt.Sprintf("Sigma=%.0f", sigma), func(b *testing.B) {
+			cfg := datagen.Config{N: 1500, Side: benchSide, Diameter: datagen.DefaultDiameter, Seed: 7}
+			objs := datagen.Skewed(cfg, sigma)
+			store, err := uncertain.NewStore(objs, pager.New(uncertain.ObjectPageBytes))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := core.DefaultBuildOptions()
+			opts.SeedK = 100
+			tree := core.BuildHelperRTree(store, opts.Fanout)
+			b.ResetTimer()
+			var last core.BuildStats
+			for i := 0; i < b.N; i++ {
+				_, stats, err := core.Build(store, cfg.Domain(), tree, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = stats
+			}
+			b.StopTimer()
+			b.ReportMetric(last.AvgCR(), "avg-cr-objects")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 7(h): UV-partition queries vs range size.
+
+func Benchmark_Fig7h_PartitionQuery(b *testing.B) {
+	f := getFixture(b, 4000, datagen.DefaultDiameter)
+	for _, size := range []float64{100, 300, 500} {
+		b.Run(fmt.Sprintf("Range=%.0f", size), func(b *testing.B) {
+			var parts int
+			for i := 0; i < b.N; i++ {
+				q := f.queries[i%len(f.queries)]
+				r := geom.NewRect(
+					clamp(q.X-size/2, 0, benchSide), clamp(q.Y-size/2, 0, benchSide),
+					clamp(q.X+size/2, 0, benchSide), clamp(q.Y+size/2, 0, benchSide))
+				parts += len(f.db.Partitions(r))
+			}
+			b.ReportMetric(float64(parts)/float64(b.N), "partitions/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Table II: query performance on the simulated real datasets.
+
+func Benchmark_Table2_RealDatasets(b *testing.B) {
+	for _, kind := range []datagen.RealKind{datagen.Utility, datagen.Roads, datagen.RRLines} {
+		objs, err := datagen.Real(kind, 0.1, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(datagen.DefaultSide), &uvdiagram.Options{SeedK: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries := datagen.Queries(256, datagen.DefaultSide, 17)
+		b.Run(fmt.Sprintf("UVIndex/%s", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.PNN(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("RTree/%s", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.PNNViaRTree(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Section VI-B.1: Tθ sensitivity (build once per Tθ, bench queries).
+
+func Benchmark_Sensitivity_SplitTheta(b *testing.B) {
+	cfg := datagen.Config{N: 4000, Side: benchSide, Diameter: datagen.DefaultDiameter, Seed: 7}
+	objs := datagen.Uniform(cfg)
+	queries := datagen.Queries(256, benchSide, 19)
+	for _, theta := range []float64{0.2, 0.6, 1.0} {
+		b.Run(fmt.Sprintf("Theta=%.1f", theta), func(b *testing.B) {
+			db, err := uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{SeedK: 100, SplitTheta: theta})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(db.IndexStats().NonLeaf), "non-leaf-nodes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.PNN(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

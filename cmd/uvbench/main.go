@@ -1,0 +1,83 @@
+// Command uvbench regenerates the paper's evaluation (Section VI):
+// every figure and table, at a selectable scale.
+//
+// Usage:
+//
+//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity]
+//	        [-scale small|medium|paper] [-quiet]
+//
+// Tables go to stdout; progress lines go to stderr. The "paper" scale
+// matches Section VI-A (10k–80k objects, 50 queries) and takes tens of
+// minutes; "small" finishes in about a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uvdiagram/internal/exp"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions")
+	scaleName := flag.String("scale", "small", "scale preset: small, medium, paper")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	sc, err := exp.ScaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "... "+msg)
+		}
+	}
+
+	var tables []*exp.Table
+	switch *expName {
+	case "all":
+		tables, err = exp.RunAll(sc, progress)
+	case "fig6":
+		tables, err = exp.RunFig6(sc, progress)
+	case "fig7":
+		tables, err = exp.RunFig7Construction(sc, progress)
+	case "fig7f":
+		tables, err = single(exp.RunFig7f, sc, progress)
+	case "fig7g":
+		tables, err = single(exp.RunFig7g, sc, progress)
+	case "fig7h":
+		tables, err = single(exp.RunFig7h, sc, progress)
+	case "table2":
+		tables, err = single(exp.RunTable2, sc, progress)
+	case "sensitivity":
+		tables, err = single(exp.RunSensitivity, sc, progress)
+	case "extensions":
+		tables, err = exp.RunExtensions(sc, progress)
+	default:
+		err = fmt.Errorf("unknown experiment %q", *expName)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# uvbench scale=%s exp=%s\n\n", sc.Name, *expName)
+	for _, t := range tables {
+		if err := t.Fprint(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func single(run func(exp.Scale, func(string)) (*exp.Table, error), sc exp.Scale, progress func(string)) ([]*exp.Table, error) {
+	t, err := run(sc, progress)
+	if err != nil {
+		return nil, err
+	}
+	return []*exp.Table{t}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uvbench:", err)
+	os.Exit(1)
+}

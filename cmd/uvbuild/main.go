@@ -1,0 +1,103 @@
+// Command uvbuild constructs a UV-index over a generated dataset and
+// reports construction statistics: phase timings, pruning ratios and
+// index shape. It is the quickest way to reproduce the construction-
+// side findings of Figure 7 for a single configuration.
+//
+// Usage:
+//
+//	uvbuild [-n 30000] [-dataset uniform|skewed|utility|roads|rrlines]
+//	        [-strategy ic|icr|basic] [-diameter 40] [-sigma 2500]
+//	        [-theta 1.0] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/uncertain"
+)
+
+func main() {
+	n := flag.Int("n", 30000, "number of objects (synthetic datasets)")
+	dataset := flag.String("dataset", "uniform", "uniform, skewed, utility, roads, rrlines")
+	strategy := flag.String("strategy", "ic", "construction strategy: ic, icr, basic")
+	diameter := flag.Float64("diameter", datagen.DefaultDiameter, "uncertainty region diameter")
+	sigma := flag.Float64("sigma", 2500, "center std-dev for -dataset skewed")
+	theta := flag.Float64("theta", 1.0, "split threshold Tθ")
+	seedK := flag.Int("seedk", core.DefaultSeedK, "k of the seed k-NN query")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := datagen.Config{N: *n, Diameter: *diameter, Seed: *seed}
+	var objs []uncertain.Object
+	var err error
+	switch strings.ToLower(*dataset) {
+	case "uniform":
+		objs = datagen.Uniform(cfg)
+	case "skewed":
+		objs = datagen.Skewed(cfg, *sigma)
+	case "utility", "roads", "rrlines":
+		objs, err = datagen.Real(datagen.RealKind(*dataset), 1.0, *seed)
+	default:
+		err = fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.DefaultBuildOptions()
+	opts.SeedK = *seedK
+	opts.Index.SplitTheta = *theta
+	switch strings.ToLower(*strategy) {
+	case "ic":
+		opts.Strategy = core.StrategyIC
+	case "icr":
+		opts.Strategy = core.StrategyICR
+	case "basic":
+		opts.Strategy = core.StrategyBasic
+		if *n > 5000 {
+			fmt.Fprintln(os.Stderr, "uvbuild: warning: Basic is quadratic; this will take a very long time")
+		}
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	store, err := uncertain.NewStore(objs, pager.New(uncertain.ObjectPageBytes))
+	if err != nil {
+		fatal(err)
+	}
+	ix, stats, err := core.Build(store, geom.Square(datagen.DefaultSide), nil, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("dataset        %s (|O|=%d, diameter=%.0f)\n", *dataset, len(objs), *diameter)
+	fmt.Printf("strategy       %v\n", stats.Strategy)
+	fmt.Printf("total Tc       %v\n", stats.TotalDur)
+	fmt.Printf("  seeds        %v\n", stats.SeedDur)
+	fmt.Printf("  pruning      %v\n", stats.PruneDur)
+	fmt.Printf("  refinement   %v\n", stats.RefineDur)
+	fmt.Printf("  indexing     %v\n", stats.IndexDur)
+	if stats.Strategy != core.StrategyBasic {
+		fmt.Printf("I-prune ratio  %.1f%%\n", 100*stats.IPruneRatio())
+		fmt.Printf("C-prune ratio  %.1f%%\n", 100*stats.CPruneRatio())
+		fmt.Printf("avg |CR|       %.1f\n", stats.AvgCR())
+	}
+	if stats.SumR > 0 {
+		fmt.Printf("avg |F|        %.1f\n", stats.AvgR())
+	}
+	ist := ix.Stats()
+	fmt.Printf("index          %d non-leaf (%.1f KB RAM), %d leaves, %d pages, depth %d, avg list %.1f\n",
+		ist.NonLeaf, float64(ist.MemBytes)/1024, ist.Leaves, ist.Pages, ist.MaxDepth, ist.AvgEntries)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uvbuild:", err)
+	os.Exit(1)
+}

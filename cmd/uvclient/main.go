@@ -1,0 +1,147 @@
+// Command uvclient queries a running uvserver.
+//
+// Usage:
+//
+//	uvclient [-addr localhost:7031] stats
+//	uvclient [-addr ...] pnn <x> <y>
+//	uvclient [-addr ...] topk <x> <y> <k>
+//	uvclient [-addr ...] knn <x> <y> <k>
+//	uvclient [-addr ...] rnn <x> <y>
+//	uvclient [-addr ...] area <id>
+//	uvclient [-addr ...] parts <x0> <y0> <x1> <y1>
+//	uvclient [-addr ...] insert <id> <x> <y> <r>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"uvdiagram"
+	"uvdiagram/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7031", "server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fatal(fmt.Errorf("missing command; see -h"))
+	}
+
+	cli, err := server.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "stats":
+		st, err := cli.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("domain   %v\nobjects  %d\nnon-leaf %d\nleaves   %d\npages    %d\ndepth    %d\nentries  %d\n",
+			st.Domain, st.Objects, st.NonLeaf, st.Leaves, st.Pages, st.MaxDepth, st.Entries)
+
+	case "pnn":
+		x, y := f64(rest, 0), f64(rest, 1)
+		answers, err := cli.PNN(uvdiagram.Pt(x, y))
+		if err != nil {
+			fatal(err)
+		}
+		printAnswers(answers)
+
+	case "topk":
+		x, y, k := f64(rest, 0), f64(rest, 1), i(rest, 2)
+		answers, err := cli.TopKPNN(uvdiagram.Pt(x, y), k)
+		if err != nil {
+			fatal(err)
+		}
+		printAnswers(answers)
+
+	case "knn":
+		x, y, k := f64(rest, 0), f64(rest, 1), i(rest, 2)
+		ids, err := cli.PossibleKNN(uvdiagram.Pt(x, y), k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d possible %d-NN objects: %v\n", len(ids), k, ids)
+
+	case "rnn":
+		x, y := f64(rest, 0), f64(rest, 1)
+		answers, err := cli.RNN(uvdiagram.Pt(x, y))
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range answers {
+			fmt.Printf("object %d  p=%.4f\n", a.ID, a.Prob)
+		}
+
+	case "area":
+		id := i(rest, 0)
+		area, err := cli.CellArea(int32(id))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("UV-cell area of object %d ≈ %.1f\n", id, area)
+
+	case "parts":
+		r := uvdiagram.Rect{
+			Min: uvdiagram.Pt(f64(rest, 0), f64(rest, 1)),
+			Max: uvdiagram.Pt(f64(rest, 2), f64(rest, 3)),
+		}
+		parts, err := cli.Partitions(r)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range parts {
+			fmt.Printf("%v  count=%d  density=%.6f\n", p.Region, p.Count, p.Density)
+		}
+
+	case "insert":
+		id, x, y, rad := i(rest, 0), f64(rest, 1), f64(rest, 2), f64(rest, 3)
+		if err := cli.Insert(int32(id), x, y, rad, nil); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("inserted object %d\n", id)
+
+	default:
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func printAnswers(answers []uvdiagram.Answer) {
+	fmt.Printf("%d answer object(s)\n", len(answers))
+	for _, a := range answers {
+		fmt.Printf("object %d  p=%.4f\n", a.ID, a.Prob)
+	}
+}
+
+func f64(args []string, k int) float64 {
+	if k >= len(args) {
+		fatal(fmt.Errorf("missing argument %d", k+1))
+	}
+	v, err := strconv.ParseFloat(args[k], 64)
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func i(args []string, k int) int {
+	if k >= len(args) {
+		fatal(fmt.Errorf("missing argument %d", k+1))
+	}
+	v, err := strconv.Atoi(args[k])
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uvclient:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command uvquery builds a UV-index over a synthetic dataset and
+// answers probabilistic nearest-neighbor queries at given points,
+// optionally comparing the UV-index against the R-tree baseline and a
+// Monte-Carlo verification.
+//
+// Usage:
+//
+//	uvquery [-n 10000] [-seed 1] [-compare] [-verify] x,y [x,y ...]
+//
+// With no explicit points, five random query points are used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "number of objects")
+	seed := flag.Int64("seed", 1, "random seed")
+	compare := flag.Bool("compare", false, "also run the R-tree baseline")
+	verify := flag.Bool("verify", false, "cross-check probabilities with Monte Carlo")
+	flag.Parse()
+
+	cfg := datagen.Config{N: *n, Seed: *seed}
+	objs := datagen.Uniform(cfg)
+	fmt.Fprintf(os.Stderr, "building UV-index over %d objects...\n", *n)
+	db, err := uvdiagram.Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "built in %v\n", db.BuildStats().TotalDur)
+
+	var points []uvdiagram.Point
+	for _, arg := range flag.Args() {
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad point %q (want x,y)", arg))
+		}
+		x, err1 := strconv.ParseFloat(parts[0], 64)
+		y, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			fatal(fmt.Errorf("bad point %q", arg))
+		}
+		points = append(points, uvdiagram.Pt(x, y))
+	}
+	if len(points) == 0 {
+		rng := rand.New(rand.NewSource(*seed + 1))
+		for i := 0; i < 5; i++ {
+			points = append(points, uvdiagram.Pt(rng.Float64()*datagen.DefaultSide, rng.Float64()*datagen.DefaultSide))
+		}
+	}
+
+	for _, q := range points {
+		answers, st, err := db.PNN(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("PNN(%.1f, %.1f): %d answer(s), %v (index %d I/O, objects %d I/O)\n",
+			q.X, q.Y, len(answers), st.Total().Round(1000), st.IndexIOs, st.ObjectIOs)
+		for _, a := range answers {
+			o, _ := db.Object(a.ID)
+			fmt.Printf("  object %-6d center=(%.1f,%.1f) r=%.1f  P=%.4f\n",
+				a.ID, o.Region.C.X, o.Region.C.Y, o.Region.R, a.Prob)
+		}
+		if *compare {
+			rtAnswers, rtSt, err := db.PNNViaRTree(q)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  [r-tree baseline: %d answer(s), %v, %d index I/O]\n",
+				len(rtAnswers), rtSt.Total().Round(1000), rtSt.IndexIOs)
+		}
+		if *verify && len(answers) > 0 {
+			var cands []uvdiagram.Object
+			for _, a := range answers {
+				o, _ := db.Object(a.ID)
+				cands = append(cands, o)
+			}
+			mc := uvdiagram.MonteCarloProbabilities(cands, q, 50000, *seed)
+			fmt.Printf("  [monte-carlo:")
+			for i := range cands {
+				fmt.Printf(" %d:%.4f", cands[i].ID, mc[i])
+			}
+			fmt.Printf("]\n")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uvquery:", err)
+	os.Exit(1)
+}

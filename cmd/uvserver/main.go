@@ -1,0 +1,63 @@
+// Command uvserver builds a UV-index over a synthetic dataset (or a
+// previously saved snapshot) and serves it over TCP with the binary
+// protocol of internal/wire. Query it with uvclient.
+//
+// Usage:
+//
+//	uvserver [-addr :7031] [-n 10000] [-seed 1] [-load db.uv]
+//
+// With -load, the dataset and index are read from a snapshot written by
+// uvbuild -save (or DB.Save).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7031", "listen address")
+	n := flag.Int("n", 10000, "number of synthetic objects (ignored with -load)")
+	seed := flag.Int64("seed", 1, "random seed for the synthetic dataset")
+	load := flag.String("load", "", "load a snapshot instead of generating data")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "uvserver: ", log.LstdFlags)
+
+	var db *uvdiagram.DB
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		db, err = uvdiagram.Load(f, nil)
+		f.Close()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("loaded %d objects from %s", db.Len(), *load)
+	} else {
+		cfg := datagen.Config{N: *n, Seed: *seed}
+		objs := datagen.Uniform(cfg)
+		logger.Printf("building UV-index over %d objects...", *n)
+		var err error
+		db, err = uvdiagram.Build(objs, cfg.Domain(), nil)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("built in %v", db.BuildStats().TotalDur)
+	}
+
+	srv := server.New(db, server.Logf(logger))
+	logger.Printf("serving on %s", *addr)
+	if err := srv.ListenAndServe(*addr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

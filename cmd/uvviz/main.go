@@ -1,0 +1,84 @@
+// Command uvviz renders a UV-diagram to SVG: the uncertainty regions,
+// a few exact UV-cells (computed by Algorithm 1 on the fly), the
+// adaptive-grid leaves and a partition-density heat map — pictures in
+// the spirit of the paper's Figures 1 and 2.
+//
+// Usage:
+//
+//	uvviz [-n 60] [-seed 1] [-cells 4] [-leaves] [-density] [-o uv.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uvdiagram"
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/viz"
+)
+
+func main() {
+	n := flag.Int("n", 60, "number of objects")
+	seed := flag.Int64("seed", 1, "random seed")
+	cells := flag.Int("cells", 4, "number of exact UV-cells to outline")
+	leaves := flag.Bool("leaves", true, "draw index leaf boundaries")
+	density := flag.Bool("density", false, "shade partitions by NN density")
+	out := flag.String("o", "uv.svg", "output file (- for stdout)")
+	side := flag.Float64("side", 2000, "domain side")
+	flag.Parse()
+
+	cfg := datagen.Config{N: *n, Side: *side, Diameter: *side / 40, Seed: *seed}
+	objs := datagen.Uniform(cfg)
+	domain := cfg.Domain()
+	db, err := uvdiagram.Build(objs, domain, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	scene := viz.Scene{Domain: domain, Objects: objs}
+	if *cells > len(objs) {
+		*cells = len(objs)
+	}
+	for i := 0; i < *cells; i++ {
+		region := core.NewPossibleRegion(objs[i].Region.C, domain)
+		for j := range objs {
+			if j != i {
+				region.AddObject(objs[i], objs[j])
+			}
+		}
+		outline := viz.OutlineRegion(region, 360)
+		outline.Label = fmt.Sprintf("U%d", i)
+		scene.Cells = append(scene.Cells, outline)
+	}
+	if *leaves {
+		parts := db.Partitions(domain)
+		for _, p := range parts {
+			scene.Leaves = append(scene.Leaves, p.Region)
+		}
+		if *density {
+			scene.Partitions = parts
+		}
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := viz.Write(w, scene); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d objects, %d cells)\n", *out, len(objs), len(scene.Cells))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uvviz:", err)
+	os.Exit(1)
+}

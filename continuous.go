@@ -1,0 +1,20 @@
+package uvdiagram
+
+import (
+	"uvdiagram/internal/core"
+)
+
+// ContinuousPNN is a moving-query session: it tracks a query point and
+// re-evaluates the PNN answer set only when the point leaves a provably
+// safe circle (see internal/core ContinuousPNN for the safe-radius
+// argument) — the continuous location-based-service setting of the
+// paper's introduction ([5]–[7]).
+type ContinuousPNN = core.ContinuousPNN
+
+// ContinuousStats counts moves versus actual re-evaluations.
+type ContinuousStats = core.ContinuousStats
+
+// NewContinuousPNN opens a moving-query session at q over the UV-index.
+func (db *DB) NewContinuousPNN(q Point) (*ContinuousPNN, error) {
+	return db.index.NewContinuousPNN(q)
+}

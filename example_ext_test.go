@@ -1,0 +1,109 @@
+package uvdiagram_test
+
+import (
+	"fmt"
+	"log"
+
+	"uvdiagram"
+)
+
+// ExampleDB_RNN shows the reverse query: which objects might have the
+// query point as THEIR nearest neighbor. The two eastern objects are
+// close companions — each always has the other nearer than q — so only
+// the isolated western object can have q as its nearest neighbor.
+func ExampleDB_RNN() {
+	objs := []uvdiagram.Object{
+		uvdiagram.NewObject(0, 300, 500, 20, nil), // isolated, west of q
+		uvdiagram.NewObject(1, 700, 500, 20, nil), // east of q ...
+		uvdiagram.NewObject(2, 760, 500, 20, nil), // ... with a close companion
+	}
+	db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(1000), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, _ := db.PossibleRNN(uvdiagram.Pt(500, 500))
+	fmt.Println("possible reverse nearest neighbors:", ids)
+
+	// Output:
+	// possible reverse nearest neighbors: [0]
+}
+
+// ExampleDB_NewContinuousPNN shows a moving query: inside the safe
+// circle no re-evaluation happens and the answer set is guaranteed
+// unchanged.
+func ExampleDB_NewContinuousPNN() {
+	objs := []uvdiagram.Object{
+		uvdiagram.NewObject(0, 200, 500, 30, nil),
+		uvdiagram.NewObject(1, 800, 500, 30, nil),
+	}
+	db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(1000), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := db.NewContinuousPNN(uvdiagram.Pt(300, 500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A tiny move stays inside the safe circle: no recomputation.
+	_, recomputed, err := sess.Move(uvdiagram.Pt(301, 500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tiny move recomputed:", recomputed)
+	// Crossing the midpoint changes the nearest neighbor.
+	ids, _, err := sess.Move(uvdiagram.Pt(700, 500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after crossing:", ids)
+	// Output:
+	// tiny move recomputed: false
+	// after crossing: [1]
+}
+
+// ExampleBuild3 shows the 3D UV-diagram: uncertain balls, octree
+// index, 3D PNN.
+func ExampleBuild3() {
+	objs := []uvdiagram.Object3{
+		uvdiagram.NewObject3(0, 20, 50, 50, 5, nil),
+		uvdiagram.NewObject3(1, 80, 50, 50, 5, nil),
+	}
+	db, err := uvdiagram.Build3(objs, uvdiagram.CubeDomain(100), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, _, err := db.PNN(uvdiagram.Pt3(30, 50, 50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range answers {
+		fmt.Printf("object %d (P=%.2f)\n", a.ID, a.Prob)
+	}
+	// Output:
+	// object 0 (P=1.00)
+}
+
+// ExampleDB_NewOrderKIndex shows the order-k generalization: an index
+// over the regions where objects can be among the k nearest.
+func ExampleDB_NewOrderKIndex() {
+	objs := []uvdiagram.Object{
+		uvdiagram.NewObject(0, 450, 500, 10, nil),
+		uvdiagram.NewObject(1, 550, 500, 10, nil),
+		uvdiagram.NewObject(2, 900, 900, 10, nil),
+	}
+	db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(1000), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := db.NewOrderKIndex(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, _, err := ix.PossibleKNN(uvdiagram.Pt(500, 500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("possible 2-NN objects:", ids)
+	// Output:
+	// possible 2-NN objects: [0 1]
+}

@@ -1,0 +1,86 @@
+package uvdiagram_test
+
+import (
+	"fmt"
+	"log"
+
+	"uvdiagram"
+)
+
+// Example demonstrates the core loop: index uncertain objects, ask a
+// probabilistic nearest-neighbor query, read qualification
+// probabilities.
+func Example() {
+	objs := []uvdiagram.Object{
+		uvdiagram.NewObject(0, 200, 200, 50, uvdiagram.GaussianPDF()),
+		uvdiagram.NewObject(1, 300, 220, 50, uvdiagram.GaussianPDF()),
+		uvdiagram.NewObject(2, 800, 800, 50, uvdiagram.GaussianPDF()),
+	}
+	db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(1000), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, _, err := db.PNN(uvdiagram.Pt(250, 210))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The far-away object 2 cannot be an answer.
+	for _, a := range answers {
+		fmt.Printf("object %d can be the NN (P=%.2f)\n", a.ID, a.Prob)
+	}
+
+	// Output:
+	// object 0 can be the NN (P=0.50)
+	// object 1 can be the NN (P=0.50)
+}
+
+// ExampleDB_PossibleKNN shows the k-NN generalization: objects that can
+// be among the k nearest.
+func ExampleDB_PossibleKNN() {
+	objs := []uvdiagram.Object{
+		uvdiagram.NewObject(0, 100, 500, 10, nil),
+		uvdiagram.NewObject(1, 200, 500, 10, nil),
+		uvdiagram.NewObject(2, 300, 500, 10, nil),
+		uvdiagram.NewObject(3, 900, 500, 10, nil),
+	}
+	db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(1000), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := uvdiagram.Pt(120, 500)
+	one, _ := db.PossibleKNN(q, 1)
+	two, _ := db.PossibleKNN(q, 2)
+	fmt.Println("possible 1-NN:", one)
+	fmt.Println("possible 2-NN:", two)
+	// Output:
+	// possible 1-NN: [0]
+	// possible 2-NN: [0 1]
+}
+
+// ExampleDB_Partitions shows nearest-neighbor pattern analysis: the
+// density of possible nearest neighbors across a region.
+func ExampleDB_Partitions() {
+	var objs []uvdiagram.Object
+	for i := 0; i < 16; i++ {
+		x := float64(100 + (i%4)*250)
+		y := float64(100 + (i/4)*250)
+		objs = append(objs, uvdiagram.NewObject(int32(i), x, y, 30, nil))
+	}
+	db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(1000),
+		&uvdiagram.Options{PageSize: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts := db.Partitions(uvdiagram.Rect{Min: uvdiagram.Pt(0, 0), Max: uvdiagram.Pt(500, 500)})
+	fmt.Printf("the query window intersects %d UV-partitions\n", len(parts))
+	ok := true
+	for _, p := range parts {
+		if p.Count < 1 {
+			ok = false
+		}
+	}
+	fmt.Printf("every partition lists at least one candidate: %v\n", ok)
+	// Output:
+	// the query window intersects 14 UV-partitions
+	// every partition lists at least one candidate: true
+}

@@ -1,0 +1,88 @@
+// Epidemic: reverse nearest-neighbor analysis of contact patterns —
+// the bluetooth-virus spreading study the paper cites as a Voronoi
+// application ([8]), on uncertain device positions.
+//
+// An infected device is detected at a known location q. Devices report
+// privacy-cloaked positions (circular uncertainty regions), and a
+// device is at risk of first-hop infection if q may be its nearest
+// contact: exactly the probabilistic reverse nearest-neighbor query the
+// paper's conclusion lists as future work.
+//
+//	go run ./examples/epidemic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"uvdiagram"
+)
+
+func main() {
+	const side = 2000
+	rng := rand.New(rand.NewSource(42))
+
+	// 300 devices clustered around a few hotspots (cafés, stations).
+	hotspots := []uvdiagram.Point{
+		uvdiagram.Pt(400, 500), uvdiagram.Pt(1400, 600),
+		uvdiagram.Pt(1000, 1500), uvdiagram.Pt(600, 1200),
+	}
+	objs := make([]uvdiagram.Object, 300)
+	for i := range objs {
+		h := hotspots[rng.Intn(len(hotspots))]
+		objs[i] = uvdiagram.NewObject(int32(i),
+			clamp(h.X+rng.NormFloat64()*180, 40, side-40),
+			clamp(h.Y+rng.NormFloat64()*180, 40, side-40),
+			10+rng.Float64()*20, uvdiagram.GaussianPDF())
+	}
+	db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(side), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Infection detected near the first hotspot.
+	q := uvdiagram.Pt(430, 540)
+	answers, stats := db.RNN(q)
+	fmt.Printf("infected device at (%.0f, %.0f)\n", q.X, q.Y)
+	fmt.Printf("candidate cutoff D2 = %.1f; %d of %d devices checked, %d at risk\n\n",
+		stats.Cutoff, stats.Candidates, db.Len(), stats.Answers)
+
+	// Rank by infection-risk probability.
+	sort.Slice(answers, func(i, j int) bool { return answers[i].Prob > answers[j].Prob })
+	fmt.Println("highest-risk devices (probability q is their nearest contact):")
+	for i, a := range answers {
+		if i == 10 {
+			fmt.Printf("  ... and %d more\n", len(answers)-10)
+			break
+		}
+		o, err := db.Object(a.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  device %3d near (%.0f, %.0f): %.3f\n",
+			a.ID, o.Region.C.X, o.Region.C.Y, a.Prob)
+	}
+
+	// Forward direction for comparison: which devices might the infected
+	// one contact first (its own possible nearest neighbors)?
+	fwd, _, err := db.PNN(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nforward PNN at q: %d possible nearest neighbors\n", len(fwd))
+	fmt.Println("(RNN answers need not coincide with PNN answers: nearest-neighbor")
+	fmt.Println(" relations over uncertain data are asymmetric, which is why spread")
+	fmt.Println(" analysis needs the reverse query.)")
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

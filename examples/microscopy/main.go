@@ -1,0 +1,93 @@
+// Microscopy pattern analysis: positions of imaged cells are uncertain
+// (image resolution, measurement error — the paper's biology motivation
+// [11], [12]). The UV-diagram's pattern queries answer questions such
+// as "where in the slide could many different cells be the nearest
+// one?" — the UV-partition density query of Section V-C — and render
+// the result as an SVG heat map.
+//
+//	go run ./examples/microscopy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"uvdiagram"
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/viz"
+)
+
+func main() {
+	const side = 2000.0 // field of view in µm
+	// Cells cluster into colonies: reuse the clustered generator.
+	cfg := datagen.Config{N: 120, Side: side, Diameter: 36, Seed: 11}
+	objs := datagen.Skewed(cfg, side/5)
+
+	// Fine-grained pages so the adaptive grid resolves the colonies at
+	// this small scale (see quickstart).
+	db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(side), &uvdiagram.Options{PageSize: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d cells in %v\n\n", db.Len(), db.BuildStats().TotalDur)
+
+	// UV-partition query: density of possible-nearest cells across the
+	// central region of the slide.
+	window := uvdiagram.Rect{Min: uvdiagram.Pt(side/4, side/4), Max: uvdiagram.Pt(3*side/4, 3*side/4)}
+	parts := db.Partitions(window)
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Density > parts[j].Density })
+	fmt.Printf("UV-partition query over the central window: %d partitions\n", len(parts))
+	fmt.Println("densest regions (many cells compete for 'nearest'):")
+	for i := 0; i < 5 && i < len(parts); i++ {
+		p := parts[i]
+		fmt.Printf("  %v: %d candidate cells (density %.2e/µm²)\n", p.Region, p.Count, p.Density)
+	}
+
+	// UV-cell retrieval: which cells have the largest influence areas?
+	type cellArea struct {
+		id   int32
+		area float64
+	}
+	var areas []cellArea
+	for _, o := range objs {
+		a, err := db.CellArea(o.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		areas = append(areas, cellArea{o.ID, a})
+	}
+	sort.Slice(areas, func(i, j int) bool { return areas[i].area > areas[j].area })
+	fmt.Println("\ncells with the largest possible-NN areas (isolated cells):")
+	for _, ca := range areas[:5] {
+		o, _ := db.Object(ca.id)
+		fmt.Printf("  cell %3d at (%.0f, %.0f): %.1f%% of the slide\n",
+			ca.id, o.Region.C.X, o.Region.C.Y, 100*ca.area/(side*side))
+	}
+
+	// Render: regions + the exact UV-cells of the three most influential
+	// cells + partition heat map.
+	scene := viz.Scene{Domain: db.Domain(), Objects: objs, Partitions: db.Partitions(db.Domain())}
+	for _, ca := range areas[:3] {
+		region := core.NewPossibleRegion(objs[ca.id].Region.C, db.Domain())
+		for j := range objs {
+			if int32(j) != ca.id {
+				region.AddObject(objs[ca.id], objs[j])
+			}
+		}
+		outline := viz.OutlineRegion(region, 256)
+		outline.Label = fmt.Sprintf("cell %d", ca.id)
+		scene.Cells = append(scene.Cells, outline)
+	}
+	f, err := os.Create("microscopy.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := viz.Write(f, scene); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote microscopy.svg (density heat map + top-3 UV-cells)")
+}

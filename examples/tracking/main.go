@@ -1,0 +1,89 @@
+// Tracking: a continuous PNN query for a moving client — the
+// location-based-service setting of the paper's introduction ([5]–[7]).
+//
+// A delivery drone flies across a city where the positions of service
+// stations are uncertain (privacy-cloaked reports, Section I). At every
+// tick the drone needs the set of stations that might be its nearest.
+// The ContinuousPNN session keeps a safe circle inside which the answer
+// set provably cannot change, so most ticks cost nothing.
+//
+//	go run ./examples/tracking
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"uvdiagram"
+)
+
+func main() {
+	const side = 5000
+	rng := rand.New(rand.NewSource(7))
+
+	// 400 stations with cloaked circular positions.
+	objs := make([]uvdiagram.Object, 400)
+	for i := range objs {
+		objs[i] = uvdiagram.NewObject(int32(i),
+			50+rng.Float64()*(side-100), 50+rng.Float64()*(side-100),
+			15+rng.Float64()*25, uvdiagram.GaussianPDF())
+	}
+	db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(side), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d stations in %v\n\n", db.Len(), db.BuildStats().TotalDur)
+
+	// The drone flies a noisy diagonal route, one position per tick.
+	pos := uvdiagram.Pt(250, 250)
+	sess, err := db.NewContinuousPNN(pos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heading := math.Pi / 4
+	changes := 0
+	prev := fmt.Sprint(sess.AnswerIDs())
+	for tick := 0; tick < 2000; tick++ {
+		heading += rng.NormFloat64() * 0.05
+		pos = uvdiagram.Pt(
+			clamp(pos.X+3*math.Cos(heading), 1, side-1),
+			clamp(pos.Y+3*math.Sin(heading), 1, side-1),
+		)
+		ids, recomputed, err := sess.Move(pos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cur := fmt.Sprint(ids); recomputed && cur != prev {
+			changes++
+			if changes <= 5 {
+				fmt.Printf("tick %4d at (%.0f, %.0f): possible nearest stations -> %v\n",
+					tick, pos.X, pos.Y, ids)
+			}
+			prev = cur
+		}
+	}
+
+	st := sess.Stats()
+	fmt.Printf("\n%d ticks, %d re-evaluations (%.1f%% saved by safe regions), %d answer-set changes\n",
+		st.Moves, st.Recomputes, 100*(1-float64(st.Recomputes)/float64(st.Moves)), changes)
+
+	// The same route with possible-3-NN at the final position, for a
+	// fallback list when the nearest station is busy.
+	ids, err := db.PossibleKNN(pos, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stations possibly among the 3 nearest at journey's end: %v\n", ids)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/rtree"
+	"uvdiagram/internal/uncertain"
+)
+
+// Strategy selects how the per-object constraint sets fed to the index
+// are obtained (Section VI-B.3).
+type Strategy int
+
+const (
+	// StrategyIC (the paper's recommendation): I- and C-pruning produce
+	// cr-objects that go straight into the index.
+	StrategyIC Strategy = iota
+	// StrategyICR: like IC but refines cr-objects to exact r-objects
+	// first.
+	StrategyICR
+	// StrategyBasic: Algorithm 1 — exact UV-cells against every other
+	// object, no pruning. Exponentially more expensive; used only as
+	// the baseline of Figure 7(a).
+	StrategyBasic
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyIC:
+		return "IC"
+	case StrategyICR:
+		return "ICR"
+	case StrategyBasic:
+		return "Basic"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// BuildOptions configure index construction.
+type BuildOptions struct {
+	Strategy      Strategy
+	Index         IndexOptions
+	SeedK         int // k of the seed k-NN query (paper: 300)
+	SeedSectors   int // ks sectors (paper: 8)
+	RegionSamples int // angular resolution for pruning bounds and hulls
+	CellSamples   int // angular resolution for exact cells (ICR/Basic)
+	Fanout        int // fanout of the helper R-tree
+	// Workers parallelizes the per-object derivation phase (seeds,
+	// pruning, refinement) across goroutines; results are identical to
+	// a sequential build. 0 or 1 means sequential — the paper's
+	// single-threaded setting, which the timing figures assume.
+	Workers int
+	// DisableCPrune skips computational-level pruning (Lemma 3), keeping
+	// every I-pruning survivor as a cr-object. Ablation knob: isolates
+	// the contribution of each pruning level (Figure 7(b)).
+	DisableCPrune bool
+}
+
+// DefaultBuildOptions mirrors Section VI-A.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		Strategy:      StrategyIC,
+		Index:         DefaultIndexOptions(),
+		SeedK:         DefaultSeedK,
+		SeedSectors:   DefaultSeedSectors,
+		RegionSamples: 256,
+		CellSamples:   DefaultCellSamples,
+		Fanout:        rtree.DefaultFanout,
+	}
+}
+
+func (o *BuildOptions) normalize() {
+	if o.SeedK <= 0 {
+		o.SeedK = DefaultSeedK
+	}
+	if o.SeedSectors <= 0 {
+		o.SeedSectors = DefaultSeedSectors
+	}
+	if o.RegionSamples <= 0 {
+		o.RegionSamples = 256
+	}
+	if o.CellSamples <= 0 {
+		o.CellSamples = DefaultCellSamples
+	}
+	if o.Fanout <= 0 {
+		o.Fanout = rtree.DefaultFanout
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	o.Index.normalize()
+}
+
+// BuildStats records construction cost and its components, matching the
+// breakdowns of Figures 7(b), 7(d) and 7(e). With Workers > 1 the phase
+// durations are summed CPU time across workers, while TotalDur remains
+// wall clock.
+type BuildStats struct {
+	Strategy Strategy
+	N        int
+
+	SeedDur   time.Duration // initPossibleRegion (seeds + initial region)
+	PruneDur  time.Duration // I- and C-pruning
+	RefineDur time.Duration // exact-cell generation (ICR/Basic)
+	IndexDur  time.Duration // Algorithm 3 inserts + page writes
+	TotalDur  time.Duration
+
+	SumI  int64 // Σ |I| over objects (I-pruning survivors)
+	SumCR int64 // Σ |Ci|
+	SumR  int64 // Σ |Fi| (ICR/Basic only)
+
+	Index IndexStats
+}
+
+// IPruneRatio is the pruning ratio pc of I-pruning: the average
+// fraction of the other n−1 objects eliminated.
+func (s BuildStats) IPruneRatio() float64 { return s.ratio(s.SumI) }
+
+// CPruneRatio is the pruning ratio after C-pruning (i.e. of the final
+// cr-sets).
+func (s BuildStats) CPruneRatio() float64 { return s.ratio(s.SumCR) }
+
+func (s BuildStats) ratio(sum int64) float64 {
+	if s.N <= 1 {
+		return 0
+	}
+	return 1 - float64(sum)/float64(s.N)/float64(s.N-1)
+}
+
+// AvgCR returns the mean cr-set size.
+func (s BuildStats) AvgCR() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.SumCR) / float64(s.N)
+}
+
+// AvgR returns the mean r-set size (ICR/Basic).
+func (s BuildStats) AvgR() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.SumR) / float64(s.N)
+}
+
+// deriveStats are the per-object counters accumulated by one worker.
+type deriveStats struct {
+	seed, prune, refine time.Duration
+	sumI, sumCR, sumR   int64
+}
+
+func (d *deriveStats) add(o deriveStats) {
+	d.seed += o.seed
+	d.prune += o.prune
+	d.refine += o.refine
+	d.sumI += o.sumI
+	d.sumCR += o.sumCR
+	d.sumR += o.sumR
+}
+
+// builder carries the shared read-only state of a construction run.
+type builder struct {
+	objs   []uncertain.Object
+	domain geom.Rect
+	tree   *rtree.Tree
+	opts   BuildOptions
+}
+
+// deriveOne computes object i's cell representation (cr- or r-object
+// ids) according to the strategy.
+func (b *builder) deriveOne(i int) ([]int32, deriveStats) {
+	var ds deriveStats
+	oi := b.objs[i]
+	switch b.opts.Strategy {
+	case StrategyBasic:
+		tr := time.Now()
+		region := NewPossibleRegion(oi.Region.C, b.domain)
+		for j := range b.objs {
+			if j != i {
+				region.AddObject(oi, b.objs[j])
+			}
+		}
+		cell := region.Cell(oi.ID, b.opts.CellSamples)
+		ds.refine = time.Since(tr)
+		ds.sumR = int64(len(cell.RObjects))
+		return cell.RObjects, ds
+
+	case StrategyICR, StrategyIC:
+		ts := time.Now()
+		seeds := SelectSeeds(b.tree, oi, b.opts.SeedK, b.opts.SeedSectors)
+		region := NewPossibleRegion(oi.Region.C, b.domain)
+		for _, id := range seeds {
+			region.AddObject(oi, b.objs[id])
+		}
+		ds.seed = time.Since(ts)
+
+		tp := time.Now()
+		ids := IPrune(b.tree, oi, region, b.opts.RegionSamples)
+		kept := ids
+		if !b.opts.DisableCPrune {
+			kept = CPrune(ids, oi, region, b.opts.RegionSamples, b.objs)
+		}
+		cr := mergeIDs(kept, seeds)
+		ds.prune = time.Since(tp)
+		ds.sumI = int64(len(ids))
+		ds.sumCR = int64(len(cr))
+
+		if b.opts.Strategy == StrategyIC {
+			return cr, ds
+		}
+		tr := time.Now()
+		refined := NewPossibleRegion(oi.Region.C, b.domain)
+		for _, id := range cr {
+			refined.AddObject(oi, b.objs[id])
+		}
+		cell := refined.Cell(oi.ID, b.opts.CellSamples)
+		ds.refine = time.Since(tr)
+		ds.sumR = int64(len(cell.RObjects))
+		return cell.RObjects, ds
+	}
+	panic(fmt.Sprintf("core: unknown strategy %v", b.opts.Strategy))
+}
+
+// Build constructs the UV-index over the store's objects with the given
+// strategy. tree is the R-tree over the uncertain objects used by the
+// pruning steps; if nil, one is bulk-loaded first (the paper likewise
+// assumes the R-tree "is available for use" and does not charge it to
+// construction time).
+func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts BuildOptions) (*UVIndex, BuildStats, error) {
+	opts.normalize()
+	objs := store.All()
+	stats := BuildStats{Strategy: opts.Strategy, N: len(objs)}
+	for _, o := range objs {
+		if !domain.Contains(o.Region.C) {
+			return nil, stats, fmt.Errorf("core: object %d center %v outside domain %v", o.ID, o.Region.C, domain)
+		}
+	}
+	if tree == nil && opts.Strategy != StrategyBasic {
+		tree = BuildHelperRTree(store, opts.Fanout)
+	}
+	// The R-tree's simulated-disk reads during construction are the
+	// paper's "assumed available" index; workers may not share one tree
+	// pager concurrently, so each worker gets a private clone of the
+	// bulk-load when parallelism is requested.
+	b := &builder{objs: objs, domain: domain, tree: tree, opts: opts}
+
+	ix := NewUVIndex(store, domain, opts.Index)
+	crSets := make([][]int32, len(objs))
+	t0 := time.Now()
+
+	if opts.Workers > 1 {
+		var (
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			total deriveStats
+			next  = make(chan int)
+		)
+		for w := 0; w < opts.Workers; w++ {
+			wtree := tree
+			if wtree != nil && w > 0 {
+				wtree = BuildHelperRTree(store, opts.Fanout)
+			}
+			wg.Add(1)
+			go func(wtree *rtree.Tree) {
+				defer wg.Done()
+				wb := &builder{objs: objs, domain: domain, tree: wtree, opts: opts}
+				var local deriveStats
+				for i := range next {
+					crSet, ds := wb.deriveOne(i)
+					crSets[i] = crSet
+					local.add(ds)
+				}
+				mu.Lock()
+				total.add(local)
+				mu.Unlock()
+			}(wtree)
+		}
+		for i := range objs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		stats.SeedDur, stats.PruneDur, stats.RefineDur = total.seed, total.prune, total.refine
+		stats.SumI, stats.SumCR, stats.SumR = total.sumI, total.sumCR, total.sumR
+	} else {
+		var total deriveStats
+		for i := range objs {
+			crSet, ds := b.deriveOne(i)
+			crSets[i] = crSet
+			total.add(ds)
+		}
+		stats.SeedDur, stats.PruneDur, stats.RefineDur = total.seed, total.prune, total.refine
+		stats.SumI, stats.SumCR, stats.SumR = total.sumI, total.sumCR, total.sumR
+	}
+
+	ti := time.Now()
+	for i := range objs {
+		ix.Insert(objs[i].ID, crSets[i])
+	}
+	ix.Finish()
+	stats.IndexDur = time.Since(ti)
+	stats.TotalDur = time.Since(t0)
+	stats.Index = ix.Stats()
+	return ix, stats, nil
+}
+
+// BuildHelperRTree bulk-loads the R-tree over the uncertain objects that
+// both the pruning steps and the query-time baseline use.
+func BuildHelperRTree(store *uncertain.Store, fanout int) *rtree.Tree {
+	objs := store.All()
+	items := make([]rtree.Item, len(objs))
+	for i, o := range objs {
+		items[i] = rtree.Item{ID: o.ID, MBC: o.Region, Ptr: uint64(store.PageOf(o.ID))}
+	}
+	return rtree.BulkLoad(items, fanout, pager.New(pager.DefaultPageSize))
+}

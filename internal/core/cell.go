@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"uvdiagram/internal/geom"
+)
+
+// DefaultCellSamples is the default angular resolution for exact
+// cell-boundary extraction.
+const DefaultCellSamples = 720
+
+// vertexTol is the angular bisection tolerance for breakpoints.
+const vertexTol = 1e-10
+
+// Vertex is a breakpoint of a region boundary: the meeting point of two
+// boundary arcs (UV-edges or domain edges).
+type Vertex struct {
+	Phi    float64    // polar angle around the region center
+	R      float64    // radial extent at Phi
+	P      geom.Point // the vertex location
+	Before int        // active id for angles just below Phi
+	After  int        // active id for angles just above Phi
+}
+
+// Vertices extracts the region's boundary breakpoints by an angular
+// sweep of the radial function at the given resolution, refining each
+// change of active constraint by bisection. Vertices are returned in
+// increasing angle order. Arcs narrower than 2π/samples can be missed;
+// the callers that need guarantees use generous resolutions.
+func (p *PossibleRegion) Vertices(samples int) []Vertex {
+	if samples < 16 {
+		samples = 16
+	}
+	n := samples
+	phis := make([]float64, n)
+	actives := make([]int, n)
+	for i := 0; i < n; i++ {
+		phis[i] = 2 * math.Pi * float64(i) / float64(n)
+		_, actives[i] = p.Radius(phis[i])
+	}
+	var vs []Vertex
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if actives[i] == actives[j] {
+			continue
+		}
+		lo, hi := phis[i], phis[i]+2*math.Pi/float64(n)
+		aLo := actives[i]
+		for hi-lo > vertexTol {
+			mid := lo + (hi-lo)/2
+			if _, am := p.Radius(mid); am == aLo {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		phi := geom.NormalizeAngle(lo + (hi-lo)/2)
+		r, _ := p.Radius(phi)
+		vs = append(vs, Vertex{
+			Phi:    phi,
+			R:      r,
+			P:      p.center.Add(geom.PolarUnit(phi).Scale(r)),
+			Before: actives[i],
+			After:  actives[j],
+		})
+	}
+	sort.Slice(vs, func(a, b int) bool { return vs[a].Phi < vs[b].Phi })
+	return vs
+}
+
+// Area returns the region area ½∮R(φ)²dφ by composite Simpson
+// quadrature at the given angular resolution.
+func (p *PossibleRegion) Area(samples int) float64 {
+	if samples < 16 {
+		samples = 16
+	}
+	n := samples * 2 // Simpson needs an even number of intervals
+	h := 2 * math.Pi / float64(n)
+	f := func(phi float64) float64 {
+		r, _ := p.Radius(phi)
+		return r * r
+	}
+	sum := f(0) + f(2*math.Pi)
+	for i := 1; i < n; i++ {
+		if i%2 == 1 {
+			sum += 4 * f(float64(i)*h)
+		} else {
+			sum += 2 * f(float64(i)*h)
+		}
+	}
+	return sum * h / 3 / 2
+}
+
+// UVCell is an exact UV-cell: the possible region refined by the
+// outside regions of all of its reference objects (Definition 1).
+type UVCell struct {
+	Object   int32      // the cell's owner Oi
+	Center   geom.Point // ci, the star center
+	Vertices []Vertex
+	RObjects []int32 // objects contributing at least one boundary arc
+	area     float64
+}
+
+// Cell extracts the exact cell structure from the region at the given
+// angular resolution: boundary vertices, the set of r-objects (labels
+// of the active hyperbolic arcs) and the cell area. The caller is
+// responsible for having added every relevant constraint (all objects
+// for Algorithm 1, or the cr-objects for the ICR strategy).
+func (p *PossibleRegion) Cell(objID int32, samples int) *UVCell {
+	if samples <= 0 {
+		samples = DefaultCellSamples
+	}
+	vs := p.Vertices(samples)
+	seen := map[int32]bool{}
+	var robjs []int32
+	record := func(active int) {
+		if active < 0 {
+			return
+		}
+		id := p.cons[active].Obj
+		if !seen[id] {
+			seen[id] = true
+			robjs = append(robjs, id)
+		}
+	}
+	// Arc labels appear as vertex sides; a constraint active over the
+	// whole sweep (no vertices) is caught by sampling.
+	for _, v := range vs {
+		record(v.Before)
+		record(v.After)
+	}
+	if len(vs) == 0 {
+		_, a := p.Radius(0)
+		record(a)
+	}
+	sort.Slice(robjs, func(i, j int) bool { return robjs[i] < robjs[j] })
+	return &UVCell{
+		Object:   objID,
+		Center:   p.center,
+		Vertices: vs,
+		RObjects: robjs,
+		area:     p.Area(samples),
+	}
+}
+
+// Area returns the exact cell area computed at extraction time.
+func (c *UVCell) Area() float64 { return c.area }
+
+// Hull returns the convex hull CH of the cell/region boundary. Because
+// hyperbolic arcs are concave toward the region, only breakpoints can
+// be extreme points, so the hull of the vertices is the hull of the
+// region (Lemma 3's CH(Pi)).
+func hullOfVertices(vs []Vertex) []geom.Point {
+	pts := make([]geom.Point, len(vs))
+	for i, v := range vs {
+		pts[i] = v.P
+	}
+	return geom.ConvexHull(pts)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uvdiagram/internal/geom"
+)
+
+// TestVerticesOnConics cross-validates the radial cell representation
+// against the paper's hyperbola formulation (Equation 5): every cell
+// vertex bounded by two UV-edges must satisfy both edges' implicit
+// conic equations, and every vertex on a single UV-edge must satisfy
+// that edge's distance definition exactly.
+func TestVerticesOnConics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1001))
+	domain := geom.Square(1000)
+	for trial := 0; trial < 6; trial++ {
+		objs := randObjects(rng, 14, 1000, 35)
+		i := rng.Intn(len(objs))
+		region := fullRegion(objs, i, domain)
+		vs := region.Vertices(720)
+		checked := 0
+		for _, v := range vs {
+			for _, side := range []int{v.Before, v.After} {
+				if side < 0 {
+					continue // domain edge
+				}
+				c := region.Constraints()[side]
+				// Distance definition: |Delta| ≈ 0 at the vertex.
+				if d := c.Edge.Delta(v.P); math.Abs(d) > 1e-5*(1+v.R) {
+					t.Fatalf("trial %d: vertex %v not on UV-edge of pair (%d,%d): Delta=%v",
+						trial, v.P, i, c.Obj, d)
+				}
+				// Implicit conic of Equation 5 (squared form): scaled
+				// residual must vanish.
+				scale := math.Pow(v.P.DistSq(c.Edge.Fi)+1, 2)
+				if r := c.Edge.ImplicitEval(v.P); math.Abs(r)/scale > 1e-5 {
+					t.Fatalf("trial %d: vertex %v violates implicit conic: %v",
+						trial, v.P, r/scale)
+				}
+				checked++
+			}
+		}
+		if checked == 0 {
+			t.Log("no hyperbolic vertices in this instance (all domain corners)")
+		}
+	}
+}
+
+// TestRegionMembershipQuick is a quick.Check property: for arbitrary
+// query points, membership via the radial function agrees with the
+// direct constraint predicate.
+func TestRegionMembershipQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1013))
+	domain := geom.Square(1000)
+	objs := randObjects(rng, 10, 1000, 30)
+	region := fullRegion(objs, 0, domain)
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	err := quick.Check(func(xf, yf float64) bool {
+		// Map arbitrary floats into the domain.
+		x := math.Mod(math.Abs(xf), 1000)
+		y := math.Mod(math.Abs(yf), 1000)
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		q := geom.Pt(x, y)
+		direct := region.Contains(q)
+		d := q.Dist(region.Center())
+		if d < 1e-9 {
+			return direct
+		}
+		r, _ := region.RadiusDir(q.Sub(region.Center()).Unit())
+		radial := d <= r+1e-9
+		if direct != radial {
+			// Tolerate only boundary coincidence.
+			return math.Abs(d-r) < 1e-6
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCellAreaMonotoneInConstraints: adding constraints never grows the
+// region area (quadrature sanity under composition).
+func TestCellAreaMonotoneInConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1019))
+	domain := geom.Square(1000)
+	objs := randObjects(rng, 12, 1000, 30)
+	region := NewPossibleRegion(objs[0].Region.C, domain)
+	prev := region.Area(512)
+	for j := 1; j < len(objs); j++ {
+		if !region.AddObject(objs[0], objs[j]) {
+			continue
+		}
+		cur := region.Area(512)
+		if cur > prev*(1+1e-9) {
+			t.Fatalf("area grew after adding constraint %d: %v -> %v", j, prev, cur)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// Constraint is the outside region Xi(j) of one UV-edge, tagged with the
+// identity of the reference object Oj. A point inside the outside
+// region can never have Oi as a nearest neighbor.
+type Constraint struct {
+	Obj  int32 // j, the object on the far side of the edge
+	Edge geom.UVEdge
+}
+
+// NewConstraint builds the constraint Oi gains from Oj. ok is false when
+// the two uncertainty regions overlap, in which case Xi(j) is empty and
+// no constraint exists (Section III-C).
+func NewConstraint(oi, oj uncertain.Object) (Constraint, bool) {
+	e := geom.NewUVEdge(oi.Region, oj.Region)
+	if !e.Exists() {
+		return Constraint{}, false
+	}
+	return Constraint{Obj: oj.ID, Edge: e}, true
+}
+
+// Excludes reports whether p lies strictly inside the outside region.
+func (c Constraint) Excludes(p geom.Point) bool { return c.Edge.InOutside(p) }
+
+// ExcludesRect reports whether the whole rectangle r lies inside the
+// outside region, via the 4-point test of Algorithm 5: the outside
+// region is convex, so containment of the four corners implies
+// containment of the rectangle.
+func (c Constraint) ExcludesRect(r geom.Rect) bool {
+	for _, corner := range r.Corners() {
+		if !c.Edge.InOutside(corner) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstraintsFromIDs builds the constraint list of object oi against the
+// reference candidates ids (overlapping objects are skipped — they
+// contribute no edge).
+func ConstraintsFromIDs(oi uncertain.Object, ids []int32, objs []uncertain.Object) []Constraint {
+	cons := make([]Constraint, 0, len(ids))
+	for _, id := range ids {
+		if id == oi.ID {
+			continue
+		}
+		if c, ok := NewConstraint(oi, objs[id]); ok {
+			cons = append(cons, c)
+		}
+	}
+	return cons
+}

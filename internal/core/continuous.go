@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+)
+
+// ContinuousPNN is a session for a moving PNN query point — the
+// continuous location-based service setting of the paper's introduction
+// ([5]–[7]; the V*-diagram [6] solves it for certain data). The session
+// maintains a SAFE CIRCLE around the last evaluation point inside which
+// the answer SET is provably unchanged, so a moving client re-evaluates
+// only when it exits the circle.
+//
+// Safe-radius argument. Within the leaf region of the adaptive grid the
+// leaf list L is a superset of every possible answer, and the global
+// bound m(x) = min_j distmax(Oj, x) is always attained inside L (its
+// minimizer is itself an answer). Every predicate "Oi is an answer at
+// x" compares distmin(Oi, x) against m₋ᵢ(x) = min_{j≠i} distmax(Oj,x),
+// and both sides are 1-Lipschitz in x, so a move of δ cannot flip a
+// predicate whose slack exceeds 2δ. The safe radius is therefore
+//
+//	r = min( distance to the leaf-region boundary,
+//	         min_{i ∈ L} |distmin(Oi,q) − m₋ᵢ(q)| / 2 ).
+type ContinuousPNN struct {
+	ix   *UVIndex
+	q    geom.Point
+	ids  []int32
+	safe geom.Circle
+	st   ContinuousStats
+}
+
+// ContinuousStats counts the work saved by the safe region.
+type ContinuousStats struct {
+	Moves      int   // Move calls
+	Recomputes int   // leaf descents + gap evaluations
+	IndexIOs   int64 // leaf pages read across recomputations
+}
+
+// NewContinuousPNN opens a session at the starting point q.
+func (ix *UVIndex) NewContinuousPNN(q geom.Point) (*ContinuousPNN, error) {
+	c := &ContinuousPNN{ix: ix}
+	if err := c.recompute(q); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Move advances the query point. It returns the current answer IDs
+// (sorted, shared slice) and whether a re-evaluation was needed.
+func (c *ContinuousPNN) Move(q geom.Point) ([]int32, bool, error) {
+	c.st.Moves++
+	if c.safe.R > 0 && c.safe.C.Dist(q) < c.safe.R {
+		c.q = q
+		return c.ids, false, nil
+	}
+	if err := c.recompute(q); err != nil {
+		return nil, true, err
+	}
+	return c.ids, true, nil
+}
+
+// AnswerIDs returns the answer set at the current position (sorted,
+// shared slice).
+func (c *ContinuousPNN) AnswerIDs() []int32 { return c.ids }
+
+// SafeRegion returns the current safe circle: the answer set is
+// guaranteed constant strictly inside it. A zero radius means every
+// move re-evaluates (the query sits exactly on an answer boundary).
+func (c *ContinuousPNN) SafeRegion() geom.Circle { return c.safe }
+
+// Stats returns the session counters.
+func (c *ContinuousPNN) Stats() ContinuousStats { return c.st }
+
+// Position returns the current query point.
+func (c *ContinuousPNN) Position() geom.Point { return c.q }
+
+func (c *ContinuousPNN) recompute(q geom.Point) error {
+	ix := c.ix
+	if !ix.finished {
+		return fmt.Errorf("core: continuous PNN before Finish")
+	}
+	if !ix.domain.Contains(q) {
+		return fmt.Errorf("core: query point %v outside domain %v", q, ix.domain)
+	}
+	c.st.Recomputes++
+
+	n, region := ix.root, ix.domain
+	for !n.isLeaf() {
+		k := region.QuadrantFor(q)
+		n = n.children[k]
+		region = region.Quadrant(k)
+	}
+	var tuples []pager.LeafTuple
+	for _, pid := range n.pages {
+		ts, err := pager.DecodeLeafTuples(ix.pg.Read(pid))
+		if err != nil {
+			return fmt.Errorf("core: leaf page %d: %w", pid, err)
+		}
+		tuples = append(tuples, ts...)
+		c.st.IndexIOs++
+	}
+	if len(tuples) == 0 {
+		return fmt.Errorf("core: empty leaf at %v", q)
+	}
+
+	// Two smallest distmax values give m₋ᵢ for every i in one pass.
+	m1, m2 := math.Inf(1), math.Inf(1)
+	arg1 := -1
+	mins := make([]float64, len(tuples))
+	for i, t := range tuples {
+		d := q.Dist(geom.Pt(t.CX, t.CY))
+		mins[i] = math.Max(0, d-t.R)
+		if dm := d + t.R; dm < m1 {
+			m1, m2, arg1 = dm, m1, i
+		} else if dm < m2 {
+			m2 = dm
+		}
+	}
+
+	c.ids = c.ids[:0]
+	gap := math.Inf(1)
+	for i := range tuples {
+		other := m1
+		if i == arg1 {
+			other = m2
+		}
+		if mins[i] < other {
+			c.ids = append(c.ids, tuples[i].ID)
+		}
+		if g := math.Abs(mins[i] - other); g < gap {
+			gap = g
+		}
+	}
+	sortIDs(c.ids)
+
+	// Distance from q to the leaf-region boundary (q is inside).
+	boundary := math.Min(
+		math.Min(q.X-region.Min.X, region.Max.X-q.X),
+		math.Min(q.Y-region.Min.Y, region.Max.Y-q.Y),
+	)
+	r := math.Min(boundary, gap/2)
+	if r < 0 || math.IsInf(r, 1) {
+		r = math.Max(0, boundary)
+	}
+	c.q = q
+	c.safe = geom.Circle{C: q, R: r}
+	return nil
+}
+
+func sortIDs(ids []int32) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

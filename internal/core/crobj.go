@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sort"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/rtree"
+	"uvdiagram/internal/uncertain"
+)
+
+// CRResult is the output of Algorithm 2 for one object: the candidate
+// reference objects Ci (a superset of the true r-objects Fi), the
+// initial possible region built from the seeds, and pruning statistics.
+type CRResult struct {
+	Seeds  []int32
+	CR     []int32 // cr-objects, always a superset of the seeds
+	Region *PossibleRegion
+	NI     int // |I|: survivors of I-pruning
+	NC     int // |Ci| before merging seeds back in
+}
+
+// DeriveCRObjects runs Algorithm 2 for Oi over the dataset objs inside
+// domain D:
+//
+//	Step 1  initPossibleRegion — seeds via sectored k-NN;
+//	Step 2  indexPrune         — Lemma 2 circular range on the R-tree;
+//	Step 3  compPrune          — Lemma 3 d-bound test on CH(Pi).
+//
+// The seeds are merged into the returned cr-set: they already shaped
+// the possible region, so the overlap tests of Algorithm 5 must see
+// their constraints too.
+func DeriveCRObjects(tree *rtree.Tree, oi uncertain.Object, objs []uncertain.Object, domain geom.Rect, k, ks, samples int) CRResult {
+	seeds := SelectSeeds(tree, oi, k, ks)
+	region := NewPossibleRegion(oi.Region.C, domain)
+	for _, id := range seeds {
+		region.AddObject(oi, objs[id])
+	}
+	ids := IPrune(tree, oi, region, samples)
+	kept := CPrune(ids, oi, region, samples, objs)
+
+	cr := mergeIDs(kept, seeds)
+	return CRResult{Seeds: seeds, CR: cr, Region: region, NI: len(ids), NC: len(kept)}
+}
+
+// mergeIDs returns the sorted union of two id slices.
+func mergeIDs(a, b []int32) []int32 {
+	seen := make(map[int32]bool, len(a)+len(b))
+	out := make([]int32, 0, len(a)+len(b))
+	for _, s := range [][]int32{a, b} {
+		for _, id := range s {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

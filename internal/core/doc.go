@@ -1,0 +1,20 @@
+// Package core implements the paper's contribution: the UV-diagram.
+//
+// It provides
+//
+//   - UV-edges and their outside regions (Section III), as radial
+//     constraints around an object's center — every possible region and
+//     UV-cell is star-shaped with respect to the object center
+//     (DESIGN.md §3), which makes exact cells computable;
+//   - possible regions, seed selection, index-level (I-) pruning and
+//     computational-level (C-) pruning producing cr-objects
+//     (Section IV, Algorithm 2, Lemmas 1–3);
+//   - exact UV-cell extraction: boundary vertices, arcs, r-objects and
+//     areas (Section III-B/C, Algorithm 1);
+//   - the UV-index: an adaptive quad-tree over cr-object representations
+//     with the NORMAL/OVERFLOW/SPLIT insertion of Algorithms 3–5, PNN
+//     query processing with the dminmax filter of [14], and the
+//     nearest-neighbor pattern queries of Section V-C;
+//   - the three construction strategies compared in the evaluation:
+//     Basic, ICR and IC (Section VI).
+package core

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/prob"
+	"uvdiagram/internal/uncertain"
+)
+
+// TestFigure2Partitions reproduces the structure of the paper's
+// Figure 2: three uncertain objects induce UV-partitions labelled by
+// subsets of {O1, O2, O3}; each point's answer set must equal the set
+// of UV-cells containing it, several distinct partitions must exist,
+// and the whole domain must be covered.
+func TestFigure2Partitions(t *testing.T) {
+	domain := geom.Square(100)
+	objs := []uncertain.Object{
+		uncertain.New(0, geom.Circle{C: geom.Pt(30, 62), R: 8}, nil),
+		uncertain.New(1, geom.Circle{C: geom.Pt(62, 60), R: 9}, nil),
+		uncertain.New(2, geom.Circle{C: geom.Pt(45, 32), R: 7}, nil),
+	}
+	regions := make([]*PossibleRegion, 3)
+	for i := range objs {
+		regions[i] = fullRegion(objs, i, domain)
+	}
+
+	rng := rand.New(rand.NewSource(1201))
+	labels := map[string]int{}
+	for k := 0; k < 20000; k++ {
+		q := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		// Partition label: which UV-cells contain q.
+		var cellSet []int
+		for i := range regions {
+			if regions[i].Contains(q) {
+				cellSet = append(cellSet, i)
+			}
+		}
+		if len(cellSet) == 0 {
+			t.Fatalf("point %v in no UV-cell — cells must cover the domain", q)
+		}
+		// The answer set must be exactly the covering cells.
+		ans := prob.AnswerSet(objs, q)
+		if !sameInts(ans, cellSet) {
+			// Tolerate exact-boundary coincidences only.
+			if !nearBoundary(objs, q) {
+				t.Fatalf("point %v: answer set %v but covering cells %v", q, ans, cellSet)
+			}
+			continue
+		}
+		labels[fmt.Sprint(cellSet)]++
+	}
+	// Figure 2 shows seven partitions (2³−1 subsets); with three
+	// well-separated objects at least the three singletons and some
+	// multi-object partitions must be realized.
+	if len(labels) < 5 {
+		t.Fatalf("only %d distinct partitions found: %v", len(labels), labels)
+	}
+	for i := 0; i < 3; i++ {
+		if labels[fmt.Sprintf("[%d]", i)] == 0 {
+			t.Errorf("singleton partition for object %d never sampled", i)
+		}
+	}
+	t.Logf("partitions sampled: %v", labels)
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nearBoundary reports whether q sits within numeric slack of some
+// UV-edge (where strict/non-strict predicates may disagree).
+func nearBoundary(objs []uncertain.Object, q geom.Point) bool {
+	for i := range objs {
+		for j := range objs {
+			if i == j {
+				continue
+			}
+			e := geom.NewUVEdge(objs[i].Region, objs[j].Region)
+			if !e.Exists() {
+				continue
+			}
+			if d := e.Delta(q); d > -1e-9 && d < 1e-9 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/uncertain"
+)
+
+// FuzzLoadUVIndex: arbitrary bytes fed to the index loader must error
+// cleanly, never panic; a valid stream must round-trip.
+func FuzzLoadUVIndex(f *testing.F) {
+	rng := rand.New(rand.NewSource(42))
+	objs := randObjects(rng, 12, 500, 15)
+	store, err := uncertain.NewStore(objs, pager.New(uncertain.ObjectPageBytes))
+	if err != nil {
+		f.Fatal(err)
+	}
+	tree := BuildHelperRTree(store, 16)
+	ix, _, err := Build(store, geom.Square(500), tree, DefaultBuildOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := ix.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:20])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadUVIndex(bytes.NewReader(data), store)
+		if err != nil {
+			return
+		}
+		// A successfully loaded index must answer queries without
+		// panicking.
+		if _, _, err := loaded.PNN(geom.Pt(250, 250)); err != nil {
+			t.Logf("query on loaded index: %v", err)
+		}
+	})
+}

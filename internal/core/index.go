@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/prob"
+	"uvdiagram/internal/uncertain"
+)
+
+// IndexOptions configure the adaptive grid of Section V.
+type IndexOptions struct {
+	// M is the maximum number of non-leaf nodes kept in main memory
+	// (paper default 4000). Once exhausted, full leaves overflow into
+	// longer page lists instead of splitting.
+	M int
+	// SplitTheta is the split threshold Tθ of Equation 10 (paper
+	// default 1: split whenever redistribution separates anything).
+	SplitTheta float64
+	// PageSize is the simulated disk page size (default 4 KB).
+	PageSize int
+	// MaxDepth bounds the quad-tree depth as a numeric safety net; the
+	// paper bounds depth only through M.
+	MaxDepth int
+}
+
+// DefaultIndexOptions returns the paper's configuration.
+func DefaultIndexOptions() IndexOptions {
+	return IndexOptions{M: 4000, SplitTheta: 1.0, PageSize: pager.DefaultPageSize, MaxDepth: 28}
+}
+
+func (o *IndexOptions) normalize() {
+	if o.M <= 0 {
+		o.M = 4000
+	}
+	if o.SplitTheta <= 0 {
+		o.SplitTheta = 1.0
+	}
+	if o.PageSize <= 0 {
+		o.PageSize = pager.DefaultPageSize
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 28
+	}
+}
+
+// qnode is one node of the adaptive grid. Non-leaf nodes hold four
+// children covering the quadrants of their region; leaf nodes hold the
+// ids of the objects whose UV-cell (may) overlap their region, plus the
+// disk pages storing the corresponding <ID, MBC, pointer> tuples.
+type qnode struct {
+	children   *[4]*qnode
+	ids        []int32
+	pagesAlloc int // pages allocated so far (Algorithm 3 OVERFLOW)
+	pages      []pager.PageID
+	dirty      bool // leaf list changed since its pages were written
+}
+
+func (n *qnode) isLeaf() bool { return n.children == nil }
+
+// UVIndex is the UV-diagram index: an adaptive quad-tree whose leaves
+// list every object whose UV-cell overlaps the leaf region. Cells are
+// never materialized — overlap is decided from cr-object constraint
+// sets by the 4-point test (Algorithm 5).
+type UVIndex struct {
+	domain     geom.Rect
+	opts       IndexOptions
+	pg         *pager.Pager
+	store      *uncertain.Store
+	crOf       [][]int32 // per object: its cr-object ids (cell representation)
+	root       *qnode
+	nonleaf    int
+	capPerPage int
+	finished   bool
+	// orderK is the order of the indexed cells: leaves list the objects
+	// whose ORDER-k UV-cell (the region where the object can be among
+	// the k nearest neighbors) overlaps the leaf region. The classic
+	// UV-diagram of the paper is orderK = 1; higher orders realize the
+	// k-th order Voronoi generalization ([30]) the paper lists as
+	// future work.
+	orderK int
+}
+
+// NewUVIndex prepares an empty index over the store's objects. Objects
+// are inserted with Insert and the index is sealed with Finish.
+//
+// Cells are represented by cr-object ID lists rather than materialized
+// constraints: at paper densities an object has hundreds of cr-objects
+// (the 95% pruning ratio of Figure 7(b) still leaves |Ci| ≈ 0.05·n), so
+// the index keeps 4 bytes per cr-object and derives each outside-region
+// test from the two objects' geometry on the fly.
+func NewUVIndex(store *uncertain.Store, domain geom.Rect, opts IndexOptions) *UVIndex {
+	opts.normalize()
+	return &UVIndex{
+		domain:     domain,
+		opts:       opts,
+		pg:         pager.New(opts.PageSize),
+		store:      store,
+		crOf:       make([][]int32, store.Len()),
+		root:       &qnode{pagesAlloc: 1},
+		capPerPage: pager.TuplesPerPage(opts.PageSize),
+		orderK:     1,
+	}
+}
+
+// OrderK returns the cell order the index was built for (1 for the
+// paper's UV-diagram).
+func (ix *UVIndex) OrderK() int { return ix.orderK }
+
+// Domain returns the indexed domain D.
+func (ix *UVIndex) Domain() geom.Rect { return ix.domain }
+
+// Pager exposes the index's simulated disk for I/O accounting.
+func (ix *UVIndex) Pager() *pager.Pager { return ix.pg }
+
+// CRObjects returns the ids whose outside regions represent object id's
+// UV-cell in the index (its cr-objects, or exact r-objects under
+// ICR/Basic construction). The slice is shared.
+func (ix *UVIndex) CRObjects(id int32) []int32 { return ix.crOf[id] }
+
+// Answer is one PNN result: an object and its qualification probability.
+type Answer struct {
+	ID   int32
+	Prob float64
+}
+
+// QueryStats instruments a query with the component costs reported in
+// Figure 6: index traversal, object retrieval and probability
+// computation, plus I/O counts.
+type QueryStats struct {
+	IndexIOs    int64
+	ObjectIOs   int64
+	TraverseDur time.Duration
+	RetrieveDur time.Duration
+	ProbDur     time.Duration
+	LeafEntries int // tuples read from the leaf's page list
+	Candidates  int // survivors of the dminmax filter
+	Depth       int // leaf depth reached
+}
+
+// Total returns the summed duration of all components.
+func (s QueryStats) Total() time.Duration {
+	return s.TraverseDur + s.RetrieveDur + s.ProbDur
+}
+
+// PNN answers a probabilistic nearest-neighbor query at q (Section V-A):
+// descend to the leaf containing q, read its page list, filter with the
+// dminmax bound of [14], fetch the survivors' uncertainty information
+// and compute qualification probabilities by numerical integration.
+func (ix *UVIndex) PNN(q geom.Point) ([]Answer, QueryStats, error) {
+	var st QueryStats
+	if !ix.finished {
+		return nil, st, fmt.Errorf("core: PNN before Finish")
+	}
+	if !ix.domain.Contains(q) {
+		return nil, st, fmt.Errorf("core: query point %v outside domain %v", q, ix.domain)
+	}
+
+	// Phase 1: index traversal (non-leaf nodes are in memory; leaf page
+	// list is read from disk).
+	t0 := time.Now()
+	n, region := ix.root, ix.domain
+	for !n.isLeaf() {
+		k := region.QuadrantFor(q)
+		n = n.children[k]
+		region = region.Quadrant(k)
+		st.Depth++
+	}
+	var tuples []pager.LeafTuple
+	for _, pid := range n.pages {
+		ts, err := pager.DecodeLeafTuples(ix.pg.Read(pid))
+		if err != nil {
+			return nil, st, fmt.Errorf("core: leaf page %d: %w", pid, err)
+		}
+		tuples = append(tuples, ts...)
+		st.IndexIOs++
+	}
+	st.LeafEntries = len(tuples)
+
+	// dminmax filter on MBCs only (no object I/O yet).
+	dminmax := infinity
+	for _, t := range tuples {
+		if d := q.Dist(geom.Pt(t.CX, t.CY)) + t.R; d < dminmax {
+			dminmax = d
+		}
+	}
+	var candIDs []int32
+	for _, t := range tuples {
+		dmin := q.Dist(geom.Pt(t.CX, t.CY)) - t.R
+		if dmin < 0 {
+			dmin = 0
+		}
+		if dmin <= dminmax {
+			candIDs = append(candIDs, t.ID)
+		}
+	}
+	st.Candidates = len(candIDs)
+	st.TraverseDur = time.Since(t0)
+
+	// Phase 2: object retrieval.
+	t1 := time.Now()
+	cands := make([]uncertain.Object, 0, len(candIDs))
+	for _, id := range candIDs {
+		o, err := ix.store.Fetch(id)
+		if err != nil {
+			return nil, st, err
+		}
+		cands = append(cands, o)
+		st.ObjectIOs++
+	}
+	st.RetrieveDur = time.Since(t1)
+
+	// Phase 3: probability computation.
+	t2 := time.Now()
+	ps := prob.Probs(cands, q, 0)
+	var answers []Answer
+	for i, p := range ps {
+		if p > 0 {
+			answers = append(answers, Answer{ID: cands[i].ID, Prob: p})
+		}
+	}
+	sort.Slice(answers, func(i, j int) bool { return answers[i].ID < answers[j].ID })
+	st.ProbDur = time.Since(t2)
+	return answers, st, nil
+}
+
+const infinity = 1e308
+
+// IndexStats summarize the built index.
+type IndexStats struct {
+	NonLeaf    int
+	Leaves     int
+	Pages      int
+	MaxDepth   int
+	Entries    int64   // total leaf-list entries
+	AvgEntries float64 // average leaf-list length
+	MemBytes   int64   // non-leaf footprint at 16 bytes per node (paper)
+}
+
+// Stats walks the tree and reports its shape.
+func (ix *UVIndex) Stats() IndexStats {
+	var st IndexStats
+	st.NonLeaf = ix.nonleaf
+	var walk func(n *qnode, depth int)
+	walk = func(n *qnode, depth int) {
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		if n.isLeaf() {
+			st.Leaves++
+			st.Pages += len(n.pages)
+			st.Entries += int64(len(n.ids))
+			return
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(ix.root, 0)
+	if st.Leaves > 0 {
+		st.AvgEntries = float64(st.Entries) / float64(st.Leaves)
+	}
+	st.MemBytes = int64(st.NonLeaf) * 16
+	return st
+}

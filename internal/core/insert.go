@@ -1,0 +1,208 @@
+package core
+
+import (
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/uncertain"
+)
+
+// splitState is the decision of CheckSplit (Algorithm 4).
+type splitState int
+
+const (
+	stateNormal splitState = iota
+	stateOverflow
+	stateSplit
+)
+
+// OverlapsRegion is Algorithm 5 (CheckOverlap) over materialized
+// constraints: the UV-cell represented by cons overlaps rectangle r
+// unless some single outside region contains all of r (4-point test;
+// Lemma 4). The test can report spurious overlaps (extra leaf entries,
+// slower queries) but never misses a true one (query correctness).
+func OverlapsRegion(cons []Constraint, r geom.Rect) bool {
+	for i := range cons {
+		if cons[i].ExcludesRect(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// overlapsIDs is the same 4-point test evaluated directly from object
+// geometry: object oi's cell (represented by cr-object ids) versus
+// rectangle r. Avoiding materialized constraints keeps the index at
+// 4 bytes per cr-object — essential at paper densities where |Ci| runs
+// into the hundreds.
+//
+// For an order-k index the test generalizes: a point is outside the
+// order-k cell iff at least k outside regions contain it, so the
+// rectangle is certainly disjoint from the cell once k constraints each
+// contain all of r (every point of r then has ≥ k sure excluders). As
+// for k = 1 the test can report spurious overlaps but never misses a
+// true one.
+func (ix *UVIndex) overlapsIDs(oi uncertain.Object, crIDs []int32, r geom.Rect) bool {
+	ci, ri := oi.Region.C, oi.Region.R
+	corners := r.Corners()
+	excluders := 0
+	for _, j := range crIDs {
+		oj := ix.store.At(int(j)).Region
+		s := ri + oj.R
+		if ci.Dist(oj.C) <= s {
+			continue // overlapping uncertainty regions: no UV-edge
+		}
+		excluded := true
+		for _, p := range corners {
+			// p outside Xi(j) ⇔ dist(p,ci) − dist(p,cj) ≤ s.
+			if p.Dist(ci)-p.Dist(oj.C) <= s {
+				excluded = false
+				break
+			}
+		}
+		if excluded {
+			excluders++
+			if excluders >= ix.orderK {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Insert adds object id, represented by its cr-object ids, to the index
+// (Algorithm 3, InsertObj). It must be called before Finish.
+func (ix *UVIndex) Insert(id int32, crIDs []int32) {
+	if ix.finished {
+		panic("core: Insert after Finish")
+	}
+	ix.crOf[id] = crIDs
+	ix.insertObj(id, ix.store.At(int(id)), crIDs, ix.root, ix.domain, 0)
+}
+
+func (ix *UVIndex) insertObj(id int32, oi uncertain.Object, crIDs []int32, g *qnode, region geom.Rect, depth int) {
+	if !ix.overlapsIDs(oi, crIDs, region) {
+		return
+	}
+	if !g.isLeaf() {
+		for k := 0; k < 4; k++ {
+			ix.insertObj(id, oi, crIDs, g.children[k], region.Quadrant(k), depth+1)
+		}
+		return
+	}
+	state, kids := ix.checkSplit(id, oi, g, region, depth)
+	switch state {
+	case stateNormal:
+		g.ids = append(g.ids, id)
+		g.dirty = true
+	case stateOverflow:
+		if len(g.ids) >= g.pagesAlloc*ix.capPerPage {
+			g.pagesAlloc++ // allocate a new page for g
+		}
+		g.ids = append(g.ids, id)
+		g.dirty = true
+	case stateSplit:
+		// The page list of g is dropped; the (previously computed)
+		// children — whose lists already include the new object — take
+		// over and g becomes a non-leaf node.
+		g.ids = nil
+		g.pages = nil // orphaned on the simulated disk
+		g.pagesAlloc = 0
+		g.dirty = false
+		g.children = kids
+		for k := 0; k < 4; k++ {
+			kids[k].dirty = true
+		}
+		ix.nonleaf++
+	}
+}
+
+// checkSplit is Algorithm 4: decide between NORMAL (page space left),
+// OVERFLOW (no splitting allowed or not useful) and SPLIT (redistribute
+// into four children). On SPLIT the tentative children are returned.
+func (ix *UVIndex) checkSplit(id int32, oi uncertain.Object, g *qnode, region geom.Rect, depth int) (splitState, *[4]*qnode) {
+	if len(g.ids) < g.pagesAlloc*ix.capPerPage {
+		return stateNormal, nil
+	}
+	if ix.nonleaf+1 > ix.opts.M || depth >= ix.opts.MaxDepth {
+		return stateOverflow, nil
+	}
+	// Tentative redistribution of A = {Oi} ∪ g.list into the quadrants.
+	var kids [4]*qnode
+	minCount := -1
+	for k := 0; k < 4; k++ {
+		child := &qnode{pagesAlloc: 1}
+		sub := region.Quadrant(k)
+		if ix.overlapsIDs(oi, ix.crOf[id], sub) {
+			child.ids = append(child.ids, id)
+		}
+		for _, j := range g.ids {
+			if ix.overlapsIDs(ix.store.At(int(j)), ix.crOf[j], sub) {
+				child.ids = append(child.ids, j)
+			}
+		}
+		if need := (len(child.ids) + ix.capPerPage - 1) / ix.capPerPage; need > 1 {
+			child.pagesAlloc = need
+		}
+		kids[k] = child
+		if minCount < 0 || len(child.ids) < minCount {
+			minCount = len(child.ids)
+		}
+	}
+	theta := float64(minCount) / float64(len(g.ids)) // Equation 10
+	if theta < ix.opts.SplitTheta {
+		return stateSplit, &kids
+	}
+	return stateOverflow, nil
+}
+
+// Finish seals the index: every leaf's object list is serialized into
+// its page list (<ID, MBC, pointer> tuples, Section V-A). After Finish
+// the index answers queries; further Inserts panic.
+func (ix *UVIndex) Finish() {
+	if ix.finished {
+		return
+	}
+	var walk func(n *qnode)
+	walk = func(n *qnode) {
+		if !n.isLeaf() {
+			for _, c := range n.children {
+				walk(c)
+			}
+			return
+		}
+		n.pages = ix.writeLeafPages(n.ids)
+		n.dirty = false
+	}
+	walk(ix.root)
+	ix.finished = true
+}
+
+// writeLeafPages chunks a leaf's tuples into pages (at least one page
+// per leaf, mirroring the paper's linked page lists).
+func (ix *UVIndex) writeLeafPages(ids []int32) []pager.PageID {
+	tuples := make([]pager.LeafTuple, len(ids))
+	for i, id := range ids {
+		o := ix.store.At(int(id))
+		tuples[i] = pager.LeafTuple{
+			ID: id,
+			CX: o.Region.C.X, CY: o.Region.C.Y, R: o.Region.R,
+			Pointer: uint64(ix.store.PageOf(id)),
+		}
+	}
+	var pages []pager.PageID
+	for off := 0; ; off += ix.capPerPage {
+		end := off + ix.capPerPage
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		var chunk []pager.LeafTuple
+		if off < len(tuples) {
+			chunk = tuples[off:end]
+		}
+		pages = append(pages, ix.pg.Alloc(pager.EncodeLeafTuples(chunk)))
+		if end >= len(tuples) {
+			break
+		}
+	}
+	return pages
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/rtree"
+	"uvdiagram/internal/uncertain"
+)
+
+// Order-k UV-cells generalize the UV-diagram to the possible-k-NN
+// query, the k-th order Voronoi direction ([30]) the paper lists as
+// future work.
+//
+// The ORDER-k UV-cell of Oi is the region where Oi has a non-zero
+// probability of being among the k nearest neighbors:
+//
+//	Uiᵏ = { q : |{ j ≠ i : distmax(Oj,q) < distmin(Oi,q) }| < k },
+//
+// i.e. fewer than k objects are *surely* closer. A point q is excluded
+// exactly when at least k outside regions Xi(j) contain it, so along a
+// ray from ci the cell extends to the k-th smallest radial constraint
+// bound — the order-k region is star-shaped around ci by the same
+// triangle-inequality argument as the order-1 cell (DESIGN.md §3), and
+// the whole radial machinery lifts by replacing "minimum" with "k-th
+// smallest".
+
+// RadiusDirK returns the extent of the order-k region along the unit
+// direction dir: the minimum of the domain exit and the k-th smallest
+// constraint bound (the domain is a hard boundary at every order). For
+// k = 1 it agrees with RadiusDir.
+func (p *PossibleRegion) RadiusDirK(dir geom.Point, k int) float64 {
+	dom, _ := p.domainBound(dir)
+	if k <= 1 {
+		r, _ := p.RadiusDir(dir)
+		return r
+	}
+	// Keep the k smallest bounds seen so far in an insertion-sorted
+	// buffer; kth[k-1] is the k-th smallest once full.
+	kth := make([]float64, 0, k)
+	for i := range p.cons {
+		t, ok := p.cons[i].Edge.RadialBound(dir)
+		if !ok {
+			continue
+		}
+		if len(kth) < k {
+			kth = append(kth, t)
+			for j := len(kth) - 1; j > 0 && kth[j] < kth[j-1]; j-- {
+				kth[j], kth[j-1] = kth[j-1], kth[j]
+			}
+		} else if t < kth[k-1] {
+			kth[k-1] = t
+			for j := k - 1; j > 0 && kth[j] < kth[j-1]; j-- {
+				kth[j], kth[j-1] = kth[j-1], kth[j]
+			}
+		}
+	}
+	if len(kth) < k {
+		return dom
+	}
+	return math.Min(dom, kth[k-1])
+}
+
+// RadiusK is RadiusDirK at polar angle phi.
+func (p *PossibleRegion) RadiusK(phi float64, k int) float64 {
+	return p.RadiusDirK(geom.PolarUnit(phi), k)
+}
+
+// ContainsK reports whether q belongs to the order-k region: inside the
+// domain with fewer than k constraints excluding it.
+func (p *PossibleRegion) ContainsK(q geom.Point, k int) bool {
+	if !p.domain.Contains(q) {
+		return false
+	}
+	excluders := 0
+	for i := range p.cons {
+		if p.cons[i].Edge.InOutside(q) {
+			excluders++
+			if excluders >= k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxRadiusK returns (a slightly inflated upper bound on) the maximum
+// distance of the order-k region from the center — the quantity
+// consumed by the order-k I-pruning filter. Computed by a dense angular
+// sweep with golden-section polishing of each local maximum;
+// overestimating only weakens pruning, never its correctness.
+func (p *PossibleRegion) MaxRadiusK(samples, k int) float64 {
+	if samples < 8 {
+		samples = 8
+	}
+	eval := func(phi float64) float64 { return p.RadiusK(phi, k) }
+	vals := make([]float64, samples)
+	for i := range vals {
+		vals[i] = eval(2 * math.Pi * float64(i) / float64(samples))
+	}
+	best := 0.0
+	for i, v := range vals {
+		if v > best {
+			best = v
+		}
+		prev := vals[(i+samples-1)%samples]
+		next := vals[(i+1)%samples]
+		if v >= prev && v >= next {
+			lo := 2 * math.Pi * float64(i-1) / float64(samples)
+			hi := 2 * math.Pi * float64(i+1) / float64(samples)
+			if r := goldenMaxPhi(eval, lo, hi, 40); r > best {
+				best = r
+			}
+		}
+	}
+	return best * (1 + 1e-6)
+}
+
+// AreaK approximates the area of the order-k region by the radial
+// quadrature ½∮R_k(φ)²dφ with midpoint sampling.
+func (p *PossibleRegion) AreaK(samples, k int) float64 {
+	if samples < 8 {
+		samples = 8
+	}
+	acc := 0.0
+	for i := 0; i < samples; i++ {
+		phi := 2 * math.Pi * (float64(i) + 0.5) / float64(samples)
+		r := p.RadiusK(phi, k)
+		acc += r * r
+	}
+	return acc * math.Pi / float64(samples)
+}
+
+// goldenMaxPhi maximizes f on [lo, hi] by golden-section search,
+// returning the best value seen.
+func goldenMaxPhi(f func(float64) float64, lo, hi float64, iters int) float64 {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	best := math.Max(f1, f2)
+	for i := 0; i < iters; i++ {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		}
+		if v := math.Max(f1, f2); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// DeriveOrderKCR derives the candidate reference objects of Oi's
+// ORDER-k cell by iterating the I-pruning filter (Lemma 2, which is
+// order-independent: a constraint whose center lies outside
+// Cir(ci, 2d−ri), d the region's max radius, cannot intersect the
+// region and so can neither exclude points from it nor count toward
+// any point's k excluders). A seed phase first bounds the region with
+// the ~8(k+1) nearest neighbors — the order-k analogue of the paper's
+// sectored seeds: the k-th smallest radial bound needs at least k
+// crossings per direction before it leaves the domain scale. Seeding
+// is sound because a region built from fewer constraints is a
+// superset, so its max radius is a valid d for the first round; the
+// candidate set and radius then shrink monotonically to a fixpoint.
+//
+// The returned region carries the surviving constraints; the returned
+// ids are the order-k cr-objects fed to the index.
+func DeriveOrderKCR(tree *rtree.Tree, oi uncertain.Object, objs []uncertain.Object, domain geom.Rect, k, samples int) ([]int32, *PossibleRegion) {
+	pr := NewPossibleRegion(oi.Region.C, domain)
+	if tree != nil {
+		for _, nb := range tree.KNN(oi.Region.C, 8*(k+1)) {
+			if nb.Item.ID != oi.ID {
+				pr.AddObject(oi, objs[nb.Item.ID])
+			}
+		}
+	}
+	d := pr.MaxRadiusK(samples, k)
+	var ids []int32
+	for iter := 0; iter < 8; iter++ {
+		radius := 2*d - oi.Region.R
+		if radius <= 0 {
+			radius = d
+		}
+		var cands []int32
+		if tree != nil {
+			for _, it := range tree.CenterRange(geom.Circle{C: oi.Region.C, R: radius}) {
+				if it.ID != oi.ID {
+					cands = append(cands, it.ID)
+				}
+			}
+		} else {
+			for j := range objs {
+				if objs[j].ID != oi.ID && objs[j].Region.C.Dist(oi.Region.C) <= radius {
+					cands = append(cands, objs[j].ID)
+				}
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+		pr = NewPossibleRegion(oi.Region.C, domain)
+		for _, j := range cands {
+			pr.AddObject(oi, objs[j])
+		}
+		ids = cands
+		d2 := pr.MaxRadiusK(samples, k)
+		if d2 >= d*(1-1e-9) {
+			break
+		}
+		d = d2
+	}
+	return ids, pr
+}
+
+// BuildOrderK constructs an order-k UV-index over the store: an
+// adaptive grid whose leaves list every object whose order-k cell
+// overlaps the leaf region. PossibleKNN answers exactly against it.
+func BuildOrderK(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, k int, opts BuildOptions) (*UVIndex, BuildStats, error) {
+	if k < 1 {
+		return nil, BuildStats{}, fmt.Errorf("core: BuildOrderK needs k ≥ 1, got %d", k)
+	}
+	if store.Len() == 0 {
+		return nil, BuildStats{}, fmt.Errorf("core: BuildOrderK over empty store")
+	}
+	opts.normalize()
+	stats := BuildStats{Strategy: opts.Strategy, N: store.Len()}
+	t0 := time.Now()
+
+	ix := NewUVIndex(store, domain, opts.Index)
+	ix.orderK = k
+	objs := store.All()
+
+	tPrune := time.Duration(0)
+	tIndex := time.Duration(0)
+	for i := 0; i < store.Len(); i++ {
+		p0 := time.Now()
+		ids, _ := DeriveOrderKCR(tree, objs[i], objs, domain, k, opts.RegionSamples)
+		tPrune += time.Since(p0)
+		stats.SumCR += int64(len(ids))
+
+		i0 := time.Now()
+		ix.Insert(int32(i), ids)
+		tIndex += time.Since(i0)
+	}
+	i1 := time.Now()
+	ix.Finish()
+	tIndex += time.Since(i1)
+
+	stats.PruneDur = tPrune
+	stats.IndexDur = tIndex
+	stats.TotalDur = time.Since(t0)
+	stats.Index = ix.Stats()
+	return ix, stats, nil
+}
+
+// PossibleKNN answers the possible-k-NN query at q from an order-k
+// index: the IDs of every object with non-zero probability of being
+// among the k nearest neighbors of q, sorted ascending.
+//
+// The leaf candidate list suffices for an exact answer: if an object
+// has fewer than k sure excluders globally it is itself a possible
+// k-NN, and the k objects with smallest distmax are always possible
+// k-NNs, so both the potential answers and enough blockers to reject
+// every non-answer appear in the leaf list.
+func (ix *UVIndex) PossibleKNN(q geom.Point) ([]int32, QueryStats, error) {
+	var st QueryStats
+	if !ix.finished {
+		return nil, st, fmt.Errorf("core: PossibleKNN before Finish")
+	}
+	if !ix.domain.Contains(q) {
+		return nil, st, fmt.Errorf("core: query point %v outside domain %v", q, ix.domain)
+	}
+
+	t0 := time.Now()
+	n, region := ix.root, ix.domain
+	for !n.isLeaf() {
+		k := region.QuadrantFor(q)
+		n = n.children[k]
+		region = region.Quadrant(k)
+		st.Depth++
+	}
+	var tuples []pager.LeafTuple
+	for _, pid := range n.pages {
+		ts, err := pager.DecodeLeafTuples(ix.pg.Read(pid))
+		if err != nil {
+			return nil, st, fmt.Errorf("core: leaf page %d: %w", pid, err)
+		}
+		tuples = append(tuples, ts...)
+		st.IndexIOs++
+	}
+	st.LeafEntries = len(tuples)
+
+	// Possible-k-NN predicate over the candidates: count sure excluders
+	// by binary search over the sorted distmax values.
+	maxes := make([]float64, len(tuples))
+	mins := make([]float64, len(tuples))
+	for i, t := range tuples {
+		d := q.Dist(geom.Pt(t.CX, t.CY))
+		maxes[i] = d + t.R
+		mins[i] = math.Max(0, d-t.R)
+	}
+	sorted := append([]float64(nil), maxes...)
+	sort.Float64s(sorted)
+
+	var ids []int32
+	for i := range tuples {
+		surelyCloser := sort.SearchFloat64s(sorted, mins[i])
+		if surelyCloser <= ix.orderK-1 {
+			ids = append(ids, tuples[i].ID)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	st.Candidates = len(ids)
+	st.TraverseDur = time.Since(t0)
+	return ids, st, nil
+}

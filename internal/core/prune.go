@@ -1,0 +1,63 @@
+package core
+
+import (
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/rtree"
+	"uvdiagram/internal/uncertain"
+)
+
+// IPrune performs index-level pruning (Step 2 of Algorithm 2, Lemma 2):
+// only objects whose center lies within the circle Cout = Cir(ci, 2d−ri)
+// can reshape the possible region, where d is the maximum distance of
+// the region from ci. The circular range query runs on the R-tree and
+// Oi itself is excluded. The returned ids form the set I.
+func IPrune(tree *rtree.Tree, oi uncertain.Object, region *PossibleRegion, samples int) []int32 {
+	d := region.MaxRadius(samples)
+	radius := 2*d - oi.Region.R
+	if radius <= 0 {
+		return nil
+	}
+	items := tree.CenterRange(geom.Circle{C: oi.Region.C, R: radius})
+	ids := make([]int32, 0, len(items))
+	for _, it := range items {
+		if it.ID != oi.ID {
+			ids = append(ids, it.ID)
+		}
+	}
+	return ids
+}
+
+// CPrune performs computational-level pruning (Step 3 of Algorithm 2,
+// Lemma 3): with CH(Pi) the convex hull of the possible region and
+// d-bounds Cir(v, dist(v, ci)) at its vertices, an object whose center
+// lies outside every d-bound cannot reshape the region. Because
+// boundary arcs are concave toward the region, CH(Pi) is exactly the
+// hull of the region's breakpoints. d-bound radii carry a hair of slack
+// so that vertex refinement error can only weaken pruning, never drop
+// a true r-object.
+func CPrune(candidates []int32, oi uncertain.Object, region *PossibleRegion, samples int, objs []uncertain.Object) []int32 {
+	hull := hullOfVertices(region.Vertices(samples))
+	if len(hull) == 0 {
+		return candidates
+	}
+	bounds := make([]geom.Circle, len(hull))
+	for i, v := range hull {
+		bounds[i] = geom.Circle{C: v, R: v.Dist(oi.Region.C) * (1 + 1e-9)}
+	}
+	kept := make([]int32, 0, len(candidates))
+	for _, id := range candidates {
+		// Objects overlapping Oi contribute no UV-edge and can never be
+		// r-objects; drop them from the candidate set outright.
+		if oi.Region.Overlaps(objs[id].Region) {
+			continue
+		}
+		cj := objs[id].Region.C
+		for _, b := range bounds {
+			if b.Contains(cj) {
+				kept = append(kept, id)
+				break
+			}
+		}
+	}
+	return kept
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// Domain-edge ids used as "active constraint" markers in the radial
+// representation: negative codes distinguish the four box edges so that
+// domain corners register as breakpoints.
+const (
+	edgeEast  = -1
+	edgeNorth = -2
+	edgeWest  = -3
+	edgeSouth = -4
+)
+
+// PossibleRegion is a region that completely covers an object's UV-cell
+// (Definition 2), represented radially around the object center: the
+// region is star-shaped with respect to the center (DESIGN.md §3), so
+// it is exactly { center + r·u(φ) : 0 ≤ r ≤ Radius(φ) }.
+//
+// Adding constraints (outside regions of other objects) only shrinks
+// Radius, mirroring Step 6 of Algorithm 1. With the constraints of all
+// r-objects present, the possible region is the exact UV-cell.
+type PossibleRegion struct {
+	center geom.Point
+	domain geom.Rect
+	cons   []Constraint
+}
+
+// NewPossibleRegion starts a possible region as the whole domain D
+// (Step 2 of Algorithm 1). center must lie inside the domain.
+func NewPossibleRegion(center geom.Point, domain geom.Rect) *PossibleRegion {
+	return &PossibleRegion{center: center, domain: domain}
+}
+
+// Center returns the star center (the object's center ci).
+func (p *PossibleRegion) Center() geom.Point { return p.center }
+
+// Domain returns the domain rectangle D.
+func (p *PossibleRegion) Domain() geom.Rect { return p.domain }
+
+// Constraints returns the constraints added so far. The slice is shared.
+func (p *PossibleRegion) Constraints() []Constraint { return p.cons }
+
+// Add shrinks the region by a prebuilt constraint.
+func (p *PossibleRegion) Add(c Constraint) { p.cons = append(p.cons, c) }
+
+// AddObject shrinks the region by Oj's outside region (Steps 4–6 of
+// Algorithm 1). It reports whether a constraint was added (false when
+// the uncertainty regions overlap and Xi(j) is empty).
+func (p *PossibleRegion) AddObject(oi, oj uncertain.Object) bool {
+	c, ok := NewConstraint(oi, oj)
+	if ok {
+		p.cons = append(p.cons, c)
+	}
+	return ok
+}
+
+// RadiusDir returns the exact extent of the region along the unit
+// direction dir, together with the id of the active (binding)
+// constraint: an index into Constraints, or a negative domain-edge code.
+func (p *PossibleRegion) RadiusDir(dir geom.Point) (float64, int) {
+	r, active := p.domainBound(dir)
+	for i := range p.cons {
+		if t, ok := p.cons[i].Edge.RadialBound(dir); ok && t < r {
+			r, active = t, i
+		}
+	}
+	return r, active
+}
+
+// Radius is RadiusDir at polar angle phi.
+func (p *PossibleRegion) Radius(phi float64) (float64, int) {
+	return p.RadiusDir(geom.PolarUnit(phi))
+}
+
+// domainBound returns the distance to the domain boundary along dir and
+// the edge code of the boundary hit.
+func (p *PossibleRegion) domainBound(dir geom.Point) (float64, int) {
+	t := math.Inf(1)
+	active := edgeEast
+	if dir.X > 0 {
+		t, active = (p.domain.Max.X-p.center.X)/dir.X, edgeEast
+	} else if dir.X < 0 {
+		t, active = (p.domain.Min.X-p.center.X)/dir.X, edgeWest
+	}
+	if dir.Y > 0 {
+		if ty := (p.domain.Max.Y - p.center.Y) / dir.Y; ty < t {
+			t, active = ty, edgeNorth
+		}
+	} else if dir.Y < 0 {
+		if ty := (p.domain.Min.Y - p.center.Y) / dir.Y; ty < t {
+			t, active = ty, edgeSouth
+		}
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t, active
+}
+
+// Contains reports whether q belongs to the region: inside the domain
+// and outside every constraint's outside region. This is the direct
+// membership predicate; it agrees with the radial representation.
+func (p *PossibleRegion) Contains(q geom.Point) bool {
+	if !p.domain.Contains(q) {
+		return false
+	}
+	for i := range p.cons {
+		if p.cons[i].Edge.InOutside(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxRadius returns (a tight upper bound on) the maximum distance d of
+// the region from the object center, the quantity consumed by I-pruning
+// (Lemma 2). The maximum of the radial function is attained at a
+// breakpoint (DESIGN.md §3), so it is computed from the refined
+// vertices; a small safety factor keeps the bound conservative —
+// overestimating d only weakens pruning, never its correctness.
+func (p *PossibleRegion) MaxRadius(samples int) float64 {
+	vs := p.Vertices(samples)
+	d := 0.0
+	for _, v := range vs {
+		if v.R > d {
+			d = v.R
+		}
+	}
+	if len(vs) == 0 {
+		// Degenerate sweep (no breakpoints found): fall back to samples.
+		for i := 0; i < samples; i++ {
+			if r, _ := p.Radius(2 * math.Pi * float64(i) / float64(samples)); r > d {
+				d = r
+			}
+		}
+	}
+	return d * (1 + 1e-6)
+}

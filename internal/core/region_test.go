@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// randObjects builds a reproducible random dataset of n uncertain
+// objects with centers in [margin, side-margin]² and radii in (0, rmax].
+func randObjects(rng *rand.Rand, n int, side, rmax float64) []uncertain.Object {
+	margin := rmax
+	objs := make([]uncertain.Object, n)
+	for i := range objs {
+		c := geom.Pt(margin+rng.Float64()*(side-2*margin), margin+rng.Float64()*(side-2*margin))
+		objs[i] = uncertain.New(int32(i), geom.Circle{C: c, R: 0.1 + rng.Float64()*(rmax-0.1)},
+			uncertain.PaperGaussian())
+	}
+	return objs
+}
+
+// nnPossible is the ground-truth UV-cell membership predicate of
+// Definition 1: Oi can be q's nearest neighbor iff
+// distmin(Oi,q) ≤ min_{j≠i} distmax(Oj,q).
+func nnPossible(objs []uncertain.Object, i int, q geom.Point) bool {
+	dmin := objs[i].DistMin(q)
+	for j := range objs {
+		if j != i && objs[j].DistMax(q) < dmin {
+			return false
+		}
+	}
+	return true
+}
+
+// fullRegion builds Oi's possible region refined by every other object:
+// the exact UV-cell region.
+func fullRegion(objs []uncertain.Object, i int, domain geom.Rect) *PossibleRegion {
+	r := NewPossibleRegion(objs[i].Region.C, domain)
+	for j := range objs {
+		if j != i {
+			r.AddObject(objs[i], objs[j])
+		}
+	}
+	return r
+}
+
+// TestRegionMembershipEquivalence: the radial representation and the
+// direct constraint predicate agree everywhere.
+func TestRegionMembershipEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	domain := geom.Square(1000)
+	for trial := 0; trial < 10; trial++ {
+		objs := randObjects(rng, 12, 1000, 30)
+		i := rng.Intn(len(objs))
+		region := fullRegion(objs, i, domain)
+		for k := 0; k < 500; k++ {
+			q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			direct := region.Contains(q)
+			// Radial: distance from center vs Radius along that angle.
+			d := q.Dist(region.Center())
+			dir := q.Sub(region.Center()).Unit()
+			r, _ := region.RadiusDir(dir)
+			radial := d <= r+1e-9
+			if d < 1e-12 {
+				radial = true // q is the center
+			}
+			if direct != radial && math.Abs(d-r) > 1e-6 {
+				t.Fatalf("trial %d: membership disagree at %v: direct=%v radial=%v (d=%v R=%v)",
+					trial, q, direct, radial, d, r)
+			}
+		}
+	}
+}
+
+// TestRegionMatchesNNPredicate: the fully refined region is exactly the
+// UV-cell of Definition 1.
+func TestRegionMatchesNNPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	domain := geom.Square(1000)
+	for trial := 0; trial < 8; trial++ {
+		objs := randObjects(rng, 15, 1000, 40)
+		i := rng.Intn(len(objs))
+		region := fullRegion(objs, i, domain)
+		for k := 0; k < 400; k++ {
+			q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			want := nnPossible(objs, i, q)
+			got := region.Contains(q)
+			if got != want {
+				// Tolerate only exact boundary coincidences.
+				dmin := objs[i].DistMin(q)
+				slack := math.Inf(1)
+				for j := range objs {
+					if j != i {
+						slack = math.Min(slack, objs[j].DistMax(q))
+					}
+				}
+				if math.Abs(dmin-slack) > 1e-9 {
+					t.Fatalf("trial %d: cell membership wrong at %v: got %v want %v", trial, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStarShapedness: if q is in a region, so is every point on the
+// segment from the center to q (DESIGN.md §3).
+func TestStarShapedness(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	domain := geom.Square(1000)
+	for trial := 0; trial < 10; trial++ {
+		objs := randObjects(rng, 10, 1000, 35)
+		i := rng.Intn(len(objs))
+		region := fullRegion(objs, i, domain)
+		found := 0
+		for k := 0; k < 3000 && found < 60; k++ {
+			q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			if !region.Contains(q) {
+				continue
+			}
+			found++
+			for _, f := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+				m := geom.Lerp(region.Center(), q, f)
+				if !region.Contains(m) {
+					t.Fatalf("trial %d: region not star-shaped: %v in, %v (t=%v) out", trial, q, m, f)
+				}
+			}
+		}
+	}
+}
+
+// TestRadiusBoundary: the point at the radial bound lies on the region
+// boundary — inside by the direct predicate with slack, with points just
+// beyond it outside.
+func TestRadiusBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	domain := geom.Square(1000)
+	objs := randObjects(rng, 12, 1000, 30)
+	i := 0
+	region := fullRegion(objs, i, domain)
+	for k := 0; k < 300; k++ {
+		phi := rng.Float64() * 2 * math.Pi
+		r, active := region.Radius(phi)
+		if r <= 0 {
+			continue
+		}
+		in := region.Center().Add(geom.PolarUnit(phi).Scale(r * 0.9999))
+		out := region.Center().Add(geom.PolarUnit(phi).Scale(r*1.0001 + 1e-9))
+		if !region.Contains(in) {
+			t.Fatalf("phi=%v active=%d: point inside radial bound rejected", phi, active)
+		}
+		if domain.Contains(out) && region.Contains(out) {
+			t.Fatalf("phi=%v active=%d: point beyond radial bound accepted", phi, active)
+		}
+	}
+}
+
+func TestEmptyRegionIsDomain(t *testing.T) {
+	domain := geom.Square(100)
+	region := NewPossibleRegion(geom.Pt(30, 40), domain)
+	// Radius along +x must reach the east wall.
+	r, active := region.Radius(0)
+	if math.Abs(r-70) > 1e-12 || active != edgeEast {
+		t.Errorf("Radius(0) = %v, active %d", r, active)
+	}
+	r, active = region.Radius(math.Pi / 2)
+	if math.Abs(r-60) > 1e-12 || active != edgeNorth {
+		t.Errorf("Radius(π/2) = %v, active %d", r, active)
+	}
+	// Area of the whole domain.
+	if a := region.Area(512); math.Abs(a-10000) > 1 {
+		t.Errorf("domain-region area = %v", a)
+	}
+	// Vertices: the four corners.
+	vs := region.Vertices(256)
+	if len(vs) != 4 {
+		t.Fatalf("domain-region vertices = %d, want 4", len(vs))
+	}
+	for _, v := range vs {
+		onCorner := false
+		for _, c := range domain.Corners() {
+			if v.P.Dist(c) < 1e-6 {
+				onCorner = true
+			}
+		}
+		if !onCorner {
+			t.Errorf("vertex %v is not a domain corner", v.P)
+		}
+	}
+}
+
+func TestMaxRadiusIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	domain := geom.Square(1000)
+	for trial := 0; trial < 10; trial++ {
+		objs := randObjects(rng, 10, 1000, 30)
+		i := rng.Intn(len(objs))
+		region := fullRegion(objs, i, domain)
+		d := region.MaxRadius(512)
+		for k := 0; k < 2000; k++ {
+			phi := rng.Float64() * 2 * math.Pi
+			if r, _ := region.Radius(phi); r > d {
+				t.Fatalf("trial %d: MaxRadius %v < Radius(%v) = %v", trial, d, phi, r)
+			}
+		}
+	}
+}
+
+// TestSingleObjectCellIsDomain: with one object, its UV-cell is D.
+func TestSingleObjectCellIsDomain(t *testing.T) {
+	domain := geom.Square(500)
+	o := uncertain.New(0, geom.Circle{C: geom.Pt(200, 300), R: 10}, nil)
+	region := NewPossibleRegion(o.Region.C, domain)
+	cell := region.Cell(0, 256)
+	if len(cell.RObjects) != 0 {
+		t.Errorf("r-objects of a singleton = %v", cell.RObjects)
+	}
+	if math.Abs(cell.Area()-domain.Area()) > domain.Area()*1e-3 {
+		t.Errorf("cell area = %v, want %v", cell.Area(), domain.Area())
+	}
+}
+
+// TestOverlappingObjectsNoConstraint: overlapping uncertainty regions
+// produce no UV-edge (Xi(j) has zero area).
+func TestOverlappingObjectsNoConstraint(t *testing.T) {
+	oi := uncertain.New(0, geom.Circle{C: geom.Pt(100, 100), R: 30}, nil)
+	oj := uncertain.New(1, geom.Circle{C: geom.Pt(140, 100), R: 30}, nil)
+	region := NewPossibleRegion(oi.Region.C, geom.Square(1000))
+	if region.AddObject(oi, oj) {
+		t.Error("overlapping objects must not add a constraint")
+	}
+	if _, ok := NewConstraint(oi, oj); ok {
+		t.Error("NewConstraint must fail for overlapping objects")
+	}
+}

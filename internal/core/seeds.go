@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/rtree"
+	"uvdiagram/internal/uncertain"
+)
+
+// Seed-selection defaults from Section IV-B / VI: a 300-NN query feeds
+// 8 sectors of 45° each.
+const (
+	DefaultSeedK       = 300
+	DefaultSeedSectors = 8
+)
+
+// SelectSeeds implements initPossibleRegion's seed choice (Section
+// IV-B): a k-NN query on the R-tree around Oi's center retrieves the k
+// objects with the smallest minimum distance; the domain is divided
+// into ks sectors centered at ci and the closest object of each sector
+// becomes a seed. Fewer than ks seeds may be returned when sectors are
+// empty — the initial region is then merely larger (the paper notes
+// this does not affect the later steps).
+//
+// Objects whose uncertainty region overlaps Oi's are skipped: they
+// contribute no UV-edge (Section III-C), so taking one as a sector's
+// seed would leave that sector unbounded and ruin the pruning bound of
+// Lemma 2. At the paper's densest settings (40k objects of diameter 40
+// in a 10k×10k domain) most objects overlap one or two neighbors, so
+// this filter is what keeps the pruning ratio at the reported ~90%.
+func SelectSeeds(tree *rtree.Tree, oi uncertain.Object, k, ks int) []int32 {
+	if k <= 0 {
+		k = DefaultSeedK
+	}
+	if ks <= 0 {
+		ks = DefaultSeedSectors
+	}
+	// k+1 because the query point is Oi's own center and Oi itself is
+	// excluded below.
+	nbrs := tree.KNN(oi.Region.C, k+1)
+	seeds := make([]int32, 0, ks)
+	taken := make([]bool, ks)
+	found := 0
+	for _, nb := range nbrs {
+		if nb.Item.ID == oi.ID || oi.Region.Overlaps(nb.Item.MBC) {
+			continue
+		}
+		dir := nb.Item.MBC.C.Sub(oi.Region.C)
+		sector := int(geom.NormalizeAngle(dir.Angle()) / (2 * math.Pi) * float64(ks))
+		if sector >= ks {
+			sector = ks - 1
+		}
+		if !taken[sector] {
+			taken[sector] = true
+			seeds = append(seeds, nb.Item.ID)
+			found++
+			if found == ks {
+				break
+			}
+		}
+	}
+	return seeds
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"uvdiagram/internal/pager"
+)
+
+// Incremental updates — the extension the paper lists as future work
+// ("it would be interesting to study how the UV-diagram can be extended
+// to support ... incremental updates").
+//
+// Insertion is sound without touching existing entries because of a
+// monotonicity property of the UV-diagram: adding an object can only
+// SHRINK every other object's UV-cell (each new outside region removes
+// points, never adds them). Leaf lists are defined as supersets of the
+// cells overlapping the leaf, so existing lists remain valid supersets
+// after any insertion; the query-time dminmax filter removes the now-
+// impossible candidates exactly. The price is accumulated slack: after
+// many inserts the lists carry more false positives than a fresh build
+// would, so long-running deployments should rebuild periodically.
+
+// InsertLive adds object id (already appended to the store) to a
+// finished index, represented by its cr-object ids. Affected leaf pages
+// are rewritten in place where possible.
+func (ix *UVIndex) InsertLive(id int32, crIDs []int32) error {
+	if !ix.finished {
+		return fmt.Errorf("core: InsertLive before Finish (use Insert during construction)")
+	}
+	if int(id) != len(ix.crOf) {
+		return fmt.Errorf("core: InsertLive id %d out of order, want %d", id, len(ix.crOf))
+	}
+	if int(id) >= ix.store.Len() {
+		return fmt.Errorf("core: object %d not in the store", id)
+	}
+	ix.crOf = append(ix.crOf, crIDs)
+	ix.insertObj(id, ix.store.At(int(id)), crIDs, ix.root, ix.domain, 0)
+	ix.flushDirty(ix.root)
+	return nil
+}
+
+// flushDirty rewrites the page lists of leaves modified since the last
+// flush, reusing already-allocated pages where they suffice.
+func (ix *UVIndex) flushDirty(n *qnode) {
+	if !n.isLeaf() {
+		for _, c := range n.children {
+			ix.flushDirty(c)
+		}
+		return
+	}
+	if !n.dirty {
+		return
+	}
+	n.dirty = false
+	tuples := make([]pager.LeafTuple, len(n.ids))
+	for i, id := range n.ids {
+		o := ix.store.At(int(id))
+		tuples[i] = pager.LeafTuple{
+			ID: id,
+			CX: o.Region.C.X, CY: o.Region.C.Y, R: o.Region.R,
+			Pointer: uint64(ix.store.PageOf(id)),
+		}
+	}
+	var pages []pager.PageID
+	slot := 0
+	for off := 0; ; off += ix.capPerPage {
+		end := off + ix.capPerPage
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		var chunk []pager.LeafTuple
+		if off < len(tuples) {
+			chunk = tuples[off:end]
+		}
+		payload := pager.EncodeLeafTuples(chunk)
+		if slot < len(n.pages) {
+			ix.pg.Write(n.pages[slot], payload)
+			pages = append(pages, n.pages[slot])
+		} else {
+			pages = append(pages, ix.pg.Alloc(payload))
+		}
+		slot++
+		if end >= len(tuples) {
+			break
+		}
+	}
+	n.pages = pages
+}

@@ -1,0 +1,166 @@
+package core3
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"uvdiagram/internal/geom3"
+	"uvdiagram/internal/uncertain3"
+)
+
+// seedCount is the number of nearest neighbors used to bound an
+// object's possible region before I-pruning (the 3D analogue of the
+// paper's ks = 8 sector seeds; more seeds compensate for the extra
+// dimension).
+const seedCount = 24
+
+// nearestSeeds returns up to m object ids nearest to oi's center,
+// found by expanding-ball search on the hash grid.
+func nearestSeeds(grid *HashGrid3, oi uncertain3.Object3, objs []uncertain3.Object3, domain geom3.Box, m int) []int32 {
+	if grid == nil {
+		return nil
+	}
+	radius := math.Cbrt(domain.Volume()*float64(m)/float64(len(objs)+1)) + oi.Region.R
+	maxRadius := domain.MaxDist(oi.Region.C)
+	var ids []int32
+	for {
+		ids = ids[:0]
+		for _, id := range grid.CenterRange(geom3.Sphere{C: oi.Region.C, R: radius}) {
+			if id != oi.ID {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) >= m || radius >= maxRadius {
+			break
+		}
+		radius *= 2
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return objs[ids[a]].Region.C.DistSq(oi.Region.C) < objs[ids[b]].Region.C.DistSq(oi.Region.C)
+	})
+	if len(ids) > m {
+		ids = ids[:m]
+	}
+	return ids
+}
+
+// DeriveCR3 derives the cr-objects of Oi's 3D UV-cell: a seed phase
+// bounds the possible region with the nearest neighbors, then the
+// I-pruning filter iterates to a fixpoint. Lemma 2's proof is
+// dimension-free: if cj lies outside Ball(ci, 2d − ri), where d bounds
+// the possible region's maximum distance from ci, then Oj's outside
+// region cannot intersect the region — and since a region built from
+// fewer constraints is a superset, the seed region's radius is a valid
+// d for the first round.
+func DeriveCR3(grid *HashGrid3, oi uncertain3.Object3, objs []uncertain3.Object3, domain geom3.Box, dirs []geom3.Point3) ([]int32, *PossibleRegion3) {
+	pr := NewPossibleRegion3(oi.Region.C, domain)
+	for _, id := range nearestSeeds(grid, oi, objs, domain, seedCount) {
+		pr.AddObject(oi, objs[id])
+	}
+	d := pr.MaxRadius(dirs)
+	if dd := domain.MaxDist(oi.Region.C); dd < d {
+		d = dd // region ⊆ domain: the corner distance is always valid
+	}
+	var ids []int32
+	for iter := 0; iter < 6; iter++ {
+		radius := 2*d - oi.Region.R
+		if radius <= 0 {
+			radius = d
+		}
+		var cands []int32
+		if grid != nil {
+			for _, id := range grid.CenterRange(geom3.Sphere{C: oi.Region.C, R: radius}) {
+				if id != oi.ID {
+					cands = append(cands, id)
+				}
+			}
+		} else {
+			for j := range objs {
+				if objs[j].ID != oi.ID && objs[j].Region.C.Dist(oi.Region.C) <= radius {
+					cands = append(cands, objs[j].ID)
+				}
+			}
+		}
+		pr = NewPossibleRegion3(oi.Region.C, domain)
+		for _, j := range cands {
+			pr.AddObject(oi, objs[j])
+		}
+		ids = cands
+		d2 := pr.MaxRadius(dirs)
+		if d2 >= d*(1-1e-9) {
+			break
+		}
+		d = d2
+	}
+	return ids, pr
+}
+
+// BuildStats3 records 3D construction cost.
+type BuildStats3 struct {
+	N        int
+	PruneDur time.Duration
+	IndexDur time.Duration
+	TotalDur time.Duration
+	SumCR    int64
+	Index    IndexStats3
+}
+
+// AvgCR returns the mean cr-object count per object.
+func (s BuildStats3) AvgCR() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.SumCR) / float64(s.N)
+}
+
+// PruneRatio returns the average fraction of the dataset pruned away
+// before indexing.
+func (s BuildStats3) PruneRatio() float64 {
+	if s.N <= 1 {
+		return 0
+	}
+	return 1 - s.AvgCR()/float64(s.N-1)
+}
+
+// Build3 constructs the 3D UV-index over the objects: derive each
+// object's cr-set through the hash-grid substrate, insert into the
+// octree, seal. Objects must carry dense IDs 0..n−1.
+func Build3(objs []uncertain3.Object3, domain geom3.Box, opts Options3) (*OctIndex, BuildStats3, error) {
+	if len(objs) == 0 {
+		return nil, BuildStats3{}, fmt.Errorf("core3: no objects to index")
+	}
+	for i := range objs {
+		if int(objs[i].ID) != i {
+			return nil, BuildStats3{}, fmt.Errorf("core3: object %d has ID %d, want dense IDs", i, objs[i].ID)
+		}
+		if !domain.Contains(objs[i].Region.C) {
+			return nil, BuildStats3{}, fmt.Errorf("core3: object %d center %v outside domain %v", i, objs[i].Region.C, domain)
+		}
+	}
+	opts.normalize()
+	stats := BuildStats3{N: len(objs)}
+	t0 := time.Now()
+
+	grid := NewHashGrid3(objs, domain, 0)
+	dirs := geom3.FibonacciSphere(opts.Dirs)
+	ix := NewOctIndex(objs, domain, opts)
+
+	for i := range objs {
+		p0 := time.Now()
+		ids, _ := DeriveCR3(grid, objs[i], objs, domain, dirs)
+		stats.PruneDur += time.Since(p0)
+		stats.SumCR += int64(len(ids))
+
+		i0 := time.Now()
+		ix.Insert(int32(i), ids)
+		stats.IndexDur += time.Since(i0)
+	}
+	i1 := time.Now()
+	ix.Finish()
+	stats.IndexDur += time.Since(i1)
+	stats.TotalDur = time.Since(t0)
+	stats.Index = ix.Stats()
+	return ix, stats, nil
+}

@@ -1,0 +1,257 @@
+package core3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"uvdiagram/internal/geom3"
+	"uvdiagram/internal/prob3"
+	"uvdiagram/internal/uncertain3"
+)
+
+func randObjs3(n int, side, maxR float64, seed int64) []uncertain3.Object3 {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]uncertain3.Object3, n)
+	for i := range objs {
+		r := 1 + rng.Float64()*maxR
+		c := geom3.P3(
+			r+rng.Float64()*(side-2*r),
+			r+rng.Float64()*(side-2*r),
+			r+rng.Float64()*(side-2*r),
+		)
+		objs[i] = uncertain3.New3(int32(i), geom3.Sphere{C: c, R: r}, uncertain3.PaperGaussian3())
+	}
+	return objs
+}
+
+func TestHashGridCenterRangeMatchesScan(t *testing.T) {
+	objs := randObjs3(200, 100, 3, 1)
+	domain := geom3.Cube(100)
+	grid := NewHashGrid3(objs, domain, 0)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		ball := geom3.Sphere{
+			C: geom3.P3(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100),
+			R: rng.Float64() * 40,
+		}
+		got := grid.CenterRange(ball)
+		var want []int32
+		for i := range objs {
+			if ball.Contains(objs[i].Region.C) {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: grid %v vs scan %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: grid %v vs scan %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestRegion3RadialAgreesWithContains(t *testing.T) {
+	objs := randObjs3(30, 100, 4, 3)
+	domain := geom3.Cube(100)
+	pr := NewPossibleRegion3(objs[0].Region.C, domain)
+	for j := 1; j < len(objs); j++ {
+		pr.AddObject(objs[0], objs[j])
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		u := geom3.P3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Unit()
+		r := pr.RadiusDir(u)
+		if r <= 0.5 {
+			continue
+		}
+		inside := pr.Center().Add(u.Scale(r * 0.99))
+		if domain.Contains(inside) && !pr.Contains(inside) {
+			t.Fatalf("point at 0.99·R not contained (dir %v, R %v)", u, r)
+		}
+		outside := pr.Center().Add(u.Scale(r * 1.01))
+		if domain.Contains(outside) && pr.Contains(outside) {
+			t.Fatalf("point at 1.01·R contained (dir %v, R %v)", u, r)
+		}
+	}
+}
+
+func TestRegion3StarShaped(t *testing.T) {
+	// If x is in the region, every point on the segment [center, x]
+	// must be too (the property the radial representation relies on).
+	objs := randObjs3(25, 80, 4, 5)
+	domain := geom3.Cube(80)
+	pr := NewPossibleRegion3(objs[3].Region.C, domain)
+	for j := range objs {
+		if j != 3 {
+			pr.AddObject(objs[3], objs[j])
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	checked := 0
+	for trial := 0; trial < 3000 && checked < 300; trial++ {
+		x := geom3.P3(rng.Float64()*80, rng.Float64()*80, rng.Float64()*80)
+		if !pr.Contains(x) {
+			continue
+		}
+		checked++
+		for _, f := range []float64{0.2, 0.5, 0.8} {
+			m := geom3.Lerp3(pr.Center(), x, f)
+			if !pr.Contains(m) {
+				t.Fatalf("segment point %v outside region (endpoint %v)", m, x)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no interior points found")
+	}
+}
+
+func TestDeriveCR3PreservesMembership(t *testing.T) {
+	objs := randObjs3(120, 100, 3, 7)
+	domain := geom3.Cube(100)
+	grid := NewHashGrid3(objs, domain, 0)
+	dirs := geom3.FibonacciSphere(512)
+	rng := rand.New(rand.NewSource(8))
+	for _, i := range []int{0, 17, 63, 99} {
+		_, derived := DeriveCR3(grid, objs[i], objs, domain, dirs)
+		full := NewPossibleRegion3(objs[i].Region.C, domain)
+		for j := range objs {
+			if j != i {
+				full.AddObject(objs[i], objs[j])
+			}
+		}
+		d := derived.MaxRadius(dirs)
+		for trial := 0; trial < 300; trial++ {
+			u := geom3.P3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Unit()
+			p := objs[i].Region.C.Add(u.Scale(rng.Float64() * d * 1.2))
+			if !domain.Contains(p) {
+				continue
+			}
+			if got, want := derived.Contains(p), full.Contains(p); got != want {
+				t.Fatalf("obj %d p=%v: derived=%v full=%v", i, p, got, want)
+			}
+		}
+	}
+}
+
+func TestBuild3PNNMatchesBruteForce(t *testing.T) {
+	objs := randObjs3(150, 100, 3, 9)
+	domain := geom3.Cube(100)
+	opts := DefaultOptions3()
+	opts.PageSize = 512 // force splits at this scale
+	ix, stats, err := Build3(objs, domain, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Index.Leaves < 8 {
+		t.Fatalf("octree never split: %+v", stats.Index)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 60; trial++ {
+		q := geom3.P3(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		answers, _, err := ix.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := prob3.AnswerSet3(objs, q)
+		if len(answers) != len(want) {
+			t.Fatalf("trial %d q=%v: index %d answers vs brute %d", trial, q, len(answers), len(want))
+		}
+		for i := range answers {
+			if answers[i].ID != int32(want[i]) {
+				t.Fatalf("trial %d: answer IDs differ: %v vs %v", trial, answers, want)
+			}
+			if answers[i].Prob <= 0 || answers[i].Prob > 1 {
+				t.Fatalf("trial %d: probability %v out of range", trial, answers[i].Prob)
+			}
+		}
+	}
+}
+
+func TestBuild3PointDegeneratesToVoronoi(t *testing.T) {
+	// Radius-0 objects: the 3D UV-diagram is the ordinary 3D Voronoi
+	// diagram; every query has exactly one answer, its nearest point.
+	rng := rand.New(rand.NewSource(11))
+	objs := make([]uncertain3.Object3, 60)
+	for i := range objs {
+		objs[i] = uncertain3.New3(int32(i), geom3.Sphere{
+			C: geom3.P3(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100),
+		}, nil)
+	}
+	ix, _, err := Build3(objs, geom3.Cube(100), DefaultOptions3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := geom3.P3(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		answers, _, err := ix.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, arg := math.Inf(1), -1
+		for i := range objs {
+			if d := objs[i].Region.C.Dist(q); d < best {
+				best, arg = d, i
+			}
+		}
+		if len(answers) != 1 || answers[0].ID != int32(arg) {
+			t.Fatalf("trial %d: answers %v, want exactly object %d", trial, answers, arg)
+		}
+		if math.Abs(answers[0].Prob-1) > 1e-9 {
+			t.Fatalf("trial %d: Voronoi probability %v", trial, answers[0].Prob)
+		}
+	}
+}
+
+func TestBuild3Validation(t *testing.T) {
+	if _, _, err := Build3(nil, geom3.Cube(10), DefaultOptions3()); err == nil {
+		t.Fatal("empty build accepted")
+	}
+	objs := randObjs3(3, 10, 1, 12)
+	objs[1].ID = 7
+	if _, _, err := Build3(objs, geom3.Cube(10), DefaultOptions3()); err == nil {
+		t.Fatal("non-dense IDs accepted")
+	}
+	objs = randObjs3(3, 10, 1, 13)
+	objs[2].Region.C = geom3.P3(100, 100, 100)
+	if _, _, err := Build3(objs, geom3.Cube(10), DefaultOptions3()); err == nil {
+		t.Fatal("out-of-domain center accepted")
+	}
+}
+
+func TestBuild3PruningEffective(t *testing.T) {
+	objs := randObjs3(400, 200, 2, 14)
+	_, stats, err := Build3(objs, geom3.Cube(200), DefaultOptions3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PruneRatio() < 0.5 {
+		t.Fatalf("3D pruning ratio %.2f, expected > 0.5 at this density", stats.PruneRatio())
+	}
+	t.Logf("3D pruning ratio %.1f%%, avg |CR| %.1f", 100*stats.PruneRatio(), stats.AvgCR())
+}
+
+func TestOctIndexQueryOutsideDomain(t *testing.T) {
+	objs := randObjs3(10, 50, 2, 15)
+	ix, _, err := Build3(objs, geom3.Cube(50), DefaultOptions3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.PNN(geom3.P3(-1, 0, 0)); err == nil {
+		t.Fatal("query outside domain accepted")
+	}
+}
+
+func TestRegion3VolumeSanity(t *testing.T) {
+	// A lone object's possible region is the whole domain.
+	objs := randObjs3(1, 100, 3, 16)
+	pr := NewPossibleRegion3(objs[0].Region.C, geom3.Cube(100))
+	dirs := geom3.FibonacciSphere(4096)
+	v := pr.Volume(dirs)
+	if math.Abs(v-1e6) > 0.05e6 {
+		t.Fatalf("lone-object region volume %v, want ≈ 1e6", v)
+	}
+}

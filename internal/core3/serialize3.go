@@ -1,0 +1,222 @@
+package core3
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"uvdiagram/internal/geom3"
+	"uvdiagram/internal/uncertain3"
+)
+
+// Octree persistence mirrors the 2D index serializer: header, per-object
+// cr-id lists, then a preorder walk with a leaf/non-leaf tag per node
+// (non-leaf nodes have exactly eight children). Leaf pages are
+// re-materialized on load.
+
+const (
+	octMagic   = 0x55564f43 // "UVOC"
+	octVersion = 1
+)
+
+type writer3 struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (cw *writer3) u32(v uint32) {
+	if cw.err != nil {
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, cw.err = cw.w.Write(buf[:])
+}
+
+func (cw *writer3) f64(v float64) {
+	if cw.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, cw.err = cw.w.Write(buf[:])
+}
+
+func (cw *writer3) ids(ids []int32) {
+	cw.u32(uint32(len(ids)))
+	for _, id := range ids {
+		cw.u32(uint32(id))
+	}
+}
+
+// Save serializes the finished octree structure to w.
+func (ix *OctIndex) Save(w io.Writer) error {
+	if !ix.finished {
+		return fmt.Errorf("core3: Save before Finish")
+	}
+	bw := bufio.NewWriter(w)
+	cw := &writer3{w: bw}
+	cw.u32(octMagic)
+	cw.u32(octVersion)
+	for _, v := range []float64{
+		ix.domain.Min.X, ix.domain.Min.Y, ix.domain.Min.Z,
+		ix.domain.Max.X, ix.domain.Max.Y, ix.domain.Max.Z,
+	} {
+		cw.f64(v)
+	}
+	cw.u32(uint32(ix.opts.M))
+	cw.f64(ix.opts.SplitTheta)
+	cw.u32(uint32(ix.opts.PageSize))
+	cw.u32(uint32(ix.opts.MaxDepth))
+	cw.u32(uint32(ix.opts.Dirs))
+	cw.u32(uint32(len(ix.crOf)))
+	for _, cr := range ix.crOf {
+		cw.ids(cr)
+	}
+	var walk func(n *onode)
+	walk = func(n *onode) {
+		if cw.err != nil {
+			return
+		}
+		if n.isLeaf() {
+			cw.u32(0)
+			cw.ids(n.ids)
+			return
+		}
+		cw.u32(1)
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(ix.root)
+	if cw.err != nil {
+		return fmt.Errorf("core3: saving octree: %w", cw.err)
+	}
+	return bw.Flush()
+}
+
+type reader3 struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (rd *reader3) u32() uint32 {
+	if rd.err != nil {
+		return 0
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(rd.r, buf[:]); err != nil {
+		rd.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (rd *reader3) f64() float64 {
+	if rd.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(rd.r, buf[:]); err != nil {
+		rd.err = err
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+func (rd *reader3) ids(max int) []int32 {
+	n := int(rd.u32())
+	if rd.err != nil {
+		return nil
+	}
+	if n < 0 || n > max {
+		rd.err = fmt.Errorf("id list of %d exceeds bound %d", n, max)
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		v := rd.u32()
+		if int(v) >= max {
+			rd.err = fmt.Errorf("id %d out of range", v)
+			return nil
+		}
+		out[i] = int32(v)
+	}
+	return out
+}
+
+// LoadOctIndex re-opens an octree written by Save against the same
+// object slice; leaf pages are re-materialized.
+func LoadOctIndex(r io.Reader, objs []uncertain3.Object3) (*OctIndex, error) {
+	rd := &reader3{r: bufio.NewReader(r)}
+	if rd.u32() != octMagic {
+		return nil, fmt.Errorf("core3: not an octree stream")
+	}
+	if v := rd.u32(); v != octVersion {
+		return nil, fmt.Errorf("core3: unsupported octree version %d", v)
+	}
+	domain := geom3.Box{
+		Min: geom3.P3(rd.f64(), rd.f64(), rd.f64()),
+		Max: geom3.P3(rd.f64(), rd.f64(), rd.f64()),
+	}
+	opts := Options3{
+		M:          int(rd.u32()),
+		SplitTheta: rd.f64(),
+		PageSize:   int(rd.u32()),
+		MaxDepth:   int(rd.u32()),
+		Dirs:       int(rd.u32()),
+	}
+	n := int(rd.u32())
+	if rd.err != nil {
+		return nil, fmt.Errorf("core3: loading octree header: %w", rd.err)
+	}
+	if n != len(objs) {
+		return nil, fmt.Errorf("core3: octree stores %d objects, have %d", n, len(objs))
+	}
+	ix := NewOctIndex(objs, domain, opts)
+	for i := 0; i < n; i++ {
+		ix.crOf[i] = rd.ids(n)
+	}
+	var nodes int
+	var walk func() *onode
+	walk = func() *onode {
+		if rd.err != nil {
+			return nil
+		}
+		nodes++
+		if nodes > 1<<24 {
+			rd.err = fmt.Errorf("node count exceeds sanity bound")
+			return nil
+		}
+		switch rd.u32() {
+		case 0:
+			leaf := &onode{ids: rd.ids(n), pagesAlloc: 1}
+			if need := (len(leaf.ids) + ix.capPerPage - 1) / ix.capPerPage; need > 1 {
+				leaf.pagesAlloc = need
+			}
+			return leaf
+		case 1:
+			nd := &onode{}
+			var kids [8]*onode
+			for k := 0; k < 8; k++ {
+				kids[k] = walk()
+			}
+			nd.children = &kids
+			ix.nonleaf++
+			return nd
+		default:
+			if rd.err == nil {
+				rd.err = fmt.Errorf("bad node tag")
+			}
+			return nil
+		}
+	}
+	ix.root = walk()
+	if rd.err != nil {
+		return nil, fmt.Errorf("core3: loading octree: %w", rd.err)
+	}
+	ix.Finish()
+	return ix, nil
+}

@@ -1,0 +1,80 @@
+package core3
+
+import (
+	"math"
+	"sort"
+
+	"uvdiagram/internal/geom3"
+	"uvdiagram/internal/uncertain3"
+)
+
+// HashGrid3 is the light spatial substrate of the 3D build: a uniform
+// hash grid over object centers supporting the circular (spherical)
+// center-range queries of I-pruning. It plays the role the R-tree plays
+// in 2D; a 3D R-tree would work identically, but the uniform grid is
+// the simplest structure that makes candidate collection sub-quadratic.
+type HashGrid3 struct {
+	origin geom3.Point3
+	cell   float64
+	cells  map[[3]int32][]int32
+	objs   []uncertain3.Object3
+}
+
+// NewHashGrid3 indexes the object centers with the given cell size
+// (≤ 0 picks a size targeting a few objects per cell).
+func NewHashGrid3(objs []uncertain3.Object3, domain geom3.Box, cell float64) *HashGrid3 {
+	if cell <= 0 {
+		n := len(objs)
+		if n < 1 {
+			n = 1
+		}
+		// ~2 objects per occupied cell for uniform data.
+		cell = math.Cbrt(domain.Volume() * 2 / float64(n))
+		if cell <= 0 {
+			cell = 1
+		}
+	}
+	g := &HashGrid3{
+		origin: domain.Min,
+		cell:   cell,
+		cells:  make(map[[3]int32][]int32),
+		objs:   objs,
+	}
+	for i := range objs {
+		k := g.key(objs[i].Region.C)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g
+}
+
+func (g *HashGrid3) key(p geom3.Point3) [3]int32 {
+	return [3]int32{
+		int32(math.Floor((p.X - g.origin.X) / g.cell)),
+		int32(math.Floor((p.Y - g.origin.Y) / g.cell)),
+		int32(math.Floor((p.Z - g.origin.Z) / g.cell)),
+	}
+}
+
+// CenterRange returns the IDs of the objects whose centers lie within
+// the ball, sorted ascending.
+func (g *HashGrid3) CenterRange(ball geom3.Sphere) []int32 {
+	lo := g.key(ball.C.Sub(geom3.P3(ball.R, ball.R, ball.R)))
+	hi := g.key(ball.C.Add(geom3.P3(ball.R, ball.R, ball.R)))
+	var out []int32
+	for x := lo[0]; x <= hi[0]; x++ {
+		for y := lo[1]; y <= hi[1]; y++ {
+			for z := lo[2]; z <= hi[2]; z++ {
+				for _, id := range g.cells[[3]int32{x, y, z}] {
+					if ball.Contains(g.objs[id].Region.C) {
+						out = append(out, id)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Len returns the number of indexed objects.
+func (g *HashGrid3) Len() int { return len(g.objs) }

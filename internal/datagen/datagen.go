@@ -1,0 +1,201 @@
+// Package datagen generates the evaluation workloads of Section VI-A:
+// uniform synthetic objects in a 10k×10k domain (Theodoridis-style),
+// skewed datasets with Gaussian-distributed centers (the σ sweep of
+// Figure 7(g)), and synthetic stand-ins for the three real German
+// geographic datasets (utility, roads, rrlines) from rtreeportal.org,
+// which are not redistributable offline. The stand-ins preserve the
+// properties the experiments depend on: dataset sizes and the
+// clustered/linear spatial skew (see DESIGN.md §3, substitutions).
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// Paper-default workload parameters (Section VI-A).
+const (
+	DefaultSide     = 10000.0 // 10k×10k domain
+	DefaultDiameter = 40.0    // uncertainty region diameter
+)
+
+// Config parameterizes a synthetic dataset.
+type Config struct {
+	N        int
+	Side     float64 // square domain side
+	Diameter float64 // uncertainty-region diameter
+	Seed     int64
+	PDF      func() *uncertain.HistogramPDF // nil = paper's Gaussian
+}
+
+func (c *Config) normalize() {
+	if c.Side <= 0 {
+		c.Side = DefaultSide
+	}
+	if c.Diameter <= 0 {
+		c.Diameter = DefaultDiameter
+	}
+	if c.PDF == nil {
+		c.PDF = uncertain.PaperGaussian
+	}
+}
+
+// Domain returns the square domain of the configuration.
+func (c Config) Domain() geom.Rect {
+	cc := c
+	cc.normalize()
+	return geom.Square(cc.Side)
+}
+
+// Uniform generates objects with centers uniformly distributed in the
+// domain (the paper's default synthetic workload).
+func Uniform(cfg Config) []uncertain.Object {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := cfg.Diameter / 2
+	objs := make([]uncertain.Object, cfg.N)
+	for i := range objs {
+		c := geom.Pt(r+rng.Float64()*(cfg.Side-2*r), r+rng.Float64()*(cfg.Side-2*r))
+		objs[i] = uncertain.New(int32(i), geom.Circle{C: c, R: r}, cfg.PDF())
+	}
+	return objs
+}
+
+// Skewed generates objects whose centers follow an isotropic Gaussian
+// around the domain center with standard deviation sigma, clamped to
+// the domain — the skewness workload of Figure 7(g): smaller sigma
+// means denser overlap and harder pruning.
+func Skewed(cfg Config, sigma float64) []uncertain.Object {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := cfg.Diameter / 2
+	mid := cfg.Side / 2
+	objs := make([]uncertain.Object, cfg.N)
+	for i := range objs {
+		x := clampF(mid+rng.NormFloat64()*sigma, r, cfg.Side-r)
+		y := clampF(mid+rng.NormFloat64()*sigma, r, cfg.Side-r)
+		objs[i] = uncertain.New(int32(i), geom.Circle{C: geom.Pt(x, y), R: r}, cfg.PDF())
+	}
+	return objs
+}
+
+// RealKind names one of the simulated German geographic datasets.
+type RealKind string
+
+const (
+	Utility RealKind = "utility" // 17k clustered utility points
+	Roads   RealKind = "roads"   // 30k points along road-like polylines
+	RRLines RealKind = "rrlines" // 36k points along longer, straighter rail lines
+)
+
+// RealSize returns the paper's size for each real dataset.
+func RealSize(kind RealKind) int {
+	switch kind {
+	case Utility:
+		return 17000
+	case Roads:
+		return 30000
+	case RRLines:
+		return 36000
+	}
+	return 0
+}
+
+// Real generates the synthetic stand-in for one of the paper's three
+// real datasets at the paper's size (scaled by frac in (0,1] for
+// smaller experiments).
+func Real(kind RealKind, frac float64, seed int64) ([]uncertain.Object, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("datagen: frac must be in (0,1], got %v", frac)
+	}
+	n := int(float64(RealSize(kind)) * frac)
+	if n == 0 {
+		return nil, fmt.Errorf("datagen: unknown real dataset %q", kind)
+	}
+	cfg := Config{N: n, Seed: seed}
+	cfg.normalize()
+	switch kind {
+	case Utility:
+		return clusteredPoints(cfg, 120, cfg.Side/40), nil
+	case Roads:
+		return polylinePoints(cfg, 220, 60, cfg.Side/25, 0.9), nil
+	case RRLines:
+		return polylinePoints(cfg, 70, 160, cfg.Side/12, 0.25), nil
+	}
+	return nil, fmt.Errorf("datagen: unknown real dataset %q", kind)
+}
+
+// clusteredPoints places n objects in Gaussian clusters (utility
+// stations cluster around towns).
+func clusteredPoints(cfg Config, clusters int, spread float64) []uncertain.Object {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := cfg.Diameter / 2
+	centers := make([]geom.Point, clusters)
+	for i := range centers {
+		centers[i] = geom.Pt(rng.Float64()*cfg.Side, rng.Float64()*cfg.Side)
+	}
+	objs := make([]uncertain.Object, cfg.N)
+	for i := range objs {
+		c := centers[rng.Intn(clusters)]
+		x := clampF(c.X+rng.NormFloat64()*spread, r, cfg.Side-r)
+		y := clampF(c.Y+rng.NormFloat64()*spread, r, cfg.Side-r)
+		objs[i] = uncertain.New(int32(i), geom.Circle{C: geom.Pt(x, y), R: r}, cfg.PDF())
+	}
+	return objs
+}
+
+// polylinePoints jitters n objects along random-walk polylines (roads /
+// rail lines digitized as point sequences). turn controls curviness:
+// high for winding roads, low for straight rail lines.
+func polylinePoints(cfg Config, lines, stepsPerLine int, stepLen, turn float64) []uncertain.Object {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := cfg.Diameter / 2
+	var pts []geom.Point
+	for l := 0; l < lines; l++ {
+		p := geom.Pt(rng.Float64()*cfg.Side, rng.Float64()*cfg.Side)
+		dir := rng.Float64() * 2 * math.Pi
+		for s := 0; s < stepsPerLine; s++ {
+			pts = append(pts, p)
+			dir += (rng.Float64() - 0.5) * turn
+			p = geom.Pt(
+				clampF(p.X+math.Cos(dir)*stepLen, r, cfg.Side-r),
+				clampF(p.Y+math.Sin(dir)*stepLen, r, cfg.Side-r))
+		}
+	}
+	objs := make([]uncertain.Object, cfg.N)
+	for i := range objs {
+		base := pts[rng.Intn(len(pts))]
+		x := clampF(base.X+rng.NormFloat64()*stepLen/4, r, cfg.Side-r)
+		y := clampF(base.Y+rng.NormFloat64()*stepLen/4, r, cfg.Side-r)
+		objs[i] = uncertain.New(int32(i), geom.Circle{C: geom.Pt(x, y), R: r}, cfg.PDF())
+	}
+	return objs
+}
+
+// Queries returns n query points uniformly distributed in the domain
+// (the paper evaluates 50 uniform PNN queries).
+func Queries(n int, side float64, seed int64) []geom.Point {
+	if side <= 0 {
+		side = DefaultSide
+	}
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]geom.Point, n)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	return qs
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,187 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+func TestUniformBasics(t *testing.T) {
+	cfg := Config{N: 500, Side: 1000, Diameter: 20, Seed: 1}
+	objs := Uniform(cfg)
+	if len(objs) != 500 {
+		t.Fatalf("n = %d", len(objs))
+	}
+	domain := cfg.Domain()
+	for i, o := range objs {
+		if int(o.ID) != i {
+			t.Fatal("IDs must be dense")
+		}
+		if o.Region.R != 10 {
+			t.Fatalf("radius = %v", o.Region.R)
+		}
+		if !domain.ContainsRect(o.Region.BoundingRect()) {
+			t.Fatalf("object %d region %v leaves the domain", i, o.Region)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(Config{N: 50, Seed: 7})
+	b := Uniform(Config{N: 50, Seed: 7})
+	for i := range a {
+		if a[i].Region != b[i].Region {
+			t.Fatal("same seed must give same data")
+		}
+	}
+	c := Uniform(Config{N: 50, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i].Region != c[i].Region {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+// TestSkewedConcentration: smaller sigma packs centers closer to the
+// domain center.
+func TestSkewedConcentration(t *testing.T) {
+	cfg := Config{N: 2000, Seed: 3}
+	tight := Skewed(cfg, 1500)
+	wide := Skewed(cfg, 3500)
+	mid := geom.Pt(DefaultSide/2, DefaultSide/2)
+	mean := func(objs []float64) float64 {
+		s := 0.0
+		for _, v := range objs {
+			s += v
+		}
+		return s / float64(len(objs))
+	}
+	var dt, dw []float64
+	for i := range tight {
+		dt = append(dt, tight[i].Region.C.Dist(mid))
+		dw = append(dw, wide[i].Region.C.Dist(mid))
+	}
+	if mean(dt) >= mean(dw) {
+		t.Errorf("sigma=1500 mean distance %v not below sigma=3500 %v", mean(dt), mean(dw))
+	}
+	domain := cfg.Domain()
+	for _, o := range tight {
+		if !domain.Contains(o.Region.C) {
+			t.Fatal("skewed object outside domain")
+		}
+	}
+}
+
+func TestRealDatasets(t *testing.T) {
+	for _, kind := range []RealKind{Utility, Roads, RRLines} {
+		objs, err := Real(kind, 0.05, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(float64(RealSize(kind)) * 0.05)
+		if len(objs) != want {
+			t.Fatalf("%s: n = %d, want %d", kind, len(objs), want)
+		}
+		domain := geom.Square(DefaultSide)
+		for i, o := range objs {
+			if int(o.ID) != i {
+				t.Fatalf("%s: sparse IDs", kind)
+			}
+			if !domain.Contains(o.Region.C) {
+				t.Fatalf("%s: object outside domain", kind)
+			}
+		}
+	}
+	if _, err := Real("nonsense", 0.5, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := Real(Utility, 0, 1); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := Real(Utility, 1.5, 1); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+// TestRealSkewExceedsUniform: the simulated real datasets must actually
+// be skewed — their nearest-neighbor spacing variance should exceed the
+// uniform workload's at equal size.
+func TestRealSkewExceedsUniform(t *testing.T) {
+	clu, err := Real(Utility, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := Uniform(Config{N: len(clu), Seed: 5})
+	vc := nnDistVariance(centersOf(clu))
+	vu := nnDistVariance(centersOf(uni))
+	if vc <= vu {
+		t.Errorf("clustered NN-distance variance %v not above uniform %v", vc, vu)
+	}
+}
+
+func centersOf(objs []uncertain.Object) []geom.Point {
+	pts := make([]geom.Point, len(objs))
+	for i, o := range objs {
+		pts[i] = o.Region.C
+	}
+	return pts
+}
+
+// nnDistVariance computes the variance of nearest-center distances.
+func nnDistVariance(pts []geom.Point) float64 {
+	ds := make([]float64, len(pts))
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i != j {
+				if d := p.DistSq(q); d < best {
+					best = d
+				}
+			}
+		}
+		ds[i] = math.Sqrt(best)
+	}
+	mean := 0.0
+	for _, d := range ds {
+		mean += d
+	}
+	mean /= float64(len(ds))
+	v := 0.0
+	for _, d := range ds {
+		v += (d - mean) * (d - mean)
+	}
+	return v / float64(len(ds))
+}
+
+func TestQueries(t *testing.T) {
+	qs := Queries(50, 1000, 9)
+	if len(qs) != 50 {
+		t.Fatalf("n = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q.X < 0 || q.X > 1000 || q.Y < 0 || q.Y > 1000 {
+			t.Fatalf("query %v outside domain", q)
+		}
+	}
+	if Queries(1, 0, 1)[0].X > DefaultSide {
+		t.Error("default side not applied")
+	}
+}
+
+func TestConfigDomain(t *testing.T) {
+	if d := (Config{}).Domain(); d != geom.Square(DefaultSide) {
+		t.Errorf("default domain = %v", d)
+	}
+	if d := (Config{Side: 42}).Domain(); d != geom.Square(42) {
+		t.Errorf("domain = %v", d)
+	}
+	if math.Abs(DefaultDiameter-40) > 0 {
+		t.Error("paper diameter must be 40")
+	}
+}

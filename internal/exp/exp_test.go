@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the smoke tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Name:       "tiny",
+		Sizes:      []int{150, 300},
+		BasicSizes: []int{60, 120},
+		MidN:       200,
+		Queries:    5,
+		Side:       3000,
+		Diameter:   40,
+		Diameters:  []float64{20, 60},
+		Sigmas:     []float64{400, 900},
+		RangeSizes: []float64{100, 400},
+		Thetas:     []float64{0.2, 1.0},
+		RealFrac:   0.01,
+		SeedK:      40,
+		Seed:       99,
+	}
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "~"), "%")
+	s = strings.TrimSuffix(s, " (extrap)")
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "paper", ""} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("galactic"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Columns: []string{"a", "bb"}, Notes: []string{"n1"}}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig6Smoke(t *testing.T) {
+	sc := tinyScale()
+	tables, err := RunFig6(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("fig6 produced %d tables", len(tables))
+	}
+	a, b := tables[0], tables[1]
+	if len(a.Rows) != len(sc.Sizes) || len(b.Rows) != len(sc.Sizes) {
+		t.Fatalf("row counts: %d, %d", len(a.Rows), len(b.Rows))
+	}
+	// The headline claim: UV-index beats the R-tree baseline on I/O in
+	// every configuration.
+	for _, row := range b.Rows {
+		uv, rt := parse(t, row[1]), parse(t, row[2])
+		if uv >= rt {
+			t.Errorf("|O|=%s: UV I/O %v not below R-tree %v", row[0], uv, rt)
+		}
+	}
+	if len(tables[2].Rows) != 3 {
+		t.Errorf("fig6c rows = %d", len(tables[2].Rows))
+	}
+	if len(tables[3].Rows) != len(sc.Diameters) {
+		t.Errorf("fig6d rows = %d", len(tables[3].Rows))
+	}
+}
+
+func TestRunFig7ConstructionSmoke(t *testing.T) {
+	sc := tinyScale()
+	var progressed int
+	tables, err := RunFig7Construction(sc, func(string) { progressed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("fig7 produced %d tables", len(tables))
+	}
+	if progressed == 0 {
+		t.Error("no progress callbacks")
+	}
+	a := tables[0]
+	if len(a.Rows) != len(sc.Sizes) {
+		t.Fatalf("fig7a rows = %d", len(a.Rows))
+	}
+	// IC must never be slower than ICR (it does strictly less work).
+	for _, row := range tables[2].Rows {
+		icr, ic := parse(t, row[1]), parse(t, row[2])
+		if ic > icr*1.5+0.2 {
+			t.Errorf("|O|=%s: IC %vs much slower than ICR %vs", row[0], ic, icr)
+		}
+	}
+	// Pruning ratios within [0, 1] and C ≥ I.
+	for _, row := range tables[1].Rows {
+		i, c := parse(t, row[1])/100, parse(t, row[2])/100
+		if i < 0 || i > 1 || c < i {
+			t.Errorf("|O|=%s: pruning ratios I=%v C=%v", row[0], i, c)
+		}
+	}
+}
+
+func TestRunFig7fghSmoke(t *testing.T) {
+	sc := tinyScale()
+	f, err := RunFig7f(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != len(sc.Diameters) {
+		t.Errorf("fig7f rows = %d", len(f.Rows))
+	}
+	g, err := RunFig7g(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != len(sc.Sigmas) {
+		t.Errorf("fig7g rows = %d", len(g.Rows))
+	}
+	h, err := RunFig7h(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Rows) != len(sc.RangeSizes) {
+		t.Errorf("fig7h rows = %d", len(h.Rows))
+	}
+	// Larger ranges must return at least as many partitions on average.
+	first := parse(t, h.Rows[0][2])
+	last := parse(t, h.Rows[len(h.Rows)-1][2])
+	if last < first {
+		t.Errorf("partition count decreased with range size: %v -> %v", first, last)
+	}
+}
+
+func TestRunTable2AndSensitivitySmoke(t *testing.T) {
+	sc := tinyScale()
+	tb, err := RunTable2(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("table2 rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if pc := parse(t, row[5]) / 100; pc <= 0 || pc > 1 {
+			t.Errorf("%s: pruning ratio %v", row[0], pc)
+		}
+	}
+	s, err := RunSensitivity(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != len(sc.Thetas) {
+		t.Fatalf("sensitivity rows = %d", len(s.Rows))
+	}
+	// Tθ=0.2 must split no more than Tθ=1.
+	lo := parse(t, s.Rows[0][2])
+	hi := parse(t, s.Rows[len(s.Rows)-1][2])
+	if lo > hi {
+		t.Errorf("Tθ=0.2 produced more non-leaf nodes (%v) than Tθ=1 (%v)", lo, hi)
+	}
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRunExtensionsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension runner in -short mode")
+	}
+	sc := tinyScale()
+	tables, err := RunExtensions(sc, func(string) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("got %d tables, want 4", len(tables))
+	}
+	wantIDs := []string{"ext-rnn", "ext-orderk", "ext-continuous", "ext-3d"}
+	for i, tb := range tables {
+		if tb.ID != wantIDs[i] {
+			t.Fatalf("table %d has ID %q, want %q", i, tb.ID, wantIDs[i])
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("table %s has no rows", tb.ID)
+		}
+		var buf bytes.Buffer
+		if err := tb.Fprint(&buf); err != nil {
+			t.Fatalf("printing %s: %v", tb.ID, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("table %s printed nothing", tb.ID)
+		}
+	}
+
+	// The RNN table must show at least one answer on average (a query
+	// point always has some possible reverse neighbor in a uniform
+	// dataset of this density).
+	rnnTable := tables[0]
+	for _, row := range rnnTable.Rows {
+		if parse(t, row[4]) <= 0 {
+			t.Fatalf("RNN row %v reports zero answers", row)
+		}
+	}
+
+	// Continuous: saved percentage is within [0, 100].
+	for _, row := range tables[2].Rows {
+		if v := parse(t, row[3]); v < 0 || v > 100 {
+			t.Fatalf("continuous row %v has saved%% = %v", row, v)
+		}
+	}
+}

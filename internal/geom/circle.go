@@ -1,0 +1,83 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Circle is the closed disk with center C and radius R ≥ 0. Uncertainty
+// regions, minimum bounding circles and pruning d-bounds are Circles.
+type Circle struct {
+	C Point
+	R float64
+}
+
+// String implements fmt.Stringer.
+func (c Circle) String() string {
+	return fmt.Sprintf("Cir((%g,%g),%g)", c.C.X, c.C.Y, c.R)
+}
+
+// Contains reports whether p lies in the closed disk.
+func (c Circle) Contains(p Point) bool {
+	return c.C.DistSq(p) <= c.R*c.R
+}
+
+// Overlaps reports whether the two closed disks intersect.
+func (c Circle) Overlaps(o Circle) bool {
+	s := c.R + o.R
+	return c.C.DistSq(o.C) <= s*s
+}
+
+// ContainsCircle reports whether o lies entirely inside c.
+func (c Circle) ContainsCircle(o Circle) bool {
+	return c.C.Dist(o.C)+o.R <= c.R+1e-12*(c.R+1)
+}
+
+// Area returns the area of the disk.
+func (c Circle) Area() float64 { return math.Pi * c.R * c.R }
+
+// BoundingRect returns the smallest axis-aligned rectangle containing c.
+func (c Circle) BoundingRect() Rect {
+	return Rect{
+		Point{c.C.X - c.R, c.C.Y - c.R},
+		Point{c.C.X + c.R, c.C.Y + c.R},
+	}
+}
+
+// OverlapsRect reports whether the disk intersects the rectangle.
+func (c Circle) OverlapsRect(r Rect) bool {
+	return r.MinDist(c.C) <= c.R
+}
+
+// LensArea returns the area of the intersection of the two disks.
+// It is exact (up to floating point) via the standard circular-segment
+// formula and handles containment and disjointness.
+func LensArea(a, b Circle) float64 {
+	if a.R == 0 || b.R == 0 {
+		return 0
+	}
+	d := a.C.Dist(b.C)
+	if d >= a.R+b.R {
+		return 0
+	}
+	if d <= math.Abs(a.R-b.R) {
+		r := math.Min(a.R, b.R)
+		return math.Pi * r * r
+	}
+	// Half-angles subtended by the chord at each center.
+	alpha := math.Acos(clamp((d*d+a.R*a.R-b.R*b.R)/(2*d*a.R), -1, 1))
+	beta := math.Acos(clamp((d*d+b.R*b.R-a.R*a.R)/(2*d*b.R), -1, 1))
+	return a.R*a.R*(alpha-math.Sin(alpha)*math.Cos(alpha)) +
+		b.R*b.R*(beta-math.Sin(beta)*math.Cos(beta))
+}
+
+// clamp restricts v to [lo, hi]; used to guard acos against rounding.
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

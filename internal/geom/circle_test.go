@@ -1,0 +1,124 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Pt(0, 0), 2}
+	if !c.Contains(Pt(2, 0)) {
+		t.Error("boundary point should be contained (closed disk)")
+	}
+	if c.Contains(Pt(2.0001, 0)) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestCircleOverlaps(t *testing.T) {
+	a := Circle{Pt(0, 0), 1}
+	b := Circle{Pt(2, 0), 1}
+	cc := Circle{Pt(2.001, 0), 1}
+	if !a.Overlaps(b) {
+		t.Error("tangent circles should overlap (closed)")
+	}
+	if a.Overlaps(cc) {
+		t.Error("separated circles overlap")
+	}
+}
+
+func TestContainsCircle(t *testing.T) {
+	big := Circle{Pt(0, 0), 5}
+	small := Circle{Pt(1, 1), 2}
+	if !big.ContainsCircle(small) {
+		t.Error("big should contain small")
+	}
+	if small.ContainsCircle(big) {
+		t.Error("small contains big")
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	c := Circle{Pt(3, -1), 2}
+	r := c.BoundingRect()
+	if r != NewRect(1, -3, 5, 1) {
+		t.Errorf("BoundingRect = %v", r)
+	}
+}
+
+func TestOverlapsRect(t *testing.T) {
+	c := Circle{Pt(0, 0), 1}
+	if !c.OverlapsRect(NewRect(0.5, 0.5, 2, 2)) {
+		t.Error("should overlap")
+	}
+	// Rect whose corner is just beyond the radius diagonally.
+	if c.OverlapsRect(NewRect(0.8, 0.8, 2, 2)) {
+		t.Error("corner outside circle should not overlap")
+	}
+}
+
+func TestLensAreaKnown(t *testing.T) {
+	// Disjoint.
+	if a := LensArea(Circle{Pt(0, 0), 1}, Circle{Pt(3, 0), 1}); a != 0 {
+		t.Errorf("disjoint lens = %v", a)
+	}
+	// Contained.
+	if a := LensArea(Circle{Pt(0, 0), 3}, Circle{Pt(0.5, 0), 1}); !almostEq(a, math.Pi, 1e-12) {
+		t.Errorf("contained lens = %v, want π", a)
+	}
+	// Same circle.
+	c := Circle{Pt(1, 1), 2}
+	if a := LensArea(c, c); !almostEq(a, c.Area(), 1e-12) {
+		t.Errorf("self lens = %v", a)
+	}
+	// Classic: two unit circles at distance 1. Known closed form:
+	// 2·acos(1/2) − (1/2)·sqrt(3) ... full formula below.
+	want := 2*1*1*math.Acos(0.5) - 0.5*math.Sqrt(4-1)
+	if a := LensArea(Circle{Pt(0, 0), 1}, Circle{Pt(1, 0), 1}); !almostEq(a, want, 1e-12) {
+		t.Errorf("unit lens = %v, want %v", a, want)
+	}
+}
+
+// TestLensAreaMonteCarlo validates LensArea against sampling for random
+// circle pairs.
+func TestLensAreaMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		a := Circle{Pt(rng.Float64()*4, rng.Float64()*4), 0.5 + rng.Float64()*2}
+		b := Circle{Pt(rng.Float64()*4, rng.Float64()*4), 0.5 + rng.Float64()*2}
+		exact := LensArea(a, b)
+		// Sample within a's disk.
+		const n = 200000
+		hits := 0
+		for i := 0; i < n; i++ {
+			// Uniform in disk a.
+			r := a.R * math.Sqrt(rng.Float64())
+			phi := rng.Float64() * 2 * math.Pi
+			p := a.C.Add(PolarUnit(phi).Scale(r))
+			if b.Contains(p) {
+				hits++
+			}
+		}
+		mc := float64(hits) / n * a.Area()
+		tol := 4 * a.Area() / math.Sqrt(n) // ~4σ
+		if math.Abs(mc-exact) > tol+1e-9 {
+			t.Errorf("trial %d: lens exact %v vs MC %v (tol %v)", trial, exact, mc, tol)
+		}
+	}
+}
+
+func TestLensAreaSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		a := Circle{Pt(rng.Float64()*10, rng.Float64()*10), rng.Float64() * 3}
+		b := Circle{Pt(rng.Float64()*10, rng.Float64()*10), rng.Float64() * 3}
+		if !almostEq(LensArea(a, b), LensArea(b, a), 1e-12) {
+			t.Fatalf("lens not symmetric for %v %v", a, b)
+		}
+		l := LensArea(a, b)
+		if l < 0 || l > math.Min(a.Area(), b.Area())+1e-12 {
+			t.Fatalf("lens %v out of range for %v %v", l, a, b)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package geom
+
+import "math"
+
+// Conic is the implicit curve Ax² + Bxy + Cy² + Dx + Ey + F = 0.
+type Conic struct {
+	A, B, C, D, E, F float64
+}
+
+// Eval returns the implicit polynomial at p.
+func (c Conic) Eval(p Point) float64 {
+	return c.A*p.X*p.X + c.B*p.X*p.Y + c.C*p.Y*p.Y + c.D*p.X + c.E*p.Y + c.F
+}
+
+// ConicOfUVEdge expands the sqrt-free implicit form of the full
+// hyperbola containing a UV-edge (both branches):
+//
+//	L(p)² − 4S²·|p−Fj|²  with  L(p) = |p−Fi|² − |p−Fj|² − S²
+//
+// into explicit conic coefficients (the expansion is quadratic because
+// |p−Fi|² − |p−Fj|² is linear in p).
+func ConicOfUVEdge(e UVEdge) Conic {
+	ax := 2 * (e.Fj.X - e.Fi.X) // L = ax·x + ay·y + k
+	ay := 2 * (e.Fj.Y - e.Fi.Y)
+	k := e.Fi.NormSq() - e.Fj.NormSq() - e.S*e.S
+	s2 := e.S * e.S
+	return Conic{
+		A: ax*ax - 4*s2,
+		B: 2 * ax * ay,
+		C: ay*ay - 4*s2,
+		D: 2*ax*k + 8*s2*e.Fj.X,
+		E: 2*ay*k + 8*s2*e.Fj.Y,
+		F: k*k - 4*s2*e.Fj.NormSq(),
+	}
+}
+
+// IntersectUVEdges returns the intersection points of the two UV-edge
+// branches (not the full conics): the points where both distance
+// conditions hold simultaneously. It is exact up to float64: e1's
+// branch is rationally parameterized as
+//
+//	x = a(1+t²)/(1−t²), y = 2bt/(1−t²), t ∈ (−1, 1)
+//
+// in its focal frame, and substituting into e2's implicit conic and
+// clearing the denominator yields a quartic in t, solved analytically.
+// Spurious roots from the squared form (the wrong branch of e2) are
+// filtered by the exact distance predicates.
+//
+// This is the machinery the paper invokes as "linear algebra techniques
+// [36]" for Algorithm 1; the library itself uses the radial cell
+// representation instead and keeps this routine for cross-validation.
+func IntersectUVEdges(e1, e2 UVEdge) []Point {
+	if !e1.Exists() || !e2.Exists() {
+		return nil
+	}
+	conic2 := ConicOfUVEdge(e2)
+	a, bb, _ := e1.SemiAxes()
+	center := e1.Center()
+	theta := e1.Theta()
+
+	// World point of parameter t (valid for |t| < 1).
+	at := func(t float64) Point {
+		den := 1 - t*t
+		local := Point{a * (1 + t*t) / den, 2 * bb * t / den}
+		return center.Add(local.Rotate(theta))
+	}
+	// g(t) = conic2(at(t))·(1−t²)² is a polynomial of degree ≤ 4.
+	g := func(t float64) float64 {
+		den := 1 - t*t
+		return conic2.Eval(at(t)) * den * den
+	}
+	// Recover its five coefficients by interpolation at five nodes.
+	nodes := [5]float64{-0.6, -0.3, 0, 0.3, 0.6}
+	var vals [5]float64
+	for i, t := range nodes {
+		vals[i] = g(t)
+	}
+	coeffs, ok := fitPoly4(nodes, vals)
+	if !ok {
+		return nil
+	}
+
+	var out []Point
+	tol := 1e-7 * (1 + e1.Fi.Dist(e1.Fj) + e2.Fi.Dist(e2.Fj))
+	for _, t := range SolveQuartic(coeffs[4], coeffs[3], coeffs[2], coeffs[1], coeffs[0]) {
+		if t <= -1+1e-12 || t >= 1-1e-12 {
+			continue
+		}
+		p := at(t)
+		// Both exact branch conditions must hold.
+		if math.Abs(e1.Delta(p)) < tol && math.Abs(e2.Delta(p)) < tol {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// fitPoly4 solves the 5×5 Vandermonde system for the coefficients
+// (c0..c4) of the degree-4 polynomial through the given nodes.
+func fitPoly4(xs [5]float64, ys [5]float64) ([5]float64, bool) {
+	var m [5][6]float64
+	for i := 0; i < 5; i++ {
+		pow := 1.0
+		for j := 0; j < 5; j++ {
+			m[i][j] = pow
+			pow *= xs[i]
+		}
+		m[i][5] = ys[i]
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < 5; col++ {
+		piv := col
+		for r := col + 1; r < 5; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if m[piv][col] == 0 {
+			return [5]float64{}, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < 5; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for j := col; j < 6; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	var out [5]float64
+	for i := 0; i < 5; i++ {
+		out[i] = m[i][5] / m[i][i]
+	}
+	return out, true
+}

@@ -1,0 +1,109 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of pts in counter-clockwise order
+// using Andrew's monotone chain. Collinear points on hull edges are
+// dropped. The input slice is not modified. Degenerate inputs (0, 1 or 2
+// distinct points) return the distinct points themselves.
+func ConvexHull(pts []Point) []Point {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	ps := make([]Point, n)
+	copy(ps, pts)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Deduplicate.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) <= 2 {
+		return ps
+	}
+
+	hull := make([]Point, 0, 2*len(ps))
+	// Lower hull.
+	for _, p := range ps {
+		for len(hull) >= 2 && turn(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(ps) - 2; i >= 0; i-- {
+		p := ps[i]
+		for len(hull) >= lower && turn(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1] // last point equals the first
+}
+
+// turn returns a positive value when a→b→c makes a left (counter-
+// clockwise) turn, negative for a right turn and zero when collinear.
+func turn(a, b, c Point) float64 {
+	return b.Sub(a).Cross(c.Sub(a))
+}
+
+// PointInConvex reports whether p lies inside or on the convex polygon
+// poly given in counter-clockwise order.
+func PointInConvex(poly []Point, p Point) bool {
+	n := len(poly)
+	switch n {
+	case 0:
+		return false
+	case 1:
+		return poly[0] == p
+	case 2:
+		// On-segment test.
+		a, b := poly[0], poly[1]
+		if turn(a, b, p) != 0 {
+			return false
+		}
+		return p.X >= min2(a.X, b.X) && p.X <= max2(a.X, b.X) &&
+			p.Y >= min2(a.Y, b.Y) && p.Y <= max2(a.Y, b.Y)
+	}
+	for i := 0; i < n; i++ {
+		if turn(poly[i], poly[(i+1)%n], p) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PolygonArea returns the signed area of the polygon (positive when the
+// vertices are in counter-clockwise order).
+func PolygonArea(poly []Point) float64 {
+	a := 0.0
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		a += poly[i].Cross(poly[j])
+	}
+	return a / 2
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

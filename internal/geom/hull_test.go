@@ -1,0 +1,93 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.8}}
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d, want 4: %v", len(h), h)
+	}
+	if PolygonArea(h) <= 0 {
+		t.Error("hull should be counter-clockwise")
+	}
+	if !almostEq(PolygonArea(h), 1, 1e-12) {
+		t.Errorf("hull area = %v", PolygonArea(h))
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); h != nil {
+		t.Errorf("empty hull = %v", h)
+	}
+	if h := ConvexHull([]Point{{1, 1}}); len(h) != 1 {
+		t.Errorf("single hull = %v", h)
+	}
+	if h := ConvexHull([]Point{{1, 1}, {1, 1}, {1, 1}}); len(h) != 1 {
+		t.Errorf("duplicate hull = %v", h)
+	}
+	h := ConvexHull([]Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	if len(h) != 2 {
+		t.Errorf("collinear hull = %v", h)
+	}
+}
+
+// TestConvexHullProperties checks, for random inputs: every input point
+// lies inside the hull, hull vertices are input points, and the hull is
+// convex.
+func TestConvexHullProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(60)
+		pts := make([]Point, n)
+		inSet := map[Point]bool{}
+		for i := range pts {
+			pts[i] = Pt(math.Round(rng.Float64()*20), math.Round(rng.Float64()*20))
+			inSet[pts[i]] = true
+		}
+		h := ConvexHull(pts)
+		for _, p := range pts {
+			if len(h) >= 3 && !PointInConvex(h, p) {
+				t.Fatalf("trial %d: input point %v outside hull %v", trial, p, h)
+			}
+		}
+		for _, v := range h {
+			if !inSet[v] {
+				t.Fatalf("trial %d: hull vertex %v not an input point", trial, v)
+			}
+		}
+		// Convexity: all turns strictly left.
+		for i := 0; i < len(h) && len(h) >= 3; i++ {
+			a, b, c := h[i], h[(i+1)%len(h)], h[(i+2)%len(h)]
+			if turn(a, b, c) <= 0 {
+				t.Fatalf("trial %d: non-left turn at %v %v %v", trial, a, b, c)
+			}
+		}
+	}
+}
+
+func TestPointInConvex(t *testing.T) {
+	sq := []Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}}
+	if !PointInConvex(sq, Pt(1, 1)) || !PointInConvex(sq, Pt(0, 0)) || !PointInConvex(sq, Pt(2, 1)) {
+		t.Error("inside/boundary points rejected")
+	}
+	if PointInConvex(sq, Pt(3, 1)) || PointInConvex(sq, Pt(-0.001, 1)) {
+		t.Error("outside points accepted")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	tri := []Point{{0, 0}, {4, 0}, {0, 3}}
+	if !almostEq(PolygonArea(tri), 6, 1e-12) {
+		t.Errorf("triangle area = %v", PolygonArea(tri))
+	}
+	// Clockwise gives negative.
+	cw := []Point{{0, 0}, {0, 3}, {4, 0}}
+	if !almostEq(PolygonArea(cw), -6, 1e-12) {
+		t.Errorf("cw area = %v", PolygonArea(cw))
+	}
+}

@@ -1,0 +1,77 @@
+package geom
+
+import "math/rand"
+
+// MinEnclosingCircle returns the smallest circle containing every point
+// of pts, using Welzl's randomized incremental algorithm (expected O(n)).
+// It is used to convert non-circular uncertainty regions into their
+// minimal bounding circle (Section III-C of the paper). An empty input
+// yields the zero Circle.
+func MinEnclosingCircle(pts []Point) Circle {
+	if len(pts) == 0 {
+		return Circle{}
+	}
+	ps := make([]Point, len(pts))
+	copy(ps, pts)
+	// Deterministic shuffle: reproducible builds, still O(n) expected.
+	rng := rand.New(rand.NewSource(0x5eed))
+	rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+
+	c := Circle{C: ps[0], R: 0}
+	for i := 1; i < len(ps); i++ {
+		if mecContains(c, ps[i]) {
+			continue
+		}
+		c = Circle{C: ps[i], R: 0}
+		for j := 0; j < i; j++ {
+			if mecContains(c, ps[j]) {
+				continue
+			}
+			c = circleFrom2(ps[i], ps[j])
+			for k := 0; k < j; k++ {
+				if !mecContains(c, ps[k]) {
+					c = circleFrom3(ps[i], ps[j], ps[k])
+				}
+			}
+		}
+	}
+	return c
+}
+
+// mecContains is Contains with a small relative slack so that the
+// incremental algorithm is robust to rounding.
+func mecContains(c Circle, p Point) bool {
+	return c.C.Dist(p) <= c.R*(1+1e-12)+1e-12
+}
+
+// circleFrom2 returns the circle with the segment ab as diameter.
+func circleFrom2(a, b Point) Circle {
+	center := Lerp(a, b, 0.5)
+	return Circle{C: center, R: center.Dist(a)}
+}
+
+// circleFrom3 returns the circumcircle of the triangle abc; for
+// (near-)collinear triples it falls back to the diametral circle of the
+// farthest pair, which still contains all three points.
+func circleFrom3(a, b, c Point) Circle {
+	bx := b.X - a.X
+	by := b.Y - a.Y
+	cx := c.X - a.X
+	cy := c.Y - a.Y
+	d := 2 * (bx*cy - by*cx)
+	if d == 0 {
+		// Collinear: use the widest pair.
+		best := circleFrom2(a, b)
+		if alt := circleFrom2(a, c); alt.R > best.R {
+			best = alt
+		}
+		if alt := circleFrom2(b, c); alt.R > best.R {
+			best = alt
+		}
+		return best
+	}
+	ux := (cy*(bx*bx+by*by) - by*(cx*cx+cy*cy)) / d
+	uy := (bx*(cx*cx+cy*cy) - cx*(bx*bx+by*by)) / d
+	center := Point{a.X + ux, a.Y + uy}
+	return Circle{C: center, R: center.Dist(a)}
+}

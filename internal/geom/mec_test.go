@@ -1,0 +1,92 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMECKnown(t *testing.T) {
+	if c := MinEnclosingCircle(nil); c != (Circle{}) {
+		t.Errorf("empty MEC = %v", c)
+	}
+	if c := MinEnclosingCircle([]Point{{3, 4}}); c.C != Pt(3, 4) || c.R != 0 {
+		t.Errorf("single MEC = %v", c)
+	}
+	c := MinEnclosingCircle([]Point{{0, 0}, {2, 0}})
+	if !almostEq(c.R, 1, 1e-12) || !almostEq(c.C.X, 1, 1e-12) {
+		t.Errorf("pair MEC = %v", c)
+	}
+	// Equilateral-ish triangle: circumcircle.
+	c = MinEnclosingCircle([]Point{{0, 0}, {1, 0}, {0.5, math.Sqrt(3) / 2}})
+	if !almostEq(c.R, 1/math.Sqrt(3), 1e-9) {
+		t.Errorf("triangle MEC radius = %v, want %v", c.R, 1/math.Sqrt(3))
+	}
+	// Obtuse triangle: diameter of the longest side, not circumcircle.
+	c = MinEnclosingCircle([]Point{{0, 0}, {10, 0}, {5, 0.1}})
+	if !almostEq(c.R, 5, 1e-6) {
+		t.Errorf("obtuse MEC radius = %v, want 5", c.R)
+	}
+}
+
+// TestMECProperties: contains all points; is not larger than the best
+// circle found by brute force over all pairs and triples.
+func TestMECProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(25)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		c := MinEnclosingCircle(pts)
+		for _, p := range pts {
+			if c.C.Dist(p) > c.R*(1+1e-9)+1e-9 {
+				t.Fatalf("trial %d: point %v outside MEC %v", trial, p, c)
+			}
+		}
+		best := bruteMEC(pts)
+		if c.R > best.R*(1+1e-9)+1e-9 {
+			t.Fatalf("trial %d: MEC radius %v > brute %v", trial, c.R, best.R)
+		}
+	}
+}
+
+// bruteMEC finds the smallest circle determined by a pair (diametral) or
+// triple (circumcircle) of points that encloses all points.
+func bruteMEC(pts []Point) Circle {
+	best := Circle{R: math.Inf(1)}
+	contains := func(c Circle) bool {
+		for _, p := range pts {
+			if c.C.Dist(p) > c.R*(1+1e-12)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if c := circleFrom2(pts[i], pts[j]); c.R < best.R && contains(c) {
+				best = c
+			}
+			for k := j + 1; k < len(pts); k++ {
+				if c := circleFrom3(pts[i], pts[j], pts[k]); c.R < best.R && contains(c) {
+					best = c
+				}
+			}
+		}
+	}
+	if len(pts) == 1 {
+		best = Circle{C: pts[0]}
+	}
+	return best
+}
+
+func TestMECDeterministic(t *testing.T) {
+	pts := []Point{{1, 2}, {5, 9}, {4, 4}, {8, 1}, {0, 7}}
+	a := MinEnclosingCircle(pts)
+	b := MinEnclosingCircle(pts)
+	if a != b {
+		t.Errorf("MEC not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,130 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 10 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.NormSq(); got != 25 {
+		t.Errorf("NormSq = %v", got)
+	}
+	if got := p.Dist(q); !almostEq(got, math.Sqrt(20), 1e-14) {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestUnitZeroVector(t *testing.T) {
+	if got := Pt(0, 0).Unit(); got != Pt(1, 0) {
+		t.Errorf("Unit(0) = %v, want (1,0)", got)
+	}
+	u := Pt(3, -7).Unit()
+	if !almostEq(u.Norm(), 1, 1e-14) {
+		t.Errorf("|Unit| = %v", u.Norm())
+	}
+}
+
+func TestRotatePreservesNorm(t *testing.T) {
+	err := quick.Check(func(x, y, theta float64) bool {
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		theta = math.Mod(theta, 100)
+		p := Pt(x, y)
+		r := p.Rotate(theta)
+		return almostEq(p.Norm(), r.Norm(), 1e-9)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateQuarterTurn(t *testing.T) {
+	r := Pt(1, 0).Rotate(math.Pi / 2)
+	if !almostEq(r.X, 0, 1e-15) || !almostEq(r.Y, 1, 1e-15) {
+		t.Errorf("quarter turn = %v", r)
+	}
+}
+
+func TestPolarUnit(t *testing.T) {
+	for _, phi := range []float64{0, 0.5, math.Pi, 4.2, -1.3} {
+		u := PolarUnit(phi)
+		if !almostEq(u.Norm(), 1, 1e-14) {
+			t.Errorf("|PolarUnit(%v)| = %v", phi, u.Norm())
+		}
+		if !almostEq(math.Atan2(u.Y, u.X), math.Atan2(math.Sin(phi), math.Cos(phi)), 1e-12) {
+			t.Errorf("PolarUnit(%v) direction wrong", phi)
+		}
+	}
+}
+
+func TestAngleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		phi := rng.Float64()*2*math.Pi - math.Pi
+		got := PolarUnit(phi).Angle()
+		if !almostEq(got, phi, 1e-12) {
+			t.Fatalf("Angle(PolarUnit(%v)) = %v", phi, got)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, -4)
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := Lerp(a, b, 0.5); got != Pt(5, -2) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * math.Pi, math.Pi},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	err := quick.Check(func(phi float64) bool {
+		phi = math.Mod(phi, 1e4)
+		n := NormalizeAngle(phi)
+		return n >= 0 && n < 2*math.Pi
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// Real-root solvers for low-degree polynomials, used by the exact
+// conic-intersection routines (the paper computes UV-edge intersections
+// "by using linear algebra techniques [36]"; this is our equivalent).
+// All solvers return real roots in ascending order and polish them with
+// a few Newton steps for float64 accuracy.
+
+// SolveQuadratic returns the real roots of ax² + bx + c = 0.
+// A zero leading coefficient degrades gracefully to the linear case.
+func SolveQuadratic(a, b, c float64) []float64 {
+	if a == 0 {
+		if b == 0 {
+			return nil
+		}
+		return []float64{-c / b}
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return nil
+	}
+	sq := math.Sqrt(disc)
+	// Numerically stable form: avoid cancellation.
+	q := -(b + math.Copysign(sq, b)) / 2
+	var roots []float64
+	if q != 0 {
+		roots = append(roots, c/q)
+	}
+	roots = append(roots, q/a)
+	sort.Float64s(roots)
+	if len(roots) == 2 && roots[0] == roots[1] {
+		roots = roots[:1]
+	}
+	return roots
+}
+
+// SolveCubic returns the real roots of ax³ + bx² + cx + d = 0
+// (Cardano with trigonometric resolution of the casus irreducibilis).
+func SolveCubic(a, b, c, d float64) []float64 {
+	if a == 0 {
+		return SolveQuadratic(b, c, d)
+	}
+	// Depressed cubic t³ + pt + q with x = t − b/(3a).
+	b, c, d = b/a, c/a, d/a
+	p := c - b*b/3
+	q := 2*b*b*b/27 - b*c/3 + d
+	shift := -b / 3
+
+	var roots []float64
+	disc := q*q/4 + p*p*p/27
+	switch {
+	case disc > 0:
+		sq := math.Sqrt(disc)
+		u := math.Cbrt(-q/2 + sq)
+		v := math.Cbrt(-q/2 - sq)
+		roots = []float64{u + v + shift}
+	case disc == 0:
+		if q == 0 {
+			roots = []float64{shift}
+		} else {
+			u := math.Cbrt(-q / 2)
+			roots = []float64{2*u + shift, -u + shift}
+		}
+	default:
+		// Three real roots.
+		r := math.Sqrt(-p * p * p / 27)
+		phi := math.Acos(clamp(-q/(2*r), -1, 1))
+		m := 2 * math.Sqrt(-p/3)
+		for k := 0; k < 3; k++ {
+			roots = append(roots, m*math.Cos((phi+2*math.Pi*float64(k))/3)+shift)
+		}
+	}
+	poly := func(x float64) float64 { return ((x+b)*x+c)*x + d }
+	dpoly := func(x float64) float64 { return (3*x+2*b)*x + c }
+	for i := range roots {
+		roots[i] = polish(poly, dpoly, roots[i])
+	}
+	sort.Float64s(roots)
+	return dedupRoots(roots, 1e-9)
+}
+
+// SolveQuartic returns the real roots of ax⁴ + bx³ + cx² + dx + e = 0
+// via Ferrari's resolvent cubic.
+func SolveQuartic(a, b, c, d, e float64) []float64 {
+	if a == 0 {
+		return SolveCubic(b, c, d, e)
+	}
+	b, c, d, e = b/a, c/a, d/a, e/a
+	// Depressed quartic y⁴ + py² + qy + r with x = y − b/4.
+	p := c - 3*b*b/8
+	q := d - b*c/2 + b*b*b/8
+	r := e - b*d/4 + b*b*c/16 - 3*b*b*b*b/256
+	shift := -b / 4
+
+	var roots []float64
+	if math.Abs(q) < 1e-13*(1+math.Abs(p)+math.Abs(r)) {
+		// Biquadratic: y⁴ + py² + r = 0.
+		for _, z := range SolveQuadratic(1, p, r) {
+			if z < 0 {
+				continue
+			}
+			s := math.Sqrt(z)
+			roots = append(roots, s+shift, -s+shift)
+		}
+	} else {
+		// Resolvent cubic: z³ + 2pz² + (p²−4r)z − q² = 0; any positive
+		// root z gives the factorization.
+		var z float64
+		found := false
+		for _, cand := range SolveCubic(1, 2*p, p*p-4*r, -q*q) {
+			if cand > 1e-300 {
+				z = cand
+				found = true
+				break
+			}
+		}
+		if found {
+			s := math.Sqrt(z)
+			// y² ± s·y + (p+z ∓ q/s)/2 = 0.
+			roots = append(roots, SolveQuadratic(1, s, (p+z-q/s)/2)...)
+			roots = append(roots, SolveQuadratic(1, -s, (p+z+q/s)/2)...)
+			for i := range roots {
+				roots[i] += shift
+			}
+		}
+	}
+	poly := func(x float64) float64 { return (((x+b)*x+c)*x+d)*x + e }
+	dpoly := func(x float64) float64 { return ((4*x+3*b)*x+2*c)*x + d }
+	for i := range roots {
+		roots[i] = polish(poly, dpoly, roots[i])
+	}
+	sort.Float64s(roots)
+	return dedupRoots(roots, 1e-9)
+}
+
+// polish applies a few guarded Newton steps.
+func polish(f, df func(float64) float64, x float64) float64 {
+	for i := 0; i < 4; i++ {
+		d := df(x)
+		if d == 0 {
+			break
+		}
+		step := f(x) / d
+		if math.IsNaN(step) || math.IsInf(step, 0) {
+			break
+		}
+		nx := x - step
+		if math.Abs(f(nx)) >= math.Abs(f(x)) {
+			break
+		}
+		x = nx
+	}
+	return x
+}
+
+// dedupRoots merges roots closer than tol (relative to magnitude).
+func dedupRoots(roots []float64, tol float64) []float64 {
+	if len(roots) == 0 {
+		return roots
+	}
+	out := roots[:1]
+	for _, r := range roots[1:] {
+		last := out[len(out)-1]
+		if math.Abs(r-last) > tol*(1+math.Abs(r)+math.Abs(last)) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

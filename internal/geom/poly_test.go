@@ -1,0 +1,116 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func checkRoots(t *testing.T, got, want []float64, tol float64, label string) {
+	t.Helper()
+	sort.Float64s(want)
+	want = dedupRoots(want, 1e-9)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got roots %v, want %v", label, got, want)
+	}
+	for i := range got {
+		if !almostEq(got[i], want[i], tol) {
+			t.Fatalf("%s: root %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveQuadratic(t *testing.T) {
+	checkRoots(t, SolveQuadratic(1, -3, 2), []float64{1, 2}, 1e-12, "x²-3x+2")
+	checkRoots(t, SolveQuadratic(1, 0, 1), nil, 0, "x²+1")
+	checkRoots(t, SolveQuadratic(1, -2, 1), []float64{1}, 1e-9, "(x-1)²")
+	checkRoots(t, SolveQuadratic(0, 2, -4), []float64{2}, 1e-12, "linear")
+	checkRoots(t, SolveQuadratic(0, 0, 5), nil, 0, "constant")
+	// Cancellation-prone case.
+	checkRoots(t, SolveQuadratic(1, -1e8, 1), []float64{1e-8, 1e8}, 1e-6, "stiff")
+}
+
+func TestSolveCubicKnown(t *testing.T) {
+	// (x-1)(x-2)(x-3)
+	checkRoots(t, SolveCubic(1, -6, 11, -6), []float64{1, 2, 3}, 1e-9, "cubic3")
+	// One real root: x³ + x + 1.
+	got := SolveCubic(1, 0, 1, 1)
+	if len(got) != 1 || !almostEq(got[0], -0.6823278038280193, 1e-9) {
+		t.Fatalf("x³+x+1 roots = %v", got)
+	}
+	// Triple root (x-2)³ = x³ -6x² +12x -8.
+	got = SolveCubic(1, -6, 12, -8)
+	if len(got) == 0 || !almostEq(got[0], 2, 1e-5) {
+		t.Fatalf("(x-2)³ roots = %v", got)
+	}
+	// Degenerate leading coefficient.
+	checkRoots(t, SolveCubic(0, 1, -3, 2), []float64{1, 2}, 1e-12, "quad fallback")
+}
+
+func TestSolveCubicRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		r1 := rng.Float64()*20 - 10
+		r2 := rng.Float64()*20 - 10
+		r3 := rng.Float64()*20 - 10
+		// a(x-r1)(x-r2)(x-r3)
+		a := 1 + rng.Float64()*3
+		b := -a * (r1 + r2 + r3)
+		c := a * (r1*r2 + r1*r3 + r2*r3)
+		d := -a * r1 * r2 * r3
+		checkRoots(t, SolveCubic(a, b, c, d), []float64{r1, r2, r3}, 1e-6, "random cubic")
+	}
+}
+
+func TestSolveQuarticKnown(t *testing.T) {
+	// (x-1)(x-2)(x-3)(x-4) = x⁴ -10x³ +35x² -50x +24.
+	checkRoots(t, SolveQuartic(1, -10, 35, -50, 24), []float64{1, 2, 3, 4}, 1e-8, "quartic4")
+	// Biquadratic with two real roots: x⁴ - 5x² + 4 → ±1, ±2.
+	checkRoots(t, SolveQuartic(1, 0, -5, 0, 4), []float64{-2, -1, 1, 2}, 1e-9, "biquad")
+	// No real roots: x⁴ + 1.
+	checkRoots(t, SolveQuartic(1, 0, 0, 0, 1), nil, 0, "x⁴+1")
+	// Cubic fallback.
+	checkRoots(t, SolveQuartic(0, 1, -6, 11, -6), []float64{1, 2, 3}, 1e-9, "cubic fallback")
+}
+
+func TestSolveQuarticRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 300; trial++ {
+		roots := make([]float64, 4)
+		for i := range roots {
+			roots[i] = rng.Float64()*10 - 5
+		}
+		// Expand (x-r0)(x-r1)(x-r2)(x-r3).
+		c := [5]float64{1} // c[k] = coefficient of x^(4-k) built incrementally
+		coef := []float64{1}
+		for _, r := range roots {
+			next := make([]float64, len(coef)+1)
+			for i, v := range coef {
+				next[i] += v
+				next[i+1] -= v * r
+			}
+			coef = next
+		}
+		_ = c
+		got := SolveQuartic(coef[0], coef[1], coef[2], coef[3], coef[4])
+		checkRoots(t, got, roots, 1e-5, "random quartic")
+	}
+}
+
+// TestSolveQuarticTwoReal: quartics with exactly two real roots.
+func TestSolveQuarticTwoReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		r1 := rng.Float64()*10 - 5
+		r2 := rng.Float64()*10 - 5
+		// (x-r1)(x-r2)(x²+px+q) with negative discriminant quadratic.
+		p := rng.Float64()*4 - 2
+		q := p*p/4 + 0.5 + rng.Float64()*3 // ensures p²-4q < 0
+		// Expand.
+		b := -(r1 + r2) + p
+		cc := r1*r2 - p*(r1+r2) + q
+		d := p*r1*r2 - q*(r1+r2)
+		e := q * r1 * r2
+		checkRoots(t, SolveQuartic(1, b, cc, d, e), []float64{r1, r2}, 1e-5, "two-real quartic")
+	}
+}

@@ -1,0 +1,171 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewRectSwaps(t *testing.T) {
+	r := NewRect(5, 7, 1, 2)
+	if r.Min != Pt(1, 2) || r.Max != Pt(5, 7) {
+		t.Errorf("NewRect = %v", r)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(0, 0, 4, 2)
+	if r.W() != 4 || r.H() != 2 || r.Area() != 8 {
+		t.Errorf("dims wrong: %v %v %v", r.W(), r.H(), r.Area())
+	}
+	if r.Center() != Pt(2, 1) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if !r.Contains(Pt(0, 0)) || !r.Contains(Pt(4, 2)) || r.Contains(Pt(4.001, 1)) {
+		t.Error("Contains boundary handling wrong")
+	}
+}
+
+func TestRectOverlapsUnion(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(1, 1, 3, 3)
+	c := NewRect(5, 5, 6, 6)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a,b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a,c should not overlap")
+	}
+	// Touching edges count as overlap (closed rectangles).
+	d := NewRect(2, 0, 4, 2)
+	if !a.Overlaps(d) {
+		t.Error("touching rectangles should overlap")
+	}
+	u := a.Union(c)
+	if u != NewRect(0, 0, 6, 6) {
+		t.Errorf("Union = %v", u)
+	}
+	if !u.ContainsRect(a) || !u.ContainsRect(c) {
+		t.Error("union must contain operands")
+	}
+}
+
+func TestQuadrantsTile(t *testing.T) {
+	r := NewRect(-3, 2, 9, 14)
+	total := 0.0
+	for k := 0; k < 4; k++ {
+		q := r.Quadrant(k)
+		total += q.Area()
+		if !r.ContainsRect(q) {
+			t.Errorf("quadrant %d outside parent", k)
+		}
+	}
+	if !almostEq(total, r.Area(), 1e-12) {
+		t.Errorf("quadrant areas sum %v, want %v", total, r.Area())
+	}
+	// Interiors must be pairwise disjoint.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			a, b := r.Quadrant(i), r.Quadrant(j)
+			ix := math.Min(a.Max.X, b.Max.X) - math.Max(a.Min.X, b.Min.X)
+			iy := math.Min(a.Max.Y, b.Max.Y) - math.Max(a.Min.Y, b.Min.Y)
+			if ix > 1e-12 && iy > 1e-12 {
+				t.Errorf("quadrants %d,%d overlap with area", i, j)
+			}
+		}
+	}
+}
+
+func TestQuadrantForConsistent(t *testing.T) {
+	r := Square(100)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		p := Pt(rng.Float64()*100, rng.Float64()*100)
+		k := r.QuadrantFor(p)
+		if !r.Quadrant(k).Contains(p) {
+			t.Fatalf("point %v assigned to quadrant %d which does not contain it", p, k)
+		}
+	}
+}
+
+func TestMinMaxDist(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	if d := r.MinDist(Pt(1, 1)); d != 0 {
+		t.Errorf("MinDist inside = %v", d)
+	}
+	if d := r.MinDist(Pt(5, 1)); d != 3 {
+		t.Errorf("MinDist right = %v", d)
+	}
+	if d := r.MinDist(Pt(5, 6)); !almostEq(d, 5, 1e-14) {
+		t.Errorf("MinDist corner = %v", d)
+	}
+	if d := r.MaxDist(Pt(0, 0)); !almostEq(d, math.Sqrt(8), 1e-14) {
+		t.Errorf("MaxDist = %v", d)
+	}
+}
+
+// TestMinMaxDistBrute compares against dense sampling of the rectangle.
+func TestMinMaxDistBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		r := NewRect(rng.Float64()*10, rng.Float64()*10, rng.Float64()*10+10, rng.Float64()*10+10)
+		p := Pt(rng.Float64()*40-10, rng.Float64()*40-10)
+		minB, maxB := math.Inf(1), 0.0
+		const n = 60
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				q := Pt(r.Min.X+float64(i)/n*r.W(), r.Min.Y+float64(j)/n*r.H())
+				d := p.Dist(q)
+				minB = math.Min(minB, d)
+				maxB = math.Max(maxB, d)
+			}
+		}
+		if r.MinDist(p) > minB+1e-9 {
+			t.Errorf("MinDist %v > brute %v", r.MinDist(p), minB)
+		}
+		if r.MaxDist(p) < maxB-1e-9 {
+			t.Errorf("MaxDist %v < brute %v", r.MaxDist(p), maxB)
+		}
+	}
+}
+
+func TestRayExit(t *testing.T) {
+	r := Square(10)
+	from := Pt(5, 5)
+	cases := []struct {
+		dir  Point
+		want float64
+	}{
+		{Pt(1, 0), 5},
+		{Pt(-1, 0), 5},
+		{Pt(0, 1), 5},
+		{Pt(0, -1), 5},
+		{Pt(1, 1).Unit(), 5 * math.Sqrt2},
+	}
+	for _, c := range cases {
+		if got := r.RayExit(from, c.dir); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("RayExit(%v) = %v, want %v", c.dir, got, c.want)
+		}
+	}
+}
+
+// TestRayExitOnBoundary checks that the exit point lies on the rectangle
+// boundary for random interior origins and directions.
+func TestRayExitOnBoundary(t *testing.T) {
+	r := NewRect(1, 2, 11, 8)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		from := Pt(1+rng.Float64()*10, 2+rng.Float64()*6)
+		dir := PolarUnit(rng.Float64() * 2 * math.Pi)
+		tExit := r.RayExit(from, dir)
+		p := from.Add(dir.Scale(tExit))
+		onX := almostEq(p.X, r.Min.X, 1e-9) || almostEq(p.X, r.Max.X, 1e-9)
+		onY := almostEq(p.Y, r.Min.Y, 1e-9) || almostEq(p.Y, r.Max.Y, 1e-9)
+		if !onX && !onY {
+			t.Fatalf("exit point %v not on boundary of %v", p, r)
+		}
+		if !r.Contains(Pt(clamp(p.X, r.Min.X, r.Max.X), clamp(p.Y, r.Min.Y, r.Max.Y))) {
+			t.Fatalf("exit point %v far outside %v", p, r)
+		}
+	}
+}

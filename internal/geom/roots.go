@@ -1,0 +1,113 @@
+package geom
+
+// Bisect refines a root of the continuous function f inside [lo, hi],
+// where f(lo) and f(hi) have opposite signs, to within tol. It returns
+// the midpoint of the final bracket.
+func Bisect(f func(float64) float64, lo, hi, tol float64) float64 {
+	flo := f(lo)
+	if flo == 0 {
+		return lo
+	}
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi {
+			break // float64 exhausted
+		}
+		fm := f(mid)
+		if fm == 0 {
+			return mid
+		}
+		if (flo > 0) == (fm > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// FindRoots scans f over [lo, hi] at n+1 equally spaced samples and
+// refines every sign change by bisection to within tol. Roots that
+// coincide with sample points are reported once. f must be continuous;
+// roots closer together than (hi-lo)/n may be missed, so n controls
+// resolution.
+func FindRoots(f func(float64) float64, lo, hi float64, n int, tol float64) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	var roots []float64
+	step := (hi - lo) / float64(n)
+	x0, f0 := lo, f(lo)
+	for i := 1; i <= n; i++ {
+		x1 := lo + float64(i)*step
+		if i == n {
+			x1 = hi
+		}
+		f1 := f(x1)
+		switch {
+		case f0 == 0:
+			roots = append(roots, x0)
+		case (f0 > 0) != (f1 > 0):
+			roots = append(roots, Bisect(f, x0, x1, tol))
+		}
+		x0, f0 = x1, f1
+	}
+	if f0 == 0 {
+		roots = append(roots, x0)
+	}
+	return roots
+}
+
+// MaximizeScan finds the maximum of f over [lo, hi] by scanning n+1
+// samples and refining around the best sample with golden-section search
+// to within tol. It returns the argmax and the maximum value. The result
+// is exact for unimodal pieces wider than the scan step.
+func MaximizeScan(f func(float64) float64, lo, hi float64, n int, tol float64) (x, fx float64) {
+	if n < 2 {
+		n = 2
+	}
+	step := (hi - lo) / float64(n)
+	bestX, bestF := lo, f(lo)
+	for i := 1; i <= n; i++ {
+		xi := lo + float64(i)*step
+		if fi := f(xi); fi > bestF {
+			bestX, bestF = xi, fi
+		}
+	}
+	a := bestX - step
+	b := bestX + step
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	x, fx = goldenMax(f, a, b, tol)
+	if bestF > fx {
+		return bestX, bestF
+	}
+	return x, fx
+}
+
+// goldenMax performs golden-section search for a maximum on [a, b].
+func goldenMax(f func(float64) float64, a, b, tol float64) (float64, float64) {
+	const invPhi = 0.6180339887498949
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		}
+	}
+	if f1 > f2 {
+		return x1, f1
+	}
+	return x2, f2
+}

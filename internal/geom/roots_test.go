@@ -1,0 +1,63 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBisect(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	r := Bisect(f, 0, 2, 1e-12)
+	if !almostEq(r, math.Sqrt2, 1e-10) {
+		t.Errorf("Bisect = %v", r)
+	}
+	// Reversed sign orientation.
+	g := func(x float64) float64 { return 2 - x*x }
+	r = Bisect(g, 0, 2, 1e-12)
+	if !almostEq(r, math.Sqrt2, 1e-10) {
+		t.Errorf("Bisect reversed = %v", r)
+	}
+}
+
+func TestFindRoots(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(x) }
+	roots := FindRoots(f, 0.1, 3*math.Pi-0.1, 300, 1e-12)
+	want := []float64{math.Pi, 2 * math.Pi}
+	if len(roots) != len(want) {
+		t.Fatalf("FindRoots(sin) = %v", roots)
+	}
+	for i := range want {
+		if !almostEq(roots[i], want[i], 1e-9) {
+			t.Errorf("root %d = %v, want %v", i, roots[i], want[i])
+		}
+	}
+}
+
+func TestFindRootsNone(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if roots := FindRoots(f, -5, 5, 100, 1e-10); len(roots) != 0 {
+		t.Errorf("roots of x²+1 = %v", roots)
+	}
+}
+
+func TestMaximizeScan(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 1.7) * (x - 1.7) }
+	x, fx := MaximizeScan(f, -10, 10, 200, 1e-10)
+	if !almostEq(x, 1.7, 1e-7) || !almostEq(fx, 0, 1e-9) {
+		t.Errorf("MaximizeScan = %v, %v", x, fx)
+	}
+	// Multi-modal: must find the global max among samples.
+	g := func(x float64) float64 { return math.Sin(x) + 0.3*math.Sin(5*x+1) }
+	_, gx := MaximizeScan(g, 0, 2*math.Pi, 500, 1e-10)
+	// Brute-force comparison.
+	best := math.Inf(-1)
+	for i := 0; i <= 100000; i++ {
+		v := g(float64(i) / 100000 * 2 * math.Pi)
+		if v > best {
+			best = v
+		}
+	}
+	if gx < best-1e-6 {
+		t.Errorf("MaximizeScan found %v, brute %v", gx, best)
+	}
+}

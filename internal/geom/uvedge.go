@@ -1,0 +1,96 @@
+package geom
+
+import "math"
+
+// UVEdge is the bisector locus between two circular uncertainty regions
+// Oi = Cir(Fi, Ri) and Oj = Cir(Fj, Rj):
+//
+//	{ p : dist(p, Fi) − dist(p, Fj) = S },  S = Ri + Rj ≥ 0,
+//
+// the branch of a hyperbola with foci Fi and Fj that bends around Fj
+// (Equation 5 of the paper; for S = 0 it degenerates to the
+// perpendicular bisector, recovering the point Voronoi diagram).
+//
+// Its outside region X = { p : dist(p,Fi) − dist(p,Fj) > S } is an open
+// convex set containing Fj: a query point inside X is strictly closer to
+// Oj than to Oi in every possible world, so Oi can be pruned.
+type UVEdge struct {
+	Fi, Fj Point   // foci: centers of Oi and Oj
+	S      float64 // Ri + Rj
+}
+
+// NewUVEdge builds the UV-edge of Oi with respect to Oj from the two
+// minimum bounding circles.
+func NewUVEdge(oi, oj Circle) UVEdge {
+	return UVEdge{Fi: oi.C, Fj: oj.C, S: oi.R + oj.R}
+}
+
+// Exists reports whether the edge is non-degenerate. When the two
+// uncertainty regions overlap (dist(Fi,Fj) ≤ S) the outside region is
+// empty and there is no edge (Section III-C).
+func (e UVEdge) Exists() bool {
+	return e.Fi.Dist(e.Fj) > e.S
+}
+
+// Delta returns dist(p,Fi) − dist(p,Fj) − S. It is positive exactly on
+// the outside region, zero on the edge, and negative on the side of Oi.
+func (e UVEdge) Delta(p Point) float64 {
+	return p.Dist(e.Fi) - p.Dist(e.Fj) - e.S
+}
+
+// InOutside reports whether p lies strictly in the outside region Xi(j).
+func (e UVEdge) InOutside(p Point) bool { return e.Delta(p) > 0 }
+
+// SemiAxes returns the hyperbola parameters of Equation 5:
+// a = S/2, c = dist(Fi,Fj)/2 and b = sqrt(c²−a²). b is NaN when the edge
+// does not exist.
+func (e UVEdge) SemiAxes() (a, b, c float64) {
+	a = e.S / 2
+	c = e.Fi.Dist(e.Fj) / 2
+	b = math.Sqrt(c*c - a*a)
+	return a, b, c
+}
+
+// Center returns the midpoint of the foci (the hyperbola center).
+func (e UVEdge) Center() Point { return Lerp(e.Fi, e.Fj, 0.5) }
+
+// Theta returns the rotation of the focal axis: the angle of Fj − Fi.
+func (e UVEdge) Theta() float64 { return e.Fj.Sub(e.Fi).Angle() }
+
+// PointAt returns the point of the edge with hyperbolic parameter u: in
+// the rotated focal frame (x toward Fj) the branch around Fj is
+// (a·cosh u, b·sinh u). PointAt(0) is the vertex nearest Fj.
+func (e UVEdge) PointAt(u float64) Point {
+	a, b, _ := e.SemiAxes()
+	local := Point{a * math.Cosh(u), b * math.Sinh(u)}
+	return e.Center().Add(local.Rotate(e.Theta()))
+}
+
+// RadialBound returns the distance t at which the ray Fi + t·dir
+// (dir unit length) crosses the edge, i.e. the exact extent of Oi's
+// possible region along that ray before entering Xi(j). ok is false when
+// the ray never reaches the outside region (t = +∞ conceptually).
+//
+// Derivation (DESIGN.md §3): with w = Fi − Fj, squaring
+// dist(p,Fj) = t − S at p = Fi + t·dir gives
+// t = (S² − |w|²) / (2(w·dir + S)), valid iff w·dir < −S.
+func (e UVEdge) RadialBound(dir Point) (t float64, ok bool) {
+	if !e.Exists() {
+		return 0, false
+	}
+	w := e.Fi.Sub(e.Fj)
+	den := w.Dot(dir) + e.S
+	if den >= 0 {
+		return 0, false
+	}
+	return (e.S*e.S - w.NormSq()) / (2 * den), true
+}
+
+// ImplicitEval evaluates the sqrt-free implicit form of the full conic
+// containing the edge: L(p)² − 4S²·|p−Fj|² with
+// L(p) = |p−Fi|² − |p−Fj|² − S². It vanishes on both hyperbola branches
+// and is used for cross-validation in tests.
+func (e UVEdge) ImplicitEval(p Point) float64 {
+	l := p.DistSq(e.Fi) - p.DistSq(e.Fj) - e.S*e.S
+	return l*l - 4*e.S*e.S*p.DistSq(e.Fj)
+}

@@ -1,0 +1,172 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomEdge(rng *rand.Rand) UVEdge {
+	for {
+		oi := Circle{Pt(rng.Float64()*100, rng.Float64()*100), rng.Float64() * 5}
+		oj := Circle{Pt(rng.Float64()*100, rng.Float64()*100), rng.Float64() * 5}
+		e := NewUVEdge(oi, oj)
+		if e.Exists() {
+			return e
+		}
+	}
+}
+
+func TestUVEdgeExists(t *testing.T) {
+	oi := Circle{Pt(0, 0), 2}
+	oj := Circle{Pt(10, 0), 3}
+	if !NewUVEdge(oi, oj).Exists() {
+		t.Error("separated objects must have an edge")
+	}
+	// Overlapping objects: no edge.
+	ok := Circle{Pt(4, 0), 3}
+	if NewUVEdge(oi, ok).Exists() {
+		t.Error("overlapping objects must not have an edge")
+	}
+}
+
+func TestUVEdgeDeltaSigns(t *testing.T) {
+	e := NewUVEdge(Circle{Pt(0, 0), 1}, Circle{Pt(10, 0), 1})
+	// Near Fj: outside region (Oj always closer).
+	if !e.InOutside(Pt(10, 0)) {
+		t.Error("Fj must be in the outside region")
+	}
+	// Near Fi: not outside.
+	if e.InOutside(Pt(0, 0)) {
+		t.Error("Fi must not be in the outside region")
+	}
+}
+
+// TestUVEdgePointAtOnCurve: points from the parameterization satisfy both
+// the distance definition and the implicit conic.
+func TestUVEdgePointAtOnCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		e := randomEdge(rng)
+		for _, u := range []float64{-2, -0.7, 0, 0.4, 1.9} {
+			p := e.PointAt(u)
+			if d := e.Delta(p); !almostEq(d, 0, 1e-9) {
+				t.Fatalf("trial %d: Delta(PointAt(%v)) = %v for %+v", trial, u, d, e)
+			}
+			scale := math.Pow(p.DistSq(e.Fi)+1, 2)
+			if v := e.ImplicitEval(p); math.Abs(v)/scale > 1e-7 {
+				t.Fatalf("trial %d: ImplicitEval = %v (scaled %v)", trial, v, v/scale)
+			}
+		}
+	}
+}
+
+func TestUVEdgeVertex(t *testing.T) {
+	e := NewUVEdge(Circle{Pt(0, 0), 1}, Circle{Pt(10, 0), 2})
+	// Vertex: on the segment between foci, at distance where
+	// dist(p,Fi) - dist(p,Fj) = 3 → p = (13/2, 0) since d1+d2=10, d1-d2=3.
+	v := e.PointAt(0)
+	if !almostEq(v.X, 6.5, 1e-9) || !almostEq(v.Y, 0, 1e-9) {
+		t.Errorf("vertex = %v, want (6.5,0)", v)
+	}
+}
+
+// TestRadialBoundOnEdge: the radial bound point lies exactly on the edge,
+// and points closer than the bound are never in the outside region
+// (star-shapedness along the ray).
+func TestRadialBoundOnEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		e := randomEdge(rng)
+		for k := 0; k < 32; k++ {
+			dir := PolarUnit(rng.Float64() * 2 * math.Pi)
+			tb, ok := e.RadialBound(dir)
+			if !ok {
+				// The whole ray stays on Oi's side: spot-check far out.
+				p := e.Fi.Add(dir.Scale(1e5))
+				if e.InOutside(p) {
+					t.Fatalf("trial %d: RadialBound says no crossing but far point is outside", trial)
+				}
+				continue
+			}
+			if tb <= 0 {
+				t.Fatalf("trial %d: non-positive bound %v", trial, tb)
+			}
+			p := e.Fi.Add(dir.Scale(tb))
+			if d := e.Delta(p); !almostEq(d, 0, 1e-9) {
+				t.Fatalf("trial %d: Delta at radial bound = %v", trial, d)
+			}
+			// Inside the bound: not in outside region; beyond: in it.
+			in := e.Fi.Add(dir.Scale(tb * 0.999))
+			out := e.Fi.Add(dir.Scale(tb*1.001 + 1e-9))
+			if e.InOutside(in) {
+				t.Fatalf("trial %d: point before bound is outside", trial)
+			}
+			if !e.InOutside(out) {
+				t.Fatalf("trial %d: point after bound is not outside", trial)
+			}
+		}
+	}
+}
+
+// TestRadialBoundPointObjects: with zero radii the edge is the
+// perpendicular bisector and RadialBound must agree with it.
+func TestRadialBoundPointObjects(t *testing.T) {
+	e := UVEdge{Fi: Pt(0, 0), Fj: Pt(4, 0), S: 0}
+	tb, ok := e.RadialBound(Pt(1, 0))
+	if !ok || !almostEq(tb, 2, 1e-12) {
+		t.Errorf("bisector bound = %v, %v", tb, ok)
+	}
+	// Perpendicular direction never crosses.
+	if _, ok := e.RadialBound(Pt(0, 1)); ok {
+		t.Error("perpendicular ray should not cross the bisector")
+	}
+	// 45 degrees: crossing at x=2 → t = 2·sqrt(2).
+	tb, ok = e.RadialBound(Pt(1, 1).Unit())
+	if !ok || !almostEq(tb, 2*math.Sqrt2, 1e-12) {
+		t.Errorf("diagonal bound = %v, %v", tb, ok)
+	}
+}
+
+// TestOutsideRegionConvex: sample pairs of points in the outside region;
+// their midpoint must also be in it (convexity, basis of the 4-point
+// test in Algorithm 5).
+func TestOutsideRegionConvex(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		e := randomEdge(rng)
+		var pts []Point
+		for len(pts) < 20 {
+			p := Pt(rng.Float64()*300-100, rng.Float64()*300-100)
+			if e.InOutside(p) {
+				pts = append(pts, p)
+			}
+		}
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				m := Lerp(pts[i], pts[j], 0.5)
+				if !e.InOutside(m) && e.Delta(m) < -1e-9 {
+					t.Fatalf("trial %d: outside region not convex: %v %v mid %v delta %v",
+						trial, pts[i], pts[j], m, e.Delta(m))
+				}
+			}
+		}
+	}
+}
+
+func TestSemiAxes(t *testing.T) {
+	e := NewUVEdge(Circle{Pt(0, 0), 1}, Circle{Pt(10, 0), 2})
+	a, b, c := e.SemiAxes()
+	if !almostEq(a, 1.5, 1e-12) || !almostEq(c, 5, 1e-12) {
+		t.Errorf("a=%v c=%v", a, c)
+	}
+	if !almostEq(b*b, c*c-a*a, 1e-9) {
+		t.Errorf("b² = %v, want %v", b*b, c*c-a*a)
+	}
+	if !almostEq(e.Theta(), 0, 1e-12) {
+		t.Errorf("theta = %v", e.Theta())
+	}
+	if e.Center() != Pt(5, 0) {
+		t.Errorf("center = %v", e.Center())
+	}
+}

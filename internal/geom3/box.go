@@ -1,0 +1,154 @@
+package geom3
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is an axis-aligned box (domains and octree node regions).
+type Box struct {
+	Min, Max Point3
+}
+
+// Cube returns the cube [0, side]³.
+func Cube(side float64) Box {
+	return Box{Min: Point3{}, Max: Point3{side, side, side}}
+}
+
+// String implements fmt.Stringer.
+func (b Box) String() string {
+	return fmt.Sprintf("[%g,%g]×[%g,%g]×[%g,%g]",
+		b.Min.X, b.Max.X, b.Min.Y, b.Max.Y, b.Min.Z, b.Max.Z)
+}
+
+// W, H, D return the box extents along x, y and z.
+func (b Box) W() float64 { return b.Max.X - b.Min.X }
+
+// H returns the y extent.
+func (b Box) H() float64 { return b.Max.Y - b.Min.Y }
+
+// D returns the z extent.
+func (b Box) D() float64 { return b.Max.Z - b.Min.Z }
+
+// Volume returns the box volume.
+func (b Box) Volume() float64 { return b.W() * b.H() * b.D() }
+
+// Center returns the box center.
+func (b Box) Center() Point3 {
+	return Point3{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2, (b.Min.Z + b.Max.Z) / 2}
+}
+
+// Contains reports whether p lies in the closed box.
+func (b Box) Contains(p Point3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Overlaps reports whether the two closed boxes intersect.
+func (b Box) Overlaps(o Box) bool {
+	return b.Min.X <= o.Max.X && o.Min.X <= b.Max.X &&
+		b.Min.Y <= o.Max.Y && o.Min.Y <= b.Max.Y &&
+		b.Min.Z <= o.Max.Z && o.Min.Z <= b.Max.Z
+}
+
+// Corners returns the eight corner points (the 8-point overlap test of
+// the octree index, the 3D lift of Algorithm 5's 4-point test).
+func (b Box) Corners() [8]Point3 {
+	var out [8]Point3
+	for k := 0; k < 8; k++ {
+		p := b.Min
+		if k&1 != 0 {
+			p.X = b.Max.X
+		}
+		if k&2 != 0 {
+			p.Y = b.Max.Y
+		}
+		if k&4 != 0 {
+			p.Z = b.Max.Z
+		}
+		out[k] = p
+	}
+	return out
+}
+
+// Octant returns the k-th of the eight half-size children (bit 0 = +x,
+// bit 1 = +y, bit 2 = +z).
+func (b Box) Octant(k int) Box {
+	c := b.Center()
+	out := b
+	if k&1 == 0 {
+		out.Max.X = c.X
+	} else {
+		out.Min.X = c.X
+	}
+	if k&2 == 0 {
+		out.Max.Y = c.Y
+	} else {
+		out.Min.Y = c.Y
+	}
+	if k&4 == 0 {
+		out.Max.Z = c.Z
+	} else {
+		out.Min.Z = c.Z
+	}
+	return out
+}
+
+// OctantFor returns the index of the octant containing p (points on a
+// split plane go to the upper side, matching Octant).
+func (b Box) OctantFor(p Point3) int {
+	c := b.Center()
+	k := 0
+	if p.X >= c.X {
+		k |= 1
+	}
+	if p.Y >= c.Y {
+		k |= 2
+	}
+	if p.Z >= c.Z {
+		k |= 4
+	}
+	return k
+}
+
+// MinDist returns the distance from p to the box (0 when inside).
+func (b Box) MinDist(p Point3) float64 {
+	dx := math.Max(0, math.Max(b.Min.X-p.X, p.X-b.Max.X))
+	dy := math.Max(0, math.Max(b.Min.Y-p.Y, p.Y-b.Max.Y))
+	dz := math.Max(0, math.Max(b.Min.Z-p.Z, p.Z-b.Max.Z))
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// MaxDist returns the distance from p to the farthest point of the box.
+func (b Box) MaxDist(p Point3) float64 {
+	dx := math.Max(math.Abs(p.X-b.Min.X), math.Abs(p.X-b.Max.X))
+	dy := math.Max(math.Abs(p.Y-b.Min.Y), math.Abs(p.Y-b.Max.Y))
+	dz := math.Max(math.Abs(p.Z-b.Min.Z), math.Abs(p.Z-b.Max.Z))
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// RayExit returns the distance along the unit direction dir at which
+// the ray from a point inside the box leaves it.
+func (b Box) RayExit(from, dir Point3) float64 {
+	t := math.Inf(1)
+	if dir.X > 0 {
+		t = math.Min(t, (b.Max.X-from.X)/dir.X)
+	} else if dir.X < 0 {
+		t = math.Min(t, (b.Min.X-from.X)/dir.X)
+	}
+	if dir.Y > 0 {
+		t = math.Min(t, (b.Max.Y-from.Y)/dir.Y)
+	} else if dir.Y < 0 {
+		t = math.Min(t, (b.Min.Y-from.Y)/dir.Y)
+	}
+	if dir.Z > 0 {
+		t = math.Min(t, (b.Max.Z-from.Z)/dir.Z)
+	} else if dir.Z < 0 {
+		t = math.Min(t, (b.Min.Z-from.Z)/dir.Z)
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}

@@ -1,0 +1,258 @@
+package geom3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randPoint(rng *rand.Rand, scale float64) Point3 {
+	return Point3{rng.Float64() * scale, rng.Float64() * scale, rng.Float64() * scale}
+}
+
+func TestPointOps(t *testing.T) {
+	a, b := P3(1, 2, 3), P3(4, 5, 6)
+	if got := a.Add(b); got != P3(5, 7, 9) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != P3(3, 3, 3) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != P3(-3, 6, -3) {
+		t.Fatalf("Cross = %v", got)
+	}
+	if got := P3(3, 4, 0).Norm(); got != 5 {
+		t.Fatalf("Norm = %v", got)
+	}
+	if got := P3(0, 0, 0).Unit(); got != P3(1, 0, 0) {
+		t.Fatalf("zero Unit = %v", got)
+	}
+}
+
+func TestCrossOrthogonal(t *testing.T) {
+	// Map arbitrary float64s into a bounded range to avoid overflow to
+	// infinity in the products.
+	squash := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e3)
+	}
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := P3(squash(ax), squash(ay), squash(az))
+		b := P3(squash(bx), squash(by), squash(bz))
+		c := a.Cross(b)
+		tol := 1e-6 * (1 + a.NormSq() + b.NormSq())
+		return math.Abs(c.Dot(a)) < tol && math.Abs(c.Dot(b)) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFibonacciSphereUnitAndSpread(t *testing.T) {
+	dirs := FibonacciSphere(500)
+	if len(dirs) != 500 {
+		t.Fatalf("len = %d", len(dirs))
+	}
+	var mean Point3
+	for _, d := range dirs {
+		if math.Abs(d.Norm()-1) > 1e-12 {
+			t.Fatalf("direction %v is not unit", d)
+		}
+		mean = mean.Add(d)
+	}
+	if mean.Scale(1.0/500).Norm() > 0.01 {
+		t.Fatalf("directions are not balanced: mean %v", mean.Scale(1.0/500))
+	}
+	// Nearest-neighbor angle should be small and uniformish: every
+	// direction has a neighbor within ~3× the ideal spacing.
+	ideal := math.Sqrt(4 * math.Pi / 500)
+	for i, d := range dirs {
+		best := math.Inf(1)
+		for j, e := range dirs {
+			if i != j {
+				best = math.Min(best, d.Dist(e))
+			}
+		}
+		if best > 3*ideal {
+			t.Fatalf("direction %d isolated: nearest at %v (ideal %v)", i, best, ideal)
+		}
+	}
+}
+
+func TestBallLensVolumeCases(t *testing.T) {
+	a := Sphere{C: P3(0, 0, 0), R: 10}
+	// Disjoint.
+	if v := BallLensVolume(a, Sphere{C: P3(30, 0, 0), R: 5}); v != 0 {
+		t.Fatalf("disjoint lens = %v", v)
+	}
+	// Contained.
+	small := Sphere{C: P3(1, 0, 0), R: 2}
+	if v := BallLensVolume(a, small); math.Abs(v-small.Volume()) > 1e-9 {
+		t.Fatalf("contained lens = %v, want %v", v, small.Volume())
+	}
+	// Self-intersection = own volume.
+	if v := BallLensVolume(a, a); math.Abs(v-a.Volume()) > 1e-9 {
+		t.Fatalf("self lens = %v, want %v", v, a.Volume())
+	}
+	// Hemisphere symmetry: two equal balls with centers d apart overlap
+	// in a lens symmetric about the mid-plane.
+	b := Sphere{C: P3(10, 0, 0), R: 10}
+	v := BallLensVolume(a, b)
+	// Analytic: V = π(2R−d)²(d²+4dR−3·0)/(12d) with R=10, d=10.
+	want := math.Pi * 100 * (100 + 400) / 120
+	if math.Abs(v-want) > 1e-9 {
+		t.Fatalf("equal-ball lens = %v, want %v", v, want)
+	}
+}
+
+func TestBallLensVolumeMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		a := Sphere{C: randPoint(rng, 10), R: 1 + rng.Float64()*5}
+		b := Sphere{C: randPoint(rng, 10), R: 1 + rng.Float64()*5}
+		got := BallLensVolume(a, b)
+		// Sample inside a's bounding box.
+		const n = 200000
+		hits := 0
+		bb := a.BoundingBox()
+		for i := 0; i < n; i++ {
+			p := Point3{
+				bb.Min.X + rng.Float64()*bb.W(),
+				bb.Min.Y + rng.Float64()*bb.H(),
+				bb.Min.Z + rng.Float64()*bb.D(),
+			}
+			if a.Contains(p) && b.Contains(p) {
+				hits++
+			}
+		}
+		mc := float64(hits) / n * bb.Volume()
+		tol := 0.05*a.Volume() + 1e-9
+		if math.Abs(got-mc) > tol {
+			t.Fatalf("trial %d: lens %v vs Monte-Carlo %v (tol %v)", trial, got, mc, tol)
+		}
+	}
+}
+
+func TestOctantsTileBox(t *testing.T) {
+	b := Box{Min: P3(0, 0, 0), Max: P3(8, 4, 2)}
+	total := 0.0
+	for k := 0; k < 8; k++ {
+		total += b.Octant(k).Volume()
+	}
+	if math.Abs(total-b.Volume()) > 1e-12 {
+		t.Fatalf("octant volumes sum to %v, want %v", total, b.Volume())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		p := Point3{rng.Float64() * 8, rng.Float64() * 4, rng.Float64() * 2}
+		k := b.OctantFor(p)
+		if !b.Octant(k).Contains(p) {
+			t.Fatalf("point %v not in its octant %d %v", p, k, b.Octant(k))
+		}
+	}
+}
+
+func TestBoxDistances(t *testing.T) {
+	b := Box{Min: P3(0, 0, 0), Max: P3(10, 10, 10)}
+	if d := b.MinDist(P3(5, 5, 5)); d != 0 {
+		t.Fatalf("inside MinDist = %v", d)
+	}
+	if d := b.MinDist(P3(13, 14, 10)); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("outside MinDist = %v, want 5", d)
+	}
+	if d := b.MaxDist(P3(0, 0, 0)); math.Abs(d-math.Sqrt(300)) > 1e-12 {
+		t.Fatalf("MaxDist = %v, want %v", d, math.Sqrt(300))
+	}
+}
+
+func TestBoxRayExit(t *testing.T) {
+	b := Cube(10)
+	from := P3(5, 5, 5)
+	if tx := b.RayExit(from, P3(1, 0, 0)); math.Abs(tx-5) > 1e-12 {
+		t.Fatalf("+x exit = %v", tx)
+	}
+	diag := P3(1, 1, 1).Unit()
+	want := 5 * math.Sqrt(3)
+	if td := b.RayExit(from, diag); math.Abs(td-want) > 1e-9 {
+		t.Fatalf("diagonal exit = %v, want %v", td, want)
+	}
+}
+
+func TestUVEdge3RadialBoundOnLocus(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		oi := Sphere{C: randPoint(rng, 100), R: rng.Float64() * 5}
+		oj := Sphere{C: randPoint(rng, 100), R: rng.Float64() * 5}
+		e := NewUVEdge3(oi, oj)
+		if !e.Exists() {
+			continue
+		}
+		dir := Point3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}.Unit()
+		tb, ok := e.RadialBound(dir)
+		if !ok {
+			continue
+		}
+		p := e.Fi.Add(dir.Scale(tb))
+		// p must lie on the locus dist(p,Fi) − dist(p,Fj) = S.
+		if d := e.Delta(p); math.Abs(d) > 1e-6*(1+tb) {
+			t.Fatalf("trial %d: Delta at bound = %v", trial, d)
+		}
+		// Just beyond the bound the ray is in the outside region;
+		// just before it is not.
+		if !e.InOutside(e.Fi.Add(dir.Scale(tb * 1.001))) {
+			t.Fatalf("trial %d: beyond bound not outside", trial)
+		}
+		if e.InOutside(e.Fi.Add(dir.Scale(tb * 0.999))) {
+			t.Fatalf("trial %d: before bound already outside", trial)
+		}
+	}
+}
+
+func TestUVEdge3OutsideRegionConvex(t *testing.T) {
+	// Sample pairs of outside points; every midpoint must be outside
+	// too (spot check of the convexity the 8-corner test relies on).
+	rng := rand.New(rand.NewSource(6))
+	e := NewUVEdge3(Sphere{C: P3(0, 0, 0), R: 2}, Sphere{C: P3(30, 0, 0), R: 3})
+	var pts []Point3
+	for len(pts) < 200 {
+		p := Point3{20 + rng.Float64()*40, rng.NormFloat64() * 15, rng.NormFloat64() * 15}
+		if e.InOutside(p) {
+			pts = append(pts, p)
+		}
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j += 7 {
+			mid := Lerp3(pts[i], pts[j], 0.5)
+			if !e.InOutside(mid) && e.Delta(mid) < -1e-9 {
+				t.Fatalf("midpoint of outside points %v, %v is inside (Δ=%v)",
+					pts[i], pts[j], e.Delta(mid))
+			}
+		}
+	}
+}
+
+func TestSphereBasics(t *testing.T) {
+	s := Sphere{C: P3(0, 0, 0), R: 5}
+	if !s.Contains(P3(3, 4, 0)) {
+		t.Fatal("boundary point not contained")
+	}
+	if s.Contains(P3(3, 4, 1)) {
+		t.Fatal("outside point contained")
+	}
+	if !s.Overlaps(Sphere{C: P3(10, 0, 0), R: 5}) {
+		t.Fatal("tangent spheres should overlap")
+	}
+	if !s.ContainsSphere(Sphere{C: P3(1, 0, 0), R: 4}) {
+		t.Fatal("inner sphere not contained")
+	}
+	bb := s.BoundingBox()
+	if bb.Min != P3(-5, -5, -5) || bb.Max != P3(5, 5, 5) {
+		t.Fatalf("bounding box = %v", bb)
+	}
+}

@@ -1,0 +1,87 @@
+// Package geom3 provides the three-dimensional geometry substrate for
+// the multi-dimensional UV-diagram extension (the paper's conclusion
+// lists support for multi-dimensional data as future work): points,
+// spheres, boxes, 3D UV-edges (hyperboloid bisectors) and ball
+// intersection volumes.
+//
+// Every 2D construction of the paper lifts cleanly: the UV-edge locus
+// dist(p,ci) − dist(p,cj) = ri + rj is one sheet of a two-sheeted
+// hyperboloid of revolution, its outside region is convex, the radial
+// bound along a ray from ci has the same closed form (the derivation
+// never uses the dimension), and possible regions remain star-shaped
+// around the object center by the same triangle-inequality argument.
+package geom3
+
+import "math"
+
+// Point3 is a location in 3-space.
+type Point3 struct {
+	X, Y, Z float64
+}
+
+// P3 returns the point (x, y, z).
+func P3(x, y, z float64) Point3 { return Point3{x, y, z} }
+
+// Add returns p + q.
+func (p Point3) Add(q Point3) Point3 { return Point3{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// Sub returns p − q.
+func (p Point3) Sub(q Point3) Point3 { return Point3{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Scale returns k·p.
+func (p Point3) Scale(k float64) Point3 { return Point3{k * p.X, k * p.Y, k * p.Z} }
+
+// Dot returns the dot product p·q.
+func (p Point3) Dot(q Point3) float64 { return p.X*q.X + p.Y*q.Y + p.Z*q.Z }
+
+// Cross returns the cross product p × q.
+func (p Point3) Cross(q Point3) Point3 {
+	return Point3{
+		p.Y*q.Z - p.Z*q.Y,
+		p.Z*q.X - p.X*q.Z,
+		p.X*q.Y - p.Y*q.X,
+	}
+}
+
+// Norm returns |p|.
+func (p Point3) Norm() float64 { return math.Sqrt(p.NormSq()) }
+
+// NormSq returns |p|².
+func (p Point3) NormSq() float64 { return p.X*p.X + p.Y*p.Y + p.Z*p.Z }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point3) Dist(q Point3) float64 { return p.Sub(q).Norm() }
+
+// DistSq returns the squared distance between p and q.
+func (p Point3) DistSq(q Point3) float64 { return p.Sub(q).NormSq() }
+
+// Unit returns p normalized to length 1 (the zero vector maps to the
+// +x axis).
+func (p Point3) Unit() Point3 {
+	n := p.Norm()
+	if n == 0 {
+		return Point3{1, 0, 0}
+	}
+	return p.Scale(1 / n)
+}
+
+// FibonacciSphere returns n quasi-uniform unit directions (the golden
+// -spiral lattice), the 3D analogue of the uniform angular sweeps used
+// by the 2D radial representation.
+func FibonacciSphere(n int) []Point3 {
+	if n < 1 {
+		n = 1
+	}
+	const golden = math.Pi * (3 - 2.2360679774997896) // π(3−√5)
+	dirs := make([]Point3, n)
+	for i := 0; i < n; i++ {
+		z := 1 - 2*(float64(i)+0.5)/float64(n)
+		r := math.Sqrt(1 - z*z)
+		th := golden * float64(i)
+		dirs[i] = Point3{r * math.Cos(th), r * math.Sin(th), z}
+	}
+	return dirs
+}
+
+// Lerp3 returns a + t(b−a).
+func Lerp3(a, b Point3, t float64) Point3 { return a.Add(b.Sub(a).Scale(t)) }

@@ -1,0 +1,60 @@
+package geom3
+
+import "math"
+
+// Sphere is a ball in 3-space (uncertainty regions of 3D objects).
+type Sphere struct {
+	C Point3
+	R float64
+}
+
+// Contains reports whether p lies in the closed ball.
+func (s Sphere) Contains(p Point3) bool {
+	return s.C.DistSq(p) <= s.R*s.R
+}
+
+// Overlaps reports whether the two closed balls intersect.
+func (s Sphere) Overlaps(o Sphere) bool {
+	return s.C.Dist(o.C) <= s.R+o.R
+}
+
+// ContainsSphere reports whether o lies entirely inside s.
+func (s Sphere) ContainsSphere(o Sphere) bool {
+	return s.C.Dist(o.C)+o.R <= s.R
+}
+
+// Volume returns the ball volume 4/3·π·R³.
+func (s Sphere) Volume() float64 { return 4 * math.Pi * s.R * s.R * s.R / 3 }
+
+// BoundingBox returns the axis-aligned bounding box of the ball.
+func (s Sphere) BoundingBox() Box {
+	return Box{
+		Min: Point3{s.C.X - s.R, s.C.Y - s.R, s.C.Z - s.R},
+		Max: Point3{s.C.X + s.R, s.C.Y + s.R, s.C.Z + s.R},
+	}
+}
+
+// BallLensVolume returns the volume of the intersection of two balls,
+// the 3D analogue of geom.LensArea and the basis of the 3D distance
+// CDF. Closed form: for d = dist(a,b) with partial overlap the lens is
+// two spherical caps,
+//
+//	V = π (a.R + b.R − d)² (d² + 2d(a.R + b.R) − 3(a.R − b.R)²) / (12 d).
+func BallLensVolume(a, b Sphere) float64 {
+	if a.R <= 0 || b.R <= 0 {
+		return 0
+	}
+	d := a.C.Dist(b.C)
+	if d >= a.R+b.R {
+		return 0
+	}
+	small, big := a, b
+	if small.R > big.R {
+		small, big = big, small
+	}
+	if d+small.R <= big.R {
+		return small.Volume()
+	}
+	s := a.R + b.R - d
+	return math.Pi * s * s * (d*d + 2*d*(a.R+b.R) - 3*(a.R-b.R)*(a.R-b.R)) / (12 * d)
+}

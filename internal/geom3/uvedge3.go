@@ -1,0 +1,54 @@
+package geom3
+
+// UVEdge3 is the bisector locus between two spherical uncertainty
+// regions Oi = Ball(Fi, Ri) and Oj = Ball(Fj, Rj):
+//
+//	{ p : dist(p, Fi) − dist(p, Fj) = S },  S = Ri + Rj ≥ 0,
+//
+// one sheet of a two-sheeted hyperboloid of revolution with foci Fi and
+// Fj, bending around Fj. Its outside region
+// X = { p : dist(p,Fi) − dist(p,Fj) > S } is an open convex set
+// containing Fj (the region bounded by one sheet on the focus side is
+// convex in any dimension), which is what justifies the 8-corner box
+// test of the octree index.
+type UVEdge3 struct {
+	Fi, Fj Point3
+	S      float64
+}
+
+// NewUVEdge3 builds the 3D UV-edge of Oi with respect to Oj.
+func NewUVEdge3(oi, oj Sphere) UVEdge3 {
+	return UVEdge3{Fi: oi.C, Fj: oj.C, S: oi.R + oj.R}
+}
+
+// Exists reports whether the edge is non-degenerate (the two balls do
+// not overlap).
+func (e UVEdge3) Exists() bool {
+	return e.Fi.Dist(e.Fj) > e.S
+}
+
+// Delta returns dist(p,Fi) − dist(p,Fj) − S: positive exactly on the
+// outside region.
+func (e UVEdge3) Delta(p Point3) float64 {
+	return p.Dist(e.Fi) - p.Dist(e.Fj) - e.S
+}
+
+// InOutside reports whether p lies strictly in the outside region.
+func (e UVEdge3) InOutside(p Point3) bool { return e.Delta(p) > 0 }
+
+// RadialBound returns the distance t at which the ray Fi + t·dir (dir
+// unit length) crosses the sheet — the same closed form as the 2D case,
+// whose derivation never uses the dimension:
+//
+//	t = (S² − |w|²) / (2(w·dir + S)),  w = Fi − Fj,  valid iff w·dir < −S.
+func (e UVEdge3) RadialBound(dir Point3) (t float64, ok bool) {
+	if !e.Exists() {
+		return 0, false
+	}
+	w := e.Fi.Sub(e.Fj)
+	den := w.Dot(dir) + e.S
+	if den >= 0 {
+		return 0, false
+	}
+	return (e.S*e.S - w.NormSq()) / (2 * den), true
+}

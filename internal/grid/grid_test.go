@@ -1,0 +1,101 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/uncertain"
+)
+
+func randObjs(rng *rand.Rand, n int, side, rmax float64) []uncertain.Object {
+	objs := make([]uncertain.Object, n)
+	for i := range objs {
+		c := geom.Pt(rmax+rng.Float64()*(side-2*rmax), rmax+rng.Float64()*(side-2*rmax))
+		objs[i] = uncertain.New(int32(i), geom.Circle{C: c, R: 0.5 + rng.Float64()*rmax/2}, nil)
+	}
+	return objs
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, geom.Square(10), 0, pager.New(0)); err == nil {
+		t.Error("zero cell count accepted")
+	}
+	bad := []uncertain.Object{uncertain.New(0, geom.Circle{C: geom.Pt(-5, 0), R: 1}, nil)}
+	if _, err := Build(bad, geom.Square(10), 4, pager.New(0)); err == nil {
+		t.Error("object outside domain accepted")
+	}
+}
+
+func TestPNNCandidatesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	domain := geom.Square(1000)
+	objs := randObjs(rng, 400, 1000, 20)
+	g, err := Build(objs, domain, 16, pager.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != len(objs) {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		got, dminmax := g.PNNCandidates(q)
+		want := math.Inf(1)
+		for _, o := range objs {
+			want = math.Min(want, o.DistMax(q))
+		}
+		if math.Abs(dminmax-want) > 1e-9 {
+			t.Fatalf("trial %d: dminmax %v, want %v", trial, dminmax, want)
+		}
+		var wantIDs []int32
+		for _, o := range objs {
+			if o.DistMin(q) <= want {
+				wantIDs = append(wantIDs, o.ID)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(wantIDs, func(i, j int) bool { return wantIDs[i] < wantIDs[j] })
+		if len(got) != len(wantIDs) {
+			t.Fatalf("trial %d: got %d candidates, want %d", trial, len(got), len(wantIDs))
+		}
+		for i := range got {
+			if got[i] != wantIDs[i] {
+				t.Fatalf("trial %d: candidates %v, want %v", trial, got, wantIDs)
+			}
+		}
+	}
+}
+
+func TestPNNEmptyGrid(t *testing.T) {
+	g, err := Build(nil, geom.Square(100), 4, pager.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, d := g.PNNCandidates(geom.Pt(50, 50))
+	if ids != nil || !math.IsInf(d, 1) {
+		t.Errorf("empty grid PNN = %v, %v", ids, d)
+	}
+}
+
+func TestIOCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	domain := geom.Square(1000)
+	objs := randObjs(rng, 500, 1000, 15)
+	pg := pager.New(0)
+	g, err := Build(objs, domain, 20, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.ResetStats()
+	g.PNNCandidates(geom.Pt(512, 488))
+	if pg.Reads() == 0 {
+		t.Error("grid PNN should read pages")
+	}
+	if int(pg.Reads()) > 20*20 {
+		t.Errorf("grid PNN read %d pages — more than every cell", pg.Reads())
+	}
+}

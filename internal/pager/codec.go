@@ -1,0 +1,115 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The binary page layouts used by the indexes. All integers are little
+// endian; floats are IEEE-754 bits.
+
+// LeafTuple is the <ID, MBC, pointer> tuple stored in UV-index and
+// R-tree leaf pages (Section V-A): 4 + 3·8 + 8 = 36 bytes encoded.
+type LeafTuple struct {
+	ID      int32
+	CX, CY  float64 // MBC center
+	R       float64 // MBC radius
+	Pointer uint64  // disk address of the object's page
+}
+
+// LeafTupleSize is the encoded size of a LeafTuple in bytes.
+const LeafTupleSize = 4 + 8 + 8 + 8 + 8
+
+// EncodeLeafTuples serializes tuples, prefixed by a uint16 count.
+func EncodeLeafTuples(ts []LeafTuple) []byte {
+	buf := make([]byte, 2+len(ts)*LeafTupleSize)
+	binary.LittleEndian.PutUint16(buf, uint16(len(ts)))
+	off := 2
+	for _, t := range ts {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(t.ID))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(t.CX))
+		binary.LittleEndian.PutUint64(buf[off+12:], math.Float64bits(t.CY))
+		binary.LittleEndian.PutUint64(buf[off+20:], math.Float64bits(t.R))
+		binary.LittleEndian.PutUint64(buf[off+28:], t.Pointer)
+		off += LeafTupleSize
+	}
+	return buf
+}
+
+// DecodeLeafTuples parses a page written by EncodeLeafTuples.
+func DecodeLeafTuples(page []byte) ([]LeafTuple, error) {
+	if len(page) < 2 {
+		return nil, fmt.Errorf("pager: leaf page too short (%d bytes)", len(page))
+	}
+	n := int(binary.LittleEndian.Uint16(page))
+	need := 2 + n*LeafTupleSize
+	if len(page) < need {
+		return nil, fmt.Errorf("pager: leaf page truncated: need %d bytes, have %d", need, len(page))
+	}
+	ts := make([]LeafTuple, n)
+	off := 2
+	for i := range ts {
+		ts[i].ID = int32(binary.LittleEndian.Uint32(page[off:]))
+		ts[i].CX = math.Float64frombits(binary.LittleEndian.Uint64(page[off+4:]))
+		ts[i].CY = math.Float64frombits(binary.LittleEndian.Uint64(page[off+12:]))
+		ts[i].R = math.Float64frombits(binary.LittleEndian.Uint64(page[off+20:]))
+		ts[i].Pointer = binary.LittleEndian.Uint64(page[off+28:])
+		off += LeafTupleSize
+	}
+	return ts, nil
+}
+
+// TuplesPerPage returns how many leaf tuples fit in one page of the
+// given size.
+func TuplesPerPage(pageSize int) int {
+	return (pageSize - 2) / LeafTupleSize
+}
+
+// ObjectRecord is the full uncertainty information of one object as
+// stored on its own disk page: region plus pdf histogram bars.
+type ObjectRecord struct {
+	ID      int32
+	CX, CY  float64
+	R       float64
+	Weights []float64
+}
+
+// EncodeObjectRecord serializes an object page.
+func EncodeObjectRecord(rec ObjectRecord) []byte {
+	buf := make([]byte, 4+24+2+len(rec.Weights)*8)
+	binary.LittleEndian.PutUint32(buf, uint32(rec.ID))
+	binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(rec.CX))
+	binary.LittleEndian.PutUint64(buf[12:], math.Float64bits(rec.CY))
+	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(rec.R))
+	binary.LittleEndian.PutUint16(buf[28:], uint16(len(rec.Weights)))
+	off := 30
+	for _, w := range rec.Weights {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(w))
+		off += 8
+	}
+	return buf
+}
+
+// DecodeObjectRecord parses a page written by EncodeObjectRecord.
+func DecodeObjectRecord(page []byte) (ObjectRecord, error) {
+	var rec ObjectRecord
+	if len(page) < 30 {
+		return rec, fmt.Errorf("pager: object page too short (%d bytes)", len(page))
+	}
+	rec.ID = int32(binary.LittleEndian.Uint32(page))
+	rec.CX = math.Float64frombits(binary.LittleEndian.Uint64(page[4:]))
+	rec.CY = math.Float64frombits(binary.LittleEndian.Uint64(page[12:]))
+	rec.R = math.Float64frombits(binary.LittleEndian.Uint64(page[20:]))
+	n := int(binary.LittleEndian.Uint16(page[28:]))
+	if len(page) < 30+8*n {
+		return rec, fmt.Errorf("pager: object page truncated")
+	}
+	rec.Weights = make([]float64, n)
+	off := 30
+	for i := range rec.Weights {
+		rec.Weights[i] = math.Float64frombits(binary.LittleEndian.Uint64(page[off:]))
+		off += 8
+	}
+	return rec, nil
+}

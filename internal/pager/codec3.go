@@ -1,0 +1,65 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// LeafTuple3 is the <ID, MBS, pointer> tuple stored in the 3D octree
+// index's leaf pages: the minimum bounding sphere replaces the MBC.
+type LeafTuple3 struct {
+	ID         int32
+	CX, CY, CZ float64 // MBS center
+	R          float64 // MBS radius
+	Pointer    uint64
+}
+
+// LeafTuple3Size is the encoded size of a LeafTuple3 in bytes.
+const LeafTuple3Size = 4 + 4*8 + 8
+
+// EncodeLeafTuples3 serializes tuples, prefixed by a uint16 count.
+func EncodeLeafTuples3(ts []LeafTuple3) []byte {
+	buf := make([]byte, 2+len(ts)*LeafTuple3Size)
+	binary.LittleEndian.PutUint16(buf, uint16(len(ts)))
+	off := 2
+	for _, t := range ts {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(t.ID))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(t.CX))
+		binary.LittleEndian.PutUint64(buf[off+12:], math.Float64bits(t.CY))
+		binary.LittleEndian.PutUint64(buf[off+20:], math.Float64bits(t.CZ))
+		binary.LittleEndian.PutUint64(buf[off+28:], math.Float64bits(t.R))
+		binary.LittleEndian.PutUint64(buf[off+36:], t.Pointer)
+		off += LeafTuple3Size
+	}
+	return buf
+}
+
+// DecodeLeafTuples3 parses a page written by EncodeLeafTuples3.
+func DecodeLeafTuples3(page []byte) ([]LeafTuple3, error) {
+	if len(page) < 2 {
+		return nil, fmt.Errorf("pager: 3D leaf page too short (%d bytes)", len(page))
+	}
+	n := int(binary.LittleEndian.Uint16(page))
+	need := 2 + n*LeafTuple3Size
+	if len(page) < need {
+		return nil, fmt.Errorf("pager: 3D leaf page truncated: need %d bytes, have %d", need, len(page))
+	}
+	ts := make([]LeafTuple3, n)
+	off := 2
+	for i := range ts {
+		ts[i].ID = int32(binary.LittleEndian.Uint32(page[off:]))
+		ts[i].CX = math.Float64frombits(binary.LittleEndian.Uint64(page[off+4:]))
+		ts[i].CY = math.Float64frombits(binary.LittleEndian.Uint64(page[off+12:]))
+		ts[i].CZ = math.Float64frombits(binary.LittleEndian.Uint64(page[off+20:]))
+		ts[i].R = math.Float64frombits(binary.LittleEndian.Uint64(page[off+28:]))
+		ts[i].Pointer = binary.LittleEndian.Uint64(page[off+36:])
+		off += LeafTuple3Size
+	}
+	return ts, nil
+}
+
+// TuplesPerPage3 returns how many 3D leaf tuples fit in one page.
+func TuplesPerPage3(pageSize int) int {
+	return (pageSize - 2) / LeafTuple3Size
+}

@@ -1,0 +1,62 @@
+package pager
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLeafTuples3RoundTrip(t *testing.T) {
+	in := []LeafTuple3{
+		{ID: 0, CX: 1.5, CY: -2.25, CZ: 3.75, R: 0.5, Pointer: 42},
+		{ID: 7, CX: math.Pi, CY: math.E, CZ: -math.Sqrt2, R: 123.456, Pointer: 1 << 40},
+		{ID: -1, CX: 0, CY: 0, CZ: 0, R: 0, Pointer: 0},
+	}
+	page := EncodeLeafTuples3(in)
+	out, err := DecodeLeafTuples3(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("tuple %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestLeafTuples3Empty(t *testing.T) {
+	out, err := DecodeLeafTuples3(EncodeLeafTuples3(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty round trip produced %v", out)
+	}
+}
+
+func TestLeafTuples3Truncated(t *testing.T) {
+	page := EncodeLeafTuples3([]LeafTuple3{{ID: 1}, {ID: 2}})
+	if _, err := DecodeLeafTuples3(page[:len(page)-1]); err == nil {
+		t.Fatal("truncated page accepted")
+	}
+	if _, err := DecodeLeafTuples3(nil); err == nil {
+		t.Fatal("nil page accepted")
+	}
+	if _, err := DecodeLeafTuples3([]byte{1}); err == nil {
+		t.Fatal("1-byte page accepted")
+	}
+}
+
+func TestTuplesPerPage3(t *testing.T) {
+	if n := TuplesPerPage3(4096); n != (4096-2)/LeafTuple3Size {
+		t.Fatalf("TuplesPerPage3(4096) = %d", n)
+	}
+	// A full page of tuples must actually fit.
+	n := TuplesPerPage3(DefaultPageSize)
+	page := EncodeLeafTuples3(make([]LeafTuple3, n))
+	if len(page) > DefaultPageSize {
+		t.Fatalf("full page is %d bytes, exceeds %d", len(page), DefaultPageSize)
+	}
+}

@@ -1,0 +1,105 @@
+// Package pager simulates a disk of fixed-size pages with read/write
+// accounting. Both the R-tree baseline and the UV-index store their leaf
+// payloads through a Pager, so the I/O numbers reported by the benchmark
+// harness (Figure 6(b) and friends) are counted at a single choke point.
+package pager
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPageSize is the 4 KB page size used by the paper's evaluation.
+const DefaultPageSize = 4096
+
+// PageID names a page on the simulated disk.
+type PageID int32
+
+// Pager is a simulated disk. It is safe for concurrent use: reads take
+// a shared lock and allocations an exclusive one, and the I/O counters
+// are atomic — so a database served over the network can run queries in
+// parallel while an insert allocates pages.
+type Pager struct {
+	mu       sync.RWMutex
+	pageSize int
+	pages    [][]byte
+	reads    atomic.Int64
+	writes   atomic.Int64
+}
+
+// New returns an empty pager with the given page size (DefaultPageSize
+// if size ≤ 0).
+func New(size int) *Pager {
+	if size <= 0 {
+		size = DefaultPageSize
+	}
+	return &Pager{pageSize: size}
+}
+
+// PageSize returns the page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// NumPages returns the number of allocated pages.
+func (p *Pager) NumPages() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pages)
+}
+
+// BytesOnDisk returns the total simulated disk footprint.
+func (p *Pager) BytesOnDisk() int64 {
+	return int64(p.NumPages()) * int64(p.pageSize)
+}
+
+// Alloc writes data to a fresh page and returns its id. It counts as one
+// write. data must fit in a page.
+func (p *Pager) Alloc(data []byte) PageID {
+	if len(data) > p.pageSize {
+		panic(fmt.Sprintf("pager: payload %d bytes exceeds page size %d", len(data), p.pageSize))
+	}
+	page := make([]byte, p.pageSize)
+	copy(page, data)
+	p.mu.Lock()
+	p.pages = append(p.pages, page)
+	id := PageID(len(p.pages) - 1)
+	p.mu.Unlock()
+	p.writes.Add(1)
+	return id
+}
+
+// Write replaces the content of an existing page; one write.
+func (p *Pager) Write(id PageID, data []byte) {
+	if len(data) > p.pageSize {
+		panic(fmt.Sprintf("pager: payload %d bytes exceeds page size %d", len(data), p.pageSize))
+	}
+	p.mu.Lock()
+	page := p.pages[id]
+	for i := range page {
+		page[i] = 0
+	}
+	copy(page, data)
+	p.mu.Unlock()
+	p.writes.Add(1)
+}
+
+// Read returns the content of a page; one read. The returned slice is
+// the live page buffer: callers must treat it as read-only.
+func (p *Pager) Read(id PageID) []byte {
+	p.reads.Add(1)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.pages[id]
+}
+
+// Reads returns the number of page reads since the last ResetStats.
+func (p *Pager) Reads() int64 { return p.reads.Load() }
+
+// Writes returns the number of page writes since the last ResetStats.
+func (p *Pager) Writes() int64 { return p.writes.Load() }
+
+// ResetStats zeroes the I/O counters (the pages stay).
+func (p *Pager) ResetStats() {
+	p.reads.Store(0)
+	p.writes.Store(0)
+}

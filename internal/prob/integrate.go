@@ -1,0 +1,92 @@
+package prob
+
+import (
+	"math"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// DefaultSteps is the default resolution of the numerical integration.
+const DefaultSteps = 200
+
+// Probs computes the qualification probability of every object in objs
+// for the PNN at q, using the numerical-integration method of [14]:
+//
+//	P_i = ∫ (dF_i/dr)(r) · Π_{j≠i} (1 − F_j(r)) dr
+//
+// evaluated as a Riemann–Stieltjes sum over a uniform grid of the
+// support [min distmin, second-smallest distmax]. Objects outside the
+// answer set get exactly 0. steps ≤ 0 selects DefaultSteps.
+//
+// The caller typically passes the candidate set produced by an index;
+// passing the full dataset is valid, only slower.
+func Probs(objs []uncertain.Object, q geom.Point, steps int) []float64 {
+	if steps <= 0 {
+		steps = DefaultSteps
+	}
+	out := make([]float64, len(objs))
+	ans := AnswerSet(objs, q)
+	switch len(ans) {
+	case 0:
+		return out
+	case 1:
+		out[ans[0]] = 1
+		return out
+	}
+
+	// Integration support: every integrand vanishes beyond the smallest
+	// distmax (the minimizing object's density is zero there and its
+	// survival factor kills every other product), so [lo, dminmax]
+	// suffices — which is also why the dminmax candidate filter of [14]
+	// is exact.
+	lo := math.Inf(1)
+	for _, i := range ans {
+		lo = math.Min(lo, objs[i].DistMin(q))
+	}
+	hi, _ := Dminmax(objs, q)
+	if hi <= lo {
+		// Degenerate support (can happen with coincident point objects):
+		// split the mass evenly among answer objects.
+		for _, i := range ans {
+			out[i] = 1 / float64(len(ans))
+		}
+		return out
+	}
+
+	k := len(ans)
+	h := (hi - lo) / float64(steps)
+	fPrev := make([]float64, k)
+	fNext := make([]float64, k)
+	fMid := make([]float64, k)
+	for a, i := range ans {
+		fPrev[a] = DistanceCDF(objs[i], q, lo)
+	}
+	for t := 0; t < steps; t++ {
+		r1 := lo + float64(t+1)*h
+		mid := lo + (float64(t)+0.5)*h
+		for a, i := range ans {
+			fNext[a] = DistanceCDF(objs[i], q, r1)
+			fMid[a] = DistanceCDF(objs[i], q, mid)
+		}
+		for a := range ans {
+			df := fNext[a] - fPrev[a]
+			if df <= 0 {
+				continue
+			}
+			prod := 1.0
+			for b := range ans {
+				if b == a {
+					continue
+				}
+				prod *= 1 - fMid[b]
+				if prod == 0 {
+					break
+				}
+			}
+			out[ans[a]] += df * prod
+		}
+		copy(fPrev, fNext)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package prob
+
+import (
+	"sort"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// KNNAnswerSet returns the indices of objects with non-zero probability
+// of being among the k nearest neighbors of q — the possible-k-NN set,
+// the natural k-NN generalization the paper lists as future work (via
+// k-th order Voronoi diagrams [30]).
+//
+// Exact predicate: Oi can be a k-NN of q iff fewer than k other objects
+// are *surely* closer, i.e. |{j ≠ i : distmax(Oj,q) < distmin(Oi,q)}| ≤
+// k−1. (Place Oi at its minimum distance; every object without a surely
+// -closer guarantee can simultaneously be farther with positive
+// probability, by independence.)
+func KNNAnswerSet(objs []uncertain.Object, q geom.Point, k int) []int {
+	n := len(objs)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	maxes := make([]float64, n)
+	for i := range objs {
+		maxes[i] = objs[i].DistMax(q)
+	}
+	sorted := append([]float64(nil), maxes...)
+	sort.Float64s(sorted)
+
+	var ans []int
+	for i := range objs {
+		dmin := objs[i].DistMin(q)
+		// Objects with distmax strictly below dmin are surely closer.
+		surelyCloser := sort.SearchFloat64s(sorted, dmin)
+		// Oi itself never counts: distmax(Oi) ≥ distmin(Oi) = dmin, so it
+		// is never in the strict prefix.
+		if surelyCloser <= k-1 {
+			ans = append(ans, i)
+		}
+	}
+	return ans
+}

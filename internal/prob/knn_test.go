@@ -1,0 +1,109 @@
+package prob
+
+import (
+	"math/rand"
+	"testing"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+func TestKNNAnswerSetDegenerate(t *testing.T) {
+	objs := []uncertain.Object{obj(0, 0, 0, 1), obj(1, 10, 0, 1)}
+	q := geom.Pt(0, 0)
+	if got := KNNAnswerSet(nil, q, 1); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+	if got := KNNAnswerSet(objs, q, 0); got != nil {
+		t.Errorf("k=0 = %v", got)
+	}
+	if got := KNNAnswerSet(objs, q, 5); len(got) != 2 {
+		t.Errorf("k≥n = %v", got)
+	}
+}
+
+func TestKNNAnswerSetK1MatchesPNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		objs := make([]uncertain.Object, n)
+		for i := range objs {
+			objs[i] = obj(int32(i), rng.Float64()*50, rng.Float64()*50, 0.5+rng.Float64()*5)
+		}
+		q := geom.Pt(rng.Float64()*50, rng.Float64()*50)
+		k1 := KNNAnswerSet(objs, q, 1)
+		pnn := AnswerSet(objs, q)
+		if len(k1) != len(pnn) {
+			t.Fatalf("trial %d: k=1 set %v, PNN set %v", trial, k1, pnn)
+		}
+		for i := range k1 {
+			if k1[i] != pnn[i] {
+				t.Fatalf("trial %d: k=1 set %v, PNN set %v", trial, k1, pnn)
+			}
+		}
+	}
+}
+
+// TestKNNAnswerSetAgainstSampling: any object that appears among the k
+// nearest in simulation must be in the possible-k-NN set.
+func TestKNNAnswerSetAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 12; trial++ {
+		n := 5 + rng.Intn(10)
+		objs := make([]uncertain.Object, n)
+		for i := range objs {
+			objs[i] = uobj(int32(i), rng.Float64()*40, rng.Float64()*40, 1+rng.Float64()*5)
+		}
+		q := geom.Pt(rng.Float64()*40, rng.Float64()*40)
+		k := 1 + rng.Intn(4)
+		inSet := map[int]bool{}
+		for _, i := range KNNAnswerSet(objs, q, k) {
+			inSet[i] = true
+		}
+		for rep := 0; rep < 2000; rep++ {
+			type dd struct {
+				i int
+				d float64
+			}
+			ds := make([]dd, n)
+			for i := range objs {
+				ds[i] = dd{i, objs[i].Sample(rng).Dist(q)}
+			}
+			// Partial selection of the k smallest.
+			for a := 0; a < k; a++ {
+				best := a
+				for b := a + 1; b < n; b++ {
+					if ds[b].d < ds[best].d {
+						best = b
+					}
+				}
+				ds[a], ds[best] = ds[best], ds[a]
+				if !inSet[ds[a].i] {
+					t.Fatalf("trial %d: object %d realized as %d-NN but not in possible-%d-NN set",
+						trial, ds[a].i, a+1, k)
+				}
+			}
+		}
+	}
+}
+
+// TestKNNAnswerSetMonotoneInK: larger k can only grow the set.
+func TestKNNAnswerSetMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	objs := make([]uncertain.Object, 20)
+	for i := range objs {
+		objs[i] = obj(int32(i), rng.Float64()*60, rng.Float64()*60, 0.5+rng.Float64()*4)
+	}
+	q := geom.Pt(30, 30)
+	prev := 0
+	for k := 1; k <= 20; k++ {
+		cur := len(KNNAnswerSet(objs, q, k))
+		if cur < prev {
+			t.Fatalf("k=%d set smaller than k=%d (%d < %d)", k, k-1, cur, prev)
+		}
+		prev = cur
+	}
+	if prev != 20 {
+		t.Fatalf("k=n must include everything, got %d", prev)
+	}
+}

@@ -1,0 +1,45 @@
+package prob
+
+import (
+	"math/rand"
+	"sort"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// KNNProbsMC estimates, for every object, the probability that it is
+// among the k nearest neighbors of q, by sampling possible worlds (one
+// position per object per trial, the sampling approach of [25]). The
+// estimates of one call sum to exactly min(k, n) because every world
+// contributes exactly that many top-k memberships.
+func KNNProbsMC(objs []uncertain.Object, q geom.Point, k, trials int, seed int64) []float64 {
+	n := len(objs)
+	out := make([]float64, n)
+	if n == 0 || k <= 0 || trials <= 0 {
+		return out
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type ranked struct {
+		d   float64
+		idx int
+	}
+	world := make([]ranked, n)
+	counts := make([]int64, n)
+	for t := 0; t < trials; t++ {
+		for i := range objs {
+			world[i] = ranked{d: objs[i].Sample(rng).Dist(q), idx: i}
+		}
+		sort.Slice(world, func(a, b int) bool { return world[a].d < world[b].d })
+		for i := 0; i < k; i++ {
+			counts[world[i].idx]++
+		}
+	}
+	for i := range out {
+		out[i] = float64(counts[i]) / float64(trials)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package prob
+
+import (
+	"math"
+	"testing"
+
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/geom"
+)
+
+func TestKNNProbsMCSumToK(t *testing.T) {
+	objs := datagen.Uniform(datagen.Config{N: 15, Side: 500, Diameter: 60, Seed: 1})
+	q := geom.Pt(250, 250)
+	for _, k := range []int{1, 3, 7} {
+		ps := KNNProbsMC(objs, q, k, 2000, 9)
+		sum := 0.0
+		for _, p := range ps {
+			if p < 0 || p > 1 {
+				t.Fatalf("k=%d: probability %v outside [0,1]", k, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-float64(k)) > 1e-9 {
+			t.Fatalf("k=%d: probabilities sum to %v, want exactly %v", k, sum, float64(k))
+		}
+	}
+}
+
+func TestKNNProbsMCZeroOutsideAnswerSet(t *testing.T) {
+	objs := datagen.Uniform(datagen.Config{N: 25, Side: 800, Diameter: 40, Seed: 2})
+	q := geom.Pt(400, 400)
+	k := 3
+	ps := KNNProbsMC(objs, q, k, 4000, 11)
+	ans := KNNAnswerSet(objs, q, k)
+	inSet := make(map[int]bool, len(ans))
+	for _, i := range ans {
+		inSet[i] = true
+	}
+	for i, p := range ps {
+		if !inSet[i] && p > 0 {
+			t.Fatalf("object %d outside possible-k-NN set has probability %v", i, p)
+		}
+	}
+}
+
+func TestKNNProbsMCKAboveN(t *testing.T) {
+	objs := datagen.Uniform(datagen.Config{N: 4, Side: 300, Diameter: 40, Seed: 3})
+	ps := KNNProbsMC(objs, geom.Pt(150, 150), 10, 500, 5)
+	for i, p := range ps {
+		if p != 1 {
+			t.Fatalf("k ≥ n: object %d probability %v, want 1", i, p)
+		}
+	}
+}
+
+func TestKNNProbsMCDegenerateInputs(t *testing.T) {
+	if ps := KNNProbsMC(nil, geom.Pt(0, 0), 3, 100, 1); len(ps) != 0 {
+		t.Fatalf("empty objects: got %v", ps)
+	}
+	objs := datagen.Uniform(datagen.Config{N: 3, Side: 100, Diameter: 10, Seed: 4})
+	for _, p := range KNNProbsMC(objs, geom.Pt(50, 50), 0, 100, 1) {
+		if p != 0 {
+			t.Fatalf("k=0: probability %v, want 0", p)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// MonteCarloProbs estimates qualification probabilities by sampling
+// every object's position and counting how often each object is the
+// nearest (the sampling approach of [25]). It is used as an independent
+// cross-check of Probs in tests and examples.
+func MonteCarloProbs(objs []uncertain.Object, q geom.Point, trials int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	wins := make([]int, len(objs))
+	for t := 0; t < trials; t++ {
+		best, arg := math.Inf(1), -1
+		for i := range objs {
+			p := objs[i].Sample(rng)
+			if d := p.DistSq(q); d < best {
+				best, arg = d, i
+			}
+		}
+		if arg >= 0 {
+			wins[arg]++
+		}
+	}
+	out := make([]float64, len(objs))
+	for i, w := range wins {
+		out[i] = float64(w) / float64(trials)
+	}
+	return out
+}

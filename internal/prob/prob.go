@@ -1,0 +1,106 @@
+// Package prob computes PNN qualification probabilities for uncertain
+// objects: the exact answer-set predicate, distance distributions via
+// ring/disk lens areas, the numerical-integration method of Cheng et
+// al. (TKDE 2004, reference [14] of the paper), a Monte-Carlo estimator
+// in the spirit of [25], and verifier-style probability bounds in the
+// spirit of [15].
+package prob
+
+import (
+	"math"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// DistanceCDF returns F(r) = P(dist(q, X) ≤ r) where X is the object's
+// uncertain position. It is exact for the ring-histogram pdf model: the
+// mass of each ring inside the disk Cir(q, r) is proportional to the
+// lens area between that disk and the ring.
+func DistanceCDF(o uncertain.Object, q geom.Point, r float64) float64 {
+	if o.Region.R == 0 {
+		if r >= q.Dist(o.Region.C) {
+			return 1
+		}
+		return 0
+	}
+	if r <= o.DistMin(q) {
+		return 0
+	}
+	if r >= o.DistMax(q) {
+		return 1
+	}
+	disk := geom.Circle{C: q, R: r}
+	n := o.PDF.Bins()
+	acc := 0.0
+	for k := 0; k < n; k++ {
+		w := o.PDF.Bin(k)
+		if w == 0 {
+			continue
+		}
+		a := o.Region.R * float64(k) / float64(n)
+		b := o.Region.R * float64(k+1) / float64(n)
+		ringArea := math.Pi * (b*b - a*a)
+		if ringArea <= 0 {
+			continue
+		}
+		part := geom.LensArea(disk, geom.Circle{C: o.Region.C, R: b}) -
+			geom.LensArea(disk, geom.Circle{C: o.Region.C, R: a})
+		acc += w * part / ringArea
+	}
+	if acc < 0 {
+		return 0
+	}
+	if acc > 1 {
+		return 1
+	}
+	return acc
+}
+
+// Dminmax returns min_i distmax(q, Oi), the verification bound of [14]
+// used by both indexes to filter candidates, along with the index of
+// the minimizing object (-1 for empty input).
+func Dminmax(objs []uncertain.Object, q geom.Point) (float64, int) {
+	best, arg := math.Inf(1), -1
+	for i := range objs {
+		if d := objs[i].DistMax(q); d < best {
+			best, arg = d, i
+		}
+	}
+	return best, arg
+}
+
+// AnswerSet returns the indices (into objs) of the objects with strictly
+// positive qualification probability at q: exactly those with
+// distmin(Oi, q) < min_{j≠i} distmax(Oj, q).
+func AnswerSet(objs []uncertain.Object, q geom.Point) []int {
+	n := len(objs)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	// Two smallest distmax values decide min_{j≠i}.
+	m1, m2 := math.Inf(1), math.Inf(1)
+	arg1 := -1
+	for i := range objs {
+		d := objs[i].DistMax(q)
+		if d < m1 {
+			m1, m2, arg1 = d, m1, i
+		} else if d < m2 {
+			m2 = d
+		}
+	}
+	var ans []int
+	for i := range objs {
+		other := m1
+		if i == arg1 {
+			other = m2
+		}
+		if objs[i].DistMin(q) < other {
+			ans = append(ans, i)
+		}
+	}
+	return ans
+}

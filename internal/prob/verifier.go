@@ -1,0 +1,88 @@
+package prob
+
+import (
+	"math"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// Interval is a closed probability interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether p lies in the interval, with slack eps.
+func (iv Interval) Contains(p, eps float64) bool {
+	return p >= iv.Lo-eps && p <= iv.Hi+eps
+}
+
+// Bounds computes guaranteed lower/upper bounds on every object's
+// qualification probability without a fine integration, in the spirit
+// of the probabilistic verifiers of [15]: the support is split into a
+// small number of pieces and on each piece the survival product
+// Π(1 − F_j) is bounded by its endpoint values (F_j is monotone).
+// The true probability always lies inside the returned interval; more
+// pieces give tighter bounds.
+func Bounds(objs []uncertain.Object, q geom.Point, pieces int) []Interval {
+	if pieces <= 0 {
+		pieces = 8
+	}
+	out := make([]Interval, len(objs))
+	ans := AnswerSet(objs, q)
+	switch len(ans) {
+	case 0:
+		return out
+	case 1:
+		out[ans[0]] = Interval{1, 1}
+		return out
+	}
+	lo := math.Inf(1)
+	for _, i := range ans {
+		lo = math.Min(lo, objs[i].DistMin(q))
+	}
+	hi, _ := Dminmax(objs, q)
+	if hi <= lo {
+		for _, i := range ans {
+			out[i] = Interval{0, 1}
+		}
+		return out
+	}
+
+	k := len(ans)
+	h := (hi - lo) / float64(pieces)
+	fa := make([]float64, k) // F at piece start
+	fb := make([]float64, k) // F at piece end
+	for a, i := range ans {
+		fa[a] = DistanceCDF(objs[i], q, lo)
+	}
+	for t := 0; t < pieces; t++ {
+		r1 := lo + float64(t+1)*h
+		for a, i := range ans {
+			fb[a] = DistanceCDF(objs[i], q, r1)
+		}
+		for a := range ans {
+			df := fb[a] - fa[a]
+			if df <= 0 {
+				continue
+			}
+			prodLo, prodHi := 1.0, 1.0
+			for b := range ans {
+				if b == a {
+					continue
+				}
+				prodLo *= 1 - fb[b]
+				prodHi *= 1 - fa[b]
+			}
+			out[ans[a]].Lo += df * prodLo
+			out[ans[a]].Hi += df * prodHi
+		}
+		copy(fa, fb)
+	}
+	for _, i := range ans {
+		if out[i].Hi > 1 {
+			out[i].Hi = 1
+		}
+	}
+	return out
+}

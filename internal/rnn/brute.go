@@ -1,0 +1,95 @@
+package rnn
+
+import (
+	"math"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// BruteForceMargin evaluates the PRNN predicate for object id directly
+// from its definition: the maximum over a dense polar grid of positions
+// x in Oi's region of the worst-case slack
+//
+//	min_{j≠i} ( dist(x,cj) + rj − dist(x,q) ).
+//
+// A positive margin means x is a witness (q can be x's nearest object);
+// object id is a PRNN answer iff the true margin is positive. The grid
+// maximization is a lower bound on the true margin, so tests compare
+// decisions only for objects whose |margin| clears a tolerance.
+func BruteForceMargin(objs []uncertain.Object, id int32, q geom.Point, grid int) float64 {
+	if grid < 2 {
+		grid = 2
+	}
+	oi := objs[id]
+	slack := func(x geom.Point) float64 {
+		m := math.Inf(1)
+		for j := range objs {
+			if objs[j].ID == id {
+				continue
+			}
+			if s := objs[j].DistMax(x) - x.Dist(q); s < m {
+				m = s
+			}
+		}
+		return m
+	}
+	best := slack(oi.Region.C)
+	for ri := 0; ri <= grid; ri++ {
+		r := oi.Region.R * float64(ri) / float64(grid)
+		steps := 1
+		if ri > 0 {
+			steps = 4 * grid
+		}
+		for t := 0; t < steps; t++ {
+			phi := 2 * math.Pi * float64(t) / float64(steps)
+			x := oi.Region.C.Add(geom.PolarUnit(phi).Scale(r))
+			if s := slack(x); s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// BruteForceIDs returns the PRNN answer IDs by applying
+// BruteForceMargin to every object. Objects whose margin is within tol
+// of zero are classified by its sign; callers comparing against Query
+// should exclude them instead (see tests).
+func BruteForceIDs(objs []uncertain.Object, q geom.Point, grid int) []int32 {
+	var ids []int32
+	for i := range objs {
+		if BruteForceMargin(objs, objs[i].ID, q, grid) > 0 {
+			ids = append(ids, objs[i].ID)
+		}
+	}
+	return ids
+}
+
+// PointRNN answers the classical (certain) reverse nearest-neighbor
+// query over point data in O(n²): point i is an answer iff q is at
+// least as close to it as every other point. It is the degenerate case
+// the PRNN must reproduce when every radius is zero (ties broken
+// inclusively, matching the non-strict possible-world semantics of a
+// zero-radius object: equality still allows q as *a* nearest neighbor
+// only when strictly closer, so strict inequality is used).
+func PointRNN(pts []geom.Point, q geom.Point) []int {
+	var out []int
+	for i, p := range pts {
+		d := p.Dist(q)
+		win := true
+		for j, r := range pts {
+			if j == i {
+				continue
+			}
+			if p.Dist(r) < d {
+				win = false
+				break
+			}
+		}
+		if win {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"uvdiagram/internal/pager"
+)
+
+// BulkLoad builds a packed tree from items using Sort-Tile-Recursive
+// (the packed R*-tree of [38] used by the paper): items are sorted by
+// center x, cut into vertical slabs, sorted by center y within each
+// slab, and packed into full leaves; upper levels are packed the same
+// way on node centers.
+func BulkLoad(items []Item, fanout int, pg *pager.Pager) *Tree {
+	t := New(fanout, pg)
+	if len(items) == 0 {
+		return t
+	}
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+
+	leaves := strPackLeaves(t, sorted)
+	t.size = len(items)
+	level := leaves
+	t.height = 1
+	for len(level) > 1 {
+		level = strPackNodes(level, fanout)
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+// strPackLeaves tiles items into full leaves.
+func strPackLeaves(t *Tree, items []Item) []*node {
+	n := len(items)
+	f := t.fanout
+	pages := (n + f - 1) / f
+	slabs := int(math.Ceil(math.Sqrt(float64(pages))))
+	slabSize := (n + slabs - 1) / slabs
+
+	sort.Slice(items, func(i, j int) bool { return items[i].MBC.C.X < items[j].MBC.C.X })
+	var leaves []*node
+	for s := 0; s < n; s += slabSize {
+		e := s + slabSize
+		if e > n {
+			e = n
+		}
+		slab := items[s:e]
+		sort.Slice(slab, func(i, j int) bool { return slab[i].MBC.C.Y < slab[j].MBC.C.Y })
+		for o := 0; o < len(slab); o += f {
+			oe := o + f
+			if oe > len(slab) {
+				oe = len(slab)
+			}
+			leaves = append(leaves, t.newLeaf(slab[o:oe]))
+		}
+	}
+	return leaves
+}
+
+// strPackNodes tiles child nodes into parents of up to fanout children.
+func strPackNodes(level []*node, fanout int) []*node {
+	n := len(level)
+	groups := (n + fanout - 1) / fanout
+	slabs := int(math.Ceil(math.Sqrt(float64(groups))))
+	slabSize := (n + slabs - 1) / slabs
+
+	sort.Slice(level, func(i, j int) bool {
+		return level[i].rect.Center().X < level[j].rect.Center().X
+	})
+	var parents []*node
+	for s := 0; s < n; s += slabSize {
+		e := s + slabSize
+		if e > n {
+			e = n
+		}
+		slab := make([]*node, e-s)
+		copy(slab, level[s:e])
+		sort.Slice(slab, func(i, j int) bool {
+			return slab[i].rect.Center().Y < slab[j].rect.Center().Y
+		})
+		for o := 0; o < len(slab); o += fanout {
+			oe := o + fanout
+			if oe > len(slab) {
+				oe = len(slab)
+			}
+			kids := make([]*node, oe-o)
+			copy(kids, slab[o:oe])
+			p := &node{children: kids, rect: kids[0].rect}
+			for _, k := range kids[1:] {
+				p.rect = p.rect.Union(k.rect)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}

@@ -1,0 +1,189 @@
+package rtree
+
+import "uvdiagram/internal/geom"
+
+// Insert adds one item to the tree: least-enlargement subtree choice
+// with quadratic split, the classic Guttman insertion path. It keeps
+// the tree usable for incremental workloads (the paper's future-work
+// "incremental updates").
+func (t *Tree) Insert(it Item) {
+	split := t.insertAt(t.root, it)
+	if split != nil {
+		// Root split: grow the tree.
+		newRoot := &node{
+			children: []*node{t.root, split},
+			rect:     t.root.rect.Union(split.rect),
+		}
+		t.root = newRoot
+		t.height++
+	}
+	t.size++
+}
+
+// insertAt inserts into the subtree rooted at n and returns a new
+// sibling node if n was split.
+func (t *Tree) insertAt(n *node, it Item) *node {
+	if n.isLeaf() {
+		var items []Item
+		if n.count > 0 {
+			items = t.readLeaf(n)
+		}
+		items = append(items, it)
+		if len(items) <= t.fanout {
+			t.writeLeaf(n, items)
+			return nil
+		}
+		a, b := quadraticSplitItems(items)
+		t.writeLeaf(n, a)
+		return t.newLeaf(b)
+	}
+
+	child := chooseSubtree(n.children, it.Rect())
+	split := t.insertAt(child, it)
+	n.rect = n.rect.Union(it.Rect())
+	if split == nil {
+		return nil
+	}
+	n.children = append(n.children, split)
+	n.rect = n.rect.Union(split.rect)
+	if len(n.children) <= t.fanout {
+		return nil
+	}
+	ka, kb := quadraticSplitNodes(n.children)
+	n.children = ka
+	n.rect = unionRects(ka)
+	return &node{children: kb, rect: unionRects(kb)}
+}
+
+// chooseSubtree picks the child whose MBR needs least area enlargement
+// to cover r, breaking ties by smaller area.
+func chooseSubtree(children []*node, r geom.Rect) *node {
+	best := children[0]
+	bestEnl, bestArea := enlargement(best.rect, r), best.rect.Area()
+	for _, c := range children[1:] {
+		enl := enlargement(c.rect, r)
+		area := c.rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = c, enl, area
+		}
+	}
+	return best
+}
+
+func enlargement(have, add geom.Rect) float64 {
+	return have.Union(add).Area() - have.Area()
+}
+
+func unionRects(ns []*node) geom.Rect {
+	r := ns[0].rect
+	for _, n := range ns[1:] {
+		r = r.Union(n.rect)
+	}
+	return r
+}
+
+// quadraticSplitItems is Guttman's quadratic split over item MBRs.
+func quadraticSplitItems(items []Item) (a, b []Item) {
+	rects := make([]geom.Rect, len(items))
+	for i, it := range items {
+		rects[i] = it.Rect()
+	}
+	ga, gb := quadraticSplit(rects)
+	for _, i := range ga {
+		a = append(a, items[i])
+	}
+	for _, i := range gb {
+		b = append(b, items[i])
+	}
+	return a, b
+}
+
+// quadraticSplitNodes is the same split over child nodes.
+func quadraticSplitNodes(ns []*node) (a, b []*node) {
+	rects := make([]geom.Rect, len(ns))
+	for i, n := range ns {
+		rects[i] = n.rect
+	}
+	ga, gb := quadraticSplit(rects)
+	for _, i := range ga {
+		a = append(a, ns[i])
+	}
+	for _, i := range gb {
+		b = append(b, ns[i])
+	}
+	return a, b
+}
+
+// quadraticSplit partitions indices of rects into two groups: seeds are
+// the pair wasting the most area together; remaining entries go to the
+// group needing least enlargement. Both groups are kept non-empty and
+// reasonably balanced (min fill 1/3), per the classic heuristic.
+func quadraticSplit(rects []geom.Rect) (ga, gb []int) {
+	n := len(rects)
+	// Pick seeds.
+	si, sj, worst := 0, 1, -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := rects[i].Union(rects[j]).Area() - rects[i].Area() - rects[j].Area()
+			if d > worst {
+				si, sj, worst = i, j, d
+			}
+		}
+	}
+	ga = []int{si}
+	gb = []int{sj}
+	ra, rb := rects[si], rects[sj]
+	minFill := (n + 2) / 3
+
+	assigned := make([]bool, n)
+	assigned[si], assigned[sj] = true, true
+	for remaining := n - 2; remaining > 0; remaining-- {
+		// Force-assign when a group must take everything left to reach
+		// minimum fill.
+		if len(ga)+remaining <= minFill {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					ga = append(ga, i)
+					ra = ra.Union(rects[i])
+					assigned[i] = true
+				}
+			}
+			return ga, gb
+		}
+		if len(gb)+remaining <= minFill {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					gb = append(gb, i)
+					rb = rb.Union(rects[i])
+					assigned[i] = true
+				}
+			}
+			return ga, gb
+		}
+		// Pick the entry with the strongest preference.
+		bestIdx, bestDiff, bestToA := -1, -1.0, true
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			da := enlargement(ra, rects[i])
+			db := enlargement(rb, rects[i])
+			diff := da - db
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff, bestToA = i, diff, da < db
+			}
+		}
+		assigned[bestIdx] = true
+		if bestToA {
+			ga = append(ga, bestIdx)
+			ra = ra.Union(rects[bestIdx])
+		} else {
+			gb = append(gb, bestIdx)
+			rb = rb.Union(rects[bestIdx])
+		}
+	}
+	return ga, gb
+}

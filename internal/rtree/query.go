@@ -1,0 +1,134 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"uvdiagram/internal/geom"
+)
+
+// Search visits every item whose MBR overlaps r. visit returns false to
+// stop early; Search reports whether the traversal ran to completion.
+// Each visited leaf costs one page read.
+func (t *Tree) Search(r geom.Rect, visit func(Item) bool) bool {
+	if t.size == 0 {
+		return true
+	}
+	return t.search(t.root, r, visit)
+}
+
+func (t *Tree) search(n *node, r geom.Rect, visit func(Item) bool) bool {
+	if !n.rect.Overlaps(r) {
+		return true
+	}
+	if n.isLeaf() {
+		for _, it := range t.readLeaf(n) {
+			if it.Rect().Overlaps(r) {
+				if !visit(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !t.search(c, r, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchCollect returns all items whose MBR overlaps r.
+func (t *Tree) SearchCollect(r geom.Rect) []Item {
+	var out []Item
+	t.Search(r, func(it Item) bool { out = append(out, it); return true })
+	return out
+}
+
+// CenterRange returns the items whose MBC center lies inside the circle
+// c. It is the circular range query of I-pruning (Lemma 2): "objects
+// are removed if their centers are beyond the circular range".
+func (t *Tree) CenterRange(c geom.Circle) []Item {
+	var out []Item
+	if t.size == 0 {
+		return nil
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.rect.MinDist(c.C) > c.R {
+			return
+		}
+		if n.isLeaf() {
+			for _, it := range t.readLeaf(n) {
+				if it.MBC.C.Dist(c.C) <= c.R {
+					out = append(out, it)
+				}
+			}
+			return
+		}
+		for _, ch := range n.children {
+			walk(ch)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Neighbor is a k-nearest-neighbor result: an item and its minimum
+// possible distance from the query point.
+type Neighbor struct {
+	Item    Item
+	DistMin float64
+}
+
+// pqEntry is a best-first queue element: either a node or an item.
+type pqEntry struct {
+	key  float64
+	node *node
+	item Item
+	leaf bool // item valid
+}
+
+type pq []pqEntry
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].key < q[j].key }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqEntry)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// KNN returns the k items with smallest distmin(q, Oi) in ascending
+// order, using best-first traversal (node key: MBR min distance, a
+// lower bound on any contained object's distmin). It is the seed-
+// selection query of Section IV-B.
+func (t *Tree) KNN(q geom.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &pq{{key: t.root.rect.MinDist(q), node: t.root}}
+	var out []Neighbor
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(h).(pqEntry)
+		switch {
+		case e.leaf:
+			out = append(out, Neighbor{Item: e.item, DistMin: e.key})
+		case e.node.isLeaf():
+			for _, it := range t.readLeaf(e.node) {
+				dmin := math.Max(0, q.Dist(it.MBC.C)-it.MBC.R)
+				heap.Push(h, pqEntry{key: dmin, item: it, leaf: true})
+			}
+		default:
+			for _, c := range e.node.children {
+				heap.Push(h, pqEntry{key: c.rect.MinDist(q), node: c})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package rtree implements the disk-based R-tree substrate the paper
+// compares against (and uses internally for pruning): a packed R*-style
+// tree bulk-loaded with Sort-Tile-Recursive [38], with dynamic inserts,
+// rectangle and circular-center range search, best-first k-nearest-
+// neighbor search by minimum distance, and the branch-and-prune PNN
+// retrieval strategy of [14].
+//
+// Following the paper's setup, non-leaf nodes live in main memory while
+// every leaf node occupies one simulated disk page (4 KB, fanout 100),
+// so leaf visits are the unit of query I/O.
+package rtree
+
+import (
+	"fmt"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+)
+
+// DefaultFanout is the paper's R-tree fanout.
+const DefaultFanout = 100
+
+// Item is an indexed uncertain object: its minimum bounding circle and
+// the disk address of its full record.
+type Item struct {
+	ID  int32
+	MBC geom.Circle
+	Ptr uint64
+}
+
+// Rect returns the item's MBR: the bounding rectangle of its MBC.
+func (it Item) Rect() geom.Rect { return it.MBC.BoundingRect() }
+
+// tuple conversion helpers.
+func toTuple(it Item) pager.LeafTuple {
+	return pager.LeafTuple{ID: it.ID, CX: it.MBC.C.X, CY: it.MBC.C.Y, R: it.MBC.R, Pointer: it.Ptr}
+}
+
+func fromTuple(t pager.LeafTuple) Item {
+	return Item{ID: t.ID, MBC: geom.Circle{C: geom.Pt(t.CX, t.CY), R: t.R}, Ptr: t.Pointer}
+}
+
+// node is an R-tree node. Non-leaf nodes keep children in memory; a
+// leaf holds only its page id — entries are read through the pager.
+type node struct {
+	rect     geom.Rect
+	children []*node      // non-leaf only
+	page     pager.PageID // leaf only
+	count    int          // leaf entry count
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// Tree is a disk-simulated R-tree over Items.
+type Tree struct {
+	fanout int
+	pg     *pager.Pager
+	root   *node
+	height int // 1 = root is a leaf
+	size   int
+}
+
+// New returns an empty tree with the given fanout (DefaultFanout when
+// fanout ≤ 1) backed by pg.
+func New(fanout int, pg *pager.Pager) *Tree {
+	if fanout <= 1 {
+		fanout = DefaultFanout
+	}
+	if 2+fanout*pager.LeafTupleSize > pg.PageSize() {
+		panic(fmt.Sprintf("rtree: fanout %d does not fit page size %d", fanout, pg.PageSize()))
+	}
+	t := &Tree{fanout: fanout, pg: pg, height: 1}
+	t.root = t.newLeaf(nil)
+	return t
+}
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Bounds returns the MBR of the whole tree.
+func (t *Tree) Bounds() geom.Rect { return t.root.rect }
+
+// Pager exposes the underlying pager for I/O accounting.
+func (t *Tree) Pager() *pager.Pager { return t.pg }
+
+// NonLeafCount returns the number of in-memory (non-leaf) nodes; the
+// paper keeps these in RAM for both competing indexes.
+func (t *Tree) NonLeafCount() int {
+	var walk func(*node) int
+	walk = func(n *node) int {
+		if n.isLeaf() {
+			return 0
+		}
+		c := 1
+		for _, ch := range n.children {
+			c += walk(ch)
+		}
+		return c
+	}
+	return walk(t.root)
+}
+
+// LeafCount returns the number of leaf pages.
+func (t *Tree) LeafCount() int {
+	var walk func(*node) int
+	walk = func(n *node) int {
+		if n.isLeaf() {
+			return 1
+		}
+		c := 0
+		for _, ch := range n.children {
+			c += walk(ch)
+		}
+		return c
+	}
+	return walk(t.root)
+}
+
+// newLeaf allocates a leaf node holding the given items on a fresh page.
+func (t *Tree) newLeaf(items []Item) *node {
+	ts := make([]pager.LeafTuple, len(items))
+	r := geom.Rect{}
+	for i, it := range items {
+		ts[i] = toTuple(it)
+		if i == 0 {
+			r = it.Rect()
+		} else {
+			r = r.Union(it.Rect())
+		}
+	}
+	id := t.pg.Alloc(pager.EncodeLeafTuples(ts))
+	return &node{rect: r, page: id, count: len(items)}
+}
+
+// readLeaf fetches and decodes a leaf's items (one page read).
+func (t *Tree) readLeaf(n *node) []Item {
+	ts, err := pager.DecodeLeafTuples(t.pg.Read(n.page))
+	if err != nil {
+		// Pages are written only by this package; a decode failure is a
+		// programming error, not an input error.
+		panic("rtree: corrupt leaf page: " + err.Error())
+	}
+	items := make([]Item, len(ts))
+	for i, tu := range ts {
+		items[i] = fromTuple(tu)
+	}
+	return items
+}
+
+// writeLeaf rewrites a leaf's page and bookkeeping after modification.
+func (t *Tree) writeLeaf(n *node, items []Item) {
+	ts := make([]pager.LeafTuple, len(items))
+	r := geom.Rect{}
+	for i, it := range items {
+		ts[i] = toTuple(it)
+		if i == 0 {
+			r = it.Rect()
+		} else {
+			r = r.Union(it.Rect())
+		}
+	}
+	t.pg.Write(n.page, pager.EncodeLeafTuples(ts))
+	n.rect = r
+	n.count = len(items)
+}

@@ -1,0 +1,320 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+)
+
+func randomItems(rng *rand.Rand, n int, side float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ID:  int32(i),
+			MBC: geom.Circle{C: geom.Pt(rng.Float64()*side, rng.Float64()*side), R: rng.Float64() * side / 100},
+			Ptr: uint64(i),
+		}
+	}
+	return items
+}
+
+// checkInvariants walks the tree verifying that every node's MBR
+// contains its children (or entries) and that leaf counts are honest.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.isLeaf() {
+			items := tr.readLeaf(n)
+			if len(items) != n.count {
+				t.Fatalf("leaf count %d but %d items on page", n.count, len(items))
+			}
+			for _, it := range items {
+				if !n.rect.ContainsRect(it.Rect()) {
+					t.Fatalf("leaf MBR %v does not contain item %v", n.rect, it.Rect())
+				}
+			}
+			if depth+1 != tr.height {
+				t.Fatalf("leaf at depth %d in tree of height %d", depth, tr.height)
+			}
+			return
+		}
+		if len(n.children) == 0 {
+			t.Fatal("non-leaf with no children")
+		}
+		for _, c := range n.children {
+			if !n.rect.ContainsRect(c.rect) {
+				t.Fatalf("node MBR %v does not contain child %v", n.rect, c.rect)
+			}
+			walk(c, depth+1)
+		}
+	}
+	walk(tr.root, 0)
+}
+
+func TestBulkLoadInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 5, 99, 100, 101, 1000, 2345} {
+		items := randomItems(rng, n, 1000)
+		tr := BulkLoad(items, 10, pager.New(0))
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		if n > 0 {
+			checkInvariants(t, tr)
+		}
+		// Full-domain search finds everything exactly once.
+		seen := map[int32]int{}
+		tr.Search(geom.NewRect(-1e9, -1e9, 1e9, 1e9), func(it Item) bool {
+			seen[it.ID]++
+			return true
+		})
+		if len(seen) != n {
+			t.Fatalf("full search found %d of %d items", len(seen), n)
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("item %d found %d times", id, c)
+			}
+		}
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randomItems(rng, 800, 1000)
+	tr := BulkLoad(items, 16, pager.New(0))
+	for trial := 0; trial < 50; trial++ {
+		r := geom.NewRect(rng.Float64()*1000, rng.Float64()*1000,
+			rng.Float64()*1000, rng.Float64()*1000)
+		want := map[int32]bool{}
+		for _, it := range items {
+			if it.Rect().Overlaps(r) {
+				want[it.ID] = true
+			}
+		}
+		got := map[int32]bool{}
+		for _, it := range tr.SearchCollect(r) {
+			got[it.ID] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d items, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing item %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randomItems(rng, 500, 100)
+	tr := BulkLoad(items, 8, pager.New(0))
+	count := 0
+	complete := tr.Search(geom.NewRect(0, 0, 100, 100), func(Item) bool {
+		count++
+		return count < 10
+	})
+	if complete || count != 10 {
+		t.Errorf("early stop: complete=%v count=%d", complete, count)
+	}
+}
+
+func TestCenterRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randomItems(rng, 600, 1000)
+	tr := BulkLoad(items, 12, pager.New(0))
+	for trial := 0; trial < 40; trial++ {
+		c := geom.Circle{C: geom.Pt(rng.Float64()*1000, rng.Float64()*1000), R: rng.Float64() * 300}
+		want := map[int32]bool{}
+		for _, it := range items {
+			if it.MBC.C.Dist(c.C) <= c.R {
+				want[it.ID] = true
+			}
+		}
+		got := tr.CenterRange(c)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for _, it := range got {
+			if !want[it.ID] {
+				t.Fatalf("trial %d: unexpected item %d", trial, it.ID)
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randomItems(rng, 700, 1000)
+	tr := BulkLoad(items, 10, pager.New(0))
+	for trial := 0; trial < 30; trial++ {
+		q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		k := 1 + rng.Intn(20)
+		got := tr.KNN(q, k)
+		if len(got) != k {
+			t.Fatalf("KNN returned %d, want %d", len(got), k)
+		}
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = math.Max(0, q.Dist(it.MBC.C)-it.MBC.R)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if math.Abs(nb.DistMin-dists[i]) > 1e-9 {
+				t.Fatalf("trial %d: k=%d neighbor %d dist %v, brute %v",
+					trial, k, i, nb.DistMin, dists[i])
+			}
+			if i > 0 && got[i].DistMin < got[i-1].DistMin-1e-12 {
+				t.Fatalf("KNN result not sorted")
+			}
+		}
+	}
+}
+
+func TestKNNDegenerate(t *testing.T) {
+	tr := BulkLoad(nil, 10, pager.New(0))
+	if got := tr.KNN(geom.Pt(0, 0), 5); got != nil {
+		t.Errorf("KNN on empty tree = %v", got)
+	}
+	rng := rand.New(rand.NewSource(6))
+	items := randomItems(rng, 3, 10)
+	tr = BulkLoad(items, 10, pager.New(0))
+	if got := tr.KNN(geom.Pt(0, 0), 10); len(got) != 3 {
+		t.Errorf("KNN k>n returned %d", len(got))
+	}
+	if got := tr.KNN(geom.Pt(0, 0), 0); got != nil {
+		t.Errorf("KNN k=0 = %v", got)
+	}
+}
+
+func TestPNNCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := randomItems(rng, 500, 1000)
+	tr := BulkLoad(items, 10, pager.New(0))
+	for trial := 0; trial < 40; trial++ {
+		q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		cands, dminmax := tr.PNNCandidates(q)
+		// Brute-force dminmax.
+		want := math.Inf(1)
+		for _, it := range items {
+			want = math.Min(want, q.Dist(it.MBC.C)+it.MBC.R)
+		}
+		if math.Abs(dminmax-want) > 1e-9 {
+			t.Fatalf("trial %d: dminmax %v, want %v", trial, dminmax, want)
+		}
+		// Candidates must be exactly those with distmin ≤ dminmax.
+		wantSet := map[int32]bool{}
+		for _, it := range items {
+			if math.Max(0, q.Dist(it.MBC.C)-it.MBC.R) <= want {
+				wantSet[it.ID] = true
+			}
+		}
+		gotSet := map[int32]bool{}
+		for _, it := range cands {
+			gotSet[it.ID] = true
+		}
+		for id := range wantSet {
+			if !gotSet[id] {
+				t.Fatalf("trial %d: candidate %d missing", trial, id)
+			}
+		}
+		for id := range gotSet {
+			if !wantSet[id] {
+				t.Fatalf("trial %d: spurious candidate %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestPNNEmpty(t *testing.T) {
+	tr := BulkLoad(nil, 10, pager.New(0))
+	cands, d := tr.PNNCandidates(geom.Pt(0, 0))
+	if cands != nil || !math.IsInf(d, 1) {
+		t.Errorf("PNN on empty tree = %v, %v", cands, d)
+	}
+}
+
+func TestInsertMatchesBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	items := randomItems(rng, 900, 1000)
+	tr := New(8, pager.New(0))
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	checkInvariants(t, tr)
+	// Same query results as a bulk-loaded tree.
+	bulk := BulkLoad(items, 8, pager.New(0))
+	for trial := 0; trial < 30; trial++ {
+		r := geom.NewRect(rng.Float64()*1000, rng.Float64()*1000,
+			rng.Float64()*1000, rng.Float64()*1000)
+		a := tr.SearchCollect(r)
+		b := bulk.SearchCollect(r)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: insert-built found %d, bulk %d", trial, len(a), len(b))
+		}
+	}
+}
+
+func TestInsertIntoBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	items := randomItems(rng, 300, 500)
+	tr := BulkLoad(items[:200], 10, pager.New(0))
+	for _, it := range items[200:] {
+		tr.Insert(it)
+	}
+	checkInvariants(t, tr)
+	seen := map[int32]bool{}
+	tr.Search(geom.NewRect(-1e9, -1e9, 1e9, 1e9), func(it Item) bool {
+		seen[it.ID] = true
+		return true
+	})
+	if len(seen) != 300 {
+		t.Fatalf("found %d of 300 after mixed build", len(seen))
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	items := randomItems(rng, 1000, 1000)
+	pg := pager.New(0)
+	tr := BulkLoad(items, 100, pg)
+	pg.ResetStats()
+	// A tiny point query should read far fewer leaves than exist.
+	tr.SearchCollect(geom.NewRect(500, 500, 500.1, 500.1))
+	if pg.Reads() == 0 {
+		t.Error("leaf search should cost at least one read")
+	}
+	if int(pg.Reads()) >= tr.LeafCount() {
+		t.Errorf("point search read %d of %d leaves", pg.Reads(), tr.LeafCount())
+	}
+}
+
+func TestCountsAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := randomItems(rng, 500, 100)
+	tr := BulkLoad(items, 10, pager.New(0))
+	if tr.LeafCount() < 50 {
+		t.Errorf("LeafCount = %d, want ≥ 50", tr.LeafCount())
+	}
+	if tr.NonLeafCount() == 0 {
+		t.Error("expected non-leaf nodes")
+	}
+	for _, it := range items {
+		if !tr.Bounds().ContainsRect(it.Rect()) {
+			t.Fatal("Bounds does not cover an item")
+		}
+	}
+	if tr.Height() < 2 {
+		t.Errorf("Height = %d", tr.Height())
+	}
+}

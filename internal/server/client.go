@@ -1,0 +1,243 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"uvdiagram"
+	"uvdiagram/internal/wire"
+)
+
+// Client is a UV-diagram protocol client. One request is in flight at a
+// time per client (calls serialize on an internal mutex); open several
+// clients for parallelism.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a UV-diagram server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewClient wraps an existing connection (e.g. a net.Pipe end in
+// tests).
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the response envelope.
+func (c *Client) roundTrip(op byte, payload []byte) (*wire.Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.conn, op, payload); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	status, resp, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("client: receive: %w", err)
+	}
+	r := wire.NewReader(resp)
+	switch status {
+	case wire.StatusOK:
+		return r, nil
+	case wire.StatusErr:
+		msg := r.Str()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("client: malformed error response: %w", err)
+		}
+		return nil, fmt.Errorf("server: %s", msg)
+	default:
+		return nil, fmt.Errorf("client: unknown response status 0x%02x", status)
+	}
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(wire.OpPing, nil)
+	return err
+}
+
+// Stats mirrors DB.Len, DB.Domain and DB.IndexStats.
+type Stats struct {
+	Domain   uvdiagram.Rect
+	Objects  int
+	NonLeaf  int
+	Leaves   int
+	Pages    int
+	MaxDepth int
+	Entries  int64
+}
+
+// Stats fetches server-side database statistics.
+func (c *Client) Stats() (Stats, error) {
+	r, err := c.roundTrip(wire.OpStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{
+		Domain: uvdiagram.Rect{
+			Min: uvdiagram.Pt(r.F64(), r.F64()),
+			Max: uvdiagram.Pt(r.F64(), r.F64()),
+		},
+		Objects:  int(r.U32()),
+		NonLeaf:  int(r.U32()),
+		Leaves:   int(r.U32()),
+		Pages:    int(r.U32()),
+		MaxDepth: int(r.U32()),
+		Entries:  int64(r.U64()),
+	}
+	return st, r.Err()
+}
+
+func decodeAnswers(r *wire.Reader) ([]uvdiagram.Answer, error) {
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > r.Remaining() { // each answer is ≥ 12 bytes; cheap sanity cap
+		return nil, fmt.Errorf("client: answer count %d exceeds payload", n)
+	}
+	out := make([]uvdiagram.Answer, n)
+	for i := range out {
+		out[i] = uvdiagram.Answer{ID: r.I32(), Prob: r.F64()}
+	}
+	return out, r.Err()
+}
+
+// PNN runs a probabilistic nearest-neighbor query.
+func (c *Client) PNN(q uvdiagram.Point) ([]uvdiagram.Answer, error) {
+	var b wire.Buffer
+	b.F64(q.X)
+	b.F64(q.Y)
+	r, err := c.roundTrip(wire.OpPNN, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeAnswers(r)
+}
+
+// TopKPNN runs a top-k probable nearest-neighbor query.
+func (c *Client) TopKPNN(q uvdiagram.Point, k int) ([]uvdiagram.Answer, error) {
+	var b wire.Buffer
+	b.F64(q.X)
+	b.F64(q.Y)
+	b.U32(uint32(k))
+	r, err := c.roundTrip(wire.OpTopK, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeAnswers(r)
+}
+
+// PossibleKNN runs a possible-k-NN query, returning answer IDs.
+func (c *Client) PossibleKNN(q uvdiagram.Point, k int) ([]int32, error) {
+	var b wire.Buffer
+	b.F64(q.X)
+	b.F64(q.Y)
+	b.U32(uint32(k))
+	r, err := c.roundTrip(wire.OpPossibleKNN, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > r.Remaining() {
+		return nil, fmt.Errorf("client: id count %d exceeds payload", n)
+	}
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = r.I32()
+	}
+	return ids, r.Err()
+}
+
+// RNN runs a probabilistic reverse nearest-neighbor query.
+func (c *Client) RNN(q uvdiagram.Point) ([]uvdiagram.RNNAnswer, error) {
+	var b wire.Buffer
+	b.F64(q.X)
+	b.F64(q.Y)
+	r, err := c.roundTrip(wire.OpRNN, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > r.Remaining() {
+		return nil, fmt.Errorf("client: answer count %d exceeds payload", n)
+	}
+	out := make([]uvdiagram.RNNAnswer, n)
+	for i := range out {
+		out[i] = uvdiagram.RNNAnswer{ID: r.I32(), Prob: r.F64()}
+	}
+	return out, r.Err()
+}
+
+// CellArea fetches the approximate UV-cell area of an object.
+func (c *Client) CellArea(id int32) (float64, error) {
+	var b wire.Buffer
+	b.I32(id)
+	r, err := c.roundTrip(wire.OpCellArea, b.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	area := r.F64()
+	return area, r.Err()
+}
+
+// Partitions runs a UV-partition (density) query over a rectangle.
+func (c *Client) Partitions(rect uvdiagram.Rect) ([]uvdiagram.Partition, error) {
+	var b wire.Buffer
+	b.F64(rect.Min.X)
+	b.F64(rect.Min.Y)
+	b.F64(rect.Max.X)
+	b.F64(rect.Max.Y)
+	r, err := c.roundTrip(wire.OpPartitions, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > r.Remaining() {
+		return nil, fmt.Errorf("client: partition count %d exceeds payload", n)
+	}
+	out := make([]uvdiagram.Partition, n)
+	for i := range out {
+		out[i].Region = uvdiagram.Rect{
+			Min: uvdiagram.Pt(r.F64(), r.F64()),
+			Max: uvdiagram.Pt(r.F64(), r.F64()),
+		}
+		out[i].Count = int(r.U32())
+		out[i].Density = r.F64()
+	}
+	return out, r.Err()
+}
+
+// Insert adds a new uncertain object (the incremental-update path). The
+// weights may be nil for a uniform pdf.
+func (c *Client) Insert(id int32, x, y, radius float64, weights []float64) error {
+	var b wire.Buffer
+	b.I32(id)
+	b.F64(x)
+	b.F64(y)
+	b.F64(radius)
+	b.U16(uint16(len(weights)))
+	for _, w := range weights {
+		b.F64(w)
+	}
+	_, err := c.roundTrip(wire.OpInsert, b.Bytes())
+	return err
+}

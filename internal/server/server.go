@@ -1,0 +1,318 @@
+// Package server exposes a built UV-diagram database over TCP with the
+// framed binary protocol of package wire — the service substrate for
+// the location-based-service settings of the paper's introduction
+// (e.g. the wireless broadcast services of [2], [3] front a spatial
+// index with exactly this kind of query endpoint).
+//
+// Concurrency model: queries take a read lock and run concurrently;
+// Insert takes the write lock (the incremental-update extension).
+// Each connection is served by one goroutine; a framing or checksum
+// error poisons the connection, while an application-level error is
+// reported in-band and the connection continues.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"uvdiagram"
+	"uvdiagram/internal/uncertain"
+	"uvdiagram/internal/wire"
+)
+
+// Server serves one DB over a listener.
+type Server struct {
+	mu     sync.RWMutex // guards db state (queries: RLock, Insert: Lock)
+	db     *uvdiagram.DB
+	logf   func(format string, args ...any)
+	wg     sync.WaitGroup
+	lmu    sync.Mutex // guards lis
+	lis    net.Listener
+	closed chan struct{}
+}
+
+// New wraps a built database. logf may be nil to discard logs.
+func New(db *uvdiagram.DB, logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{db: db, logf: logf, closed: make(chan struct{})}
+}
+
+// DB returns the served database.
+func (s *Server) DB() *uvdiagram.DB { return s.db }
+
+// Addr returns the listener's address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.lmu.Lock()
+	defer s.lmu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Serve accepts connections until the listener is closed. It always
+// returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(lis net.Listener) error {
+	s.lmu.Lock()
+	s.lis = lis
+	s.lmu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return net.ErrClosed
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves. The returned address
+// channel receives the bound address once (useful with ":0").
+func (s *Server) ListenAndServe(addr string, bound chan<- net.Addr) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if bound != nil {
+		bound <- lis.Addr()
+	}
+	return s.Serve(lis)
+}
+
+// Close stops accepting and waits for in-flight connections to finish
+// their current request loop (their sockets are not force-closed; they
+// end when the client disconnects).
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	s.lmu.Lock()
+	defer s.lmu.Unlock()
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	return err
+}
+
+// Wait blocks until every connection goroutine has exited.
+func (s *Server) Wait() { s.wg.Wait() }
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+		op, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("server: %v: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp, err := s.dispatch(op, payload)
+		if err != nil {
+			var eb wire.Buffer
+			eb.Str(err.Error())
+			if werr := wire.WriteFrame(conn, wire.StatusErr, eb.Bytes()); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := wire.WriteFrame(conn, wire.StatusOK, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	switch op {
+	case wire.OpPing:
+		return nil, nil
+
+	case wire.OpStats:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		d := s.db.Domain()
+		st := s.db.IndexStats()
+		var b wire.Buffer
+		b.F64(d.Min.X)
+		b.F64(d.Min.Y)
+		b.F64(d.Max.X)
+		b.F64(d.Max.Y)
+		b.U32(uint32(s.db.Len()))
+		b.U32(uint32(st.NonLeaf))
+		b.U32(uint32(st.Leaves))
+		b.U32(uint32(st.Pages))
+		b.U32(uint32(st.MaxDepth))
+		b.U64(uint64(st.Entries))
+		return b.Bytes(), nil
+
+	case wire.OpPNN:
+		q := uvdiagram.Pt(r.F64(), r.F64())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		answers, _, err := s.db.PNN(q)
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		return encodeAnswers(answers), nil
+
+	case wire.OpTopK:
+		q := uvdiagram.Pt(r.F64(), r.F64())
+		k := int(r.U32())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		answers, _, err := s.db.TopKPNN(q, k)
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		return encodeAnswers(answers), nil
+
+	case wire.OpPossibleKNN:
+		q := uvdiagram.Pt(r.F64(), r.F64())
+		k := int(r.U32())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		ids, err := s.db.PossibleKNN(q, k)
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		var b wire.Buffer
+		b.U32(uint32(len(ids)))
+		for _, id := range ids {
+			b.I32(id)
+		}
+		return b.Bytes(), nil
+
+	case wire.OpRNN:
+		q := uvdiagram.Pt(r.F64(), r.F64())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		answers, _ := s.db.RNN(q)
+		s.mu.RUnlock()
+		var b wire.Buffer
+		b.U32(uint32(len(answers)))
+		for _, a := range answers {
+			b.I32(a.ID)
+			b.F64(a.Prob)
+		}
+		return b.Bytes(), nil
+
+	case wire.OpCellArea:
+		id := r.I32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		area, err := s.db.CellArea(id)
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		var b wire.Buffer
+		b.F64(area)
+		return b.Bytes(), nil
+
+	case wire.OpPartitions:
+		rect := uvdiagram.Rect{
+			Min: uvdiagram.Pt(r.F64(), r.F64()),
+			Max: uvdiagram.Pt(r.F64(), r.F64()),
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		parts := s.db.Partitions(rect)
+		s.mu.RUnlock()
+		var b wire.Buffer
+		b.U32(uint32(len(parts)))
+		for _, p := range parts {
+			b.F64(p.Region.Min.X)
+			b.F64(p.Region.Min.Y)
+			b.F64(p.Region.Max.X)
+			b.F64(p.Region.Max.Y)
+			b.U32(uint32(p.Count))
+			b.F64(p.Density)
+		}
+		return b.Bytes(), nil
+
+	case wire.OpInsert:
+		id := r.I32()
+		cx, cy, rad := r.F64(), r.F64(), r.F64()
+		nb := int(r.U16())
+		if nb > 1024 {
+			return nil, fmt.Errorf("server: pdf with %d bins rejected", nb)
+		}
+		weights := make([]float64, nb)
+		for i := range weights {
+			weights[i] = r.F64()
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		var pdf *uvdiagram.PDF
+		if nb > 0 {
+			p, err := uncertain.NewHistogramPDF(weights)
+			if err != nil {
+				return nil, err
+			}
+			pdf = p
+		}
+		obj := uvdiagram.NewObject(id, cx, cy, rad, pdf)
+		s.mu.Lock()
+		err := s.db.Insert(obj)
+		s.mu.Unlock()
+		return nil, err
+
+	default:
+		return nil, fmt.Errorf("server: unknown opcode 0x%02x", op)
+	}
+}
+
+func encodeAnswers(answers []uvdiagram.Answer) []byte {
+	var b wire.Buffer
+	b.U32(uint32(len(answers)))
+	for _, a := range answers {
+		b.I32(a.ID)
+		b.F64(a.Prob)
+	}
+	return b.Bytes()
+}
+
+// Logf is a convenience adapter for log.Printf-style loggers.
+func Logf(l *log.Logger) func(string, ...any) {
+	return func(format string, args ...any) { l.Printf(format, args...) }
+}

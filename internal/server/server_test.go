@@ -1,0 +1,299 @@
+package server
+
+import (
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/wire"
+)
+
+// startServer builds a small DB, serves it on a loopback listener and
+// returns a connected client. Everything is torn down with t.Cleanup.
+func startServer(t *testing.T, n int) (*Client, *Server) {
+	t.Helper()
+	cfg := datagen.Config{N: n, Side: 2000, Diameter: 30, Seed: 77}
+	objs := datagen.Uniform(cfg)
+	db, err := uvdiagram.Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, t.Logf)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(lis)
+	}()
+	cli, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+		<-done
+		srv.Wait()
+	})
+	return cli, srv
+}
+
+func TestPingAndStats(t *testing.T) {
+	cli, srv := startServer(t, 50)
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 50 {
+		t.Fatalf("objects = %d", st.Objects)
+	}
+	if st.Domain != srv.DB().Domain() {
+		t.Fatalf("domain = %v, want %v", st.Domain, srv.DB().Domain())
+	}
+	want := srv.DB().IndexStats()
+	if st.Leaves != want.Leaves || st.Entries != want.Entries {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+}
+
+func TestPNNOverWireMatchesLocal(t *testing.T) {
+	cli, srv := startServer(t, 80)
+	for _, q := range []uvdiagram.Point{
+		uvdiagram.Pt(1000, 1000), uvdiagram.Pt(150, 1800), uvdiagram.Pt(1930, 430),
+	} {
+		got, err := cli.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := srv.DB().PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q=%v: wire %v vs local %v", q, got, want)
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+				t.Fatalf("q=%v answer %d: wire %v vs local %v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllOpsOverWire(t *testing.T) {
+	cli, srv := startServer(t, 60)
+	q := uvdiagram.Pt(1000, 1000)
+
+	topk, err := cli.TopKPNN(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topk) > 2 {
+		t.Fatalf("top-2 returned %d answers", len(topk))
+	}
+
+	ids, err := cli.PossibleKNN(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs, err := srv.DB().PossibleKNN(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(wantIDs) {
+		t.Fatalf("possible-4-NN: wire %v vs local %v", ids, wantIDs)
+	}
+
+	rnn, err := cli.RNN(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRNN, _ := srv.DB().RNN(q)
+	if len(rnn) != len(wantRNN) {
+		t.Fatalf("RNN: wire %v vs local %v", rnn, wantRNN)
+	}
+
+	area, err := cli.CellArea(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArea, err := srv.DB().CellArea(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if area != wantArea {
+		t.Fatalf("cell area: wire %v vs local %v", area, wantArea)
+	}
+
+	parts, err := cli.Partitions(uvdiagram.Rect{Min: uvdiagram.Pt(500, 500), Max: uvdiagram.Pt(1500, 1500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParts := srv.DB().Partitions(uvdiagram.Rect{Min: uvdiagram.Pt(500, 500), Max: uvdiagram.Pt(1500, 1500)})
+	if len(parts) != len(wantParts) {
+		t.Fatalf("partitions: wire %d vs local %d", len(parts), len(wantParts))
+	}
+}
+
+func TestInsertOverWire(t *testing.T) {
+	cli, srv := startServer(t, 30)
+	next := int32(srv.DB().Len())
+	if err := cli.Insert(next, 777, 888, 15, nil); err != nil {
+		t.Fatal(err)
+	}
+	if srv.DB().Len() != int(next)+1 {
+		t.Fatalf("server DB has %d objects, want %d", srv.DB().Len(), next+1)
+	}
+	// Wrong (non-dense) ID must be rejected in-band; connection stays
+	// usable.
+	if err := cli.Insert(999, 1, 1, 5, nil); err == nil {
+		t.Fatal("non-dense insert accepted")
+	}
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("connection unusable after in-band error: %v", err)
+	}
+}
+
+func TestServerErrorsInBand(t *testing.T) {
+	cli, _ := startServer(t, 20)
+	// Query outside the domain: application error, not a dead socket.
+	if _, err := cli.PNN(uvdiagram.Pt(-50, -50)); err == nil {
+		t.Fatal("out-of-domain query accepted")
+	} else if !strings.Contains(err.Error(), "server:") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("connection unusable after in-band error: %v", err)
+	}
+}
+
+func TestUnknownOpcode(t *testing.T) {
+	cli, _ := startServer(t, 10)
+	if _, err := cli.roundTrip(0xEE, nil); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedPayloadRejected(t *testing.T) {
+	cli, _ := startServer(t, 10)
+	// PNN with a half payload: in-band error.
+	if _, err := cli.roundTrip(wire.OpPNN, []byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestGarbageFramePoisonsConnection(t *testing.T) {
+	cli, srv := startServer(t, 10)
+	// Raw connection sending garbage: the server must close it (framing
+	// errors poison the stream) without disturbing other clients.
+	raw, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server answered a garbage frame instead of closing")
+	}
+	// The well-behaved client is unaffected.
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("healthy connection disturbed: %v", err)
+	}
+}
+
+func TestCorruptChecksumPoisonsConnection(t *testing.T) {
+	_, srv := startServer(t, 10)
+	raw, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// A structurally valid frame whose checksum does not match.
+	frame := []byte{
+		9, 0, 0, 0, // length = 1 opcode + 4 payload + 4 crc
+		0x03,       // OpPNN
+		1, 2, 3, 4, // payload
+		0, 0, 0, 0, // wrong CRC
+	}
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(make([]byte, 16)); err == nil {
+		t.Fatal("server answered a corrupt frame instead of closing")
+	}
+}
+
+func TestConcurrentClientsAndInserts(t *testing.T) {
+	cli, srv := startServer(t, 60)
+	_ = cli
+	addr := srv.Addr().String()
+
+	const workers = 8
+	const queriesPerWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+1)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < queriesPerWorker; i++ {
+				q := uvdiagram.Pt(float64(100+w*37+i*13%1800), float64(100+i*71%1800))
+				if _, err := c.PNN(q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// One writer inserting concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		for i := 0; i < 10; i++ {
+			if err := c.Insert(int32(60+i), float64(200+i*50), float64(300+i*40), 12, nil); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if srv.DB().Len() != 70 {
+		t.Fatalf("server DB has %d objects, want 70", srv.DB().Len())
+	}
+}

@@ -1,0 +1,77 @@
+// Package uncertain implements the attribute-uncertainty data model of
+// the paper: an uncertain object has a closed circular uncertainty
+// region (its minimum bounding circle, MBC) and a radially symmetric
+// probability density over that region, stored as a histogram of
+// concentric rings (the paper uses 20 bars).
+//
+// Non-circular uncertainty regions are supported by converting them to
+// their minimum bounding circle (Section III-C), which preserves
+// correctness of PNN answers (the UV-cell can only grow).
+package uncertain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uvdiagram/internal/geom"
+)
+
+// Object is an uncertain object: the true position is distributed inside
+// Region according to PDF. Datasets use dense IDs 0..n-1 so that an
+// Object's ID doubles as its index.
+type Object struct {
+	ID     int32
+	Region geom.Circle
+	PDF    *HistogramPDF
+}
+
+// New returns an uncertain object with the given circular region and pdf.
+// A nil pdf defaults to the uniform distribution.
+func New(id int32, region geom.Circle, pdf *HistogramPDF) Object {
+	if pdf == nil {
+		pdf = Uniform(DefaultBins)
+	}
+	return Object{ID: id, Region: region, PDF: pdf}
+}
+
+// FromPolygon builds an uncertain object from a non-circular uncertainty
+// region given by its vertices: the region is replaced by its minimum
+// bounding circle as prescribed in Section III-C of the paper.
+func FromPolygon(id int32, vertices []geom.Point, pdf *HistogramPDF) (Object, error) {
+	if len(vertices) == 0 {
+		return Object{}, fmt.Errorf("uncertain: FromPolygon with no vertices")
+	}
+	return New(id, geom.MinEnclosingCircle(vertices), pdf), nil
+}
+
+// DistMin returns the minimum possible distance between q and the
+// object's true position (Equation 2): zero when q is inside the region.
+func (o Object) DistMin(q geom.Point) float64 {
+	d := q.Dist(o.Region.C) - o.Region.R
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// DistMax returns the maximum possible distance between q and the
+// object's true position (Equation 3).
+func (o Object) DistMax(q geom.Point) float64 {
+	return q.Dist(o.Region.C) + o.Region.R
+}
+
+// Sample draws a position from the object's distribution.
+func (o Object) Sample(rng *rand.Rand) geom.Point {
+	if o.Region.R == 0 {
+		return o.Region.C
+	}
+	r := o.PDF.SampleRadius(rng) * o.Region.R
+	phi := rng.Float64() * 2 * math2Pi
+	return o.Region.C.Add(geom.PolarUnit(phi).Scale(r))
+}
+
+const math2Pi = 6.283185307179586
+
+// MBC returns the object's minimum bounding circle (its Region; the
+// name follows the leaf-tuple field of the UV-index, Section V-A).
+func (o Object) MBC() geom.Circle { return o.Region }

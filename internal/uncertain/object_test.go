@@ -1,0 +1,95 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"uvdiagram/internal/geom"
+)
+
+func TestDistMinMax(t *testing.T) {
+	o := New(0, geom.Circle{C: geom.Pt(0, 0), R: 2}, nil)
+	q := geom.Pt(5, 0)
+	if got := o.DistMin(q); got != 3 {
+		t.Errorf("DistMin = %v", got)
+	}
+	if got := o.DistMax(q); got != 7 {
+		t.Errorf("DistMax = %v", got)
+	}
+	// Query inside the region: DistMin is 0.
+	if got := o.DistMin(geom.Pt(1, 0)); got != 0 {
+		t.Errorf("DistMin inside = %v", got)
+	}
+	if got := o.DistMax(geom.Pt(1, 0)); got != 3 {
+		t.Errorf("DistMax inside = %v", got)
+	}
+}
+
+func TestPointObject(t *testing.T) {
+	o := New(0, geom.Circle{C: geom.Pt(3, 4), R: 0}, nil)
+	q := geom.Pt(0, 0)
+	if o.DistMin(q) != 5 || o.DistMax(q) != 5 {
+		t.Error("point object distances must coincide")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if o.Sample(rng) != geom.Pt(3, 4) {
+		t.Error("point object must sample its center")
+	}
+}
+
+func TestSampleInsideRegion(t *testing.T) {
+	o := New(0, geom.Circle{C: geom.Pt(10, -3), R: 4}, PaperGaussian())
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		p := o.Sample(rng)
+		if o.Region.C.Dist(p) > o.Region.R+1e-9 {
+			t.Fatalf("sample %v outside region %v", p, o.Region)
+		}
+	}
+}
+
+// TestSampleDistanceBracket: empirical distances from an external point
+// stay within [DistMin, DistMax].
+func TestSampleDistanceBracket(t *testing.T) {
+	o := New(0, geom.Circle{C: geom.Pt(0, 0), R: 3}, Uniform(20))
+	q := geom.Pt(8, 1)
+	dmin, dmax := o.DistMin(q), o.DistMax(q)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 5000; i++ {
+		d := o.Sample(rng).Dist(q)
+		if d < dmin-1e-9 || d > dmax+1e-9 {
+			t.Fatalf("sampled distance %v outside [%v, %v]", d, dmin, dmax)
+		}
+	}
+}
+
+func TestFromPolygon(t *testing.T) {
+	// A unit square: MBC is the circumcircle, radius √2/2.
+	square := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}
+	o, err := FromPolygon(7, square, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ID != 7 {
+		t.Errorf("ID = %d", o.ID)
+	}
+	if math.Abs(o.Region.R-math.Sqrt2/2) > 1e-9 {
+		t.Errorf("MBC radius = %v, want %v", o.Region.R, math.Sqrt2/2)
+	}
+	for _, v := range square {
+		if !o.Region.Contains(v) {
+			t.Errorf("MBC does not contain vertex %v", v)
+		}
+	}
+	if _, err := FromPolygon(0, nil, nil); err == nil {
+		t.Error("empty polygon accepted")
+	}
+}
+
+func TestNewDefaultsUniform(t *testing.T) {
+	o := New(0, geom.Circle{C: geom.Pt(0, 0), R: 1}, nil)
+	if o.PDF == nil || o.PDF.Bins() != DefaultBins {
+		t.Error("nil pdf should default to uniform with DefaultBins bars")
+	}
+}

@@ -1,0 +1,154 @@
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DefaultBins is the number of histogram bars used by the paper's
+// experiments (Section VI-A).
+const DefaultBins = 20
+
+// HistogramPDF is a radially symmetric density over the unit disk,
+// discretized into equal-width concentric rings: Bin(k) is the
+// probability that the normalized distance from the center lies in
+// [k/n, (k+1)/n). Within a ring the density is uniform per unit area.
+// Scaling to an object's actual radius is done by the callers.
+type HistogramPDF struct {
+	bins []float64 // normalized to sum to 1
+	cum  []float64 // cum[k] = sum of bins[0..k-1]; len = n+1
+}
+
+// NewHistogramPDF builds a pdf from raw non-negative ring masses,
+// normalizing them to sum to 1.
+func NewHistogramPDF(weights []float64) (*HistogramPDF, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("uncertain: histogram pdf needs at least one bin")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("uncertain: bin %d has invalid weight %v", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("uncertain: histogram pdf has zero total mass")
+	}
+	bins := make([]float64, len(weights))
+	cum := make([]float64, len(weights)+1)
+	for i, w := range weights {
+		bins[i] = w / total
+		cum[i+1] = cum[i] + bins[i]
+	}
+	cum[len(weights)] = 1
+	return &HistogramPDF{bins: bins, cum: cum}, nil
+}
+
+// Uniform returns the pdf of a position uniformly distributed over the
+// disk: ring masses proportional to ring areas.
+func Uniform(bins int) *HistogramPDF {
+	w := make([]float64, bins)
+	for k := range w {
+		a := float64(k) / float64(bins)
+		b := float64(k+1) / float64(bins)
+		w[k] = b*b - a*a
+	}
+	p, err := NewHistogramPDF(w)
+	if err != nil {
+		panic(err) // unreachable: weights are positive
+	}
+	return p
+}
+
+// Gaussian returns the pdf used throughout the paper's evaluation: a
+// circular Gaussian centered at the region center with standard
+// deviation sigmaFrac times the region radius (the paper sets the
+// variance to the square of one sixth of the diameter, i.e.
+// sigmaFrac = 1/3), truncated to the region and discretized into the
+// given number of ring bars via the Rayleigh radial law.
+func Gaussian(bins int, sigmaFrac float64) *HistogramPDF {
+	if sigmaFrac <= 0 {
+		panic("uncertain: Gaussian sigmaFrac must be positive")
+	}
+	w := make([]float64, bins)
+	s2 := 2 * sigmaFrac * sigmaFrac
+	for k := range w {
+		a := float64(k) / float64(bins)
+		b := float64(k+1) / float64(bins)
+		// P(a ≤ ρ ≤ b) for Rayleigh: exp(-a²/2σ²) − exp(-b²/2σ²).
+		w[k] = math.Exp(-a*a/s2) - math.Exp(-b*b/s2)
+	}
+	p, err := NewHistogramPDF(w)
+	if err != nil {
+		panic(err) // unreachable
+	}
+	return p
+}
+
+// PaperGaussian is the exact pdf configuration of Section VI-A: 20 bars,
+// σ = diameter/6 = radius/3.
+func PaperGaussian() *HistogramPDF { return Gaussian(DefaultBins, 1.0/3.0) }
+
+// Bins returns the number of histogram bars.
+func (p *HistogramPDF) Bins() int { return len(p.bins) }
+
+// Bin returns the probability mass of ring k.
+func (p *HistogramPDF) Bin(k int) float64 { return p.bins[k] }
+
+// CumRadius returns P(ρ ≤ r) for the normalized radius r in [0, 1],
+// interpolating uniformly in area inside a ring.
+func (p *HistogramPDF) CumRadius(r float64) float64 {
+	n := len(p.bins)
+	if r <= 0 {
+		return 0
+	}
+	if r >= 1 {
+		return 1
+	}
+	k := int(r * float64(n))
+	if k >= n {
+		k = n - 1
+	}
+	a := float64(k) / float64(n)
+	b := float64(k+1) / float64(n)
+	frac := (r*r - a*a) / (b*b - a*a)
+	return p.cum[k] + p.bins[k]*frac
+}
+
+// SampleRadius draws a normalized radius in [0, 1] from the radial law.
+func (p *HistogramPDF) SampleRadius(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	// Binary search the cumulative table.
+	lo, hi := 0, len(p.bins)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid+1] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	k := lo
+	if k >= len(p.bins) {
+		k = len(p.bins) - 1
+	}
+	n := float64(len(p.bins))
+	a := float64(k) / n
+	b := float64(k+1) / n
+	var frac float64
+	if p.bins[k] > 0 {
+		frac = (u - p.cum[k]) / p.bins[k]
+	}
+	// Uniform in area within the ring.
+	return math.Sqrt(a*a + frac*(b*b-a*a))
+}
+
+// Weights returns a copy of the normalized bin masses (used by the page
+// encoders).
+func (p *HistogramPDF) Weights() []float64 {
+	w := make([]float64, len(p.bins))
+	copy(w, p.bins)
+	return w
+}

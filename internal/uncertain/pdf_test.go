@@ -1,0 +1,123 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramPDFValidation(t *testing.T) {
+	if _, err := NewHistogramPDF(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewHistogramPDF([]float64{0, 0}); err == nil {
+		t.Error("zero mass accepted")
+	}
+	if _, err := NewHistogramPDF([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewHistogramPDF([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	p, err := NewHistogramPDF([]float64{2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Bin(2); got != 0.5 {
+		t.Errorf("Bin(2) = %v, want 0.5", got)
+	}
+}
+
+func TestUniformPDF(t *testing.T) {
+	p := Uniform(DefaultBins)
+	if p.Bins() != DefaultBins {
+		t.Fatalf("bins = %d", p.Bins())
+	}
+	// Uniform over the disk: P(ρ ≤ r) = r².
+	for _, r := range []float64{0, 0.1, 0.35, 0.5, 0.77, 1} {
+		if got := p.CumRadius(r); math.Abs(got-r*r) > 1e-12 {
+			t.Errorf("CumRadius(%v) = %v, want %v", r, got, r*r)
+		}
+	}
+}
+
+func TestGaussianPDFShape(t *testing.T) {
+	p := PaperGaussian()
+	if p.Bins() != DefaultBins {
+		t.Fatalf("bins = %d", p.Bins())
+	}
+	// Rayleigh cdf truncated to [0,1]: most mass well inside (σ = 1/3).
+	if c := p.CumRadius(1.0 / 3.0); c < 0.3 || c > 0.5 {
+		t.Errorf("CumRadius(σ) = %v, want ≈ 0.39", c)
+	}
+	// Mass concentrated near the center compared to uniform.
+	u := Uniform(DefaultBins)
+	if p.CumRadius(0.5) <= u.CumRadius(0.5) {
+		t.Error("Gaussian should concentrate more mass near the center than uniform")
+	}
+}
+
+func TestCumRadiusMonotone(t *testing.T) {
+	for _, p := range []*HistogramPDF{Uniform(20), PaperGaussian(), Gaussian(7, 0.8)} {
+		prev := -1.0
+		for i := 0; i <= 1000; i++ {
+			r := float64(i) / 1000
+			c := p.CumRadius(r)
+			if c < prev-1e-15 {
+				t.Fatalf("CumRadius not monotone at %v", r)
+			}
+			prev = c
+		}
+		if p.CumRadius(0) != 0 || p.CumRadius(1) != 1 {
+			t.Error("CumRadius endpoints wrong")
+		}
+	}
+}
+
+func TestSampleRadiusMatchesCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range []*HistogramPDF{Uniform(20), PaperGaussian()} {
+		const n = 100000
+		counts := 0
+		const at = 0.6
+		for i := 0; i < n; i++ {
+			if p.SampleRadius(rng) <= at {
+				counts++
+			}
+		}
+		got := float64(counts) / n
+		want := p.CumRadius(at)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical P(ρ≤%v) = %v, cdf says %v", at, got, want)
+		}
+	}
+}
+
+func TestSampleRadiusInRange(t *testing.T) {
+	p := PaperGaussian()
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := p.SampleRadius(rng)
+		return r >= 0 && r <= 1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightsCopy(t *testing.T) {
+	p := Uniform(5)
+	w := p.Weights()
+	w[0] = 99
+	if p.Bin(0) == 99 {
+		t.Error("Weights must return a copy")
+	}
+	sum := 0.0
+	for _, v := range p.Weights() {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum = %v", sum)
+	}
+}

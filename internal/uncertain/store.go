@@ -1,0 +1,113 @@
+package uncertain
+
+import (
+	"fmt"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+)
+
+// Store keeps the full uncertainty information of every object (region
+// and pdf histogram) on its own simulated disk page, mirroring the
+// paper's setup where "the uncertainty information about the objects is
+// stored in the disk". Fetch goes through the pager and therefore counts
+// toward object-retrieval I/O; construction-time code uses the
+// in-memory accessors, which do not.
+type Store struct {
+	pg     *pager.Pager
+	pageOf []pager.PageID
+	objs   []Object
+}
+
+// ObjectPageBytes is the recommended page size for object stores: a
+// record is ~30 + 8·bins bytes (190 with the default 20 bars), so full
+// 4 KB pages would waste most of the simulated disk's RAM at large
+// dataset sizes. I/O accounting (one page per object) is unchanged.
+const ObjectPageBytes = 1024
+
+// NewStore writes every object to its own page of pg and returns the
+// store. Objects must have dense IDs 0..n-1 and their records must fit
+// one page.
+func NewStore(objs []Object, pg *pager.Pager) (*Store, error) {
+	s := &Store{pg: pg, pageOf: make([]pager.PageID, len(objs)), objs: objs}
+	for i, o := range objs {
+		if int(o.ID) != i {
+			return nil, fmt.Errorf("uncertain: object at index %d has ID %d; stores need dense IDs", i, o.ID)
+		}
+		buf, err := encodeObject(o, pg.PageSize())
+		if err != nil {
+			return nil, err
+		}
+		s.pageOf[i] = pg.Alloc(buf)
+	}
+	return s, nil
+}
+
+func encodeObject(o Object, pageSize int) ([]byte, error) {
+	rec := pager.ObjectRecord{
+		ID: o.ID,
+		CX: o.Region.C.X, CY: o.Region.C.Y, R: o.Region.R,
+		Weights: o.PDF.Weights(),
+	}
+	buf := pager.EncodeObjectRecord(rec)
+	if len(buf) > pageSize {
+		return nil, fmt.Errorf("uncertain: object %d record (%d bytes, %d pdf bars) exceeds the %d-byte page",
+			o.ID, len(buf), o.PDF.Bins(), pageSize)
+	}
+	return buf, nil
+}
+
+// Len returns the number of objects.
+func (s *Store) Len() int { return len(s.objs) }
+
+// All returns the in-memory objects (no I/O accounted). The slice is
+// shared; callers must not modify it.
+func (s *Store) All() []Object { return s.objs }
+
+// At returns object i from memory (no I/O accounted).
+func (s *Store) At(i int) Object { return s.objs[i] }
+
+// PageOf returns the disk page id holding object i's record; it is the
+// value stored in leaf-tuple pointers.
+func (s *Store) PageOf(i int32) pager.PageID { return s.pageOf[i] }
+
+// Fetch reads object id's record from disk (one page read) and decodes
+// it. It is the query-time path, used so that object-retrieval I/O and
+// decode time are accounted realistically.
+func (s *Store) Fetch(id int32) (Object, error) {
+	if id < 0 || int(id) >= len(s.pageOf) {
+		return Object{}, fmt.Errorf("uncertain: fetch of unknown object %d", id)
+	}
+	rec, err := pager.DecodeObjectRecord(s.pg.Read(s.pageOf[id]))
+	if err != nil {
+		return Object{}, fmt.Errorf("uncertain: object %d: %w", id, err)
+	}
+	pdf, err := NewHistogramPDF(rec.Weights)
+	if err != nil {
+		return Object{}, fmt.Errorf("uncertain: object %d: %w", id, err)
+	}
+	return Object{
+		ID:     rec.ID,
+		Region: geom.Circle{C: geom.Pt(rec.CX, rec.CY), R: rec.R},
+		PDF:    pdf,
+	}, nil
+}
+
+// Pager exposes the underlying pager for I/O accounting.
+func (s *Store) Pager() *pager.Pager { return s.pg }
+
+// Append adds a new object to the store on a fresh disk page. Its ID
+// must be the next dense id (current Len). Supports the incremental-
+// update extension of the UV-index.
+func (s *Store) Append(o Object) error {
+	if int(o.ID) != len(s.objs) {
+		return fmt.Errorf("uncertain: appended object has ID %d, want %d", o.ID, len(s.objs))
+	}
+	buf, err := encodeObject(o, s.pg.PageSize())
+	if err != nil {
+		return err
+	}
+	s.pageOf = append(s.pageOf, s.pg.Alloc(buf))
+	s.objs = append(s.objs, o)
+	return nil
+}

@@ -1,0 +1,145 @@
+// Package viz renders UV-diagrams to SVG: uncertainty regions, exact
+// UV-cell boundaries (sampled from the radial representation), index
+// leaf regions and partition densities. It supports the visualization
+// use cases of Section V-C ("displaying the approximate shape of the
+// UV-cell", density maps) and produces figures in the style of the
+// paper's Figures 1–2.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+// Scene describes everything to draw.
+type Scene struct {
+	Domain     geom.Rect
+	Objects    []uncertain.Object
+	Cells      []CellOutline
+	Leaves     []geom.Rect
+	Partitions []core.Partition
+	Queries    []geom.Point
+	// PixelWidth of the output image (height follows the aspect ratio);
+	// 800 when zero.
+	PixelWidth int
+}
+
+// CellOutline is a closed polyline approximating a UV-cell boundary.
+type CellOutline struct {
+	Label  string
+	Points []geom.Point
+}
+
+// OutlineRegion samples a possible region's boundary into a closed
+// polyline with n points (n ≥ 8; 256 is smooth enough for display).
+func OutlineRegion(r *core.PossibleRegion, n int) CellOutline {
+	if n < 8 {
+		n = 8
+	}
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		phi := 2 * math.Pi * float64(i) / float64(n)
+		rad, _ := r.Radius(phi)
+		pts[i] = r.Center().Add(geom.PolarUnit(phi).Scale(rad))
+	}
+	return CellOutline{Points: pts}
+}
+
+// Write renders the scene as a standalone SVG document.
+func Write(w io.Writer, s Scene) error {
+	if s.Domain.W() <= 0 || s.Domain.H() <= 0 {
+		return fmt.Errorf("viz: empty domain %v", s.Domain)
+	}
+	px := s.PixelWidth
+	if px <= 0 {
+		px = 800
+	}
+	scale := float64(px) / s.Domain.W()
+	py := int(s.Domain.H() * scale)
+	// SVG y grows downward; flip so the domain reads like the paper.
+	tx := func(p geom.Point) (float64, float64) {
+		return (p.X - s.Domain.Min.X) * scale, float64(py) - (p.Y-s.Domain.Min.Y)*scale
+	}
+
+	b := &errWriter{w: w}
+	b.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", px, py, px, py)
+	b.printf(`<rect x="0" y="0" width="%d" height="%d" fill="white" stroke="black"/>`+"\n", px, py)
+
+	// Partition density heat map (under everything else).
+	maxD := 0.0
+	for _, p := range s.Partitions {
+		if p.Density > maxD {
+			maxD = p.Density
+		}
+	}
+	for _, p := range s.Partitions {
+		x0, y0 := tx(geom.Pt(p.Region.Min.X, p.Region.Max.Y))
+		alpha := 0.0
+		if maxD > 0 {
+			alpha = 0.75 * p.Density / maxD
+		}
+		b.printf(`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="rgba(220,60,40,%.3f)" stroke="none"/>`+"\n",
+			x0, y0, p.Region.W()*scale, p.Region.H()*scale, alpha)
+	}
+
+	// Index leaf boundaries.
+	for _, r := range s.Leaves {
+		x0, y0 := tx(geom.Pt(r.Min.X, r.Max.Y))
+		b.printf(`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="#bbbbbb" stroke-width="0.5"/>`+"\n",
+			x0, y0, r.W()*scale, r.H()*scale)
+	}
+
+	// UV-cell outlines.
+	colors := []string{"#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf"}
+	for i, c := range s.Cells {
+		if len(c.Points) == 0 {
+			continue
+		}
+		b.printf(`<polygon points="`)
+		for _, p := range c.Points {
+			x, y := tx(p)
+			b.printf("%.2f,%.2f ", x, y)
+		}
+		col := colors[i%len(colors)]
+		b.printf(`" fill="%s" fill-opacity="0.12" stroke="%s" stroke-width="1.5"/>`+"\n", col, col)
+		if c.Label != "" {
+			x, y := tx(c.Points[0])
+			b.printf(`<text x="%.2f" y="%.2f" font-size="12" fill="%s">%s</text>`+"\n", x, y, col, c.Label)
+		}
+	}
+
+	// Uncertainty regions.
+	for _, o := range s.Objects {
+		x, y := tx(o.Region.C)
+		b.printf(`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="rgba(40,90,200,0.25)" stroke="#28409a" stroke-width="0.8"/>`+"\n",
+			x, y, math.Max(o.Region.R*scale, 1))
+	}
+
+	// Query points.
+	for _, q := range s.Queries {
+		x, y := tx(q)
+		b.printf(`<path d="M %.2f %.2f l 5 5 m -10 0 l 10 -10 m -10 10 l 10 0 m -5 -5" stroke="black" stroke-width="1.5" fill="none"/>`+"\n", x-0, y-0)
+		b.printf(`<circle cx="%.2f" cy="%.2f" r="3" fill="black"/>`+"\n", x, y)
+	}
+
+	b.printf("</svg>\n")
+	return b.err
+}
+
+// errWriter accumulates the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,74 @@
+package viz
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/uncertain"
+)
+
+func TestWriteSVG(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	domain := geom.Square(1000)
+	objs := make([]uncertain.Object, 6)
+	for i := range objs {
+		c := geom.Pt(100+rng.Float64()*800, 100+rng.Float64()*800)
+		objs[i] = uncertain.New(int32(i), geom.Circle{C: c, R: 30}, nil)
+	}
+	// One exact cell outline.
+	region := core.NewPossibleRegion(objs[0].Region.C, domain)
+	for j := 1; j < len(objs); j++ {
+		region.AddObject(objs[0], objs[j])
+	}
+	outline := OutlineRegion(region, 128)
+	outline.Label = "U0"
+
+	var buf bytes.Buffer
+	err := Write(&buf, Scene{
+		Domain:  domain,
+		Objects: objs,
+		Cells:   []CellOutline{outline},
+		Leaves:  []geom.Rect{geom.NewRect(0, 0, 500, 500)},
+		Queries: []geom.Point{geom.Pt(400, 400)},
+		Partitions: []core.Partition{
+			{Region: geom.NewRect(0, 0, 250, 250), Count: 3, Density: 3.0 / (250 * 250)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<polygon", "U0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG output missing %q", want)
+		}
+	}
+	if strings.Count(out, "<circle") < len(objs) {
+		t.Errorf("expected at least %d circles", len(objs))
+	}
+}
+
+func TestWriteSVGEmptyDomain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Scene{}); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestOutlineRegionClosedAndInside(t *testing.T) {
+	domain := geom.Square(100)
+	region := core.NewPossibleRegion(geom.Pt(50, 50), domain)
+	o := OutlineRegion(region, 4) // clamped to ≥ 8
+	if len(o.Points) < 8 {
+		t.Fatalf("outline has %d points", len(o.Points))
+	}
+	for _, p := range o.Points {
+		if p.X < -1e-9 || p.X > 100+1e-9 || p.Y < -1e-9 || p.Y > 100+1e-9 {
+			t.Fatalf("outline point %v outside domain", p)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package wire defines the framed binary protocol spoken between the
+// UV-diagram server and its clients: a minimal, versioned,
+// length-prefixed format with per-frame CRC-32 integrity, built only on
+// encoding/binary and hash/crc32.
+//
+// Frame layout (all little endian):
+//
+//	uint32  length   — byte count of everything after this field
+//	byte    kind     — request: opcode; response: status
+//	payload bytes    — operation-specific
+//	uint32  crc      — CRC-32 (IEEE) of kind + payload
+//
+// A frame never exceeds MaxFrame bytes; oversized or corrupt frames
+// poison the connection (the server closes it), since after a framing
+// error the stream offset can no longer be trusted.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Opcodes of request frames.
+const (
+	OpPing        byte = 0x01
+	OpStats       byte = 0x02
+	OpPNN         byte = 0x03
+	OpTopK        byte = 0x04
+	OpPossibleKNN byte = 0x05
+	OpRNN         byte = 0x06
+	OpCellArea    byte = 0x07
+	OpPartitions  byte = 0x08
+	OpInsert      byte = 0x09
+)
+
+// Response statuses.
+const (
+	StatusOK  byte = 0x00
+	StatusErr byte = 0x01
+)
+
+// MaxFrame bounds a frame's post-length size (kind + payload + crc).
+const MaxFrame = 1 << 20
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	n := 1 + len(payload) + 4
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	buf := make([]byte, 4+n)
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	buf[4] = kind
+	copy(buf[5:], payload)
+	crc := crc32.ChecksumIEEE(buf[4 : 4+1+len(payload)])
+	binary.LittleEndian.PutUint32(buf[4+1+len(payload):], crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, verifying length bounds and checksum.
+func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < 5 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: invalid frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(body[n-4:])
+	if got := crc32.ChecksumIEEE(body[:n-4]); got != want {
+		return 0, nil, fmt.Errorf("wire: checksum mismatch (%08x != %08x)", got, want)
+	}
+	return body[0], body[1 : n-4], nil
+}
+
+// Buffer is an append-only payload builder.
+type Buffer struct {
+	b []byte
+}
+
+// Bytes returns the accumulated payload.
+func (e *Buffer) Bytes() []byte { return e.b }
+
+// U16 appends a uint16.
+func (e *Buffer) U16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+
+// U32 appends a uint32.
+func (e *Buffer) U32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+
+// U64 appends a uint64.
+func (e *Buffer) U64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+// I32 appends an int32.
+func (e *Buffer) I32(v int32) { e.U32(uint32(v)) }
+
+// F64 appends a float64.
+func (e *Buffer) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a length-prefixed UTF-8 string.
+func (e *Buffer) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// Reader is a cursor over a payload with sticky error handling.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decoding error, if any.
+func (d *Reader) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Reader) Remaining() int { return len(d.b) - d.off }
+
+func (d *Reader) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.err = fmt.Errorf("wire: payload truncated at offset %d (need %d of %d)", d.off, n, len(d.b))
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+// U16 reads a uint16.
+func (d *Reader) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a uint32.
+func (d *Reader) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (d *Reader) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I32 reads an int32.
+func (d *Reader) I32() int32 { return int32(d.U32()) }
+
+// F64 reads a float64.
+func (d *Reader) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Str reads a length-prefixed string (bounded by the payload size).
+func (d *Reader) Str() string {
+	n := int(d.U32())
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > d.Remaining() {
+		d.err = fmt.Errorf("wire: string length %d exceeds remaining %d", n, d.Remaining())
+		return ""
+	}
+	return string(d.take(n))
+}

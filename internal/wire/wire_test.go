@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := WriteFrame(&buf, OpPNN, payload); err != nil {
+		t.Fatal(err)
+	}
+	kind, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != OpPNN || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: kind=%d payload=%v", kind, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, OpPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != OpPing || len(payload) != 0 {
+		t.Fatalf("kind=%d payload=%v", kind, payload)
+	}
+}
+
+func TestFrameChecksumRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, OpStats, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[6] ^= 0xFF // flip a payload byte
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+}
+
+func TestFrameLengthBounds(t *testing.T) {
+	// Oversized declared length.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Undersized declared length.
+	binary.LittleEndian.PutUint32(hdr[:], 2)
+	if _, _, err := ReadFrame(bytes.NewReader(append(hdr[:], 0, 0))); err == nil {
+		t.Fatal("undersized frame accepted")
+	}
+	// Writer refuses oversized payloads.
+	if err := WriteFrame(io.Discard, OpPing, make([]byte, MaxFrame)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestFrameShortRead(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, OpPing, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, _, err := ReadFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBufferReaderRoundTrip(t *testing.T) {
+	var b Buffer
+	b.U16(7)
+	b.U32(42)
+	b.U64(1 << 40)
+	b.I32(-13)
+	b.F64(math.Pi)
+	b.Str("uncertain voronoi")
+
+	r := NewReader(b.Bytes())
+	if v := r.U16(); v != 7 {
+		t.Fatalf("U16 = %d", v)
+	}
+	if v := r.U32(); v != 42 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := r.U64(); v != 1<<40 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := r.I32(); v != -13 {
+		t.Fatalf("I32 = %d", v)
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := r.Str(); v != "uncertain voronoi" {
+		t.Fatalf("Str = %q", v)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining %d", r.Remaining())
+	}
+}
+
+func TestReaderTruncationSticky(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32()
+	if r.Err() == nil {
+		t.Fatal("truncated read succeeded")
+	}
+	// Sticky: further reads keep the error, return zero values.
+	if v := r.F64(); v != 0 || r.Err() == nil {
+		t.Fatal("sticky error violated")
+	}
+}
+
+func TestReaderStrBounds(t *testing.T) {
+	var b Buffer
+	b.U32(1000) // claims 1000 bytes, none present
+	r := NewReader(b.Bytes())
+	if s := r.Str(); s != "" || r.Err() == nil {
+		t.Fatalf("oversized string accepted: %q", s)
+	}
+	if r.Err() != nil && !strings.Contains(r.Err().Error(), "exceeds") {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+}
+
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, OpPNN, []byte{1, 2, 3})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 0, 0, 1, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; on success the re-encoded frame must decode
+		// to the same payload.
+		kind, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, kind, payload); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		k2, p2, err := ReadFrame(&buf)
+		if err != nil || k2 != kind || !bytes.Equal(p2, payload) {
+			t.Fatalf("re-decode mismatch: %v %d %v", err, k2, p2)
+		}
+	})
+}

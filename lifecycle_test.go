@@ -1,0 +1,150 @@
+package uvdiagram_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+)
+
+// TestFullLifecycle drives the whole public surface in one scenario:
+// build, snapshot, reload, incremental insert, and every query type,
+// checking cross-consistency along the way.
+func TestFullLifecycle(t *testing.T) {
+	cfg := datagen.Config{N: 50, Side: 2000, Diameter: 30, Seed: 4242}
+	objs := datagen.Uniform(cfg)
+	db, err := uvdiagram.Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot and reload.
+	var snap bytes.Buffer
+	if err := db.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := uvdiagram.Load(bytes.NewReader(snap.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert a new object into both.
+	newObj := uvdiagram.NewObject(int32(db.Len()), 777, 888, 12, uvdiagram.GaussianPDF())
+	if err := db.Insert(newObj); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Insert(newObj); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		q := uvdiagram.Pt(rng.Float64()*2000, rng.Float64()*2000)
+
+		// PNN agrees between the original and the reloaded database.
+		a1, _, err := db.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _, err := db2.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a1) != len(a2) {
+			t.Fatalf("q=%v: PNN diverges after reload+insert: %v vs %v", q, a1, a2)
+		}
+		for i := range a1 {
+			if a1[i].ID != a2[i].ID {
+				t.Fatalf("q=%v: PNN diverges after reload+insert: %v vs %v", q, a1, a2)
+			}
+		}
+
+		// Top-1 is the maximum-probability PNN answer.
+		top, _, err := db.TopKPNN(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a1) > 0 {
+			best := a1[0]
+			for _, a := range a1[1:] {
+				if a.Prob > best.Prob {
+					best = a
+				}
+			}
+			if len(top) != 1 || top[0].Prob < best.Prob-1e-12 {
+				t.Fatalf("q=%v: top-1 %v is not the max-probability answer %v", q, top, best)
+			}
+		}
+
+		// Possible-1-NN contains every PNN answer (the PNN set is
+		// exactly the possible-NN set).
+		knn, err := db.PossibleKNN(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inKNN := make(map[int32]bool, len(knn))
+		for _, id := range knn {
+			inKNN[id] = true
+		}
+		for _, a := range a1 {
+			if !inKNN[a.ID] {
+				t.Fatalf("q=%v: PNN answer %d missing from possible-1-NN %v", q, a.ID, knn)
+			}
+		}
+
+		// The answer with non-zero probability at q must have q inside
+		// its approximate cell extent (leaf-region superset).
+		if len(a1) > 0 {
+			regions := db.CellRegions(a1[0].ID)
+			found := false
+			for _, r := range regions {
+				if r.Contains(q) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("q=%v: answer %d's cell regions do not cover q", q, a1[0].ID)
+			}
+		}
+	}
+
+	// The inserted object is queryable: a point at its center must see
+	// it as a possible NN.
+	ans, _, err := db.PNN(uvdiagram.Pt(777, 888))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range ans {
+		if a.ID == newObj.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted object invisible at its own center: %v", ans)
+	}
+
+	// Rebuild clears insert slack without changing answers.
+	before, _, err := db.PNN(uvdiagram.Pt(1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := db.PNN(uvdiagram.Pt(1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("rebuild changed answers: %v vs %v", before, after)
+	}
+	for i := range before {
+		if before[i].ID != after[i].ID {
+			t.Fatalf("rebuild changed answers: %v vs %v", before, after)
+		}
+	}
+}

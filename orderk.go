@@ -1,0 +1,91 @@
+package uvdiagram
+
+import (
+	"fmt"
+	"io"
+
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/prob"
+)
+
+// OrderKIndex is an order-k UV-index: an adaptive grid over the ORDER-k
+// UV-cells, the regions where each object can be among the k nearest
+// neighbors — the k-th order Voronoi generalization ([30]) the paper
+// lists as future work. It answers possible-k-NN queries exactly with
+// one point descent, the k-NN analogue of the UV-index PNN path.
+type OrderKIndex struct {
+	db    *DB
+	inner *core.UVIndex
+	k     int
+	built BuildStats
+}
+
+// NewOrderKIndex builds an order-k index over the database's objects
+// (k ≥ 1; k = 1 reproduces the standard UV-diagram organization). The
+// index is independent of the DB's primary UV-index and shares its
+// object store and helper R-tree.
+func (db *DB) NewOrderKIndex(k int) (*OrderKIndex, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("uvdiagram: order-k index needs k ≥ 1, got %d", k)
+	}
+	ix, stats, err := core.BuildOrderK(db.store, db.domain, db.tree, k, db.bopts)
+	if err != nil {
+		return nil, err
+	}
+	return &OrderKIndex{db: db, inner: ix, k: k, built: stats}, nil
+}
+
+// K returns the order of the index.
+func (ix *OrderKIndex) K() int { return ix.k }
+
+// BuildStats returns the construction statistics of the order-k index.
+func (ix *OrderKIndex) BuildStats() BuildStats { return ix.built }
+
+// IndexStats returns the shape of the order-k grid.
+func (ix *OrderKIndex) IndexStats() core.IndexStats { return ix.inner.Stats() }
+
+// PossibleKNN returns the IDs of every object with non-zero probability
+// of being among the k nearest neighbors of q, sorted ascending,
+// answered exactly from the order-k grid.
+func (ix *OrderKIndex) PossibleKNN(q Point) ([]int32, QueryStats, error) {
+	return ix.inner.PossibleKNN(q)
+}
+
+// Save serializes the order-k index structure (the stream carries the
+// cell order; reload it with LoadOrderKIndex against the same DB).
+func (ix *OrderKIndex) Save(w io.Writer) error { return ix.inner.Save(w) }
+
+// LoadOrderKIndex re-opens an order-k index previously written with
+// Save, against the database whose objects it was built over.
+func LoadOrderKIndex(r io.Reader, db *DB) (*OrderKIndex, error) {
+	inner, err := core.LoadUVIndex(r, db.store)
+	if err != nil {
+		return nil, err
+	}
+	if inner.OrderK() < 1 {
+		return nil, fmt.Errorf("uvdiagram: loaded index has invalid order %d", inner.OrderK())
+	}
+	return &OrderKIndex{db: db, inner: inner, k: inner.OrderK()}, nil
+}
+
+// KNNProbs returns possible-k-NN answers with Monte-Carlo rank
+// probabilities: for each answer object, the estimated probability that
+// it is among the k nearest neighbors of q. Estimates across the full
+// object set sum to exactly k; only answers (non-zero possibility) are
+// returned.
+func (ix *OrderKIndex) KNNProbs(q Point, trials int, seed int64) ([]Answer, QueryStats, error) {
+	ids, st, err := ix.inner.PossibleKNN(q)
+	if err != nil {
+		return nil, st, err
+	}
+	if trials <= 0 {
+		trials = 10000
+	}
+	objs := ix.db.store.All()
+	ps := prob.KNNProbsMC(objs, q, ix.k, trials, seed)
+	answers := make([]Answer, 0, len(ids))
+	for _, id := range ids {
+		answers = append(answers, Answer{ID: id, Prob: ps[id]})
+	}
+	return answers, st, nil
+}

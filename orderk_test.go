@@ -1,0 +1,111 @@
+package uvdiagram_test
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+
+	"uvdiagram"
+)
+
+func TestOrderKIndexMatchesPossibleKNN(t *testing.T) {
+	db, _ := buildSmallDB(t, 60, nil)
+	for _, k := range []int{1, 2, 5} {
+		ix, err := db.NewOrderKIndex(k)
+		if err != nil {
+			t.Fatalf("NewOrderKIndex(%d): %v", k, err)
+		}
+		if ix.K() != k {
+			t.Fatalf("K() = %d, want %d", ix.K(), k)
+		}
+		for _, q := range []uvdiagram.Point{
+			uvdiagram.Pt(1000, 1000), uvdiagram.Pt(333, 1777), uvdiagram.Pt(1900, 100),
+		} {
+			got, _, err := ix.PossibleKNN(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := db.PossibleKNN(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			if len(got) != len(want) {
+				t.Fatalf("k=%d q=%v: index %v vs baseline %v", k, q, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d q=%v: index %v vs baseline %v", k, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderKProbsSumNearK(t *testing.T) {
+	db, _ := buildSmallDB(t, 30, nil)
+	ix, err := db.NewOrderKIndex(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _, err := ix.KNNProbs(uvdiagram.Pt(1000, 1000), 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, a := range ans {
+		if a.Prob < 0 || a.Prob > 1 {
+			t.Fatalf("answer %d probability %v outside [0,1]", a.ID, a.Prob)
+		}
+		sum += a.Prob
+	}
+	// Answers carry all the probability mass: the estimates over the
+	// full object set sum to exactly k and non-answers get zero.
+	if math.Abs(sum-3) > 1e-9 {
+		t.Fatalf("answer probabilities sum to %v, want 3", sum)
+	}
+}
+
+func TestOrderKValidation(t *testing.T) {
+	db, _ := buildSmallDB(t, 10, nil)
+	if _, err := db.NewOrderKIndex(0); err == nil {
+		t.Fatal("NewOrderKIndex(0) should fail")
+	}
+}
+
+func TestOrderKSaveLoad(t *testing.T) {
+	db, _ := buildSmallDB(t, 40, nil)
+	ix, err := db.NewOrderKIndex(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := uvdiagram.LoadOrderKIndex(bytes.NewReader(buf.Bytes()), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != 3 {
+		t.Fatalf("loaded K = %d, want 3", got.K())
+	}
+	q := uvdiagram.Pt(1000, 1000)
+	a, _, err := ix.PossibleKNN(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := got.PossibleKNN(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("answers differ after reload: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("answers differ after reload: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package uvdiagram
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/uncertain"
+)
+
+// Database persistence: Save writes the objects and the built UV-index;
+// Load reopens them without re-running construction (the helper R-tree
+// is re-bulk-loaded, which is cheap). The stream is self-contained and
+// versioned.
+
+const (
+	dbMagic   = 0x55564442 // "UVDB"
+	dbVersion = 1
+)
+
+// Save serializes the database (objects + UV-index) to w.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch [8]byte
+	u32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	f64 := func(v float64) error {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	if err := u32(dbMagic); err != nil {
+		return err
+	}
+	if err := u32(dbVersion); err != nil {
+		return err
+	}
+	for _, v := range []float64{db.domain.Min.X, db.domain.Min.Y, db.domain.Max.X, db.domain.Max.Y} {
+		if err := f64(v); err != nil {
+			return err
+		}
+	}
+	objs := db.store.All()
+	if err := u32(uint32(len(objs))); err != nil {
+		return err
+	}
+	for _, o := range objs {
+		if err := f64(o.Region.C.X); err != nil {
+			return err
+		}
+		if err := f64(o.Region.C.Y); err != nil {
+			return err
+		}
+		if err := f64(o.Region.R); err != nil {
+			return err
+		}
+		ws := o.PDF.Weights()
+		if err := u32(uint32(len(ws))); err != nil {
+			return err
+		}
+		for _, wgt := range ws {
+			if err := f64(wgt); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := db.index.Save(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Load reopens a database written by Save. opts only affect future
+// Inserts (seed/pruning parameters); the index structure itself comes
+// from the stream.
+func Load(r io.Reader, opts *Options) (*DB, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	u32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	f64 := func() (float64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(scratch[:])), nil
+	}
+	magic, err := u32()
+	if err != nil {
+		return nil, fmt.Errorf("uvdiagram: reading header: %w", err)
+	}
+	if magic != dbMagic {
+		return nil, fmt.Errorf("uvdiagram: not a UV-diagram database stream")
+	}
+	if v, err := u32(); err != nil || v != dbVersion {
+		return nil, fmt.Errorf("uvdiagram: unsupported version (err=%v)", err)
+	}
+	var coords [4]float64
+	for i := range coords {
+		if coords[i], err = f64(); err != nil {
+			return nil, fmt.Errorf("uvdiagram: reading domain: %w", err)
+		}
+	}
+	domain := Rect{Min: Pt(coords[0], coords[1]), Max: Pt(coords[2], coords[3])}
+	n, err := u32()
+	if err != nil {
+		return nil, fmt.Errorf("uvdiagram: reading object count: %w", err)
+	}
+	if n == 0 || n > 1<<26 {
+		return nil, fmt.Errorf("uvdiagram: implausible object count %d", n)
+	}
+	objs := make([]Object, n)
+	for i := range objs {
+		var x, y, rad float64
+		if x, err = f64(); err == nil {
+			if y, err = f64(); err == nil {
+				rad, err = f64()
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("uvdiagram: reading object %d: %w", i, err)
+		}
+		bins, err := u32()
+		if err != nil || bins == 0 || bins > 4096 {
+			return nil, fmt.Errorf("uvdiagram: object %d has bad pdf (%d bins, err=%v)", i, bins, err)
+		}
+		ws := make([]float64, bins)
+		for k := range ws {
+			if ws[k], err = f64(); err != nil {
+				return nil, fmt.Errorf("uvdiagram: reading object %d pdf: %w", i, err)
+			}
+		}
+		pdf, err := uncertain.NewHistogramPDF(ws)
+		if err != nil {
+			return nil, fmt.Errorf("uvdiagram: object %d: %w", i, err)
+		}
+		objs[i] = NewObject(int32(i), x, y, rad, pdf)
+	}
+
+	store, err := uncertain.NewStore(objs, pager.New(uncertain.ObjectPageBytes))
+	if err != nil {
+		return nil, err
+	}
+	bopts := opts.toBuildOptions()
+	tree := core.BuildHelperRTree(store, bopts.Fanout)
+	index, err := core.LoadUVIndex(br, store)
+	if err != nil {
+		return nil, err
+	}
+	built := BuildStats{Strategy: bopts.Strategy, N: int(n), Index: index.Stats()}
+	return &DB{store: store, domain: domain, tree: tree, index: index, built: built, bopts: bopts}, nil
+}

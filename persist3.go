@@ -1,0 +1,139 @@
+package uvdiagram
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"uvdiagram/internal/core3"
+	"uvdiagram/internal/uncertain3"
+)
+
+// 3D database persistence, mirroring the 2D Save/Load pair: objects
+// (regions + shell pdfs), then the octree structure.
+
+const (
+	db3Magic   = 0x55564433 // "UVD3"
+	db3Version = 1
+)
+
+// Save serializes the 3D database (objects + octree) to w.
+func (db *DB3) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch [8]byte
+	u32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	f64 := func(v float64) error {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	if err := u32(db3Magic); err != nil {
+		return err
+	}
+	if err := u32(db3Version); err != nil {
+		return err
+	}
+	if err := u32(uint32(len(db.objs))); err != nil {
+		return err
+	}
+	for _, o := range db.objs {
+		for _, v := range []float64{o.Region.C.X, o.Region.C.Y, o.Region.C.Z, o.Region.R} {
+			if err := f64(v); err != nil {
+				return err
+			}
+		}
+		var ws []float64
+		if o.PDF != nil {
+			ws = o.PDF.Weights()
+		}
+		if err := u32(uint32(len(ws))); err != nil {
+			return err
+		}
+		for _, wgt := range ws {
+			if err := f64(wgt); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return db.index.Save(w)
+}
+
+// Load3 reopens a 3D database written by Save.
+func Load3(r io.Reader) (*DB3, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	u32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	f64 := func() (float64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(scratch[:])), nil
+	}
+	magic, err := u32()
+	if err != nil {
+		return nil, fmt.Errorf("uvdiagram: reading 3D header: %w", err)
+	}
+	if magic != db3Magic {
+		return nil, fmt.Errorf("uvdiagram: not a 3D UV-diagram database stream")
+	}
+	if v, err := u32(); err != nil || v != db3Version {
+		return nil, fmt.Errorf("uvdiagram: unsupported 3D version (err=%v)", err)
+	}
+	n, err := u32()
+	if err != nil {
+		return nil, fmt.Errorf("uvdiagram: reading 3D object count: %w", err)
+	}
+	if n == 0 || n > 1<<26 {
+		return nil, fmt.Errorf("uvdiagram: implausible 3D object count %d", n)
+	}
+	objs := make([]Object3, n)
+	for i := range objs {
+		var c [4]float64
+		for k := range c {
+			if c[k], err = f64(); err != nil {
+				return nil, fmt.Errorf("uvdiagram: reading 3D object %d: %w", i, err)
+			}
+		}
+		bins, err := u32()
+		if err != nil || bins > 4096 {
+			return nil, fmt.Errorf("uvdiagram: 3D object %d has bad pdf (%d bins, err=%v)", i, bins, err)
+		}
+		var pdf *PDF3
+		if bins > 0 {
+			ws := make([]float64, bins)
+			for k := range ws {
+				if ws[k], err = f64(); err != nil {
+					return nil, fmt.Errorf("uvdiagram: reading 3D object %d pdf: %w", i, err)
+				}
+			}
+			if pdf, err = uncertain3.NewPDF3(ws); err != nil {
+				return nil, fmt.Errorf("uvdiagram: 3D object %d: %w", i, err)
+			}
+		}
+		objs[i] = NewObject3(int32(i), c[0], c[1], c[2], c[3], pdf)
+	}
+	index, err := core3.LoadOctIndex(br, objs)
+	if err != nil {
+		return nil, err
+	}
+	return &DB3{
+		objs:   objs,
+		domain: index.Domain(),
+		index:  index,
+		built:  BuildStats3{N: int(n), Index: index.Stats()},
+	}, nil
+}

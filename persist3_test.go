@@ -1,0 +1,69 @@
+package uvdiagram_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"uvdiagram"
+)
+
+func TestSaveLoad3RoundTrip(t *testing.T) {
+	db := build3DB(t, 120, 21)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := uvdiagram.Load3(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("loaded %d objects, want %d", got.Len(), db.Len())
+	}
+	if got.Domain() != db.Domain() {
+		t.Fatalf("domain %v, want %v", got.Domain(), db.Domain())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		q := uvdiagram.Pt3(rng.Float64()*200, rng.Float64()*200, rng.Float64()*200)
+		a, _, err := db.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := got.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("q=%v: %v vs %v after reload", q, a, b)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || math.Abs(a[i].Prob-b[i].Prob) > 1e-12 {
+				t.Fatalf("q=%v answer %d: %v vs %v after reload", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoad3Garbage(t *testing.T) {
+	if _, err := uvdiagram.Load3(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := uvdiagram.Load3(bytes.NewReader([]byte("not a database"))); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+	// Truncations of a valid stream must error, never panic.
+	db := build3DB(t, 20, 22)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{4, 9, 50, len(data) / 2, len(data) - 3} {
+		if _, err := uvdiagram.Load3(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

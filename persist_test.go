@@ -1,0 +1,91 @@
+package uvdiagram_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"uvdiagram"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, objs := buildSmallDB(t, 300, nil)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := uvdiagram.Load(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("Len %d after load, want %d", loaded.Len(), db.Len())
+	}
+	if loaded.Domain() != db.Domain() {
+		t.Fatalf("domain %v after load, want %v", loaded.Domain(), db.Domain())
+	}
+	if loaded.IndexStats() != db.IndexStats() {
+		t.Fatalf("index stats differ: %+v vs %+v", loaded.IndexStats(), db.IndexStats())
+	}
+	rng := rand.New(rand.NewSource(31))
+	for k := 0; k < 40; k++ {
+		q := uvdiagram.Pt(rng.Float64()*2000, rng.Float64()*2000)
+		a1, _, err := db.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _, err := loaded.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a1) != len(a2) {
+			t.Fatalf("query %v: answer counts differ after reload", q)
+		}
+		for i := range a1 {
+			// Probabilities may differ by an ulp: reloading re-normalizes
+			// the pdf histograms.
+			if a1[i].ID != a2[i].ID || math.Abs(a1[i].Prob-a2[i].Prob) > 1e-12 {
+				t.Fatalf("query %v: answers differ: %v vs %v", q, a1, a2)
+			}
+		}
+	}
+	// Inserts keep working after a reload.
+	if err := loaded.Insert(uvdiagram.NewObject(int32(len(objs)), 1000, 1000, 15, nil)); err != nil {
+		t.Fatal(err)
+	}
+	answers, _, err := loaded.PNN(uvdiagram.Pt(1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range answers {
+		if a.ID == int32(len(objs)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("object inserted after reload is not answered at its center")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	db, _ := buildSmallDB(t, 50, nil)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := uvdiagram.Load(bytes.NewReader(nil), nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	bad := append([]byte{1, 2, 3, 4}, data[4:]...)
+	if _, err := uvdiagram.Load(bytes.NewReader(bad), nil); err == nil {
+		t.Error("bad magic accepted")
+	}
+	for _, cut := range []int{6, 20, 60, len(data) / 2, len(data) - 2} {
+		if _, err := uvdiagram.Load(bytes.NewReader(data[:cut]), nil); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

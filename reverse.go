@@ -1,0 +1,41 @@
+package uvdiagram
+
+import (
+	"uvdiagram/internal/rnn"
+)
+
+// RNNAnswer is one probabilistic reverse nearest-neighbor result: the
+// object ID and the probability that the query point is that object's
+// nearest neighbor.
+type RNNAnswer = rnn.Answer
+
+// RNNStats reports the work done by one RNN query: the candidate
+// cutoff radius D₂, and the candidate/pool/answer counts.
+type RNNStats = rnn.Stats
+
+// RNN answers the probabilistic reverse nearest-neighbor query at q —
+// the query type the paper's conclusion lists as future work. It
+// returns every object with non-zero probability that q is its nearest
+// neighbor, with those probabilities, sorted by ID.
+//
+// Candidates are collected with the second-minimum cutoff lemma (see
+// package rnn) through the helper R-tree, then verified exactly against
+// the query point's possible region.
+func (db *DB) RNN(q Point) ([]RNNAnswer, RNNStats) {
+	return rnn.Query(db.store.All(), db.tree, q, rnn.Options{})
+}
+
+// PossibleRNN returns only the IDs of the probabilistic reverse
+// nearest-neighbor answers at q, skipping probability integration.
+func (db *DB) PossibleRNN(q Point) ([]int32, RNNStats) {
+	return rnn.PossibleRNN(db.store.All(), db.tree, q, rnn.Options{})
+}
+
+// PossibleRNNUncertain answers the reverse nearest-neighbor query with
+// an UNCERTAIN query region (the reverse counterpart of the
+// uncertain-query NN setting of [29]): the IDs of every object with
+// non-zero probability that the query's true position is its nearest
+// neighbor. A zero radius reproduces PossibleRNN.
+func (db *DB) PossibleRNNUncertain(region Circle) ([]int32, RNNStats) {
+	return rnn.PossibleRNNUncertain(db.store.All(), db.tree, region, rnn.Options{})
+}

@@ -1,0 +1,53 @@
+package uvdiagram_test
+
+import (
+	"math"
+	"testing"
+
+	"uvdiagram"
+	"uvdiagram/internal/rnn"
+)
+
+func TestDBRNNMatchesBruteForce(t *testing.T) {
+	db, objs := buildSmallDB(t, 40, nil)
+	for _, q := range []uvdiagram.Point{
+		uvdiagram.Pt(1000, 1000), uvdiagram.Pt(240, 1680), uvdiagram.Pt(1820, 660),
+	} {
+		ids, st := db.PossibleRNN(q)
+		const tol = 1.0
+		for i := range objs {
+			m := rnn.BruteForceMargin(objs, objs[i].ID, q, 24)
+			if math.Abs(m) <= tol {
+				continue
+			}
+			has := false
+			for _, id := range ids {
+				if id == objs[i].ID {
+					has = true
+					break
+				}
+			}
+			if has != (m > 0) {
+				t.Fatalf("q=%v object %d: margin %.3f, in answers=%v", q, i, m, has)
+			}
+		}
+		if st.Answers != len(ids) {
+			t.Fatalf("stats answers %d != %d", st.Answers, len(ids))
+		}
+	}
+}
+
+func TestDBRNNProbabilitiesValid(t *testing.T) {
+	db, _ := buildSmallDB(t, 25, nil)
+	ans, _ := db.RNN(uvdiagram.Pt(1000, 1000))
+	for _, a := range ans {
+		if a.Prob < 0 || a.Prob > 1 {
+			t.Fatalf("answer %d probability %v outside [0,1]", a.ID, a.Prob)
+		}
+	}
+	for i := 1; i < len(ans); i++ {
+		if ans[i-1].ID >= ans[i].ID {
+			t.Fatalf("answers not sorted by ID: %v", ans)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package uvdiagram
+
+import (
+	"fmt"
+	"sort"
+
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/prob"
+	"uvdiagram/internal/rtree"
+)
+
+// Insert adds a new uncertain object to a built database — the
+// incremental-update extension the paper leaves as future work. The
+// object's ID must be the next dense id (db.Len()).
+//
+// Soundness: a new object only shrinks other objects' UV-cells, and
+// index leaf lists are supersets of the true overlaps, so existing
+// entries stay valid; the new object is inserted with a freshly derived
+// cr-object representation. Repeated inserts accumulate slack in the
+// leaf lists (extra false positives, never wrong answers); rebuild with
+// Build when query I/O drifts up.
+func (db *DB) Insert(o Object) error {
+	if int(o.ID) != db.store.Len() {
+		return fmt.Errorf("uvdiagram: Insert with ID %d, want next dense id %d", o.ID, db.store.Len())
+	}
+	if !db.domain.Contains(o.Region.C) {
+		return fmt.Errorf("uvdiagram: object center %v outside domain %v", o.Region.C, db.domain)
+	}
+	if err := db.store.Append(o); err != nil {
+		return err
+	}
+	db.tree.Insert(rtree.Item{ID: o.ID, MBC: o.Region, Ptr: uint64(db.store.PageOf(o.ID))})
+	res := core.DeriveCRObjects(db.tree, o, db.store.All(), db.domain,
+		db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
+	return db.index.InsertLive(o.ID, res.CR)
+}
+
+// Rebuild reconstructs the UV-index from scratch over the current
+// objects, clearing the leaf-list slack accumulated by Inserts. The
+// rebuilt index uses the same options as the original build.
+//
+// Deletions are intentionally not supported incrementally: removing an
+// object GROWS every neighboring UV-cell, which would require
+// re-deriving and re-inserting every object whose cr-set contains the
+// victim; with the paper's densities that is a near-rebuild anyway, so
+// the honest operation is Rebuild over the surviving objects.
+func (db *DB) Rebuild() error {
+	index, stats, err := core.Build(db.store, db.domain, db.tree, db.bopts)
+	if err != nil {
+		return err
+	}
+	db.index = index
+	db.built = stats
+	return nil
+}
+
+// PossibleKNN returns the IDs of every object with non-zero probability
+// of being among the k nearest neighbors of q — the k-NN generalization
+// the paper lists as future work (k-th order Voronoi diagrams [30]).
+// Retrieval runs on the R-tree: UV-index leaf lists only guarantee
+// supersets for k = 1 cells, so the branch-and-prune path generalizes
+// while the UV-index stays specialized for PNN.
+func (db *DB) PossibleKNN(q Point, k int) ([]int32, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("uvdiagram: PossibleKNN needs k ≥ 1, got %d", k)
+	}
+	items, _ := db.tree.KNNCandidates(q, k)
+	cands := make([]Object, 0, len(items))
+	for _, it := range items {
+		o, err := db.Object(it.ID)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, o)
+	}
+	idx := prob.KNNAnswerSet(cands, q, k)
+	out := make([]int32, len(idx))
+	for i, j := range idx {
+		out[i] = cands[j].ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// TopKPNN returns the k objects most likely to be the nearest neighbor
+// of q, ordered by descending qualification probability (ties by ID) —
+// the top-k probable nearest-neighbor query in the spirit of [29],
+// served directly from the UV-index.
+func (db *DB) TopKPNN(q Point, k int) ([]Answer, QueryStats, error) {
+	answers, st, err := db.PNN(q)
+	if err != nil {
+		return nil, st, err
+	}
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Prob != answers[j].Prob {
+			return answers[i].Prob > answers[j].Prob
+		}
+		return answers[i].ID < answers[j].ID
+	})
+	if k < len(answers) {
+		answers = answers[:k]
+	}
+	return answers, st, nil
+}

@@ -1,0 +1,88 @@
+package uvdiagram_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"uvdiagram"
+)
+
+func build3DB(t testing.TB, n int, seed int64) *uvdiagram.DB3 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]uvdiagram.Object3, n)
+	for i := range objs {
+		objs[i] = uvdiagram.NewObject3(int32(i),
+			5+rng.Float64()*190, 5+rng.Float64()*190, 5+rng.Float64()*190,
+			1+rng.Float64()*3, uvdiagram.GaussianPDF3())
+	}
+	db, err := uvdiagram.Build3(objs, uvdiagram.CubeDomain(200), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBuild3AndQuery(t *testing.T) {
+	db := build3DB(t, 200, 1)
+	if db.Len() != 200 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		q := uvdiagram.Pt3(rng.Float64()*200, rng.Float64()*200, rng.Float64()*200)
+		got, st, err := db.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.PNNBruteForce(q)
+		if len(got) != len(want) {
+			t.Fatalf("q=%v: index %v vs brute %v", q, got, want)
+		}
+		sum := 0.0
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("q=%v: index %v vs brute %v", q, got, want)
+			}
+			if math.Abs(got[i].Prob-want[i].Prob) > 1e-9 {
+				t.Fatalf("q=%v: probabilities differ: %v vs %v", q, got[i], want[i])
+			}
+			sum += got[i].Prob
+		}
+		if math.Abs(sum-1) > 0.02 {
+			t.Fatalf("q=%v: probabilities sum to %v", q, sum)
+		}
+		if st.LeafEntries <= 0 {
+			t.Fatalf("no leaf entries read")
+		}
+	}
+}
+
+func TestBuild3Stats(t *testing.T) {
+	db := build3DB(t, 150, 3)
+	st := db.BuildStats()
+	if st.N != 150 || st.SumCR <= 0 || st.TotalDur <= 0 {
+		t.Fatalf("build stats %+v", st)
+	}
+	if st.PruneRatio() <= 0 {
+		t.Fatalf("3D pruning achieved nothing: %+v", st)
+	}
+	ixst := db.IndexStats()
+	if ixst.Leaves < 1 || ixst.Entries < int64(db.Len()) {
+		t.Fatalf("index stats %+v", ixst)
+	}
+}
+
+func TestObject3Lookup(t *testing.T) {
+	db := build3DB(t, 10, 4)
+	if _, err := db.Object(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Object(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := db.Object(10); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+}

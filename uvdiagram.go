@@ -1,0 +1,253 @@
+// Package uvdiagram is a library for nearest-neighbor search over
+// uncertain spatial data, reproducing "UV-Diagram: A Voronoi Diagram
+// for Uncertain Data" (Cheng, Xie, Yiu, Chen, Sun — ICDE 2010).
+//
+// An uncertain object is a circular uncertainty region plus a radial
+// probability histogram. A Probabilistic Nearest-Neighbor query (PNN)
+// at a point q returns every object with non-zero probability of being
+// the nearest neighbor of q together with those probabilities.
+//
+// The central structure is the UV-diagram: the plane decomposed by
+// UV-cells, where the UV-cell of an object is exactly the region in
+// which it can be a nearest neighbor. Cells are bounded by hyperbolic
+// UV-edges and are too expensive to materialize, so the library indexes
+// them by their candidate reference objects (cr-objects) in an adaptive
+// quad-tree, the UV-index, built in polynomial time.
+//
+// Basic usage:
+//
+//	objs := []uvdiagram.Object{ ... }
+//	db, err := uvdiagram.Build(objs, uvdiagram.SquareDomain(10000), nil)
+//	answers, stats, err := db.PNN(uvdiagram.Pt(4021, 977))
+//
+// Each answer carries an object ID and its qualification probability.
+// The DB also serves the nearest-neighbor pattern queries of the paper
+// (UV-cell extent retrieval and UV-partition density retrieval) and an
+// R-tree branch-and-prune baseline for comparison.
+//
+// Beyond the paper's evaluation, the package implements its stated
+// future-work directions: probabilistic reverse nearest-neighbor
+// queries (RNN, PossibleRNN, PossibleRNNUncertain), order-k UV-diagrams
+// and possible-k-NN (NewOrderKIndex, PossibleKNN), continuous queries
+// for moving clients (NewContinuousPNN), incremental inserts (Insert),
+// persistence (Save/Load), and a full three-dimensional UV-diagram
+// (Build3/DB3). A TCP server and client for a built database live in
+// internal/server with the cmd/uvserver and cmd/uvclient front ends.
+package uvdiagram
+
+import (
+	"fmt"
+
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/rtree"
+	"uvdiagram/internal/uncertain"
+)
+
+// Re-exported core types. The aliases make the public API self-
+// contained without duplicating the implementations.
+type (
+	// Point is a location in the plane.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (domains, query ranges).
+	Rect = geom.Rect
+	// Circle is a disk (uncertainty regions).
+	Circle = geom.Circle
+	// Object is an uncertain object: a circular uncertainty region and
+	// a radial histogram pdf.
+	Object = uncertain.Object
+	// PDF is a radial probability histogram over the unit disk.
+	PDF = uncertain.HistogramPDF
+	// Answer is a PNN result: object ID and qualification probability.
+	Answer = core.Answer
+	// QueryStats carries per-query component timings and I/O counts.
+	QueryStats = core.QueryStats
+	// BuildStats carries construction timings, pruning ratios and index
+	// shape.
+	BuildStats = core.BuildStats
+	// Partition is a UV-partition query result: a region with its
+	// nearest-neighbor candidate count and density.
+	Partition = core.Partition
+	// Strategy selects the index construction pipeline.
+	Strategy = core.Strategy
+)
+
+// Construction strategies (Section VI of the paper).
+const (
+	// IC: I- and C-pruning, then index cr-objects directly (fastest;
+	// the paper's recommendation and the default).
+	IC = core.StrategyIC
+	// ICR: like IC but refines cr-objects to exact r-objects first.
+	ICR = core.StrategyICR
+	// Basic: exact UV-cells against all objects, no pruning (only
+	// sensible for small datasets; the paper's 97-hour baseline).
+	Basic = core.StrategyBasic
+)
+
+// Pt returns the point (x, y).
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// SquareDomain returns the square domain [0,side]².
+func SquareDomain(side float64) Rect { return geom.Square(side) }
+
+// NewObject builds an uncertain object with a circular uncertainty
+// region centered at (x, y) with the given radius. A nil pdf defaults
+// to the uniform distribution; use GaussianPDF() for the paper's
+// default.
+func NewObject(id int32, x, y, radius float64, pdf *PDF) Object {
+	return uncertain.New(id, Circle{C: Pt(x, y), R: radius}, pdf)
+}
+
+// NewObjectFromPolygon builds an uncertain object from a non-circular
+// uncertainty region: the polygon is replaced by its minimum enclosing
+// circle, the conversion of Section III-C.
+func NewObjectFromPolygon(id int32, vertices []Point, pdf *PDF) (Object, error) {
+	return uncertain.FromPolygon(id, vertices, pdf)
+}
+
+// GaussianPDF returns the paper's default uncertainty pdf: 20 histogram
+// bars of a circular Gaussian with σ = diameter/6.
+func GaussianPDF() *PDF { return uncertain.PaperGaussian() }
+
+// UniformPDF returns a uniform pdf over the uncertainty region with the
+// paper's 20 histogram bars.
+func UniformPDF() *PDF { return uncertain.Uniform(uncertain.DefaultBins) }
+
+// Options tune index construction; zero values select the paper's
+// defaults (M=4000 non-leaf nodes, Tθ=1, 4 KB pages, k=300 seed
+// candidates in 8 sectors, R-tree fanout 100, strategy IC).
+type Options struct {
+	Strategy    Strategy
+	MaxNonLeaf  int     // M
+	SplitTheta  float64 // Tθ
+	PageSize    int
+	SeedK       int
+	SeedSectors int
+	Fanout      int
+	// CellSamples is the angular resolution of exact-cell extraction
+	// (used by ICR and Basic).
+	CellSamples int
+	// RegionSamples is the angular resolution of the pruning bounds.
+	RegionSamples int
+	// Workers parallelizes per-object derivation during Build; results
+	// are identical to a sequential build (0/1 = sequential).
+	Workers int
+}
+
+func (o *Options) toBuildOptions() core.BuildOptions {
+	b := core.DefaultBuildOptions()
+	if o == nil {
+		return b
+	}
+	b.Strategy = o.Strategy
+	if o.MaxNonLeaf > 0 {
+		b.Index.M = o.MaxNonLeaf
+	}
+	if o.SplitTheta > 0 {
+		b.Index.SplitTheta = o.SplitTheta
+	}
+	if o.PageSize > 0 {
+		b.Index.PageSize = o.PageSize
+	}
+	if o.SeedK > 0 {
+		b.SeedK = o.SeedK
+	}
+	if o.SeedSectors > 0 {
+		b.SeedSectors = o.SeedSectors
+	}
+	if o.Fanout > 0 {
+		b.Fanout = o.Fanout
+	}
+	if o.CellSamples > 0 {
+		b.CellSamples = o.CellSamples
+	}
+	if o.RegionSamples > 0 {
+		b.RegionSamples = o.RegionSamples
+	}
+	if o.Workers > 0 {
+		b.Workers = o.Workers
+	}
+	return b
+}
+
+// DB is a built UV-diagram database: the UV-index, the object store and
+// the helper R-tree (also the comparison baseline).
+type DB struct {
+	store  *uncertain.Store
+	domain Rect
+	tree   *rtree.Tree
+	index  *core.UVIndex
+	built  BuildStats
+	bopts  core.BuildOptions
+}
+
+// Build indexes the objects (dense IDs 0..n-1 required) over the given
+// domain. opts may be nil for the paper's defaults.
+func Build(objects []Object, domain Rect, opts *Options) (*DB, error) {
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("uvdiagram: no objects to index")
+	}
+	store, err := uncertain.NewStore(objects, pager.New(uncertain.ObjectPageBytes))
+	if err != nil {
+		return nil, err
+	}
+	bopts := opts.toBuildOptions()
+	tree := core.BuildHelperRTree(store, bopts.Fanout)
+	index, stats, err := core.Build(store, domain, tree, bopts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{store: store, domain: domain, tree: tree, index: index, built: stats, bopts: bopts}, nil
+}
+
+// Len returns the number of indexed objects.
+func (db *DB) Len() int { return db.store.Len() }
+
+// Domain returns the indexed domain.
+func (db *DB) Domain() Rect { return db.domain }
+
+// Object returns object id (from memory; no I/O accounted).
+func (db *DB) Object(id int32) (Object, error) {
+	if id < 0 || int(id) >= db.store.Len() {
+		return Object{}, fmt.Errorf("uvdiagram: unknown object %d", id)
+	}
+	return db.store.At(int(id)), nil
+}
+
+// BuildStats returns the construction statistics.
+func (db *DB) BuildStats() BuildStats { return db.built }
+
+// IndexStats returns the UV-index shape statistics.
+func (db *DB) IndexStats() core.IndexStats { return db.index.Stats() }
+
+// PNN answers a probabilistic nearest-neighbor query through the
+// UV-index (Section V-A).
+func (db *DB) PNN(q Point) ([]Answer, QueryStats, error) {
+	return db.index.PNN(q)
+}
+
+// Partitions retrieves all UV-partitions (leaf regions) intersecting r
+// with their nearest-neighbor densities (Section V-C).
+func (db *DB) Partitions(r Rect) []Partition {
+	parts, _ := db.index.Partitions(r)
+	return parts
+}
+
+// CellArea approximates the area of object id's UV-cell from the index
+// (Section V-C, UV-cell retrieval).
+func (db *DB) CellArea(id int32) (float64, error) { return db.index.CellArea(id) }
+
+// CellRegions returns the leaf regions overlapping object id's UV-cell,
+// its displayable approximate extent.
+func (db *DB) CellRegions(id int32) []Rect { return db.index.CellRegions(id) }
+
+// Index exposes the underlying UV-index for advanced use (experiment
+// harness, visualization).
+func (db *DB) Index() *core.UVIndex { return db.index }
+
+// RTree exposes the helper R-tree (the query baseline of Figure 6).
+func (db *DB) RTree() *rtree.Tree { return db.tree }
+
+// Store exposes the underlying object store.
+func (db *DB) Store() *uncertain.Store { return db.store }
