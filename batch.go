@@ -1,0 +1,230 @@
+package uvdiagram
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/rtree"
+)
+
+// BatchOptions tune batch query execution. The zero value (or a nil
+// pointer) means "parallelize over all CPUs, no leaf cache".
+type BatchOptions struct {
+	// Workers bounds the worker pool running grid lookups (0 →
+	// GOMAXPROCS, 1 → sequential).
+	Workers int
+	// CacheSize enables a small LRU cache of decoded leaf page lists,
+	// shared by all workers and kept across batch calls — profitable for
+	// skewed query streams where many points fall into few leaves. 0
+	// disables caching. The cache is invalidated automatically by
+	// Insert.
+	CacheSize int
+}
+
+func (o *BatchOptions) workers() int {
+	if o == nil || o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o *BatchOptions) cacheSize() int {
+	if o == nil {
+		return 0
+	}
+	return o.CacheSize
+}
+
+// batchState lazily holds the leaf caches a DB (or order-k index)
+// reuses across batch calls: one over UV-index grid leaves, one over
+// helper R-tree leaves.
+type batchState struct {
+	mu    sync.Mutex
+	cache *core.LeafCache
+	rt    *rtree.LeafCache
+	cap   int
+}
+
+// cachesFor returns the persistent leaf caches for the requested size
+// in one critical section, (re)building both when the size changes.
+// Size ≤ 0 returns nil caches (no caching).
+func (s *batchState) cachesFor(size int) (*core.LeafCache, *rtree.LeafCache) {
+	if size <= 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil || s.cap != size {
+		s.cache = core.NewLeafCache(size)
+		s.rt = rtree.NewLeafCache(size)
+		s.cap = size
+	}
+	return s.cache, s.rt
+}
+
+// cacheFor returns just the grid leaf cache.
+func (s *batchState) cacheFor(size int) *core.LeafCache {
+	c, _ := s.cachesFor(size)
+	return c
+}
+
+// rtreeCacheFor returns just the helper R-tree's leaf cache.
+func (s *batchState) rtreeCacheFor(size int) *rtree.LeafCache {
+	_, rt := s.cachesFor(size)
+	return rt
+}
+
+// runBatch executes fn(i) for i in [0, n) on a bounded worker pool.
+// On failure it returns the lowest-indexed error recorded, wrapped
+// with that index; since the whole batch's results are discarded on
+// any error, queries not yet started are skipped once a failure is
+// seen. Per-index results are written by fn into caller-owned slices,
+// so the output order is deterministic and identical to a sequential
+// loop.
+func runBatch(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if errs[i] = fn(i); errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if failed.Load() {
+						continue // drain; results are moot
+					}
+					if errs[i] = fn(i); errs[i] != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// BatchNN answers N probabilistic nearest-neighbor queries with a
+// worker pool, one grid lookup per point. Results are identical to N
+// sequential PNN calls in query order; on any failure the error of the
+// lowest failing query is returned and the results are discarded.
+//
+// Like the single-point queries, batches may run concurrently with each
+// other but require external synchronization against Insert (the server
+// holds its read lock across a whole batch).
+func (db *DB) BatchNN(qs []Point, opts *BatchOptions) ([][]Answer, error) {
+	cache := db.batch.cacheFor(opts.cacheSize())
+	out := make([][]Answer, len(qs))
+	err := runBatch(len(qs), opts.workers(), func(i int) error {
+		answers, _, err := db.index.PNNCached(qs[i], cache)
+		out[i] = answers
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchTopKPNN answers N top-k probable nearest-neighbor queries (the
+// batch form of TopKPNN), k shared by the whole batch.
+func (db *DB) BatchTopKPNN(qs []Point, k int, opts *BatchOptions) ([][]Answer, error) {
+	cache := db.batch.cacheFor(opts.cacheSize())
+	out := make([][]Answer, len(qs))
+	err := runBatch(len(qs), opts.workers(), func(i int) error {
+		answers, _, err := db.index.PNNCached(qs[i], cache)
+		if err != nil {
+			return err
+		}
+		out[i] = topKAnswers(answers, k)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchThresholdNN answers N probability-threshold nearest-neighbor
+// queries: per point, the PNN answers whose qualification probability
+// is at least tau (the threshold variant of [14]'s PNN formulation).
+// tau ≤ 0 degenerates to BatchNN.
+func (db *DB) BatchThresholdNN(qs []Point, tau float64, opts *BatchOptions) ([][]Answer, error) {
+	cache := db.batch.cacheFor(opts.cacheSize())
+	out := make([][]Answer, len(qs))
+	err := runBatch(len(qs), opts.workers(), func(i int) error {
+		answers, _, err := db.index.PNNCached(qs[i], cache)
+		if err != nil {
+			return err
+		}
+		kept := answers[:0]
+		for _, a := range answers {
+			if a.Prob >= tau {
+				kept = append(kept, a)
+			}
+		}
+		out[i] = kept
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchOrderK answers N possible-k-NN queries (the order-k batch
+// variant), k shared by the whole batch. Results are identical to N
+// sequential PossibleKNN calls.
+func (db *DB) BatchOrderK(qs []Point, k int, opts *BatchOptions) ([][]int32, error) {
+	cache := db.batch.rtreeCacheFor(opts.cacheSize())
+	out := make([][]int32, len(qs))
+	err := runBatch(len(qs), opts.workers(), func(i int) error {
+		ids, err := db.possibleKNN(qs[i], k, cache)
+		out[i] = ids
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchPossibleKNN answers N possible-k-NN queries from the order-k
+// grid with a worker pool and the index's persistent leaf cache —
+// the grid-served counterpart of DB.BatchOrderK.
+func (ix *OrderKIndex) BatchPossibleKNN(qs []Point, opts *BatchOptions) ([][]int32, error) {
+	cache := ix.batch.cacheFor(opts.cacheSize())
+	out := make([][]int32, len(qs))
+	err := runBatch(len(qs), opts.workers(), func(i int) error {
+		ids, _, err := ix.inner.PossibleKNNCached(qs[i], cache)
+		out[i] = ids
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

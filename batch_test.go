@@ -1,0 +1,295 @@
+package uvdiagram_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+)
+
+// queryPoints returns a deterministic mix of uniform and skewed
+// (repeated-hotspot) points inside the domain — the skew exercises the
+// leaf cache, the repeats exercise cache hits.
+func queryPoints(rng *rand.Rand, side float64, n int) []uvdiagram.Point {
+	qs := make([]uvdiagram.Point, 0, n)
+	hot := uvdiagram.Pt(rng.Float64()*side, rng.Float64()*side)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0: // uniform
+			qs = append(qs, uvdiagram.Pt(rng.Float64()*side, rng.Float64()*side))
+		case 1: // clustered around the hotspot
+			qs = append(qs, uvdiagram.Pt(
+				min(max(hot.X+rng.NormFloat64()*side/50, 0), side),
+				min(max(hot.Y+rng.NormFloat64()*side/50, 0), side)))
+		default: // exact repeat
+			qs = append(qs, qs[len(qs)/2])
+		}
+	}
+	return qs
+}
+
+func sameAnswerLists(t *testing.T, label string, got, want [][]uvdiagram.Answer) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d lists, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: query %d: %d answers, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			// Bitwise equality: the batch path must run the exact same
+			// computation as the sequential path.
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: query %d answer %d: %+v, want %+v", label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func sameIDLists(t *testing.T, label string, got, want [][]int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d lists, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: query %d: %v, want %v", label, i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: query %d: %v, want %v", label, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchEquivalence is the batch engine's core property: for every
+// build strategy, seed and worker/cache configuration, the Batch*
+// methods return results identical to N sequential single-point
+// queries.
+func TestBatchEquivalence(t *testing.T) {
+	const side, k, tau = 2000.0, 3, 0.25
+	strategies := []struct {
+		name string
+		s    uvdiagram.Strategy
+		n    int
+	}{
+		{"IC", uvdiagram.IC, 60},
+		{"ICR", uvdiagram.ICR, 45},
+		{"Basic", uvdiagram.Basic, 30},
+	}
+	configs := []*uvdiagram.BatchOptions{
+		nil,
+		{Workers: 1},
+		{Workers: 7, CacheSize: 4},
+		{Workers: 3, CacheSize: 64},
+	}
+	for _, strat := range strategies {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := datagen.Config{N: strat.n, Side: side, Diameter: 35, Seed: seed}
+			db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(),
+				&uvdiagram.Options{Strategy: strat.s})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", strat.name, seed, err)
+			}
+			rng := rand.New(rand.NewSource(seed * 31))
+			qs := queryPoints(rng, side, 40)
+
+			// Sequential references.
+			wantNN := make([][]uvdiagram.Answer, len(qs))
+			wantTop := make([][]uvdiagram.Answer, len(qs))
+			wantThr := make([][]uvdiagram.Answer, len(qs))
+			wantKNN := make([][]int32, len(qs))
+			for i, q := range qs {
+				a, _, err := db.PNN(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantNN[i] = a
+				top, _, err := db.TopKPNN(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantTop[i] = top
+				for _, ans := range a {
+					if ans.Prob >= tau {
+						wantThr[i] = append(wantThr[i], ans)
+					}
+				}
+				ids, err := db.PossibleKNN(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantKNN[i] = ids
+			}
+
+			for ci, opts := range configs {
+				label := strat.name
+				gotNN, err := db.BatchNN(qs, opts)
+				if err != nil {
+					t.Fatalf("%s cfg %d: BatchNN: %v", label, ci, err)
+				}
+				sameAnswerLists(t, label+"/BatchNN", gotNN, wantNN)
+
+				gotTop, err := db.BatchTopKPNN(qs, k, opts)
+				if err != nil {
+					t.Fatalf("%s cfg %d: BatchTopKPNN: %v", label, ci, err)
+				}
+				sameAnswerLists(t, label+"/BatchTopKPNN", gotTop, wantTop)
+
+				gotThr, err := db.BatchThresholdNN(qs, tau, opts)
+				if err != nil {
+					t.Fatalf("%s cfg %d: BatchThresholdNN: %v", label, ci, err)
+				}
+				sameAnswerLists(t, label+"/BatchThresholdNN", gotThr, wantThr)
+
+				gotKNN, err := db.BatchOrderK(qs, k, opts)
+				if err != nil {
+					t.Fatalf("%s cfg %d: BatchOrderK: %v", label, ci, err)
+				}
+				sameIDLists(t, label+"/BatchOrderK", gotKNN, wantKNN)
+			}
+		}
+	}
+}
+
+// TestBatchEquivalenceOrderKIndex checks the grid-served order-k batch
+// against sequential grid lookups.
+func TestBatchEquivalenceOrderKIndex(t *testing.T) {
+	const side = 2000.0
+	cfg := datagen.Config{N: 50, Side: side, Diameter: 35, Seed: 9}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.NewOrderKIndex(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	qs := queryPoints(rng, side, 30)
+	want := make([][]int32, len(qs))
+	for i, q := range qs {
+		ids, _, err := ix.PossibleKNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ids
+	}
+	for _, opts := range []*uvdiagram.BatchOptions{nil, {Workers: 4, CacheSize: 16}} {
+		got, err := ix.BatchPossibleKNN(qs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameIDLists(t, "OrderKIndex.BatchPossibleKNN", got, want)
+	}
+}
+
+// TestBatchEquivalenceAfterInsert checks that the leaf caches are
+// invalidated by Insert: batch answers must track the mutated database,
+// not the cached pre-insert pages.
+func TestBatchEquivalenceAfterInsert(t *testing.T) {
+	const side = 2000.0
+	cfg := datagen.Config{N: 40, Side: side, Diameter: 35, Seed: 5}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	qs := queryPoints(rng, side, 24)
+	opts := &uvdiagram.BatchOptions{Workers: 4, CacheSize: 32}
+
+	// Warm the caches.
+	if _, err := db.BatchNN(qs, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.BatchOrderK(qs, 2, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate: a new object right where queries are answered.
+	if err := db.Insert(uvdiagram.NewObject(int32(db.Len()), qs[0].X, qs[0].Y, 20, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	gotNN, err := db.BatchNN(qs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKNN, err := db.BatchOrderK(qs, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, _, err := db.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAnswerLists(t, "post-insert BatchNN", [][]uvdiagram.Answer{gotNN[i]}, [][]uvdiagram.Answer{want})
+		wantIDs, err := db.PossibleKNN(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameIDLists(t, "post-insert BatchOrderK", [][]int32{gotKNN[i]}, [][]int32{wantIDs})
+	}
+}
+
+// TestTopKDegenerateK: k ≤ 0 must yield empty results, not a panic —
+// the wire path decodes k as u32, so hostile values must stay safe on
+// every build.
+func TestTopKDegenerateK(t *testing.T) {
+	cfg := datagen.Config{N: 30, Side: 2000, Diameter: 35, Seed: 8}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []uvdiagram.Point{uvdiagram.Pt(500, 500), uvdiagram.Pt(1500, 900)}
+	for _, k := range []int{-1, 0} {
+		lists, err := db.BatchTopKPNN(qs, k, &uvdiagram.BatchOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range lists {
+			if len(l) != 0 {
+				t.Fatalf("k=%d query %d: %v, want empty", k, i, l)
+			}
+		}
+		seq, _, err := db.TopKPNN(qs[0], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != 0 {
+			t.Fatalf("sequential TopKPNN k=%d: %v, want empty", k, seq)
+		}
+	}
+}
+
+// TestBatchErrorNamesQuery: a failing point fails the whole batch with
+// an error identifying the query, and no partial results leak.
+func TestBatchErrorNamesQuery(t *testing.T) {
+	cfg := datagen.Config{N: 30, Side: 2000, Diameter: 35, Seed: 2}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []uvdiagram.Point{
+		uvdiagram.Pt(100, 100),
+		uvdiagram.Pt(-5, 40), // outside the domain
+		uvdiagram.Pt(200, 200),
+	}
+	for _, opts := range []*uvdiagram.BatchOptions{{Workers: 1}, {Workers: 4}} {
+		got, err := db.BatchNN(qs, opts)
+		if err == nil {
+			t.Fatal("out-of-domain point accepted")
+		}
+		if !strings.Contains(err.Error(), "query 1") {
+			t.Fatalf("error does not name the failing query: %v", err)
+		}
+		if got != nil {
+			t.Fatalf("partial results returned alongside error: %v", got)
+		}
+	}
+}

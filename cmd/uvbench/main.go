@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity]
+//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server]
 //	        [-scale small|medium|paper] [-quiet]
 //
 // Tables go to stdout; progress lines go to stderr. The "paper" scale
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions")
+	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server")
 	scaleName := flag.String("scale", "small", "scale preset: small, medium, paper")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
@@ -55,6 +55,8 @@ func main() {
 		tables, err = single(exp.RunSensitivity, sc, progress)
 	case "extensions":
 		tables, err = exp.RunExtensions(sc, progress)
+	case "server":
+		tables, err = single(exp.RunServerThroughput, sc, progress)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *expName)
 	}

@@ -10,13 +10,25 @@
 //	uvclient [-addr ...] area <id>
 //	uvclient [-addr ...] parts <x0> <y0> <x1> <y1>
 //	uvclient [-addr ...] insert <id> <x> <y> <r>
+//	uvclient [-addr ...] batchpnn <x1> <y1> [<x2> <y2> ...]
+//	uvclient [-addr ...] batchknn <k> <x1> <y1> [<x2> <y2> ...]
+//	uvclient [-addr ...] batchthresh <tau> <x1> <y1> [<x2> <y2> ...]
+//	uvclient [-addr ...] bench <single|pipeline|batch> <queries>
+//
+// batchpnn/batchknn/batchthresh send all points in one batch frame.
+// bench generates deterministic random in-domain points and measures
+// query throughput in the given mode: "single" issues one blocking
+// round trip at a time, "pipeline" keeps a window of async calls in
+// flight, "batch" ships the points in batch frames.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
+	"time"
 
 	"uvdiagram"
 	"uvdiagram/internal/server"
@@ -107,9 +119,126 @@ func main() {
 		}
 		fmt.Printf("inserted object %d\n", id)
 
+	case "batchpnn":
+		lists, err := cli.BatchPNN(points(rest))
+		if err != nil {
+			fatal(err)
+		}
+		for i, answers := range lists {
+			fmt.Printf("query %d:\n", i)
+			printAnswers(answers)
+		}
+
+	case "batchknn":
+		k := i(rest, 0)
+		lists, err := cli.BatchPossibleKNN(points(rest[1:]), k)
+		if err != nil {
+			fatal(err)
+		}
+		for qi, ids := range lists {
+			fmt.Printf("query %d: %d possible %d-NN objects: %v\n", qi, len(ids), k, ids)
+		}
+
+	case "batchthresh":
+		tau := f64(rest, 0)
+		lists, err := cli.BatchThresholdNN(points(rest[1:]), tau)
+		if err != nil {
+			fatal(err)
+		}
+		for qi, answers := range lists {
+			fmt.Printf("query %d (p ≥ %.3f):\n", qi, tau)
+			printAnswers(answers)
+		}
+
+	case "bench":
+		if len(rest) < 2 {
+			fatal(fmt.Errorf("usage: bench <single|pipeline|batch> <queries>"))
+		}
+		bench(cli, rest[0], i(rest, 1))
+
 	default:
 		fatal(fmt.Errorf("unknown command %q", cmd))
 	}
+}
+
+// bench measures PNN throughput against the connected server.
+func bench(cli *server.Client, mode string, n int) {
+	st, err := cli.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	qs := make([]uvdiagram.Point, n)
+	for i := range qs {
+		qs[i] = uvdiagram.Pt(
+			st.Domain.Min.X+rng.Float64()*(st.Domain.Max.X-st.Domain.Min.X),
+			st.Domain.Min.Y+rng.Float64()*(st.Domain.Max.Y-st.Domain.Min.Y),
+		)
+	}
+	var answers int
+	start := time.Now()
+	switch mode {
+	case "single":
+		for _, q := range qs {
+			as, err := cli.PNN(q)
+			if err != nil {
+				fatal(err)
+			}
+			answers += len(as)
+		}
+	case "pipeline":
+		const window = 64
+		done := make(chan *server.Call, window)
+		inFlight := 0
+		drain := func() {
+			call := <-done
+			as, err := server.PNNAnswers(call)
+			if err != nil {
+				fatal(err)
+			}
+			answers += len(as)
+			inFlight--
+		}
+		for _, q := range qs {
+			for inFlight >= window {
+				drain()
+			}
+			cli.GoPNN(q, done)
+			inFlight++
+		}
+		for inFlight > 0 {
+			drain()
+		}
+	case "batch":
+		const chunk = 1024
+		for off := 0; off < len(qs); off += chunk {
+			end := min(off+chunk, len(qs))
+			lists, err := cli.BatchPNN(qs[off:end])
+			if err != nil {
+				fatal(err)
+			}
+			for _, as := range lists {
+				answers += len(as)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown bench mode %q (single, pipeline, batch)", mode))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%s: %d PNN queries in %v  (%.0f queries/s, %d answers)\n",
+		mode, n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), answers)
+}
+
+// points parses the trailing arguments as x y pairs.
+func points(args []string) []uvdiagram.Point {
+	if len(args) == 0 || len(args)%2 != 0 {
+		fatal(fmt.Errorf("need a non-empty, even list of coordinates, got %d", len(args)))
+	}
+	qs := make([]uvdiagram.Point, len(args)/2)
+	for i := range qs {
+		qs[i] = uvdiagram.Pt(f64(args, 2*i), f64(args, 2*i+1))
+	}
+	return qs
 }
 
 func printAnswers(answers []uvdiagram.Answer) {

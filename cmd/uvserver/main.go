@@ -5,6 +5,7 @@
 // Usage:
 //
 //	uvserver [-addr :7031] [-n 10000] [-seed 1] [-load db.uv]
+//	         [-window 64] [-workers N] [-cache 256]
 //
 // With -load, the dataset and index are read from a snapshot written by
 // uvbuild -save (or DB.Save).
@@ -26,6 +27,9 @@ func main() {
 	n := flag.Int("n", 10000, "number of synthetic objects (ignored with -load)")
 	seed := flag.Int64("seed", 1, "random seed for the synthetic dataset")
 	load := flag.String("load", "", "load a snapshot instead of generating data")
+	window := flag.Int("window", 0, "per-connection in-flight request window (0 = default 64)")
+	workers := flag.Int("workers", 0, "server-wide query worker pool size (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "batch leaf-cache size (0 = default 256, negative disables)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "uvserver: ", log.LstdFlags)
@@ -54,7 +58,8 @@ func main() {
 		logger.Printf("built in %v", db.BuildStats().TotalDur)
 	}
 
-	srv := server.New(db, server.Logf(logger))
+	srv := server.NewWithConfig(db, server.Logf(logger),
+		server.Config{Window: *window, Workers: *workers, CacheSize: *cache})
 	logger.Printf("serving on %s", *addr)
 	if err := srv.ListenAndServe(*addr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, err)

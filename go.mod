@@ -1,0 +1,3 @@
+module uvdiagram
+
+go 1.24

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"uvdiagram/internal/geom"
@@ -82,6 +83,10 @@ type UVIndex struct {
 	// k-th order Voronoi generalization ([30]) the paper lists as
 	// future work.
 	orderK int
+	// gen counts structural mutations (live inserts). Leaf caches
+	// compare it against the generation they were filled at, so a cache
+	// can never serve tuples from before an insert.
+	gen atomic.Uint64
 }
 
 // NewUVIndex prepares an empty index over the store's objects. Objects
@@ -146,11 +151,51 @@ func (s QueryStats) Total() time.Duration {
 	return s.TraverseDur + s.RetrieveDur + s.ProbDur
 }
 
+// descend walks the in-memory non-leaf nodes to the leaf containing q,
+// returning the leaf and its depth.
+func (ix *UVIndex) descend(q geom.Point) (*qnode, int) {
+	n, region, depth := ix.root, ix.domain, 0
+	for !n.isLeaf() {
+		k := region.QuadrantFor(q)
+		n = n.children[k]
+		region = region.Quadrant(k)
+		depth++
+	}
+	return n, depth
+}
+
+// readLeafTuples reads and decodes a leaf's page list from the
+// simulated disk, returning the tuples and the number of page reads.
+func (ix *UVIndex) readLeafTuples(n *qnode) ([]pager.LeafTuple, int64, error) {
+	var tuples []pager.LeafTuple
+	var ios int64
+	for _, pid := range n.pages {
+		ts, err := pager.DecodeLeafTuples(ix.pg.Read(pid))
+		if err != nil {
+			return nil, ios, fmt.Errorf("core: leaf page %d: %w", pid, err)
+		}
+		tuples = append(tuples, ts...)
+		ios++
+	}
+	return tuples, ios, nil
+}
+
 // PNN answers a probabilistic nearest-neighbor query at q (Section V-A):
 // descend to the leaf containing q, read its page list, filter with the
 // dminmax bound of [14], fetch the survivors' uncertainty information
 // and compute qualification probabilities by numerical integration.
 func (ix *UVIndex) PNN(q geom.Point) ([]Answer, QueryStats, error) {
+	return ix.pnn(q, nil)
+}
+
+// PNNCached is PNN with an optional leaf-tuple cache: on a cache hit the
+// leaf page list is not re-read or re-decoded (IndexIOs stays 0 for the
+// query). Answers are identical to PNN. A nil cache degrades to PNN.
+func (ix *UVIndex) PNNCached(q geom.Point, cache *LeafCache) ([]Answer, QueryStats, error) {
+	return ix.pnn(q, cache)
+}
+
+func (ix *UVIndex) pnn(q geom.Point, cache *LeafCache) ([]Answer, QueryStats, error) {
 	var st QueryStats
 	if !ix.finished {
 		return nil, st, fmt.Errorf("core: PNN before Finish")
@@ -160,23 +205,22 @@ func (ix *UVIndex) PNN(q geom.Point) ([]Answer, QueryStats, error) {
 	}
 
 	// Phase 1: index traversal (non-leaf nodes are in memory; leaf page
-	// list is read from disk).
+	// list is read from disk unless the cache still holds it).
 	t0 := time.Now()
-	n, region := ix.root, ix.domain
-	for !n.isLeaf() {
-		k := region.QuadrantFor(q)
-		n = n.children[k]
-		region = region.Quadrant(k)
-		st.Depth++
-	}
+	n, depth := ix.descend(q)
+	st.Depth = depth
 	var tuples []pager.LeafTuple
-	for _, pid := range n.pages {
-		ts, err := pager.DecodeLeafTuples(ix.pg.Read(pid))
+	if cached, ok := cache.get(ix, n); ok {
+		tuples = cached
+	} else {
+		var err error
+		var ios int64
+		tuples, ios, err = ix.readLeafTuples(n)
 		if err != nil {
-			return nil, st, fmt.Errorf("core: leaf page %d: %w", pid, err)
+			return nil, st, err
 		}
-		tuples = append(tuples, ts...)
-		st.IndexIOs++
+		st.IndexIOs += ios
+		cache.put(ix, n, tuples)
 	}
 	st.LeafEntries = len(tuples)
 

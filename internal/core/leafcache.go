@@ -1,0 +1,52 @@
+package core
+
+import (
+	"uvdiagram/internal/lru"
+	"uvdiagram/internal/pager"
+)
+
+// LeafCache is a small LRU cache of decoded leaf page lists, keyed by
+// leaf node. Skewed query streams hit a handful of leaves over and over;
+// caching the decoded tuples removes the simulated page reads and the
+// decode work from the hot path of batch queries.
+//
+// The cache is safe for concurrent readers (batch workers share one
+// instance). It is tied to the mutation generation of the index it
+// caches for: a live insert bumps the index generation, and the first
+// lookup afterwards discards every entry, so stale tuples are never
+// served.
+type LeafCache struct {
+	c *lru.Cache[*qnode, []pager.LeafTuple]
+}
+
+// NewLeafCache returns a cache holding up to capacity leaves
+// (capacity ≤ 0 yields a nil cache, i.e. caching disabled).
+func NewLeafCache(capacity int) *LeafCache {
+	c := lru.New[*qnode, []pager.LeafTuple](capacity)
+	if c == nil {
+		return nil
+	}
+	return &LeafCache{c: c}
+}
+
+// Len returns the number of cached leaves.
+func (c *LeafCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.c.Len()
+}
+
+func (c *LeafCache) get(ix *UVIndex, n *qnode) ([]pager.LeafTuple, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.c.Get(ix.gen.Load(), n)
+}
+
+func (c *LeafCache) put(ix *UVIndex, n *qnode, tuples []pager.LeafTuple) {
+	if c == nil {
+		return
+	}
+	c.c.Put(ix.gen.Load(), n, tuples)
+}

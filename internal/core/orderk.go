@@ -272,6 +272,17 @@ func BuildOrderK(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, k i
 // k-NNs, so both the potential answers and enough blockers to reject
 // every non-answer appear in the leaf list.
 func (ix *UVIndex) PossibleKNN(q geom.Point) ([]int32, QueryStats, error) {
+	return ix.possibleKNN(q, nil)
+}
+
+// PossibleKNNCached is PossibleKNN with an optional leaf-tuple cache
+// (see PNNCached); answers are identical, a nil cache degrades to
+// PossibleKNN.
+func (ix *UVIndex) PossibleKNNCached(q geom.Point, cache *LeafCache) ([]int32, QueryStats, error) {
+	return ix.possibleKNN(q, cache)
+}
+
+func (ix *UVIndex) possibleKNN(q geom.Point, cache *LeafCache) ([]int32, QueryStats, error) {
 	var st QueryStats
 	if !ix.finished {
 		return nil, st, fmt.Errorf("core: PossibleKNN before Finish")
@@ -281,21 +292,20 @@ func (ix *UVIndex) PossibleKNN(q geom.Point) ([]int32, QueryStats, error) {
 	}
 
 	t0 := time.Now()
-	n, region := ix.root, ix.domain
-	for !n.isLeaf() {
-		k := region.QuadrantFor(q)
-		n = n.children[k]
-		region = region.Quadrant(k)
-		st.Depth++
-	}
+	n, depth := ix.descend(q)
+	st.Depth = depth
 	var tuples []pager.LeafTuple
-	for _, pid := range n.pages {
-		ts, err := pager.DecodeLeafTuples(ix.pg.Read(pid))
+	if cached, ok := cache.get(ix, n); ok {
+		tuples = cached
+	} else {
+		var err error
+		var ios int64
+		tuples, ios, err = ix.readLeafTuples(n)
 		if err != nil {
-			return nil, st, fmt.Errorf("core: leaf page %d: %w", pid, err)
+			return nil, st, err
 		}
-		tuples = append(tuples, ts...)
-		st.IndexIOs++
+		st.IndexIOs += ios
+		cache.put(ix, n, tuples)
 	}
 	st.LeafEntries = len(tuples)
 

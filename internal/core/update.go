@@ -36,6 +36,7 @@ func (ix *UVIndex) InsertLive(id int32, crIDs []int32) error {
 	ix.crOf = append(ix.crOf, crIDs)
 	ix.insertObj(id, ix.store.At(int(id)), crIDs, ix.root, ix.domain, 0)
 	ix.flushDirty(ix.root)
+	ix.gen.Add(1) // invalidate leaf caches
 	return nil
 }
 

@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/server"
+)
+
+// RunServerThroughput measures the serving layer end to end over
+// loopback TCP: the same query workload shipped as (1) blocking
+// single-request round trips, (2) a pipelined stream of async calls,
+// and (3) batch frames. Two workloads run: possible-k-NN (wire-bound —
+// the serving model dominates) and PNN (compute-bound — the numerical
+// integration dominates, bounding what batching can buy per core). It
+// is the experiment behind the batch query engine.
+func RunServerThroughput(sc Scale, progress func(string)) (*Table, error) {
+	cfg := datagen.Config{N: sc.MidN, Side: sc.Side, Diameter: sc.Diameter, Seed: sc.Seed}
+	progress(fmt.Sprintf("server: building UV-index over %d objects", cfg.N))
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(db, nil)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = srv.Serve(lis)
+	}()
+	defer func() {
+		srv.Close()
+		<-serveDone
+		srv.Wait()
+	}()
+
+	cli, err := server.Dial(lis.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+
+	t := &Table{
+		ID:      "server",
+		Title:   fmt.Sprintf("Serving throughput over loopback TCP (n=%d)", sc.MidN),
+		Columns: []string{"workload", "mode", "queries", "elapsed", "queries/s", "speedup"},
+		Notes: []string{
+			"single: one blocking round trip per query (the pre-batch serving model)",
+			"pipelined: async client, 64 requests in flight on one connection",
+			"batched: 1024-point batch frames, server-side worker-pool fan-out + leaf cache",
+		},
+	}
+
+	const knnK = 4
+	workloads := []struct {
+		name    string
+		queries int
+		single  func(q uvdiagram.Point) error
+		goCall  func(q uvdiagram.Point, done chan *server.Call)
+		decode  func(call *server.Call) error
+		batch   func(qs []uvdiagram.Point) error
+	}{
+		{
+			name:    "possible-4-NN",
+			queries: sc.Queries * 500,
+			single:  func(q uvdiagram.Point) error { _, err := cli.PossibleKNN(q, knnK); return err },
+			goCall:  func(q uvdiagram.Point, done chan *server.Call) { cli.GoPossibleKNN(q, knnK, done) },
+			decode:  func(call *server.Call) error { _, err := server.PossibleKNNIDs(call); return err },
+			batch:   func(qs []uvdiagram.Point) error { _, err := cli.BatchPossibleKNN(qs, knnK); return err },
+		},
+		{
+			name:    "PNN",
+			queries: sc.Queries * 20,
+			single:  func(q uvdiagram.Point) error { _, err := cli.PNN(q); return err },
+			goCall:  func(q uvdiagram.Point, done chan *server.Call) { cli.GoPNN(q, done) },
+			decode:  func(call *server.Call) error { _, err := server.PNNAnswers(call); return err },
+			batch:   func(qs []uvdiagram.Point) error { _, err := cli.BatchPNN(qs); return err },
+		},
+	}
+
+	for _, w := range workloads {
+		rng := rand.New(rand.NewSource(sc.Seed))
+		qs := make([]uvdiagram.Point, w.queries)
+		for i := range qs {
+			qs[i] = uvdiagram.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
+		}
+
+		single, err := timeIt(func() error {
+			for _, q := range qs {
+				if err := w.single(q); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		progress(fmt.Sprintf("server: %s single %d queries in %v", w.name, w.queries, single.Round(time.Millisecond)))
+
+		pipelined, err := timeIt(func() error {
+			const window = 64
+			done := make(chan *server.Call, window)
+			inFlight := 0
+			for _, q := range qs {
+				for inFlight >= window {
+					if err := w.decode(<-done); err != nil {
+						return err
+					}
+					inFlight--
+				}
+				w.goCall(q, done)
+				inFlight++
+			}
+			for ; inFlight > 0; inFlight-- {
+				if err := w.decode(<-done); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		progress(fmt.Sprintf("server: %s pipelined %d queries in %v", w.name, w.queries, pipelined.Round(time.Millisecond)))
+
+		batched, err := timeIt(func() error {
+			const chunk = 1024
+			for off := 0; off < len(qs); off += chunk {
+				end := off + chunk
+				if end > len(qs) {
+					end = len(qs)
+				}
+				if err := w.batch(qs[off:end]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		progress(fmt.Sprintf("server: %s batched %d queries in %v", w.name, w.queries, batched.Round(time.Millisecond)))
+
+		for _, row := range []struct {
+			mode string
+			d    time.Duration
+		}{{"single", single}, {"pipelined", pipelined}, {"batched", batched}} {
+			t.AddRow(w.name, row.mode,
+				fmt.Sprintf("%d", w.queries),
+				row.d.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", float64(w.queries)/row.d.Seconds()),
+				fmt.Sprintf("%.2fx", single.Seconds()/row.d.Seconds()))
+		}
+	}
+	return t, nil
+}
+
+func timeIt(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}

@@ -18,7 +18,21 @@ import (
 // -closer guarantee can simultaneously be farther with positive
 // probability, by independence.)
 func KNNAnswerSet(objs []uncertain.Object, q geom.Point, k int) []int {
-	n := len(objs)
+	mins := make([]float64, len(objs))
+	maxes := make([]float64, len(objs))
+	for i := range objs {
+		mins[i] = objs[i].DistMin(q)
+		maxes[i] = objs[i].DistMax(q)
+	}
+	return KNNAnswerSetDists(mins, maxes, k)
+}
+
+// KNNAnswerSetDists is KNNAnswerSet on precomputed distance bounds:
+// mins[i] and maxes[i] are distmin/distmax between q and object i. It
+// lets callers that already hold the objects' bounding circles (e.g.
+// R-tree leaf entries) answer without materializing the objects.
+func KNNAnswerSetDists(mins, maxes []float64, k int) []int {
+	n := len(mins)
 	if n == 0 || k <= 0 {
 		return nil
 	}
@@ -29,16 +43,11 @@ func KNNAnswerSet(objs []uncertain.Object, q geom.Point, k int) []int {
 		}
 		return out
 	}
-	maxes := make([]float64, n)
-	for i := range objs {
-		maxes[i] = objs[i].DistMax(q)
-	}
 	sorted := append([]float64(nil), maxes...)
 	sort.Float64s(sorted)
 
 	var ans []int
-	for i := range objs {
-		dmin := objs[i].DistMin(q)
+	for i, dmin := range mins {
 		// Objects with distmax strictly below dmin are surely closer.
 		surelyCloser := sort.SearchFloat64s(sorted, dmin)
 		// Oi itself never counts: distmax(Oi) ≥ distmin(Oi) = dmin, so it

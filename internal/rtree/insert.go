@@ -7,6 +7,7 @@ import "uvdiagram/internal/geom"
 // the tree usable for incremental workloads (the paper's future-work
 // "incremental updates").
 func (t *Tree) Insert(it Item) {
+	t.gen.Add(1) // invalidate leaf caches
 	split := t.insertAt(t.root, it)
 	if split != nil {
 		// Root split: grow the tree.

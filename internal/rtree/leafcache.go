@@ -1,0 +1,51 @@
+package rtree
+
+import (
+	"uvdiagram/internal/lru"
+)
+
+// LeafCache is a small LRU cache of decoded leaf items, keyed by leaf
+// node — the R-tree counterpart of the UV-index leaf cache. The
+// branch-and-prune traversals visit (and re-decode) the same leaf pages
+// for every nearby query point, so batch engines running many lookups
+// share one cache. It is safe for concurrent readers and is flushed on
+// the first access after any tree mutation (Insert bumps the tree's
+// generation), so stale pages are never served. A nil cache is valid
+// and disables caching.
+type LeafCache struct {
+	c *lru.Cache[*node, []Item]
+}
+
+// NewLeafCache returns a cache holding up to capacity leaves
+// (capacity ≤ 0 yields a nil cache).
+func NewLeafCache(capacity int) *LeafCache {
+	c := lru.New[*node, []Item](capacity)
+	if c == nil {
+		return nil
+	}
+	return &LeafCache{c: c}
+}
+
+// Len returns the number of cached leaves.
+func (c *LeafCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.c.Len()
+}
+
+// readLeafCached is readLeaf through an optional cache. Cache hits
+// skip the page read (and its I/O accounting) and the decode; the
+// returned slice is shared and must be treated as read-only.
+func (t *Tree) readLeafCached(n *node, cache *LeafCache) []Item {
+	if cache == nil {
+		return t.readLeaf(n)
+	}
+	gen := t.gen.Load()
+	if items, ok := cache.c.Get(gen, n); ok {
+		return items
+	}
+	items := t.readLeaf(n)
+	cache.c.Put(gen, n, items)
+	return items
+}

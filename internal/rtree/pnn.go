@@ -74,6 +74,17 @@ func (t *Tree) PNNCandidates(q geom.Point) (cands []Item, dminmax float64) {
 // k-th smallest maximum distance (the bound below which k objects are
 // guaranteed to exist), a superset of the exact possible-k-NN set.
 func (t *Tree) KNNCandidates(q geom.Point, k int) (cands []Item, bound float64) {
+	return t.knnCandidates(q, k, nil)
+}
+
+// KNNCandidatesCached is KNNCandidates through an optional decoded-leaf
+// cache (see LeafCache); results are identical, cache hits skip page
+// reads and decodes.
+func (t *Tree) KNNCandidatesCached(q geom.Point, k int, cache *LeafCache) (cands []Item, bound float64) {
+	return t.knnCandidates(q, k, cache)
+}
+
+func (t *Tree) knnCandidates(q geom.Point, k int, cache *LeafCache) (cands []Item, bound float64) {
 	if t.size == 0 || k <= 0 {
 		return nil, math.Inf(1)
 	}
@@ -107,7 +118,7 @@ func (t *Tree) KNNCandidates(q geom.Point, k int) (cands []Item, bound float64) 
 			break
 		}
 		if e.node.isLeaf() {
-			for _, it := range t.readLeaf(e.node) {
+			for _, it := range t.readLeafCached(e.node, cache) {
 				push(q.Dist(it.MBC.C) + it.MBC.R)
 			}
 			continue
@@ -127,7 +138,7 @@ func (t *Tree) KNNCandidates(q geom.Point, k int) (cands []Item, bound float64) 
 			return
 		}
 		if n.isLeaf() {
-			for _, it := range t.readLeaf(n) {
+			for _, it := range t.readLeafCached(n, cache) {
 				if math.Max(0, q.Dist(it.MBC.C)-it.MBC.R) <= bound {
 					cands = append(cands, it)
 				}

@@ -12,6 +12,7 @@ package rtree
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"uvdiagram/internal/geom"
 	"uvdiagram/internal/pager"
@@ -58,6 +59,9 @@ type Tree struct {
 	root   *node
 	height int // 1 = root is a leaf
 	size   int
+	// gen counts mutations; leaf caches compare it against the
+	// generation they were filled at so they never serve stale pages.
+	gen atomic.Uint64
 }
 
 // New returns an empty tree with the given fanout (DefaultFanout when

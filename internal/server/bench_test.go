@@ -1,0 +1,139 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+)
+
+// benchServer builds a DB of n objects and serves it over loopback TCP.
+func benchServer(b *testing.B, n int) (*Client, []uvdiagram.Point) {
+	b.Helper()
+	cfg := datagen.Config{N: n, Side: 2000, Diameter: 30, Seed: 77}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(db, nil)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(lis)
+	}()
+	cli, err := Dial(lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+		<-done
+		srv.Wait()
+	})
+	qs := make([]uvdiagram.Point, 1024)
+	for i := range qs {
+		qs[i] = uvdiagram.Pt(float64(37+i*53%1900), float64(59+i*97%1900))
+	}
+	return cli, qs
+}
+
+const (
+	benchObjects = 400
+	benchK       = 4
+)
+
+// The NN benchmarks ship a possible-k-NN workload (k-nearest-neighbor
+// retrieval without the probability integration) — the wire-bound query
+// where the serving model dominates the cost. BenchmarkBatchNN versus
+// BenchmarkSingleNN is the batch engine's headline number.
+
+// BenchmarkSingleNN is the baseline: one blocking round trip per query,
+// exactly one request in flight (the pre-batch serving model).
+func BenchmarkSingleNN(b *testing.B) {
+	cli, qs := benchServer(b, benchObjects)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.PossibleKNN(qs[i%len(qs)], benchK); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinedNN streams the same queries with a 64-deep
+// in-flight window on one connection.
+func BenchmarkPipelinedNN(b *testing.B) {
+	cli, qs := benchServer(b, benchObjects)
+	b.ResetTimer()
+	const window = 64
+	done := make(chan *Call, window)
+	inFlight := 0
+	drain := func() {
+		if _, err := PossibleKNNIDs(<-done); err != nil {
+			b.Fatal(err)
+		}
+		inFlight--
+	}
+	for i := 0; i < b.N; i++ {
+		for inFlight >= window {
+			drain()
+		}
+		cli.GoPossibleKNN(qs[i%len(qs)], benchK, done)
+		inFlight++
+	}
+	for inFlight > 0 {
+		drain()
+	}
+}
+
+// BenchmarkBatchNN ships the queries as batch frames of up to 1024
+// points, answered by the server's worker-pool fan-out with the shared
+// leaf cache.
+func BenchmarkBatchNN(b *testing.B) {
+	cli, qs := benchServer(b, benchObjects)
+	b.ResetTimer()
+	for off := 0; off < b.N; off += len(qs) {
+		end := off + len(qs)
+		if end > b.N {
+			end = b.N
+		}
+		if _, err := cli.BatchPossibleKNN(qs[:end-off], benchK); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The PNN benchmarks run the paper's probabilistic NN query, whose
+// numerical integration dominates the round trip; they bound what
+// pipelining can buy for compute-bound traffic on one core.
+
+// BenchmarkSinglePNN is one blocking PNN round trip per query.
+func BenchmarkSinglePNN(b *testing.B) {
+	cli, qs := benchServer(b, benchObjects)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.PNN(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchPNN ships PNN queries as batch frames.
+func BenchmarkBatchPNN(b *testing.B) {
+	cli, qs := benchServer(b, benchObjects)
+	b.ResetTimer()
+	for off := 0; off < b.N; off += len(qs) {
+		end := off + len(qs)
+		if end > b.N {
+			end = b.N
+		}
+		if _, err := cli.BatchPNN(qs[:end-off]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,12 +9,42 @@ import (
 	"uvdiagram/internal/wire"
 )
 
-// Client is a UV-diagram protocol client. One request is in flight at a
-// time per client (calls serialize on an internal mutex); open several
-// clients for parallelism.
+// Client is a pipelined UV-diagram protocol client. Any number of
+// requests may be in flight at once: Go queues a request without
+// waiting for its response, the synchronous methods are Go plus a wait.
+// The server answers strictly in request order, so a background reader
+// goroutine matches responses to calls FIFO. A Client is safe for
+// concurrent use from multiple goroutines.
 type Client struct {
-	mu   sync.Mutex
+	wmu  sync.Mutex // serializes frame writes and queue appends
 	conn net.Conn
+
+	mu    sync.Mutex // guards queue and err
+	queue []*Call    // outstanding calls, oldest first
+	err   error      // sticky transport error; set once, fails everything after
+}
+
+// Call is one in-flight request. When the response (or a transport
+// error) arrives, the call is sent on Done.
+type Call struct {
+	Op   byte
+	Err  error        // set on in-band server errors and transport failures
+	Done chan *Call   // receives the call itself on completion
+	r    *wire.Reader // response payload on success
+}
+
+// Reader returns the response payload reader, or the call's error. It
+// must only be used after the call was received from Done.
+func (call *Call) Reader() (*wire.Reader, error) { return call.r, call.Err }
+
+// complete delivers the finished call without ever blocking: a full
+// Done channel drops the notification (net/rpc semantics), so a
+// misbehaving consumer cannot stall the response reader.
+func (call *Call) complete() {
+	select {
+	case call.Done <- call:
+	default:
+	}
 }
 
 // Dial connects to a UV-diagram server.
@@ -23,40 +53,126 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return NewClient(conn), nil
 }
 
 // NewClient wraps an existing connection (e.g. a net.Pipe end in
-// tests).
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+// tests) and starts the response reader. Close releases it.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn}
+	go c.readLoop()
+	return c
+}
 
-// Close closes the connection.
+// Close closes the connection; outstanding calls complete with an
+// error.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one request and decodes the response envelope.
-func (c *Client) roundTrip(op byte, payload []byte) (*wire.Reader, error) {
+// Go queues one request and returns immediately. done may be nil for a
+// fresh buffered channel, otherwise it must be buffered with room for
+// every call it serves concurrently (one channel can serve many calls,
+// rpc-style) — as in net/rpc, a completion that finds the channel full
+// is dropped rather than allowed to stall the response reader. The
+// returned call is sent on its Done channel when the response arrives.
+func (c *Client) Go(op byte, payload []byte, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	} else if cap(done) == 0 {
+		panic("server: Go done channel is unbuffered")
+	}
+	call := &Call{Op: op, Done: done}
+	// An oversized request is rejected before anything touches the
+	// socket: the stream is still in sync, so only this call fails, not
+	// the connection.
+	if n := 1 + len(payload) + 4; n > wire.MaxFrame {
+		call.Err = fmt.Errorf("client: request of %d bytes exceeds frame limit %d; split the batch", n, wire.MaxFrame)
+		call.complete()
+		return call
+	}
+	c.wmu.Lock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := wire.WriteFrame(c.conn, op, payload); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		c.wmu.Unlock()
+		call.Err = err
+		call.complete()
+		return call
 	}
-	status, resp, err := wire.ReadFrame(c.conn)
+	// Queue order must equal write order; both happen under wmu.
+	c.queue = append(c.queue, call)
+	c.mu.Unlock()
+	err := wire.WriteFrame(c.conn, op, payload)
+	c.wmu.Unlock()
 	if err != nil {
-		return nil, fmt.Errorf("client: receive: %w", err)
+		c.fail(fmt.Errorf("client: send: %w", err))
 	}
-	r := wire.NewReader(resp)
-	switch status {
-	case wire.StatusOK:
-		return r, nil
-	case wire.StatusErr:
-		msg := r.Str()
-		if err := r.Err(); err != nil {
-			return nil, fmt.Errorf("client: malformed error response: %w", err)
+	return call
+}
+
+// readLoop receives response frames and completes outstanding calls in
+// FIFO order. It exits on the first transport error, failing every
+// outstanding and future call.
+func (c *Client) readLoop() {
+	for {
+		status, resp, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("client: receive: %w", err))
+			return
 		}
-		return nil, fmt.Errorf("server: %s", msg)
-	default:
-		return nil, fmt.Errorf("client: unknown response status 0x%02x", status)
+		c.mu.Lock()
+		var call *Call
+		if len(c.queue) > 0 {
+			call = c.queue[0]
+			c.queue = c.queue[1:]
+		}
+		c.mu.Unlock()
+		if call == nil {
+			c.fail(fmt.Errorf("client: response frame without outstanding request"))
+			return
+		}
+		r := wire.NewReader(resp)
+		switch status {
+		case wire.StatusOK:
+			call.r = r
+		case wire.StatusErr:
+			msg := r.Str()
+			if err := r.Err(); err != nil {
+				call.Err = fmt.Errorf("client: malformed error response: %w", err)
+			} else {
+				call.Err = fmt.Errorf("server: %s", msg)
+			}
+		default:
+			call.Err = fmt.Errorf("client: unknown response status 0x%02x", status)
+		}
+		call.complete()
 	}
+}
+
+// fail records the first transport error and completes every
+// outstanding call with it.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	} else {
+		err = c.err
+	}
+	queue := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, call := range queue {
+		call.Err = err
+		call.complete()
+	}
+}
+
+// roundTrip sends one request and waits for its response.
+func (c *Client) roundTrip(op byte, payload []byte) (*wire.Reader, error) {
+	call := c.Go(op, payload, nil)
+	<-call.Done
+	return call.r, call.Err
 }
 
 // Ping round-trips an empty frame.
@@ -137,16 +253,8 @@ func (c *Client) TopKPNN(q uvdiagram.Point, k int) ([]uvdiagram.Answer, error) {
 	return decodeAnswers(r)
 }
 
-// PossibleKNN runs a possible-k-NN query, returning answer IDs.
-func (c *Client) PossibleKNN(q uvdiagram.Point, k int) ([]int32, error) {
-	var b wire.Buffer
-	b.F64(q.X)
-	b.F64(q.Y)
-	b.U32(uint32(k))
-	r, err := c.roundTrip(wire.OpPossibleKNN, b.Bytes())
-	if err != nil {
-		return nil, err
-	}
+// decodeIDs reads a u32-prefixed list of object IDs.
+func decodeIDs(r *wire.Reader) ([]int32, error) {
 	n := int(r.U32())
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -159,6 +267,19 @@ func (c *Client) PossibleKNN(q uvdiagram.Point, k int) ([]int32, error) {
 		ids[i] = r.I32()
 	}
 	return ids, r.Err()
+}
+
+// PossibleKNN runs a possible-k-NN query, returning answer IDs.
+func (c *Client) PossibleKNN(q uvdiagram.Point, k int) ([]int32, error) {
+	var b wire.Buffer
+	b.F64(q.X)
+	b.F64(q.Y)
+	b.U32(uint32(k))
+	r, err := c.roundTrip(wire.OpPossibleKNN, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeIDs(r)
 }
 
 // RNN runs a probabilistic reverse nearest-neighbor query.
@@ -224,6 +345,108 @@ func (c *Client) Partitions(rect uvdiagram.Rect) ([]uvdiagram.Partition, error) 
 		out[i].Density = r.F64()
 	}
 	return out, r.Err()
+}
+
+// GoPNN queues a PNN query without waiting (see Go); decode the
+// response with PNNAnswers after the call completes.
+func (c *Client) GoPNN(q uvdiagram.Point, done chan *Call) *Call {
+	var b wire.Buffer
+	b.F64(q.X)
+	b.F64(q.Y)
+	return c.Go(wire.OpPNN, b.Bytes(), done)
+}
+
+// PNNAnswers decodes a completed GoPNN call.
+func PNNAnswers(call *Call) ([]uvdiagram.Answer, error) {
+	r, err := call.Reader()
+	if err != nil {
+		return nil, err
+	}
+	return decodeAnswers(r)
+}
+
+// GoPossibleKNN queues a possible-k-NN query without waiting (see Go);
+// decode the response with PossibleKNNIDs after the call completes.
+func (c *Client) GoPossibleKNN(q uvdiagram.Point, k int, done chan *Call) *Call {
+	var b wire.Buffer
+	b.F64(q.X)
+	b.F64(q.Y)
+	b.U32(uint32(k))
+	return c.Go(wire.OpPossibleKNN, b.Bytes(), done)
+}
+
+// PossibleKNNIDs decodes a completed GoPossibleKNN call.
+func PossibleKNNIDs(call *Call) ([]int32, error) {
+	r, err := call.Reader()
+	if err != nil {
+		return nil, err
+	}
+	return decodeIDs(r)
+}
+
+// BatchPNN answers one PNN query per point in a single frame pair. The
+// batch is all-or-nothing: any failing query fails the whole call with
+// the server's in-band error naming that query.
+func (c *Client) BatchPNN(qs []uvdiagram.Point) ([][]uvdiagram.Answer, error) {
+	if err := checkBatchSize(qs); err != nil {
+		return nil, err
+	}
+	var b wire.Buffer
+	encodePoints(&b, qs)
+	r, err := c.roundTrip(wire.OpBatchPNN, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeAnswerLists(r)
+}
+
+// BatchTopKPNN answers one top-k PNN query per point in a single frame
+// pair (k shared by the batch).
+func (c *Client) BatchTopKPNN(qs []uvdiagram.Point, k int) ([][]uvdiagram.Answer, error) {
+	if err := checkBatchSize(qs); err != nil {
+		return nil, err
+	}
+	var b wire.Buffer
+	b.U32(uint32(k))
+	encodePoints(&b, qs)
+	r, err := c.roundTrip(wire.OpBatchTopK, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeAnswerLists(r)
+}
+
+// BatchPossibleKNN answers one possible-k-NN (order-k) query per point
+// in a single frame pair (k shared by the batch).
+func (c *Client) BatchPossibleKNN(qs []uvdiagram.Point, k int) ([][]int32, error) {
+	if err := checkBatchSize(qs); err != nil {
+		return nil, err
+	}
+	var b wire.Buffer
+	b.U32(uint32(k))
+	encodePoints(&b, qs)
+	r, err := c.roundTrip(wire.OpBatchKNN, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeIDLists(r)
+}
+
+// BatchThresholdNN answers one probability-threshold PNN query per
+// point in a single frame pair: only answers with qualification
+// probability ≥ tau are returned.
+func (c *Client) BatchThresholdNN(qs []uvdiagram.Point, tau float64) ([][]uvdiagram.Answer, error) {
+	if err := checkBatchSize(qs); err != nil {
+		return nil, err
+	}
+	var b wire.Buffer
+	b.F64(tau)
+	encodePoints(&b, qs)
+	r, err := c.roundTrip(wire.OpBatchThreshold, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeAnswerLists(r)
 }
 
 // Insert adds a new uncertain object (the incremental-update path). The

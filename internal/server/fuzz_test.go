@@ -1,0 +1,116 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/wire"
+)
+
+// fuzzDB builds one small database shared by all fuzz executions (the
+// fuzz target must be fast; the DB is read-only there).
+var fuzzDB = sync.OnceValue(func() *uvdiagram.DB {
+	cfg := datagen.Config{N: 25, Side: 2000, Diameter: 30, Seed: 3}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		panic(err)
+	}
+	return db
+})
+
+// FuzzBatchPayload throws corrupted batch payloads at the dispatch
+// path: whatever the bytes, decoding must fail in-band (an error
+// return) or answer correctly — never panic and never over-allocate on
+// a hostile count.
+func FuzzBatchPayload(f *testing.F) {
+	var valid wire.Buffer
+	encodePoints(&valid, []uvdiagram.Point{uvdiagram.Pt(100, 100), uvdiagram.Pt(900, 1200)})
+	f.Add(uint8(0), valid.Bytes())
+
+	var topk wire.Buffer
+	topk.U32(2)
+	encodePoints(&topk, []uvdiagram.Point{uvdiagram.Pt(40, 40)})
+	f.Add(uint8(1), topk.Bytes())
+
+	var thr wire.Buffer
+	thr.F64(0.5)
+	encodePoints(&thr, []uvdiagram.Point{uvdiagram.Pt(40, 40)})
+	f.Add(uint8(3), thr.Bytes())
+
+	// Hostile count with no points behind it.
+	var hostile wire.Buffer
+	hostile.U32(1 << 30)
+	f.Add(uint8(0), hostile.Bytes())
+	f.Add(uint8(2), []byte{})
+	f.Add(uint8(1), []byte{1, 2, 3})
+
+	srv := New(fuzzDB(), nil)
+	ops := []byte{wire.OpBatchPNN, wire.OpBatchTopK, wire.OpBatchKNN, wire.OpBatchThreshold}
+	f.Fuzz(func(t *testing.T, opSel uint8, payload []byte) {
+		op := ops[int(opSel)%len(ops)]
+		resp, err := srv.dispatch(op, payload)
+		if err == nil && resp == nil && op != wire.OpBatchPNN {
+			// Batch responses always carry at least the echoed count.
+			t.Fatalf("op 0x%02x: nil response without error", op)
+		}
+	})
+}
+
+// FuzzDispatchAnyOpcode widens the fuzz to every opcode byte: no
+// request payload may panic the dispatcher.
+func FuzzDispatchAnyOpcode(f *testing.F) {
+	f.Add(uint8(wire.OpPNN), []byte{1, 2, 3})
+	f.Add(uint8(wire.OpInsert), []byte{})
+	f.Add(uint8(0xEE), []byte{0xFF})
+	var b wire.Buffer
+	b.F64(100)
+	b.F64(100)
+	f.Add(uint8(wire.OpPNN), b.Bytes())
+
+	srv := New(fuzzDB(), nil)
+	f.Fuzz(func(t *testing.T, op uint8, payload []byte) {
+		if op == wire.OpInsert {
+			// Insert mutates the shared DB; exercised by its own tests.
+			return
+		}
+		_, _ = srv.dispatch(op, payload)
+	})
+}
+
+// TestMalformedBatchPoisonsOnlyPayload: a batch frame whose payload is
+// garbage (but whose framing is intact) yields an in-band error and the
+// connection survives; a frame with broken framing kills only that
+// connection while others continue answering batches.
+func TestMalformedBatchPoisonsOnlyPayload(t *testing.T) {
+	cli, srv := startServer(t, 20)
+
+	// Garbage payload, valid frame → in-band error, connection usable.
+	if _, err := cli.roundTrip(wire.OpBatchPNN, []byte{9, 9, 9}); err == nil {
+		t.Fatal("garbage batch payload accepted")
+	}
+	if _, err := cli.BatchPNN([]uvdiagram.Point{uvdiagram.Pt(100, 100)}); err != nil {
+		t.Fatalf("connection unusable after in-band batch error: %v", err)
+	}
+
+	// Broken framing on a second connection → that connection dies...
+	raw, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F, wire.OpBatchPNN, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(make([]byte, 8)); err == nil {
+		t.Fatal("server answered a frame with an oversized length prefix")
+	}
+	// ...while the healthy connection keeps serving batches.
+	if _, err := cli.BatchPNN([]uvdiagram.Point{uvdiagram.Pt(500, 700)}); err != nil {
+		t.Fatalf("healthy connection disturbed: %v", err)
+	}
+}

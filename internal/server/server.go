@@ -6,8 +6,15 @@
 //
 // Concurrency model: queries take a read lock and run concurrently;
 // Insert takes the write lock (the incremental-update extension).
-// Each connection is served by one goroutine; a framing or checksum
-// error poisons the connection, while an application-level error is
+//
+// Connections are pipelined: each connection runs a decode loop and a
+// response-writer goroutine, with up to Config.Window requests in
+// flight at once. Requests execute on a server-wide worker pool bounded
+// by Config.Workers, and responses are always written in request order,
+// so clients may stream requests without waiting for answers. Batch
+// opcodes fan their points out across the pool under one read lock. A
+// framing or checksum error poisons the connection, while an
+// application-level error (including a malformed request payload) is
 // reported in-band and the connection continues.
 package server
 
@@ -17,6 +24,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 
 	"uvdiagram"
@@ -24,10 +32,42 @@ import (
 	"uvdiagram/internal/wire"
 )
 
+// Config tunes the serving engine. The zero value selects the defaults.
+type Config struct {
+	// Window is the maximum number of in-flight requests per connection
+	// (default 64). A full window applies backpressure by pausing the
+	// connection's decode loop.
+	Window int
+	// Workers bounds the number of concurrently executing requests
+	// across the whole server, and the fan-out width of one batch
+	// request (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the size of the batch engine's leaf-lookup LRU cache
+	// (default 256; negative disables caching).
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	} else if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	return c
+}
+
 // Server serves one DB over a listener.
 type Server struct {
 	mu     sync.RWMutex // guards db state (queries: RLock, Insert: Lock)
 	db     *uvdiagram.DB
+	cfg    Config
+	sem    chan struct{} // server-wide worker pool (one token = one executing request)
 	logf   func(format string, args ...any)
 	wg     sync.WaitGroup
 	lmu    sync.Mutex // guards lis
@@ -35,12 +75,26 @@ type Server struct {
 	closed chan struct{}
 }
 
-// New wraps a built database. logf may be nil to discard logs.
+// New wraps a built database with the default Config. logf may be nil
+// to discard logs.
 func New(db *uvdiagram.DB, logf func(format string, args ...any)) *Server {
+	return NewWithConfig(db, logf, Config{})
+}
+
+// NewWithConfig wraps a built database with an explicit engine
+// configuration.
+func NewWithConfig(db *uvdiagram.DB, logf func(format string, args ...any), cfg Config) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{db: db, logf: logf, closed: make(chan struct{})}
+	cfg = cfg.withDefaults()
+	return &Server{
+		db:     db,
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.Workers),
+		logf:   logf,
+		closed: make(chan struct{}),
+	}
 }
 
 // DB returns the served database.
@@ -115,8 +169,64 @@ func (s *Server) Close() error {
 // Wait blocks until every connection goroutine has exited.
 func (s *Server) Wait() { s.wg.Wait() }
 
+// slot is one in-flight request's response, filled by a worker and
+// consumed by the connection's writer goroutine.
+type slot struct {
+	done    chan struct{} // closed when status/payload are final
+	status  byte
+	payload []byte
+}
+
+func (sl *slot) finish(resp []byte, err error) {
+	if err == nil && 1+len(resp)+4 > wire.MaxFrame {
+		err = fmt.Errorf("server: response of %d bytes exceeds frame limit; split the batch", len(resp))
+	}
+	if err != nil {
+		var eb wire.Buffer
+		eb.Str(err.Error())
+		sl.status, sl.payload = wire.StatusErr, eb.Bytes()
+	} else {
+		sl.status, sl.payload = wire.StatusOK, resp
+	}
+	close(sl.done)
+}
+
+// serveConn pipelines one connection: the calling goroutine decodes
+// frames and hands each request to the worker pool, while a writer
+// goroutine emits responses strictly in request order. The pending
+// channel is the in-flight window; when it is full the decode loop
+// blocks, which is the protocol's backpressure.
+//
+// Write requests (Insert) are per-connection execution barriers: the
+// decode loop waits for the connection's in-flight queries to finish,
+// runs the write inline, and only then decodes further frames — so a
+// pipelined stream keeps read-your-writes ordering on its own
+// connection. Queries pipelined across *different* connections order
+// only by the database's read/write lock.
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	pending := make(chan *slot, s.cfg.Window)
+	var inflight sync.WaitGroup // this connection's executing queries
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for sl := range pending {
+			<-sl.done
+			if broken {
+				continue // drain so the decode loop never blocks forever
+			}
+			if err := wire.WriteFrame(conn, sl.status, sl.payload); err != nil {
+				broken = true
+				conn.Close() // unblocks the decode loop's ReadFrame
+			}
+		}
+	}()
+	defer func() {
+		close(pending)
+		<-writerDone
+		conn.Close()
+	}()
+
 	for {
 		select {
 		case <-s.closed:
@@ -130,18 +240,24 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp, err := s.dispatch(op, payload)
-		if err != nil {
-			var eb wire.Buffer
-			eb.Str(err.Error())
-			if werr := wire.WriteFrame(conn, wire.StatusErr, eb.Bytes()); werr != nil {
-				return
-			}
-			continue
+		sl := &slot{done: make(chan struct{})}
+		pending <- sl // in-flight window (blocks when full)
+		if op == wire.OpInsert {
+			inflight.Wait() // barrier: earlier queries observe pre-insert state
+			s.sem <- struct{}{}
+			resp, err := s.dispatch(op, payload)
+			<-s.sem
+			sl.finish(resp, err)
+			continue // later frames decode only after the write landed
 		}
-		if err := wire.WriteFrame(conn, wire.StatusOK, resp); err != nil {
-			return
-		}
+		inflight.Add(1)
+		s.sem <- struct{}{}
+		go func() {
+			defer func() { <-s.sem }()
+			defer inflight.Done()
+			resp, err := s.dispatch(op, payload)
+			sl.finish(resp, err)
+		}()
 	}
 }
 
@@ -268,6 +384,9 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 			b.F64(p.Density)
 		}
 		return b.Bytes(), nil
+
+	case wire.OpBatchPNN, wire.OpBatchTopK, wire.OpBatchKNN, wire.OpBatchThreshold:
+		return s.dispatchBatch(op, r)
 
 	case wire.OpInsert:
 		id := r.I32()

@@ -1,0 +1,317 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"uvdiagram"
+	"uvdiagram/internal/wire"
+)
+
+// TestBatchOpsOverWire checks every batch opcode end to end against
+// local sequential answers.
+func TestBatchOpsOverWire(t *testing.T) {
+	cli, srv := startServer(t, 60)
+	qs := []uvdiagram.Point{
+		uvdiagram.Pt(1000, 1000), uvdiagram.Pt(150, 1800),
+		uvdiagram.Pt(1930, 430), uvdiagram.Pt(1000, 1000), // repeat → cache hit
+	}
+
+	lists, err := cli.BatchPNN(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, _, err := srv.DB().PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lists[i]) != len(want) {
+			t.Fatalf("query %d: wire %v vs local %v", i, lists[i], want)
+		}
+		for j := range want {
+			if lists[i][j] != want[j] {
+				t.Fatalf("query %d answer %d: wire %v vs local %v", i, j, lists[i][j], want[j])
+			}
+		}
+	}
+
+	top, err := cli.BatchTopKPNN(qs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, _, err := srv.DB().TopKPNN(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(top[i]) != len(want) {
+			t.Fatalf("topk query %d: wire %v vs local %v", i, top[i], want)
+		}
+	}
+
+	knn, err := cli.BatchPossibleKNN(qs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := srv.DB().PossibleKNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(knn[i]) != fmt.Sprint(want) {
+			t.Fatalf("knn query %d: wire %v vs local %v", i, knn[i], want)
+		}
+	}
+
+	thr, err := cli.BatchThresholdNN(qs, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		all, _, err := srv.DB().PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []uvdiagram.Answer
+		for _, a := range all {
+			if a.Prob >= 0.3 {
+				want = append(want, a)
+			}
+		}
+		if len(thr[i]) != len(want) {
+			t.Fatalf("threshold query %d: wire %v vs local %v", i, thr[i], want)
+		}
+	}
+}
+
+// TestBatchAllOrNothing: one bad point fails the whole batch in-band,
+// naming the query, and the connection stays usable.
+func TestBatchAllOrNothing(t *testing.T) {
+	cli, _ := startServer(t, 20)
+	qs := []uvdiagram.Point{
+		uvdiagram.Pt(100, 100),
+		uvdiagram.Pt(-40, -40), // outside the domain
+	}
+	if _, err := cli.BatchPNN(qs); err == nil {
+		t.Fatal("batch with out-of-domain point accepted")
+	}
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("connection unusable after failed batch: %v", err)
+	}
+}
+
+// TestPipelinedResponsesInOrder issues a window of async calls at once
+// and checks each response matches its own query (responses must come
+// back in request order, not completion order).
+func TestPipelinedResponsesInOrder(t *testing.T) {
+	cli, srv := startServer(t, 60)
+	const n = 128
+	qs := make([]uvdiagram.Point, n)
+	calls := make([]*Call, n)
+	for i := range qs {
+		qs[i] = uvdiagram.Pt(float64(50+i*14%1900), float64(70+i*29%1900))
+		calls[i] = cli.GoPNN(qs[i], nil)
+	}
+	for i, call := range calls {
+		<-call.Done
+		got, err := PNNAnswers(call)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		want, _, err := srv.DB().PNN(qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("call %d: %v, want %v (response misordered?)", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("call %d answer %d: %v, want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestPipelinedReadYourWrites: an Insert pipelined ahead of queries on
+// the same connection must be visible to them — the server treats
+// writes as per-connection execution barriers.
+func TestPipelinedReadYourWrites(t *testing.T) {
+	cli, srv := startServer(t, 30)
+	next := int32(srv.DB().Len())
+	q := uvdiagram.Pt(1234, 987)
+
+	// Queue queries, the insert, and post-insert queries back to back
+	// without waiting for any response.
+	var pre, post [8]*Call
+	for i := range pre {
+		pre[i] = cli.GoPNN(q, nil)
+	}
+	var ib wire.Buffer
+	ib.I32(next)
+	ib.F64(q.X)
+	ib.F64(q.Y)
+	ib.F64(15)
+	ib.U16(0)
+	ins := cli.Go(wire.OpInsert, ib.Bytes(), nil)
+	for i := range post {
+		post[i] = cli.GoPNN(q, nil)
+	}
+
+	for _, call := range pre {
+		<-call.Done
+		if _, err := PNNAnswers(call); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-ins.Done
+	if _, err := ins.Reader(); err != nil {
+		t.Fatal(err)
+	}
+	for i, call := range post {
+		<-call.Done
+		answers, err := PNNAnswers(call)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, a := range answers {
+			found = found || a.ID == next
+		}
+		if !found {
+			t.Fatalf("post-insert query %d does not see object %d: %v", i, next, answers)
+		}
+	}
+}
+
+// TestOversizedRequestDoesNotPoisonClient: a request too large for one
+// frame fails only that call — the connection was never touched, so
+// later calls keep working.
+func TestOversizedRequestDoesNotPoisonClient(t *testing.T) {
+	cli, _ := startServer(t, 10)
+	huge := make([]uvdiagram.Point, wire.MaxBatchPoints+1)
+	if _, err := cli.BatchPNN(huge); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	// Raw oversized frame through Go as well.
+	call := cli.Go(wire.OpPNN, make([]byte, wire.MaxFrame), nil)
+	<-call.Done
+	if _, err := call.Reader(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("client poisoned by oversized request: %v", err)
+	}
+}
+
+// TestConcurrentMixedWorkloadStress is the race-detector workout: many
+// pipelined clients issuing mixed single, async and batch queries
+// interleaved with Inserts against one server.
+func TestConcurrentMixedWorkloadStress(t *testing.T) {
+	_, srv := startServer(t, 50)
+	addr := srv.Addr().String()
+
+	const (
+		readers          = 6
+		roundsPerReader  = 12
+		inserts          = 8
+		batchPointsPer   = 16
+		pipelineWindowed = 24
+	)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	fail := func(format string, args ...any) {
+		failed.Store(true)
+		t.Errorf(format, args...)
+	}
+
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				fail("reader %d: %v", w, err)
+				return
+			}
+			defer c.Close()
+			pt := func(i, j int) uvdiagram.Point {
+				return uvdiagram.Pt(float64(100+(w*211+i*37+j*97)%1800), float64(100+(i*71+j*13)%1800))
+			}
+			for i := 0; i < roundsPerReader && !failed.Load(); i++ {
+				switch i % 4 {
+				case 0: // pipelined async burst
+					calls := make([]*Call, pipelineWindowed)
+					for j := range calls {
+						calls[j] = c.GoPNN(pt(i, j), nil)
+					}
+					for j, call := range calls {
+						<-call.Done
+						if _, err := PNNAnswers(call); err != nil {
+							fail("reader %d round %d call %d: %v", w, i, j, err)
+							return
+						}
+					}
+				case 1: // batch PNN
+					qs := make([]uvdiagram.Point, batchPointsPer)
+					for j := range qs {
+						qs[j] = pt(i, j)
+					}
+					if _, err := c.BatchPNN(qs); err != nil {
+						fail("reader %d round %d: BatchPNN: %v", w, i, err)
+						return
+					}
+				case 2: // batch order-k
+					qs := make([]uvdiagram.Point, batchPointsPer)
+					for j := range qs {
+						qs[j] = pt(i, j)
+					}
+					if _, err := c.BatchPossibleKNN(qs, 3); err != nil {
+						fail("reader %d round %d: BatchPossibleKNN: %v", w, i, err)
+						return
+					}
+				default: // blocking single ops
+					if _, err := c.TopKPNN(pt(i, 0), 2); err != nil {
+						fail("reader %d round %d: TopKPNN: %v", w, i, err)
+						return
+					}
+					if _, err := c.RNN(pt(i, 1)); err != nil {
+						fail("reader %d round %d: RNN: %v", w, i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// One writer inserting concurrently (IDs must stay dense, so a
+	// single writer issues them in order over one pipelined connection).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := Dial(addr)
+		if err != nil {
+			fail("writer: %v", err)
+			return
+		}
+		defer c.Close()
+		for i := 0; i < inserts; i++ {
+			id := int32(50 + i)
+			if err := c.Insert(id, float64(150+i*190), float64(250+i*160), 12, nil); err != nil {
+				fail("writer insert %d: %v", id, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if failed.Load() {
+		t.FailNow()
+	}
+	if got := srv.DB().Len(); got != 50+inserts {
+		t.Fatalf("server DB has %d objects, want %d", got, 50+inserts)
+	}
+}

@@ -34,7 +34,32 @@ const (
 	OpCellArea    byte = 0x07
 	OpPartitions  byte = 0x08
 	OpInsert      byte = 0x09
+
+	// Batch opcodes carry N query points in one frame and answer all of
+	// them in one response frame. A batch is all-or-nothing: any failing
+	// query fails the whole batch in-band (StatusErr names the query
+	// index), and a malformed batch payload never poisons the stream —
+	// only framing/CRC errors do.
+	//
+	// Payloads (little endian, points are x,y float64 pairs):
+	//
+	//	OpBatchPNN        u32 n, n × point                 → per query: u32 m, m × (i32 id, f64 prob)
+	//	OpBatchTopK       u32 k, u32 n, n × point          → same shape as OpBatchPNN
+	//	OpBatchKNN        u32 k, u32 n, n × point          → per query: u32 m, m × i32 id
+	//	OpBatchThreshold  f64 tau, u32 n, n × point        → same shape as OpBatchPNN
+	//
+	// Every batch response is prefixed with u32 n echoing the query
+	// count.
+	OpBatchPNN       byte = 0x0A
+	OpBatchTopK      byte = 0x0B
+	OpBatchKNN       byte = 0x0C
+	OpBatchThreshold byte = 0x0D
 )
+
+// MaxBatchPoints bounds the query-point count of one batch frame: 2^15
+// points fill half a MaxFrame, leaving room for the response of typical
+// answer densities.
+const MaxBatchPoints = 1 << 15
 
 // Response statuses.
 const (

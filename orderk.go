@@ -18,6 +18,7 @@ type OrderKIndex struct {
 	inner *core.UVIndex
 	k     int
 	built BuildStats
+	batch batchState // leaf cache reused across Batch* calls
 }
 
 // NewOrderKIndex builds an order-k index over the database's objects

@@ -61,22 +61,31 @@ func (db *DB) Rebuild() error {
 // supersets for k = 1 cells, so the branch-and-prune path generalizes
 // while the UV-index stays specialized for PNN.
 func (db *DB) PossibleKNN(q Point, k int) ([]int32, error) {
+	return db.possibleKNN(q, k, nil)
+}
+
+// possibleKNN answers through an optional R-tree leaf cache. The
+// candidates' distance bounds come straight from the leaf entries'
+// bounding circles (identical to the objects' regions), so the objects
+// themselves are never materialized.
+func (db *DB) possibleKNN(q Point, k int, cache *rtree.LeafCache) ([]int32, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("uvdiagram: PossibleKNN needs k ≥ 1, got %d", k)
 	}
-	items, _ := db.tree.KNNCandidates(q, k)
-	cands := make([]Object, 0, len(items))
-	for _, it := range items {
-		o, err := db.Object(it.ID)
-		if err != nil {
-			return nil, err
+	items, _ := db.tree.KNNCandidatesCached(q, k, cache)
+	mins := make([]float64, len(items))
+	maxes := make([]float64, len(items))
+	for i, it := range items {
+		d := q.Dist(it.MBC.C)
+		if d > it.MBC.R {
+			mins[i] = d - it.MBC.R
 		}
-		cands = append(cands, o)
+		maxes[i] = d + it.MBC.R
 	}
-	idx := prob.KNNAnswerSet(cands, q, k)
+	idx := prob.KNNAnswerSetDists(mins, maxes, k)
 	out := make([]int32, len(idx))
 	for i, j := range idx {
-		out[i] = cands[j].ID
+		out[i] = items[j].ID
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
@@ -91,14 +100,25 @@ func (db *DB) TopKPNN(q Point, k int) ([]Answer, QueryStats, error) {
 	if err != nil {
 		return nil, st, err
 	}
+	return topKAnswers(answers, k), st, nil
+}
+
+// topKAnswers sorts answers by descending probability (ties by ID) and
+// truncates to the top k (k ≤ 0 yields an empty result). Shared by the
+// sequential and batch top-k paths so their ordering stays bitwise
+// identical.
+func topKAnswers(answers []Answer, k int) []Answer {
 	sort.Slice(answers, func(i, j int) bool {
 		if answers[i].Prob != answers[j].Prob {
 			return answers[i].Prob > answers[j].Prob
 		}
 		return answers[i].ID < answers[j].ID
 	})
+	if k < 0 {
+		k = 0
+	}
 	if k < len(answers) {
 		answers = answers[:k]
 	}
-	return answers, st, nil
+	return answers
 }

@@ -31,8 +31,15 @@
 // and possible-k-NN (NewOrderKIndex, PossibleKNN), continuous queries
 // for moving clients (NewContinuousPNN), incremental inserts (Insert),
 // persistence (Save/Load), and a full three-dimensional UV-diagram
-// (Build3/DB3). A TCP server and client for a built database live in
-// internal/server with the cmd/uvserver and cmd/uvclient front ends.
+// (Build3/DB3).
+//
+// For streamed workloads the batch engine answers many points per call
+// with a worker pool and shared leaf-page caches: BatchNN, BatchOrderK,
+// BatchTopKPNN and BatchThresholdNN return results identical to the
+// equivalent sequence of single-point queries. A pipelined TCP server
+// and client for a built database live in internal/server with the
+// cmd/uvserver and cmd/uvclient front ends; see README.md for the
+// protocol and its batch opcodes.
 package uvdiagram
 
 import (
@@ -180,6 +187,7 @@ type DB struct {
 	index  *core.UVIndex
 	built  BuildStats
 	bopts  core.BuildOptions
+	batch  batchState // leaf cache reused across Batch* calls
 }
 
 // Build indexes the objects (dense IDs 0..n-1 required) over the given
