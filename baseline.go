@@ -16,9 +16,10 @@ func (db *DB) PNNViaRTree(q Point) ([]Answer, QueryStats, error) {
 	var st QueryStats
 
 	t0 := time.Now()
-	before := db.tree.Pager().Reads()
-	items, dminmax := db.tree.PNNCandidates(q)
-	st.IndexIOs = db.tree.Pager().Reads() - before
+	tree := db.ep().tree
+	before := tree.Pager().Reads()
+	items, dminmax := tree.PNNCandidates(q)
+	st.IndexIOs = tree.Pager().Reads() - before
 	_ = dminmax
 	st.Candidates = len(items)
 	st.TraverseDur = time.Since(t0)

@@ -136,10 +136,11 @@ func runBatch(n, workers int, fn func(i int) error) error {
 // other but require external synchronization against Insert (the server
 // holds its read lock across a whole batch).
 func (db *DB) BatchNN(qs []Point, opts *BatchOptions) ([][]Answer, error) {
+	ep := db.ep() // one epoch for the whole batch
 	cache := db.batch.cacheFor(opts.cacheSize())
 	out := make([][]Answer, len(qs))
 	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		answers, _, err := db.index.PNNCached(qs[i], cache)
+		answers, _, err := ep.index.PNNCached(qs[i], cache)
 		out[i] = answers
 		return err
 	})
@@ -152,10 +153,11 @@ func (db *DB) BatchNN(qs []Point, opts *BatchOptions) ([][]Answer, error) {
 // BatchTopKPNN answers N top-k probable nearest-neighbor queries (the
 // batch form of TopKPNN), k shared by the whole batch.
 func (db *DB) BatchTopKPNN(qs []Point, k int, opts *BatchOptions) ([][]Answer, error) {
+	ep := db.ep()
 	cache := db.batch.cacheFor(opts.cacheSize())
 	out := make([][]Answer, len(qs))
 	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		answers, _, err := db.index.PNNCached(qs[i], cache)
+		answers, _, err := ep.index.PNNCached(qs[i], cache)
 		if err != nil {
 			return err
 		}
@@ -173,10 +175,11 @@ func (db *DB) BatchTopKPNN(qs []Point, k int, opts *BatchOptions) ([][]Answer, e
 // is at least tau (the threshold variant of [14]'s PNN formulation).
 // tau ≤ 0 degenerates to BatchNN.
 func (db *DB) BatchThresholdNN(qs []Point, tau float64, opts *BatchOptions) ([][]Answer, error) {
+	ep := db.ep()
 	cache := db.batch.cacheFor(opts.cacheSize())
 	out := make([][]Answer, len(qs))
 	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		answers, _, err := db.index.PNNCached(qs[i], cache)
+		answers, _, err := ep.index.PNNCached(qs[i], cache)
 		if err != nil {
 			return err
 		}
@@ -199,10 +202,11 @@ func (db *DB) BatchThresholdNN(qs []Point, tau float64, opts *BatchOptions) ([][
 // variant), k shared by the whole batch. Results are identical to N
 // sequential PossibleKNN calls.
 func (db *DB) BatchOrderK(qs []Point, k int, opts *BatchOptions) ([][]int32, error) {
+	ep := db.ep()
 	cache := db.batch.rtreeCacheFor(opts.cacheSize())
 	out := make([][]int32, len(qs))
 	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		ids, err := db.possibleKNN(qs[i], k, cache)
+		ids, err := db.possibleKNN(ep, qs[i], k, cache)
 		out[i] = ids
 		return err
 	})
@@ -214,8 +218,12 @@ func (db *DB) BatchOrderK(qs []Point, k int, opts *BatchOptions) ([][]int32, err
 
 // BatchPossibleKNN answers N possible-k-NN queries from the order-k
 // grid with a worker pool and the index's persistent leaf cache —
-// the grid-served counterpart of DB.BatchOrderK.
+// the grid-served counterpart of DB.BatchOrderK. Like PossibleKNN, it
+// errors once the database has mutated past the grid's snapshot.
 func (ix *OrderKIndex) BatchPossibleKNN(qs []Point, opts *BatchOptions) ([][]int32, error) {
+	if err := ix.fresh(); err != nil {
+		return nil, err
+	}
 	cache := ix.batch.cacheFor(opts.cacheSize())
 	out := make([][]int32, len(qs))
 	err := runBatch(len(qs), opts.workers(), func(i int) error {

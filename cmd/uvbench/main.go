@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server")
+	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn")
 	scaleName := flag.String("scale", "small", "scale preset: small, medium, paper")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
@@ -57,6 +57,8 @@ func main() {
 		tables, err = exp.RunExtensions(sc, progress)
 	case "server":
 		tables, err = single(exp.RunServerThroughput, sc, progress)
+	case "churn":
+		tables, err = single(exp.RunChurn, sc, progress)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *expName)
 	}

@@ -10,6 +10,8 @@
 //	uvclient [-addr ...] area <id>
 //	uvclient [-addr ...] parts <x0> <y0> <x1> <y1>
 //	uvclient [-addr ...] insert <id> <x> <y> <r>
+//	uvclient [-addr ...] delete <id>
+//	uvclient [-addr ...] batchdel <id1> [<id2> ...]
 //	uvclient [-addr ...] batchpnn <x1> <y1> [<x2> <y2> ...]
 //	uvclient [-addr ...] batchknn <k> <x1> <y1> [<x2> <y2> ...]
 //	uvclient [-addr ...] batchthresh <tau> <x1> <y1> [<x2> <y2> ...]
@@ -54,8 +56,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("domain   %v\nobjects  %d\nnon-leaf %d\nleaves   %d\npages    %d\ndepth    %d\nentries  %d\n",
-			st.Domain, st.Objects, st.NonLeaf, st.Leaves, st.Pages, st.MaxDepth, st.Entries)
+		fmt.Printf("domain   %v\nobjects  %d\nnon-leaf %d\nleaves   %d\npages    %d\ndepth    %d\nentries  %d\nnext id  %d\n",
+			st.Domain, st.Objects, st.NonLeaf, st.Leaves, st.Pages, st.MaxDepth, st.Entries, st.NextID)
 
 	case "pnn":
 		x, y := f64(rest, 0), f64(rest, 1)
@@ -118,6 +120,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("inserted object %d\n", id)
+
+	case "delete":
+		id := i(rest, 0)
+		if err := cli.Delete(int32(id)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deleted object %d\n", id)
+
+	case "batchdel":
+		if len(rest) == 0 {
+			fatal(fmt.Errorf("batchdel needs at least one id"))
+		}
+		ids := make([]int32, len(rest))
+		for k := range rest {
+			ids[k] = int32(i(rest, k))
+		}
+		if err := cli.BatchDelete(ids); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deleted %d objects\n", len(ids))
 
 	case "batchpnn":
 		lists, err := cli.BatchPNN(points(rest))

@@ -9,12 +9,71 @@ import (
 // safe circle (see internal/core ContinuousPNN for the safe-radius
 // argument) — the continuous location-based-service setting of the
 // paper's introduction ([5]–[7]).
-type ContinuousPNN = core.ContinuousPNN
+//
+// Sessions survive dynamic maintenance: an Insert or Delete invalidates
+// the safe circle through the index's mutation generation, and a
+// Rebuild/Compact epoch swap transparently re-opens the session against
+// the fresh index, so a stale answer set is never served.
+type ContinuousPNN struct {
+	db    *DB
+	ep    *indexEpoch
+	sess  *core.ContinuousPNN
+	prior ContinuousStats // counters from sessions before epoch swaps
+}
 
 // ContinuousStats counts moves versus actual re-evaluations.
 type ContinuousStats = core.ContinuousStats
 
 // NewContinuousPNN opens a moving-query session at q over the UV-index.
 func (db *DB) NewContinuousPNN(q Point) (*ContinuousPNN, error) {
-	return db.index.NewContinuousPNN(q)
+	ep := db.ep()
+	sess, err := ep.index.NewContinuousPNN(q)
+	if err != nil {
+		return nil, err
+	}
+	return &ContinuousPNN{db: db, ep: ep, sess: sess}, nil
 }
+
+// Move advances the query point. It returns the current answer IDs
+// (sorted, shared slice) and whether a re-evaluation was needed.
+func (c *ContinuousPNN) Move(q Point) ([]int32, bool, error) {
+	if ep := c.db.ep(); ep.gen != c.ep.gen {
+		// The index was rebuilt (Compact/Rebuild): the old session's
+		// safe circle argues about a retired epoch. Re-open on the new
+		// one, carrying the work counters forward.
+		st := c.sess.Stats()
+		c.prior.Moves += st.Moves
+		c.prior.Recomputes += st.Recomputes
+		c.prior.IndexIOs += st.IndexIOs
+		sess, err := ep.index.NewContinuousPNN(q)
+		if err != nil {
+			return nil, true, err
+		}
+		c.ep, c.sess = ep, sess
+		c.prior.Moves++ // this Move, charged to the fresh session's caller
+		return sess.AnswerIDs(), true, nil
+	}
+	return c.sess.Move(q)
+}
+
+// AnswerIDs returns the answer set at the current position (sorted,
+// shared slice).
+func (c *ContinuousPNN) AnswerIDs() []int32 { return c.sess.AnswerIDs() }
+
+// SafeRegion returns the current safe circle: the answer set is
+// guaranteed constant strictly inside it (for the index state it was
+// computed at). A zero radius means every move re-evaluates.
+func (c *ContinuousPNN) SafeRegion() Circle { return c.sess.SafeRegion() }
+
+// Stats returns the session counters, accumulated across any epoch
+// swaps the session survived.
+func (c *ContinuousPNN) Stats() ContinuousStats {
+	st := c.sess.Stats()
+	st.Moves += c.prior.Moves
+	st.Recomputes += c.prior.Recomputes
+	st.IndexIOs += c.prior.IndexIOs
+	return st
+}
+
+// Position returns the current query point.
+func (c *ContinuousPNN) Position() Point { return c.sess.Position() }

@@ -59,6 +59,12 @@ type BuildOptions struct {
 	// every I-pruning survivor as a cr-object. Ablation knob: isolates
 	// the contribution of each pruning level (Figure 7(b)).
 	DisableCPrune bool
+	// CompactSlack, when positive, arms automatic compaction: once the
+	// live index's accumulated mutation slack (UVIndex.Slack) reaches
+	// this watermark, the DB rebuilds itself in the background and
+	// atomically swaps the fresh index in. 0 (the default) disables
+	// auto-compaction; explicit DB.Compact always works.
+	CompactSlack int
 }
 
 // DefaultBuildOptions mirrors Section VI-A.
@@ -164,8 +170,12 @@ func (d *deriveStats) add(o deriveStats) {
 }
 
 // builder carries the shared read-only state of a construction run.
+// objs is the store's DENSE slice (positions are ids); tombstoned slots
+// are skipped via alive, so a build over a store with deletions is
+// exactly a fresh build over the survivors.
 type builder struct {
 	objs   []uncertain.Object
+	alive  func(int32) bool
 	domain geom.Rect
 	tree   *rtree.Tree
 	opts   BuildOptions
@@ -181,7 +191,7 @@ func (b *builder) deriveOne(i int) ([]int32, deriveStats) {
 		tr := time.Now()
 		region := NewPossibleRegion(oi.Region.C, b.domain)
 		for j := range b.objs {
-			if j != i {
+			if j != i && b.alive(int32(j)) {
 				region.AddObject(oi, b.objs[j])
 			}
 		}
@@ -233,9 +243,14 @@ func (b *builder) deriveOne(i int) ([]int32, deriveStats) {
 // construction time).
 func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts BuildOptions) (*UVIndex, BuildStats, error) {
 	opts.normalize()
-	objs := store.All()
-	stats := BuildStats{Strategy: opts.Strategy, N: len(objs)}
-	for _, o := range objs {
+	// The dense slice keeps position == id; tombstoned slots are skipped
+	// everywhere, so this is a fresh build over the survivors.
+	objs := store.Dense()
+	stats := BuildStats{Strategy: opts.Strategy, N: store.Live()}
+	for i, o := range objs {
+		if !store.Alive(int32(i)) {
+			continue
+		}
 		if !domain.Contains(o.Region.C) {
 			return nil, stats, fmt.Errorf("core: object %d center %v outside domain %v", o.ID, o.Region.C, domain)
 		}
@@ -247,7 +262,7 @@ func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts Buil
 	// paper's "assumed available" index; workers may not share one tree
 	// pager concurrently, so each worker gets a private clone of the
 	// bulk-load when parallelism is requested.
-	b := &builder{objs: objs, domain: domain, tree: tree, opts: opts}
+	b := &builder{objs: objs, alive: store.Alive, domain: domain, tree: tree, opts: opts}
 
 	ix := NewUVIndex(store, domain, opts.Index)
 	crSets := make([][]int32, len(objs))
@@ -268,7 +283,7 @@ func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts Buil
 			wg.Add(1)
 			go func(wtree *rtree.Tree) {
 				defer wg.Done()
-				wb := &builder{objs: objs, domain: domain, tree: wtree, opts: opts}
+				wb := &builder{objs: objs, alive: store.Alive, domain: domain, tree: wtree, opts: opts}
 				var local deriveStats
 				for i := range next {
 					crSet, ds := wb.deriveOne(i)
@@ -281,7 +296,9 @@ func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts Buil
 			}(wtree)
 		}
 		for i := range objs {
-			next <- i
+			if store.Alive(int32(i)) {
+				next <- i
+			}
 		}
 		close(next)
 		wg.Wait()
@@ -290,6 +307,9 @@ func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts Buil
 	} else {
 		var total deriveStats
 		for i := range objs {
+			if !store.Alive(int32(i)) {
+				continue
+			}
 			crSet, ds := b.deriveOne(i)
 			crSets[i] = crSet
 			total.add(ds)
@@ -300,7 +320,9 @@ func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts Buil
 
 	ti := time.Now()
 	for i := range objs {
-		ix.Insert(objs[i].ID, crSets[i])
+		if store.Alive(int32(i)) {
+			ix.Insert(objs[i].ID, crSets[i])
+		}
 	}
 	ix.Finish()
 	stats.IndexDur = time.Since(ti)
@@ -309,10 +331,10 @@ func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts Buil
 	return ix, stats, nil
 }
 
-// BuildHelperRTree bulk-loads the R-tree over the uncertain objects that
-// both the pruning steps and the query-time baseline use.
+// BuildHelperRTree bulk-loads the R-tree over the LIVE uncertain
+// objects; both the pruning steps and the query-time baseline use it.
 func BuildHelperRTree(store *uncertain.Store, fanout int) *rtree.Tree {
-	objs := store.All()
+	objs := store.All() // live objects only
 	items := make([]rtree.Item, len(objs))
 	for i, o := range objs {
 		items[i] = rtree.Item{ID: o.ID, MBC: o.Region, Ptr: uint64(store.PageOf(o.ID))}

@@ -30,6 +30,7 @@ type ContinuousPNN struct {
 	q    geom.Point
 	ids  []int32
 	safe geom.Circle
+	gen  uint64 // index mutation generation the safe circle was computed at
 	st   ContinuousStats
 }
 
@@ -51,9 +52,14 @@ func (ix *UVIndex) NewContinuousPNN(q geom.Point) (*ContinuousPNN, error) {
 
 // Move advances the query point. It returns the current answer IDs
 // (sorted, shared slice) and whether a re-evaluation was needed.
+//
+// The safe circle is only valid against the index state it was computed
+// at: an insert can shrink, and a delete can grow, an answer set inside
+// the circle. Move therefore re-evaluates whenever the index's mutation
+// generation has advanced since the last recompute.
 func (c *ContinuousPNN) Move(q geom.Point) ([]int32, bool, error) {
 	c.st.Moves++
-	if c.safe.R > 0 && c.safe.C.Dist(q) < c.safe.R {
+	if c.safe.R > 0 && c.safe.C.Dist(q) < c.safe.R && c.gen == c.ix.gen.Load() {
 		c.q = q
 		return c.ids, false, nil
 	}
@@ -87,6 +93,10 @@ func (c *ContinuousPNN) recompute(q geom.Point) error {
 		return fmt.Errorf("core: query point %v outside domain %v", q, ix.domain)
 	}
 	c.st.Recomputes++
+	// Snapshot the generation before reading pages: a mutation landing
+	// mid-read bumps gen past the snapshot, forcing the next Move to
+	// re-evaluate rather than trust a torn answer set.
+	c.gen = ix.gen.Load()
 
 	n, region := ix.root, ix.domain
 	for !n.isLeaf() {

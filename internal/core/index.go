@@ -67,15 +67,26 @@ func (n *qnode) isLeaf() bool { return n.children == nil }
 // never materialized — overlap is decided from cr-object constraint
 // sets by the 4-point test (Algorithm 5).
 type UVIndex struct {
-	domain     geom.Rect
-	opts       IndexOptions
-	pg         *pager.Pager
-	store      *uncertain.Store
-	crOf       [][]int32 // per object: its cr-object ids (cell representation)
+	domain geom.Rect
+	opts   IndexOptions
+	pg     *pager.Pager
+	store  *uncertain.Store
+	crOf   [][]int32 // per object: its cr-object ids (cell representation)
+	// revCR is the inverse of crOf: for each object j, the ids of the
+	// objects whose cr-set contains j. On DeleteLive(j) exactly those
+	// objects can see their UV-cell grow, so they — and only they —
+	// must be re-derived and re-inserted to keep leaf lists supersets
+	// of the true overlaps.
+	revCR      [][]int32
 	root       *qnode
 	nonleaf    int
 	capPerPage int
 	finished   bool
+	// slack counts the leaf-list churn accumulated by live mutations
+	// since construction (InsertLive adds 1; DeleteLive adds 1 plus the
+	// number of re-derived neighbors). DBs use it as the compaction
+	// watermark.
+	slack atomic.Int64
 	// orderK is the order of the indexed cells: leaves list the objects
 	// whose ORDER-k UV-cell (the region where the object can be among
 	// the k nearest neighbors) overlaps the leaf region. The classic
@@ -105,6 +116,7 @@ func NewUVIndex(store *uncertain.Store, domain geom.Rect, opts IndexOptions) *UV
 		pg:         pager.New(opts.PageSize),
 		store:      store,
 		crOf:       make([][]int32, store.Len()),
+		revCR:      make([][]int32, store.Len()),
 		root:       &qnode{pagesAlloc: 1},
 		capPerPage: pager.TuplesPerPage(opts.PageSize),
 		orderK:     1,
@@ -125,6 +137,21 @@ func (ix *UVIndex) Pager() *pager.Pager { return ix.pg }
 // UV-cell in the index (its cr-objects, or exact r-objects under
 // ICR/Basic construction). The slice is shared.
 func (ix *UVIndex) CRObjects(id int32) []int32 { return ix.crOf[id] }
+
+// Dependents returns the ids of the objects whose cr-set contains id —
+// exactly the objects whose UV-cell can grow if id is deleted. The
+// slice is shared; callers must not modify it.
+func (ix *UVIndex) Dependents(id int32) []int32 { return ix.revCR[id] }
+
+// Slack returns the accumulated live-mutation churn since construction
+// (see DeleteLive); a freshly built index has slack 0. It is the signal
+// behind the CompactSlack auto-compaction watermark.
+func (ix *UVIndex) Slack() int64 { return ix.slack.Load() }
+
+// Gen returns the index's mutation generation (bumped by every
+// InsertLive/DeleteLive). Derived structures snapshot it to detect that
+// the population they were built over has changed.
+func (ix *UVIndex) Gen() uint64 { return ix.gen.Load() }
 
 // Answer is one PNN result: an object and its qualification probability.
 type Answer struct {
@@ -241,6 +268,13 @@ func (ix *UVIndex) pnn(q geom.Point, cache *LeafCache) ([]Answer, QueryStats, er
 			candIDs = append(candIDs, t.ID)
 		}
 	}
+	// Canonical candidate order. A fresh build lists leaf tuples in id
+	// order already, but incremental maintenance (DeleteLive re-inserts,
+	// splits) appends out of order, and the probability integration's
+	// floating-point products depend on operand order — sorting keeps
+	// answers BITWISE identical to a fresh build over the same
+	// population.
+	sort.Slice(candIDs, func(i, j int) bool { return candIDs[i] < candIDs[j] })
 	st.Candidates = len(candIDs)
 	st.TraverseDur = time.Since(t0)
 

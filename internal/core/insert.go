@@ -76,7 +76,29 @@ func (ix *UVIndex) Insert(id int32, crIDs []int32) {
 		panic("core: Insert after Finish")
 	}
 	ix.crOf[id] = crIDs
+	ix.addRev(id, crIDs)
 	ix.insertObj(id, ix.store.At(int(id)), crIDs, ix.root, ix.domain, 0)
+}
+
+// addRev records id in the reverse cr-map of every member of crIDs.
+func (ix *UVIndex) addRev(id int32, crIDs []int32) {
+	for _, j := range crIDs {
+		ix.revCR[j] = append(ix.revCR[j], id)
+	}
+}
+
+// dropRev removes id from the reverse cr-map of every member of crIDs.
+func (ix *UVIndex) dropRev(id int32, crIDs []int32) {
+	for _, j := range crIDs {
+		list := ix.revCR[j]
+		for k, v := range list {
+			if v == id {
+				list[k] = list[len(list)-1]
+				ix.revCR[j] = list[:len(list)-1]
+				break
+			}
+		}
+	}
 }
 
 func (ix *UVIndex) insertObj(id int32, oi uncertain.Object, crIDs []int32, g *qnode, region geom.Rect, depth int) {

@@ -228,20 +228,23 @@ func BuildOrderK(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, k i
 	if k < 1 {
 		return nil, BuildStats{}, fmt.Errorf("core: BuildOrderK needs k ≥ 1, got %d", k)
 	}
-	if store.Len() == 0 {
+	if store.Live() == 0 {
 		return nil, BuildStats{}, fmt.Errorf("core: BuildOrderK over empty store")
 	}
 	opts.normalize()
-	stats := BuildStats{Strategy: opts.Strategy, N: store.Len()}
+	stats := BuildStats{Strategy: opts.Strategy, N: store.Live()}
 	t0 := time.Now()
 
 	ix := NewUVIndex(store, domain, opts.Index)
 	ix.orderK = k
-	objs := store.All()
+	objs := store.Dense() // position == id; tombstoned slots skipped
 
 	tPrune := time.Duration(0)
 	tIndex := time.Duration(0)
-	for i := 0; i < store.Len(); i++ {
+	for i := 0; i < len(objs); i++ {
+		if !store.Alive(int32(i)) {
+			continue
+		}
 		p0 := time.Now()
 		ids, _ := DeriveOrderKCR(tree, objs[i], objs, domain, k, opts.RegionSamples)
 		tPrune += time.Since(p0)

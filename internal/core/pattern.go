@@ -54,6 +54,9 @@ func (ix *UVIndex) CellArea(id int32) (float64, error) {
 	if id < 0 || int(id) >= ix.store.Len() {
 		return 0, fmt.Errorf("core: unknown object %d", id)
 	}
+	if !ix.store.Alive(id) {
+		return 0, fmt.Errorf("core: object %d is deleted", id)
+	}
 	area := 0.0
 	var walk func(n *qnode, region geom.Rect)
 	walk = func(n *qnode, region geom.Rect) {

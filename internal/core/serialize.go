@@ -189,6 +189,13 @@ func LoadUVIndex(r io.Reader, store *uncertain.Store) (*UVIndex, error) {
 	for i := 0; i < n; i++ {
 		ix.crOf[i] = rd.ids(n)
 	}
+	if rd.err == nil {
+		// Rebuild the reverse cr-map (DeleteLive's dependency index); it
+		// is derived state, so the stream does not carry it.
+		for i := 0; i < n; i++ {
+			ix.addRev(int32(i), ix.crOf[i])
+		}
+	}
 	var nodes int
 	var walk func() *qnode
 	walk = func() *qnode {

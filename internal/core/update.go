@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"uvdiagram/internal/pager"
 )
@@ -16,9 +17,18 @@ import (
 // points, never adds them). Leaf lists are defined as supersets of the
 // cells overlapping the leaf, so existing lists remain valid supersets
 // after any insertion; the query-time dminmax filter removes the now-
-// impossible candidates exactly. The price is accumulated slack: after
-// many inserts the lists carry more false positives than a fresh build
-// would, so long-running deployments should rebuild periodically.
+// impossible candidates exactly.
+//
+// Deletion is the asymmetric case: removing an object GROWS every
+// neighboring UV-cell, so existing leaf lists can stop being supersets.
+// The damage is bounded, though: an object's cell can only change if
+// the victim's constraint participated in its representation, i.e. if
+// the victim is in its cr-set. DeleteLive therefore re-derives and
+// re-inserts exactly the objects in revCR[victim] (tracked since
+// construction) and answers stay exact. The price of both operations is
+// accumulated slack (extra false positives, never wrong answers),
+// counted in Slack; long-running deployments compact when it drifts up
+// (DB.Compact / BuildOptions.CompactSlack).
 
 // InsertLive adds object id (already appended to the store) to a
 // finished index, represented by its cr-object ids. Affected leaf pages
@@ -34,10 +44,118 @@ func (ix *UVIndex) InsertLive(id int32, crIDs []int32) error {
 		return fmt.Errorf("core: object %d not in the store", id)
 	}
 	ix.crOf = append(ix.crOf, crIDs)
+	ix.revCR = append(ix.revCR, nil)
+	ix.addRev(id, crIDs)
 	ix.insertObj(id, ix.store.At(int(id)), crIDs, ix.root, ix.domain, 0)
 	ix.flushDirty(ix.root)
+	ix.slack.Add(1)
 	ix.gen.Add(1) // invalidate leaf caches
 	return nil
+}
+
+// DeleteLive removes object victim from a finished index. rederive must
+// return a fresh cr-set for a surviving object, computed WITHOUT the
+// victim (the caller has already tombstoned it in the store and removed
+// it from the helper R-tree).
+//
+// Soundness: the victim's entries are dropped from every leaf; the
+// objects whose cr-set contains the victim (revCR) are the only ones
+// whose UV-cell can grow, so each is stripped from the leaves, given a
+// freshly derived cr-set and re-inserted — leaf lists are supersets of
+// the true overlaps again and answers remain exact. The returned slice
+// holds the re-derived ids (sorted), mainly for instrumentation.
+func (ix *UVIndex) DeleteLive(victim int32, rederive func(id int32) []int32) ([]int32, error) {
+	return ix.DeleteLiveBatch([]int32{victim}, rederive)
+}
+
+// DeleteLiveBatch is DeleteLive over many victims at once, sharing the
+// expensive whole-tree passes: the victims and the union of their
+// dependents are stripped in ONE leaf walk, dirty pages are flushed
+// once, and the mutation generation (which empties leaf caches) bumps
+// once. Every victim must already be tombstoned in the store and gone
+// from the helper R-tree, so the rederive callbacks see the final
+// post-batch population.
+func (ix *UVIndex) DeleteLiveBatch(victims []int32, rederive func(id int32) []int32) ([]int32, error) {
+	if !ix.finished {
+		return nil, fmt.Errorf("core: DeleteLive before Finish")
+	}
+	vic := make(map[int32]bool, len(victims))
+	for _, v := range victims {
+		if v < 0 || int(v) >= len(ix.crOf) {
+			return nil, fmt.Errorf("core: DeleteLive of unknown object %d", v)
+		}
+		vic[v] = true
+	}
+
+	// The dependents of the whole batch, deduplicated, minus the
+	// victims themselves; sorted for deterministic re-insertion order
+	// (leaf list order is insertion order).
+	affectedSet := make(map[int32]bool)
+	for _, v := range victims {
+		for _, a := range ix.revCR[v] {
+			if !vic[a] {
+				affectedSet[a] = true
+			}
+		}
+	}
+	affected := make([]int32, 0, len(affectedSet))
+	for a := range affectedSet {
+		affected = append(affected, a)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+
+	// One walk removes every victim and every affected object from the
+	// leaf lists; the affected ones come back below with fresh cr-sets,
+	// so no leaf ever holds a duplicate entry.
+	remove := make(map[int32]bool, len(vic)+len(affected))
+	for v := range vic {
+		remove[v] = true
+	}
+	for _, a := range affected {
+		remove[a] = true
+	}
+	ix.removeFromLeaves(ix.root, remove)
+
+	// Unlink the victims from both directions of the cr-maps.
+	for _, v := range victims {
+		ix.dropRev(v, ix.crOf[v])
+		ix.crOf[v] = nil
+		ix.revCR[v] = nil
+	}
+
+	for _, a := range affected {
+		ix.dropRev(a, ix.crOf[a])
+		crIDs := rederive(a)
+		ix.crOf[a] = crIDs
+		ix.addRev(a, crIDs)
+		ix.insertObj(a, ix.store.At(int(a)), crIDs, ix.root, ix.domain, 0)
+	}
+
+	ix.flushDirty(ix.root)
+	ix.slack.Add(int64(len(victims) + len(affected)))
+	ix.gen.Add(1) // invalidate leaf caches
+	return affected, nil
+}
+
+// removeFromLeaves filters every leaf list against the remove set,
+// marking changed leaves dirty for the next flush.
+func (ix *UVIndex) removeFromLeaves(n *qnode, remove map[int32]bool) {
+	if !n.isLeaf() {
+		for _, c := range n.children {
+			ix.removeFromLeaves(c, remove)
+		}
+		return
+	}
+	kept := n.ids[:0]
+	for _, id := range n.ids {
+		if !remove[id] {
+			kept = append(kept, id)
+		}
+	}
+	if len(kept) != len(n.ids) {
+		n.ids = kept
+		n.dirty = true
+	}
 }
 
 // flushDirty rewrites the page lists of leaves modified since the last

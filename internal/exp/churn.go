@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/server"
+)
+
+// RunChurn measures the dynamic-maintenance path end to end over
+// loopback TCP: a population under continuous insert/delete churn while
+// query traffic keeps flowing, at several write ratios, plus a
+// compaction row showing that a full index rebuild happens off-thread
+// (queries keep answering; the table reports the worst query latency
+// observed while the rebuild ran).
+func RunChurn(sc Scale, progress func(string)) (*Table, error) {
+	cfg := datagen.Config{N: sc.MidN, Side: sc.Side, Diameter: sc.Diameter, Seed: sc.Seed}
+	progress(fmt.Sprintf("churn: building UV-index over %d objects", cfg.N))
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(db, nil)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = srv.Serve(lis)
+	}()
+	defer func() {
+		srv.Close()
+		<-serveDone
+		srv.Wait()
+	}()
+
+	cli, err := server.Dial(lis.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+
+	t := &Table{
+		ID:      "churn",
+		Title:   fmt.Sprintf("Mixed insert/delete/query churn over loopback TCP (n=%d)", sc.MidN),
+		Columns: []string{"workload", "ops", "inserts", "deletes", "elapsed", "ops/s"},
+		Notes: []string{
+			"writes are per-connection pipeline barriers; queries are PNN round trips",
+			"delete re-derives only the objects whose cr-set contained the victim",
+			"compact row: queries during an off-thread DB.Compact (epoch swap); ops/s is query throughput while the rebuild ran",
+		},
+	}
+
+	rng := rand.New(rand.NewSource(sc.Seed + 7))
+	randPt := func() uvdiagram.Point {
+		return uvdiagram.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
+	}
+	// Live id pool for deletions; inserts extend it.
+	live := make([]int32, db.Len())
+	for i := range live {
+		live[i] = int32(i)
+	}
+	nextID := db.NextID()
+
+	ops := sc.Queries * 50
+	for _, mix := range []struct {
+		name   string
+		writes int // percent of ops that are writes (half inserts, half deletes)
+	}{
+		{"read-only", 0},
+		{"light churn (5% writes)", 5},
+		{"heavy churn (20% writes)", 20},
+	} {
+		var inserts, deletes int
+		elapsed, err := timeIt(func() error {
+			for i := 0; i < ops; i++ {
+				switch {
+				case mix.writes > 0 && i%100 < mix.writes && i%2 == 0:
+					q := randPt()
+					if err := cli.Insert(nextID, q.X, q.Y, sc.Diameter/2, nil); err != nil {
+						return err
+					}
+					live = append(live, nextID)
+					nextID++
+					inserts++
+				case mix.writes > 0 && i%100 < mix.writes:
+					if len(live) == 0 {
+						continue
+					}
+					k := rng.Intn(len(live))
+					id := live[k]
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+					if err := cli.Delete(id); err != nil {
+						return err
+					}
+					deletes++
+				default:
+					if _, err := cli.PNN(randPt()); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		progress(fmt.Sprintf("churn: %s — %d ops in %v", mix.name, ops, elapsed.Round(time.Millisecond)))
+		t.AddRow(mix.name, fmt.Sprintf("%d", ops),
+			fmt.Sprintf("%d", inserts), fmt.Sprintf("%d", deletes),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(ops)/elapsed.Seconds()))
+	}
+
+	// Compaction row: query continuously while a full rebuild runs
+	// off-thread; the epoch swap must never block a query.
+	compactDone := make(chan error, 1)
+	start := time.Now()
+	go func() { compactDone <- db.Compact(context.Background()) }()
+	var during int
+	var worst time.Duration
+	for {
+		q0 := time.Now()
+		if _, err := cli.PNN(randPt()); err != nil {
+			return nil, err
+		}
+		if lat := time.Since(q0); lat > worst {
+			worst = lat
+		}
+		during++
+		select {
+		case err := <-compactDone:
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			progress(fmt.Sprintf("churn: compact — %d queries answered during a %v rebuild (worst latency %v)",
+				during, elapsed.Round(time.Millisecond), worst.Round(time.Microsecond)))
+			t.AddRow("queries during Compact", fmt.Sprintf("%d", during), "0", "0",
+				elapsed.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", float64(during)/elapsed.Seconds()))
+			t.Notes = append(t.Notes, fmt.Sprintf("worst query latency while compacting: %v", worst.Round(time.Microsecond)))
+			return t, nil
+		default:
+		}
+	}
+}

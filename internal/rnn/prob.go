@@ -21,6 +21,12 @@ import (
 // angular nodes. Objects that can never come within distmax(Oi,q) of a
 // position of Oi contribute a factor of exactly 1 and are skipped.
 func Prob(objs []uncertain.Object, id int32, q geom.Point, radialSteps, angularSteps int) float64 {
+	return ProbAlive(objs, id, q, radialSteps, angularSteps, nil)
+}
+
+// ProbAlive is Prob restricted to a live sub-population: competitors
+// for which alive returns false are skipped (nil means all live).
+func ProbAlive(objs []uncertain.Object, id int32, q geom.Point, radialSteps, angularSteps int, alive func(int32) bool) float64 {
 	if radialSteps <= 0 {
 		radialSteps = 3
 	}
@@ -28,7 +34,7 @@ func Prob(objs []uncertain.Object, id int32, q geom.Point, radialSteps, angularS
 		angularSteps = 48
 	}
 	oi := objs[id]
-	relevant := relevantCompetitors(objs, oi, q)
+	relevant := relevantCompetitors(objs, oi, q, alive)
 
 	if oi.Region.R == 0 {
 		return survival(relevant, oi.Region.C, q)
@@ -80,11 +86,11 @@ func survival(competitors []uncertain.Object, x, q geom.Point) float64 {
 // relevantCompetitors returns the objects that can be closer to some
 // position of Oi than q is: dist(ci,cj) − ri − rj < distmax(Oi, q).
 // All others multiply the survival product by exactly 1.
-func relevantCompetitors(objs []uncertain.Object, oi uncertain.Object, q geom.Point) []uncertain.Object {
+func relevantCompetitors(objs []uncertain.Object, oi uncertain.Object, q geom.Point, alive func(int32) bool) []uncertain.Object {
 	dm := oi.DistMax(q)
 	var out []uncertain.Object
 	for j := range objs {
-		if objs[j].ID == oi.ID {
+		if objs[j].ID == oi.ID || (alive != nil && !alive(objs[j].ID)) {
 			continue
 		}
 		if oi.Region.C.Dist(objs[j].Region.C)-oi.Region.R-objs[j].Region.R < dm {

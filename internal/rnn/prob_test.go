@@ -88,7 +88,7 @@ func TestRelevantCompetitorsFiltersFar(t *testing.T) {
 		obj(1, 8, 0, 1),     // relevant: can be closer than q
 		obj(2, 10000, 0, 1), // irrelevant: far beyond distmax(O0, q)
 	}
-	rel := relevantCompetitors(objs, objs[0], geom.Pt(20, 0))
+	rel := relevantCompetitors(objs, objs[0], geom.Pt(20, 0), nil)
 	if len(rel) != 1 || rel[0].ID != 1 {
 		ids := make([]int32, len(rel))
 		for i, o := range rel {

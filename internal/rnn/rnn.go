@@ -74,7 +74,15 @@ type Options struct {
 	// SkipProbabilities answers the boolean query only, leaving every
 	// Answer.Prob zero.
 	SkipProbabilities bool
+	// Alive filters the population: objects for which it returns false
+	// are treated as nonexistent (tombstoned store slots). nil means
+	// every object is live. objs stays positionally indexed by ID, so
+	// dense slices with dead slots work unchanged.
+	Alive func(int32) bool
 }
+
+// alive reports whether id is live under the options' filter.
+func (o Options) alive(id int32) bool { return o.Alive == nil || o.Alive(id) }
 
 func (o Options) normalized() Options {
 	if o.SweepSamples <= 0 {
@@ -161,7 +169,7 @@ func Query(objs []uncertain.Object, tree *rtree.Tree, q geom.Point, opt Options)
 	for i, id := range ids {
 		out[i] = Answer{ID: id}
 		if !opt.SkipProbabilities {
-			out[i].Prob = Prob(objs, id, q, opt.RadialSteps, opt.AngularSteps)
+			out[i].Prob = ProbAlive(objs, id, q, opt.RadialSteps, opt.AngularSteps, opt.Alive)
 		}
 	}
 	return out, st
@@ -191,6 +199,9 @@ func queryIDs(objs []uncertain.Object, tree *rtree.Tree, q geom.Point, qr float6
 
 	cons := make([]qcon, 0, len(objs))
 	for i := range objs {
+		if !opt.alive(objs[i].ID) {
+			continue
+		}
 		if c := newQConR(q, qr, objs[i]); c.exists() {
 			cons = append(cons, c)
 		}
@@ -206,7 +217,7 @@ func queryIDs(objs []uncertain.Object, tree *rtree.Tree, q geom.Point, qr float6
 	st.Cutoff = d2
 
 	cands := collect(objs, tree, q, d2, func(o uncertain.Object) bool {
-		return o.DistMin(q) <= d2
+		return opt.alive(o.ID) && o.DistMin(q) <= d2
 	})
 	st.Candidates = len(cands)
 

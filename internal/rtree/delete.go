@@ -1,0 +1,75 @@
+package rtree
+
+import (
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+)
+
+// Delete removes the entry for object id whose MBC is mbc, returning
+// whether an entry was found. The search is guided by the item's MBR,
+// so deletion touches only the subtrees that could hold it.
+//
+// The implementation favors bound maintenance over rebalancing: leaf
+// entries are removed in place and ancestor MBRs are recomputed as the
+// union of their children, but underfull nodes are not condensed or
+// reinserted. A leaf emptied by deletion keeps its last MBR (a stale
+// superset), which can cost a few extra node visits but never a missed
+// item — the same "superset stays sound" contract the UV-index leaf
+// lists follow. Sustained delete-heavy workloads reclaim the slack by
+// rebuilding (DB.Compact bulk-loads a fresh tree).
+func (t *Tree) Delete(id int32, mbc geom.Circle) bool {
+	if t.size == 0 {
+		return false
+	}
+	target := Item{ID: id, MBC: mbc}
+	found := t.deleteAt(t.root, target)
+	if !found {
+		return false
+	}
+	t.size--
+	// Collapse a root with a single non-leaf child so the height stays
+	// meaningful after heavy deletion.
+	for !t.root.isLeaf() && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.height--
+	}
+	t.gen.Add(1) // invalidate leaf caches
+	return true
+}
+
+// deleteAt removes target from the subtree rooted at n, reporting
+// whether it was found. Ancestor rects are tightened on the way out.
+func (t *Tree) deleteAt(n *node, target Item) bool {
+	if n.isLeaf() {
+		if n.count == 0 || !n.rect.Overlaps(target.Rect()) {
+			return false
+		}
+		items := t.readLeaf(n)
+		for i, it := range items {
+			if it.ID == target.ID {
+				items = append(items[:i], items[i+1:]...)
+				if len(items) == 0 {
+					// Keep the stale rect: writeLeaf would reset it to
+					// the zero rect at the origin, wrongly extending
+					// ancestor unions toward (0,0).
+					t.pg.Write(n.page, pager.EncodeLeafTuples(nil))
+					n.count = 0
+				} else {
+					t.writeLeaf(n, items)
+				}
+				return true
+			}
+		}
+		return false
+	}
+	if !n.rect.Overlaps(target.Rect()) {
+		return false
+	}
+	for _, c := range n.children {
+		if t.deleteAt(c, target) {
+			n.rect = unionRects(n.children)
+			return true
+		}
+	}
+	return false
+}

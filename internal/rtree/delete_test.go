@@ -1,0 +1,160 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+)
+
+// TestDeleteFromBulkLoadedTree deletes half of a bulk-loaded population
+// and checks that every query type sees exactly the survivors.
+func TestDeleteFromBulkLoadedTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 500
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ID:  int32(i),
+			MBC: geom.Circle{C: geom.Pt(rng.Float64()*1000, rng.Float64()*1000), R: 1 + rng.Float64()*5},
+		}
+	}
+	tr := BulkLoad(items, 16, pager.New(pager.DefaultPageSize))
+
+	dead := make(map[int32]bool)
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(items[i].ID, items[i].MBC) {
+			t.Fatalf("Delete(%d) did not find the item", i)
+		}
+		dead[items[i].ID] = true
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	// Deleting again must report not-found.
+	if tr.Delete(items[0].ID, items[0].MBC) {
+		t.Fatal("second delete of the same item succeeded")
+	}
+
+	// Full-domain search returns exactly the survivors.
+	got := tr.SearchCollect(geom.Rect{Min: geom.Pt(-10, -10), Max: geom.Pt(1010, 1010)})
+	if len(got) != n/2 {
+		t.Fatalf("search found %d items, want %d", len(got), n/2)
+	}
+	for _, it := range got {
+		if dead[it.ID] {
+			t.Fatalf("search returned deleted item %d", it.ID)
+		}
+	}
+
+	// KNN never returns a deleted item and ranks by distmin.
+	for trial := 0; trial < 20; trial++ {
+		q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		nbs := tr.KNN(q, 5)
+		if len(nbs) != 5 {
+			t.Fatalf("KNN returned %d", len(nbs))
+		}
+		for _, nb := range nbs {
+			if dead[nb.Item.ID] {
+				t.Fatalf("KNN returned deleted item %d", nb.Item.ID)
+			}
+		}
+		if !sort.SliceIsSorted(nbs, func(a, b int) bool { return nbs[a].DistMin < nbs[b].DistMin }) {
+			t.Fatal("KNN results not sorted by distmin")
+		}
+	}
+
+	// PNN candidates: supersets of the true answers, survivors only.
+	for trial := 0; trial < 10; trial++ {
+		q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		cands, _ := tr.PNNCandidates(q)
+		if len(cands) == 0 {
+			t.Fatal("no PNN candidates over a live population")
+		}
+		for _, it := range cands {
+			if dead[it.ID] {
+				t.Fatalf("PNN candidates contain deleted item %d", it.ID)
+			}
+		}
+	}
+}
+
+// TestDeleteInsertInterleaved mixes Guttman inserts with deletes and
+// checks the tree never loses or resurrects an item.
+func TestDeleteInsertInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(8, pager.New(pager.DefaultPageSize))
+	live := make(map[int32]Item)
+
+	nextID := int32(0)
+	for step := 0; step < 2000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			it := Item{
+				ID:  nextID,
+				MBC: geom.Circle{C: geom.Pt(rng.Float64()*500, rng.Float64()*500), R: 1 + rng.Float64()*4},
+			}
+			nextID++
+			tr.Insert(it)
+			live[it.ID] = it
+		} else {
+			// Delete a random live item.
+			var victim Item
+			k := rng.Intn(len(live))
+			for _, it := range live {
+				if k == 0 {
+					victim = it
+					break
+				}
+				k--
+			}
+			if !tr.Delete(victim.ID, victim.MBC) {
+				t.Fatalf("step %d: Delete(%d) lost an item", step, victim.ID)
+			}
+			delete(live, victim.ID)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("step %d: Len=%d, live=%d", step, tr.Len(), len(live))
+		}
+	}
+
+	got := tr.SearchCollect(geom.Rect{Min: geom.Pt(-10, -10), Max: geom.Pt(510, 510)})
+	if len(got) != len(live) {
+		t.Fatalf("search found %d items, want %d", len(got), len(live))
+	}
+	for _, it := range got {
+		if _, ok := live[it.ID]; !ok {
+			t.Fatalf("resurrected item %d", it.ID)
+		}
+	}
+}
+
+// TestDeleteDownToEmpty drains the tree completely; queries on the
+// empty tree must be clean, and the tree must accept inserts again.
+func TestDeleteDownToEmpty(t *testing.T) {
+	tr := New(4, pager.New(pager.DefaultPageSize))
+	items := make([]Item, 30)
+	for i := range items {
+		items[i] = Item{ID: int32(i), MBC: geom.Circle{C: geom.Pt(float64(i*13%100), float64(i*29%100)), R: 2}}
+		tr.Insert(items[i])
+	}
+	for _, it := range items {
+		if !tr.Delete(it.ID, it.MBC) {
+			t.Fatalf("Delete(%d) failed", it.ID)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after draining", tr.Len())
+	}
+	if cands, _ := tr.PNNCandidates(geom.Pt(50, 50)); len(cands) != 0 {
+		t.Fatalf("empty tree produced candidates: %v", cands)
+	}
+	if nbs := tr.KNN(geom.Pt(50, 50), 3); len(nbs) != 0 {
+		t.Fatalf("empty tree produced neighbors: %v", nbs)
+	}
+	tr.Insert(items[0])
+	if got := tr.SearchCollect(items[0].Rect()); len(got) != 1 || got[0].ID != items[0].ID {
+		t.Fatalf("insert after drain broken: %v", got)
+	}
+}

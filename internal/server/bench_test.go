@@ -137,3 +137,64 @@ func BenchmarkBatchPNN(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkChurn is the dynamic-maintenance workload: a 90/5/5 mix of
+// PNN queries, inserts and deletes over one pipelined connection —
+// every write is a pipeline barrier, and every delete re-derives only
+// the victim's cr-dependents. The per-op number is the blended cost of
+// serving under churn.
+func BenchmarkChurn(b *testing.B) {
+	cli, qs := benchServer(b, benchObjects)
+	next := int32(benchObjects)
+	live := make([]int32, benchObjects)
+	for i := range live {
+		live[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch {
+		case i%20 == 7: // 5% inserts
+			q := qs[i%len(qs)]
+			if err := cli.Insert(next, q.X, q.Y, 12, nil); err != nil {
+				b.Fatal(err)
+			}
+			live = append(live, next)
+			next++
+		case i%20 == 13 && len(live) > benchObjects/2: // 5% deletes
+			id := live[i%len(live)]
+			live[i%len(live)] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := cli.Delete(id); err != nil {
+				b.Fatal(err)
+			}
+		default:
+			if _, err := cli.PNN(qs[i%len(qs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDelete measures the incremental delete alone: each op
+// removes one live object over the wire (the population is replenished
+// by inserts outside the timed sections).
+func BenchmarkDelete(b *testing.B) {
+	cli, qs := benchServer(b, benchObjects)
+	next := int32(benchObjects)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Keep the population stable: insert one (untimed), delete one
+		// (timed). The inserted object is the next victim, so every
+		// delete has a real neighborhood to repair.
+		b.StopTimer()
+		q := qs[i%len(qs)]
+		if err := cli.Insert(next, q.X, q.Y, 12, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := cli.Delete(next); err != nil {
+			b.Fatal(err)
+		}
+		next++
+	}
+}

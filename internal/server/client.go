@@ -181,15 +181,20 @@ func (c *Client) Ping() error {
 	return err
 }
 
-// Stats mirrors DB.Len, DB.Domain and DB.IndexStats.
+// Stats mirrors DB.Len, DB.Domain, DB.IndexStats and DB.NextID.
 type Stats struct {
-	Domain   uvdiagram.Rect
+	Domain uvdiagram.Rect
+	// Objects is the LIVE object count (deletions shrink it).
 	Objects  int
 	NonLeaf  int
 	Leaves   int
 	Pages    int
 	MaxDepth int
 	Entries  int64
+	// NextID is the ID the next Insert must carry. After deletions it
+	// exceeds Objects: the dense id space never shrinks or reuses ids.
+	// Zero when talking to a pre-delete server that does not send it.
+	NextID int32
 }
 
 // Stats fetches server-side database statistics.
@@ -209,6 +214,9 @@ func (c *Client) Stats() (Stats, error) {
 		Pages:    int(r.U32()),
 		MaxDepth: int(r.U32()),
 		Entries:  int64(r.U64()),
+	}
+	if r.Err() == nil && r.Remaining() >= 4 {
+		st.NextID = r.I32()
 	}
 	return st, r.Err()
 }
@@ -463,4 +471,43 @@ func (c *Client) Insert(id int32, x, y, radius float64, weights []float64) error
 	}
 	_, err := c.roundTrip(wire.OpInsert, b.Bytes())
 	return err
+}
+
+// Delete removes object id (the incremental-delete path). Like Insert,
+// the server treats it as a per-connection pipeline barrier, so
+// requests queued after it read post-delete state.
+func (c *Client) Delete(id int32) error {
+	call := c.GoDelete(id, nil)
+	<-call.Done
+	return call.Err
+}
+
+// GoDelete queues a delete without waiting (see Go). The completed
+// call's Err carries the in-band result.
+func (c *Client) GoDelete(id int32, done chan *Call) *Call {
+	var b wire.Buffer
+	b.I32(id)
+	return c.Go(wire.OpDelete, b.Bytes(), done)
+}
+
+// BatchDelete removes many objects in one frame pair. The batch is
+// all-or-nothing: the server validates every id before deleting any,
+// and a failure names the offending position in-band.
+func (c *Client) BatchDelete(ids []int32) error {
+	if len(ids) > wire.MaxBatchPoints {
+		return fmt.Errorf("client: batch of %d ids exceeds limit %d; split the batch", len(ids), wire.MaxBatchPoints)
+	}
+	var b wire.Buffer
+	b.U32(uint32(len(ids)))
+	for _, id := range ids {
+		b.I32(id)
+	}
+	r, err := c.roundTrip(wire.OpBatchDelete, b.Bytes())
+	if err != nil {
+		return err
+	}
+	if echoed := int(r.U32()); r.Err() == nil && echoed != len(ids) {
+		return fmt.Errorf("client: batch delete echoed %d ids, sent %d", echoed, len(ids))
+	}
+	return r.Err()
 }

@@ -73,12 +73,63 @@ func FuzzDispatchAnyOpcode(f *testing.F) {
 
 	srv := New(fuzzDB(), nil)
 	f.Fuzz(func(t *testing.T, op uint8, payload []byte) {
-		if op == wire.OpInsert {
-			// Insert mutates the shared DB; exercised by its own tests.
+		if op == wire.OpInsert || op == wire.OpDelete || op == wire.OpBatchDelete {
+			// Writes mutate the shared DB; FuzzDeletePayload owns the
+			// delete path with a DB it is allowed to chew up.
 			return
 		}
 		_, _ = srv.dispatch(op, payload)
 	})
+}
+
+// FuzzDeletePayload throws corrupted delete and batch-delete payloads
+// at the dispatch path. Whatever the bytes: no panic, and a response
+// that is either an in-band error or a successful deletion of live
+// objects. The shared DB shrinks as valid ids land — deletes of dead
+// ids must then fail in-band rather than corrupt anything, and queries
+// must keep working between executions.
+func FuzzDeletePayload(f *testing.F) {
+	var one wire.Buffer
+	one.I32(2)
+	f.Add(uint8(0), one.Bytes())
+
+	var batch wire.Buffer
+	batch.U32(2)
+	batch.I32(3)
+	batch.I32(4)
+	f.Add(uint8(1), batch.Bytes())
+
+	// Hostile count with nothing behind it; truncated id; trailing junk.
+	var hostile wire.Buffer
+	hostile.U32(1 << 30)
+	f.Add(uint8(1), hostile.Bytes())
+	f.Add(uint8(0), []byte{7})
+	f.Add(uint8(0), []byte{1, 0, 0, 0, 0xEE})
+	f.Add(uint8(1), []byte{})
+
+	cfg := datagen.Config{N: 20, Side: 2000, Diameter: 30, Seed: 11}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := New(db, nil)
+	ops := []byte{wire.OpDelete, wire.OpBatchDelete}
+	f.Fuzz(func(t *testing.T, opSel uint8, payload []byte) {
+		op := ops[int(opSel)%len(ops)]
+		_, _ = srv.dispatch(op, payload)
+		// The DB must stay internally consistent: a PNN at the domain
+		// center either answers or reports a clean error, never panics.
+		if _, err := srv.dispatch(wire.OpPNN, pnnPayload(1000, 1000)); err != nil {
+			t.Fatalf("PNN broken after delete fuzz input: %v", err)
+		}
+	})
+}
+
+func pnnPayload(x, y float64) []byte {
+	var b wire.Buffer
+	b.F64(x)
+	b.F64(y)
+	return b.Bytes()
 }
 
 // TestMalformedBatchPoisonsOnlyPayload: a batch frame whose payload is

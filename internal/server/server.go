@@ -5,7 +5,11 @@
 // index with exactly this kind of query endpoint).
 //
 // Concurrency model: queries take a read lock and run concurrently;
-// Insert takes the write lock (the incremental-update extension).
+// Insert and Delete take the write lock (incremental maintenance
+// rewrites live leaf pages in place). Index rebuilds are different:
+// DB.Compact and DB.Rebuild swap a freshly built index in with one
+// atomic epoch store, so they run WITHOUT the server lock and never
+// block queries.
 //
 // Connections are pipelined: each connection runs a decode loop and a
 // response-writer goroutine, with up to Config.Window requests in
@@ -197,12 +201,13 @@ func (sl *slot) finish(resp []byte, err error) {
 // channel is the in-flight window; when it is full the decode loop
 // blocks, which is the protocol's backpressure.
 //
-// Write requests (Insert) are per-connection execution barriers: the
-// decode loop waits for the connection's in-flight queries to finish,
-// runs the write inline, and only then decodes further frames — so a
-// pipelined stream keeps read-your-writes ordering on its own
-// connection. Queries pipelined across *different* connections order
-// only by the database's read/write lock.
+// Write requests (Insert, Delete, BatchDelete) are per-connection
+// execution barriers: the decode loop waits for the connection's
+// in-flight queries to finish, runs the write inline, and only then
+// decodes further frames — so a pipelined stream keeps
+// read-your-writes ordering on its own connection. Queries pipelined
+// across *different* connections order only by the database's
+// read/write lock.
 func (s *Server) serveConn(conn net.Conn) {
 	pending := make(chan *slot, s.cfg.Window)
 	var inflight sync.WaitGroup // this connection's executing queries
@@ -242,8 +247,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		sl := &slot{done: make(chan struct{})}
 		pending <- sl // in-flight window (blocks when full)
-		if op == wire.OpInsert {
-			inflight.Wait() // barrier: earlier queries observe pre-insert state
+		if op == wire.OpInsert || op == wire.OpDelete || op == wire.OpBatchDelete {
+			inflight.Wait() // barrier: earlier queries observe pre-write state
 			s.sem <- struct{}{}
 			resp, err := s.dispatch(op, payload)
 			<-s.sem
@@ -283,6 +288,11 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		b.U32(uint32(st.Pages))
 		b.U32(uint32(st.MaxDepth))
 		b.U64(uint64(st.Entries))
+		// Appended after the original fields: the ID the next Insert
+		// must carry. Objects above reports the LIVE count, which after
+		// deletions is smaller than the dense id space — clients must
+		// not derive insert ids from it.
+		b.I32(s.db.NextID())
 		return b.Bytes(), nil
 
 	case wire.OpPNN:
@@ -415,6 +425,50 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		err := s.db.Insert(obj)
 		s.mu.Unlock()
 		return nil, err
+
+	case wire.OpDelete:
+		id := r.I32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if rem := r.Remaining(); rem != 0 {
+			return nil, fmt.Errorf("server: delete payload has %d trailing bytes", rem)
+		}
+		s.mu.Lock()
+		err := s.db.Delete(id)
+		s.mu.Unlock()
+		return nil, err
+
+	case wire.OpBatchDelete:
+		n := int(r.U32())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if n > wire.MaxBatchPoints {
+			return nil, fmt.Errorf("server: batch delete of %d ids exceeds limit %d", n, wire.MaxBatchPoints)
+		}
+		if 4*n > r.Remaining() {
+			return nil, fmt.Errorf("server: batch delete count %d exceeds payload (%d bytes remaining)", n, r.Remaining())
+		}
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = r.I32()
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if rem := r.Remaining(); rem != 0 {
+			return nil, fmt.Errorf("server: batch delete payload has %d trailing bytes", rem)
+		}
+		s.mu.Lock()
+		err := s.db.BatchDelete(ids)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		var b wire.Buffer
+		b.U32(uint32(n))
+		return b.Bytes(), nil
 
 	default:
 		return nil, fmt.Errorf("server: unknown opcode 0x%02x", op)

@@ -13,10 +13,18 @@ import (
 // stored in the disk". Fetch goes through the pager and therefore counts
 // toward object-retrieval I/O; construction-time code uses the
 // in-memory accessors, which do not.
+//
+// Deletion is a tombstone: the dense id space 0..Len()-1 never shrinks
+// or renumbers (leaf tuples, cr-sets and R-tree entries address objects
+// by id), a deleted object merely stops being live. Dead slots stay
+// addressable through Dense/At so geometric code can keep positional
+// id lookups; live-only consumers iterate with All or check Alive.
 type Store struct {
 	pg     *pager.Pager
 	pageOf []pager.PageID
 	objs   []Object
+	dead   []bool // tombstones, indexed like objs
+	nDead  int
 }
 
 // ObjectPageBytes is the recommended page size for object stores: a
@@ -29,7 +37,7 @@ const ObjectPageBytes = 1024
 // store. Objects must have dense IDs 0..n-1 and their records must fit
 // one page.
 func NewStore(objs []Object, pg *pager.Pager) (*Store, error) {
-	s := &Store{pg: pg, pageOf: make([]pager.PageID, len(objs)), objs: objs}
+	s := &Store{pg: pg, pageOf: make([]pager.PageID, len(objs)), objs: objs, dead: make([]bool, len(objs))}
 	for i, o := range objs {
 		if int(o.ID) != i {
 			return nil, fmt.Errorf("uncertain: object at index %d has ID %d; stores need dense IDs", i, o.ID)
@@ -57,14 +65,58 @@ func encodeObject(o Object, pageSize int) ([]byte, error) {
 	return buf, nil
 }
 
-// Len returns the number of objects.
+// Len returns the size of the dense id space: every object ever stored,
+// dead or alive. The next Append must use ID Len(); deleted ids are
+// never reused. Use Live for the population count.
 func (s *Store) Len() int { return len(s.objs) }
 
-// All returns the in-memory objects (no I/O accounted). The slice is
-// shared; callers must not modify it.
-func (s *Store) All() []Object { return s.objs }
+// Live returns the number of live (non-deleted) objects.
+func (s *Store) Live() int { return len(s.objs) - s.nDead }
 
-// At returns object i from memory (no I/O accounted).
+// Alive reports whether id names a live object.
+func (s *Store) Alive(id int32) bool {
+	return id >= 0 && int(id) < len(s.objs) && !s.dead[id]
+}
+
+// Delete tombstones object id. The slot stays addressable through
+// Dense/At (index structures may still hold geometric references) but
+// the object no longer appears in All and can no longer be Fetched.
+func (s *Store) Delete(id int32) error {
+	if id < 0 || int(id) >= len(s.objs) {
+		return fmt.Errorf("uncertain: delete of unknown object %d", id)
+	}
+	if s.dead[id] {
+		return fmt.Errorf("uncertain: object %d already deleted", id)
+	}
+	s.dead[id] = true
+	s.nDead++
+	return nil
+}
+
+// All returns the live objects (no I/O accounted). With no deletions it
+// is the shared dense slice (callers must not modify it); once objects
+// have been deleted it is a fresh filtered copy, so positions no longer
+// equal ids — use Dense or At for positional access by id.
+func (s *Store) All() []Object {
+	if s.nDead == 0 {
+		return s.objs
+	}
+	out := make([]Object, 0, s.Live())
+	for i := range s.objs {
+		if !s.dead[i] {
+			out = append(out, s.objs[i])
+		}
+	}
+	return out
+}
+
+// Dense returns the raw dense slice, dead slots included, so that
+// objs[id] addresses object id. Callers must not modify it and must
+// check Alive before treating an entry as part of the population.
+func (s *Store) Dense() []Object { return s.objs }
+
+// At returns object i from memory (no I/O accounted), whether or not it
+// is live: index maintenance needs the geometry of tombstoned slots.
 func (s *Store) At(i int) Object { return s.objs[i] }
 
 // PageOf returns the disk page id holding object i's record; it is the
@@ -77,6 +129,9 @@ func (s *Store) PageOf(i int32) pager.PageID { return s.pageOf[i] }
 func (s *Store) Fetch(id int32) (Object, error) {
 	if id < 0 || int(id) >= len(s.pageOf) {
 		return Object{}, fmt.Errorf("uncertain: fetch of unknown object %d", id)
+	}
+	if s.dead[id] {
+		return Object{}, fmt.Errorf("uncertain: fetch of deleted object %d", id)
 	}
 	rec, err := pager.DecodeObjectRecord(s.pg.Read(s.pageOf[id]))
 	if err != nil {
@@ -109,5 +164,22 @@ func (s *Store) Append(o Object) error {
 	}
 	s.pageOf = append(s.pageOf, s.pg.Alloc(buf))
 	s.objs = append(s.objs, o)
+	s.dead = append(s.dead, false)
+	return nil
+}
+
+// RemoveLast pops the most recently appended object, undoing an Append
+// whose follow-up index insertion failed (the insert rollback path).
+func (s *Store) RemoveLast() error {
+	n := len(s.objs)
+	if n == 0 {
+		return fmt.Errorf("uncertain: RemoveLast on empty store")
+	}
+	if s.dead[n-1] {
+		s.nDead--
+	}
+	s.objs = s.objs[:n-1]
+	s.pageOf = s.pageOf[:n-1]
+	s.dead = s.dead[:n-1]
 	return nil
 }

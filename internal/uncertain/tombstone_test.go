@@ -1,0 +1,101 @@
+package uncertain
+
+import (
+	"testing"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+)
+
+func tombstoneStore(t *testing.T, n int) *Store {
+	t.Helper()
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = New(int32(i), geom.Circle{C: geom.Pt(float64(10*i), 5), R: 2}, nil)
+	}
+	s, err := NewStore(objs, pager.New(ObjectPageBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := tombstoneStore(t, 5)
+	if s.Len() != 5 || s.Live() != 5 {
+		t.Fatalf("fresh store: Len=%d Live=%d", s.Len(), s.Live())
+	}
+
+	if err := s.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Alive(2) {
+		t.Fatal("deleted object reported alive")
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len changed on delete: %d", s.Len())
+	}
+	if s.Live() != 4 {
+		t.Fatalf("Live = %d, want 4", s.Live())
+	}
+	if err := s.Delete(2); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if err := s.Delete(17); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+	if err := s.Delete(-1); err == nil {
+		t.Fatal("negative delete accepted")
+	}
+
+	// All skips the dead slot; Dense keeps it addressable.
+	all := s.All()
+	if len(all) != 4 {
+		t.Fatalf("All returned %d objects, want 4", len(all))
+	}
+	for _, o := range all {
+		if o.ID == 2 {
+			t.Fatal("All returned the deleted object")
+		}
+	}
+	if dense := s.Dense(); len(dense) != 5 || dense[2].ID != 2 {
+		t.Fatalf("Dense lost positional addressing: %v", dense)
+	}
+	if s.At(2).ID != 2 {
+		t.Fatal("At stopped addressing the tombstoned slot")
+	}
+
+	// Fetch of a dead object fails; live fetches still work.
+	if _, err := s.Fetch(2); err == nil {
+		t.Fatal("Fetch returned a deleted object")
+	}
+	if o, err := s.Fetch(3); err != nil || o.ID != 3 {
+		t.Fatalf("live fetch broken: %v %v", o, err)
+	}
+}
+
+func TestStoreAppendAfterDelete(t *testing.T) {
+	s := tombstoneStore(t, 3)
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	// The dense id space never shrinks: the next id is Len, not Live.
+	next := New(int32(s.Len()), geom.Circle{C: geom.Pt(99, 5), R: 2}, nil)
+	if err := s.Append(next); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 || s.Live() != 3 {
+		t.Fatalf("after append: Len=%d Live=%d", s.Len(), s.Live())
+	}
+	if !s.Alive(3) || s.Alive(1) {
+		t.Fatal("aliveness wrong after append")
+	}
+
+	// RemoveLast (insert rollback) pops the appended object.
+	if err := s.RemoveLast(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Live() != 2 {
+		t.Fatalf("after rollback: Len=%d Live=%d", s.Len(), s.Live())
+	}
+}

@@ -54,6 +54,24 @@ const (
 	OpBatchTopK      byte = 0x0B
 	OpBatchKNN       byte = 0x0C
 	OpBatchThreshold byte = 0x0D
+
+	// Delete opcodes (the dynamic-maintenance write path, alongside
+	// OpInsert). Like Insert, both are per-connection pipeline barriers:
+	// earlier queries on the connection observe pre-delete state, later
+	// frames observe post-delete state.
+	//
+	// Payloads (little endian):
+	//
+	//	OpDelete       i32 id                → empty
+	//	OpBatchDelete  u32 n, n × i32 id     → u32 n (echoed count)
+	//
+	// A batch delete is all-or-nothing: every id is validated (known,
+	// live, no duplicates) before the first deletion, and a failing
+	// batch reports the offending index in-band without deleting
+	// anything. The point cap of batch queries applies (MaxBatchPoints
+	// ids per frame).
+	OpDelete      byte = 0x0E
+	OpBatchDelete byte = 0x0F
 )
 
 // MaxBatchPoints bounds the query-point count of one batch frame: 2^15

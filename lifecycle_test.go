@@ -147,4 +147,133 @@ func TestFullLifecycle(t *testing.T) {
 			t.Fatalf("rebuild changed answers: %v vs %v", before, after)
 		}
 	}
+
+	// Delete the inserted object again: it must vanish from queries and
+	// the database must agree with its snapshot twin after the same
+	// delete.
+	if err := db.Delete(newObj.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Delete(newObj.ID); err != nil {
+		t.Fatal(err)
+	}
+	ans, _, err = db.PNN(uvdiagram.Pt(777, 888))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range ans {
+		if a.ID == newObj.ID {
+			t.Fatalf("deleted object still visible at its center: %v", ans)
+		}
+	}
+	a2, _, err := db2.PNN(uvdiagram.Pt(777, 888))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != len(a2) {
+		t.Fatalf("PNN diverges after delete: %v vs %v", ans, a2)
+	}
+
+	// A database with tombstones round-trips through Save/Load.
+	var snap2 bytes.Buffer
+	if err := db.Save(&snap2); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := uvdiagram.Load(bytes.NewReader(snap2.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db3.Len() != db.Len() || db3.Alive(newObj.ID) {
+		t.Fatalf("tombstones lost in round-trip: live %d vs %d, alive(%d)=%v",
+			db3.Len(), db.Len(), newObj.ID, db3.Alive(newObj.ID))
+	}
+	b3, _, err := db3.PNN(uvdiagram.Pt(777, 888))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b3) != len(ans) {
+		t.Fatalf("PNN diverges after reload with tombstones: %v vs %v", b3, ans)
+	}
+}
+
+// TestContinuousPNNSurvivesDeleteAndCompact: a moving-query session
+// must never serve a stale answer set across a delete (mutation
+// generation bump) or a Compact (epoch swap).
+func TestContinuousPNNSurvivesDeleteAndCompact(t *testing.T) {
+	cfg := datagen.Config{N: 40, Side: 2000, Diameter: 50, Seed: 2024}
+	objs := datagen.Uniform(cfg)
+	db, err := uvdiagram.Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open the session at some object's center so that object is in the
+	// answer set.
+	victim := int32(6)
+	q := objs[victim].Region.C
+	sess, err := db.NewContinuousPNN(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range sess.AnswerIDs() {
+		found = found || id == victim
+	}
+	if !found {
+		t.Fatalf("victim %d not in the session's answer set at its own center", victim)
+	}
+
+	// Delete the victim, then move WITHIN the old safe circle: the
+	// session must recompute (generation bump) and drop the victim.
+	if err := db.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	tiny := uvdiagram.Pt(q.X+1e-9, q.Y)
+	ids, recomputed, err := sess.Move(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatal("session trusted a safe circle computed before the delete")
+	}
+	for _, id := range ids {
+		if id == victim {
+			t.Fatalf("session still answers the deleted object: %v", ids)
+		}
+	}
+	want, _, err := db.PNN(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("session answers %v, PNN answers %v", ids, want)
+	}
+
+	// Compact swaps the epoch; the session must re-open transparently
+	// and stay consistent with direct queries.
+	if err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	ids, recomputed, err = sess.Move(uvdiagram.Pt(q.X+2e-9, q.Y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatal("session did not notice the epoch swap")
+	}
+	want, _, err = db.PNN(uvdiagram.Pt(q.X+2e-9, q.Y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("post-compact session answers %v, PNN answers %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i].ID {
+			t.Fatalf("post-compact session answers %v, PNN answers %v", ids, want)
+		}
+	}
+	if sess.Stats().Moves < 2 {
+		t.Fatalf("session counters lost across epoch swap: %+v", sess.Stats())
+	}
 }

@@ -19,21 +19,45 @@ type OrderKIndex struct {
 	k     int
 	built BuildStats
 	batch batchState // leaf cache reused across Batch* calls
+	// epochGen and primaryGen pin the database state the order-k grid
+	// was built over: a Compact/Rebuild (epoch swap) or an incremental
+	// Insert/Delete (primary-index mutation) makes this grid stale —
+	// its leaf lists could miss new objects or still list deleted ones
+	// — so queries refuse to answer rather than be silently wrong.
+	epochGen   uint64
+	primaryGen uint64
 }
 
 // NewOrderKIndex builds an order-k index over the database's objects
 // (k ≥ 1; k = 1 reproduces the standard UV-diagram organization). The
 // index is independent of the DB's primary UV-index and shares its
 // object store and helper R-tree.
+//
+// The index is a SNAPSHOT: after any Insert, Delete, Rebuild or
+// Compact on the database, its queries return an error and it must be
+// rebuilt with NewOrderKIndex (DB.PossibleKNN/BatchOrderK always track
+// the live population and need no rebuild).
 func (db *DB) NewOrderKIndex(k int) (*OrderKIndex, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("uvdiagram: order-k index needs k ≥ 1, got %d", k)
 	}
-	ix, stats, err := core.BuildOrderK(db.store, db.domain, db.tree, k, db.bopts)
+	ep := db.ep()
+	ix, stats, err := core.BuildOrderK(db.store, db.domain, ep.tree, k, db.bopts)
 	if err != nil {
 		return nil, err
 	}
-	return &OrderKIndex{db: db, inner: ix, k: k, built: stats}, nil
+	return &OrderKIndex{db: db, inner: ix, k: k, built: stats,
+		epochGen: ep.gen, primaryGen: ep.index.Gen()}, nil
+}
+
+// fresh errors when the database has mutated since the order-k grid
+// was built.
+func (ix *OrderKIndex) fresh() error {
+	ep := ix.db.ep()
+	if ep.gen != ix.epochGen || ep.index.Gen() != ix.primaryGen {
+		return fmt.Errorf("uvdiagram: order-%d index is stale (database mutated since it was built); rebuild it with NewOrderKIndex", ix.k)
+	}
+	return nil
 }
 
 // K returns the order of the index.
@@ -47,8 +71,12 @@ func (ix *OrderKIndex) IndexStats() core.IndexStats { return ix.inner.Stats() }
 
 // PossibleKNN returns the IDs of every object with non-zero probability
 // of being among the k nearest neighbors of q, sorted ascending,
-// answered exactly from the order-k grid.
+// answered exactly from the order-k grid. It errors if the database has
+// mutated since the grid was built (see NewOrderKIndex).
 func (ix *OrderKIndex) PossibleKNN(q Point) ([]int32, QueryStats, error) {
+	if err := ix.fresh(); err != nil {
+		return nil, QueryStats{}, err
+	}
 	return ix.inner.PossibleKNN(q)
 }
 
@@ -57,7 +85,9 @@ func (ix *OrderKIndex) PossibleKNN(q Point) ([]int32, QueryStats, error) {
 func (ix *OrderKIndex) Save(w io.Writer) error { return ix.inner.Save(w) }
 
 // LoadOrderKIndex re-opens an order-k index previously written with
-// Save, against the database whose objects it was built over.
+// Save, against the database whose objects it was built over. Like
+// NewOrderKIndex, the loaded grid snapshots the database's CURRENT
+// state and goes stale on the next mutation.
 func LoadOrderKIndex(r io.Reader, db *DB) (*OrderKIndex, error) {
 	inner, err := core.LoadUVIndex(r, db.store)
 	if err != nil {
@@ -66,7 +96,9 @@ func LoadOrderKIndex(r io.Reader, db *DB) (*OrderKIndex, error) {
 	if inner.OrderK() < 1 {
 		return nil, fmt.Errorf("uvdiagram: loaded index has invalid order %d", inner.OrderK())
 	}
-	return &OrderKIndex{db: db, inner: inner, k: inner.OrderK()}, nil
+	ep := db.ep()
+	return &OrderKIndex{db: db, inner: inner, k: inner.OrderK(),
+		epochGen: ep.gen, primaryGen: ep.index.Gen()}, nil
 }
 
 // KNNProbs returns possible-k-NN answers with Monte-Carlo rank
@@ -75,6 +107,9 @@ func LoadOrderKIndex(r io.Reader, db *DB) (*OrderKIndex, error) {
 // object set sum to exactly k; only answers (non-zero possibility) are
 // returned.
 func (ix *OrderKIndex) KNNProbs(q Point, trials int, seed int64) ([]Answer, QueryStats, error) {
+	if err := ix.fresh(); err != nil {
+		return nil, QueryStats{}, err
+	}
 	ids, st, err := ix.inner.PossibleKNN(q)
 	if err != nil {
 		return nil, st, err
@@ -82,11 +117,17 @@ func (ix *OrderKIndex) KNNProbs(q Point, trials int, seed int64) ([]Answer, Quer
 	if trials <= 0 {
 		trials = 10000
 	}
+	// All() is live-only, so the Monte-Carlo ranking never competes
+	// against tombstoned objects; map positional estimates back by ID.
 	objs := ix.db.store.All()
 	ps := prob.KNNProbsMC(objs, q, ix.k, trials, seed)
+	byID := make(map[int32]float64, len(objs))
+	for i := range objs {
+		byID[objs[i].ID] = ps[i]
+	}
 	answers := make([]Answer, 0, len(ids))
 	for _, id := range ids {
-		answers = append(answers, Answer{ID: id, Prob: ps[id]})
+		answers = append(answers, Answer{ID: id, Prob: byID[id]})
 	}
 	return answers, st, nil
 }

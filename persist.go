@@ -18,8 +18,11 @@ import (
 // versioned.
 
 const (
-	dbMagic   = 0x55564442 // "UVDB"
-	dbVersion = 1
+	dbMagic = 0x55564442 // "UVDB"
+	// dbVersion 2 added a per-object tombstone flag so a database with
+	// deletions round-trips; version-1 streams are still readable and
+	// imply every object is live.
+	dbVersion = 2
 )
 
 // Save serializes the database (objects + UV-index) to w.
@@ -47,11 +50,20 @@ func (db *DB) Save(w io.Writer) error {
 			return err
 		}
 	}
-	objs := db.store.All()
+	// The dense slice keeps deleted slots in place: ids are positions,
+	// and the index stream refers to objects by id.
+	objs := db.store.Dense()
 	if err := u32(uint32(len(objs))); err != nil {
 		return err
 	}
-	for _, o := range objs {
+	for i, o := range objs {
+		aliveFlag := byte(0)
+		if db.store.Alive(int32(i)) {
+			aliveFlag = 1
+		}
+		if err := bw.WriteByte(aliveFlag); err != nil {
+			return err
+		}
 		if err := f64(o.Region.C.X); err != nil {
 			return err
 		}
@@ -74,7 +86,7 @@ func (db *DB) Save(w io.Writer) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	if err := db.index.Save(w); err != nil {
+	if err := db.ep().index.Save(w); err != nil {
 		return err
 	}
 	return nil
@@ -105,8 +117,9 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 	if magic != dbMagic {
 		return nil, fmt.Errorf("uvdiagram: not a UV-diagram database stream")
 	}
-	if v, err := u32(); err != nil || v != dbVersion {
-		return nil, fmt.Errorf("uvdiagram: unsupported version (err=%v)", err)
+	version, err := u32()
+	if err != nil || (version != 1 && version != dbVersion) {
+		return nil, fmt.Errorf("uvdiagram: unsupported version %d (err=%v)", version, err)
 	}
 	var coords [4]float64
 	for i := range coords {
@@ -123,7 +136,17 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 		return nil, fmt.Errorf("uvdiagram: implausible object count %d", n)
 	}
 	objs := make([]Object, n)
+	deadIDs := make([]int32, 0)
 	for i := range objs {
+		if version >= 2 {
+			flag, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("uvdiagram: reading object %d tombstone: %w", i, err)
+			}
+			if flag == 0 {
+				deadIDs = append(deadIDs, int32(i))
+			}
+		}
 		var x, y, rad float64
 		if x, err = f64(); err == nil {
 			if y, err = f64(); err == nil {
@@ -154,12 +177,19 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, id := range deadIDs {
+		if err := store.Delete(id); err != nil {
+			return nil, err
+		}
+	}
 	bopts := opts.toBuildOptions()
-	tree := core.BuildHelperRTree(store, bopts.Fanout)
+	tree := core.BuildHelperRTree(store, bopts.Fanout) // live objects only
 	index, err := core.LoadUVIndex(br, store)
 	if err != nil {
 		return nil, err
 	}
-	built := BuildStats{Strategy: bopts.Strategy, N: int(n), Index: index.Stats()}
-	return &DB{store: store, domain: domain, tree: tree, index: index, built: built, bopts: bopts}, nil
+	built := BuildStats{Strategy: bopts.Strategy, N: store.Live(), Index: index.Stats()}
+	db := &DB{store: store, domain: domain, bopts: bopts}
+	db.epoch.Store(&indexEpoch{index: index, tree: tree, built: built})
+	return db, nil
 }

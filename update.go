@@ -1,6 +1,7 @@
 package uvdiagram
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,17 +10,35 @@ import (
 	"uvdiagram/internal/rtree"
 )
 
-// Insert adds a new uncertain object to a built database — the
-// incremental-update extension the paper leaves as future work. The
-// object's ID must be the next dense id (db.Len()).
+// Dynamic updates — the maintenance story the paper leaves as future
+// work. Insert and Delete mutate the current index epoch incrementally;
+// Rebuild and Compact construct a fresh epoch off-thread and swap it in
+// atomically, so concurrent queries are never blocked by (and never
+// observe a torn state from) a rebuild.
+//
+// Concurrency contract: Insert and Delete require external
+// synchronization against queries (the server holds its write lock
+// across them — incremental maintenance rewrites live leaf pages).
+// Rebuild and Compact do NOT: any goroutine may call them while queries
+// run. All mutations serialize against each other internally.
+
+// Insert adds a new uncertain object to a built database. The object's
+// ID must be the next dense ID (db.NextID(); deleted IDs are never
+// reused).
 //
 // Soundness: a new object only shrinks other objects' UV-cells, and
 // index leaf lists are supersets of the true overlaps, so existing
 // entries stay valid; the new object is inserted with a freshly derived
 // cr-object representation. Repeated inserts accumulate slack in the
-// leaf lists (extra false positives, never wrong answers); rebuild with
-// Build when query I/O drifts up.
+// leaf lists (extra false positives, never wrong answers); Compact — or
+// the Options.CompactSlack auto-compaction watermark — clears it.
+//
+// The store append, R-tree insert and index insert land together: if
+// the final index step fails, the first two are rolled back, so a
+// failed Insert leaves the database exactly as it was.
 func (db *DB) Insert(o Object) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if int(o.ID) != db.store.Len() {
 		return fmt.Errorf("uvdiagram: Insert with ID %d, want next dense id %d", o.ID, db.store.Len())
 	}
@@ -29,29 +48,156 @@ func (db *DB) Insert(o Object) error {
 	if err := db.store.Append(o); err != nil {
 		return err
 	}
-	db.tree.Insert(rtree.Item{ID: o.ID, MBC: o.Region, Ptr: uint64(db.store.PageOf(o.ID))})
-	res := core.DeriveCRObjects(db.tree, o, db.store.All(), db.domain,
+	ep := db.ep()
+	ep.tree.Insert(rtree.Item{ID: o.ID, MBC: o.Region, Ptr: uint64(db.store.PageOf(o.ID))})
+	res := core.DeriveCRObjects(ep.tree, o, db.store.Dense(), db.domain,
 		db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
-	return db.index.InsertLive(o.ID, res.CR)
+	if err := ep.index.InsertLive(o.ID, res.CR); err != nil {
+		// InsertLive validates before mutating, so store and tree can be
+		// rolled back to a consistent pre-call state.
+		ep.tree.Delete(o.ID, o.Region)
+		if rerr := db.store.RemoveLast(); rerr != nil {
+			return fmt.Errorf("uvdiagram: insert failed (%v) AND rollback failed: %w", err, rerr)
+		}
+		return fmt.Errorf("uvdiagram: insert rolled back: %w", err)
+	}
+	db.maybeCompact(ep)
+	return nil
 }
 
-// Rebuild reconstructs the UV-index from scratch over the current
-// objects, clearing the leaf-list slack accumulated by Inserts. The
-// rebuilt index uses the same options as the original build.
+// Delete removes object id from the database incrementally. The id is
+// tombstoned in the store (never reused), removed from the helper
+// R-tree, and excised from the UV-index: because removing an object can
+// only GROW the UV-cells of the objects whose cr-set contained it,
+// exactly those neighbors are re-derived and re-inserted, keeping every
+// leaf list a superset of the true overlaps — answers stay exact.
 //
-// Deletions are intentionally not supported incrementally: removing an
-// object GROWS every neighboring UV-cell, which would require
-// re-deriving and re-inserting every object whose cr-set contains the
-// victim; with the paper's densities that is a near-rebuild anyway, so
-// the honest operation is Rebuild over the surviving objects.
-func (db *DB) Rebuild() error {
-	index, stats, err := core.Build(db.store, db.domain, db.tree, db.bopts)
+// Like Insert, Delete requires external synchronization against
+// queries. Each delete adds slack proportional to the re-derived
+// neighborhood; Compact (or the CompactSlack watermark) clears it.
+func (db *DB) Delete(id int32) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	return db.deleteLocked(id)
+}
+
+// BatchDelete removes many objects in one critical section. It is
+// all-or-nothing: every id is validated (known, live, no duplicates)
+// before the first deletion, so a failing batch changes nothing. The
+// index repair is shared across the batch — one leaf walk strips every
+// victim and dependent, dirty pages flush once, and the leaf caches are
+// invalidated once, instead of per victim.
+func (db *DB) BatchDelete(ids []int32) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	seen := make(map[int32]bool, len(ids))
+	for i, id := range ids {
+		if !db.store.Alive(id) {
+			return fmt.Errorf("uvdiagram: delete %d: unknown or deleted object %d", i, id)
+		}
+		if seen[id] {
+			return fmt.Errorf("uvdiagram: delete %d: duplicate object %d in batch", i, id)
+		}
+		seen[id] = true
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	ep := db.ep()
+	// Tombstone every victim and drop its R-tree entry first, so the
+	// dependents' re-derivation sees the final post-batch population.
+	for _, id := range ids {
+		o := db.store.At(int(id))
+		if err := db.store.Delete(id); err != nil {
+			return err
+		}
+		ep.tree.Delete(id, o.Region)
+	}
+	_, err := ep.index.DeleteLiveBatch(ids, func(a int32) []int32 {
+		res := core.DeriveCRObjects(ep.tree, db.store.At(int(a)), db.store.Dense(), db.domain,
+			db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
+		return res.CR
+	})
 	if err != nil {
 		return err
 	}
-	db.index = index
-	db.built = stats
+	db.maybeCompact(ep)
 	return nil
+}
+
+// deleteLocked is Delete with db.wmu held.
+func (db *DB) deleteLocked(id int32) error {
+	if !db.store.Alive(id) {
+		return fmt.Errorf("uvdiagram: unknown or deleted object %d", id)
+	}
+	o := db.store.At(int(id))
+	if err := db.store.Delete(id); err != nil {
+		return err
+	}
+	ep := db.ep()
+	ep.tree.Delete(id, o.Region)
+	// Re-derivation runs against the post-delete population: the victim
+	// is tombstoned in the store and gone from the R-tree, so seeds and
+	// pruning never see it.
+	_, err := ep.index.DeleteLive(id, func(a int32) []int32 {
+		res := core.DeriveCRObjects(ep.tree, db.store.At(int(a)), db.store.Dense(), db.domain,
+			db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
+		return res.CR
+	})
+	if err != nil {
+		return err
+	}
+	db.maybeCompact(ep)
+	return nil
+}
+
+// Rebuild reconstructs the UV-index (and the helper R-tree) from
+// scratch over the live objects, clearing the slack accumulated by
+// Inserts and Deletes. The fresh index is published with one atomic
+// epoch swap, so concurrent queries keep answering throughout — they
+// see either the old or the new index, never a mixture.
+func (db *DB) Rebuild() error { return db.Compact(context.Background()) }
+
+// Compact is Rebuild with a context: the shadow build is skipped if ctx
+// is already cancelled when compaction starts (the build itself is one
+// uninterruptible pass). Queries are never blocked — they run against
+// the old epoch until the atomic swap. Concurrent Inserts and Deletes
+// serialize behind the compaction.
+func (db *DB) Compact(ctx context.Context) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	old := db.ep()
+	// Shadow build: nothing below mutates the live epoch or the store.
+	tree := core.BuildHelperRTree(db.store, db.bopts.Fanout)
+	index, stats, err := core.Build(db.store, db.domain, tree, db.bopts)
+	if err != nil {
+		return err
+	}
+	db.epoch.Store(&indexEpoch{index: index, tree: tree, built: stats, gen: old.gen + 1})
+	return nil
+}
+
+// maybeCompact kicks off a background compaction when the armed slack
+// watermark is reached. Singleflight: at most one auto-compaction runs
+// at a time, and explicit mutations arriving meanwhile simply serialize
+// behind it.
+func (db *DB) maybeCompact(ep *indexEpoch) {
+	if db.bopts.CompactSlack <= 0 || ep.index.Slack() < int64(db.bopts.CompactSlack) {
+		return
+	}
+	if !db.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer db.compacting.Store(false)
+		// The build inputs were validated when the objects entered the
+		// store, so failure here would indicate a programming error;
+		// errors surface on the next explicit Compact call.
+		_ = db.Compact(context.Background())
+	}()
 }
 
 // PossibleKNN returns the IDs of every object with non-zero probability
@@ -61,18 +207,18 @@ func (db *DB) Rebuild() error {
 // supersets for k = 1 cells, so the branch-and-prune path generalizes
 // while the UV-index stays specialized for PNN.
 func (db *DB) PossibleKNN(q Point, k int) ([]int32, error) {
-	return db.possibleKNN(q, k, nil)
+	return db.possibleKNN(db.ep(), q, k, nil)
 }
 
-// possibleKNN answers through an optional R-tree leaf cache. The
-// candidates' distance bounds come straight from the leaf entries'
-// bounding circles (identical to the objects' regions), so the objects
-// themselves are never materialized.
-func (db *DB) possibleKNN(q Point, k int, cache *rtree.LeafCache) ([]int32, error) {
+// possibleKNN answers through an optional R-tree leaf cache against one
+// pinned epoch. The candidates' distance bounds come straight from the
+// leaf entries' bounding circles (identical to the objects' regions),
+// so the objects themselves are never materialized.
+func (db *DB) possibleKNN(ep *indexEpoch, q Point, k int, cache *rtree.LeafCache) ([]int32, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("uvdiagram: PossibleKNN needs k ≥ 1, got %d", k)
 	}
-	items, _ := db.tree.KNNCandidatesCached(q, k, cache)
+	items, _ := ep.tree.KNNCandidatesCached(q, k, cache)
 	mins := make([]float64, len(items))
 	maxes := make([]float64, len(items))
 	for i, it := range items {

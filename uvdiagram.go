@@ -29,9 +29,11 @@
 // future-work directions: probabilistic reverse nearest-neighbor
 // queries (RNN, PossibleRNN, PossibleRNNUncertain), order-k UV-diagrams
 // and possible-k-NN (NewOrderKIndex, PossibleKNN), continuous queries
-// for moving clients (NewContinuousPNN), incremental inserts (Insert),
-// persistence (Save/Load), and a full three-dimensional UV-diagram
-// (Build3/DB3).
+// for moving clients (NewContinuousPNN), full dynamic updates
+// (incremental Insert and Delete with non-blocking background
+// compaction — Compact swaps a freshly built index in atomically, so
+// queries are never paused by maintenance), persistence (Save/Load),
+// and a full three-dimensional UV-diagram (Build3/DB3).
 //
 // For streamed workloads the batch engine answers many points per call
 // with a worker pool and shared leaf-page caches: BatchNN, BatchOrderK,
@@ -44,6 +46,8 @@ package uvdiagram
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"uvdiagram/internal/core"
 	"uvdiagram/internal/geom"
@@ -140,6 +144,11 @@ type Options struct {
 	// Workers parallelizes per-object derivation during Build; results
 	// are identical to a sequential build (0/1 = sequential).
 	Workers int
+	// CompactSlack, when positive, arms automatic background
+	// compaction: once the accumulated insert/delete slack reaches this
+	// watermark, the DB rebuilds the index off-thread and swaps it in
+	// atomically (see Compact). 0 disables auto-compaction.
+	CompactSlack int
 }
 
 func (o *Options) toBuildOptions() core.BuildOptions {
@@ -175,7 +184,31 @@ func (o *Options) toBuildOptions() core.BuildOptions {
 	if o.Workers > 0 {
 		b.Workers = o.Workers
 	}
+	if o.CompactSlack > 0 {
+		b.CompactSlack = o.CompactSlack
+	}
 	return b
+}
+
+// indexEpoch is one immutable-by-swap generation of the database's
+// index state: the UV-index, the helper R-tree it was derived with, and
+// the construction statistics. Queries load the current epoch with one
+// atomic pointer read and use it for their whole execution; Rebuild and
+// Compact construct a fresh epoch off to the side and publish it with
+// one atomic store, so a query never observes a torn (half-swapped)
+// index and is never blocked by a rebuild (RCU-style).
+//
+// Incremental Insert/Delete mutate the CURRENT epoch in place (bumping
+// gen via the index's own mutation counter); they still require the
+// caller's external synchronization against queries, exactly as before.
+type indexEpoch struct {
+	index *core.UVIndex
+	tree  *rtree.Tree
+	built BuildStats
+	// gen numbers the epoch: it increases by one at every Rebuild or
+	// Compact swap, letting long-lived sessions (ContinuousPNN) detect
+	// that the index they captured has been replaced.
+	gen uint64
 }
 
 // DB is a built UV-diagram database: the UV-index, the object store and
@@ -183,12 +216,17 @@ func (o *Options) toBuildOptions() core.BuildOptions {
 type DB struct {
 	store  *uncertain.Store
 	domain Rect
-	tree   *rtree.Tree
-	index  *core.UVIndex
-	built  BuildStats
 	bopts  core.BuildOptions
-	batch  batchState // leaf cache reused across Batch* calls
+	epoch  atomic.Pointer[indexEpoch]
+	// wmu serializes every mutation: Insert, Delete, Rebuild, Compact.
+	// Queries never take it — they read the epoch pointer.
+	wmu        sync.Mutex
+	compacting atomic.Bool // auto-compaction singleflight
+	batch      batchState  // leaf caches reused across Batch* calls
 }
+
+// ep returns the current index epoch.
+func (db *DB) ep() *indexEpoch { return db.epoch.Load() }
 
 // Build indexes the objects (dense IDs 0..n-1 required) over the given
 // domain. opts may be nil for the paper's defaults.
@@ -206,56 +244,69 @@ func Build(objects []Object, domain Rect, opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{store: store, domain: domain, tree: tree, index: index, built: stats, bopts: bopts}, nil
+	db := &DB{store: store, domain: domain, bopts: bopts}
+	db.epoch.Store(&indexEpoch{index: index, tree: tree, built: stats})
+	return db, nil
 }
 
-// Len returns the number of indexed objects.
-func (db *DB) Len() int { return db.store.Len() }
+// Len returns the number of live (indexed, non-deleted) objects.
+func (db *DB) Len() int { return db.store.Live() }
+
+// NextID returns the ID the next Insert must carry. IDs are dense and
+// never reused, so after deletions NextID exceeds Len.
+func (db *DB) NextID() int32 { return int32(db.store.Len()) }
+
+// Alive reports whether id names a live object.
+func (db *DB) Alive(id int32) bool { return db.store.Alive(id) }
 
 // Domain returns the indexed domain.
 func (db *DB) Domain() Rect { return db.domain }
 
-// Object returns object id (from memory; no I/O accounted).
+// Object returns object id (from memory; no I/O accounted). Deleted
+// ids return an error.
 func (db *DB) Object(id int32) (Object, error) {
-	if id < 0 || int(id) >= db.store.Len() {
-		return Object{}, fmt.Errorf("uvdiagram: unknown object %d", id)
+	if !db.store.Alive(id) {
+		return Object{}, fmt.Errorf("uvdiagram: unknown or deleted object %d", id)
 	}
 	return db.store.At(int(id)), nil
 }
 
-// BuildStats returns the construction statistics.
-func (db *DB) BuildStats() BuildStats { return db.built }
+// BuildStats returns the construction statistics of the current index
+// epoch.
+func (db *DB) BuildStats() BuildStats { return db.ep().built }
 
 // IndexStats returns the UV-index shape statistics.
-func (db *DB) IndexStats() core.IndexStats { return db.index.Stats() }
+func (db *DB) IndexStats() core.IndexStats { return db.ep().index.Stats() }
 
 // PNN answers a probabilistic nearest-neighbor query through the
 // UV-index (Section V-A).
 func (db *DB) PNN(q Point) ([]Answer, QueryStats, error) {
-	return db.index.PNN(q)
+	return db.ep().index.PNN(q)
 }
 
 // Partitions retrieves all UV-partitions (leaf regions) intersecting r
 // with their nearest-neighbor densities (Section V-C).
 func (db *DB) Partitions(r Rect) []Partition {
-	parts, _ := db.index.Partitions(r)
+	parts, _ := db.ep().index.Partitions(r)
 	return parts
 }
 
 // CellArea approximates the area of object id's UV-cell from the index
 // (Section V-C, UV-cell retrieval).
-func (db *DB) CellArea(id int32) (float64, error) { return db.index.CellArea(id) }
+func (db *DB) CellArea(id int32) (float64, error) { return db.ep().index.CellArea(id) }
 
 // CellRegions returns the leaf regions overlapping object id's UV-cell,
 // its displayable approximate extent.
-func (db *DB) CellRegions(id int32) []Rect { return db.index.CellRegions(id) }
+func (db *DB) CellRegions(id int32) []Rect { return db.ep().index.CellRegions(id) }
 
 // Index exposes the underlying UV-index for advanced use (experiment
-// harness, visualization).
-func (db *DB) Index() *core.UVIndex { return db.index }
+// harness, visualization). The pointer is the CURRENT epoch's index; a
+// Rebuild or Compact replaces it, so hold the result only briefly.
+func (db *DB) Index() *core.UVIndex { return db.ep().index }
 
 // RTree exposes the helper R-tree (the query baseline of Figure 6).
-func (db *DB) RTree() *rtree.Tree { return db.tree }
+// Like Index, it is the current epoch's tree.
+func (db *DB) RTree() *rtree.Tree { return db.ep().tree }
 
 // Store exposes the underlying object store.
 func (db *DB) Store() *uncertain.Store { return db.store }
