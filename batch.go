@@ -39,42 +39,66 @@ func (o *BatchOptions) cacheSize() int {
 }
 
 // batchState lazily holds the leaf caches a DB (or order-k index)
-// reuses across batch calls: one over UV-index grid leaves, one over
-// helper R-tree leaves.
+// reuses across batch calls: per shard, one over UV-index grid leaves
+// and one over helper R-tree leaves. Caches are per-shard because each
+// cache is generation-invalidated against ONE index's mutation counter;
+// with a shared cache, shards mutating at different rates would flush
+// each other's entries.
 type batchState struct {
-	mu    sync.Mutex
-	cache *core.LeafCache
-	rt    *rtree.LeafCache
-	cap   int
+	mu     sync.Mutex
+	caches []*core.LeafCache
+	rts    []*rtree.LeafCache
+	cap    int
 }
 
-// cachesFor returns the persistent leaf caches for the requested size
-// in one critical section, (re)building both when the size changes.
-// Size ≤ 0 returns nil caches (no caching).
-func (s *batchState) cachesFor(size int) (*core.LeafCache, *rtree.LeafCache) {
+// cachesFor returns the persistent per-shard leaf caches for the
+// requested size in one critical section, (re)building them when the
+// size (or shard count) changes. Size ≤ 0 returns nil slices (no
+// caching); a nil slice indexes as a nil cache through cacheAt/rtAt.
+func (s *batchState) cachesFor(size, shards int) ([]*core.LeafCache, []*rtree.LeafCache) {
 	if size <= 0 {
 		return nil, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cache == nil || s.cap != size {
-		s.cache = core.NewLeafCache(size)
-		s.rt = rtree.NewLeafCache(size)
+	if len(s.caches) != shards || s.cap != size {
+		s.caches = make([]*core.LeafCache, shards)
+		s.rts = make([]*rtree.LeafCache, shards)
+		for i := 0; i < shards; i++ {
+			s.caches[i] = core.NewLeafCache(size)
+			s.rts[i] = rtree.NewLeafCache(size)
+		}
 		s.cap = size
 	}
-	return s.cache, s.rt
+	return s.caches, s.rts
 }
 
-// cacheFor returns just the grid leaf cache.
-func (s *batchState) cacheFor(size int) *core.LeafCache {
-	c, _ := s.cachesFor(size)
+// cachesGridFor returns just the per-shard grid leaf caches.
+func (s *batchState) cachesGridFor(size, shards int) []*core.LeafCache {
+	c, _ := s.cachesFor(size, shards)
 	return c
 }
 
-// rtreeCacheFor returns just the helper R-tree's leaf cache.
-func (s *batchState) rtreeCacheFor(size int) *rtree.LeafCache {
-	_, rt := s.cachesFor(size)
+// cachesRTreeFor returns just the per-shard helper R-tree leaf caches.
+func (s *batchState) cachesRTreeFor(size, shards int) []*rtree.LeafCache {
+	_, rt := s.cachesFor(size, shards)
 	return rt
+}
+
+// cacheAt indexes a possibly-nil cache slice.
+func cacheAt(caches []*core.LeafCache, i int) *core.LeafCache {
+	if caches == nil {
+		return nil
+	}
+	return caches[i]
+}
+
+// rtAt indexes a possibly-nil R-tree cache slice.
+func rtAt(rts []*rtree.LeafCache, i int) *rtree.LeafCache {
+	if rts == nil {
+		return nil
+	}
+	return rts[i]
 }
 
 // runBatch executes fn(i) for i in [0, n) on a bounded worker pool.
@@ -127,20 +151,46 @@ func runBatch(n, workers int, fn func(i int) error) error {
 	return nil
 }
 
+// batchRoute pins every shard's epoch once for a whole batch and
+// resolves per-point routing: each point scatters to its owning shard's
+// index and per-shard leaf cache, and the positional result slots
+// gather the answers back in request order.
+type batchRoute struct {
+	db  *DB
+	eps []*indexEpoch
+}
+
+func (db *DB) route() batchRoute { return batchRoute{db: db, eps: db.epochs()} }
+
+// at returns the shard index owning q, erroring for points outside a
+// multi-shard domain (the same checkDomain guard the single-point
+// queries route through).
+func (r batchRoute) at(q Point) (int, error) {
+	if err := r.db.checkDomain(q); err != nil {
+		return 0, err
+	}
+	return r.db.shardIdx(q), nil
+}
+
 // BatchNN answers N probabilistic nearest-neighbor queries with a
-// worker pool, one grid lookup per point. Results are identical to N
-// sequential PNN calls in query order; on any failure the error of the
-// lowest failing query is returned and the results are discarded.
+// worker pool, one grid lookup per point, scatter-gathered by shard.
+// Results are identical to N sequential PNN calls in query order; on
+// any failure the error of the lowest failing query is returned and the
+// results are discarded.
 //
 // Like the single-point queries, batches may run concurrently with each
 // other but require external synchronization against Insert (the server
 // holds its read lock across a whole batch).
 func (db *DB) BatchNN(qs []Point, opts *BatchOptions) ([][]Answer, error) {
-	ep := db.ep() // one epoch for the whole batch
-	cache := db.batch.cacheFor(opts.cacheSize())
+	rt := db.route() // one epoch per shard for the whole batch
+	caches := db.batch.cachesGridFor(opts.cacheSize(), len(rt.eps))
 	out := make([][]Answer, len(qs))
 	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		answers, _, err := ep.index.PNNCached(qs[i], cache)
+		si, err := rt.at(qs[i])
+		if err != nil {
+			return err
+		}
+		answers, _, err := rt.eps[si].index.PNNCached(qs[i], cacheAt(caches, si))
 		out[i] = answers
 		return err
 	})
@@ -153,11 +203,15 @@ func (db *DB) BatchNN(qs []Point, opts *BatchOptions) ([][]Answer, error) {
 // BatchTopKPNN answers N top-k probable nearest-neighbor queries (the
 // batch form of TopKPNN), k shared by the whole batch.
 func (db *DB) BatchTopKPNN(qs []Point, k int, opts *BatchOptions) ([][]Answer, error) {
-	ep := db.ep()
-	cache := db.batch.cacheFor(opts.cacheSize())
+	rt := db.route()
+	caches := db.batch.cachesGridFor(opts.cacheSize(), len(rt.eps))
 	out := make([][]Answer, len(qs))
 	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		answers, _, err := ep.index.PNNCached(qs[i], cache)
+		si, err := rt.at(qs[i])
+		if err != nil {
+			return err
+		}
+		answers, _, err := rt.eps[si].index.PNNCached(qs[i], cacheAt(caches, si))
 		if err != nil {
 			return err
 		}
@@ -175,11 +229,15 @@ func (db *DB) BatchTopKPNN(qs []Point, k int, opts *BatchOptions) ([][]Answer, e
 // is at least tau (the threshold variant of [14]'s PNN formulation).
 // tau ≤ 0 degenerates to BatchNN.
 func (db *DB) BatchThresholdNN(qs []Point, tau float64, opts *BatchOptions) ([][]Answer, error) {
-	ep := db.ep()
-	cache := db.batch.cacheFor(opts.cacheSize())
+	rt := db.route()
+	caches := db.batch.cachesGridFor(opts.cacheSize(), len(rt.eps))
 	out := make([][]Answer, len(qs))
 	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		answers, _, err := ep.index.PNNCached(qs[i], cache)
+		si, err := rt.at(qs[i])
+		if err != nil {
+			return err
+		}
+		answers, _, err := rt.eps[si].index.PNNCached(qs[i], cacheAt(caches, si))
 		if err != nil {
 			return err
 		}
@@ -202,11 +260,12 @@ func (db *DB) BatchThresholdNN(qs []Point, tau float64, opts *BatchOptions) ([][
 // variant), k shared by the whole batch. Results are identical to N
 // sequential PossibleKNN calls.
 func (db *DB) BatchOrderK(qs []Point, k int, opts *BatchOptions) ([][]int32, error) {
-	ep := db.ep()
-	cache := db.batch.rtreeCacheFor(opts.cacheSize())
+	rt := db.route()
+	rts := db.batch.cachesRTreeFor(opts.cacheSize(), len(rt.eps))
 	out := make([][]int32, len(qs))
 	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		ids, err := db.possibleKNN(ep, qs[i], k, cache)
+		si := db.shardIdx(qs[i]) // k-NN accepts out-of-domain points
+		ids, err := db.possibleKNN(rt.eps[si], qs[i], k, rtAt(rts, si))
 		out[i] = ids
 		return err
 	})
@@ -224,7 +283,7 @@ func (ix *OrderKIndex) BatchPossibleKNN(qs []Point, opts *BatchOptions) ([][]int
 	if err := ix.fresh(); err != nil {
 		return nil, err
 	}
-	cache := ix.batch.cacheFor(opts.cacheSize())
+	cache := cacheAt(ix.batch.cachesGridFor(opts.cacheSize(), 1), 0)
 	out := make([][]int32, len(qs))
 	err := runBatch(len(qs), opts.workers(), func(i int) error {
 		ids, _, err := ix.inner.PossibleKNNCached(qs[i], cache)

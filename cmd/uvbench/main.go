@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server]
-//	        [-scale small|medium|paper] [-quiet]
+//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards]
+//	        [-scale small|medium|paper] [-shards 1] [-quiet]
+//
+// -shards builds the churn experiment's database with that many spatial
+// shards; -exp shards sweeps S ∈ {1, 2, 4, 8} and reports build and
+// per-shard compaction wall clock plus worst query latency during
+// compaction.
 //
 // Tables go to stdout; progress lines go to stderr. The "paper" scale
 // matches Section VI-A (10k–80k objects, 50 queries) and takes tens of
@@ -20,8 +25,9 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn")
+	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards")
 	scaleName := flag.String("scale", "small", "scale preset: small, medium, paper")
+	shards := flag.Int("shards", 1, "spatial shard count for -exp churn (1 = unsharded)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
@@ -29,6 +35,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sc.Shards = *shards
 	progress := func(msg string) {
 		if !*quiet {
 			fmt.Fprintln(os.Stderr, "... "+msg)
@@ -59,6 +66,8 @@ func main() {
 		tables, err = single(exp.RunServerThroughput, sc, progress)
 	case "churn":
 		tables, err = single(exp.RunChurn, sc, progress)
+	case "shards":
+		tables, err = single(exp.RunShards, sc, progress)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *expName)
 	}

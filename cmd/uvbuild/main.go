@@ -7,7 +7,11 @@
 //
 //	uvbuild [-n 30000] [-dataset uniform|skewed|utility|roads|rrlines]
 //	        [-strategy ic|icr|basic] [-diameter 40] [-sigma 2500]
-//	        [-theta 1.0] [-seed 1]
+//	        [-theta 1.0] [-seed 1] [-shards 1] [-workers 1]
+//
+// With -shards S > 1 the domain is split into S spatial shards whose
+// sub-grid indexes are built in parallel from one derivation pass; the
+// report then adds a per-shard shape table.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"uvdiagram"
 	"uvdiagram/internal/core"
 	"uvdiagram/internal/datagen"
 	"uvdiagram/internal/geom"
@@ -32,6 +37,8 @@ func main() {
 	theta := flag.Float64("theta", 1.0, "split threshold Tθ")
 	seedK := flag.Int("seedk", core.DefaultSeedK, "k of the seed k-NN query")
 	seed := flag.Int64("seed", 1, "random seed")
+	shards := flag.Int("shards", 1, "spatial shard count (1 = unsharded)")
+	workers := flag.Int("workers", 0, "derivation worker pool size (0/1 = sequential)")
 	flag.Parse()
 
 	cfg := datagen.Config{N: *n, Diameter: *diameter, Seed: *seed}
@@ -68,13 +75,36 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
-	store, err := uncertain.NewStore(objs, pager.New(uncertain.ObjectPageBytes))
-	if err != nil {
-		fatal(err)
-	}
-	ix, stats, err := core.Build(store, geom.Square(datagen.DefaultSide), nil, opts)
-	if err != nil {
-		fatal(err)
+	opts.Workers = *workers
+
+	domain := geom.Square(datagen.DefaultSide)
+	var stats core.BuildStats
+	var ist core.IndexStats
+	var shardStats []uvdiagram.ShardStat
+	if *shards > 1 {
+		db, err := uvdiagram.Build(objs, domain, &uvdiagram.Options{
+			Strategy:   opts.Strategy,
+			SplitTheta: *theta,
+			SeedK:      *seedK,
+			Workers:    *workers,
+			Shards:     *shards,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		stats = db.BuildStats()
+		ist = db.IndexStats()
+		shardStats = db.ShardStats()
+	} else {
+		store, err := uncertain.NewStore(objs, pager.New(uncertain.ObjectPageBytes))
+		if err != nil {
+			fatal(err)
+		}
+		ix, st, err := core.Build(store, domain, nil, opts)
+		if err != nil {
+			fatal(err)
+		}
+		stats, ist = st, ix.Stats()
 	}
 
 	fmt.Printf("dataset        %s (|O|=%d, diameter=%.0f)\n", *dataset, len(objs), *diameter)
@@ -92,9 +122,15 @@ func main() {
 	if stats.SumR > 0 {
 		fmt.Printf("avg |F|        %.1f\n", stats.AvgR())
 	}
-	ist := ix.Stats()
 	fmt.Printf("index          %d non-leaf (%.1f KB RAM), %d leaves, %d pages, depth %d, avg list %.1f\n",
 		ist.NonLeaf, float64(ist.MemBytes)/1024, ist.Leaves, ist.Pages, ist.MaxDepth, ist.AvgEntries)
+	if len(shardStats) > 1 {
+		fmt.Printf("shards         %d\n", len(shardStats))
+		for i, sh := range shardStats {
+			fmt.Printf("  shard %-3d    %v: %d leaves, %d pages, depth %d, %d entries\n",
+				i, sh.Rect, sh.Index.Leaves, sh.Index.Pages, sh.Index.MaxDepth, sh.Index.Entries)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -58,6 +58,12 @@ func main() {
 		}
 		fmt.Printf("domain   %v\nobjects  %d\nnon-leaf %d\nleaves   %d\npages    %d\ndepth    %d\nentries  %d\nnext id  %d\n",
 			st.Domain, st.Objects, st.NonLeaf, st.Leaves, st.Pages, st.MaxDepth, st.Entries, st.NextID)
+		if st.Shards > 0 {
+			fmt.Printf("shards   %d\n", st.Shards)
+			for i, slack := range st.ShardSlack {
+				fmt.Printf("  shard %-3d slack %d\n", i, slack)
+			}
+		}
 
 	case "pnn":
 		x, y := f64(rest, 0), f64(rest, 1)

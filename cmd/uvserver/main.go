@@ -5,10 +5,13 @@
 // Usage:
 //
 //	uvserver [-addr :7031] [-n 10000] [-seed 1] [-load db.uv]
-//	         [-window 64] [-workers N] [-cache 256]
+//	         [-shards 1] [-window 64] [-workers N] [-cache 256]
 //
 // With -load, the dataset and index are read from a snapshot written by
-// uvbuild -save (or DB.Save).
+// uvbuild -save (or DB.Save); the snapshot's shard layout wins over
+// -shards. With -shards S > 1 the domain is split into S spatial
+// shards, each with its own sub-grid index, epoch and slack counter —
+// queries route to the owning shard, and compaction is per-shard.
 package main
 
 import (
@@ -27,6 +30,7 @@ func main() {
 	n := flag.Int("n", 10000, "number of synthetic objects (ignored with -load)")
 	seed := flag.Int64("seed", 1, "random seed for the synthetic dataset")
 	load := flag.String("load", "", "load a snapshot instead of generating data")
+	shards := flag.Int("shards", 1, "spatial shard count (ignored with -load; 1 = unsharded)")
 	window := flag.Int("window", 0, "per-connection in-flight request window (0 = default 64)")
 	workers := flag.Int("workers", 0, "server-wide query worker pool size (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "batch leaf-cache size (0 = default 256, negative disables)")
@@ -49,13 +53,17 @@ func main() {
 	} else {
 		cfg := datagen.Config{N: *n, Seed: *seed}
 		objs := datagen.Uniform(cfg)
-		logger.Printf("building UV-index over %d objects...", *n)
+		logger.Printf("building UV-index over %d objects (%d shards)...", *n, *shards)
 		var err error
-		db, err = uvdiagram.Build(objs, cfg.Domain(), nil)
+		db, err = uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{Shards: *shards})
 		if err != nil {
 			logger.Fatal(err)
 		}
 		logger.Printf("built in %v", db.BuildStats().TotalDur)
+	}
+	if s := db.Shards(); s > 1 {
+		gx, gy := db.ShardGrid()
+		logger.Printf("spatial shards: %d (%d×%d grid)", s, gx, gy)
 	}
 
 	srv := server.NewWithConfig(db, server.Logf(logger),

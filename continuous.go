@@ -10,37 +10,47 @@ import (
 // argument) — the continuous location-based-service setting of the
 // paper's introduction ([5]–[7]).
 //
-// Sessions survive dynamic maintenance: an Insert or Delete invalidates
-// the safe circle through the index's mutation generation, and a
+// Sessions survive dynamic maintenance: an Insert or Delete that
+// touches the session's shard invalidates the safe circle through the
+// shard index's mutation generation (mutations confined to other shards
+// provably cannot change answers here and leave the circle valid), a
 // Rebuild/Compact epoch swap transparently re-opens the session against
-// the fresh index, so a stale answer set is never served.
+// the fresh index, and a move across a shard boundary re-opens it on
+// the owning shard — so a stale answer set is never served. The safe
+// circle never extends past the leaf region, and therefore never past
+// the shard, so staying inside it can never cross a boundary.
 type ContinuousPNN struct {
 	db    *DB
+	si    int // shard owning the current position
 	ep    *indexEpoch
 	sess  *core.ContinuousPNN
-	prior ContinuousStats // counters from sessions before epoch swaps
+	prior ContinuousStats // counters from sessions before epoch/shard swaps
 }
 
 // ContinuousStats counts moves versus actual re-evaluations.
 type ContinuousStats = core.ContinuousStats
 
-// NewContinuousPNN opens a moving-query session at q over the UV-index.
+// NewContinuousPNN opens a moving-query session at q over the owning
+// shard's UV-index.
 func (db *DB) NewContinuousPNN(q Point) (*ContinuousPNN, error) {
-	ep := db.ep()
+	si := db.shardIdx(q)
+	ep := db.epAt(si)
 	sess, err := ep.index.NewContinuousPNN(q)
 	if err != nil {
 		return nil, err
 	}
-	return &ContinuousPNN{db: db, ep: ep, sess: sess}, nil
+	return &ContinuousPNN{db: db, si: si, ep: ep, sess: sess}, nil
 }
 
 // Move advances the query point. It returns the current answer IDs
 // (sorted, shared slice) and whether a re-evaluation was needed.
 func (c *ContinuousPNN) Move(q Point) ([]int32, bool, error) {
-	if ep := c.db.ep(); ep.gen != c.ep.gen {
-		// The index was rebuilt (Compact/Rebuild): the old session's
-		// safe circle argues about a retired epoch. Re-open on the new
-		// one, carrying the work counters forward.
+	si := c.db.shardIdx(q)
+	if ep := c.db.epAt(si); si != c.si || ep.gen != c.ep.gen {
+		// Either the point crossed into another shard, or this shard's
+		// index was rebuilt (Compact/Rebuild): the old session's safe
+		// circle argues about the wrong index. Re-open on the owning
+		// shard's current epoch, carrying the work counters forward.
 		st := c.sess.Stats()
 		c.prior.Moves += st.Moves
 		c.prior.Recomputes += st.Recomputes
@@ -49,7 +59,7 @@ func (c *ContinuousPNN) Move(q Point) ([]int32, bool, error) {
 		if err != nil {
 			return nil, true, err
 		}
-		c.ep, c.sess = ep, sess
+		c.si, c.ep, c.sess = si, ep, sess
 		c.prior.Moves++ // this Move, charged to the fresh session's caller
 		return sess.AnswerIDs(), true, nil
 	}
@@ -65,8 +75,8 @@ func (c *ContinuousPNN) AnswerIDs() []int32 { return c.sess.AnswerIDs() }
 // computed at). A zero radius means every move re-evaluates.
 func (c *ContinuousPNN) SafeRegion() Circle { return c.sess.SafeRegion() }
 
-// Stats returns the session counters, accumulated across any epoch
-// swaps the session survived.
+// Stats returns the session counters, accumulated across any epoch or
+// shard swaps the session survived.
 func (c *ContinuousPNN) Stats() ContinuousStats {
 	st := c.sess.Stats()
 	st.Moves += c.prior.Moves

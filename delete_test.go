@@ -466,7 +466,7 @@ func TestAutoCompaction(t *testing.T) {
 	}
 	// Wait for the compaction goroutine to fully finish before letting
 	// the test tear down.
-	for db.compacting.Load() {
+	for db.shards[0].compacting.Load() {
 		time.Sleep(time.Millisecond)
 	}
 	if got := db.Index().Slack(); got != 0 {

@@ -242,9 +242,30 @@ func (b *builder) deriveOne(i int) ([]int32, deriveStats) {
 // assumes the R-tree "is available for use" and does not charge it to
 // construction time).
 func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts BuildOptions) (*UVIndex, BuildStats, error) {
+	t0 := time.Now()
+	crSets, stats, err := DeriveCRSets(store, domain, tree, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	opts.normalize()
+	ix, indexDur := BuildRegion(store, domain, crSets, opts.Index)
+	stats.IndexDur = indexDur
+	stats.TotalDur = time.Since(t0)
+	stats.Index = ix.Stats()
+	return ix, stats, nil
+}
+
+// DeriveCRSets runs the per-object derivation phase of construction
+// (seeds, I-/C-pruning, optional refinement) over every live object and
+// returns the constraint sets, indexed by dense id (dead slots stay
+// nil). The sets are independent of any index region, so a spatially
+// sharded engine derives them once and feeds them to one BuildRegion
+// call per shard. The returned stats carry the derivation components;
+// the caller fills in IndexDur/TotalDur/Index after indexing.
+func DeriveCRSets(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts BuildOptions) ([][]int32, BuildStats, error) {
 	opts.normalize()
 	// The dense slice keeps position == id; tombstoned slots are skipped
-	// everywhere, so this is a fresh build over the survivors.
+	// everywhere, so this is a fresh derivation over the survivors.
 	objs := store.Dense()
 	stats := BuildStats{Strategy: opts.Strategy, N: store.Live()}
 	for i, o := range objs {
@@ -264,9 +285,7 @@ func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts Buil
 	// bulk-load when parallelism is requested.
 	b := &builder{objs: objs, alive: store.Alive, domain: domain, tree: tree, opts: opts}
 
-	ix := NewUVIndex(store, domain, opts.Index)
 	crSets := make([][]int32, len(objs))
-	t0 := time.Now()
 
 	if opts.Workers > 1 {
 		var (
@@ -317,18 +336,28 @@ func Build(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts Buil
 		stats.SeedDur, stats.PruneDur, stats.RefineDur = total.seed, total.prune, total.refine
 		stats.SumI, stats.SumCR, stats.SumR = total.sumI, total.sumCR, total.sumR
 	}
+	return crSets, stats, nil
+}
 
+// BuildRegion constructs a finished UV-index over region — the whole
+// domain, or one spatial shard of it — from constraint sets derived by
+// DeriveCRSets. Every live object is offered to the index; an object
+// whose UV-cell cannot reach region is dropped by the root-level
+// overlap test and contributes no leaf entries, while its constraint
+// set is still recorded so incremental deletes can find every dependent
+// whose cell might later grow into the region. The crSets slices are
+// shared, never copied or mutated, so concurrent BuildRegion calls for
+// disjoint shards may feed off one derivation pass.
+func BuildRegion(store *uncertain.Store, region geom.Rect, crSets [][]int32, opts IndexOptions) (*UVIndex, time.Duration) {
+	ix := NewUVIndex(store, region, opts)
 	ti := time.Now()
-	for i := range objs {
+	for i := range crSets {
 		if store.Alive(int32(i)) {
-			ix.Insert(objs[i].ID, crSets[i])
+			ix.Insert(int32(i), crSets[i])
 		}
 	}
 	ix.Finish()
-	stats.IndexDur = time.Since(ti)
-	stats.TotalDur = time.Since(t0)
-	stats.Index = ix.Stats()
-	return ix, stats, nil
+	return ix, time.Since(ti)
 }
 
 // BuildHelperRTree bulk-loads the R-tree over the LIVE uncertain

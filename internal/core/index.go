@@ -143,6 +143,20 @@ func (ix *UVIndex) CRObjects(id int32) []int32 { return ix.crOf[id] }
 // slice is shared; callers must not modify it.
 func (ix *UVIndex) Dependents(id int32) []int32 { return ix.revCR[id] }
 
+// CellReaches reports whether object id's UV-cell — as represented by
+// its CURRENT constraint set — can overlap rectangle r (the 4-point
+// test of Algorithm 5). The representation is conservative under
+// incremental maintenance (inserts shrink true cells without narrowing
+// recorded constraint sets), so a false result is definitive while a
+// true result may be spurious. Spatial shard maintenance uses it to
+// bound rebuild work to the objects that can reach a shard's region.
+func (ix *UVIndex) CellReaches(id int32, r geom.Rect) bool {
+	if id < 0 || int(id) >= len(ix.crOf) || !ix.store.Alive(id) {
+		return false
+	}
+	return ix.overlapsIDs(ix.store.At(int(id)), ix.crOf[id], r)
+}
+
 // Slack returns the accumulated live-mutation churn since construction
 // (see DeleteLive); a freshly built index has slack 0. It is the signal
 // behind the CompactSlack auto-compaction watermark.

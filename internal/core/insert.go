@@ -101,15 +101,24 @@ func (ix *UVIndex) dropRev(id int32, crIDs []int32) {
 	}
 }
 
-func (ix *UVIndex) insertObj(id int32, oi uncertain.Object, crIDs []int32, g *qnode, region geom.Rect, depth int) {
+// insertObj descends the grid adding id to every leaf its cell can
+// overlap. It reports whether any leaf list changed: an object whose
+// cell cannot reach the index's region is dropped by the root-level
+// overlap test and leaves the structure untouched, which is how a
+// spatial shard rejects out-of-region objects (and how live mutations
+// know not to charge slack to shards they never reached).
+func (ix *UVIndex) insertObj(id int32, oi uncertain.Object, crIDs []int32, g *qnode, region geom.Rect, depth int) bool {
 	if !ix.overlapsIDs(oi, crIDs, region) {
-		return
+		return false
 	}
 	if !g.isLeaf() {
+		touched := false
 		for k := 0; k < 4; k++ {
-			ix.insertObj(id, oi, crIDs, g.children[k], region.Quadrant(k), depth+1)
+			if ix.insertObj(id, oi, crIDs, g.children[k], region.Quadrant(k), depth+1) {
+				touched = true
+			}
 		}
-		return
+		return touched
 	}
 	state, kids := ix.checkSplit(id, oi, g, region, depth)
 	switch state {
@@ -136,6 +145,7 @@ func (ix *UVIndex) insertObj(id int32, oi uncertain.Object, crIDs []int32, g *qn
 		}
 		ix.nonleaf++
 	}
+	return true
 }
 
 // checkSplit is Algorithm 4: decide between NORMAL (page space left),

@@ -33,6 +33,12 @@ import (
 // InsertLive adds object id (already appended to the store) to a
 // finished index, represented by its cr-object ids. Affected leaf pages
 // are rewritten in place where possible.
+//
+// The constraint set is always recorded — later deletes consult it even
+// in indexes the object has no leaf entries in — but slack and the
+// cache-invalidating generation only advance when some leaf actually
+// changed, so a spatial shard the object's cell never reaches keeps its
+// caches, its continuous-query safe circles and its compaction budget.
 func (ix *UVIndex) InsertLive(id int32, crIDs []int32) error {
 	if !ix.finished {
 		return fmt.Errorf("core: InsertLive before Finish (use Insert during construction)")
@@ -46,10 +52,11 @@ func (ix *UVIndex) InsertLive(id int32, crIDs []int32) error {
 	ix.crOf = append(ix.crOf, crIDs)
 	ix.revCR = append(ix.revCR, nil)
 	ix.addRev(id, crIDs)
-	ix.insertObj(id, ix.store.At(int(id)), crIDs, ix.root, ix.domain, 0)
-	ix.flushDirty(ix.root)
-	ix.slack.Add(1)
-	ix.gen.Add(1) // invalidate leaf caches
+	if ix.insertObj(id, ix.store.At(int(id)), crIDs, ix.root, ix.domain, 0) {
+		ix.flushDirty(ix.root)
+		ix.slack.Add(1)
+		ix.gen.Add(1) // invalidate leaf caches
+	}
 	return nil
 }
 
@@ -106,7 +113,10 @@ func (ix *UVIndex) DeleteLiveBatch(victims []int32, rederive func(id int32) []in
 
 	// One walk removes every victim and every affected object from the
 	// leaf lists; the affected ones come back below with fresh cr-sets,
-	// so no leaf ever holds a duplicate entry.
+	// so no leaf ever holds a duplicate entry. touched collects the ids
+	// that actually had leaf entries here — in a spatial shard most of
+	// the engine-wide batch may be elsewhere, and only real leaf churn
+	// should advance this index's slack and generation.
 	remove := make(map[int32]bool, len(vic)+len(affected))
 	for v := range vic {
 		remove[v] = true
@@ -114,7 +124,8 @@ func (ix *UVIndex) DeleteLiveBatch(victims []int32, rederive func(id int32) []in
 	for _, a := range affected {
 		remove[a] = true
 	}
-	ix.removeFromLeaves(ix.root, remove)
+	touched := make(map[int32]bool)
+	ix.removeFromLeaves(ix.root, remove, touched)
 
 	// Unlink the victims from both directions of the cr-maps.
 	for _, v := range victims {
@@ -128,21 +139,26 @@ func (ix *UVIndex) DeleteLiveBatch(victims []int32, rederive func(id int32) []in
 		crIDs := rederive(a)
 		ix.crOf[a] = crIDs
 		ix.addRev(a, crIDs)
-		ix.insertObj(a, ix.store.At(int(a)), crIDs, ix.root, ix.domain, 0)
+		if ix.insertObj(a, ix.store.At(int(a)), crIDs, ix.root, ix.domain, 0) {
+			touched[a] = true
+		}
 	}
 
-	ix.flushDirty(ix.root)
-	ix.slack.Add(int64(len(victims) + len(affected)))
-	ix.gen.Add(1) // invalidate leaf caches
+	if len(touched) > 0 {
+		ix.flushDirty(ix.root)
+		ix.slack.Add(int64(len(touched)))
+		ix.gen.Add(1) // invalidate leaf caches
+	}
 	return affected, nil
 }
 
 // removeFromLeaves filters every leaf list against the remove set,
-// marking changed leaves dirty for the next flush.
-func (ix *UVIndex) removeFromLeaves(n *qnode, remove map[int32]bool) {
+// marking changed leaves dirty for the next flush and recording the ids
+// actually removed somewhere in touched.
+func (ix *UVIndex) removeFromLeaves(n *qnode, remove, touched map[int32]bool) {
 	if !n.isLeaf() {
 		for _, c := range n.children {
-			ix.removeFromLeaves(c, remove)
+			ix.removeFromLeaves(c, remove, touched)
 		}
 		return
 	}
@@ -150,6 +166,8 @@ func (ix *UVIndex) removeFromLeaves(n *qnode, remove map[int32]bool) {
 	for _, id := range n.ids {
 		if !remove[id] {
 			kept = append(kept, id)
+		} else {
+			touched[id] = true
 		}
 	}
 	if len(kept) != len(n.ids) {

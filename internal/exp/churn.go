@@ -20,8 +20,9 @@ import (
 // observed while the rebuild ran).
 func RunChurn(sc Scale, progress func(string)) (*Table, error) {
 	cfg := datagen.Config{N: sc.MidN, Side: sc.Side, Diameter: sc.Diameter, Seed: sc.Seed}
-	progress(fmt.Sprintf("churn: building UV-index over %d objects", cfg.N))
-	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	shards := sc.shardCount()
+	progress(fmt.Sprintf("churn: building UV-index over %d objects (%d shards)", cfg.N, shards))
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), &uvdiagram.Options{Shards: shards})
 	if err != nil {
 		return nil, err
 	}
@@ -50,10 +51,10 @@ func RunChurn(sc Scale, progress func(string)) (*Table, error) {
 	t := &Table{
 		ID:      "churn",
 		Title:   fmt.Sprintf("Mixed insert/delete/query churn over loopback TCP (n=%d)", sc.MidN),
-		Columns: []string{"workload", "ops", "inserts", "deletes", "elapsed", "ops/s"},
+		Columns: []string{"workload", "shards", "ops", "inserts", "deletes", "elapsed", "ops/s"},
 		Notes: []string{
 			"writes are per-connection pipeline barriers; queries are PNN round trips",
-			"delete re-derives only the objects whose cr-set contained the victim",
+			"delete re-derives only the objects whose cr-set contained the victim (once, shared across shards)",
 			"compact row: queries during an off-thread DB.Compact (epoch swap); ops/s is query throughput while the rebuild ran",
 		},
 	}
@@ -114,7 +115,7 @@ func RunChurn(sc Scale, progress func(string)) (*Table, error) {
 			return nil, err
 		}
 		progress(fmt.Sprintf("churn: %s — %d ops in %v", mix.name, ops, elapsed.Round(time.Millisecond)))
-		t.AddRow(mix.name, fmt.Sprintf("%d", ops),
+		t.AddRow(mix.name, fmt.Sprintf("%d", shards), fmt.Sprintf("%d", ops),
 			fmt.Sprintf("%d", inserts), fmt.Sprintf("%d", deletes),
 			elapsed.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.0f", float64(ops)/elapsed.Seconds()))
@@ -144,7 +145,8 @@ func RunChurn(sc Scale, progress func(string)) (*Table, error) {
 			elapsed := time.Since(start)
 			progress(fmt.Sprintf("churn: compact — %d queries answered during a %v rebuild (worst latency %v)",
 				during, elapsed.Round(time.Millisecond), worst.Round(time.Microsecond)))
-			t.AddRow("queries during Compact", fmt.Sprintf("%d", during), "0", "0",
+			t.AddRow("queries during Compact", fmt.Sprintf("%d", shards),
+				fmt.Sprintf("%d", during), "0", "0",
 				elapsed.Round(time.Millisecond).String(),
 				fmt.Sprintf("%.0f", float64(during)/elapsed.Seconds()))
 			t.Notes = append(t.Notes, fmt.Sprintf("worst query latency while compacting: %v", worst.Round(time.Microsecond)))

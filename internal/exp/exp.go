@@ -29,6 +29,17 @@ type Scale struct {
 	RealFrac   float64   // fraction of the real datasets' sizes
 	SeedK      int
 	Seed       int64
+	// Shards is the spatial shard count the churn experiment builds its
+	// database with (0 or 1 = unsharded). The shards experiment sweeps
+	// its own counts and ignores this.
+	Shards int
+}
+
+func (sc Scale) shardCount() int {
+	if sc.Shards <= 0 {
+		return 1
+	}
+	return sc.Shards
 }
 
 // Small is the quick-look preset (seconds to a few minutes).

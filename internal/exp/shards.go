@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+)
+
+// RunShards sweeps the spatial shard count and measures what sharding
+// buys the maintenance path: full-build wall clock (the per-shard
+// sub-grids build in parallel from one derivation pass), the wall clock
+// of a full background compaction driven shard by shard (the unit of
+// auto-compaction), and the worst query latency observed while that
+// compaction ran — per-shard shadow builds keep the query-visible pause
+// bounded by one shard's population instead of the whole diagram.
+//
+// Before compacting, the database is churned with a deterministic
+// insert/delete mix so the compaction has real slack to clear, exactly
+// like a long-running deployment.
+func RunShards(sc Scale, progress func(string)) (*Table, error) {
+	t := &Table{
+		ID:    "shards",
+		Title: fmt.Sprintf("Spatial sharding: build + per-shard compaction (n=%d)", sc.MidN),
+		Columns: []string{"shards", "grid", "build", "churn", "compact",
+			"queries", "worst lat", "mean lat"},
+		Notes: []string{
+			"build: wall clock of a full Build (shard sub-grids built in parallel from one derivation pass)",
+			"churn: 5% of the population deleted and re-inserted before compacting, so compaction clears real slack",
+			"compact: wall clock of CompactShard over every shard, one at a time (the background auto-compaction unit)",
+			"queries/worst lat/mean lat: in-process PNN traffic riding alongside the compaction; per-shard swaps bound the query-visible pause by shard size",
+		},
+	}
+
+	for _, s := range []int{1, 2, 4, 8} {
+		cfg := datagen.Config{N: sc.MidN, Side: sc.Side, Diameter: sc.Diameter, Seed: sc.Seed}
+		objs := datagen.Uniform(cfg)
+		progress(fmt.Sprintf("shards: building n=%d with %d shards", sc.MidN, s))
+		t0 := time.Now()
+		db, err := uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{Shards: s})
+		if err != nil {
+			return nil, err
+		}
+		buildDur := time.Since(t0)
+
+		// Deterministic churn: delete every 20th object, then insert the
+		// same number of fresh ones, accumulating slack in every shard
+		// the victims' neighborhoods reach.
+		rng := rand.New(rand.NewSource(sc.Seed + 11))
+		var churned int
+		tc := time.Now()
+		for id := int32(0); int(id) < len(objs); id += 20 {
+			if err := db.Delete(id); err != nil {
+				return nil, err
+			}
+			churned++
+		}
+		for i := 0; i < churned; i++ {
+			o := uvdiagram.NewObject(db.NextID(),
+				rng.Float64()*sc.Side, rng.Float64()*sc.Side, sc.Diameter/2, nil)
+			if err := db.Insert(o); err != nil {
+				return nil, err
+			}
+		}
+		churnDur := time.Since(tc)
+
+		// Compact shard by shard off-thread while query traffic rides
+		// alongside, tracking the worst single-query latency.
+		compactDone := make(chan error, 1)
+		start := time.Now()
+		go func() {
+			for i := 0; i < db.Shards(); i++ {
+				if err := db.CompactShard(context.Background(), i); err != nil {
+					compactDone <- err
+					return
+				}
+			}
+			compactDone <- nil
+		}()
+		var queries int
+		var worst, total time.Duration
+		var compactDur time.Duration
+	loop:
+		for {
+			q := uvdiagram.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
+			q0 := time.Now()
+			if _, _, err := db.PNN(q); err != nil {
+				return nil, err
+			}
+			lat := time.Since(q0)
+			total += lat
+			if lat > worst {
+				worst = lat
+			}
+			queries++
+			select {
+			case err := <-compactDone:
+				if err != nil {
+					return nil, err
+				}
+				compactDur = time.Since(start)
+				break loop
+			default:
+			}
+		}
+		gx, gy := db.ShardGrid()
+		mean := time.Duration(0)
+		if queries > 0 {
+			mean = total / time.Duration(queries)
+		}
+		progress(fmt.Sprintf("shards: S=%d build %v, compact %v, worst query %v",
+			s, buildDur.Round(time.Millisecond), compactDur.Round(time.Millisecond),
+			worst.Round(time.Microsecond)))
+		t.AddRow(fmt.Sprintf("%d", s), fmt.Sprintf("%d×%d", gx, gy),
+			buildDur.Round(time.Millisecond).String(),
+			churnDur.Round(time.Millisecond).String(),
+			compactDur.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", queries),
+			worst.Round(time.Microsecond).String(),
+			mean.Round(time.Microsecond).String())
+	}
+	return t, nil
+}

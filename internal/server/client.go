@@ -195,6 +195,12 @@ type Stats struct {
 	// exceeds Objects: the dense id space never shrinks or reuses ids.
 	// Zero when talking to a pre-delete server that does not send it.
 	NextID int32
+	// Shards is the server's spatial shard count (0 when talking to a
+	// pre-sharding server that does not send it).
+	Shards int
+	// ShardSlack is each shard's accumulated mutation slack since its
+	// index was last (re)built, in shard order.
+	ShardSlack []int64
 }
 
 // Stats fetches server-side database statistics.
@@ -217,6 +223,15 @@ func (c *Client) Stats() (Stats, error) {
 	}
 	if r.Err() == nil && r.Remaining() >= 4 {
 		st.NextID = r.I32()
+	}
+	if r.Err() == nil && r.Remaining() >= 4 {
+		st.Shards = int(r.U32())
+		if st.Shards > 0 && r.Remaining() >= 8*st.Shards {
+			st.ShardSlack = make([]int64, st.Shards)
+			for i := range st.ShardSlack {
+				st.ShardSlack[i] = int64(r.U64())
+			}
+		}
 	}
 	return st, r.Err()
 }

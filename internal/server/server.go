@@ -293,6 +293,14 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		// deletions is smaller than the dense id space — clients must
 		// not derive insert ids from it.
 		b.I32(s.db.NextID())
+		// Appended after NextID: the spatial shard count and each
+		// shard's accumulated mutation slack (the per-shard compaction
+		// signal). Older clients stop reading before this.
+		shards := s.db.ShardStats()
+		b.U32(uint32(len(shards)))
+		for _, sh := range shards {
+			b.U64(uint64(sh.Slack))
+		}
 		return b.Bytes(), nil
 
 	case wire.OpPNN:

@@ -67,6 +67,94 @@ func TestPingAndStats(t *testing.T) {
 	}
 }
 
+// TestShardedStatsOverWire serves a spatially sharded database and
+// checks the Stats opcode carries the shard count and per-shard slack,
+// that queries route correctly over the wire, and that a delete's slack
+// shows up in the shard breakdown.
+func TestShardedStatsOverWire(t *testing.T) {
+	cfg := datagen.Config{N: 80, Side: 2000, Diameter: 30, Seed: 77}
+	objs := datagen.Uniform(cfg)
+	db, err := uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, t.Logf)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(lis)
+	}()
+	cli, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+		<-done
+		srv.Wait()
+	})
+
+	st, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 || len(st.ShardSlack) != 4 {
+		t.Fatalf("stats shards = %d (%d slacks), want 4", st.Shards, len(st.ShardSlack))
+	}
+	for i, s := range st.ShardSlack {
+		if s != 0 {
+			t.Fatalf("fresh shard %d has slack %d", i, s)
+		}
+	}
+	// Aggregated shape fields come from all shards.
+	if want := db.IndexStats(); st.Leaves != want.Leaves || st.Entries != want.Entries {
+		t.Fatalf("stats %+v, want aggregate %+v", st, want)
+	}
+
+	// Queries route through the wire identically to local calls,
+	// including points on the 2×2 cut lines.
+	for _, q := range []uvdiagram.Point{
+		uvdiagram.Pt(1000, 1000), uvdiagram.Pt(1000, 250), uvdiagram.Pt(37, 1999),
+	} {
+		got, err := cli.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := db.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q=%v: wire %v vs local %v", q, got, want)
+		}
+	}
+
+	// A delete accrues slack in at least one shard and the wire reports
+	// the new breakdown.
+	if err := cli.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	st, err = cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, s := range st.ShardSlack {
+		total += s
+	}
+	if total == 0 {
+		t.Fatal("delete left zero slack across every shard")
+	}
+	if total != db.Slack() {
+		t.Fatalf("wire slack %d, engine slack %d", total, db.Slack())
+	}
+}
+
 func TestPNNOverWireMatchesLocal(t *testing.T) {
 	cli, srv := startServer(t, 80)
 	for _, q := range []uvdiagram.Point{

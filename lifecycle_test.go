@@ -196,6 +196,116 @@ func TestFullLifecycle(t *testing.T) {
 	}
 }
 
+// TestShardedLifecycle: a sharded database round-trips through the
+// version-3 stream — layout, tombstones and every shard's sub-grid —
+// and the reload answers bitwise like the original AND like an
+// unsharded reload of an unsharded snapshot of the same population.
+func TestShardedLifecycle(t *testing.T) {
+	cfg := datagen.Config{N: 50, Side: 2000, Diameter: 30, Seed: 4242}
+	objs := datagen.Uniform(cfg)
+	db, err := uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := uvdiagram.Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn both engines identically so tombstones and insert slack are
+	// in the snapshot.
+	for _, d := range []*uvdiagram.DB{db, flat} {
+		if err := d.Delete(7); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Insert(uvdiagram.NewObject(d.NextID(), 777, 888, 12, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var snap bytes.Buffer
+	if err := db.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Options.Shards on Load must NOT override the stream's layout.
+	db2, err := uvdiagram.Load(bytes.NewReader(snap.Bytes()), &uvdiagram.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Shards() != 4 {
+		t.Fatalf("reloaded shard count %d, want 4", db2.Shards())
+	}
+	gx, gy := db2.ShardGrid()
+	wgx, wgy := db.ShardGrid()
+	if gx != wgx || gy != wgy {
+		t.Fatalf("reloaded grid %d×%d, want %d×%d", gx, gy, wgx, wgy)
+	}
+	if db2.Len() != db.Len() || db2.Alive(7) {
+		t.Fatalf("tombstones lost: live %d vs %d, alive(7)=%v", db2.Len(), db.Len(), db2.Alive(7))
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		q := uvdiagram.Pt(rng.Float64()*2000, rng.Float64()*2000)
+		want, _, err := db.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := db2.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _, err := flat.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The sharded and unsharded in-memory engines agree bitwise; the
+		// reload agrees on the answer IDs exactly and on probabilities up
+		// to the PDF re-normalization noise every Load carries (weights
+		// are re-normalized by NewHistogramPDF, shifting CDFs by ULPs —
+		// the same tolerance TestFullLifecycle uses).
+		if len(got) != len(want) || len(got) != len(ref) {
+			t.Fatalf("q=%v: PNN diverges: reload %v, original %v, unsharded %v", q, got, want, ref)
+		}
+		for i := range got {
+			if want[i] != ref[i] {
+				t.Fatalf("q=%v: sharded %v diverges from unsharded %v", q, want, ref)
+			}
+			if got[i].ID != want[i].ID {
+				t.Fatalf("q=%v: reload answers %v, original %v", q, got, want)
+			}
+			if d := got[i].Prob - want[i].Prob; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("q=%v: reload probability drifted: %v vs %v", q, got, want)
+			}
+		}
+	}
+
+	// The reloaded sharded engine keeps mutating correctly.
+	if err := db2.Delete(12); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Alive(12) {
+		t.Fatal("delete after sharded reload did not stick")
+	}
+
+	// An UNsharded database still writes the version-2 stream, byte-wise
+	// loadable as before, and a sharded stream reloads under nil opts.
+	var flatSnap bytes.Buffer
+	if err := flat.Save(&flatSnap); err != nil {
+		t.Fatal(err)
+	}
+	flat2, err := uvdiagram.Load(bytes.NewReader(flatSnap.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat2.Shards() != 1 {
+		t.Fatalf("unsharded reload has %d shards", flat2.Shards())
+	}
+	if _, err := uvdiagram.Load(bytes.NewReader(snap.Bytes()), nil); err != nil {
+		t.Fatalf("sharded stream under nil opts: %v", err)
+	}
+}
+
 // TestContinuousPNNSurvivesDeleteAndCompact: a moving-query session
 // must never serve a stale answer set across a delete (mutation
 // generation bump) or a Compact (epoch swap).

@@ -19,13 +19,13 @@ type OrderKIndex struct {
 	k     int
 	built BuildStats
 	batch batchState // leaf cache reused across Batch* calls
-	// epochGen and primaryGen pin the database state the order-k grid
-	// was built over: a Compact/Rebuild (epoch swap) or an incremental
-	// Insert/Delete (primary-index mutation) makes this grid stale —
-	// its leaf lists could miss new objects or still list deleted ones
-	// — so queries refuse to answer rather than be silently wrong.
-	epochGen   uint64
-	primaryGen uint64
+	// snap pins the database state the order-k grid was built over,
+	// across every shard: a Compact/CompactShard/Rebuild (epoch swap)
+	// or an incremental Insert/Delete (shard-index mutation) makes this
+	// grid stale — its leaf lists could miss new objects or still list
+	// deleted ones — so queries refuse to answer rather than be
+	// silently wrong.
+	snap genSnap
 }
 
 // NewOrderKIndex builds an order-k index over the database's objects
@@ -41,20 +41,19 @@ func (db *DB) NewOrderKIndex(k int) (*OrderKIndex, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("uvdiagram: order-k index needs k ≥ 1, got %d", k)
 	}
-	ep := db.ep()
-	ix, stats, err := core.BuildOrderK(db.store, db.domain, ep.tree, k, db.bopts)
+	// Any shard's helper R-tree covers the full live population; the
+	// order-k grid itself spans the whole domain and is not sharded.
+	ix, stats, err := core.BuildOrderK(db.store, db.domain, db.ep().tree, k, db.bopts)
 	if err != nil {
 		return nil, err
 	}
-	return &OrderKIndex{db: db, inner: ix, k: k, built: stats,
-		epochGen: ep.gen, primaryGen: ep.index.Gen()}, nil
+	return &OrderKIndex{db: db, inner: ix, k: k, built: stats, snap: db.genSnap()}, nil
 }
 
 // fresh errors when the database has mutated since the order-k grid
 // was built.
 func (ix *OrderKIndex) fresh() error {
-	ep := ix.db.ep()
-	if ep.gen != ix.epochGen || ep.index.Gen() != ix.primaryGen {
+	if ix.db.genSnap() != ix.snap {
 		return fmt.Errorf("uvdiagram: order-%d index is stale (database mutated since it was built); rebuild it with NewOrderKIndex", ix.k)
 	}
 	return nil
@@ -96,9 +95,7 @@ func LoadOrderKIndex(r io.Reader, db *DB) (*OrderKIndex, error) {
 	if inner.OrderK() < 1 {
 		return nil, fmt.Errorf("uvdiagram: loaded index has invalid order %d", inner.OrderK())
 	}
-	ep := db.ep()
-	return &OrderKIndex{db: db, inner: inner, k: inner.OrderK(),
-		epochGen: ep.gen, primaryGen: ep.index.Gen()}, nil
+	return &OrderKIndex{db: db, inner: inner, k: inner.OrderK(), snap: db.genSnap()}, nil
 }
 
 // KNNProbs returns possible-k-NN answers with Monte-Carlo rank

@@ -6,26 +6,34 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"uvdiagram/internal/core"
 	"uvdiagram/internal/pager"
+	"uvdiagram/internal/rtree"
 	"uvdiagram/internal/uncertain"
 )
 
-// Database persistence: Save writes the objects and the built UV-index;
-// Load reopens them without re-running construction (the helper R-tree
-// is re-bulk-loaded, which is cheap). The stream is self-contained and
-// versioned.
+// Database persistence: Save writes the objects and the built
+// UV-index(es); Load reopens them without re-running construction (the
+// helper R-trees are re-bulk-loaded, which is cheap). The stream is
+// self-contained and versioned.
 
 const (
 	dbMagic = 0x55564442 // "UVDB"
 	// dbVersion 2 added a per-object tombstone flag so a database with
 	// deletions round-trips; version-1 streams are still readable and
-	// imply every object is live.
-	dbVersion = 2
+	// imply every object is live. Version 3 adds the spatial shard
+	// layout (gx × gy grid) followed by one index stream per shard;
+	// single-shard databases keep writing version 2 so older readers
+	// can open them, and Load accepts all three.
+	dbVersion        = 2
+	dbVersionSharded = 3
 )
 
-// Save serializes the database (objects + UV-index) to w.
+// Save serializes the database (objects + UV-indexes) to w. A
+// single-shard database writes the backward-compatible version-2
+// stream; a sharded one writes version 3 with its layout.
 func (db *DB) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var scratch [8]byte
@@ -42,11 +50,23 @@ func (db *DB) Save(w io.Writer) error {
 	if err := u32(dbMagic); err != nil {
 		return err
 	}
-	if err := u32(dbVersion); err != nil {
+	version := uint32(dbVersion)
+	if len(db.shards) > 1 {
+		version = dbVersionSharded
+	}
+	if err := u32(version); err != nil {
 		return err
 	}
 	for _, v := range []float64{db.domain.Min.X, db.domain.Min.Y, db.domain.Max.X, db.domain.Max.Y} {
 		if err := f64(v); err != nil {
+			return err
+		}
+	}
+	if version >= dbVersionSharded {
+		if err := u32(uint32(db.gx)); err != nil {
+			return err
+		}
+		if err := u32(uint32(db.gy)); err != nil {
 			return err
 		}
 	}
@@ -86,8 +106,12 @@ func (db *DB) Save(w io.Writer) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	if err := db.ep().index.Save(w); err != nil {
-		return err
+	// One index stream per shard, in row-major shard order (a single
+	// shard reproduces the version-2 body exactly).
+	for i := range db.shards {
+		if err := db.epAt(i).index.Save(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -118,7 +142,7 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 		return nil, fmt.Errorf("uvdiagram: not a UV-diagram database stream")
 	}
 	version, err := u32()
-	if err != nil || (version != 1 && version != dbVersion) {
+	if err != nil || (version != 1 && version != dbVersion && version != dbVersionSharded) {
 		return nil, fmt.Errorf("uvdiagram: unsupported version %d (err=%v)", version, err)
 	}
 	var coords [4]float64
@@ -128,6 +152,24 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 		}
 	}
 	domain := Rect{Min: Pt(coords[0], coords[1]), Max: Pt(coords[2], coords[3])}
+	gx, gy := 1, 1
+	if version >= dbVersionSharded {
+		gxu, err := u32()
+		if err == nil {
+			var gyu uint32
+			gyu, err = u32()
+			gx, gy = int(gxu), int(gyu)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("uvdiagram: reading shard layout: %w", err)
+		}
+		// Bound each axis before multiplying: a crafted stream with
+		// gx = gy = 0xFFFFFFFF would overflow gx*gy past the product
+		// check and die in allocation instead of erroring.
+		if gx < 1 || gy < 1 || gx > MaxShards || gy > MaxShards || gx*gy > MaxShards {
+			return nil, fmt.Errorf("uvdiagram: implausible shard layout %d×%d", gx, gy)
+		}
+	}
 	n, err := u32()
 	if err != nil {
 		return nil, fmt.Errorf("uvdiagram: reading object count: %w", err)
@@ -183,13 +225,47 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 		}
 	}
 	bopts := opts.toBuildOptions()
-	tree := core.BuildHelperRTree(store, bopts.Fanout) // live objects only
-	index, err := core.LoadUVIndex(br, store)
-	if err != nil {
-		return nil, err
-	}
-	built := BuildStats{Strategy: bopts.Strategy, N: store.Live(), Index: index.Stats()}
 	db := &DB{store: store, domain: domain, bopts: bopts}
-	db.epoch.Store(&indexEpoch{index: index, tree: tree, built: built})
+	// The layout comes from the stream: Options.Shards only affects
+	// freshly built databases, never a reopened one.
+	db.initShardGrid(gx, gy)
+	// The index streams must decode sequentially, but each shard's
+	// helper R-tree is an independent bulk-load over the live objects —
+	// build them concurrently (like publishShards does) so opening a
+	// snapshot does not pay the tree cost once per shard.
+	trees := make([]*rtree.Tree, len(db.shards))
+	var wg sync.WaitGroup
+	// The deferred Wait covers the error returns below, so a truncated
+	// index stream never leaks tree builds still running; the explicit
+	// Wait before publishing covers the success path (Wait after the
+	// counter already hit zero is a no-op).
+	defer wg.Wait()
+	for i := range trees {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trees[i] = core.BuildHelperRTree(store, bopts.Fanout) // live objects only
+		}(i)
+	}
+	shapes := make([]core.IndexStats, len(db.shards))
+	indexes := make([]*core.UVIndex, len(db.shards))
+	for i := range db.shards {
+		index, err := core.LoadUVIndex(br, store)
+		if err != nil {
+			return nil, fmt.Errorf("uvdiagram: shard %d: %w", i, err)
+		}
+		if index.Domain() != db.shards[i].rect {
+			return nil, fmt.Errorf("uvdiagram: shard %d stream covers %v, layout expects %v",
+				i, index.Domain(), db.shards[i].rect)
+		}
+		indexes[i] = index
+		shapes[i] = index.Stats()
+	}
+	wg.Wait()
+	for i := range db.shards {
+		db.shards[i].epoch.Store(&indexEpoch{index: indexes[i], tree: trees[i]})
+	}
+	built := BuildStats{Strategy: bopts.Strategy, N: store.Live(), Index: aggregateIndexStats(shapes)}
+	db.built.Store(&built)
 	return db, nil
 }

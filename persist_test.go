@@ -2,6 +2,7 @@ package uvdiagram_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -87,5 +88,33 @@ func TestLoadErrors(t *testing.T) {
 		if _, err := uvdiagram.Load(bytes.NewReader(data[:cut]), nil); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
 		}
+	}
+}
+
+// TestLoadRejectsImplausibleShardLayout: a crafted v3 header with a
+// huge gx×gy must error cleanly instead of dying in allocation (the
+// product check alone would overflow past the bound).
+func TestLoadRejectsImplausibleShardLayout(t *testing.T) {
+	var buf bytes.Buffer
+	u32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	f64 := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		buf.Write(b[:])
+	}
+	u32(0x55564442) // magic
+	u32(3)          // sharded version
+	f64(0)
+	f64(0)
+	f64(1000)
+	f64(1000)
+	u32(0xFFFFFFFF) // gx
+	u32(0xFFFFFFFF) // gy
+	if _, err := uvdiagram.Load(bytes.NewReader(buf.Bytes()), nil); err == nil {
+		t.Fatal("Load accepted an implausible shard layout")
 	}
 }

@@ -1,0 +1,236 @@
+package uvdiagram
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"uvdiagram/internal/core"
+)
+
+// Spatial sharding. The adaptive grid of the paper partitions the
+// domain naturally, so the engine can split the plane into a gx × gy
+// grid of shard rectangles, each owning an independent sub-grid
+// UV-index, helper R-tree, epoch pointer and slack counter:
+//
+//   - Point queries route to the owning shard with two boundary scans
+//     and read its epoch lock-free.
+//   - An object whose UV-cell spans a shard boundary is indexed in
+//     every shard it reaches (the root-level 4-point overlap test of
+//     Algorithm 5 drops it from the shards it cannot), so each shard's
+//     leaf lists stay supersets of the true overlaps and answers are
+//     exactly those of a single-shard engine.
+//   - Every shard records the constraint sets of ALL objects — not just
+//     the ones it holds leaf entries for — because deleting an object
+//     can grow a neighbor's UV-cell ACROSS a boundary into a shard that
+//     never listed it; the shard-local reverse cr-map is what finds
+//     those dependents.
+//   - Maintenance (per-shard Compact) shadow-builds one shard at a
+//     time, so rebuild churn is bounded by the objects whose cells
+//     reach the shard instead of the whole population.
+//
+// One shard (the default) reproduces the pre-sharding engine exactly.
+
+// MaxShards bounds Options.Shards (a 16×16 grid is already far past the
+// point of diminishing returns for the paper's densities).
+const MaxShards = 256
+
+// shard is one spatial partition of the engine: a rectangle of the
+// domain and the epoch pointer for the index state owning it.
+type shard struct {
+	rect       Rect
+	epoch      atomic.Pointer[indexEpoch]
+	compacting atomic.Bool // per-shard auto-compaction singleflight
+}
+
+// ep returns the shard's current epoch.
+func (sh *shard) ep() *indexEpoch { return sh.epoch.Load() }
+
+// shardGrid factors s into the most square gx × gy grid (gx ≥ gy).
+func shardGrid(s int) (gx, gy int) {
+	gy = int(math.Sqrt(float64(s)))
+	for s%gy != 0 {
+		gy--
+	}
+	return s / gy, gy
+}
+
+// cuts returns n+1 boundary coordinates splitting [lo, hi] into n equal
+// strips. The end cuts are exactly lo and hi so the strips tile the
+// domain with no floating-point drift at the edges.
+func cuts(lo, hi float64, n int) []float64 {
+	out := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		switch i {
+		case 0:
+			out[i] = lo
+		case n:
+			out[i] = hi
+		default:
+			out[i] = lo + (hi-lo)*float64(i)/float64(n)
+		}
+	}
+	return out
+}
+
+// initShards lays out s shard rectangles over the domain.
+func (db *DB) initShards(s int) {
+	gx, gy := shardGrid(s)
+	db.initShardGrid(gx, gy)
+}
+
+// initShardGrid lays out an explicit gx × gy shard grid (persistence
+// restores the saved layout rather than re-factoring the count).
+func (db *DB) initShardGrid(gx, gy int) {
+	db.gx, db.gy = gx, gy
+	db.xs = cuts(db.domain.Min.X, db.domain.Max.X, gx)
+	db.ys = cuts(db.domain.Min.Y, db.domain.Max.Y, gy)
+	db.shards = make([]shard, gx*gy)
+	for r := 0; r < gy; r++ {
+		for c := 0; c < gx; c++ {
+			db.shards[r*gx+c].rect = Rect{
+				Min: Pt(db.xs[c], db.ys[r]),
+				Max: Pt(db.xs[c+1], db.ys[r+1]),
+			}
+		}
+	}
+}
+
+// lastLE returns the index i (0 ≤ i ≤ len(cuts)-2) of the last strip
+// whose lower cut is ≤ v, clamping out-of-range values to the edge
+// strips. Comparing against the SAME cut values the shard rectangles
+// were built from guarantees the chosen shard's rectangle contains v,
+// with no re-derived arithmetic that could round across a boundary.
+func lastLE(cuts []float64, v float64) int {
+	for i := len(cuts) - 2; i >= 1; i-- {
+		if v >= cuts[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// shardIdx returns the index of the shard owning q. Points outside the
+// domain clamp to the nearest edge shard (whose index then reports the
+// domain violation exactly like the single-shard engine).
+func (db *DB) shardIdx(q Point) int {
+	return lastLE(db.ys, q.Y)*db.gx + lastLE(db.xs, q.X)
+}
+
+// epFor returns the epoch of the shard owning q.
+func (db *DB) epFor(q Point) *indexEpoch { return db.shards[db.shardIdx(q)].ep() }
+
+// epAt returns shard i's epoch.
+func (db *DB) epAt(i int) *indexEpoch { return db.shards[i].ep() }
+
+// ep returns shard 0's epoch. Its helper R-tree (like every shard's)
+// covers the full live population, so global — not point-routed —
+// queries read through it.
+func (db *DB) ep() *indexEpoch { return db.epAt(0) }
+
+// epochs snapshots every shard's current epoch in shard order.
+func (db *DB) epochs() []*indexEpoch {
+	eps := make([]*indexEpoch, len(db.shards))
+	for i := range db.shards {
+		eps[i] = db.shards[i].ep()
+	}
+	return eps
+}
+
+// Shards returns the number of spatial shards (1 unless the database
+// was built or loaded with Options.Shards > 1).
+func (db *DB) Shards() int { return len(db.shards) }
+
+// ShardGrid returns the shard layout as grid dimensions (gx columns ×
+// gy rows, row-major shard order).
+func (db *DB) ShardGrid() (gx, gy int) { return db.gx, db.gy }
+
+// ShardStat describes one shard's live state.
+type ShardStat struct {
+	// Rect is the shard's region of the domain.
+	Rect Rect
+	// Slack is the leaf-list churn accumulated by incremental
+	// Insert/Delete traffic that actually touched this shard since its
+	// index was last (re)built — the per-shard compaction signal.
+	Slack int64
+	// Gen counts this shard's epoch swaps (Compact/CompactShard).
+	Gen uint64
+	// Index is the shape of the shard's sub-grid.
+	Index core.IndexStats
+}
+
+// ShardStats reports every shard's region, slack and index shape, in
+// shard order.
+func (db *DB) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(db.shards))
+	for i := range db.shards {
+		ep := db.shards[i].ep()
+		out[i] = ShardStat{
+			Rect:  db.shards[i].rect,
+			Slack: ep.index.Slack(),
+			Gen:   ep.gen,
+			Index: ep.index.Stats(),
+		}
+	}
+	return out
+}
+
+// Slack returns the total mutation slack across all shards.
+func (db *DB) Slack() int64 {
+	var total int64
+	for i := range db.shards {
+		total += db.shards[i].ep().index.Slack()
+	}
+	return total
+}
+
+// aggregateIndexStats folds per-shard index shapes into one summary:
+// counts and footprints sum, depth is the maximum.
+func aggregateIndexStats(sts []core.IndexStats) core.IndexStats {
+	var agg core.IndexStats
+	for _, st := range sts {
+		agg.NonLeaf += st.NonLeaf
+		agg.Leaves += st.Leaves
+		agg.Pages += st.Pages
+		agg.Entries += st.Entries
+		agg.MemBytes += st.MemBytes
+		if st.MaxDepth > agg.MaxDepth {
+			agg.MaxDepth = st.MaxDepth
+		}
+	}
+	if agg.Leaves > 0 {
+		agg.AvgEntries = float64(agg.Entries) / float64(agg.Leaves)
+	}
+	return agg
+}
+
+// genSnap is a snapshot of the engine's mutation state across every
+// shard. Epoch-swap counters only grow, and between swaps each shard's
+// index mutation counter only grows, so the pair changes whenever any
+// shard mutates or compacts — derived snapshots (order-k grids) compare
+// it to detect staleness.
+type genSnap struct {
+	epochs uint64 // Σ per-shard epoch generation
+	muts   uint64 // Σ per-shard index mutation generation
+}
+
+func (db *DB) genSnap() genSnap {
+	var g genSnap
+	for i := range db.shards {
+		ep := db.shards[i].ep()
+		g.epochs += ep.gen
+		g.muts += ep.index.Gen()
+	}
+	return g
+}
+
+// validateShards normalizes an Options.Shards value.
+func validateShards(s int) (int, error) {
+	if s <= 0 {
+		return 1, nil
+	}
+	if s > MaxShards {
+		return 0, fmt.Errorf("uvdiagram: Shards = %d exceeds the maximum of %d", s, MaxShards)
+	}
+	return s, nil
+}

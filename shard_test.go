@@ -1,0 +1,351 @@
+package uvdiagram
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"uvdiagram/internal/datagen"
+)
+
+// shardQueryPoints builds a query workload that deliberately includes
+// shard-boundary coordinates (the half/quarter cuts of every layout
+// under test) alongside uniform random points, so routing edge cases
+// are exercised, not dodged.
+func shardQueryPoints(rng *rand.Rand, side float64, n int) []Point {
+	qs := []Point{
+		Pt(side/2, side/2), // 2-shard and 2×2 cut lines
+		Pt(side/4, side/2), // 4×2 cut
+		Pt(side/2, side/4),
+		Pt(3*side/4, 3*side/4),
+		Pt(0, 0), Pt(side, side), // domain corners
+		Pt(side/2, 0), Pt(0, side), // cuts meeting the boundary
+	}
+	for len(qs) < n {
+		qs = append(qs, Pt(rng.Float64()*side, rng.Float64()*side))
+	}
+	return qs
+}
+
+// assertShardInvariant compares every routed query type bitwise between
+// a sharded database and the single-shard reference.
+func assertShardInvariant(t *testing.T, label string, got, want *DB, qs []Point) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: live count %d, want %d", label, got.Len(), want.Len())
+	}
+	for _, q := range qs {
+		ga, _, err := got.PNN(q)
+		if err != nil {
+			t.Fatalf("%s: PNN(%v): %v", label, q, err)
+		}
+		wa, _, err := want.PNN(q)
+		if err != nil {
+			t.Fatalf("%s: reference PNN(%v): %v", label, q, err)
+		}
+		if fmt.Sprint(ga) != fmt.Sprint(wa) {
+			t.Fatalf("%s: PNN(%v) diverges:\n  sharded   %v\n  reference %v", label, q, ga, wa)
+		}
+		gt, _, err := got.TopKPNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wt, _, err := want.TopKPNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(gt) != fmt.Sprint(wt) {
+			t.Fatalf("%s: TopKPNN(%v) diverges: %v vs %v", label, q, gt, wt)
+		}
+		gk, err := got.PossibleKNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wk, err := want.PossibleKNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(gk) != fmt.Sprint(wk) {
+			t.Fatalf("%s: PossibleKNN(%v) diverges: %v vs %v", label, q, gk, wk)
+		}
+	}
+
+	// Batch engines, with workers and caches exercised on the sharded
+	// side so per-shard cache routing is covered.
+	bopts := &BatchOptions{Workers: 3, CacheSize: 16}
+	gb, err := got.BatchNN(qs, bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := want.BatchNN(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(gb) != fmt.Sprint(wb) {
+		t.Fatalf("%s: BatchNN diverges", label)
+	}
+	gtk, err := got.BatchTopKPNN(qs, 2, bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtk, err := want.BatchTopKPNN(qs, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(gtk) != fmt.Sprint(wtk) {
+		t.Fatalf("%s: BatchTopKPNN diverges", label)
+	}
+	gth, err := got.BatchThresholdNN(qs, 0.2, bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wth, err := want.BatchThresholdNN(qs, 0.2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(gth) != fmt.Sprint(wth) {
+		t.Fatalf("%s: BatchThresholdNN diverges", label)
+	}
+	gok, err := got.BatchOrderK(qs, 3, bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wok, err := want.BatchOrderK(qs, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(gok) != fmt.Sprint(wok) {
+		t.Fatalf("%s: BatchOrderK diverges", label)
+	}
+}
+
+// TestShardCountInvariance is the sharding soundness property: for
+// every construction strategy, PNN / BatchNN / TopK / KNN / Threshold
+// answers — and delete-then-query answers after interleaved churn, and
+// answers after per-shard compaction — are bitwise identical across
+// shard counts S ∈ {1, 2, 4, 8}.
+func TestShardCountInvariance(t *testing.T) {
+	const side = 2000.0
+	cfg := datagen.Config{N: 60, Side: side, Diameter: 40, Seed: 99}
+	objs := datagen.Uniform(cfg)
+	rng := rand.New(rand.NewSource(5))
+	qs := shardQueryPoints(rng, side, 24)
+
+	for _, strat := range []Strategy{IC, ICR, Basic} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			ref, err := Build(objs, cfg.Domain(), &Options{Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []int{2, 4, 8} {
+				db, err := Build(objs, cfg.Domain(), &Options{Strategy: strat, Shards: s, Workers: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if db.Shards() != s {
+					t.Fatalf("Shards() = %d, want %d", db.Shards(), s)
+				}
+				label := fmt.Sprintf("%v/S=%d", strat, s)
+				assertShardInvariant(t, label+"/fresh", db, ref, qs)
+
+				// Interleaved churn applied identically to both engines:
+				// delete a spread of ids, insert replacements, delete one
+				// of the replacements again.
+				mutate := func(d *DB) {
+					t.Helper()
+					for _, id := range []int32{3, 17, 17 % int32(cfg.N), 41, 55} {
+						if !d.Alive(id) {
+							continue
+						}
+						if err := d.Delete(id); err != nil {
+							t.Fatal(err)
+						}
+					}
+					mrng := rand.New(rand.NewSource(123))
+					for i := 0; i < 6; i++ {
+						o := NewObject(d.NextID(), mrng.Float64()*side, mrng.Float64()*side, 20, nil)
+						if err := d.Insert(o); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := d.Delete(d.NextID() - 2); err != nil {
+						t.Fatal(err)
+					}
+				}
+				mutate(db)
+				mutate(ref)
+				assertShardInvariant(t, label+"/churned", db, ref, qs)
+
+				// Per-shard compaction clears the slack without changing
+				// any answer; compact the reference too so both sides stay
+				// comparable for the next shard count's churn round... the
+				// reference is rebuilt fresh per shard count instead.
+				for i := 0; i < db.Shards(); i++ {
+					if err := db.CompactShard(context.Background(), i); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if got := db.Slack(); got != 0 {
+					t.Fatalf("%s: slack %d after compacting every shard", label, got)
+				}
+				assertShardInvariant(t, label+"/compacted", db, ref, qs)
+
+				// Rebuild the reference for the next iteration's pristine
+				// comparison.
+				ref, err = Build(objs, cfg.Domain(), &Options{Strategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestShardContinuousInvariance walks a moving query across shard
+// boundaries and checks the continuous session serves exactly the
+// single-shard engine's answer sets the whole way.
+func TestShardContinuousInvariance(t *testing.T) {
+	const side = 2000.0
+	cfg := datagen.Config{N: 80, Side: side, Diameter: 40, Seed: 12}
+	objs := datagen.Uniform(cfg)
+	ref, err := Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Build(objs, cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := Pt(10, 10)
+	gotSess, err := db.NewContinuousPNN(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSess, err := ref.NewContinuousPNN(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A diagonal walk crosses both the x and y cut lines of the 2×2
+	// layout.
+	for i := 1; i <= 120; i++ {
+		q := Pt(10+float64(i)*16, 10+float64(i)*16)
+		ga, _, err := gotSess.Move(q)
+		if err != nil {
+			t.Fatalf("sharded Move(%v): %v", q, err)
+		}
+		wa, _, err := wantSess.Move(q)
+		if err != nil {
+			t.Fatalf("reference Move(%v): %v", q, err)
+		}
+		if fmt.Sprint(ga) != fmt.Sprint(wa) {
+			t.Fatalf("Move(%v) answer sets diverge: %v vs %v", q, ga, wa)
+		}
+	}
+}
+
+// TestShardCompactDuringQueries hammers a sharded database with
+// concurrent queries while every shard is compacted one at a time;
+// answers must stay identical to a quiescent reference throughout
+// (race detector covers the epoch-swap publication).
+func TestShardCompactDuringQueries(t *testing.T) {
+	const side = 2000.0
+	cfg := datagen.Config{N: 120, Side: side, Diameter: 40, Seed: 31}
+	objs := datagen.Uniform(cfg)
+	db, err := Build(objs, cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	qs := shardQueryPoints(rng, side, 16)
+	want := make([]string, len(qs))
+	for i, q := range qs {
+		wa, _, err := ref.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fmt.Sprint(wa)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				j := (i + w) % len(qs)
+				ga, _, err := db.PNN(qs[j])
+				if err != nil {
+					errs <- fmt.Errorf("PNN(%v): %w", qs[j], err)
+					return
+				}
+				if got := fmt.Sprint(ga); got != want[j] {
+					errs <- fmt.Errorf("PNN(%v) diverged during compaction: %s vs %s", qs[j], got, want[j])
+					return
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < db.Shards(); i++ {
+			if err := db.CompactShard(context.Background(), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestShardLayoutRouting checks the grid factoring and that every
+// point — boundary cuts included — routes to a shard whose rectangle
+// contains it.
+func TestShardLayoutRouting(t *testing.T) {
+	for _, tc := range []struct{ s, gx, gy int }{
+		{1, 1, 1}, {2, 2, 1}, {3, 3, 1}, {4, 2, 2}, {6, 3, 2}, {8, 4, 2}, {9, 3, 3}, {16, 4, 4},
+	} {
+		gx, gy := shardGrid(tc.s)
+		if gx != tc.gx || gy != tc.gy {
+			t.Fatalf("shardGrid(%d) = %d×%d, want %d×%d", tc.s, gx, gy, tc.gx, tc.gy)
+		}
+	}
+
+	cfg := datagen.Config{N: 30, Side: 1000, Seed: 3}
+	db, err := Build(datagen.Uniform(cfg), cfg.Domain(), &Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	pts := shardQueryPoints(rng, 1000, 200)
+	for _, q := range pts {
+		i := db.shardIdx(q)
+		if !db.shards[i].rect.Contains(q) {
+			t.Fatalf("point %v routed to shard %d with rect %v", q, i, db.shards[i].rect)
+		}
+	}
+	// Shard rects tile the domain area exactly.
+	var area float64
+	for _, st := range db.ShardStats() {
+		area += st.Rect.Area()
+	}
+	if want := db.Domain().Area(); area != want {
+		t.Fatalf("shard areas sum to %v, domain is %v", area, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"uvdiagram/internal/core"
 	"uvdiagram/internal/prob"
@@ -11,16 +12,26 @@ import (
 )
 
 // Dynamic updates — the maintenance story the paper leaves as future
-// work. Insert and Delete mutate the current index epoch incrementally;
-// Rebuild and Compact construct a fresh epoch off-thread and swap it in
-// atomically, so concurrent queries are never blocked by (and never
-// observe a torn state from) a rebuild.
+// work. Insert and Delete mutate the current shard epochs incrementally;
+// Rebuild, Compact and CompactShard construct fresh epochs off-thread
+// and swap each in atomically, so concurrent queries are never blocked
+// by (and never observe a torn state from) a rebuild.
+//
+// Sharding splits the work spatially: the expensive constraint-set
+// derivation runs ONCE per mutation and is shared by every shard, while
+// each shard's leaf/page churn is bounded by the objects whose UV-cells
+// actually reach its region (an object away from a shard is dropped by
+// the root-level overlap test before touching any of its leaves). Every
+// shard still records the mutation in its constraint bookkeeping — a
+// later delete can grow a neighbor's cell across a shard boundary, and
+// the shard-local reverse cr-map is what finds those dependents.
 //
 // Concurrency contract: Insert and Delete require external
 // synchronization against queries (the server holds its write lock
 // across them — incremental maintenance rewrites live leaf pages).
-// Rebuild and Compact do NOT: any goroutine may call them while queries
-// run. All mutations serialize against each other internally.
+// Rebuild, Compact and CompactShard do NOT: any goroutine may call them
+// while queries run. All mutations serialize against each other
+// internally.
 
 // Insert adds a new uncertain object to a built database. The object's
 // ID must be the next dense ID (db.NextID(); deleted IDs are never
@@ -29,13 +40,14 @@ import (
 // Soundness: a new object only shrinks other objects' UV-cells, and
 // index leaf lists are supersets of the true overlaps, so existing
 // entries stay valid; the new object is inserted with a freshly derived
-// cr-object representation. Repeated inserts accumulate slack in the
-// leaf lists (extra false positives, never wrong answers); Compact — or
-// the Options.CompactSlack auto-compaction watermark — clears it.
+// cr-object representation into every shard its UV-cell reaches.
+// Repeated inserts accumulate slack in the touched shards' leaf lists
+// (extra false positives, never wrong answers); Compact — or the
+// Options.CompactSlack per-shard auto-compaction watermark — clears it.
 //
-// The store append, R-tree insert and index insert land together: if
-// the final index step fails, the first two are rolled back, so a
-// failed Insert leaves the database exactly as it was.
+// The store append, R-tree inserts and index inserts land together: if
+// the index step fails its validation, the first two are rolled back,
+// so a failed Insert leaves the database exactly as it was.
 func (db *DB) Insert(o Object) error {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
@@ -48,45 +60,68 @@ func (db *DB) Insert(o Object) error {
 	if err := db.store.Append(o); err != nil {
 		return err
 	}
-	ep := db.ep()
-	ep.tree.Insert(rtree.Item{ID: o.ID, MBC: o.Region, Ptr: uint64(db.store.PageOf(o.ID))})
-	res := core.DeriveCRObjects(ep.tree, o, db.store.Dense(), db.domain,
-		db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
-	if err := ep.index.InsertLive(o.ID, res.CR); err != nil {
-		// InsertLive validates before mutating, so store and tree can be
-		// rolled back to a consistent pre-call state.
-		ep.tree.Delete(o.ID, o.Region)
-		if rerr := db.store.RemoveLast(); rerr != nil {
-			return fmt.Errorf("uvdiagram: insert failed (%v) AND rollback failed: %w", err, rerr)
-		}
-		return fmt.Errorf("uvdiagram: insert rolled back: %w", err)
+	eps := db.epochs()
+	item := rtree.Item{ID: o.ID, MBC: o.Region, Ptr: uint64(db.store.PageOf(o.ID))}
+	for _, ep := range eps {
+		ep.tree.Insert(item)
 	}
-	db.maybeCompact(ep)
+	// One derivation feeds every shard (all trees hold the same live
+	// population, so any of them serves the pruning steps).
+	res := core.DeriveCRObjects(eps[0].tree, o, db.store.Dense(), db.domain,
+		db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
+	for i, ep := range eps {
+		if err := ep.index.InsertLive(o.ID, res.CR); err != nil {
+			if i > 0 {
+				// InsertLive's validation depends only on the id ordering
+				// and the store length, which are identical across shards;
+				// a later-shard failure would mean the engine's invariants
+				// are already broken, so report rather than half-rollback.
+				return fmt.Errorf("uvdiagram: insert applied to %d of %d shards: %w", i, len(eps), err)
+			}
+			// InsertLive validates before mutating, so store and trees can
+			// be rolled back to a consistent pre-call state.
+			for _, ep2 := range eps {
+				ep2.tree.Delete(o.ID, o.Region)
+			}
+			if rerr := db.store.RemoveLast(); rerr != nil {
+				return fmt.Errorf("uvdiagram: insert failed (%v) AND rollback failed: %w", err, rerr)
+			}
+			return fmt.Errorf("uvdiagram: insert rolled back: %w", err)
+		}
+	}
+	db.maybeCompact()
 	return nil
 }
 
 // Delete removes object id from the database incrementally. The id is
-// tombstoned in the store (never reused), removed from the helper
-// R-tree, and excised from the UV-index: because removing an object can
-// only GROW the UV-cells of the objects whose cr-set contained it,
-// exactly those neighbors are re-derived and re-inserted, keeping every
-// leaf list a superset of the true overlaps — answers stay exact.
+// tombstoned in the store (never reused), removed from every shard's
+// helper R-tree, and excised from each shard's UV-index: because
+// removing an object can only GROW the UV-cells of the objects whose
+// cr-set contained it, exactly those neighbors are re-derived (once,
+// shared across shards) and re-inserted into every shard their grown
+// cells reach, keeping every leaf list a superset of the true overlaps
+// — answers stay exact.
 //
 // Like Insert, Delete requires external synchronization against
 // queries. Each delete adds slack proportional to the re-derived
-// neighborhood; Compact (or the CompactSlack watermark) clears it.
+// neighborhood in the shards it touches; Compact (or the CompactSlack
+// watermark) clears it.
 func (db *DB) Delete(id int32) error {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
-	return db.deleteLocked(id)
+	if !db.store.Alive(id) {
+		return fmt.Errorf("uvdiagram: unknown or deleted object %d", id)
+	}
+	return db.deleteBatchLocked([]int32{id})
 }
 
 // BatchDelete removes many objects in one critical section. It is
 // all-or-nothing: every id is validated (known, live, no duplicates)
 // before the first deletion, so a failing batch changes nothing. The
-// index repair is shared across the batch — one leaf walk strips every
-// victim and dependent, dirty pages flush once, and the leaf caches are
-// invalidated once, instead of per victim.
+// index repair is shared across the batch — per shard, one leaf walk
+// strips every victim and dependent, dirty pages flush once, and the
+// leaf caches are invalidated once, instead of per victim; dependent
+// re-derivation additionally runs once for the whole engine.
 func (db *DB) BatchDelete(ids []int32) error {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
@@ -103,111 +138,212 @@ func (db *DB) BatchDelete(ids []int32) error {
 	if len(ids) == 0 {
 		return nil
 	}
-	ep := db.ep()
-	// Tombstone every victim and drop its R-tree entry first, so the
+	return db.deleteBatchLocked(ids)
+}
+
+// deleteBatchLocked removes validated, live ids with db.wmu held.
+func (db *DB) deleteBatchLocked(ids []int32) error {
+	eps := db.epochs()
+	// Tombstone every victim and drop its R-tree entries first, so the
 	// dependents' re-derivation sees the final post-batch population.
 	for _, id := range ids {
 		o := db.store.At(int(id))
 		if err := db.store.Delete(id); err != nil {
 			return err
 		}
-		ep.tree.Delete(id, o.Region)
+		for _, ep := range eps {
+			ep.tree.Delete(id, o.Region)
+		}
 	}
-	_, err := ep.index.DeleteLiveBatch(ids, func(a int32) []int32 {
-		res := core.DeriveCRObjects(ep.tree, db.store.At(int(a)), db.store.Dense(), db.domain,
+	// Every shard lists the same dependents (constraint bookkeeping is
+	// engine-wide), so one memoized derivation per dependent serves all
+	// of them; the per-shard work that remains is leaf surgery bounded
+	// by the shard's region.
+	memo := make(map[int32][]int32)
+	rederive := func(a int32) []int32 {
+		if cr, ok := memo[a]; ok {
+			return cr
+		}
+		res := core.DeriveCRObjects(eps[0].tree, db.store.At(int(a)), db.store.Dense(), db.domain,
 			db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
+		memo[a] = res.CR
 		return res.CR
-	})
-	if err != nil {
-		return err
 	}
-	db.maybeCompact(ep)
+	for _, ep := range eps {
+		if _, err := ep.index.DeleteLiveBatch(ids, rederive); err != nil {
+			return err
+		}
+	}
+	db.maybeCompact()
 	return nil
 }
 
-// deleteLocked is Delete with db.wmu held.
-func (db *DB) deleteLocked(id int32) error {
-	if !db.store.Alive(id) {
-		return fmt.Errorf("uvdiagram: unknown or deleted object %d", id)
-	}
-	o := db.store.At(int(id))
-	if err := db.store.Delete(id); err != nil {
-		return err
-	}
-	ep := db.ep()
-	ep.tree.Delete(id, o.Region)
-	// Re-derivation runs against the post-delete population: the victim
-	// is tombstoned in the store and gone from the R-tree, so seeds and
-	// pruning never see it.
-	_, err := ep.index.DeleteLive(id, func(a int32) []int32 {
-		res := core.DeriveCRObjects(ep.tree, db.store.At(int(a)), db.store.Dense(), db.domain,
-			db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
-		return res.CR
-	})
-	if err != nil {
-		return err
-	}
-	db.maybeCompact(ep)
-	return nil
-}
-
-// Rebuild reconstructs the UV-index (and the helper R-tree) from
+// Rebuild reconstructs every shard's UV-index (and helper R-tree) from
 // scratch over the live objects, clearing the slack accumulated by
-// Inserts and Deletes. The fresh index is published with one atomic
-// epoch swap, so concurrent queries keep answering throughout — they
-// see either the old or the new index, never a mixture.
+// Inserts and Deletes. Each fresh shard index is published with one
+// atomic epoch swap, so concurrent queries keep answering throughout —
+// they see either the old or the new index, never a mixture.
 func (db *DB) Rebuild() error { return db.Compact(context.Background()) }
 
 // Compact is Rebuild with a context: the shadow build is skipped if ctx
 // is already cancelled when compaction starts (the build itself is one
-// uninterruptible pass). Queries are never blocked — they run against
-// the old epoch until the atomic swap. Concurrent Inserts and Deletes
-// serialize behind the compaction.
+// uninterruptible pass). The live population is derived once and every
+// shard's sub-grid is then shadow-built in parallel and swapped in.
+// Queries are never blocked — they run against the old epochs until the
+// atomic swaps. Concurrent Inserts and Deletes serialize behind the
+// compaction. For maintenance bounded by one shard's size, use
+// CompactShard.
 func (db *DB) Compact(ctx context.Context) error {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	old := db.ep()
-	// Shadow build: nothing below mutates the live epoch or the store.
+	// Shadow build: nothing below mutates the live epochs or the store.
 	tree := core.BuildHelperRTree(db.store, db.bopts.Fanout)
-	index, stats, err := core.Build(db.store, db.domain, tree, db.bopts)
+	if len(db.shards) == 1 {
+		index, stats, err := core.Build(db.store, db.domain, tree, db.bopts)
+		if err != nil {
+			return err
+		}
+		old := db.ep()
+		db.shards[0].epoch.Store(&indexEpoch{index: index, tree: tree, gen: old.gen + 1})
+		db.built.Store(&stats)
+		return nil
+	}
+	t0 := time.Now()
+	crSets, stats, err := core.DeriveCRSets(db.store, db.domain, tree, db.bopts)
 	if err != nil {
 		return err
 	}
-	db.epoch.Store(&indexEpoch{index: index, tree: tree, built: stats, gen: old.gen + 1})
+	db.publishShards(crSets, tree, &stats, t0)
+	db.built.Store(&stats)
 	return nil
 }
 
-// maybeCompact kicks off a background compaction when the armed slack
-// watermark is reached. Singleflight: at most one auto-compaction runs
-// at a time, and explicit mutations arriving meanwhile simply serialize
-// behind it.
-func (db *DB) maybeCompact(ep *indexEpoch) {
-	if db.bopts.CompactSlack <= 0 || ep.index.Slack() < int64(db.bopts.CompactSlack) {
+// CompactShard shadow-rebuilds one shard and swaps it in, leaving the
+// other shards untouched: fresh constraint sets are derived only for
+// the objects whose (conservatively represented) UV-cells can reach the
+// shard's region — every other object keeps its current set for
+// cross-shard delete bookkeeping — so both the rebuild work and the
+// query-visible churn are bounded by the shard's population rather than
+// the whole diagram. Queries are never blocked. This is the unit of
+// background auto-compaction.
+func (db *DB) CompactShard(ctx context.Context, i int) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if i < 0 || i >= len(db.shards) {
+		return fmt.Errorf("uvdiagram: shard %d out of range [0, %d)", i, len(db.shards))
+	}
+	sh := &db.shards[i]
+	old := sh.ep()
+	tree := core.BuildHelperRTree(db.store, db.bopts.Fanout)
+	crSets := make([][]int32, db.store.Len())
+	var reach []int32
+	for id := 0; id < db.store.Len(); id++ {
+		if !db.store.Alive(int32(id)) {
+			continue
+		}
+		if old.index.CellReaches(int32(id), sh.rect) {
+			reach = append(reach, int32(id))
+		} else {
+			crSets[id] = old.index.CRObjects(int32(id))
+		}
+	}
+	db.deriveInto(crSets, reach, tree)
+	ix, _ := core.BuildRegion(db.store, sh.rect, crSets, db.bopts.Index)
+	sh.epoch.Store(&indexEpoch{index: ix, tree: tree, gen: old.gen + 1})
+	// The derivation phase of a shard compact is partial, so the full-
+	// build statistics snapshot keeps its phase timings; only the
+	// aggregate index shape is refreshed.
+	stats := *db.built.Load()
+	stats.Index = db.IndexStats()
+	db.built.Store(&stats)
+	return nil
+}
+
+// deriveInto fills crSets[id] with a freshly derived constraint set for
+// every id in reach, parallelized by Options.Workers. Like the build
+// path, each extra worker clones the helper R-tree so no two share one
+// simulated-disk pager's read path under contention.
+func (db *DB) deriveInto(crSets [][]int32, reach []int32, tree *rtree.Tree) {
+	derive := func(t *rtree.Tree, id int32) []int32 {
+		res := core.DeriveCRObjects(t, db.store.At(int(id)), db.store.Dense(), db.domain,
+			db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
+		return res.CR
+	}
+	workers := db.bopts.Workers
+	if workers > len(reach) {
+		workers = len(reach)
+	}
+	if workers <= 1 {
+		for _, id := range reach {
+			crSets[id] = derive(tree, id)
+		}
 		return
 	}
-	if !db.compacting.CompareAndSwap(false, true) {
+	next := make(chan int32)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wtree := tree
+		if w > 0 {
+			wtree = core.BuildHelperRTree(db.store, db.bopts.Fanout)
+		}
+		go func(wtree *rtree.Tree) {
+			defer func() { done <- struct{}{} }()
+			for id := range next {
+				crSets[id] = derive(wtree, id)
+			}
+		}(wtree)
+	}
+	for _, id := range reach {
+		next <- id
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// maybeCompact kicks off background compaction for every shard whose
+// accumulated slack reached the armed watermark. Singleflight per
+// shard: at most one auto-compaction runs per shard at a time, several
+// shards may compact in parallel, and explicit mutations arriving
+// meanwhile simply serialize behind them.
+func (db *DB) maybeCompact() {
+	if db.bopts.CompactSlack <= 0 {
 		return
 	}
-	go func() {
-		defer db.compacting.Store(false)
-		// The build inputs were validated when the objects entered the
-		// store, so failure here would indicate a programming error;
-		// errors surface on the next explicit Compact call.
-		_ = db.Compact(context.Background())
-	}()
+	for i := range db.shards {
+		sh := &db.shards[i]
+		if sh.ep().index.Slack() < int64(db.bopts.CompactSlack) {
+			continue
+		}
+		if !sh.compacting.CompareAndSwap(false, true) {
+			continue
+		}
+		go func(i int) {
+			defer db.shards[i].compacting.Store(false)
+			// The build inputs were validated when the objects entered the
+			// store, so failure here would indicate a programming error;
+			// errors surface on the next explicit Compact call.
+			_ = db.CompactShard(context.Background(), i)
+		}(i)
+	}
 }
 
 // PossibleKNN returns the IDs of every object with non-zero probability
 // of being among the k nearest neighbors of q — the k-NN generalization
 // the paper lists as future work (k-th order Voronoi diagrams [30]).
-// Retrieval runs on the R-tree: UV-index leaf lists only guarantee
-// supersets for k = 1 cells, so the branch-and-prune path generalizes
-// while the UV-index stays specialized for PNN.
+// Retrieval runs on the owning shard's helper R-tree (which covers the
+// full live population): UV-index leaf lists only guarantee supersets
+// for k = 1 cells, so the branch-and-prune path generalizes while the
+// UV-index stays specialized for PNN.
 func (db *DB) PossibleKNN(q Point, k int) ([]int32, error) {
-	return db.possibleKNN(db.ep(), q, k, nil)
+	return db.possibleKNN(db.epFor(q), q, k, nil)
 }
 
 // possibleKNN answers through an optional R-tree leaf cache against one

@@ -42,12 +42,21 @@
 // and client for a built database live in internal/server with the
 // cmd/uvserver and cmd/uvclient front ends; see README.md for the
 // protocol and its batch opcodes.
+//
+// With Options.Shards > 1 the engine partitions the domain into a grid
+// of spatial shards, each owning an independent sub-grid UV-index,
+// helper R-tree, epoch pointer and slack counter (see shard.go). Point
+// queries route to the owning shard lock-free; builds parallelize
+// across shards; compaction becomes per-shard, bounding maintenance
+// churn by shard size. Answers are identical to the single-shard
+// engine bit for bit.
 package uvdiagram
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"uvdiagram/internal/core"
 	"uvdiagram/internal/geom"
@@ -145,10 +154,25 @@ type Options struct {
 	// are identical to a sequential build (0/1 = sequential).
 	Workers int
 	// CompactSlack, when positive, arms automatic background
-	// compaction: once the accumulated insert/delete slack reaches this
-	// watermark, the DB rebuilds the index off-thread and swaps it in
-	// atomically (see Compact). 0 disables auto-compaction.
+	// compaction: once a shard's accumulated insert/delete slack
+	// reaches this watermark, the DB rebuilds that shard off-thread and
+	// swaps it in atomically (see Compact and CompactShard; with one
+	// shard this is a whole-index rebuild). 0 disables auto-compaction.
 	CompactSlack int
+	// Shards partitions the domain into a grid of spatial shards, each
+	// with its own sub-grid UV-index, helper R-tree, epoch pointer and
+	// slack counter. Point queries route to the owning shard; builds
+	// parallelize across shards; compaction is per-shard. 0 or 1 keeps
+	// the single-shard engine. Answers are independent of the shard
+	// count.
+	Shards int
+}
+
+func (o *Options) shardCount() (int, error) {
+	if o == nil {
+		return 1, nil
+	}
+	return validateShards(o.Shards)
 }
 
 func (o *Options) toBuildOptions() core.BuildOptions {
@@ -190,63 +214,133 @@ func (o *Options) toBuildOptions() core.BuildOptions {
 	return b
 }
 
-// indexEpoch is one immutable-by-swap generation of the database's
-// index state: the UV-index, the helper R-tree it was derived with, and
-// the construction statistics. Queries load the current epoch with one
-// atomic pointer read and use it for their whole execution; Rebuild and
-// Compact construct a fresh epoch off to the side and publish it with
-// one atomic store, so a query never observes a torn (half-swapped)
-// index and is never blocked by a rebuild (RCU-style).
+// indexEpoch is one immutable-by-swap generation of a shard's index
+// state: the shard's sub-grid UV-index and the helper R-tree (which
+// always covers the FULL live population — pruning, k-NN and RNN
+// retrieval are global no matter which shard runs them). Queries load
+// the owning shard's current epoch with one atomic pointer read and use
+// it for their whole execution; Rebuild, Compact and CompactShard
+// construct fresh epochs off to the side and publish each with one
+// atomic store, so a query never observes a torn (half-swapped) index
+// and is never blocked by a rebuild (RCU-style).
 //
-// Incremental Insert/Delete mutate the CURRENT epoch in place (bumping
-// gen via the index's own mutation counter); they still require the
+// Incremental Insert/Delete mutate the CURRENT epochs in place (bumping
+// gen via each index's own mutation counter); they still require the
 // caller's external synchronization against queries, exactly as before.
 type indexEpoch struct {
 	index *core.UVIndex
 	tree  *rtree.Tree
-	built BuildStats
-	// gen numbers the epoch: it increases by one at every Rebuild or
-	// Compact swap, letting long-lived sessions (ContinuousPNN) detect
-	// that the index they captured has been replaced.
+	// gen numbers the epoch: it increases by one at every Rebuild /
+	// Compact / CompactShard swap of this shard, letting long-lived
+	// sessions (ContinuousPNN) detect that the index they captured has
+	// been replaced.
 	gen uint64
 }
 
-// DB is a built UV-diagram database: the UV-index, the object store and
-// the helper R-tree (also the comparison baseline).
+// DB is a built UV-diagram database: one or more spatially sharded
+// UV-indexes, the object store and the helper R-tree (also the
+// comparison baseline).
 type DB struct {
 	store  *uncertain.Store
 	domain Rect
 	bopts  core.BuildOptions
-	epoch  atomic.Pointer[indexEpoch]
+	// Shard layout: a gx × gy grid of rectangles tiling the domain,
+	// with the cut coordinates kept for exact point routing. A
+	// single-shard engine has gx = gy = 1 and shard 0 owning the whole
+	// domain.
+	gx, gy int
+	xs, ys []float64
+	shards []shard
+	// built snapshots the statistics of the last full construction pass
+	// (Build, Load, Rebuild/Compact); per-shard compaction refreshes
+	// only the aggregated index shape.
+	built atomic.Pointer[BuildStats]
 	// wmu serializes every mutation: Insert, Delete, Rebuild, Compact.
-	// Queries never take it — they read the epoch pointer.
-	wmu        sync.Mutex
-	compacting atomic.Bool // auto-compaction singleflight
-	batch      batchState  // leaf caches reused across Batch* calls
+	// Queries never take it — they read the shard epoch pointers.
+	wmu   sync.Mutex
+	batch batchState // per-shard leaf caches reused across Batch* calls
 }
 
-// ep returns the current index epoch.
-func (db *DB) ep() *indexEpoch { return db.epoch.Load() }
-
 // Build indexes the objects (dense IDs 0..n-1 required) over the given
-// domain. opts may be nil for the paper's defaults.
+// domain. opts may be nil for the paper's defaults. With Options.Shards
+// > 1, the expensive per-object derivation runs once (parallelized by
+// Options.Workers) and the shard sub-grids are then built concurrently,
+// one goroutine per shard.
 func Build(objects []Object, domain Rect, opts *Options) (*DB, error) {
 	if len(objects) == 0 {
 		return nil, fmt.Errorf("uvdiagram: no objects to index")
+	}
+	nshards, err := opts.shardCount()
+	if err != nil {
+		return nil, err
 	}
 	store, err := uncertain.NewStore(objects, pager.New(uncertain.ObjectPageBytes))
 	if err != nil {
 		return nil, err
 	}
 	bopts := opts.toBuildOptions()
+	db := &DB{store: store, domain: domain, bopts: bopts}
+	db.initShards(nshards)
 	tree := core.BuildHelperRTree(store, bopts.Fanout)
-	index, stats, err := core.Build(store, domain, tree, bopts)
+	if nshards == 1 {
+		index, stats, err := core.Build(store, domain, tree, bopts)
+		if err != nil {
+			return nil, err
+		}
+		db.shards[0].epoch.Store(&indexEpoch{index: index, tree: tree})
+		db.built.Store(&stats)
+		return db, nil
+	}
+	t0 := time.Now()
+	crSets, stats, err := core.DeriveCRSets(store, domain, tree, bopts)
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{store: store, domain: domain, bopts: bopts}
-	db.epoch.Store(&indexEpoch{index: index, tree: tree, built: stats})
+	db.publishShards(crSets, tree, &stats, t0)
+	db.built.Store(&stats)
 	return db, nil
+}
+
+// publishShards shadow-builds every shard's sub-grid from one shared
+// derivation pass — in parallel, one goroutine per shard — and swaps
+// each epoch in. Shard 0 adopts tree0 (the tree the derivation ran
+// through); the other shards bulk-load their own full-population clones
+// so no two shards contend on one simulated-disk pager. stats receives
+// the summed per-shard indexing CPU time, the aggregate index shape and
+// the wall clock since t0.
+func (db *DB) publishShards(crSets [][]int32, tree0 *rtree.Tree, stats *BuildStats, t0 time.Time) {
+	type built struct {
+		ix  *core.UVIndex
+		dur time.Duration
+	}
+	results := make([]built, len(db.shards))
+	trees := make([]*rtree.Tree, len(db.shards))
+	trees[0] = tree0
+	var wg sync.WaitGroup
+	for i := range db.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if trees[i] == nil {
+				trees[i] = core.BuildHelperRTree(db.store, db.bopts.Fanout)
+			}
+			ix, dur := core.BuildRegion(db.store, db.shards[i].rect, crSets, db.bopts.Index)
+			results[i] = built{ix: ix, dur: dur}
+		}(i)
+	}
+	wg.Wait()
+	shapes := make([]core.IndexStats, len(db.shards))
+	for i := range db.shards {
+		gen := uint64(0)
+		if old := db.shards[i].ep(); old != nil {
+			gen = old.gen + 1
+		}
+		db.shards[i].epoch.Store(&indexEpoch{index: results[i].ix, tree: trees[i], gen: gen})
+		stats.IndexDur += results[i].dur
+		shapes[i] = results[i].ix.Stats()
+	}
+	stats.TotalDur = time.Since(t0)
+	stats.Index = aggregateIndexStats(shapes)
 }
 
 // Len returns the number of live (indexed, non-deleted) objects.
@@ -271,41 +365,111 @@ func (db *DB) Object(id int32) (Object, error) {
 	return db.store.At(int(id)), nil
 }
 
-// BuildStats returns the construction statistics of the current index
-// epoch.
-func (db *DB) BuildStats() BuildStats { return db.ep().built }
+// BuildStats returns the statistics of the last full construction pass
+// (Build, Load or Rebuild/Compact). With shards, phase durations are
+// summed CPU time across shard builds and Index aggregates the shard
+// sub-grids.
+func (db *DB) BuildStats() BuildStats { return *db.built.Load() }
 
-// IndexStats returns the UV-index shape statistics.
-func (db *DB) IndexStats() core.IndexStats { return db.ep().index.Stats() }
+// IndexStats returns the UV-index shape statistics, aggregated across
+// shards (counts sum, depth is the maximum).
+func (db *DB) IndexStats() core.IndexStats {
+	if len(db.shards) == 1 {
+		return db.ep().index.Stats()
+	}
+	shapes := make([]core.IndexStats, len(db.shards))
+	for i := range db.shards {
+		shapes[i] = db.epAt(i).index.Stats()
+	}
+	return aggregateIndexStats(shapes)
+}
 
-// PNN answers a probabilistic nearest-neighbor query through the
-// UV-index (Section V-A).
+// PNN answers a probabilistic nearest-neighbor query through the owning
+// shard's UV-index (Section V-A).
 func (db *DB) PNN(q Point) ([]Answer, QueryStats, error) {
-	return db.ep().index.PNN(q)
+	ep, err := db.routeQ(q)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return ep.index.PNN(q)
+}
+
+// checkDomain rejects query points outside a multi-shard engine's
+// domain (with one shard, the index's own domain check reproduces the
+// original core error text). Shared by the single-point and batch
+// routing paths so their semantics can never drift apart.
+func (db *DB) checkDomain(q Point) error {
+	if len(db.shards) > 1 && !db.domain.Contains(q) {
+		return fmt.Errorf("uvdiagram: query point %v outside domain %v", q, db.domain)
+	}
+	return nil
+}
+
+// routeQ returns the epoch owning q.
+func (db *DB) routeQ(q Point) (*indexEpoch, error) {
+	if err := db.checkDomain(q); err != nil {
+		return nil, err
+	}
+	return db.epFor(q), nil
 }
 
 // Partitions retrieves all UV-partitions (leaf regions) intersecting r
-// with their nearest-neighbor densities (Section V-C).
+// with their nearest-neighbor densities (Section V-C), gathered from
+// every shard r overlaps.
 func (db *DB) Partitions(r Rect) []Partition {
-	parts, _ := db.ep().index.Partitions(r)
-	return parts
+	if len(db.shards) == 1 {
+		parts, _ := db.ep().index.Partitions(r)
+		return parts
+	}
+	var out []Partition
+	for i := range db.shards {
+		if !db.shards[i].rect.Overlaps(r) {
+			continue
+		}
+		parts, _ := db.epAt(i).index.Partitions(r)
+		out = append(out, parts...)
+	}
+	return out
 }
 
 // CellArea approximates the area of object id's UV-cell from the index
-// (Section V-C, UV-cell retrieval).
-func (db *DB) CellArea(id int32) (float64, error) { return db.ep().index.CellArea(id) }
+// (Section V-C, UV-cell retrieval), summing the shard-local areas of
+// every shard the cell reaches.
+func (db *DB) CellArea(id int32) (float64, error) {
+	total := 0.0
+	for i := range db.shards {
+		a, err := db.epAt(i).index.CellArea(id)
+		if err != nil {
+			return 0, err
+		}
+		total += a
+	}
+	return total, nil
+}
 
 // CellRegions returns the leaf regions overlapping object id's UV-cell,
-// its displayable approximate extent.
-func (db *DB) CellRegions(id int32) []Rect { return db.ep().index.CellRegions(id) }
+// its displayable approximate extent, concatenated across shards.
+func (db *DB) CellRegions(id int32) []Rect {
+	if len(db.shards) == 1 {
+		return db.ep().index.CellRegions(id)
+	}
+	var out []Rect
+	for i := range db.shards {
+		out = append(out, db.epAt(i).index.CellRegions(id)...)
+	}
+	return out
+}
 
 // Index exposes the underlying UV-index for advanced use (experiment
-// harness, visualization). The pointer is the CURRENT epoch's index; a
-// Rebuild or Compact replaces it, so hold the result only briefly.
+// harness, visualization). With shards it is shard 0's sub-grid; use
+// ShardStats to enumerate the others. The pointer is the CURRENT
+// epoch's index; a Rebuild or Compact replaces it, so hold the result
+// only briefly.
 func (db *DB) Index() *core.UVIndex { return db.ep().index }
 
 // RTree exposes the helper R-tree (the query baseline of Figure 6).
-// Like Index, it is the current epoch's tree.
+// Every shard's tree covers the full live population; this is shard
+// 0's. Like Index, it is the current epoch's tree.
 func (db *DB) RTree() *rtree.Tree { return db.ep().tree }
 
 // Store exposes the underlying object store.
