@@ -16,7 +16,7 @@ func (db *DB) PNNViaRTree(q Point) ([]Answer, QueryStats, error) {
 	var st QueryStats
 
 	t0 := time.Now()
-	tree := db.ep().tree
+	tree := db.rtree()
 	before := tree.Pager().Reads()
 	items, dminmax := tree.PNNCandidates(q)
 	st.IndexIOs = tree.Pager().Reads() - before

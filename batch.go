@@ -39,23 +39,23 @@ func (o *BatchOptions) cacheSize() int {
 }
 
 // batchState lazily holds the leaf caches a DB (or order-k index)
-// reuses across batch calls: per shard, one over UV-index grid leaves
-// and one over helper R-tree leaves. Caches are per-shard because each
-// cache is generation-invalidated against ONE index's mutation counter;
-// with a shared cache, shards mutating at different rates would flush
-// each other's entries.
+// reuses across batch calls: per shard, one over UV-index grid leaves,
+// plus a single cache over the shared helper R-tree's leaves. Grid
+// caches are per-shard because each is generation-invalidated against
+// ONE index's mutation counter; with a shared cache, shards mutating at
+// different rates would flush each other's entries.
 type batchState struct {
 	mu     sync.Mutex
 	caches []*core.LeafCache
-	rts    []*rtree.LeafCache
+	rt     *rtree.LeafCache
 	cap    int
 }
 
-// cachesFor returns the persistent per-shard leaf caches for the
-// requested size in one critical section, (re)building them when the
-// size (or shard count) changes. Size ≤ 0 returns nil slices (no
-// caching); a nil slice indexes as a nil cache through cacheAt/rtAt.
-func (s *batchState) cachesFor(size, shards int) ([]*core.LeafCache, []*rtree.LeafCache) {
+// cachesFor returns the persistent caches for the requested size in one
+// critical section, (re)building them when the size (or shard count)
+// changes. Size ≤ 0 returns nils (no caching); a nil slice indexes as a
+// nil cache through cacheAt.
+func (s *batchState) cachesFor(size, shards int) ([]*core.LeafCache, *rtree.LeafCache) {
 	if size <= 0 {
 		return nil, nil
 	}
@@ -63,14 +63,13 @@ func (s *batchState) cachesFor(size, shards int) ([]*core.LeafCache, []*rtree.Le
 	defer s.mu.Unlock()
 	if len(s.caches) != shards || s.cap != size {
 		s.caches = make([]*core.LeafCache, shards)
-		s.rts = make([]*rtree.LeafCache, shards)
 		for i := 0; i < shards; i++ {
 			s.caches[i] = core.NewLeafCache(size)
-			s.rts[i] = rtree.NewLeafCache(size)
 		}
+		s.rt = rtree.NewLeafCache(size)
 		s.cap = size
 	}
-	return s.caches, s.rts
+	return s.caches, s.rt
 }
 
 // cachesGridFor returns just the per-shard grid leaf caches.
@@ -79,8 +78,8 @@ func (s *batchState) cachesGridFor(size, shards int) []*core.LeafCache {
 	return c
 }
 
-// cachesRTreeFor returns just the per-shard helper R-tree leaf caches.
-func (s *batchState) cachesRTreeFor(size, shards int) []*rtree.LeafCache {
+// cacheRTreeFor returns just the shared helper R-tree leaf cache.
+func (s *batchState) cacheRTreeFor(size, shards int) *rtree.LeafCache {
 	_, rt := s.cachesFor(size, shards)
 	return rt
 }
@@ -93,32 +92,47 @@ func cacheAt(caches []*core.LeafCache, i int) *core.LeafCache {
 	return caches[i]
 }
 
-// rtAt indexes a possibly-nil R-tree cache slice.
-func rtAt(rts []*rtree.LeafCache, i int) *rtree.LeafCache {
-	if rts == nil {
-		return nil
-	}
-	return rts[i]
+// runBatch executes fn(i) for i in [0, n) on a bounded worker pool,
+// feeding indexes in the given order (nil = natural). On failure it
+// returns the lowest-indexed error recorded, wrapped with that index;
+// since the whole batch's results are discarded on any error, queries
+// not yet started are skipped once a failure is seen. Per-index results
+// are written by fn into caller-owned positional slices, so the output
+// order is deterministic and identical to a sequential loop whatever
+// the dispatch order.
+func runBatch(n, workers int, order []int, fn func(i int) error) error {
+	return runPool(n, workers, order, "query", fn)
 }
 
-// runBatch executes fn(i) for i in [0, n) on a bounded worker pool.
-// On failure it returns the lowest-indexed error recorded, wrapped
-// with that index; since the whole batch's results are discarded on
-// any error, queries not yet started are skipped once a failure is
-// seen. Per-index results are written by fn into caller-owned slices,
-// so the output order is deterministic and identical to a sequential
-// loop.
-func runBatch(n, workers int, fn func(i int) error) error {
+// runPool is the bounded worker pool behind runBatch (and CompactAll);
+// label names one unit of work in the wrapped error ("query 3: …",
+// "shard 1: …").
+func runPool(n, workers int, order []int, label string, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	feed := func(emit func(int)) {
+		if order == nil {
+			for i := 0; i < n; i++ {
+				emit(i)
+			}
+			return
+		}
+		for _, i := range order {
+			emit(i)
+		}
+	}
 	errs := make([]error, n)
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if errs[i] = fn(i); errs[i] != nil {
-				break
+		failed := false
+		feed(func(i int) {
+			if failed {
+				return
 			}
-		}
+			if errs[i] = fn(i); errs[i] != nil {
+				failed = true
+			}
+		})
 	} else {
 		var failed atomic.Bool
 		var wg sync.WaitGroup
@@ -137,59 +151,91 @@ func runBatch(n, workers int, fn func(i int) error) error {
 				}
 			}()
 		}
-		for i := 0; i < n; i++ {
-			next <- i
-		}
+		feed(func(i int) { next <- i })
 		close(next)
 		wg.Wait()
 	}
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("query %d: %w", i, err)
+			return fmt.Errorf("%s %d: %w", label, i, err)
 		}
 	}
 	return nil
 }
 
-// batchRoute pins every shard's epoch once for a whole batch and
-// resolves per-point routing: each point scatters to its owning shard's
-// index and per-shard leaf cache, and the positional result slots
-// gather the answers back in request order.
+// batchRoute pins the layout, every shard's epoch and the helper R-tree
+// once for a whole batch and resolves per-point routing: each point
+// scatters to its owning shard's index and per-shard leaf cache, and
+// the positional result slots gather the answers back in request order.
 type batchRoute struct {
-	db  *DB
-	eps []*indexEpoch
+	db   *DB
+	lo   *shardLayout
+	eps  []*indexEpoch
+	tree *rtree.Tree
 }
 
-func (db *DB) route() batchRoute { return batchRoute{db: db, eps: db.epochs()} }
+func (db *DB) route() batchRoute {
+	lo := db.lo()
+	return batchRoute{db: db, lo: lo, eps: lo.epochs(), tree: db.rtree()}
+}
 
-// at returns the shard index owning q, erroring for points outside a
-// multi-shard domain (the same checkDomain guard the single-point
-// queries route through).
-func (r batchRoute) at(q Point) (int, error) {
-	if err := r.db.checkDomain(q); err != nil {
-		return 0, err
+// plan routes a whole batch in one pass: every point is
+// domain-validated in REQUEST order (so the "error of the lowest
+// failing query" contract holds whatever the dispatch order) and
+// resolved to its owning shard exactly once. It returns the per-point
+// owners and a dispatch order grouping the points by owning shard
+// (stable within a shard; nil when one shard makes grouping
+// pointless). Feeding the worker pool shard-by-shard keeps one shard's
+// leaf pages hot in its cache instead of diluting every shard's
+// working set across all workers — the server's batch opcodes get this
+// for free since they dispatch through here.
+func (r batchRoute) plan(qs []Point) (owner, order []int, err error) {
+	owner = make([]int, len(qs))
+	nsh := len(r.lo.shards)
+	counts := make([]int, nsh+1)
+	for i, q := range qs {
+		if err := checkDomain(r.lo, r.db.domain, q); err != nil {
+			return nil, nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		si := r.lo.shardIdx(q)
+		owner[i] = si
+		counts[si+1]++
 	}
-	return r.db.shardIdx(q), nil
+	if nsh <= 1 || len(qs) <= 1 {
+		return owner, nil, nil
+	}
+	for s := 1; s < len(counts); s++ {
+		counts[s] += counts[s-1]
+	}
+	order = make([]int, len(qs))
+	for i := range qs { // stable counting sort by shard
+		order[counts[owner[i]]] = i
+		counts[owner[i]]++
+	}
+	return owner, order, nil
 }
 
 // BatchNN answers N probabilistic nearest-neighbor queries with a
-// worker pool, one grid lookup per point, scatter-gathered by shard.
-// Results are identical to N sequential PNN calls in query order; on
-// any failure the error of the lowest failing query is returned and the
-// results are discarded.
+// worker pool, one grid lookup per point, scatter-gathered by shard
+// (points are dispatched grouped by owning shard, which keeps per-shard
+// leaf caches hot; results are positional, so the grouping is
+// invisible). Results are identical to N sequential PNN calls in query
+// order; on any failure the error of the lowest failing query is
+// returned and the results are discarded.
 //
 // Like the single-point queries, batches may run concurrently with each
 // other but require external synchronization against Insert (the server
 // holds its read lock across a whole batch).
 func (db *DB) BatchNN(qs []Point, opts *BatchOptions) ([][]Answer, error) {
-	rt := db.route() // one epoch per shard for the whole batch
+	rt := db.route() // one layout + epoch set for the whole batch
+	owner, order, err := rt.plan(qs)
+	if err != nil {
+		return nil, err
+	}
 	caches := db.batch.cachesGridFor(opts.cacheSize(), len(rt.eps))
 	out := make([][]Answer, len(qs))
-	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		si, err := rt.at(qs[i])
-		if err != nil {
-			return err
-		}
+	err = runBatch(len(qs), opts.workers(), order, func(i int) error {
+		si := owner[i]
 		answers, _, err := rt.eps[si].index.PNNCached(qs[i], cacheAt(caches, si))
 		out[i] = answers
 		return err
@@ -204,13 +250,14 @@ func (db *DB) BatchNN(qs []Point, opts *BatchOptions) ([][]Answer, error) {
 // batch form of TopKPNN), k shared by the whole batch.
 func (db *DB) BatchTopKPNN(qs []Point, k int, opts *BatchOptions) ([][]Answer, error) {
 	rt := db.route()
+	owner, order, err := rt.plan(qs)
+	if err != nil {
+		return nil, err
+	}
 	caches := db.batch.cachesGridFor(opts.cacheSize(), len(rt.eps))
 	out := make([][]Answer, len(qs))
-	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		si, err := rt.at(qs[i])
-		if err != nil {
-			return err
-		}
+	err = runBatch(len(qs), opts.workers(), order, func(i int) error {
+		si := owner[i]
 		answers, _, err := rt.eps[si].index.PNNCached(qs[i], cacheAt(caches, si))
 		if err != nil {
 			return err
@@ -230,13 +277,14 @@ func (db *DB) BatchTopKPNN(qs []Point, k int, opts *BatchOptions) ([][]Answer, e
 // tau ≤ 0 degenerates to BatchNN.
 func (db *DB) BatchThresholdNN(qs []Point, tau float64, opts *BatchOptions) ([][]Answer, error) {
 	rt := db.route()
+	owner, order, err := rt.plan(qs)
+	if err != nil {
+		return nil, err
+	}
 	caches := db.batch.cachesGridFor(opts.cacheSize(), len(rt.eps))
 	out := make([][]Answer, len(qs))
-	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		si, err := rt.at(qs[i])
-		if err != nil {
-			return err
-		}
+	err = runBatch(len(qs), opts.workers(), order, func(i int) error {
+		si := owner[i]
 		answers, _, err := rt.eps[si].index.PNNCached(qs[i], cacheAt(caches, si))
 		if err != nil {
 			return err
@@ -258,14 +306,14 @@ func (db *DB) BatchThresholdNN(qs []Point, tau float64, opts *BatchOptions) ([][
 
 // BatchOrderK answers N possible-k-NN queries (the order-k batch
 // variant), k shared by the whole batch. Results are identical to N
-// sequential PossibleKNN calls.
+// sequential PossibleKNN calls. Retrieval runs on the shared helper
+// R-tree, so the batch shares one R-tree leaf cache.
 func (db *DB) BatchOrderK(qs []Point, k int, opts *BatchOptions) ([][]int32, error) {
 	rt := db.route()
-	rts := db.batch.cachesRTreeFor(opts.cacheSize(), len(rt.eps))
+	cache := db.batch.cacheRTreeFor(opts.cacheSize(), len(rt.eps))
 	out := make([][]int32, len(qs))
-	err := runBatch(len(qs), opts.workers(), func(i int) error {
-		si := db.shardIdx(qs[i]) // k-NN accepts out-of-domain points
-		ids, err := db.possibleKNN(rt.eps[si], qs[i], k, rtAt(rts, si))
+	err := runBatch(len(qs), opts.workers(), nil, func(i int) error {
+		ids, err := db.possibleKNN(rt.tree, qs[i], k, cache) // k-NN accepts out-of-domain points
 		out[i] = ids
 		return err
 	})
@@ -285,7 +333,7 @@ func (ix *OrderKIndex) BatchPossibleKNN(qs []Point, opts *BatchOptions) ([][]int
 	}
 	cache := cacheAt(ix.batch.cachesGridFor(opts.cacheSize(), 1), 0)
 	out := make([][]int32, len(qs))
-	err := runBatch(len(qs), opts.workers(), func(i int) error {
+	err := runBatch(len(qs), opts.workers(), nil, func(i int) error {
 		ids, _, err := ix.inner.PossibleKNNCached(qs[i], cache)
 		out[i] = ids
 		return err

@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards]
+//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards|rebalance]
 //	        [-scale small|medium|paper] [-shards 1] [-quiet]
 //
 // -shards builds the churn experiment's database with that many spatial
 // shards; -exp shards sweeps S ∈ {1, 2, 4, 8} and reports build and
 // per-shard compaction wall clock plus worst query latency during
-// compaction.
+// compaction; -exp rebalance builds a skewed dataset over equal strips,
+// compacts disjoint shards concurrently under query load, reshards
+// online to weighted-median cuts and writes BENCH_rebalance.json.
 //
 // Tables go to stdout; progress lines go to stderr. The "paper" scale
 // matches Section VI-A (10k–80k objects, 50 queries) and takes tens of
@@ -25,7 +27,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards")
+	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance")
 	scaleName := flag.String("scale", "small", "scale preset: small, medium, paper")
 	shards := flag.Int("shards", 1, "spatial shard count for -exp churn (1 = unsharded)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
@@ -68,6 +70,8 @@ func main() {
 		tables, err = single(exp.RunChurn, sc, progress)
 	case "shards":
 		tables, err = single(exp.RunShards, sc, progress)
+	case "rebalance":
+		tables, err = single(exp.RunRebalance, sc, progress)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *expName)
 	}

@@ -7,7 +7,8 @@
 //
 //	uvbuild [-n 30000] [-dataset uniform|skewed|utility|roads|rrlines]
 //	        [-strategy ic|icr|basic] [-diameter 40] [-sigma 2500]
-//	        [-theta 1.0] [-seed 1] [-shards 1] [-workers 1]
+//	        [-theta 1.0] [-seed 1] [-shards 1] [-layout equal|median]
+//	        [-workers 1]
 //
 // With -shards S > 1 the domain is split into S spatial shards whose
 // sub-grid indexes are built in parallel from one derivation pass; the
@@ -38,6 +39,7 @@ func main() {
 	seedK := flag.Int("seedk", core.DefaultSeedK, "k of the seed k-NN query")
 	seed := flag.Int64("seed", 1, "random seed")
 	shards := flag.Int("shards", 1, "spatial shard count (1 = unsharded)")
+	layout := flag.String("layout", "equal", "shard layout strategy: equal, median (weighted-median cuts)")
 	workers := flag.Int("workers", 0, "derivation worker pool size (0/1 = sequential)")
 	flag.Parse()
 
@@ -82,12 +84,17 @@ func main() {
 	var ist core.IndexStats
 	var shardStats []uvdiagram.ShardStat
 	if *shards > 1 {
+		strat, err := uvdiagram.LayoutByName(*layout)
+		if err != nil {
+			fatal(err)
+		}
 		db, err := uvdiagram.Build(objs, domain, &uvdiagram.Options{
 			Strategy:   opts.Strategy,
 			SplitTheta: *theta,
 			SeedK:      *seedK,
 			Workers:    *workers,
 			Shards:     *shards,
+			Layout:     strat,
 		})
 		if err != nil {
 			fatal(err)
@@ -125,10 +132,10 @@ func main() {
 	fmt.Printf("index          %d non-leaf (%.1f KB RAM), %d leaves, %d pages, depth %d, avg list %.1f\n",
 		ist.NonLeaf, float64(ist.MemBytes)/1024, ist.Leaves, ist.Pages, ist.MaxDepth, ist.AvgEntries)
 	if len(shardStats) > 1 {
-		fmt.Printf("shards         %d\n", len(shardStats))
+		fmt.Printf("shards         %d (layout %s)\n", len(shardStats), *layout)
 		for i, sh := range shardStats {
-			fmt.Printf("  shard %-3d    %v: %d leaves, %d pages, depth %d, %d entries\n",
-				i, sh.Rect, sh.Index.Leaves, sh.Index.Pages, sh.Index.MaxDepth, sh.Index.Entries)
+			fmt.Printf("  shard %-3d    %v: %d live, %d leaves, %d pages, depth %d, %d entries\n",
+				i, sh.Rect, sh.Live, sh.Index.Leaves, sh.Index.Pages, sh.Index.MaxDepth, sh.Index.Entries)
 		}
 	}
 }

@@ -60,8 +60,19 @@ func main() {
 			st.Domain, st.Objects, st.NonLeaf, st.Leaves, st.Pages, st.MaxDepth, st.Entries, st.NextID)
 		if st.Shards > 0 {
 			fmt.Printf("shards   %d\n", st.Shards)
+			if st.GridX > 0 {
+				fmt.Printf("grid     %d×%d\n", st.GridX, st.GridY)
+				fmt.Printf("x-cuts   %v\ny-cuts   %v\n", st.CutsX, st.CutsY)
+			}
 			for i, slack := range st.ShardSlack {
-				fmt.Printf("  shard %-3d slack %d\n", i, slack)
+				if i < len(st.ShardLive) {
+					fmt.Printf("  shard %-3d live %-6d slack %d\n", i, st.ShardLive[i], slack)
+				} else {
+					fmt.Printf("  shard %-3d slack %d\n", i, slack)
+				}
+			}
+			if f := st.LoadImbalance(); f > 0 {
+				fmt.Printf("load imbalance (max/mean) %.2f\n", f)
 			}
 		}
 

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	uvserver [-addr :7031] [-n 10000] [-seed 1] [-load db.uv]
-//	         [-shards 1] [-window 64] [-workers N] [-cache 256]
+//	         [-shards 1] [-layout equal|median] [-window 64]
+//	         [-workers N] [-cache 256]
 //
 // With -load, the dataset and index are read from a snapshot written by
 // uvbuild -save (or DB.Save); the snapshot's shard layout wins over
@@ -31,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for the synthetic dataset")
 	load := flag.String("load", "", "load a snapshot instead of generating data")
 	shards := flag.Int("shards", 1, "spatial shard count (ignored with -load; 1 = unsharded)")
+	layout := flag.String("layout", "equal", "shard layout strategy for a fresh build: equal, median")
 	window := flag.Int("window", 0, "per-connection in-flight request window (0 = default 64)")
 	workers := flag.Int("workers", 0, "server-wide query worker pool size (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "batch leaf-cache size (0 = default 256, negative disables)")
@@ -53,9 +55,12 @@ func main() {
 	} else {
 		cfg := datagen.Config{N: *n, Seed: *seed}
 		objs := datagen.Uniform(cfg)
-		logger.Printf("building UV-index over %d objects (%d shards)...", *n, *shards)
-		var err error
-		db, err = uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{Shards: *shards})
+		strat, err := uvdiagram.LayoutByName(*layout)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("building UV-index over %d objects (%d shards, %s layout)...", *n, *shards, strat.Name())
+		db, err = uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{Shards: *shards, Layout: strat})
 		if err != nil {
 			logger.Fatal(err)
 		}

@@ -14,14 +14,16 @@ import (
 // touches the session's shard invalidates the safe circle through the
 // shard index's mutation generation (mutations confined to other shards
 // provably cannot change answers here and leave the circle valid), a
-// Rebuild/Compact epoch swap transparently re-opens the session against
-// the fresh index, and a move across a shard boundary re-opens it on
-// the owning shard — so a stale answer set is never served. The safe
-// circle never extends past the leaf region, and therefore never past
-// the shard, so staying inside it can never cross a boundary.
+// Rebuild/Compact epoch swap or a Reshard layout swap transparently
+// re-opens the session against the fresh index, and a move across a
+// shard boundary re-opens it on the owning shard — so a stale answer
+// set is never served. The safe circle never extends past the leaf
+// region, and therefore never past the shard, so staying inside it can
+// never cross a boundary.
 type ContinuousPNN struct {
 	db    *DB
-	si    int // shard owning the current position
+	lo    *shardLayout // layout the session routed through
+	si    int          // shard owning the current position
 	ep    *indexEpoch
 	sess  *core.ContinuousPNN
 	prior ContinuousStats // counters from sessions before epoch/shard swaps
@@ -33,24 +35,27 @@ type ContinuousStats = core.ContinuousStats
 // NewContinuousPNN opens a moving-query session at q over the owning
 // shard's UV-index.
 func (db *DB) NewContinuousPNN(q Point) (*ContinuousPNN, error) {
-	si := db.shardIdx(q)
-	ep := db.epAt(si)
+	lo := db.lo()
+	si := lo.shardIdx(q)
+	ep := lo.epAt(si)
 	sess, err := ep.index.NewContinuousPNN(q)
 	if err != nil {
 		return nil, err
 	}
-	return &ContinuousPNN{db: db, si: si, ep: ep, sess: sess}, nil
+	return &ContinuousPNN{db: db, lo: lo, si: si, ep: ep, sess: sess}, nil
 }
 
 // Move advances the query point. It returns the current answer IDs
 // (sorted, shared slice) and whether a re-evaluation was needed.
 func (c *ContinuousPNN) Move(q Point) ([]int32, bool, error) {
-	si := c.db.shardIdx(q)
-	if ep := c.db.epAt(si); si != c.si || ep.gen != c.ep.gen {
-		// Either the point crossed into another shard, or this shard's
-		// index was rebuilt (Compact/Rebuild): the old session's safe
-		// circle argues about the wrong index. Re-open on the owning
-		// shard's current epoch, carrying the work counters forward.
+	lo := c.db.lo()
+	si := lo.shardIdx(q)
+	if ep := lo.epAt(si); lo != c.lo || si != c.si || ep.gen != c.ep.gen {
+		// Either the layout was replaced (Reshard), the point crossed
+		// into another shard, or this shard's index was rebuilt
+		// (Compact/Rebuild): the old session's safe circle argues about
+		// the wrong index. Re-open on the owning shard's current epoch,
+		// carrying the work counters forward.
 		st := c.sess.Stats()
 		c.prior.Moves += st.Moves
 		c.prior.Recomputes += st.Recomputes
@@ -59,7 +64,7 @@ func (c *ContinuousPNN) Move(q Point) ([]int32, bool, error) {
 		if err != nil {
 			return nil, true, err
 		}
-		c.si, c.ep, c.sess = si, ep, sess
+		c.lo, c.si, c.ep, c.sess = lo, si, ep, sess
 		c.prior.Moves++ // this Move, charged to the fresh session's caller
 		return sess.AnswerIDs(), true, nil
 	}

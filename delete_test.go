@@ -449,7 +449,7 @@ func TestAutoCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baselineEpoch := db.ep().gen
+	baselineEpoch := db.lo().epAt(0).gen
 
 	for id := int32(0); id < 12; id += 2 {
 		if err := db.Delete(id); err != nil {
@@ -458,7 +458,7 @@ func TestAutoCompaction(t *testing.T) {
 	}
 	// The watermark fires asynchronously; wait for the swap.
 	deadline := time.Now().Add(5 * time.Second)
-	for db.ep().gen == baselineEpoch {
+	for db.lo().epAt(0).gen == baselineEpoch {
 		if time.Now().After(deadline) {
 			t.Fatalf("auto-compaction never swapped the epoch (slack %d)", db.Index().Slack())
 		}
@@ -466,7 +466,7 @@ func TestAutoCompaction(t *testing.T) {
 	}
 	// Wait for the compaction goroutine to fully finish before letting
 	// the test tear down.
-	for db.shards[0].compacting.Load() {
+	for db.lo().shards[0].compacting.Load() {
 		time.Sleep(time.Millisecond)
 	}
 	if got := db.Index().Slack(); got != 0 {

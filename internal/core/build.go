@@ -341,23 +341,50 @@ func DeriveCRSets(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, op
 
 // BuildRegion constructs a finished UV-index over region — the whole
 // domain, or one spatial shard of it — from constraint sets derived by
-// DeriveCRSets. Every live object is offered to the index; an object
-// whose UV-cell cannot reach region is dropped by the root-level
-// overlap test and contributes no leaf entries, while its constraint
-// set is still recorded so incremental deletes can find every dependent
-// whose cell might later grow into the region. The crSets slices are
-// shared, never copied or mutated, so concurrent BuildRegion calls for
-// disjoint shards may feed off one derivation pass.
+// DeriveCRSets, recording them in a fresh registry the index owns. The
+// crSets slices are shared, never copied or mutated.
 func BuildRegion(store *uncertain.Store, region geom.Rect, crSets [][]int32, opts IndexOptions) (*UVIndex, time.Duration) {
-	ix := NewUVIndex(store, region, opts)
+	return BuildRegionCR(store, region, NewCRState(crSets), opts)
+}
+
+// BuildRegionCR is BuildRegion over an external constraint registry —
+// the shards of one engine each build from the engine's single shared
+// CRState this way. Every live object is offered to the index; an
+// object whose UV-cell cannot reach region is dropped by the root-level
+// overlap test and contributes no leaf entries, while its registry
+// entry still lets incremental deletes find every dependent whose cell
+// might later grow into the region. The registry is only read, so
+// concurrent BuildRegionCR calls for disjoint shards may feed off one
+// derivation pass.
+func BuildRegionCR(store *uncertain.Store, region geom.Rect, cr *CRState, opts IndexOptions) (*UVIndex, time.Duration) {
+	ix := NewUVIndexCR(store, region, opts, cr)
+	return ix, ix.fillFromCR()
+}
+
+// fillFromCR inserts every live object from the registry and seals the
+// index — the one registry-driven build loop (cell order must be set
+// BEFORE this runs; the overlap test depends on it).
+func (ix *UVIndex) fillFromCR() time.Duration {
 	ti := time.Now()
-	for i := range crSets {
-		if store.Alive(int32(i)) {
-			ix.Insert(int32(i), crSets[i])
+	for i := 0; i < ix.cr.Len(); i++ {
+		if ix.store.Alive(int32(i)) {
+			ix.InsertShared(int32(i))
 		}
 	}
 	ix.Finish()
-	return ix, time.Since(ti)
+	return time.Since(ti)
+}
+
+// ReindexCR rebuilds a fresh finished index over the same domain,
+// options and cell order from the given registry. DB.Load uses it when
+// a shard's stream carried a registry copy that diverged from the
+// engine-wide one (pre-shared-registry snapshots), so the rebuilt leaf
+// lists are consistent with the registry the engine will maintain.
+func (ix *UVIndex) ReindexCR(cr *CRState) *UVIndex {
+	nx := NewUVIndexCR(ix.store, ix.domain, ix.opts, cr)
+	nx.orderK = ix.orderK
+	nx.fillFromCR()
+	return nx
 }
 
 // BuildHelperRTree bulk-loads the R-tree over the LIVE uncertain

@@ -71,20 +71,21 @@ type UVIndex struct {
 	opts   IndexOptions
 	pg     *pager.Pager
 	store  *uncertain.Store
-	crOf   [][]int32 // per object: its cr-object ids (cell representation)
-	// revCR is the inverse of crOf: for each object j, the ids of the
-	// objects whose cr-set contains j. On DeleteLive(j) exactly those
-	// objects can see their UV-cell grow, so they — and only they —
-	// must be re-derived and re-inserted to keep leaf lists supersets
-	// of the true overlaps.
-	revCR      [][]int32
+	// cr is the constraint bookkeeping the leaf lists were built from.
+	// A standalone index owns its registry; the spatial shards of one
+	// engine all point at the engine's single shared CRState, so cell
+	// representations are recorded once, not once per shard.
+	cr         *CRState
 	root       *qnode
 	nonleaf    int
 	capPerPage int
 	finished   bool
 	// slack counts the leaf-list churn accumulated by live mutations
-	// since construction (InsertLive adds 1; DeleteLive adds 1 plus the
-	// number of re-derived neighbors). DBs use it as the compaction
+	// since construction, weighted by the number of leaf-list ENTRIES
+	// actually touched (added or removed) rather than per object, so
+	// the CompactSlack watermark is scale-free: a delete that re-derives
+	// a hub object rewriting 400 leaf entries accrues 400, a boundary
+	// insert touching 3 leaves accrues 3. DBs use it as the compaction
 	// watermark.
 	slack atomic.Int64
 	// orderK is the order of the indexed cells: leaves list the objects
@@ -109,14 +110,22 @@ type UVIndex struct {
 // the index keeps 4 bytes per cr-object and derives each outside-region
 // test from the two objects' geometry on the fly.
 func NewUVIndex(store *uncertain.Store, domain geom.Rect, opts IndexOptions) *UVIndex {
+	return NewUVIndexCR(store, domain, opts, NewEmptyCRState(store.Len()))
+}
+
+// NewUVIndexCR is NewUVIndex over an external constraint registry:
+// the index reads cell representations from cr instead of recording
+// its own. Spatial shards share one registry this way; Insert must not
+// be used on a shared registry (use InsertShared, the caller keeps the
+// registry itself in step).
+func NewUVIndexCR(store *uncertain.Store, domain geom.Rect, opts IndexOptions, cr *CRState) *UVIndex {
 	opts.normalize()
 	return &UVIndex{
 		domain:     domain,
 		opts:       opts,
 		pg:         pager.New(opts.PageSize),
 		store:      store,
-		crOf:       make([][]int32, store.Len()),
-		revCR:      make([][]int32, store.Len()),
+		cr:         cr,
 		root:       &qnode{pagesAlloc: 1},
 		capPerPage: pager.TuplesPerPage(opts.PageSize),
 		orderK:     1,
@@ -136,12 +145,22 @@ func (ix *UVIndex) Pager() *pager.Pager { return ix.pg }
 // CRObjects returns the ids whose outside regions represent object id's
 // UV-cell in the index (its cr-objects, or exact r-objects under
 // ICR/Basic construction). The slice is shared.
-func (ix *UVIndex) CRObjects(id int32) []int32 { return ix.crOf[id] }
+func (ix *UVIndex) CRObjects(id int32) []int32 { return ix.cr.crOf[id] }
 
 // Dependents returns the ids of the objects whose cr-set contains id —
 // exactly the objects whose UV-cell can grow if id is deleted. The
 // slice is shared; callers must not modify it.
-func (ix *UVIndex) Dependents(id int32) []int32 { return ix.revCR[id] }
+func (ix *UVIndex) Dependents(id int32) []int32 { return ix.cr.revCR[id] }
+
+// CR exposes the index's constraint registry (shared across the shards
+// of one engine; see CRState).
+func (ix *UVIndex) CR() *CRState { return ix.cr }
+
+// AttachCR repoints the index at an external registry. The caller must
+// guarantee the registry records the same constraint sets the leaf
+// lists were built from (DB.Load verifies with EqualCROf first);
+// attaching a divergent registry silently breaks delete bookkeeping.
+func (ix *UVIndex) AttachCR(cr *CRState) { ix.cr = cr }
 
 // CellReaches reports whether object id's UV-cell — as represented by
 // its CURRENT constraint set — can overlap rectangle r (the 4-point
@@ -151,10 +170,19 @@ func (ix *UVIndex) Dependents(id int32) []int32 { return ix.revCR[id] }
 // true result may be spurious. Spatial shard maintenance uses it to
 // bound rebuild work to the objects that can reach a shard's region.
 func (ix *UVIndex) CellReaches(id int32, r geom.Rect) bool {
-	if id < 0 || int(id) >= len(ix.crOf) || !ix.store.Alive(id) {
+	if id < 0 || int(id) >= len(ix.cr.crOf) || !ix.store.Alive(id) {
 		return false
 	}
-	return ix.overlapsIDs(ix.store.At(int(id)), ix.crOf[id], r)
+	return ix.overlapsIDs(ix.store.At(int(id)), ix.cr.crOf[id], r)
+}
+
+// RepReaches is CellReaches with an explicit representation: whether a
+// cell represented by crIDs (typically freshly derived, not yet
+// recorded in the registry) can overlap rectangle r. Delete repair uses
+// it to pick the shards a grown cell must be re-inserted into before
+// the registry is updated.
+func (ix *UVIndex) RepReaches(id int32, crIDs []int32, r geom.Rect) bool {
+	return ix.overlapsIDs(ix.store.At(int(id)), crIDs, r)
 }
 
 // Slack returns the accumulated live-mutation churn since construction

@@ -70,57 +70,54 @@ func (ix *UVIndex) overlapsIDs(oi uncertain.Object, crIDs []int32, r geom.Rect) 
 }
 
 // Insert adds object id, represented by its cr-object ids, to the index
-// (Algorithm 3, InsertObj). It must be called before Finish.
+// (Algorithm 3, InsertObj), recording the set in the index's registry.
+// It must be called before Finish, and only on an index that OWNS its
+// registry (shared-registry shards use InsertShared).
 func (ix *UVIndex) Insert(id int32, crIDs []int32) {
 	if ix.finished {
 		panic("core: Insert after Finish")
 	}
-	ix.crOf[id] = crIDs
-	ix.addRev(id, crIDs)
+	ix.cr.crOf[id] = crIDs
+	ix.cr.addRev(id, crIDs)
 	ix.insertObj(id, ix.store.At(int(id)), crIDs, ix.root, ix.domain, 0)
 }
 
-// addRev records id in the reverse cr-map of every member of crIDs.
-func (ix *UVIndex) addRev(id int32, crIDs []int32) {
-	for _, j := range crIDs {
-		ix.revCR[j] = append(ix.revCR[j], id)
+// InsertShared adds object id using the representation already recorded
+// in the (shared) registry, without touching the registry itself —
+// concurrent shard builds feed off one registry this way.
+func (ix *UVIndex) InsertShared(id int32) {
+	if ix.finished {
+		panic("core: InsertShared after Finish")
 	}
-}
-
-// dropRev removes id from the reverse cr-map of every member of crIDs.
-func (ix *UVIndex) dropRev(id int32, crIDs []int32) {
-	for _, j := range crIDs {
-		list := ix.revCR[j]
-		for k, v := range list {
-			if v == id {
-				list[k] = list[len(list)-1]
-				ix.revCR[j] = list[:len(list)-1]
-				break
-			}
-		}
-	}
+	ix.insertObj(id, ix.store.At(int(id)), ix.cr.crOf[id], ix.root, ix.domain, 0)
 }
 
 // insertObj descends the grid adding id to every leaf its cell can
-// overlap. It reports whether any leaf list changed: an object whose
-// cell cannot reach the index's region is dropped by the root-level
-// overlap test and leaves the structure untouched, which is how a
-// spatial shard rejects out-of-region objects (and how live mutations
-// know not to charge slack to shards they never reached).
-func (ix *UVIndex) insertObj(id int32, oi uncertain.Object, crIDs []int32, g *qnode, region geom.Rect, depth int) bool {
+// overlap. It returns the number of leaf-list entries created for id —
+// the entry-weighted churn the slack counter accrues — plus a changed
+// flag reporting whether ANY structure was modified: a split can dirty
+// leaves (redistributing existing members) even when the conservative
+// overlap test then keeps id out of every child, so the flag — not the
+// entry count — is what gates the dirty-page flush and the cache-
+// invalidating generation bump. An object whose cell cannot reach the
+// index's region is dropped by the root-level overlap test and returns
+// (0, false), which is how a spatial shard rejects out-of-region
+// objects (and how live mutations know not to charge slack to shards
+// they never reached).
+func (ix *UVIndex) insertObj(id int32, oi uncertain.Object, crIDs []int32, g *qnode, region geom.Rect, depth int) (int, bool) {
 	if !ix.overlapsIDs(oi, crIDs, region) {
-		return false
+		return 0, false
 	}
 	if !g.isLeaf() {
-		touched := false
+		entries, changed := 0, false
 		for k := 0; k < 4; k++ {
-			if ix.insertObj(id, oi, crIDs, g.children[k], region.Quadrant(k), depth+1) {
-				touched = true
-			}
+			e, ch := ix.insertObj(id, oi, crIDs, g.children[k], region.Quadrant(k), depth+1)
+			entries += e
+			changed = changed || ch
 		}
-		return touched
+		return entries, changed
 	}
-	state, kids := ix.checkSplit(id, oi, g, region, depth)
+	state, kids := ix.checkSplit(id, oi, crIDs, g, region, depth)
 	switch state {
 	case stateNormal:
 		g.ids = append(g.ids, id)
@@ -144,14 +141,24 @@ func (ix *UVIndex) insertObj(id int32, oi uncertain.Object, crIDs []int32, g *qn
 			kids[k].dirty = true
 		}
 		ix.nonleaf++
+		entries := 0
+		for k := 0; k < 4; k++ {
+			for _, v := range kids[k].ids {
+				if v == id {
+					entries++
+					break
+				}
+			}
+		}
+		return entries, true
 	}
-	return true
+	return 1, true
 }
 
 // checkSplit is Algorithm 4: decide between NORMAL (page space left),
 // OVERFLOW (no splitting allowed or not useful) and SPLIT (redistribute
 // into four children). On SPLIT the tentative children are returned.
-func (ix *UVIndex) checkSplit(id int32, oi uncertain.Object, g *qnode, region geom.Rect, depth int) (splitState, *[4]*qnode) {
+func (ix *UVIndex) checkSplit(id int32, oi uncertain.Object, crIDs []int32, g *qnode, region geom.Rect, depth int) (splitState, *[4]*qnode) {
 	if len(g.ids) < g.pagesAlloc*ix.capPerPage {
 		return stateNormal, nil
 	}
@@ -164,11 +171,11 @@ func (ix *UVIndex) checkSplit(id int32, oi uncertain.Object, g *qnode, region ge
 	for k := 0; k < 4; k++ {
 		child := &qnode{pagesAlloc: 1}
 		sub := region.Quadrant(k)
-		if ix.overlapsIDs(oi, ix.crOf[id], sub) {
+		if ix.overlapsIDs(oi, crIDs, sub) {
 			child.ids = append(child.ids, id)
 		}
 		for _, j := range g.ids {
-			if ix.overlapsIDs(ix.store.At(int(j)), ix.crOf[j], sub) {
+			if ix.overlapsIDs(ix.store.At(int(j)), ix.cr.crOf[j], sub) {
 				child.ids = append(child.ids, j)
 			}
 		}

@@ -72,8 +72,8 @@ func (ix *UVIndex) Save(w io.Writer) error {
 	cw.u32(uint32(ix.opts.PageSize))
 	cw.u32(uint32(ix.opts.MaxDepth))
 	cw.u32(uint32(ix.orderK))
-	cw.u32(uint32(len(ix.crOf)))
-	for _, cr := range ix.crOf {
+	cw.u32(uint32(len(ix.cr.crOf)))
+	for _, cr := range ix.cr.crOf {
 		cw.ids(cr)
 	}
 	var walk func(n *qnode)
@@ -187,13 +187,13 @@ func LoadUVIndex(r io.Reader, store *uncertain.Store) (*UVIndex, error) {
 	ix := NewUVIndex(store, domain, opts)
 	ix.orderK = orderK
 	for i := 0; i < n; i++ {
-		ix.crOf[i] = rd.ids(n)
+		ix.cr.crOf[i] = rd.ids(n)
 	}
 	if rd.err == nil {
-		// Rebuild the reverse cr-map (DeleteLive's dependency index); it
-		// is derived state, so the stream does not carry it.
+		// Rebuild the reverse cr-map (the delete path's dependency
+		// index); it is derived state, so the stream does not carry it.
 		for i := 0; i < n; i++ {
-			ix.addRev(int32(i), ix.crOf[i])
+			ix.cr.addRev(int32(i), ix.cr.crOf[i])
 		}
 	}
 	var nodes int

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"uvdiagram/internal/pager"
 )
@@ -23,54 +22,114 @@ import (
 // neighboring UV-cell, so existing leaf lists can stop being supersets.
 // The damage is bounded, though: an object's cell can only change if
 // the victim's constraint participated in its representation, i.e. if
-// the victim is in its cr-set. DeleteLive therefore re-derives and
-// re-inserts exactly the objects in revCR[victim] (tracked since
-// construction) and answers stay exact. The price of both operations is
-// accumulated slack (extra false positives, never wrong answers),
-// counted in Slack; long-running deployments compact when it drifts up
-// (DB.Compact / BuildOptions.CompactSlack).
+// the victim is in its cr-set. The delete path therefore re-derives and
+// re-inserts exactly the registry's Dependents of the victim and
+// answers stay exact. The price of both operations is accumulated slack
+// (extra false positives, never wrong answers), counted in Slack
+// weighted by the leaf-list entries touched; long-running deployments
+// compact when it drifts up (DB.Compact / BuildOptions.CompactSlack).
+//
+// The registry mutations (CRState) and the leaf surgery are separate
+// layers: a sharded engine updates the shared registry once under its
+// store-level lock and then runs InsertLeafLive / RemoveAndReinsertLive
+// on each shard its cells reach under that shard's write mutex. The
+// single-index InsertLive / DeleteLiveBatch wrappers below compose both
+// layers for standalone indexes (and the order-k grid).
+
+// InsertLeafLive adds object id — whose representation must already be
+// recorded in the registry — to a finished index's leaf lists. It
+// returns the number of leaf entries created: 0 means the object's cell
+// cannot reach this index's region, and the structure (slack, gen,
+// caches, safe circles) is untouched, which is how a spatial shard
+// ignores mutations elsewhere in the domain.
+func (ix *UVIndex) InsertLeafLive(id int32) (int, error) {
+	if !ix.finished {
+		return 0, fmt.Errorf("core: InsertLeafLive before Finish (use Insert during construction)")
+	}
+	if int(id) >= ix.store.Len() {
+		return 0, fmt.Errorf("core: object %d not in the store", id)
+	}
+	if int(id) >= len(ix.cr.crOf) {
+		return 0, fmt.Errorf("core: object %d has no recorded constraint set", id)
+	}
+	entries, changed := ix.insertObj(id, ix.store.At(int(id)), ix.cr.crOf[id], ix.root, ix.domain, 0)
+	if changed {
+		// The flag, not the entry count, gates the flush: a split can
+		// dirty leaves (and allocate children with unwritten page
+		// lists) even when id itself lands in none of them.
+		ix.flushDirty(ix.root)
+		ix.slack.Add(int64(entries))
+		ix.gen.Add(1) // invalidate leaf caches
+	}
+	return entries, nil
+}
+
+// RemoveAndReinsertLive is the leaf-surgery half of a delete batch: one
+// walk strips every id in remove from the leaf lists, then every id in
+// reinsert (whose FRESH representation must already be in the registry)
+// is re-inserted. It returns the number of leaf entries touched
+// (removed + re-created); slack accrues that weight and the mutation
+// generation bumps once if anything changed. The caller orchestrates
+// the registry: victims dropped, survivors re-derived, all before this
+// runs.
+func (ix *UVIndex) RemoveAndReinsertLive(remove, reinsert []int32) (int, error) {
+	if !ix.finished {
+		return 0, fmt.Errorf("core: RemoveAndReinsertLive before Finish")
+	}
+	rm := make(map[int32]bool, len(remove))
+	for _, v := range remove {
+		if v < 0 || int(v) >= len(ix.cr.crOf) {
+			return 0, fmt.Errorf("core: remove of unknown object %d", v)
+		}
+		rm[v] = true
+	}
+	entries := ix.removeFromLeaves(ix.root, rm)
+	changed := entries > 0
+	for _, a := range reinsert {
+		e, ch := ix.insertObj(a, ix.store.At(int(a)), ix.cr.crOf[a], ix.root, ix.domain, 0)
+		entries += e
+		changed = changed || ch
+	}
+	if changed {
+		ix.flushDirty(ix.root)
+		ix.slack.Add(int64(entries))
+		ix.gen.Add(1) // invalidate leaf caches
+	}
+	return entries, nil
+}
 
 // InsertLive adds object id (already appended to the store) to a
-// finished index, represented by its cr-object ids. Affected leaf pages
-// are rewritten in place where possible.
-//
-// The constraint set is always recorded — later deletes consult it even
-// in indexes the object has no leaf entries in — but slack and the
-// cache-invalidating generation only advance when some leaf actually
-// changed, so a spatial shard the object's cell never reaches keeps its
-// caches, its continuous-query safe circles and its compaction budget.
+// standalone finished index, represented by its cr-object ids: the
+// registry append and the leaf insertion in one call. Affected leaf
+// pages are rewritten in place where possible. Indexes sharing a
+// registry must not use this (the DB appends to the shared registry
+// once and calls InsertLeafLive per shard).
 func (ix *UVIndex) InsertLive(id int32, crIDs []int32) error {
 	if !ix.finished {
 		return fmt.Errorf("core: InsertLive before Finish (use Insert during construction)")
 	}
-	if int(id) != len(ix.crOf) {
-		return fmt.Errorf("core: InsertLive id %d out of order, want %d", id, len(ix.crOf))
-	}
 	if int(id) >= ix.store.Len() {
 		return fmt.Errorf("core: object %d not in the store", id)
 	}
-	ix.crOf = append(ix.crOf, crIDs)
-	ix.revCR = append(ix.revCR, nil)
-	ix.addRev(id, crIDs)
-	if ix.insertObj(id, ix.store.At(int(id)), crIDs, ix.root, ix.domain, 0) {
-		ix.flushDirty(ix.root)
-		ix.slack.Add(1)
-		ix.gen.Add(1) // invalidate leaf caches
+	if err := ix.cr.Append(id, crIDs); err != nil {
+		return err
 	}
-	return nil
+	_, err := ix.InsertLeafLive(id)
+	return err
 }
 
-// DeleteLive removes object victim from a finished index. rederive must
-// return a fresh cr-set for a surviving object, computed WITHOUT the
-// victim (the caller has already tombstoned it in the store and removed
-// it from the helper R-tree).
+// DeleteLive removes object victim from a standalone finished index.
+// rederive must return a fresh cr-set for a surviving object, computed
+// WITHOUT the victim (the caller has already tombstoned it in the store
+// and removed it from the helper R-tree).
 //
 // Soundness: the victim's entries are dropped from every leaf; the
-// objects whose cr-set contains the victim (revCR) are the only ones
-// whose UV-cell can grow, so each is stripped from the leaves, given a
-// freshly derived cr-set and re-inserted — leaf lists are supersets of
-// the true overlaps again and answers remain exact. The returned slice
-// holds the re-derived ids (sorted), mainly for instrumentation.
+// objects whose cr-set contains the victim (Dependents) are the only
+// ones whose UV-cell can grow, so each is stripped from the leaves,
+// given a freshly derived cr-set and re-inserted — leaf lists are
+// supersets of the true overlaps again and answers remain exact. The
+// returned slice holds the re-derived ids (sorted), mainly for
+// instrumentation.
 func (ix *UVIndex) DeleteLive(victim int32, rederive func(id int32) []int32) ([]int32, error) {
 	return ix.DeleteLiveBatch([]int32{victim}, rederive)
 }
@@ -86,94 +145,48 @@ func (ix *UVIndex) DeleteLiveBatch(victims []int32, rederive func(id int32) []in
 	if !ix.finished {
 		return nil, fmt.Errorf("core: DeleteLive before Finish")
 	}
-	vic := make(map[int32]bool, len(victims))
 	for _, v := range victims {
-		if v < 0 || int(v) >= len(ix.crOf) {
+		if v < 0 || int(v) >= len(ix.cr.crOf) {
 			return nil, fmt.Errorf("core: DeleteLive of unknown object %d", v)
 		}
-		vic[v] = true
 	}
-
-	// The dependents of the whole batch, deduplicated, minus the
-	// victims themselves; sorted for deterministic re-insertion order
-	// (leaf list order is insertion order).
-	affectedSet := make(map[int32]bool)
-	for _, v := range victims {
-		for _, a := range ix.revCR[v] {
-			if !vic[a] {
-				affectedSet[a] = true
-			}
-		}
-	}
-	affected := make([]int32, 0, len(affectedSet))
-	for a := range affectedSet {
-		affected = append(affected, a)
-	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
-
-	// One walk removes every victim and every affected object from the
-	// leaf lists; the affected ones come back below with fresh cr-sets,
-	// so no leaf ever holds a duplicate entry. touched collects the ids
-	// that actually had leaf entries here — in a spatial shard most of
-	// the engine-wide batch may be elsewhere, and only real leaf churn
-	// should advance this index's slack and generation.
-	remove := make(map[int32]bool, len(vic)+len(affected))
-	for v := range vic {
-		remove[v] = true
-	}
+	affected := ix.cr.AffectedBy(victims)
+	remove := make([]int32, 0, len(victims)+len(affected))
+	remove = append(remove, victims...)
+	remove = append(remove, affected...)
+	ix.cr.Drop(victims)
 	for _, a := range affected {
-		remove[a] = true
+		ix.cr.Replace(a, rederive(a))
 	}
-	touched := make(map[int32]bool)
-	ix.removeFromLeaves(ix.root, remove, touched)
-
-	// Unlink the victims from both directions of the cr-maps.
-	for _, v := range victims {
-		ix.dropRev(v, ix.crOf[v])
-		ix.crOf[v] = nil
-		ix.revCR[v] = nil
-	}
-
-	for _, a := range affected {
-		ix.dropRev(a, ix.crOf[a])
-		crIDs := rederive(a)
-		ix.crOf[a] = crIDs
-		ix.addRev(a, crIDs)
-		if ix.insertObj(a, ix.store.At(int(a)), crIDs, ix.root, ix.domain, 0) {
-			touched[a] = true
-		}
-	}
-
-	if len(touched) > 0 {
-		ix.flushDirty(ix.root)
-		ix.slack.Add(int64(len(touched)))
-		ix.gen.Add(1) // invalidate leaf caches
+	if _, err := ix.RemoveAndReinsertLive(remove, affected); err != nil {
+		return nil, err
 	}
 	return affected, nil
 }
 
 // removeFromLeaves filters every leaf list against the remove set,
-// marking changed leaves dirty for the next flush and recording the ids
-// actually removed somewhere in touched.
-func (ix *UVIndex) removeFromLeaves(n *qnode, remove, touched map[int32]bool) {
+// marking changed leaves dirty for the next flush. It returns the
+// number of entries removed (the entry-weighted churn).
+func (ix *UVIndex) removeFromLeaves(n *qnode, remove map[int32]bool) int {
 	if !n.isLeaf() {
+		entries := 0
 		for _, c := range n.children {
-			ix.removeFromLeaves(c, remove, touched)
+			entries += ix.removeFromLeaves(c, remove)
 		}
-		return
+		return entries
 	}
 	kept := n.ids[:0]
 	for _, id := range n.ids {
 		if !remove[id] {
 			kept = append(kept, id)
-		} else {
-			touched[id] = true
 		}
 	}
-	if len(kept) != len(n.ids) {
+	removed := len(n.ids) - len(kept)
+	if removed > 0 {
 		n.ids = kept
 		n.dirty = true
 	}
+	return removed
 }
 
 // flushDirty rewrites the page lists of leaves modified since the last

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"math/rand"
+	"time"
+
+	"uvdiagram"
+)
+
+// queryLoad rides uniform in-process PNN traffic against db until done
+// yields the background maintenance result, returning the query count
+// and worst/total single-query latency. Shared by the shards and
+// rebalance sweeps, whose whole point is the query-visible cost of
+// maintenance running alongside.
+func queryLoad(db *uvdiagram.DB, rng *rand.Rand, side float64, done <-chan error) (queries int, worst, total time.Duration, err error) {
+	for {
+		q := uvdiagram.Pt(rng.Float64()*side, rng.Float64()*side)
+		q0 := time.Now()
+		if _, _, qerr := db.PNN(q); qerr != nil {
+			return queries, worst, total, qerr
+		}
+		lat := time.Since(q0)
+		total += lat
+		if lat > worst {
+			worst = lat
+		}
+		queries++
+		select {
+		case cerr := <-done:
+			return queries, worst, total, cerr
+		default:
+		}
+	}
+}
+
+// meanLatency is total/queries, zero-safe.
+func meanLatency(total time.Duration, queries int) time.Duration {
+	if queries == 0 {
+		return 0
+	}
+	return total / time.Duration(queries)
+}

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+)
+
+// RebalanceJSONPath is where RunRebalance records the sweep (the CI and
+// README baseline artifact).
+const RebalanceJSONPath = "BENCH_rebalance.json"
+
+// rebalanceRow is one measured configuration of the rebalance sweep.
+type rebalanceRow struct {
+	N                  int     `json:"n"`
+	Shards             int     `json:"shards"`
+	Sigma              float64 `json:"sigma"`
+	BuildMS            float64 `json:"full_build_ms"`
+	ImbalanceBefore    float64 `json:"imbalance_before_max_over_mean"`
+	ImbalanceAfter     float64 `json:"imbalance_after_max_over_mean"`
+	ImbalanceGain      float64 `json:"imbalance_gain_x"`
+	CompactAllMS       float64 `json:"concurrent_compact_all_ms"`
+	QueriesDuring      int     `json:"queries_during_compact"`
+	WorstQueryMS       float64 `json:"worst_query_latency_during_compact_ms"`
+	MeanQueryMS        float64 `json:"mean_query_latency_during_compact_ms"`
+	ReshardMS          float64 `json:"reshard_ms"`
+	AnswersIdentical   bool    `json:"answers_bitwise_identical_after_reshard"`
+	MaxShardLiveBefore int     `json:"max_shard_live_before"`
+	MaxShardLiveAfter  int     `json:"max_shard_live_after"`
+}
+
+type rebalanceReport struct {
+	Description string         `json:"description"`
+	Environment map[string]any `json:"environment"`
+	Rows        []rebalanceRow `json:"rows"`
+	Notes       string         `json:"notes"`
+}
+
+// RunRebalance measures what the adaptive shard layout buys on skewed
+// data: a Gaussian-centered dataset is built over a 4×4 equal-strip
+// shard grid (most UV-cells pile into the central shards), churned,
+// compacted CONCURRENTLY (CompactAll with two workers — disjoint shards
+// shadow-build in parallel under the two-level locks) with PNN traffic
+// riding alongside, and finally resharded online to weighted-median
+// cuts. Recorded per configuration: per-shard load imbalance (max/mean
+// live objects) before and after Reshard, the worst query latency
+// observed during the concurrent compaction, and whether a fixed query
+// workload answers bitwise identically before and after the layout
+// swap (it must — the layout only decides which shard answers).
+//
+// The sweep also writes BENCH_rebalance.json to the working directory.
+func RunRebalance(sc Scale, progress func(string)) (*Table, error) {
+	const shards = 16 // 4×4: equal strips leave the center 4 shards hot
+	sigma := sc.Side / 10
+	t := &Table{
+		ID:    "rebalance",
+		Title: fmt.Sprintf("Adaptive shard layout: online reshard on skewed data (S=%d, σ=%.0f)", shards, sigma),
+		Columns: []string{"n", "build", "imbalance", "compact(2w)", "worst lat",
+			"reshard", "imbalance'", "gain", "answers"},
+		Notes: []string{
+			"imbalance: max/mean live objects per shard on the equal-strip layout; imbalance': after Reshard to weighted-median cuts",
+			"compact(2w): wall clock of CompactAll(parallelism=2) riding under PNN traffic; worst lat: worst single query during it",
+			"answers: bitwise comparison of the full query workload before vs after the layout swap",
+		},
+	}
+	report := rebalanceReport{
+		Description: fmt.Sprintf("Adaptive shard layout sweep: uvbench -exp rebalance -scale %s. Skewed dataset (Gaussian centers, sigma=%.0f, side=%.0f) over a %d-shard (4x4) grid; equal strips vs online Reshard to weighted-median cuts; CompactAll(2) runs concurrently with PNN traffic.", sc.Name, sigma, sc.Side, shards),
+		Environment: map[string]any{
+			"goos":  runtime.GOOS,
+			"cpu":   fmt.Sprintf("%d cores", runtime.NumCPU()),
+			"go":    runtime.Version(),
+			"scale": sc.Name,
+		},
+		Notes: "Acceptance: imbalance_gain_x >= 2 with answers_bitwise_identical_after_reshard true — reshard evens per-shard load without changing a single bit of any answer.",
+	}
+
+	for _, n := range []int{sc.MidN / 2, sc.MidN} {
+		cfg := datagen.Config{N: n, Side: sc.Side, Diameter: sc.Diameter, Seed: sc.Seed}
+		objs := datagen.Skewed(cfg, sigma)
+		progress(fmt.Sprintf("rebalance: building skewed n=%d over %d equal-strip shards", n, shards))
+		t0 := time.Now()
+		db, err := uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		buildDur := time.Since(t0)
+		row := rebalanceRow{N: n, Shards: shards, Sigma: sigma,
+			BuildMS: float64(buildDur.Microseconds()) / 1e3}
+		row.ImbalanceBefore = db.LoadImbalance()
+		row.MaxShardLiveBefore = maxLive(db.ShardStats())
+
+		// Deterministic churn so the concurrent compaction clears real
+		// slack, like a long-running deployment.
+		rng := rand.New(rand.NewSource(sc.Seed + 17))
+		var churned int
+		for id := int32(0); int(id) < len(objs); id += 25 {
+			if err := db.Delete(id); err != nil {
+				return nil, err
+			}
+			churned++
+		}
+		for i := 0; i < churned; i++ {
+			o := uvdiagram.NewObject(db.NextID(),
+				rng.Float64()*sc.Side, rng.Float64()*sc.Side, sc.Diameter/2, nil)
+			if err := db.Insert(o); err != nil {
+				return nil, err
+			}
+		}
+
+		// The fixed query workload whose answers must survive the
+		// layout swap bit for bit.
+		queries := make([]uvdiagram.Point, 64)
+		for i := range queries {
+			queries[i] = uvdiagram.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
+		}
+		before, err := answerStrings(db, queries)
+		if err != nil {
+			return nil, err
+		}
+
+		// Concurrent per-shard compaction (two workers on disjoint
+		// shards) with PNN traffic riding alongside.
+		progress(fmt.Sprintf("rebalance: n=%d concurrent CompactAll under query load", n))
+		compactDone := make(chan error, 1)
+		cstart := time.Now()
+		go func() { compactDone <- db.CompactAll(context.Background(), 2) }()
+		during, worst, total, err := queryLoad(db, rng, sc.Side, compactDone)
+		if err != nil {
+			return nil, err
+		}
+		compactDur := time.Since(cstart)
+		row.CompactAllMS = float64(compactDur.Microseconds()) / 1e3
+		row.QueriesDuring = during
+		row.WorstQueryMS = float64(worst.Microseconds()) / 1e3
+		if during > 0 {
+			row.MeanQueryMS = float64(total.Microseconds()) / 1e3 / float64(during)
+		}
+
+		// Online reshard to weighted-median cuts.
+		progress(fmt.Sprintf("rebalance: n=%d online Reshard", n))
+		rstart := time.Now()
+		if err := db.Reshard(context.Background()); err != nil {
+			return nil, err
+		}
+		reshardDur := time.Since(rstart)
+		row.ReshardMS = float64(reshardDur.Microseconds()) / 1e3
+		row.ImbalanceAfter = db.LoadImbalance()
+		row.MaxShardLiveAfter = maxLive(db.ShardStats())
+		if row.ImbalanceAfter > 0 {
+			row.ImbalanceGain = row.ImbalanceBefore / row.ImbalanceAfter
+		}
+		after, err := answerStrings(db, queries)
+		if err != nil {
+			return nil, err
+		}
+		row.AnswersIdentical = before == after
+		if !row.AnswersIdentical {
+			return nil, fmt.Errorf("rebalance: answers diverged across Reshard at n=%d", n)
+		}
+
+		progress(fmt.Sprintf("rebalance: n=%d imbalance %.2f -> %.2f (%.1fx), worst query %v during concurrent compaction",
+			n, row.ImbalanceBefore, row.ImbalanceAfter, row.ImbalanceGain, worst.Round(time.Microsecond)))
+		t.AddRow(fmt.Sprintf("%d", n),
+			buildDur.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", row.ImbalanceBefore),
+			compactDur.Round(time.Millisecond).String(),
+			worst.Round(time.Microsecond).String(),
+			reshardDur.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", row.ImbalanceAfter),
+			fmt.Sprintf("%.1fx", row.ImbalanceGain),
+			"identical")
+		report.Rows = append(report.Rows, row)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(RebalanceJSONPath, append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	progress("rebalance: wrote " + RebalanceJSONPath)
+	return t, nil
+}
+
+// answerStrings renders the PNN answers of a workload into one
+// comparable string (bitwise: fmt prints the full float64 state).
+func answerStrings(db *uvdiagram.DB, qs []uvdiagram.Point) (string, error) {
+	out := ""
+	for _, q := range qs {
+		answers, _, err := db.PNN(q)
+		if err != nil {
+			return "", err
+		}
+		out += fmt.Sprintf("%v;", answers)
+	}
+	return out, nil
+}
+
+func maxLive(sts []uvdiagram.ShardStat) int {
+	max := 0
+	for _, st := range sts {
+		if st.Live > max {
+			max = st.Live
+		}
+	}
+	return max
+}

@@ -80,37 +80,13 @@ func RunShards(sc Scale, progress func(string)) (*Table, error) {
 			}
 			compactDone <- nil
 		}()
-		var queries int
-		var worst, total time.Duration
-		var compactDur time.Duration
-	loop:
-		for {
-			q := uvdiagram.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
-			q0 := time.Now()
-			if _, _, err := db.PNN(q); err != nil {
-				return nil, err
-			}
-			lat := time.Since(q0)
-			total += lat
-			if lat > worst {
-				worst = lat
-			}
-			queries++
-			select {
-			case err := <-compactDone:
-				if err != nil {
-					return nil, err
-				}
-				compactDur = time.Since(start)
-				break loop
-			default:
-			}
+		queries, worst, total, err := queryLoad(db, rng, sc.Side, compactDone)
+		if err != nil {
+			return nil, err
 		}
+		compactDur := time.Since(start)
 		gx, gy := db.ShardGrid()
-		mean := time.Duration(0)
-		if queries > 0 {
-			mean = total / time.Duration(queries)
-		}
+		mean := meanLatency(total, queries)
 		progress(fmt.Sprintf("shards: S=%d build %v, compact %v, worst query %v",
 			s, buildDur.Round(time.Millisecond), compactDur.Round(time.Millisecond),
 			worst.Round(time.Microsecond)))

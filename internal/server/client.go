@@ -201,6 +201,34 @@ type Stats struct {
 	// ShardSlack is each shard's accumulated mutation slack since its
 	// index was last (re)built, in shard order.
 	ShardSlack []int64
+	// GridX, GridY are the shard grid dimensions (0 when talking to a
+	// pre-layout server that does not send them).
+	GridX, GridY int
+	// CutsX, CutsY are the layout's cut coordinates (GridX+1 and
+	// GridY+1 values; equal strips or adaptive weighted-median cuts).
+	CutsX, CutsY []float64
+	// ShardLive is each shard's live-object count in shard order — the
+	// load-balance signal DB.Reshard evens out.
+	ShardLive []int
+}
+
+// LoadImbalance returns max/mean of ShardLive (1 = perfectly balanced;
+// 0 when the server did not send shard loads).
+func (st Stats) LoadImbalance() float64 {
+	if len(st.ShardLive) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, v := range st.ShardLive {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(st.ShardLive)) / float64(total)
 }
 
 // Stats fetches server-side database statistics.
@@ -230,6 +258,27 @@ func (c *Client) Stats() (Stats, error) {
 			st.ShardSlack = make([]int64, st.Shards)
 			for i := range st.ShardSlack {
 				st.ShardSlack[i] = int64(r.U64())
+			}
+		}
+	}
+	// Layout block (appended by adaptive-layout servers): grid, cuts,
+	// per-shard live counts.
+	if r.Err() == nil && r.Remaining() >= 8 {
+		gx, gy := int(r.U32()), int(r.U32())
+		need := 8*(gx+1) + 8*(gy+1) + 4*st.Shards
+		if gx >= 1 && gy >= 1 && gx*gy == st.Shards && r.Remaining() >= need {
+			st.GridX, st.GridY = gx, gy
+			st.CutsX = make([]float64, gx+1)
+			for i := range st.CutsX {
+				st.CutsX[i] = r.F64()
+			}
+			st.CutsY = make([]float64, gy+1)
+			for i := range st.CutsY {
+				st.CutsY[i] = r.F64()
+			}
+			st.ShardLive = make([]int, st.Shards)
+			for i := range st.ShardLive {
+				st.ShardLive[i] = int(r.U32())
 			}
 		}
 	}

@@ -295,11 +295,32 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		b.I32(s.db.NextID())
 		// Appended after NextID: the spatial shard count and each
 		// shard's accumulated mutation slack (the per-shard compaction
-		// signal). Older clients stop reading before this.
-		shards := s.db.ShardStats()
-		b.U32(uint32(len(shards)))
-		for _, sh := range shards {
+		// signal). Older clients stop reading before this. The whole
+		// layout block comes from ONE snapshot: Reshard may run
+		// concurrently (it takes no server lock), and mixing cuts from
+		// one layout with shard states from another would tear the
+		// frame.
+		snap := s.db.LayoutSnapshot()
+		b.U32(uint32(len(snap.Shards)))
+		for _, sh := range snap.Shards {
 			b.U64(uint64(sh.Slack))
+		}
+		// Appended after the slack block: the shard grid dimensions,
+		// the layout's cut coordinates (gx+1 x-cuts, gy+1 y-cuts —
+		// equal strips or adaptive weighted-median/Reshard cuts), and
+		// each shard's live-object count (the load-balance signal;
+		// uvclient derives the max/mean imbalance factor from it).
+		// Older clients stop reading before this too.
+		b.U32(uint32(snap.GridX))
+		b.U32(uint32(snap.GridY))
+		for _, v := range snap.CutsX {
+			b.F64(v)
+		}
+		for _, v := range snap.CutsY {
+			b.F64(v)
+		}
+		for _, sh := range snap.Shards {
+			b.U32(uint32(sh.Live))
 		}
 		return b.Bytes(), nil
 

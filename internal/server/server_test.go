@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"math"
 	"net"
 	"strings"
@@ -114,6 +115,25 @@ func TestShardedStatsOverWire(t *testing.T) {
 	// Aggregated shape fields come from all shards.
 	if want := db.IndexStats(); st.Leaves != want.Leaves || st.Entries != want.Entries {
 		t.Fatalf("stats %+v, want aggregate %+v", st, want)
+	}
+	// The layout block: grid dimensions, cut coordinates and per-shard
+	// live counts (the load-balance signal).
+	if st.GridX != 2 || st.GridY != 2 {
+		t.Fatalf("stats grid %dx%d, want 2x2", st.GridX, st.GridY)
+	}
+	xs, ys := db.ShardCuts()
+	if fmt.Sprint(st.CutsX) != fmt.Sprint(xs) || fmt.Sprint(st.CutsY) != fmt.Sprint(ys) {
+		t.Fatalf("stats cuts %v/%v, engine %v/%v", st.CutsX, st.CutsY, xs, ys)
+	}
+	liveTotal := 0
+	for _, v := range st.ShardLive {
+		liveTotal += v
+	}
+	if liveTotal != db.Len() {
+		t.Fatalf("per-shard live counts sum to %d, live population is %d", liveTotal, db.Len())
+	}
+	if f := st.LoadImbalance(); f < 1 {
+		t.Fatalf("load imbalance %v < 1", f)
 	}
 
 	// Queries route through the wire identically to local calls,

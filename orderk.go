@@ -41,9 +41,9 @@ func (db *DB) NewOrderKIndex(k int) (*OrderKIndex, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("uvdiagram: order-k index needs k ≥ 1, got %d", k)
 	}
-	// Any shard's helper R-tree covers the full live population; the
+	// The shared helper R-tree covers the full live population; the
 	// order-k grid itself spans the whole domain and is not sharded.
-	ix, stats, err := core.BuildOrderK(db.store, db.domain, db.ep().tree, k, db.bopts)
+	ix, stats, err := core.BuildOrderK(db.store, db.domain, db.rtree(), k, db.bopts)
 	if err != nil {
 		return nil, err
 	}

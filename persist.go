@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sync"
 
 	"uvdiagram/internal/core"
 	"uvdiagram/internal/pager"
@@ -16,7 +15,7 @@ import (
 
 // Database persistence: Save writes the objects and the built
 // UV-index(es); Load reopens them without re-running construction (the
-// helper R-trees are re-bulk-loaded, which is cheap). The stream is
+// helper R-tree is re-bulk-loaded, which is cheap). The stream is
 // self-contained and versioned.
 
 const (
@@ -24,16 +23,22 @@ const (
 	// dbVersion 2 added a per-object tombstone flag so a database with
 	// deletions round-trips; version-1 streams are still readable and
 	// imply every object is live. Version 3 adds the spatial shard
-	// layout (gx × gy grid) followed by one index stream per shard;
-	// single-shard databases keep writing version 2 so older readers
-	// can open them, and Load accepts all three.
+	// layout (gx × gy grid) followed by one index stream per shard.
+	// Version 4 adds the layout's cut coordinates for adaptive
+	// (weighted-median or resharded) layouts; a sharded database whose
+	// cuts are exactly the equal strips keeps writing the byte-
+	// compatible version 3, single-shard databases keep writing
+	// version 2, and Load accepts all four.
 	dbVersion        = 2
 	dbVersionSharded = 3
+	dbVersionCuts    = 4
 )
 
 // Save serializes the database (objects + UV-indexes) to w. A
 // single-shard database writes the backward-compatible version-2
-// stream; a sharded one writes version 3 with its layout.
+// stream; an equal-strip sharded one writes version 3 (byte-compatible
+// with pre-adaptive readers); an adaptively cut layout writes version 4
+// with its cut coordinates.
 func (db *DB) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var scratch [8]byte
@@ -50,9 +55,14 @@ func (db *DB) Save(w io.Writer) error {
 	if err := u32(dbMagic); err != nil {
 		return err
 	}
+	lo := db.lo()
 	version := uint32(dbVersion)
-	if len(db.shards) > 1 {
-		version = dbVersionSharded
+	if len(lo.shards) > 1 {
+		if equalStripLayout(lo, db.domain) {
+			version = dbVersionSharded
+		} else {
+			version = dbVersionCuts
+		}
 	}
 	if err := u32(version); err != nil {
 		return err
@@ -63,11 +73,23 @@ func (db *DB) Save(w io.Writer) error {
 		}
 	}
 	if version >= dbVersionSharded {
-		if err := u32(uint32(db.gx)); err != nil {
+		if err := u32(uint32(lo.gx)); err != nil {
 			return err
 		}
-		if err := u32(uint32(db.gy)); err != nil {
+		if err := u32(uint32(lo.gy)); err != nil {
 			return err
+		}
+	}
+	if version >= dbVersionCuts {
+		for _, v := range lo.xs {
+			if err := f64(v); err != nil {
+				return err
+			}
+		}
+		for _, v := range lo.ys {
+			if err := f64(v); err != nil {
+				return err
+			}
 		}
 	}
 	// The dense slice keeps deleted slots in place: ids are positions,
@@ -107,18 +129,39 @@ func (db *DB) Save(w io.Writer) error {
 		return err
 	}
 	// One index stream per shard, in row-major shard order (a single
-	// shard reproduces the version-2 body exactly).
-	for i := range db.shards {
-		if err := db.epAt(i).index.Save(w); err != nil {
+	// shard reproduces the version-2 body exactly). Every stream writes
+	// the shared registry, so each shard stays independently loadable
+	// by pre-registry readers.
+	for i := range lo.shards {
+		if err := lo.epAt(i).index.Save(w); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// equalStripLayout reports whether a layout's cuts are exactly the
+// equal strips the grid dimensions imply — the layouts version-3
+// streams can represent.
+func equalStripLayout(lo *shardLayout, domain Rect) bool {
+	ex := cuts(domain.Min.X, domain.Max.X, lo.gx)
+	ey := cuts(domain.Min.Y, domain.Max.Y, lo.gy)
+	for i, v := range lo.xs {
+		if v != ex[i] {
+			return false
+		}
+	}
+	for i, v := range lo.ys {
+		if v != ey[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Load reopens a database written by Save. opts only affect future
-// Inserts (seed/pruning parameters); the index structure itself comes
-// from the stream.
+// Inserts and Reshards (seed/pruning parameters, layout strategy); the
+// index structure and shard layout come from the stream.
 func Load(r io.Reader, opts *Options) (*DB, error) {
 	br := bufio.NewReader(r)
 	var scratch [8]byte
@@ -142,7 +185,7 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 		return nil, fmt.Errorf("uvdiagram: not a UV-diagram database stream")
 	}
 	version, err := u32()
-	if err != nil || (version != 1 && version != dbVersion && version != dbVersionSharded) {
+	if err != nil || version < 1 || version > dbVersionCuts {
 		return nil, fmt.Errorf("uvdiagram: unsupported version %d (err=%v)", version, err)
 	}
 	var coords [4]float64
@@ -168,6 +211,31 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 		// check and die in allocation instead of erroring.
 		if gx < 1 || gy < 1 || gx > MaxShards || gy > MaxShards || gx*gy > MaxShards {
 			return nil, fmt.Errorf("uvdiagram: implausible shard layout %d×%d", gx, gy)
+		}
+	}
+	xs := cuts(domain.Min.X, domain.Max.X, gx)
+	ys := cuts(domain.Min.Y, domain.Max.Y, gy)
+	if version >= dbVersionCuts {
+		read := func(n int, ends [2]float64) ([]float64, error) {
+			out := make([]float64, n)
+			for i := range out {
+				if out[i], err = f64(); err != nil {
+					return nil, fmt.Errorf("uvdiagram: reading layout cuts: %w", err)
+				}
+				if i > 0 && !(out[i] > out[i-1]) {
+					return nil, fmt.Errorf("uvdiagram: layout cuts not increasing at %d", i)
+				}
+			}
+			if out[0] != ends[0] || out[n-1] != ends[1] {
+				return nil, fmt.Errorf("uvdiagram: layout cuts do not span the domain")
+			}
+			return out, nil
+		}
+		if xs, err = read(gx+1, [2]float64{domain.Min.X, domain.Max.X}); err != nil {
+			return nil, err
+		}
+		if ys, err = read(gy+1, [2]float64{domain.Min.Y, domain.Max.Y}); err != nil {
+			return nil, err
 		}
 	}
 	n, err := u32()
@@ -225,46 +293,52 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 		}
 	}
 	bopts := opts.toBuildOptions()
-	db := &DB{store: store, domain: domain, bopts: bopts}
+	db := &DB{store: store, domain: domain, bopts: bopts, strategy: opts.layout()}
 	// The layout comes from the stream: Options.Shards only affects
 	// freshly built databases, never a reopened one.
-	db.initShardGrid(gx, gy)
-	// The index streams must decode sequentially, but each shard's
-	// helper R-tree is an independent bulk-load over the live objects —
-	// build them concurrently (like publishShards does) so opening a
-	// snapshot does not pay the tree cost once per shard.
-	trees := make([]*rtree.Tree, len(db.shards))
-	var wg sync.WaitGroup
-	// The deferred Wait covers the error returns below, so a truncated
-	// index stream never leaks tree builds still running; the explicit
-	// Wait before publishing covers the success path (Wait after the
-	// counter already hit zero is a no-op).
-	defer wg.Wait()
-	for i := range trees {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			trees[i] = core.BuildHelperRTree(store, bopts.Fanout) // live objects only
-		}(i)
-	}
-	shapes := make([]core.IndexStats, len(db.shards))
-	indexes := make([]*core.UVIndex, len(db.shards))
-	for i := range db.shards {
+	lo := newShardLayout(0, gx, gy, xs, ys)
+	// The index streams must decode sequentially, but the shared helper
+	// R-tree is an independent bulk-load over the live objects — build
+	// it concurrently with the decode.
+	treeDone := make(chan *rtree.Tree, 1)
+	go func() { treeDone <- core.BuildHelperRTree(store, bopts.Fanout) }()
+	// The deferred drain covers the error returns below, so a truncated
+	// index stream never leaks the tree build still running.
+	defer func() { db.tree.Store(<-treeDone) }()
+	shapes := make([]core.IndexStats, len(lo.shards))
+	indexes := make([]*core.UVIndex, len(lo.shards))
+	for i := range lo.shards {
 		index, err := core.LoadUVIndex(br, store)
 		if err != nil {
 			return nil, fmt.Errorf("uvdiagram: shard %d: %w", i, err)
 		}
-		if index.Domain() != db.shards[i].rect {
+		if index.Domain() != lo.shards[i].rect {
 			return nil, fmt.Errorf("uvdiagram: shard %d stream covers %v, layout expects %v",
-				i, index.Domain(), db.shards[i].rect)
+				i, index.Domain(), lo.shards[i].rect)
 		}
 		indexes[i] = index
-		shapes[i] = index.Stats()
 	}
-	wg.Wait()
-	for i := range db.shards {
-		db.shards[i].epoch.Store(&indexEpoch{index: indexes[i], tree: trees[i]})
+	// Unify the per-shard registry copies into the one engine-wide
+	// CRState the runtime maintains. Streams written by this version
+	// carry identical copies (the shards shared one registry when they
+	// were saved), so sharing is free; a pre-registry snapshot whose
+	// shards diverged (old per-shard compaction re-derived locally) gets
+	// those shards' leaf structures rebuilt from shard 0's copy, so leaf
+	// lists and registry agree again — answers are exact either way.
+	reg := indexes[0].CR()
+	for i := 1; i < len(indexes); i++ {
+		if indexes[i].CR().EqualCROf(reg) {
+			indexes[i].AttachCR(reg)
+		} else {
+			indexes[i] = indexes[i].ReindexCR(reg)
+		}
 	}
+	db.cr = reg
+	for i := range lo.shards {
+		lo.shards[i].epoch.Store(&indexEpoch{index: indexes[i]})
+		shapes[i] = indexes[i].Stats()
+	}
+	db.layout.Store(lo)
 	built := BuildStats{Strategy: bopts.Strategy, N: store.Live(), Index: aggregateIndexStats(shapes)}
 	db.built.Store(&built)
 	return db, nil

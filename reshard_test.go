@@ -1,0 +1,600 @@
+package uvdiagram
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/datagen"
+)
+
+// TestDisjointCompactShardsOverlap proves the two-level locking claim:
+// two CompactShard calls on DISJOINT shards must both be inside their
+// shadow-build critical sections at the same wall-clock moment. Each
+// compaction's hook (called with the store-level read lock and the
+// shard's write mutex held) blocks until the other has also entered; a
+// lock scheme that serialized compactions — the old single write mutex
+// — would park the second caller outside and trip the timeout instead.
+func TestDisjointCompactShardsOverlap(t *testing.T) {
+	cfg := datagen.Config{N: 120, Side: 2000, Diameter: 40, Seed: 41}
+	db, err := Build(datagen.Uniform(cfg), cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const a, b = 0, 3 // opposite corners of the 2×2 grid
+	var entered atomic.Int32
+	var timedOut atomic.Bool
+	release := make(chan struct{})
+	db.compactHook = func(i int) {
+		if entered.Add(1) == 2 {
+			close(release)
+		}
+		select {
+		case <-release:
+		case <-time.After(30 * time.Second):
+			timedOut.Store(true)
+		}
+	}
+	type window struct{ start, end time.Time }
+	var wa, wb window
+	var wg sync.WaitGroup
+	run := func(shard int, w *window) {
+		defer wg.Done()
+		w.start = time.Now()
+		if err := db.CompactShard(context.Background(), shard); err != nil {
+			t.Error(err)
+		}
+		w.end = time.Now()
+	}
+	wg.Add(2)
+	go run(a, &wa)
+	go run(b, &wb)
+	wg.Wait()
+	if timedOut.Load() {
+		t.Fatal("compactions of disjoint shards serialized: the second never entered its critical section while the first held it")
+	}
+	if got := entered.Load(); got != 2 {
+		t.Fatalf("hook entered %d times, want 2", got)
+	}
+	// Both rendezvoused inside their critical sections, so the
+	// wall-clock windows must overlap; assert it explicitly.
+	if !(wa.start.Before(wb.end) && wb.start.Before(wa.end)) {
+		t.Fatalf("compaction windows do not overlap: %v–%v vs %v–%v", wa.start, wa.end, wb.start, wb.end)
+	}
+}
+
+// TestConcurrentCompactDuringChurn is the -race exercise of the
+// two-level locks under a realistic mix: query goroutines and a mutator
+// synchronized by an external RWMutex (the engine's contract, as the
+// server does it), while CompactAll rounds and explicit disjoint
+// CompactShard calls run with NO external lock at all. Afterwards the
+// database must answer bitwise identically to a single-shard engine
+// that saw the same mutation sequence.
+func TestConcurrentCompactDuringChurn(t *testing.T) {
+	const side = 2000.0
+	cfg := datagen.Config{N: 100, Side: side, Diameter: 40, Seed: 61}
+	objs := datagen.Uniform(cfg)
+	db, err := Build(objs, cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	qs := shardQueryPoints(rng, side, 12)
+
+	var qmu sync.RWMutex // external query-vs-mutation sync, like the server
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[(i+w)%len(qs)]
+				qmu.RLock()
+				_, _, err1 := db.PNN(q)
+				_, err2 := db.PossibleKNN(q, 3)
+				qmu.RUnlock()
+				if err1 != nil || err2 != nil {
+					errs <- fmt.Errorf("query during churn: %v / %v", err1, err2)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Lock-free maintenance: rolling CompactAll rounds plus explicit
+	// disjoint CompactShard pairs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 4; round++ {
+			if err := db.CompactAll(context.Background(), 2); err != nil {
+				errs <- err
+				return
+			}
+			var inner sync.WaitGroup
+			for _, sh := range []int{0, 3} {
+				inner.Add(1)
+				go func(sh int) {
+					defer inner.Done()
+					if err := db.CompactShard(context.Background(), sh); err != nil {
+						errs <- err
+					}
+				}(sh)
+			}
+			inner.Wait()
+		}
+	}()
+
+	// The deterministic mutation sequence (replayed on the reference
+	// below). Interleaving with compaction is nondeterministic, but
+	// compaction never changes answers, so the end state is fixed.
+	mutate := func(d *DB, lock bool) {
+		mrng := rand.New(rand.NewSource(333))
+		for i := 0; i < 30; i++ {
+			if lock {
+				qmu.Lock()
+			}
+			var err error
+			if i%3 == 1 && d.Alive(int32(i)) {
+				err = d.Delete(int32(i))
+			} else {
+				o := NewObject(d.NextID(), mrng.Float64()*side, mrng.Float64()*side, 20, nil)
+				err = d.Insert(o)
+			}
+			if lock {
+				qmu.Unlock()
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	mutate(db, true)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	ref, err := Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(ref, false)
+	assertShardInvariant(t, "post-churn-compact", db, ref, qs)
+}
+
+// TestWeightedMedianCuts checks the quantile layout: strictly
+// increasing cuts spanning the domain, near-even per-shard loads on a
+// skewed pile-up, and the equal-strip fallback on degenerate data.
+func TestWeightedMedianCuts(t *testing.T) {
+	const side = 1000.0
+	domain := SquareDomain(side)
+	rng := rand.New(rand.NewSource(4))
+	centers := make([]Point, 400)
+	for i := range centers {
+		// Clustered pile-up in one corner.
+		centers[i] = Pt(clamp(rng.NormFloat64()*80+200, 0, side), clamp(rng.NormFloat64()*80+700, 0, side))
+	}
+	xs, ys := WeightedMedian{}.Cuts(domain, 4, 4, centers)
+	for _, cutset := range [][]float64{xs, ys} {
+		if len(cutset) != 5 {
+			t.Fatalf("cut count %d, want 5", len(cutset))
+		}
+		if cutset[0] != 0 || cutset[4] != side {
+			t.Fatalf("cuts %v do not span the domain", cutset)
+		}
+		for i := 1; i < len(cutset); i++ {
+			if cutset[i] <= cutset[i-1] {
+				t.Fatalf("cuts %v not strictly increasing", cutset)
+			}
+		}
+	}
+	// Quantile columns each hold ~1/4 of the centers.
+	colCount := make([]int, 4)
+	for _, c := range centers {
+		colCount[lastLE(xs, c.X)]++
+	}
+	for i, n := range colCount {
+		if n < 80 || n > 120 {
+			t.Fatalf("column %d holds %d of 400 centers (cuts %v)", i, n, xs)
+		}
+	}
+	// Degenerate distribution: all identical coordinates → equal-strip
+	// fallback, still strictly increasing.
+	same := make([]Point, 50)
+	for i := range same {
+		same[i] = Pt(500, 500)
+	}
+	xs, _ = WeightedMedian{}.Cuts(domain, 4, 4, same)
+	if fmt.Sprint(xs) != fmt.Sprint(cuts(0, side, 4)) {
+		t.Fatalf("degenerate cuts %v, want equal strips", xs)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// TestReshardBalancesSkew checks the operational claim behind Reshard:
+// on a Gaussian pile-up over a 4×4 equal-strip grid, the max/mean
+// per-shard load imbalance drops by at least 2× after the online
+// reshard, and the shard loads still sum to the population.
+func TestReshardBalancesSkew(t *testing.T) {
+	const side = 4000.0
+	cfg := datagen.Config{N: 300, Side: side, Diameter: 40, Seed: 8}
+	objs := datagen.Skewed(cfg, side/10)
+	db, err := Build(objs, cfg.Domain(), &Options{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.LoadImbalance()
+	if before < 2 {
+		t.Fatalf("equal strips on a σ=side/10 pile-up give imbalance %.2f — dataset not skewed enough to test", before)
+	}
+	if err := db.Reshard(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	after := db.LoadImbalance()
+	if after <= 0 || before/after < 2 {
+		t.Fatalf("imbalance %.2f -> %.2f (%.1fx), want >= 2x", before, after, before/after)
+	}
+	total := 0
+	for _, st := range db.ShardStats() {
+		total += st.Live
+	}
+	if total != db.Len() {
+		t.Fatalf("shard loads sum to %d, live population is %d", total, db.Len())
+	}
+	xs, ys := db.ShardCuts()
+	if len(xs) != 5 || len(ys) != 5 {
+		t.Fatalf("cut lengths %d/%d after reshard, want 5/5", len(xs), len(ys))
+	}
+}
+
+// TestReshardPersistence covers the versioned layout streams: an
+// adaptively cut database round-trips through the version-4 stream
+// (cuts preserved, answers identical), an equal-strip sharded save
+// still writes the byte-compatible version 3, and a single-shard save
+// still writes version 2.
+func TestReshardPersistence(t *testing.T) {
+	const side = 2000.0
+	cfg := datagen.Config{N: 80, Side: side, Diameter: 40, Seed: 13}
+	objs := datagen.Skewed(cfg, side/8)
+	db, err := Build(objs, cfg.Domain(), &Options{Shards: 4, Layout: WeightedMedian{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamVersion := func(buf []byte) uint32 { return binary.LittleEndian.Uint32(buf[4:8]) }
+
+	var snap bytes.Buffer
+	if err := db.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if v := streamVersion(snap.Bytes()); v != 4 {
+		t.Fatalf("median-layout save wrote version %d, want 4", v)
+	}
+	db2, err := Load(bytes.NewReader(snap.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs1, ys1 := db.ShardCuts()
+	xs2, ys2 := db2.ShardCuts()
+	if fmt.Sprint(xs1) != fmt.Sprint(xs2) || fmt.Sprint(ys1) != fmt.Sprint(ys2) {
+		t.Fatalf("cuts did not round-trip: %v/%v vs %v/%v", xs1, ys1, xs2, ys2)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 24; i++ {
+		q := Pt(rng.Float64()*side, rng.Float64()*side)
+		a1, _, err := db.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _, err := db2.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Answer IDs must match exactly; probabilities carry the PDF
+		// re-normalization noise every Load has (same tolerance as
+		// TestFullLifecycle).
+		if len(a1) != len(a2) {
+			t.Fatalf("PNN(%v) diverges after v4 round-trip: %v vs %v", q, a1, a2)
+		}
+		for j := range a1 {
+			if a1[j].ID != a2[j].ID {
+				t.Fatalf("PNN(%v) ids diverge after v4 round-trip: %v vs %v", q, a1, a2)
+			}
+			if d := a1[j].Prob - a2[j].Prob; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("PNN(%v) probability drifted after v4 round-trip: %v vs %v", q, a1, a2)
+			}
+		}
+	}
+
+	// Resharding a loaded database keeps working (the stream carries no
+	// strategy — Reshard re-cuts adaptively from the live centers).
+	if err := db2.Reshard(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Equal strips still write version 3, single shard version 2.
+	equal, err := Build(objs, cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var esnap bytes.Buffer
+	if err := equal.Save(&esnap); err != nil {
+		t.Fatal(err)
+	}
+	if v := streamVersion(esnap.Bytes()); v != 3 {
+		t.Fatalf("equal-strip save wrote version %d, want 3", v)
+	}
+	flat, err := Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fsnap bytes.Buffer
+	if err := flat.Save(&fsnap); err != nil {
+		t.Fatal(err)
+	}
+	if v := streamVersion(fsnap.Bytes()); v != 2 {
+		t.Fatalf("single-shard save wrote version %d, want 2", v)
+	}
+}
+
+// TestLoadUnifiesDivergentShardRegistries simulates a pre-shared-
+// registry snapshot: shard 1's stream carries constraint sets that
+// diverged from shard 0's (as the old per-shard CompactShard
+// re-derivation produced). Load must detect the divergence and rebuild
+// that shard's leaf structure from the unified registry, so post-load
+// answers and delete bookkeeping stay exact.
+func TestLoadUnifiesDivergentShardRegistries(t *testing.T) {
+	const side = 2000.0
+	cfg := datagen.Config{N: 70, Side: side, Diameter: 40, Seed: 29}
+	objs := datagen.Uniform(cfg)
+	db, err := Build(objs, cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A divergent-but-valid registry copy: dropping a constraint from
+	// one object's set keeps the representation a sound superset (fewer
+	// outside regions = larger represented cell).
+	sets := make([][]int32, db.store.Len())
+	for i := range sets {
+		sets[i] = append([]int32(nil), db.cr.Of(int32(i))...)
+	}
+	victim := int32(5)
+	if len(sets[victim]) < 2 {
+		t.Fatalf("object %d has too few cr-objects (%d) to diverge", victim, len(sets[victim]))
+	}
+	sets[victim] = sets[victim][:len(sets[victim])-1]
+	lo := db.lo()
+	ix, _ := core.BuildRegion(db.store, lo.shards[1].rect, sets, db.bopts.Index)
+	lo.shards[1].epoch.Store(&indexEpoch{index: ix})
+
+	var snap bytes.Buffer
+	if err := db.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(bytes.NewReader(snap.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All shards must share one registry again after Load.
+	lo2 := db2.lo()
+	for i := range lo2.shards {
+		if lo2.shards[i].ep().index.CR() != db2.cr {
+			t.Fatalf("shard %d does not share the engine registry after Load", i)
+		}
+	}
+	// Churn through the previously divergent object's neighborhood,
+	// then compare against a reference that saw the same mutations.
+	ref, err := Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*DB{db2, ref} {
+		if err := d.Delete(victim); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Delete(int32(11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 24; i++ {
+		q := Pt(rng.Float64()*side, rng.Float64()*side)
+		a1, _, err := db2.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _, err := ref.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a1) != len(a2) {
+			t.Fatalf("PNN(%v) diverges after unification: %v vs %v", q, a1, a2)
+		}
+		for j := range a1 {
+			if a1[j].ID != a2[j].ID {
+				t.Fatalf("PNN(%v) ids diverge after unification: %v vs %v", q, a1, a2)
+			}
+			if d := a1[j].Prob - a2[j].Prob; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("PNN(%v) probability drifted after unification: %v vs %v", q, a1, a2)
+			}
+		}
+	}
+}
+
+// TestContinuousSurvivesReshard walks a moving query while the layout
+// is swapped under it mid-walk; the session must transparently re-open
+// and keep serving the single-shard engine's answer sets.
+func TestContinuousSurvivesReshard(t *testing.T) {
+	const side = 2000.0
+	cfg := datagen.Config{N: 80, Side: side, Diameter: 40, Seed: 12}
+	objs := datagen.Skewed(cfg, side/6)
+	ref, err := Build(objs, cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Build(objs, cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := Pt(10, 10)
+	gotSess, err := db.NewContinuousPNN(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSess, err := ref.NewContinuousPNN(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 120; i++ {
+		if i == 60 {
+			if err := db.Reshard(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := Pt(10+float64(i)*16, 10+float64(i)*16)
+		ga, _, err := gotSess.Move(q)
+		if err != nil {
+			t.Fatalf("sharded Move(%v): %v", q, err)
+		}
+		wa, _, err := wantSess.Move(q)
+		if err != nil {
+			t.Fatalf("reference Move(%v): %v", q, err)
+		}
+		if fmt.Sprint(ga) != fmt.Sprint(wa) {
+			t.Fatalf("Move(%v) answer sets diverge after reshard: %v vs %v", q, ga, wa)
+		}
+	}
+}
+
+// TestOrderKStaleAfterReshard: the order-k snapshot must refuse to
+// answer once the layout has been swapped, even though no object
+// mutated.
+func TestOrderKStaleAfterReshard(t *testing.T) {
+	cfg := datagen.Config{N: 50, Side: 2000, Diameter: 40, Seed: 19}
+	db, err := Build(datagen.Uniform(cfg), cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.NewOrderKIndex(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.PossibleKNN(Pt(500, 500)); err != nil {
+		t.Fatalf("fresh order-k query failed: %v", err)
+	}
+	if err := db.Reshard(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.PossibleKNN(Pt(500, 500)); err == nil {
+		t.Fatal("order-k snapshot answered after a Reshard invalidated it")
+	}
+}
+
+// TestShardAwareBatchOrder checks the shard-grouped dispatch
+// permutation: every index appears exactly once and indexes are grouped
+// by owning shard in ascending shard order, stable within a shard — so
+// positional results cannot be affected.
+func TestShardAwareBatchOrder(t *testing.T) {
+	const side = 2000.0
+	cfg := datagen.Config{N: 40, Side: side, Diameter: 40, Seed: 7}
+	db, err := Build(datagen.Uniform(cfg), cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	qs := shardQueryPoints(rng, side, 40)
+	rt := db.route()
+	owner, order, err := rt.plan(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order == nil {
+		t.Fatal("no dispatch order for a 4-shard batch")
+	}
+	for i, q := range qs {
+		if owner[i] != rt.lo.shardIdx(q) {
+			t.Fatalf("plan owner[%d] = %d, want %d", i, owner[i], rt.lo.shardIdx(q))
+		}
+	}
+	seen := make([]bool, len(qs))
+	lastShard, lastInShard := -1, -1
+	for _, i := range order {
+		if i < 0 || i >= len(qs) || seen[i] {
+			t.Fatalf("order %v is not a permutation", order)
+		}
+		seen[i] = true
+		si := rt.lo.shardIdx(qs[i])
+		if si < lastShard {
+			t.Fatalf("order not grouped by shard: shard %d after %d", si, lastShard)
+		}
+		if si > lastShard {
+			lastShard, lastInShard = si, -1
+		}
+		if i < lastInShard {
+			t.Fatalf("order not stable within shard %d", si)
+		}
+		lastInShard = i
+	}
+	// And the grouped dispatch returns the same answers as sequential.
+	grouped, err := db.BatchNN(qs, &BatchOptions{Workers: 3, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential, err := db.BatchNN(qs, &BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(grouped) != fmt.Sprint(sequential) {
+		t.Fatal("shard-grouped batch diverges from sequential execution")
+	}
+}
+
+// TestEntryWeightedSlack: deleting a hub object must accrue slack
+// proportional to the leaf entries rewritten, not the object count —
+// the scale-free watermark property.
+func TestEntryWeightedSlack(t *testing.T) {
+	cfg := datagen.Config{N: 60, Side: 2000, Diameter: 60, Seed: 23}
+	db, err := Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dependents := len(db.Index().Dependents(30))
+	if err := db.Delete(30); err != nil {
+		t.Fatal(err)
+	}
+	slack := db.Slack()
+	// The delete removed the victim's entries and rewrote every
+	// dependent's entries; with ~60 overlapping objects each dependent
+	// holds multiple leaf entries, so entry-weighted slack must exceed
+	// the old per-object count (1 + dependents).
+	if slack <= int64(1+dependents) {
+		t.Fatalf("slack %d after deleting a hub with %d dependents — looks per-object, not entry-weighted", slack, dependents)
+	}
+}

@@ -22,13 +22,13 @@ type RNNStats = rnn.Stats
 // package rnn) through the helper R-tree, then verified exactly against
 // the query point's possible region.
 func (db *DB) RNN(q Point) ([]RNNAnswer, RNNStats) {
-	return rnn.Query(db.store.Dense(), db.ep().tree, q, rnn.Options{Alive: db.store.Alive})
+	return rnn.Query(db.store.Dense(), db.rtree(), q, rnn.Options{Alive: db.store.Alive})
 }
 
 // PossibleRNN returns only the IDs of the probabilistic reverse
 // nearest-neighbor answers at q, skipping probability integration.
 func (db *DB) PossibleRNN(q Point) ([]int32, RNNStats) {
-	return rnn.PossibleRNN(db.store.Dense(), db.ep().tree, q, rnn.Options{Alive: db.store.Alive})
+	return rnn.PossibleRNN(db.store.Dense(), db.rtree(), q, rnn.Options{Alive: db.store.Alive})
 }
 
 // PossibleRNNUncertain answers the reverse nearest-neighbor query with
@@ -37,5 +37,5 @@ func (db *DB) PossibleRNN(q Point) ([]int32, RNNStats) {
 // non-zero probability that the query's true position is its nearest
 // neighbor. A zero radius reproduces PossibleRNN.
 func (db *DB) PossibleRNNUncertain(region Circle) ([]int32, RNNStats) {
-	return rnn.PossibleRNNUncertain(db.store.Dense(), db.ep().tree, region, rnn.Options{Alive: db.store.Alive})
+	return rnn.PossibleRNNUncertain(db.store.Dense(), db.rtree(), region, rnn.Options{Alive: db.store.Alive})
 }

@@ -3,6 +3,8 @@ package uvdiagram
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"uvdiagram/internal/core"
@@ -11,7 +13,7 @@ import (
 // Spatial sharding. The adaptive grid of the paper partitions the
 // domain naturally, so the engine can split the plane into a gx × gy
 // grid of shard rectangles, each owning an independent sub-grid
-// UV-index, helper R-tree, epoch pointer and slack counter:
+// UV-index, epoch pointer, write mutex and slack counter:
 //
 //   - Point queries route to the owning shard with two boundary scans
 //     and read its epoch lock-free.
@@ -20,14 +22,21 @@ import (
 //     Algorithm 5 drops it from the shards it cannot), so each shard's
 //     leaf lists stay supersets of the true overlaps and answers are
 //     exactly those of a single-shard engine.
-//   - Every shard records the constraint sets of ALL objects — not just
-//     the ones it holds leaf entries for — because deleting an object
-//     can grow a neighbor's UV-cell ACROSS a boundary into a shard that
-//     never listed it; the shard-local reverse cr-map is what finds
-//     those dependents.
-//   - Maintenance (per-shard Compact) shadow-builds one shard at a
-//     time, so rebuild churn is bounded by the objects whose cells
-//     reach the shard instead of the whole population.
+//   - The constraint sets of ALL objects live in ONE engine-wide
+//     registry (core.CRState) shared by every shard — deleting an
+//     object can grow a neighbor's UV-cell ACROSS a boundary into a
+//     shard that never listed it, and the registry's reverse cr-map is
+//     what finds those dependents — so a mutation updates bookkeeping
+//     once, and the per-shard work is exactly the leaf surgery in the
+//     shards the cells reach.
+//   - The whole layout (cut coordinates + shard states) sits behind one
+//     atomic pointer: an online re-shard (DB.Reshard) builds a complete
+//     new layout off to the side and publishes it with a single swap,
+//     so queries never observe a torn layout.
+//   - Maintenance (per-shard CompactShard) shadow-builds one shard at a
+//     time under the shard's own write mutex, so rebuild churn is
+//     bounded by the objects whose cells reach the shard — and
+//     compactions of DISJOINT shards run truly in parallel.
 //
 // One shard (the default) reproduces the pre-sharding engine exactly.
 
@@ -36,15 +45,77 @@ import (
 const MaxShards = 256
 
 // shard is one spatial partition of the engine: a rectangle of the
-// domain and the epoch pointer for the index state owning it.
+// domain, the epoch pointer for the index state owning it, and the
+// level-2 write mutex of the two-level locking scheme.
 type shard struct {
-	rect       Rect
-	epoch      atomic.Pointer[indexEpoch]
+	rect  Rect
+	epoch atomic.Pointer[indexEpoch]
+	// wmu serializes writers of THIS shard's leaf structure and epoch
+	// pointer: in-place Insert/Delete surgery and CompactShard swaps.
+	// It is always acquired after the DB's store-level lock (never the
+	// other way around), and multiple shard locks are taken in
+	// ascending shard order — see the locking notes on DB.
+	wmu        sync.Mutex
 	compacting atomic.Bool // per-shard auto-compaction singleflight
 }
 
 // ep returns the shard's current epoch.
 func (sh *shard) ep() *indexEpoch { return sh.epoch.Load() }
+
+// shardLayout is one immutable generation of the shard layout: the grid
+// shape, the cut coordinates and the shard states. The DB publishes a
+// layout with one atomic pointer store (Build, Load, Reshard), so a
+// query routing through a loaded layout can never see half-updated
+// cuts or a shard slice that does not match them.
+type shardLayout struct {
+	// gen numbers the layout: it increases by one at every Reshard, so
+	// long-lived sessions and order-k snapshots detect that the layout
+	// they captured has been replaced even if per-shard counters happen
+	// to match.
+	gen    uint64
+	gx, gy int
+	xs, ys []float64
+	shards []*shard
+}
+
+// newShardLayout lays out a gx × gy shard grid over the given cuts.
+func newShardLayout(gen uint64, gx, gy int, xs, ys []float64) *shardLayout {
+	lo := &shardLayout{gen: gen, gx: gx, gy: gy, xs: xs, ys: ys, shards: make([]*shard, gx*gy)}
+	for r := 0; r < gy; r++ {
+		for c := 0; c < gx; c++ {
+			lo.shards[r*gx+c] = &shard{rect: Rect{
+				Min: Pt(xs[c], ys[r]),
+				Max: Pt(xs[c+1], ys[r+1]),
+			}}
+		}
+	}
+	return lo
+}
+
+// shardIdx returns the index of the shard owning q. Points outside the
+// domain clamp to the nearest edge shard (whose index then reports the
+// domain violation exactly like the single-shard engine).
+func (lo *shardLayout) shardIdx(q Point) int {
+	return lastLE(lo.ys, q.Y)*lo.gx + lastLE(lo.xs, q.X)
+}
+
+// epFor returns the epoch of the shard owning q.
+func (lo *shardLayout) epFor(q Point) *indexEpoch { return lo.shards[lo.shardIdx(q)].ep() }
+
+// epAt returns shard i's epoch.
+func (lo *shardLayout) epAt(i int) *indexEpoch { return lo.shards[i].ep() }
+
+// epochs snapshots every shard's current epoch in shard order.
+func (lo *shardLayout) epochs() []*indexEpoch {
+	eps := make([]*indexEpoch, len(lo.shards))
+	for i := range lo.shards {
+		eps[i] = lo.shards[i].ep()
+	}
+	return eps
+}
+
+// lo returns the DB's current layout.
+func (db *DB) lo() *shardLayout { return db.layout.Load() }
 
 // shardGrid factors s into the most square gx × gy grid (gx ≥ gy).
 func shardGrid(s int) (gx, gy int) {
@@ -73,29 +144,6 @@ func cuts(lo, hi float64, n int) []float64 {
 	return out
 }
 
-// initShards lays out s shard rectangles over the domain.
-func (db *DB) initShards(s int) {
-	gx, gy := shardGrid(s)
-	db.initShardGrid(gx, gy)
-}
-
-// initShardGrid lays out an explicit gx × gy shard grid (persistence
-// restores the saved layout rather than re-factoring the count).
-func (db *DB) initShardGrid(gx, gy int) {
-	db.gx, db.gy = gx, gy
-	db.xs = cuts(db.domain.Min.X, db.domain.Max.X, gx)
-	db.ys = cuts(db.domain.Min.Y, db.domain.Max.Y, gy)
-	db.shards = make([]shard, gx*gy)
-	for r := 0; r < gy; r++ {
-		for c := 0; c < gx; c++ {
-			db.shards[r*gx+c].rect = Rect{
-				Min: Pt(db.xs[c], db.ys[r]),
-				Max: Pt(db.xs[c+1], db.ys[r+1]),
-			}
-		}
-	}
-}
-
 // lastLE returns the index i (0 ≤ i ≤ len(cuts)-2) of the last strip
 // whose lower cut is ≤ v, clamping out-of-range values to the edge
 // strips. Comparing against the SAME cut values the shard rectangles
@@ -110,48 +158,147 @@ func lastLE(cuts []float64, v float64) int {
 	return 0
 }
 
-// shardIdx returns the index of the shard owning q. Points outside the
-// domain clamp to the nearest edge shard (whose index then reports the
-// domain violation exactly like the single-shard engine).
-func (db *DB) shardIdx(q Point) int {
-	return lastLE(db.ys, q.Y)*db.gx + lastLE(db.xs, q.X)
+// LayoutStrategy decides where a gx × gy shard grid cuts the domain.
+// The choice NEVER affects answers — objects are indexed in every shard
+// their UV-cell reaches, whatever the cuts — only how evenly load
+// spreads across shards. Implementations must return strictly
+// increasing cut slices of lengths gx+1 and gy+1 whose end elements are
+// exactly the domain bounds.
+type LayoutStrategy interface {
+	// Name is the strategy's stable identifier ("equal", "median").
+	Name() string
+	// Cuts computes the x and y cut coordinates for a gx × gy grid over
+	// domain, given the live objects' center points (which equal-area
+	// strategies may ignore).
+	Cuts(domain Rect, gx, gy int, centers []Point) (xs, ys []float64)
 }
 
-// epFor returns the epoch of the shard owning q.
-func (db *DB) epFor(q Point) *indexEpoch { return db.shards[db.shardIdx(q)].ep() }
+// EqualStrips is the fixed equal-area layout: every shard column and
+// row spans the same extent regardless of where the objects are. It is
+// the default, and the layout every pre-adaptive snapshot implies.
+type EqualStrips struct{}
 
-// epAt returns shard i's epoch.
-func (db *DB) epAt(i int) *indexEpoch { return db.shards[i].ep() }
+// Name implements LayoutStrategy.
+func (EqualStrips) Name() string { return "equal" }
 
-// ep returns shard 0's epoch. Its helper R-tree (like every shard's)
-// covers the full live population, so global — not point-routed —
-// queries read through it.
-func (db *DB) ep() *indexEpoch { return db.epAt(0) }
+// Cuts implements LayoutStrategy.
+func (EqualStrips) Cuts(domain Rect, gx, gy int, _ []Point) (xs, ys []float64) {
+	return cuts(domain.Min.X, domain.Max.X, gx), cuts(domain.Min.Y, domain.Max.Y, gy)
+}
 
-// epochs snapshots every shard's current epoch in shard order.
-func (db *DB) epochs() []*indexEpoch {
-	eps := make([]*indexEpoch, len(db.shards))
-	for i := range db.shards {
-		eps[i] = db.shards[i].ep()
+// WeightedMedian cuts each axis at the i/n weighted quantiles of the
+// live object-center distribution, so every shard column (and row)
+// holds the same number of object centers. On skewed datasets this
+// evens per-shard population — and therefore leaf-list load, build
+// cost and compaction churn — where equal strips pile most objects
+// into a few hot shards. Degenerate distributions (too many identical
+// coordinates to separate) fall back to equal strips on that axis.
+type WeightedMedian struct{}
+
+// Name implements LayoutStrategy.
+func (WeightedMedian) Name() string { return "median" }
+
+// Cuts implements LayoutStrategy.
+func (WeightedMedian) Cuts(domain Rect, gx, gy int, centers []Point) (xs, ys []float64) {
+	vx := make([]float64, len(centers))
+	vy := make([]float64, len(centers))
+	for i, c := range centers {
+		vx[i] = c.X
+		vy[i] = c.Y
 	}
-	return eps
+	return quantileCuts(domain.Min.X, domain.Max.X, gx, vx),
+		quantileCuts(domain.Min.Y, domain.Max.Y, gy, vy)
+}
+
+// quantileCuts returns n+1 strictly increasing cuts splitting [lo, hi]
+// at the i/n quantiles of the samples, using midpoints between adjacent
+// order statistics so no sample sits exactly on a cut more often than
+// the data forces. If the sample distribution cannot produce strictly
+// increasing cuts (heavy ties, tiny n), it falls back to equal strips —
+// always safe, since cuts only steer balance, never correctness.
+func quantileCuts(lo, hi float64, n int, samples []float64) []float64 {
+	if n <= 1 || len(samples) == 0 {
+		return cuts(lo, hi, n)
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	out := make([]float64, n+1)
+	out[0], out[n] = lo, hi
+	for i := 1; i < n; i++ {
+		k := i * len(s) / n
+		switch {
+		case k <= 0:
+			out[i] = s[0]
+		case k >= len(s):
+			out[i] = s[len(s)-1]
+		default:
+			out[i] = (s[k-1] + s[k]) / 2
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if !(out[i] > out[i-1]) {
+			return cuts(lo, hi, n)
+		}
+	}
+	return out
+}
+
+// LayoutByName resolves a strategy name ("equal", "median"; empty means
+// equal) — the command-line front ends' flag parser.
+func LayoutByName(name string) (LayoutStrategy, error) {
+	switch name {
+	case "", "equal":
+		return EqualStrips{}, nil
+	case "median", "weighted-median":
+		return WeightedMedian{}, nil
+	}
+	return nil, fmt.Errorf("uvdiagram: unknown layout strategy %q (equal, median)", name)
+}
+
+// liveCenters collects the centers of the live objects (the input to
+// adaptive layout strategies).
+func (db *DB) liveCenters() []Point {
+	objs := db.store.Dense()
+	out := make([]Point, 0, db.store.Live())
+	for i := range objs {
+		if db.store.Alive(int32(i)) {
+			out = append(out, objs[i].Region.C)
+		}
+	}
+	return out
 }
 
 // Shards returns the number of spatial shards (1 unless the database
 // was built or loaded with Options.Shards > 1).
-func (db *DB) Shards() int { return len(db.shards) }
+func (db *DB) Shards() int { return len(db.lo().shards) }
 
 // ShardGrid returns the shard layout as grid dimensions (gx columns ×
 // gy rows, row-major shard order).
-func (db *DB) ShardGrid() (gx, gy int) { return db.gx, db.gy }
+func (db *DB) ShardGrid() (gx, gy int) {
+	lo := db.lo()
+	return lo.gx, lo.gy
+}
+
+// ShardCuts returns copies of the layout's cut coordinates: gx+1
+// x-cuts and gy+1 y-cuts, ends equal to the domain bounds. With equal
+// strips they are evenly spaced; after a weighted-median Build or a
+// Reshard they follow the object distribution.
+func (db *DB) ShardCuts() (xs, ys []float64) {
+	lo := db.lo()
+	return append([]float64(nil), lo.xs...), append([]float64(nil), lo.ys...)
+}
 
 // ShardStat describes one shard's live state.
 type ShardStat struct {
 	// Rect is the shard's region of the domain.
 	Rect Rect
-	// Slack is the leaf-list churn accumulated by incremental
-	// Insert/Delete traffic that actually touched this shard since its
-	// index was last (re)built — the per-shard compaction signal.
+	// Live is the number of live objects whose center the shard owns —
+	// the load-balance signal Reshard evens out.
+	Live int
+	// Slack is the leaf-list churn (entry-weighted) accumulated by
+	// incremental Insert/Delete traffic that actually touched this
+	// shard since its index was last (re)built — the per-shard
+	// compaction signal.
 	Slack int64
 	// Gen counts this shard's epoch swaps (Compact/CompactShard).
 	Gen uint64
@@ -159,27 +306,94 @@ type ShardStat struct {
 	Index core.IndexStats
 }
 
-// ShardStats reports every shard's region, slack and index shape, in
-// shard order.
-func (db *DB) ShardStats() []ShardStat {
-	out := make([]ShardStat, len(db.shards))
-	for i := range db.shards {
-		ep := db.shards[i].ep()
-		out[i] = ShardStat{
-			Rect:  db.shards[i].rect,
+// ShardStats reports every shard's region, live-object count, slack and
+// index shape, in shard order.
+func (db *DB) ShardStats() []ShardStat { return db.LayoutSnapshot().Shards }
+
+// LayoutSnapshot is a consistent view of the shard layout and per-shard
+// state, all taken from ONE atomic layout load.
+type LayoutSnapshot struct {
+	// GridX, GridY are the grid dimensions (GridX*GridY shards,
+	// row-major).
+	GridX, GridY int
+	// CutsX, CutsY are copies of the layout's cut coordinates (GridX+1
+	// and GridY+1 values, ends equal to the domain bounds).
+	CutsX, CutsY []float64
+	// Shards is each shard's state in shard order.
+	Shards []ShardStat
+}
+
+// LayoutSnapshot reports the layout and every shard's state from one
+// layout load — callers that combine cuts with per-shard stats (the
+// wire Stats opcode) use this so a concurrent Reshard can never hand
+// them cuts from one layout and shard states from another.
+func (db *DB) LayoutSnapshot() LayoutSnapshot {
+	lo := db.lo()
+	live := shardLoads(lo, db.store.Dense(), db.store.Alive)
+	snap := LayoutSnapshot{
+		GridX: lo.gx,
+		GridY: lo.gy,
+		CutsX: append([]float64(nil), lo.xs...),
+		CutsY: append([]float64(nil), lo.ys...),
+	}
+	snap.Shards = make([]ShardStat, len(lo.shards))
+	for i := range lo.shards {
+		ep := lo.shards[i].ep()
+		snap.Shards[i] = ShardStat{
+			Rect:  lo.shards[i].rect,
+			Live:  live[i],
 			Slack: ep.index.Slack(),
 			Gen:   ep.gen,
 			Index: ep.index.Stats(),
 		}
 	}
-	return out
+	return snap
+}
+
+// shardLoads counts live object centers per owning shard.
+func shardLoads(lo *shardLayout, objs []Object, alive func(int32) bool) []int {
+	loads := make([]int, len(lo.shards))
+	for i := range objs {
+		if alive(int32(i)) {
+			loads[lo.shardIdx(objs[i].Region.C)]++
+		}
+	}
+	return loads
+}
+
+// imbalance returns max/mean of the per-shard loads (1 = perfectly
+// even; 0 when empty).
+func imbalance(loads []int) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, v := range loads {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(max) / mean
+}
+
+// LoadImbalance returns the max/mean ratio of per-shard live-object
+// counts: 1.0 is perfectly even, S means everything piled into one of
+// S shards. Reshard exists to push this back toward 1.
+func (db *DB) LoadImbalance() float64 {
+	return imbalance(shardLoads(db.lo(), db.store.Dense(), db.store.Alive))
 }
 
 // Slack returns the total mutation slack across all shards.
 func (db *DB) Slack() int64 {
 	var total int64
-	for i := range db.shards {
-		total += db.shards[i].ep().index.Slack()
+	lo := db.lo()
+	for i := range lo.shards {
+		total += lo.shards[i].ep().index.Slack()
 	}
 	return total
 }
@@ -205,19 +419,22 @@ func aggregateIndexStats(sts []core.IndexStats) core.IndexStats {
 }
 
 // genSnap is a snapshot of the engine's mutation state across every
-// shard. Epoch-swap counters only grow, and between swaps each shard's
-// index mutation counter only grows, so the pair changes whenever any
-// shard mutates or compacts — derived snapshots (order-k grids) compare
-// it to detect staleness.
+// shard. The layout generation grows at every Reshard, epoch-swap
+// counters only grow, and between swaps each shard's index mutation
+// counter only grows, so the triple changes whenever the layout is
+// replaced or any shard mutates or compacts — derived snapshots
+// (order-k grids) compare it to detect staleness.
 type genSnap struct {
+	layout uint64 // layout generation (Reshard)
 	epochs uint64 // Σ per-shard epoch generation
 	muts   uint64 // Σ per-shard index mutation generation
 }
 
 func (db *DB) genSnap() genSnap {
-	var g genSnap
-	for i := range db.shards {
-		ep := db.shards[i].ep()
+	lo := db.lo()
+	g := genSnap{layout: lo.gen}
+	for i := range lo.shards {
+		ep := lo.shards[i].ep()
 		g.epochs += ep.gen
 		g.muts += ep.index.Gen()
 	}

@@ -122,85 +122,109 @@ func assertShardInvariant(t *testing.T, label string, got, want *DB, qs []Point)
 }
 
 // TestShardCountInvariance is the sharding soundness property: for
-// every construction strategy, PNN / BatchNN / TopK / KNN / Threshold
-// answers — and delete-then-query answers after interleaved churn, and
-// answers after per-shard compaction — are bitwise identical across
-// shard counts S ∈ {1, 2, 4, 8}.
+// every construction strategy, on uniform AND skewed datasets, PNN /
+// BatchNN / TopK / KNN / Threshold answers — and delete-then-query
+// answers after interleaved churn, answers after per-shard compaction,
+// and answers after an online Reshard to weighted-median cuts — are
+// bitwise identical across shard counts S ∈ {1, 2, 4, 8}.
 func TestShardCountInvariance(t *testing.T) {
 	const side = 2000.0
 	cfg := datagen.Config{N: 60, Side: side, Diameter: 40, Seed: 99}
-	objs := datagen.Uniform(cfg)
 	rng := rand.New(rand.NewSource(5))
 	qs := shardQueryPoints(rng, side, 24)
 
-	for _, strat := range []Strategy{IC, ICR, Basic} {
-		strat := strat
-		t.Run(strat.String(), func(t *testing.T) {
-			ref, err := Build(objs, cfg.Domain(), &Options{Strategy: strat})
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, s := range []int{2, 4, 8} {
-				db, err := Build(objs, cfg.Domain(), &Options{Strategy: strat, Shards: s, Workers: 2})
+	datasets := []struct {
+		name       string
+		objs       []Object
+		strategies []Strategy
+	}{
+		{"uniform", datagen.Uniform(cfg), []Strategy{IC, ICR, Basic}},
+		// The skewed pile-up (σ = side/8) is the regime Reshard exists
+		// for; IC keeps the matrix affordable — strategy coverage comes
+		// from the uniform rows.
+		{"skewed", datagen.Skewed(cfg, side/8), []Strategy{IC}},
+	}
+	for _, ds := range datasets {
+		objs := ds.objs
+		for _, strat := range ds.strategies {
+			strat := strat
+			t.Run(ds.name+"/"+strat.String(), func(t *testing.T) {
+				ref, err := Build(objs, cfg.Domain(), &Options{Strategy: strat})
 				if err != nil {
 					t.Fatal(err)
 				}
-				if db.Shards() != s {
-					t.Fatalf("Shards() = %d, want %d", db.Shards(), s)
-				}
-				label := fmt.Sprintf("%v/S=%d", strat, s)
-				assertShardInvariant(t, label+"/fresh", db, ref, qs)
+				for _, s := range []int{1, 2, 4, 8} {
+					db, err := Build(objs, cfg.Domain(), &Options{Strategy: strat, Shards: s, Workers: 2})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if db.Shards() != s {
+						t.Fatalf("Shards() = %d, want %d", db.Shards(), s)
+					}
+					label := fmt.Sprintf("%v/%v/S=%d", ds.name, strat, s)
+					assertShardInvariant(t, label+"/fresh", db, ref, qs)
 
-				// Interleaved churn applied identically to both engines:
-				// delete a spread of ids, insert replacements, delete one
-				// of the replacements again.
-				mutate := func(d *DB) {
-					t.Helper()
-					for _, id := range []int32{3, 17, 17 % int32(cfg.N), 41, 55} {
-						if !d.Alive(id) {
-							continue
+					// Interleaved churn applied identically to both engines:
+					// delete a spread of ids, insert replacements, delete one
+					// of the replacements again.
+					mutate := func(d *DB) {
+						t.Helper()
+						for _, id := range []int32{3, 17, 17 % int32(cfg.N), 41, 55} {
+							if !d.Alive(id) {
+								continue
+							}
+							if err := d.Delete(id); err != nil {
+								t.Fatal(err)
+							}
 						}
-						if err := d.Delete(id); err != nil {
+						mrng := rand.New(rand.NewSource(123))
+						for i := 0; i < 6; i++ {
+							o := NewObject(d.NextID(), mrng.Float64()*side, mrng.Float64()*side, 20, nil)
+							if err := d.Insert(o); err != nil {
+								t.Fatal(err)
+							}
+						}
+						if err := d.Delete(d.NextID() - 2); err != nil {
 							t.Fatal(err)
 						}
 					}
-					mrng := rand.New(rand.NewSource(123))
-					for i := 0; i < 6; i++ {
-						o := NewObject(d.NextID(), mrng.Float64()*side, mrng.Float64()*side, 20, nil)
-						if err := d.Insert(o); err != nil {
+					mutate(db)
+					mutate(ref)
+					assertShardInvariant(t, label+"/churned", db, ref, qs)
+
+					// Per-shard compaction clears the slack without changing
+					// any answer.
+					for i := 0; i < db.Shards(); i++ {
+						if err := db.CompactShard(context.Background(), i); err != nil {
 							t.Fatal(err)
 						}
 					}
-					if err := d.Delete(d.NextID() - 2); err != nil {
+					if got := db.Slack(); got != 0 {
+						t.Fatalf("%s: slack %d after compacting every shard", label, got)
+					}
+					assertShardInvariant(t, label+"/compacted", db, ref, qs)
+
+					// An online Reshard to weighted-median cuts swaps the
+					// whole layout; answers before and after must be
+					// bitwise identical (the reference never resharded).
+					preGen := db.lo().gen
+					if err := db.Reshard(context.Background()); err != nil {
+						t.Fatal(err)
+					}
+					if got := db.lo().gen; got != preGen+1 {
+						t.Fatalf("%s: layout gen %d after Reshard, want %d", label, got, preGen+1)
+					}
+					assertShardInvariant(t, label+"/resharded", db, ref, qs)
+
+					// Rebuild the reference for the next iteration's pristine
+					// comparison.
+					ref, err = Build(objs, cfg.Domain(), &Options{Strategy: strat})
+					if err != nil {
 						t.Fatal(err)
 					}
 				}
-				mutate(db)
-				mutate(ref)
-				assertShardInvariant(t, label+"/churned", db, ref, qs)
-
-				// Per-shard compaction clears the slack without changing
-				// any answer; compact the reference too so both sides stay
-				// comparable for the next shard count's churn round... the
-				// reference is rebuilt fresh per shard count instead.
-				for i := 0; i < db.Shards(); i++ {
-					if err := db.CompactShard(context.Background(), i); err != nil {
-						t.Fatal(err)
-					}
-				}
-				if got := db.Slack(); got != 0 {
-					t.Fatalf("%s: slack %d after compacting every shard", label, got)
-				}
-				assertShardInvariant(t, label+"/compacted", db, ref, qs)
-
-				// Rebuild the reference for the next iteration's pristine
-				// comparison.
-				ref, err = Build(objs, cfg.Domain(), &Options{Strategy: strat})
-				if err != nil {
-					t.Fatal(err)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -334,10 +358,11 @@ func TestShardLayoutRouting(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(8))
 	pts := shardQueryPoints(rng, 1000, 200)
+	lo := db.lo()
 	for _, q := range pts {
-		i := db.shardIdx(q)
-		if !db.shards[i].rect.Contains(q) {
-			t.Fatalf("point %v routed to shard %d with rect %v", q, i, db.shards[i].rect)
+		i := lo.shardIdx(q)
+		if !lo.shards[i].rect.Contains(q) {
+			t.Fatalf("point %v routed to shard %d with rect %v", q, i, lo.shards[i].rect)
 		}
 	}
 	// Shard rects tile the domain area exactly.

@@ -3,6 +3,7 @@ package uvdiagram
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -13,25 +14,25 @@ import (
 
 // Dynamic updates — the maintenance story the paper leaves as future
 // work. Insert and Delete mutate the current shard epochs incrementally;
-// Rebuild, Compact and CompactShard construct fresh epochs off-thread
-// and swap each in atomically, so concurrent queries are never blocked
-// by (and never observe a torn state from) a rebuild.
+// Rebuild, Compact, CompactShard and Reshard construct fresh state
+// off-thread and publish it with atomic swaps, so concurrent queries
+// are never blocked by (and never observe a torn state from) a rebuild.
 //
-// Sharding splits the work spatially: the expensive constraint-set
-// derivation runs ONCE per mutation and is shared by every shard, while
-// each shard's leaf/page churn is bounded by the objects whose UV-cells
-// actually reach its region (an object away from a shard is dropped by
-// the root-level overlap test before touching any of its leaves). Every
-// shard still records the mutation in its constraint bookkeeping — a
-// later delete can grow a neighbor's cell across a shard boundary, and
-// the shard-local reverse cr-map is what finds those dependents.
+// The two-level locking scheme (see the DB doc) splits mutations:
+// store, dense ids, constraint registry and the shared helper R-tree
+// change under the exclusive store-level lock; the per-shard leaf
+// surgery then takes only the write mutexes of the shards the mutated
+// UV-cells actually reach, in ascending shard order. CompactShard takes
+// the store-level lock SHARED plus its one shard's mutex, which is why
+// compactions of disjoint shards overlap in wall-clock while everything
+// stays serialized against Insert/Delete.
 //
 // Concurrency contract: Insert and Delete require external
 // synchronization against queries (the server holds its write lock
 // across them — incremental maintenance rewrites live leaf pages).
-// Rebuild, Compact and CompactShard do NOT: any goroutine may call them
-// while queries run. All mutations serialize against each other
-// internally.
+// Rebuild, Compact, CompactShard, CompactAll and Reshard do NOT: any
+// goroutine may call them while queries run. All mutations serialize
+// against each other internally.
 
 // Insert adds a new uncertain object to a built database. The object's
 // ID must be the next dense ID (db.NextID(); deleted IDs are never
@@ -40,17 +41,19 @@ import (
 // Soundness: a new object only shrinks other objects' UV-cells, and
 // index leaf lists are supersets of the true overlaps, so existing
 // entries stay valid; the new object is inserted with a freshly derived
-// cr-object representation into every shard its UV-cell reaches.
-// Repeated inserts accumulate slack in the touched shards' leaf lists
-// (extra false positives, never wrong answers); Compact — or the
-// Options.CompactSlack per-shard auto-compaction watermark — clears it.
+// cr-object representation into every shard its UV-cell reaches (only
+// those shards are locked and touched). Repeated inserts accumulate
+// slack in the touched shards' leaf lists (extra false positives, never
+// wrong answers); Compact — or the Options.CompactSlack per-shard
+// auto-compaction watermark — clears it.
 //
-// The store append, R-tree inserts and index inserts land together: if
-// the index step fails its validation, the first two are rolled back,
-// so a failed Insert leaves the database exactly as it was.
+// The store append, R-tree insert, registry append and leaf inserts
+// land together: if a later step fails its validation, the earlier ones
+// are rolled back, so a failed Insert leaves the database exactly as it
+// was.
 func (db *DB) Insert(o Object) error {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
+	db.smu.Lock()
+	defer db.smu.Unlock()
 	if int(o.ID) != db.store.Len() {
 		return fmt.Errorf("uvdiagram: Insert with ID %d, want next dense id %d", o.ID, db.store.Len())
 	}
@@ -60,55 +63,73 @@ func (db *DB) Insert(o Object) error {
 	if err := db.store.Append(o); err != nil {
 		return err
 	}
-	eps := db.epochs()
-	item := rtree.Item{ID: o.ID, MBC: o.Region, Ptr: uint64(db.store.PageOf(o.ID))}
-	for _, ep := range eps {
-		ep.tree.Insert(item)
-	}
-	// One derivation feeds every shard (all trees hold the same live
-	// population, so any of them serves the pruning steps).
-	res := core.DeriveCRObjects(eps[0].tree, o, db.store.Dense(), db.domain,
+	tree := db.rtree()
+	tree.Insert(rtree.Item{ID: o.ID, MBC: o.Region, Ptr: uint64(db.store.PageOf(o.ID))})
+	res := core.DeriveCRObjects(tree, o, db.store.Dense(), db.domain,
 		db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
-	for i, ep := range eps {
-		if err := ep.index.InsertLive(o.ID, res.CR); err != nil {
-			if i > 0 {
-				// InsertLive's validation depends only on the id ordering
-				// and the store length, which are identical across shards;
-				// a later-shard failure would mean the engine's invariants
-				// are already broken, so report rather than half-rollback.
-				return fmt.Errorf("uvdiagram: insert applied to %d of %d shards: %w", i, len(eps), err)
+	if err := db.cr.Append(o.ID, res.CR); err != nil {
+		// Registry validation depends only on the id ordering, which the
+		// store append just established; a failure here means the
+		// engine's invariants are already broken — still roll back the
+		// store and tree to the pre-call state before reporting.
+		tree.Delete(o.ID, o.Region)
+		if rerr := db.store.RemoveLast(); rerr != nil {
+			return fmt.Errorf("uvdiagram: insert failed (%v) AND rollback failed: %w", err, rerr)
+		}
+		return fmt.Errorf("uvdiagram: insert rolled back: %w", err)
+	}
+	lo := db.lo()
+	var applied []*shard
+	for i := range lo.shards {
+		sh := lo.shards[i]
+		// Lock only the shards the new cell's representation reaches —
+		// the same root-level 4-point test InsertLeafLive re-runs, so a
+		// skipped shard is one the insert provably cannot touch.
+		if len(lo.shards) > 1 && !sh.ep().index.CellReaches(o.ID, sh.rect) {
+			continue
+		}
+		sh.wmu.Lock()
+		_, err := sh.ep().index.InsertLeafLive(o.ID)
+		sh.wmu.Unlock()
+		if err != nil {
+			// Unwind the whole insert — strip the object from the shards
+			// already applied, then registry, tree and store — so a
+			// failed Insert leaves the database exactly as it was.
+			for _, ps := range applied {
+				ps.wmu.Lock()
+				_, _ = ps.ep().index.RemoveAndReinsertLive([]int32{o.ID}, nil)
+				ps.wmu.Unlock()
 			}
-			// InsertLive validates before mutating, so store and trees can
-			// be rolled back to a consistent pre-call state.
-			for _, ep2 := range eps {
-				ep2.tree.Delete(o.ID, o.Region)
-			}
+			db.cr.RemoveLast()
+			tree.Delete(o.ID, o.Region)
 			if rerr := db.store.RemoveLast(); rerr != nil {
-				return fmt.Errorf("uvdiagram: insert failed (%v) AND rollback failed: %w", err, rerr)
+				return fmt.Errorf("uvdiagram: insert failed at shard %d (%v) AND rollback failed: %w", i, err, rerr)
 			}
 			return fmt.Errorf("uvdiagram: insert rolled back: %w", err)
 		}
+		applied = append(applied, sh)
 	}
 	db.maybeCompact()
 	return nil
 }
 
 // Delete removes object id from the database incrementally. The id is
-// tombstoned in the store (never reused), removed from every shard's
-// helper R-tree, and excised from each shard's UV-index: because
-// removing an object can only GROW the UV-cells of the objects whose
-// cr-set contained it, exactly those neighbors are re-derived (once,
-// shared across shards) and re-inserted into every shard their grown
-// cells reach, keeping every leaf list a superset of the true overlaps
-// — answers stay exact.
+// tombstoned in the store (never reused), removed from the shared
+// helper R-tree, and excised from the UV-indexes: because removing an
+// object can only GROW the UV-cells of the objects whose cr-set
+// contained it, exactly those neighbors are re-derived (once, from the
+// engine-wide registry) and re-inserted into every shard their grown
+// cells reach — only the shards the victims' or dependents' cells reach
+// are locked and touched, keeping every leaf list a superset of the
+// true overlaps. Answers stay exact.
 //
 // Like Insert, Delete requires external synchronization against
-// queries. Each delete adds slack proportional to the re-derived
-// neighborhood in the shards it touches; Compact (or the CompactSlack
+// queries. Each delete adds slack proportional to the leaf entries
+// rewritten in the shards it touches; Compact (or the CompactSlack
 // watermark) clears it.
 func (db *DB) Delete(id int32) error {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
+	db.smu.Lock()
+	defer db.smu.Unlock()
 	if !db.store.Alive(id) {
 		return fmt.Errorf("uvdiagram: unknown or deleted object %d", id)
 	}
@@ -118,13 +139,13 @@ func (db *DB) Delete(id int32) error {
 // BatchDelete removes many objects in one critical section. It is
 // all-or-nothing: every id is validated (known, live, no duplicates)
 // before the first deletion, so a failing batch changes nothing. The
-// index repair is shared across the batch — per shard, one leaf walk
-// strips every victim and dependent, dirty pages flush once, and the
-// leaf caches are invalidated once, instead of per victim; dependent
-// re-derivation additionally runs once for the whole engine.
+// index repair is shared across the batch — per touched shard, one leaf
+// walk strips every victim and dependent, dirty pages flush once, and
+// the leaf caches are invalidated once, instead of per victim;
+// dependent re-derivation runs once for the whole engine.
 func (db *DB) BatchDelete(ids []int32) error {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
+	db.smu.Lock()
+	defer db.smu.Unlock()
 	seen := make(map[int32]bool, len(ids))
 	for i, id := range ids {
 		if !db.store.Alive(id) {
@@ -141,36 +162,76 @@ func (db *DB) BatchDelete(ids []int32) error {
 	return db.deleteBatchLocked(ids)
 }
 
-// deleteBatchLocked removes validated, live ids with db.wmu held.
+// deleteBatchLocked removes validated, live ids with db.smu held
+// exclusively.
 func (db *DB) deleteBatchLocked(ids []int32) error {
-	eps := db.epochs()
+	lo := db.lo()
+	nsh := len(lo.shards)
+	// touched marks the shards whose leaf structure the batch can
+	// affect. A shard holds leaf entries for X only if X's CURRENT
+	// registry representation reaches it (entries are created by the
+	// same 4-point test), so marking the victims' and dependents' reach
+	// BEFORE the registry changes covers every entry to remove, and
+	// marking the dependents' FRESH representations afterwards covers
+	// every entry to re-create.
+	touched := make([]bool, nsh)
+	mark := func(id int32, crIDs []int32) {
+		for i := range lo.shards {
+			if !touched[i] && lo.shards[i].ep().index.RepReaches(id, crIDs, lo.shards[i].rect) {
+				touched[i] = true
+			}
+		}
+	}
+	affected := db.cr.AffectedBy(ids)
+	if nsh == 1 {
+		touched[0] = true
+	} else {
+		for _, id := range ids {
+			mark(id, db.cr.Of(id))
+		}
+		for _, a := range affected {
+			mark(a, db.cr.Of(a))
+		}
+	}
 	// Tombstone every victim and drop its R-tree entries first, so the
 	// dependents' re-derivation sees the final post-batch population.
+	tree := db.rtree()
 	for _, id := range ids {
 		o := db.store.At(int(id))
 		if err := db.store.Delete(id); err != nil {
 			return err
 		}
-		for _, ep := range eps {
-			ep.tree.Delete(id, o.Region)
-		}
+		tree.Delete(id, o.Region)
 	}
-	// Every shard lists the same dependents (constraint bookkeeping is
-	// engine-wide), so one memoized derivation per dependent serves all
-	// of them; the per-shard work that remains is leaf surgery bounded
-	// by the shard's region.
-	memo := make(map[int32][]int32)
-	rederive := func(a int32) []int32 {
-		if cr, ok := memo[a]; ok {
-			return cr
-		}
-		res := core.DeriveCRObjects(eps[0].tree, db.store.At(int(a)), db.store.Dense(), db.domain,
+	// One derivation per dependent serves every shard; the per-shard
+	// work that remains is leaf surgery bounded by the shard's region.
+	fresh := make([][]int32, len(affected))
+	for i, a := range affected {
+		res := core.DeriveCRObjects(tree, db.store.At(int(a)), db.store.Dense(), db.domain,
 			db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
-		memo[a] = res.CR
-		return res.CR
+		fresh[i] = res.CR
+		if nsh > 1 {
+			mark(a, fresh[i])
+		}
 	}
-	for _, ep := range eps {
-		if _, err := ep.index.DeleteLiveBatch(ids, rederive); err != nil {
+	// Registry update: victims unlinked, dependents re-pointed at their
+	// fresh sets — before the leaf surgery, which reads the registry.
+	db.cr.Drop(ids)
+	for i, a := range affected {
+		db.cr.Replace(a, fresh[i])
+	}
+	remove := make([]int32, 0, len(ids)+len(affected))
+	remove = append(remove, ids...)
+	remove = append(remove, affected...)
+	for i := range lo.shards {
+		if !touched[i] {
+			continue
+		}
+		sh := lo.shards[i]
+		sh.wmu.Lock()
+		_, err := sh.ep().index.RemoveAndReinsertLive(remove, affected)
+		sh.wmu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
@@ -178,183 +239,234 @@ func (db *DB) deleteBatchLocked(ids []int32) error {
 	return nil
 }
 
-// Rebuild reconstructs every shard's UV-index (and helper R-tree) from
-// scratch over the live objects, clearing the slack accumulated by
-// Inserts and Deletes. Each fresh shard index is published with one
-// atomic epoch swap, so concurrent queries keep answering throughout —
-// they see either the old or the new index, never a mixture.
+// Rebuild reconstructs every shard's UV-index, the constraint registry
+// and the helper R-tree from scratch over the live objects, clearing
+// the slack accumulated by Inserts and Deletes. Each fresh shard index
+// is published with one atomic epoch swap, so concurrent queries keep
+// answering throughout — they see either the old or the new index,
+// never a mixture.
 func (db *DB) Rebuild() error { return db.Compact(context.Background()) }
 
 // Compact is Rebuild with a context: the shadow build is skipped if ctx
 // is already cancelled when compaction starts (the build itself is one
-// uninterruptible pass). The live population is derived once and every
-// shard's sub-grid is then shadow-built in parallel and swapped in.
-// Queries are never blocked — they run against the old epochs until the
-// atomic swaps. Concurrent Inserts and Deletes serialize behind the
+// uninterruptible pass). The live population is derived once — a FULL
+// re-derivation, refreshing every constraint set — and every shard's
+// sub-grid is then shadow-built in parallel and swapped in. Queries are
+// never blocked — they run against the old epochs until the atomic
+// swaps. Concurrent Inserts and Deletes serialize behind the
 // compaction. For maintenance bounded by one shard's size, use
-// CompactShard.
+// CompactShard (or CompactAll to roll over every shard with bounded
+// parallelism).
 func (db *DB) Compact(ctx context.Context) error {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
+	db.smu.Lock()
+	defer db.smu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	// Shadow build: nothing below mutates the live epochs or the store.
 	tree := core.BuildHelperRTree(db.store, db.bopts.Fanout)
-	if len(db.shards) == 1 {
-		index, stats, err := core.Build(db.store, db.domain, tree, db.bopts)
-		if err != nil {
-			return err
-		}
-		old := db.ep()
-		db.shards[0].epoch.Store(&indexEpoch{index: index, tree: tree, gen: old.gen + 1})
-		db.built.Store(&stats)
-		return nil
-	}
 	t0 := time.Now()
 	crSets, stats, err := core.DeriveCRSets(db.store, db.domain, tree, db.bopts)
 	if err != nil {
 		return err
 	}
-	db.publishShards(crSets, tree, &stats, t0)
+	cr := core.NewCRState(crSets)
+	lo := db.lo()
+	db.buildShards(lo, cr, &stats, t0, maxGen(lo)+1)
+	db.cr = cr
+	db.tree.Store(tree)
 	db.built.Store(&stats)
 	return nil
 }
 
-// CompactShard shadow-rebuilds one shard and swaps it in, leaving the
-// other shards untouched: fresh constraint sets are derived only for
-// the objects whose (conservatively represented) UV-cells can reach the
-// shard's region — every other object keeps its current set for
-// cross-shard delete bookkeeping — so both the rebuild work and the
-// query-visible churn are bounded by the shard's population rather than
-// the whole diagram. Queries are never blocked. This is the unit of
-// background auto-compaction.
+// maxGen returns the highest epoch generation across a layout's shards;
+// publishing every fresh epoch with maxGen+1 guarantees each shard sees
+// a generation different from its current one.
+func maxGen(lo *shardLayout) uint64 {
+	var max uint64
+	for i := range lo.shards {
+		if g := lo.shards[i].ep().gen; g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// CompactShard shadow-rebuilds one shard's leaf structure from the
+// engine's current constraint registry and swaps it in, leaving the
+// other shards untouched: the rebuild clears the leaf-list slack
+// accumulated by incremental maintenance (stale entries, overflow
+// pages), bounded by the objects whose cells reach the shard rather
+// than the whole diagram. Constraint sets themselves are NOT re-derived
+// — that is the full Compact's (or Reshard's) job — which is what lets
+// CompactShard hold the store-level lock only SHARED: compactions of
+// disjoint shards run truly in parallel, serializing only against
+// Insert/Delete/Compact/Reshard. Queries are never blocked. This is the
+// unit of background auto-compaction.
 func (db *DB) CompactShard(ctx context.Context, i int) error {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
+	db.smu.RLock()
+	defer db.smu.RUnlock()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if i < 0 || i >= len(db.shards) {
-		return fmt.Errorf("uvdiagram: shard %d out of range [0, %d)", i, len(db.shards))
+	lo := db.lo()
+	if i < 0 || i >= len(lo.shards) {
+		return fmt.Errorf("uvdiagram: shard %d out of range [0, %d)", i, len(lo.shards))
 	}
-	sh := &db.shards[i]
+	sh := lo.shards[i]
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	if hook := db.compactHook; hook != nil {
+		hook(i)
+	}
 	old := sh.ep()
-	tree := core.BuildHelperRTree(db.store, db.bopts.Fanout)
-	crSets := make([][]int32, db.store.Len())
-	var reach []int32
-	for id := 0; id < db.store.Len(); id++ {
-		if !db.store.Alive(int32(id)) {
-			continue
-		}
-		if old.index.CellReaches(int32(id), sh.rect) {
-			reach = append(reach, int32(id))
-		} else {
-			crSets[id] = old.index.CRObjects(int32(id))
+	ix, _ := core.BuildRegionCR(db.store, sh.rect, db.cr, db.bopts.Index)
+	sh.epoch.Store(&indexEpoch{index: ix, gen: old.gen + 1})
+	// The full-build statistics snapshot keeps its phase timings; only
+	// the aggregate index shape is refreshed. CAS loop: concurrent
+	// shard compactions (CompactAll) hold the store lock shared, so a
+	// plain load-modify-store could lose the other's refresh — a failed
+	// CAS re-aggregates over the then-current epochs and retries.
+	for {
+		prev := db.built.Load()
+		stats := *prev
+		stats.Index = db.IndexStats()
+		if db.built.CompareAndSwap(prev, &stats) {
+			break
 		}
 	}
-	db.deriveInto(crSets, reach, tree)
-	ix, _ := core.BuildRegion(db.store, sh.rect, crSets, db.bopts.Index)
-	sh.epoch.Store(&indexEpoch{index: ix, tree: tree, gen: old.gen + 1})
-	// The derivation phase of a shard compact is partial, so the full-
-	// build statistics snapshot keeps its phase timings; only the
-	// aggregate index shape is refreshed.
-	stats := *db.built.Load()
-	stats.Index = db.IndexStats()
-	db.built.Store(&stats)
 	return nil
 }
 
-// deriveInto fills crSets[id] with a freshly derived constraint set for
-// every id in reach, parallelized by Options.Workers. Like the build
-// path, each extra worker clones the helper R-tree so no two share one
-// simulated-disk pager's read path under contention.
-func (db *DB) deriveInto(crSets [][]int32, reach []int32, tree *rtree.Tree) {
-	derive := func(t *rtree.Tree, id int32) []int32 {
-		res := core.DeriveCRObjects(t, db.store.At(int(id)), db.store.Dense(), db.domain,
-			db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
-		return res.CR
+// CompactAll compacts every shard with CompactShard on a bounded worker
+// pool (parallelism ≤ 0 means one worker per CPU, capped at the shard
+// count). Workers hold the store-level lock shared and distinct shard
+// mutexes, so the per-shard shadow builds genuinely overlap; on failure
+// the remaining shards are skipped and the lowest-indexed error is
+// returned.
+func (db *DB) CompactAll(ctx context.Context, parallelism int) error {
+	n := len(db.lo().shards)
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
 	}
-	workers := db.bopts.Workers
-	if workers > len(reach) {
-		workers = len(reach)
+	if parallelism > n {
+		parallelism = n
 	}
-	if workers <= 1 {
-		for _, id := range reach {
-			crSets[id] = derive(tree, id)
+	return runPool(n, parallelism, nil, "shard", func(i int) error {
+		return db.CompactShard(ctx, i)
+	})
+}
+
+// Reshard re-cuts the shard layout online to match the LIVE object
+// distribution: it derives every constraint set once (a full
+// re-derivation, like Compact), builds the complete new layout's shard
+// sub-grids off to the side, and publishes cuts and all shard epochs
+// with ONE atomic layout-pointer swap — queries route through either
+// the old layout or the new one, never a mixture, and are never
+// blocked. The grid dimensions stay; only the cut coordinates move.
+//
+// Reshard chooses cuts with the database's configured adaptive
+// strategy; a database built with the default equal strips reshards
+// with WeightedMedian — calling Reshard means asking for balance. Use
+// ReshardWith for an explicit strategy.
+//
+// Answers are bitwise identical before and after: the layout only
+// changes which shard answers a point, never what the answer is.
+func (db *DB) Reshard(ctx context.Context) error { return db.ReshardWith(ctx, nil) }
+
+// ReshardWith is Reshard with an explicit layout strategy (nil selects
+// the adaptive default described on Reshard).
+func (db *DB) ReshardWith(ctx context.Context, strategy LayoutStrategy) error {
+	db.smu.Lock()
+	defer db.smu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if strategy == nil {
+		strategy = db.strategy
+		if _, equal := strategy.(EqualStrips); equal || strategy == nil {
+			strategy = WeightedMedian{}
 		}
-		return
 	}
-	next := make(chan int32)
-	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		wtree := tree
-		if w > 0 {
-			wtree = core.BuildHelperRTree(db.store, db.bopts.Fanout)
-		}
-		go func(wtree *rtree.Tree) {
-			defer func() { done <- struct{}{} }()
-			for id := range next {
-				crSets[id] = derive(wtree, id)
-			}
-		}(wtree)
+	old := db.lo()
+	xs, ys := strategy.Cuts(db.domain, old.gx, old.gy, db.liveCenters())
+	lo := newShardLayout(old.gen+1, old.gx, old.gy, xs, ys)
+	// Like Compact, reshard is a full maintenance event: a fresh
+	// bulk-load drops the R-tree slack delete churn left behind, and
+	// keeps the derivation's simulated-disk reads off the live tree's
+	// I/O accounting.
+	tree := core.BuildHelperRTree(db.store, db.bopts.Fanout)
+	t0 := time.Now()
+	crSets, stats, err := core.DeriveCRSets(db.store, db.domain, tree, db.bopts)
+	if err != nil {
+		return err
 	}
-	for _, id := range reach {
-		next <- id
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
+	cr := core.NewCRState(crSets)
+	db.buildShards(lo, cr, &stats, t0, maxGen(old)+1)
+	db.cr = cr
+	db.tree.Store(tree)
+	db.layout.Store(lo) // the single publication point
+	db.built.Store(&stats)
+	return nil
 }
 
 // maybeCompact kicks off background compaction for every shard whose
 // accumulated slack reached the armed watermark. Singleflight per
 // shard: at most one auto-compaction runs per shard at a time, several
-// shards may compact in parallel, and explicit mutations arriving
-// meanwhile simply serialize behind them.
+// shards may compact in parallel (they hold the store-level lock
+// shared), and explicit mutations arriving meanwhile simply serialize
+// behind them.
 func (db *DB) maybeCompact() {
 	if db.bopts.CompactSlack <= 0 {
 		return
 	}
-	for i := range db.shards {
-		sh := &db.shards[i]
+	lo := db.lo()
+	for i := range lo.shards {
+		sh := lo.shards[i]
 		if sh.ep().index.Slack() < int64(db.bopts.CompactSlack) {
 			continue
 		}
 		if !sh.compacting.CompareAndSwap(false, true) {
 			continue
 		}
-		go func(i int) {
-			defer db.shards[i].compacting.Store(false)
+		go func(sh *shard, i int) {
+			defer sh.compacting.Store(false)
+			// The watermark decision was made against THIS layout's
+			// shard; if a Reshard replaced the layout meanwhile, the new
+			// shard i was just freshly built (zero slack) and carries
+			// its own singleflight flag — skip rather than compact it
+			// redundantly.
+			if db.lo() != lo {
+				return
+			}
 			// The build inputs were validated when the objects entered the
 			// store, so failure here would indicate a programming error;
 			// errors surface on the next explicit Compact call.
 			_ = db.CompactShard(context.Background(), i)
-		}(i)
+		}(sh, i)
 	}
 }
 
 // PossibleKNN returns the IDs of every object with non-zero probability
 // of being among the k nearest neighbors of q — the k-NN generalization
 // the paper lists as future work (k-th order Voronoi diagrams [30]).
-// Retrieval runs on the owning shard's helper R-tree (which covers the
-// full live population): UV-index leaf lists only guarantee supersets
-// for k = 1 cells, so the branch-and-prune path generalizes while the
+// Retrieval runs on the shared helper R-tree (which covers the full
+// live population): UV-index leaf lists only guarantee supersets for
+// k = 1 cells, so the branch-and-prune path generalizes while the
 // UV-index stays specialized for PNN.
 func (db *DB) PossibleKNN(q Point, k int) ([]int32, error) {
-	return db.possibleKNN(db.epFor(q), q, k, nil)
+	return db.possibleKNN(db.rtree(), q, k, nil)
 }
 
 // possibleKNN answers through an optional R-tree leaf cache against one
-// pinned epoch. The candidates' distance bounds come straight from the
+// pinned tree. The candidates' distance bounds come straight from the
 // leaf entries' bounding circles (identical to the objects' regions),
 // so the objects themselves are never materialized.
-func (db *DB) possibleKNN(ep *indexEpoch, q Point, k int, cache *rtree.LeafCache) ([]int32, error) {
+func (db *DB) possibleKNN(tree *rtree.Tree, q Point, k int, cache *rtree.LeafCache) ([]int32, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("uvdiagram: PossibleKNN needs k ≥ 1, got %d", k)
 	}
-	items, _ := ep.tree.KNNCandidatesCached(q, k, cache)
+	items, _ := tree.KNNCandidatesCached(q, k, cache)
 	mins := make([]float64, len(items))
 	maxes := make([]float64, len(items))
 	for i, it := range items {

@@ -45,11 +45,16 @@
 //
 // With Options.Shards > 1 the engine partitions the domain into a grid
 // of spatial shards, each owning an independent sub-grid UV-index,
-// helper R-tree, epoch pointer and slack counter (see shard.go). Point
+// epoch pointer, write mutex and slack counter (see shard.go). Point
 // queries route to the owning shard lock-free; builds parallelize
 // across shards; compaction becomes per-shard, bounding maintenance
-// churn by shard size. Answers are identical to the single-shard
-// engine bit for bit.
+// churn by shard size — and compactions of disjoint shards run truly in
+// parallel under the two-level locking scheme. Where the grid cuts the
+// domain is a pluggable LayoutStrategy (equal strips by default,
+// weighted-median quantiles for skewed data), and DB.Reshard re-cuts a
+// live database online, publishing the whole new layout with one atomic
+// pointer swap. Answers are identical to the single-shard engine bit
+// for bit, whatever the layout.
 package uvdiagram
 
 import (
@@ -154,18 +159,26 @@ type Options struct {
 	// are identical to a sequential build (0/1 = sequential).
 	Workers int
 	// CompactSlack, when positive, arms automatic background
-	// compaction: once a shard's accumulated insert/delete slack
-	// reaches this watermark, the DB rebuilds that shard off-thread and
-	// swaps it in atomically (see Compact and CompactShard; with one
-	// shard this is a whole-index rebuild). 0 disables auto-compaction.
+	// compaction: once a shard's accumulated insert/delete slack —
+	// counted in leaf-list ENTRIES touched, so the watermark is
+	// scale-free — reaches this value, the DB rebuilds that shard
+	// off-thread and swaps it in atomically (see Compact and
+	// CompactShard; with one shard this is a whole-index rebuild). 0
+	// disables auto-compaction.
 	CompactSlack int
 	// Shards partitions the domain into a grid of spatial shards, each
-	// with its own sub-grid UV-index, helper R-tree, epoch pointer and
+	// with its own sub-grid UV-index, epoch pointer, write mutex and
 	// slack counter. Point queries route to the owning shard; builds
 	// parallelize across shards; compaction is per-shard. 0 or 1 keeps
 	// the single-shard engine. Answers are independent of the shard
 	// count.
 	Shards int
+	// Layout picks where the shard grid cuts the domain: nil or
+	// EqualStrips{} for fixed equal-area strips, WeightedMedian{} for
+	// quantile cuts of the object-center distribution (skewed data).
+	// Reshard re-cuts a live database with an adaptive strategy at any
+	// time. The layout never affects answers, only load balance.
+	Layout LayoutStrategy
 }
 
 func (o *Options) shardCount() (int, error) {
@@ -173,6 +186,13 @@ func (o *Options) shardCount() (int, error) {
 		return 1, nil
 	}
 	return validateShards(o.Shards)
+}
+
+func (o *Options) layout() LayoutStrategy {
+	if o == nil || o.Layout == nil {
+		return EqualStrips{}
+	}
+	return o.Layout
 }
 
 func (o *Options) toBuildOptions() core.BuildOptions {
@@ -215,21 +235,20 @@ func (o *Options) toBuildOptions() core.BuildOptions {
 }
 
 // indexEpoch is one immutable-by-swap generation of a shard's index
-// state: the shard's sub-grid UV-index and the helper R-tree (which
-// always covers the FULL live population — pruning, k-NN and RNN
-// retrieval are global no matter which shard runs them). Queries load
-// the owning shard's current epoch with one atomic pointer read and use
-// it for their whole execution; Rebuild, Compact and CompactShard
-// construct fresh epochs off to the side and publish each with one
-// atomic store, so a query never observes a torn (half-swapped) index
-// and is never blocked by a rebuild (RCU-style).
+// state: the shard's sub-grid UV-index. Queries load the owning shard's
+// current epoch with one atomic pointer read and use it for their whole
+// execution; Rebuild, Compact, CompactShard and Reshard construct fresh
+// epochs off to the side and publish each with one atomic store, so a
+// query never observes a torn (half-swapped) index and is never blocked
+// by a rebuild (RCU-style). The helper R-tree is NOT part of the epoch:
+// it always covers the full live population whatever the shard, so the
+// DB keeps one shared tree behind its own atomic pointer.
 //
 // Incremental Insert/Delete mutate the CURRENT epochs in place (bumping
 // gen via each index's own mutation counter); they still require the
 // caller's external synchronization against queries, exactly as before.
 type indexEpoch struct {
 	index *core.UVIndex
-	tree  *rtree.Tree
 	// gen numbers the epoch: it increases by one at every Rebuild /
 	// Compact / CompactShard swap of this shard, letting long-lived
 	// sessions (ContinuousPNN) detect that the index they captured has
@@ -238,34 +257,74 @@ type indexEpoch struct {
 }
 
 // DB is a built UV-diagram database: one or more spatially sharded
-// UV-indexes, the object store and the helper R-tree (also the
-// comparison baseline).
+// UV-indexes, the object store, the engine-wide constraint registry and
+// the shared helper R-tree (also the comparison baseline).
+//
+// # Locking
+//
+// Mutations use a two-level scheme:
+//
+//   - Level 1, the store-level lock (smu): guards the object store and
+//     dense-id allocation, the constraint registry and the shared
+//     helper R-tree. Insert/Delete/BatchDelete and the full-rebuild
+//     paths (Rebuild, Compact, Reshard) hold it EXCLUSIVELY;
+//     CompactShard/CompactAll hold it SHARED — they only read store and
+//     registry — which is what lets compactions of disjoint shards
+//     overlap in wall-clock.
+//   - Level 2, the per-shard write mutex (shard.wmu): guards one
+//     shard's leaf structure and epoch pointer. Insert/Delete take only
+//     the mutexes of the shards the mutated cells actually reach (in
+//     ascending shard order); CompactShard takes its one shard's.
+//
+// Lock order is always smu before shard mutexes, shard mutexes in
+// ascending index order, and never smu while holding a shard mutex.
+// Queries take NO locks — they read the layout, epoch and tree pointers
+// atomically — so rebuilds never pause them; as before, Insert/Delete
+// require external synchronization against queries (the server's
+// RWMutex), while Compact/CompactShard/CompactAll/Reshard may run
+// concurrently with anything.
 type DB struct {
 	store  *uncertain.Store
 	domain Rect
 	bopts  core.BuildOptions
-	// Shard layout: a gx × gy grid of rectangles tiling the domain,
-	// with the cut coordinates kept for exact point routing. A
-	// single-shard engine has gx = gy = 1 and shard 0 owning the whole
-	// domain.
-	gx, gy int
-	xs, ys []float64
-	shards []shard
+	// strategy is the configured layout strategy (Options.Layout);
+	// Build uses it for the initial cuts.
+	strategy LayoutStrategy
+	// cr is the engine-wide constraint registry shared by every shard's
+	// index (see core.CRState). Guarded by smu: mutators exclusive,
+	// shard compactions shared.
+	cr *core.CRState
+	// tree is the shared helper R-tree over the full live population
+	// (pruning, k-NN and RNN retrieval are global no matter which shard
+	// runs them). Queries load it atomically; Insert/Delete mutate it
+	// in place under smu; Compact/Reshard swap in a fresh bulk-load.
+	tree atomic.Pointer[rtree.Tree]
+	// layout is the current shard layout (cuts + shard states), swapped
+	// as a whole by Reshard — the single-pointer publication that keeps
+	// queries from ever seeing a torn layout.
+	layout atomic.Pointer[shardLayout]
 	// built snapshots the statistics of the last full construction pass
-	// (Build, Load, Rebuild/Compact); per-shard compaction refreshes
-	// only the aggregated index shape.
+	// (Build, Load, Rebuild/Compact/Reshard); per-shard compaction
+	// refreshes only the aggregated index shape.
 	built atomic.Pointer[BuildStats]
-	// wmu serializes every mutation: Insert, Delete, Rebuild, Compact.
-	// Queries never take it — they read the shard epoch pointers.
-	wmu   sync.Mutex
+	// smu is the store-level lock of the two-level scheme (see the
+	// locking notes above).
+	smu   sync.RWMutex
 	batch batchState // per-shard leaf caches reused across Batch* calls
+	// compactHook, when set (tests only, before any concurrency
+	// starts), is called by CompactShard after both of its locks are
+	// held and before the shadow build — the observation point the
+	// wall-clock-overlap test uses to prove disjoint compactions run
+	// inside their critical sections simultaneously.
+	compactHook func(shard int)
 }
 
 // Build indexes the objects (dense IDs 0..n-1 required) over the given
 // domain. opts may be nil for the paper's defaults. With Options.Shards
 // > 1, the expensive per-object derivation runs once (parallelized by
 // Options.Workers) and the shard sub-grids are then built concurrently,
-// one goroutine per shard.
+// one goroutine per shard, all feeding off one shared constraint
+// registry.
 func Build(objects []Object, domain Rect, opts *Options) (*DB, error) {
 	if len(objects) == 0 {
 		return nil, fmt.Errorf("uvdiagram: no objects to index")
@@ -279,69 +338,62 @@ func Build(objects []Object, domain Rect, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	bopts := opts.toBuildOptions()
-	db := &DB{store: store, domain: domain, bopts: bopts}
-	db.initShards(nshards)
-	tree := core.BuildHelperRTree(store, bopts.Fanout)
-	if nshards == 1 {
-		index, stats, err := core.Build(store, domain, tree, bopts)
-		if err != nil {
-			return nil, err
-		}
-		db.shards[0].epoch.Store(&indexEpoch{index: index, tree: tree})
-		db.built.Store(&stats)
-		return db, nil
+	db := &DB{store: store, domain: domain, bopts: bopts, strategy: opts.layout()}
+	gx, gy := shardGrid(nshards)
+	var centers []Point
+	if _, equal := db.strategy.(EqualStrips); !equal {
+		centers = db.liveCenters() // equal strips never read the centers
 	}
+	xs, ys := db.strategy.Cuts(domain, gx, gy, centers)
+	lo := newShardLayout(0, gx, gy, xs, ys)
+	tree := core.BuildHelperRTree(store, bopts.Fanout)
+	db.tree.Store(tree)
 	t0 := time.Now()
 	crSets, stats, err := core.DeriveCRSets(store, domain, tree, bopts)
 	if err != nil {
 		return nil, err
 	}
-	db.publishShards(crSets, tree, &stats, t0)
+	db.cr = core.NewCRState(crSets)
+	db.buildShards(lo, db.cr, &stats, t0, 0)
+	db.layout.Store(lo)
 	db.built.Store(&stats)
 	return db, nil
 }
 
-// publishShards shadow-builds every shard's sub-grid from one shared
-// derivation pass — in parallel, one goroutine per shard — and swaps
-// each epoch in. Shard 0 adopts tree0 (the tree the derivation ran
-// through); the other shards bulk-load their own full-population clones
-// so no two shards contend on one simulated-disk pager. stats receives
-// the summed per-shard indexing CPU time, the aggregate index shape and
-// the wall clock since t0.
-func (db *DB) publishShards(crSets [][]int32, tree0 *rtree.Tree, stats *BuildStats, t0 time.Time) {
+// buildShards shadow-builds every shard of lo's sub-grid from the given
+// registry — in parallel, one goroutine per shard — and stores each
+// fresh epoch with generation gen. stats receives the summed per-shard
+// indexing CPU time, the aggregate index shape and the wall clock since
+// t0. The layout is not yet (or no longer) required to be published;
+// the caller decides when the world sees it.
+func (db *DB) buildShards(lo *shardLayout, cr *core.CRState, stats *BuildStats, t0 time.Time, gen uint64) {
 	type built struct {
 		ix  *core.UVIndex
 		dur time.Duration
 	}
-	results := make([]built, len(db.shards))
-	trees := make([]*rtree.Tree, len(db.shards))
-	trees[0] = tree0
+	results := make([]built, len(lo.shards))
 	var wg sync.WaitGroup
-	for i := range db.shards {
+	for i := range lo.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if trees[i] == nil {
-				trees[i] = core.BuildHelperRTree(db.store, db.bopts.Fanout)
-			}
-			ix, dur := core.BuildRegion(db.store, db.shards[i].rect, crSets, db.bopts.Index)
+			ix, dur := core.BuildRegionCR(db.store, lo.shards[i].rect, cr, db.bopts.Index)
 			results[i] = built{ix: ix, dur: dur}
 		}(i)
 	}
 	wg.Wait()
-	shapes := make([]core.IndexStats, len(db.shards))
-	for i := range db.shards {
-		gen := uint64(0)
-		if old := db.shards[i].ep(); old != nil {
-			gen = old.gen + 1
-		}
-		db.shards[i].epoch.Store(&indexEpoch{index: results[i].ix, tree: trees[i], gen: gen})
+	shapes := make([]core.IndexStats, len(lo.shards))
+	for i := range lo.shards {
+		lo.shards[i].epoch.Store(&indexEpoch{index: results[i].ix, gen: gen})
 		stats.IndexDur += results[i].dur
 		shapes[i] = results[i].ix.Stats()
 	}
 	stats.TotalDur = time.Since(t0)
 	stats.Index = aggregateIndexStats(shapes)
 }
+
+// rtree returns the current shared helper R-tree.
+func (db *DB) rtree() *rtree.Tree { return db.tree.Load() }
 
 // Len returns the number of live (indexed, non-deleted) objects.
 func (db *DB) Len() int { return db.store.Live() }
@@ -366,20 +418,21 @@ func (db *DB) Object(id int32) (Object, error) {
 }
 
 // BuildStats returns the statistics of the last full construction pass
-// (Build, Load or Rebuild/Compact). With shards, phase durations are
-// summed CPU time across shard builds and Index aggregates the shard
-// sub-grids.
+// (Build, Load, Rebuild/Compact/Reshard). With shards, phase durations
+// are summed CPU time across shard builds and Index aggregates the
+// shard sub-grids.
 func (db *DB) BuildStats() BuildStats { return *db.built.Load() }
 
 // IndexStats returns the UV-index shape statistics, aggregated across
 // shards (counts sum, depth is the maximum).
 func (db *DB) IndexStats() core.IndexStats {
-	if len(db.shards) == 1 {
-		return db.ep().index.Stats()
+	lo := db.lo()
+	if len(lo.shards) == 1 {
+		return lo.epAt(0).index.Stats()
 	}
-	shapes := make([]core.IndexStats, len(db.shards))
-	for i := range db.shards {
-		shapes[i] = db.epAt(i).index.Stats()
+	shapes := make([]core.IndexStats, len(lo.shards))
+	for i := range lo.shards {
+		shapes[i] = lo.epAt(i).index.Stats()
 	}
 	return aggregateIndexStats(shapes)
 }
@@ -387,46 +440,39 @@ func (db *DB) IndexStats() core.IndexStats {
 // PNN answers a probabilistic nearest-neighbor query through the owning
 // shard's UV-index (Section V-A).
 func (db *DB) PNN(q Point) ([]Answer, QueryStats, error) {
-	ep, err := db.routeQ(q)
-	if err != nil {
+	lo := db.lo()
+	if err := checkDomain(lo, db.domain, q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	return ep.index.PNN(q)
+	return lo.epFor(q).index.PNN(q)
 }
 
 // checkDomain rejects query points outside a multi-shard engine's
 // domain (with one shard, the index's own domain check reproduces the
 // original core error text). Shared by the single-point and batch
 // routing paths so their semantics can never drift apart.
-func (db *DB) checkDomain(q Point) error {
-	if len(db.shards) > 1 && !db.domain.Contains(q) {
-		return fmt.Errorf("uvdiagram: query point %v outside domain %v", q, db.domain)
+func checkDomain(lo *shardLayout, domain Rect, q Point) error {
+	if len(lo.shards) > 1 && !domain.Contains(q) {
+		return fmt.Errorf("uvdiagram: query point %v outside domain %v", q, domain)
 	}
 	return nil
-}
-
-// routeQ returns the epoch owning q.
-func (db *DB) routeQ(q Point) (*indexEpoch, error) {
-	if err := db.checkDomain(q); err != nil {
-		return nil, err
-	}
-	return db.epFor(q), nil
 }
 
 // Partitions retrieves all UV-partitions (leaf regions) intersecting r
 // with their nearest-neighbor densities (Section V-C), gathered from
 // every shard r overlaps.
 func (db *DB) Partitions(r Rect) []Partition {
-	if len(db.shards) == 1 {
-		parts, _ := db.ep().index.Partitions(r)
+	lo := db.lo()
+	if len(lo.shards) == 1 {
+		parts, _ := lo.epAt(0).index.Partitions(r)
 		return parts
 	}
 	var out []Partition
-	for i := range db.shards {
-		if !db.shards[i].rect.Overlaps(r) {
+	for i := range lo.shards {
+		if !lo.shards[i].rect.Overlaps(r) {
 			continue
 		}
-		parts, _ := db.epAt(i).index.Partitions(r)
+		parts, _ := lo.epAt(i).index.Partitions(r)
 		out = append(out, parts...)
 	}
 	return out
@@ -437,8 +483,9 @@ func (db *DB) Partitions(r Rect) []Partition {
 // every shard the cell reaches.
 func (db *DB) CellArea(id int32) (float64, error) {
 	total := 0.0
-	for i := range db.shards {
-		a, err := db.epAt(i).index.CellArea(id)
+	lo := db.lo()
+	for i := range lo.shards {
+		a, err := lo.epAt(i).index.CellArea(id)
 		if err != nil {
 			return 0, err
 		}
@@ -450,12 +497,13 @@ func (db *DB) CellArea(id int32) (float64, error) {
 // CellRegions returns the leaf regions overlapping object id's UV-cell,
 // its displayable approximate extent, concatenated across shards.
 func (db *DB) CellRegions(id int32) []Rect {
-	if len(db.shards) == 1 {
-		return db.ep().index.CellRegions(id)
+	lo := db.lo()
+	if len(lo.shards) == 1 {
+		return lo.epAt(0).index.CellRegions(id)
 	}
 	var out []Rect
-	for i := range db.shards {
-		out = append(out, db.epAt(i).index.CellRegions(id)...)
+	for i := range lo.shards {
+		out = append(out, lo.epAt(i).index.CellRegions(id)...)
 	}
 	return out
 }
@@ -465,12 +513,12 @@ func (db *DB) CellRegions(id int32) []Rect {
 // ShardStats to enumerate the others. The pointer is the CURRENT
 // epoch's index; a Rebuild or Compact replaces it, so hold the result
 // only briefly.
-func (db *DB) Index() *core.UVIndex { return db.ep().index }
+func (db *DB) Index() *core.UVIndex { return db.lo().epAt(0).index }
 
-// RTree exposes the helper R-tree (the query baseline of Figure 6).
-// Every shard's tree covers the full live population; this is shard
-// 0's. Like Index, it is the current epoch's tree.
-func (db *DB) RTree() *rtree.Tree { return db.ep().tree }
+// RTree exposes the shared helper R-tree (the query baseline of
+// Figure 6), which covers the full live population. Like Index, it is
+// the current pointer; Compact and Reshard replace it.
+func (db *DB) RTree() *rtree.Tree { return db.rtree() }
 
 // Store exposes the underlying object store.
 func (db *DB) Store() *uncertain.Store { return db.store }
