@@ -49,7 +49,24 @@ type batchState struct {
 	caches []*core.LeafCache
 	rt     *rtree.LeafCache
 	cap    int
+	// scratch pools *core.QueryScratch across batch workers and batch
+	// calls: candidate ids, fetched candidates, object decode buffers
+	// and the probability-integration vectors are all reused, so a
+	// steady-state batched PNN allocates only its answer slice.
+	scratch sync.Pool
 }
+
+// getScratch hands one worker a query scratch (fresh on first use).
+func (s *batchState) getScratch() *core.QueryScratch {
+	if sc, ok := s.scratch.Get().(*core.QueryScratch); ok {
+		return sc
+	}
+	return &core.QueryScratch{}
+}
+
+// putScratch returns a scratch to the pool once the query's results
+// have been copied out.
+func (s *batchState) putScratch(sc *core.QueryScratch) { s.scratch.Put(sc) }
 
 // cachesFor returns the persistent caches for the requested size in one
 // critical section, (re)building them when the size (or shard count)
@@ -236,7 +253,9 @@ func (db *DB) BatchNN(qs []Point, opts *BatchOptions) ([][]Answer, error) {
 	out := make([][]Answer, len(qs))
 	err = runBatch(len(qs), opts.workers(), order, func(i int) error {
 		si := owner[i]
-		answers, _, err := rt.eps[si].index.PNNCached(qs[i], cacheAt(caches, si))
+		sc := db.batch.getScratch()
+		answers, _, err := rt.eps[si].index.PNNWith(qs[i], cacheAt(caches, si), sc)
+		db.batch.putScratch(sc)
 		out[i] = answers
 		return err
 	})
@@ -258,7 +277,9 @@ func (db *DB) BatchTopKPNN(qs []Point, k int, opts *BatchOptions) ([][]Answer, e
 	out := make([][]Answer, len(qs))
 	err = runBatch(len(qs), opts.workers(), order, func(i int) error {
 		si := owner[i]
-		answers, _, err := rt.eps[si].index.PNNCached(qs[i], cacheAt(caches, si))
+		sc := db.batch.getScratch()
+		answers, _, err := rt.eps[si].index.PNNWith(qs[i], cacheAt(caches, si), sc)
+		db.batch.putScratch(sc)
 		if err != nil {
 			return err
 		}
@@ -285,7 +306,9 @@ func (db *DB) BatchThresholdNN(qs []Point, tau float64, opts *BatchOptions) ([][
 	out := make([][]Answer, len(qs))
 	err = runBatch(len(qs), opts.workers(), order, func(i int) error {
 		si := owner[i]
-		answers, _, err := rt.eps[si].index.PNNCached(qs[i], cacheAt(caches, si))
+		sc := db.batch.getScratch()
+		answers, _, err := rt.eps[si].index.PNNWith(qs[i], cacheAt(caches, si), sc)
+		db.batch.putScratch(sc)
 		if err != nil {
 			return err
 		}

@@ -59,6 +59,7 @@ func Benchmark_Fig6a_PNN_UVIndex(b *testing.B) {
 	for _, n := range []int{1000, 4000, 16000} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
 			f := getFixture(b, n, datagen.DefaultDiameter)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := f.db.PNN(f.queries[i%len(f.queries)]); err != nil {
@@ -73,6 +74,7 @@ func Benchmark_Fig6a_PNN_RTree(b *testing.B) {
 	for _, n := range []int{1000, 4000, 16000} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
 			f := getFixture(b, n, datagen.DefaultDiameter)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := f.db.PNNViaRTree(f.queries[i%len(f.queries)]); err != nil {
@@ -197,6 +199,7 @@ func benchBuild(b *testing.B, n int, strategy core.Strategy) {
 	opts.Strategy = strategy
 	opts.SeedK = 100
 	tree := core.BuildHelperRTree(store, opts.Fanout)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last core.BuildStats
 	for i := 0; i < b.N; i++ {

@@ -3,15 +3,23 @@
 //
 // Usage:
 //
-//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards|rebalance]
+//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards|rebalance|derive]
 //	        [-scale small|medium|paper] [-shards 1] [-quiet]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -shards builds the churn experiment's database with that many spatial
 // shards; -exp shards sweeps S ∈ {1, 2, 4, 8} and reports build and
 // per-shard compaction wall clock plus worst query latency during
 // compaction; -exp rebalance builds a skewed dataset over equal strips,
 // compacts disjoint shards concurrently under query load, reshards
-// online to weighted-median cuts and writes BENCH_rebalance.json.
+// online to weighted-median cuts and writes BENCH_rebalance.json;
+// -exp derive benchmarks the output-sensitive derivation fast path
+// against the retained naive reference (bitwise-identical cr-sets
+// verified) and writes BENCH_derive.json.
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected
+// experiment, so future perf work can be profiled in place (profiles
+// are flushed on normal completion).
 //
 // Tables go to stdout; progress lines go to stderr. The "paper" scale
 // matches Section VI-A (10k–80k objects, 50 queries) and takes tens of
@@ -22,16 +30,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"uvdiagram/internal/exp"
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance")
+	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance, derive")
 	scaleName := flag.String("scale", "small", "scale preset: small, medium, paper")
 	shards := flag.Int("shards", 1, "spatial shard count for -exp churn (1 = unsharded)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	sc, err := exp.ScaleByName(*scaleName)
 	if err != nil {
@@ -72,6 +111,8 @@ func main() {
 		tables, err = single(exp.RunShards, sc, progress)
 	case "rebalance":
 		tables, err = single(exp.RunRebalance, sc, progress)
+	case "derive":
+		tables, err = single(exp.RunDerive, sc, progress)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *expName)
 	}

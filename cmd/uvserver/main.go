@@ -6,7 +6,11 @@
 //
 //	uvserver [-addr :7031] [-n 10000] [-seed 1] [-load db.uv]
 //	         [-shards 1] [-layout equal|median] [-window 64]
-//	         [-workers N] [-cache 256]
+//	         [-workers N] [-cache 256] [-pprof localhost:6060]
+//
+// With -pprof, the standard net/http/pprof endpoints are served on the
+// given address so a live server can be profiled in place
+// (go tool pprof http://localhost:6060/debug/pprof/profile).
 //
 // With -load, the dataset and index are read from a snapshot written by
 // uvbuild -save (or DB.Save); the snapshot's shard layout wins over
@@ -19,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the standard profiling endpoints
 	"os"
 
 	"uvdiagram"
@@ -28,6 +34,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7031", "listen address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	n := flag.Int("n", 10000, "number of synthetic objects (ignored with -load)")
 	seed := flag.Int64("seed", 1, "random seed for the synthetic dataset")
 	load := flag.String("load", "", "load a snapshot instead of generating data")
@@ -39,6 +46,15 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "uvserver: ", log.LstdFlags)
+
+	if *pprofAddr != "" {
+		go func() {
+			logger.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var db *uvdiagram.DB
 	if *load != "" {

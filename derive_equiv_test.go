@@ -1,0 +1,208 @@
+package uvdiagram_test
+
+// Derivation-equivalence property tests at the engine level: the
+// output-sensitive derivation hot path (lazy seeds, incremental radius
+// profiles, scratch arenas, pooled query buffers) must leave every
+// observable bit unchanged — cr-sets, PNN/TopK/KNN answers, and the
+// post-Insert/Delete re-derivations — versus the retained naive
+// reference implementation (core.DeriveCRSetsReference /
+// core.DeriveCRObjectsReference). internal/core/reference_test.go
+// covers the per-object algorithm; this file covers the DB plumbing
+// that threads scratches through Build, Insert, Delete and the batch
+// engine.
+
+import (
+	"fmt"
+	"testing"
+
+	"uvdiagram"
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/datagen"
+)
+
+func crEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeriveEquivalenceDB: for IC, ICR and Basic strategies, a built
+// DB's registry must record exactly the reference derivation's sets,
+// and the full query surface (PNN, TopKPNN, PossibleKNN, batch PNN)
+// must answer bitwise identically whether the scratch paths are used
+// (batch) or not (single-point).
+func TestDeriveEquivalenceDB(t *testing.T) {
+	for _, strat := range []uvdiagram.Strategy{uvdiagram.IC, uvdiagram.ICR, uvdiagram.Basic} {
+		t.Run(strat.String(), func(t *testing.T) {
+			n := 250
+			if strat == uvdiagram.Basic {
+				n = 80
+			}
+			cfg := datagen.Config{N: n, Side: 2000, Diameter: 40, Seed: 5}
+			objs := datagen.Uniform(cfg)
+			db, err := uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{Strategy: strat, SeedK: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			bopts := core.DefaultBuildOptions()
+			bopts.Strategy = core.Strategy(strat)
+			bopts.SeedK = 60
+			want, err := core.DeriveCRSetsReference(db.Store(), db.Domain(), db.RTree(), bopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := int32(0); int(id) < len(want); id++ {
+				if !crEqual(db.Index().CRObjects(id), want[id]) {
+					t.Fatalf("object %d: registry %v, reference %v", id, db.Index().CRObjects(id), want[id])
+				}
+			}
+
+			// Single-point vs batch (scratch-pooled) answers, bitwise.
+			qs := datagen.Queries(48, 2000, 11)
+			batch, err := db.BatchNN(qs, &uvdiagram.BatchOptions{Workers: 3, CacheSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				single, _, err := db.PNN(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprintf("%v", single) != fmt.Sprintf("%v", batch[i]) {
+					t.Fatalf("query %d: batch %v, single %v", i, batch[i], single)
+				}
+				if _, _, err := db.TopKPNN(q, 3); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := db.PossibleKNN(q, 3); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDeriveEquivalenceAfterMutations: Insert derives the new object's
+// set with the DB's long-lived scratch, Delete re-derives every
+// dependent with it; both must be exactly what the naive reference
+// derives over the same population, and the full query surface must
+// match a reference-derived fresh database bit for bit afterwards.
+func TestDeriveEquivalenceAfterMutations(t *testing.T) {
+	cfg := datagen.Config{N: 220, Side: 2000, Diameter: 40, Seed: 23}
+	objs := datagen.Uniform(cfg)
+	db, err := uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{SeedK: 60, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A few inserts, then a few deletes (the delete path re-derives the
+	// victims' dependents with the shared scratch, one per dependent).
+	for i := 0; i < 8; i++ {
+		o := uvdiagram.NewObject(db.NextID(), 123+float64(i)*211, 1777-float64(i)*177, 20, nil)
+		if err := db.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+		// The inserted object's registry entry must equal the reference
+		// derivation over the live population at insert time.
+		res := core.DeriveCRObjectsReference(db.RTree(), o, db.Store().Dense(), db.Domain(), 60, 8, 256)
+		if !crEqual(db.Index().CRObjects(o.ID), res.CR) {
+			t.Fatalf("insert %d: registry %v, reference %v", o.ID, db.Index().CRObjects(o.ID), res.CR)
+		}
+	}
+	victims := []int32{3, 57, 120, 199}
+	var dependents []int32
+	for _, v := range victims {
+		dependents = append(dependents, db.Index().Dependents(v)...)
+	}
+	if err := db.BatchDelete(victims); err != nil {
+		t.Fatal(err)
+	}
+	// Every re-derived dependent's fresh set must equal the reference
+	// derivation over the post-delete population.
+	seen := map[int32]bool{}
+	for _, v := range victims {
+		seen[v] = true
+	}
+	checked := 0
+	for _, d := range dependents {
+		if seen[d] || !db.Alive(d) {
+			continue
+		}
+		seen[d] = true
+		o, err := db.Object(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := core.DeriveCRObjectsReference(db.RTree(), o, db.Store().Dense(), db.Domain(), 60, 8, 256)
+		if !crEqual(db.Index().CRObjects(d), res.CR) {
+			t.Fatalf("dependent %d after delete: registry %v, reference %v", d, db.Index().CRObjects(d), res.CR)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no dependents re-derived; test is vacuous")
+	}
+
+	// Full query surface vs a fresh database built over the surviving
+	// population with REFERENCE-derived constraint sets: answers must be
+	// bitwise identical (the incremental engine keeps leaf lists
+	// supersets, the dminmax filter removes the slack exactly).
+	qs := datagen.Queries(64, 2000, 29)
+	mutated := answersFingerprint(t, db, qs)
+
+	survivors := make([]uvdiagram.Object, 0, db.Len())
+	for id := int32(0); id < db.NextID(); id++ {
+		if db.Alive(id) {
+			o, err := db.Object(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			survivors = append(survivors, o)
+		}
+	}
+	// Rebuild with dense ids, mapping answers back through the id map.
+	remap := make(map[int32]int32, len(survivors))
+	fresh := make([]uvdiagram.Object, len(survivors))
+	for i, o := range survivors {
+		remap[int32(i)] = o.ID
+		fresh[i] = uvdiagram.Object{ID: int32(i), Region: o.Region, PDF: o.PDF}
+	}
+	ref, err := uvdiagram.Build(fresh, cfg.Domain(), &uvdiagram.Options{SeedK: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refPrint string
+	for _, q := range qs {
+		answers, _, err := ref.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range answers {
+			answers[i].ID = remap[answers[i].ID]
+		}
+		refPrint += fmt.Sprintf("%v;", answers)
+	}
+	if mutated != refPrint {
+		t.Fatal("PNN answers diverged between the incrementally maintained DB and a fresh reference build")
+	}
+}
+
+func answersFingerprint(t *testing.T, db *uvdiagram.DB, qs []uvdiagram.Point) string {
+	t.Helper()
+	out := ""
+	for _, q := range qs {
+		answers, _, err := db.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out += fmt.Sprintf("%v;", answers)
+	}
+	return out
+}

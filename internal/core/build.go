@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -179,6 +180,11 @@ type builder struct {
 	domain geom.Rect
 	tree   *rtree.Tree
 	opts   BuildOptions
+	// sc is the worker's private derivation scratch: every per-object
+	// buffer (NN browse heap, seeds, pruning ids, hull, region radius
+	// profiles) is reused across the worker's whole object stream, so
+	// steady-state derivation allocates only the retained cr-sets.
+	sc *DeriveScratch
 }
 
 // deriveOne computes object i's cell representation (cr- or r-object
@@ -186,10 +192,12 @@ type builder struct {
 func (b *builder) deriveOne(i int) ([]int32, deriveStats) {
 	var ds deriveStats
 	oi := b.objs[i]
+	sc := b.sc
 	switch b.opts.Strategy {
 	case StrategyBasic:
 		tr := time.Now()
-		region := NewPossibleRegion(oi.Region.C, b.domain)
+		region := &sc.refine
+		region.Reset(oi.Region.C, b.domain)
 		for j := range b.objs {
 			if j != i && b.alive(int32(j)) {
 				region.AddObject(oi, b.objs[j])
@@ -202,29 +210,35 @@ func (b *builder) deriveOne(i int) ([]int32, deriveStats) {
 
 	case StrategyICR, StrategyIC:
 		ts := time.Now()
-		seeds := SelectSeeds(b.tree, oi, b.opts.SeedK, b.opts.SeedSectors)
-		region := NewPossibleRegion(oi.Region.C, b.domain)
-		for _, id := range seeds {
+		sc.selectSeeds(b.tree, oi, b.opts.SeedK, b.opts.SeedSectors)
+		region := &sc.region
+		region.Reset(oi.Region.C, b.domain)
+		for _, id := range sc.seeds {
 			region.AddObject(oi, b.objs[id])
 		}
 		ds.seed = time.Since(ts)
 
 		tp := time.Now()
-		ids := IPrune(b.tree, oi, region, b.opts.RegionSamples)
-		kept := ids
+		sc.ids = iPruneInto(b.tree, oi, region, b.opts.RegionSamples, sc.ids[:0])
+		kept := sc.ids
 		if !b.opts.DisableCPrune {
-			kept = CPrune(ids, oi, region, b.opts.RegionSamples, b.objs)
+			kept = cPruneInto(sc.ids, oi, region, b.opts.RegionSamples, b.objs, sc)
 		}
-		cr := mergeIDs(kept, seeds)
+		nI := len(sc.ids)
+		slices.Sort(kept)
+		sc.sorted = append(sc.sorted[:0], sc.seeds...)
+		slices.Sort(sc.sorted)
+		cr := mergeSorted(kept, sc.sorted)
 		ds.prune = time.Since(tp)
-		ds.sumI = int64(len(ids))
+		ds.sumI = int64(nI)
 		ds.sumCR = int64(len(cr))
 
 		if b.opts.Strategy == StrategyIC {
 			return cr, ds
 		}
 		tr := time.Now()
-		refined := NewPossibleRegion(oi.Region.C, b.domain)
+		refined := &sc.refine
+		refined.Reset(oi.Region.C, b.domain)
 		for _, id := range cr {
 			refined.AddObject(oi, b.objs[id])
 		}
@@ -283,7 +297,7 @@ func DeriveCRSets(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, op
 	// paper's "assumed available" index; workers may not share one tree
 	// pager concurrently, so each worker gets a private clone of the
 	// bulk-load when parallelism is requested.
-	b := &builder{objs: objs, alive: store.Alive, domain: domain, tree: tree, opts: opts}
+	b := &builder{objs: objs, alive: store.Alive, domain: domain, tree: tree, opts: opts, sc: NewDeriveScratch()}
 
 	crSets := make([][]int32, len(objs))
 
@@ -302,7 +316,7 @@ func DeriveCRSets(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, op
 			wg.Add(1)
 			go func(wtree *rtree.Tree) {
 				defer wg.Done()
-				wb := &builder{objs: objs, alive: store.Alive, domain: domain, tree: wtree, opts: opts}
+				wb := &builder{objs: objs, alive: store.Alive, domain: domain, tree: wtree, opts: opts, sc: NewDeriveScratch()}
 				var local deriveStats
 				for i := range next {
 					crSet, ds := wb.deriveOne(i)

@@ -29,25 +29,30 @@ type Vertex struct {
 // change of active constraint by bisection. Vertices are returned in
 // increasing angle order. Arcs narrower than 2π/samples can be missed;
 // the callers that need guarantees use generous resolutions.
+//
+// The sweep reads the region's incrementally maintained radius profile
+// (O(samples) per added constraint instead of O(samples × constraints)
+// per call) and the result is cached: I-pruning's MaxRadius and
+// C-pruning's hull extraction share one sweep. The returned slice is
+// owned by the region — valid until the region is next modified or
+// Reset; callers that retain it must copy (Cell does).
 func (p *PossibleRegion) Vertices(samples int) []Vertex {
 	if samples < 16 {
 		samples = 16
 	}
-	n := samples
-	phis := make([]float64, n)
-	actives := make([]int, n)
-	for i := 0; i < n; i++ {
-		phis[i] = 2 * math.Pi * float64(i) / float64(n)
-		_, actives[i] = p.Radius(phis[i])
+	pr := p.syncProfile(samples)
+	if pr.vertsAt == len(p.cons) {
+		return pr.verts
 	}
-	var vs []Vertex
+	n := samples
+	vs := pr.verts[:0]
 	for i := 0; i < n; i++ {
 		j := (i + 1) % n
-		if actives[i] == actives[j] {
+		if pr.active[i] == pr.active[j] {
 			continue
 		}
-		lo, hi := phis[i], phis[i]+2*math.Pi/float64(n)
-		aLo := actives[i]
+		lo, hi := pr.phis[i], pr.phis[i]+2*math.Pi/float64(n)
+		aLo := pr.active[i]
 		for hi-lo > vertexTol {
 			mid := lo + (hi-lo)/2
 			if _, am := p.Radius(mid); am == aLo {
@@ -62,11 +67,13 @@ func (p *PossibleRegion) Vertices(samples int) []Vertex {
 			Phi:    phi,
 			R:      r,
 			P:      p.center.Add(geom.PolarUnit(phi).Scale(r)),
-			Before: actives[i],
-			After:  actives[j],
+			Before: pr.active[i],
+			After:  pr.active[j],
 		})
 	}
 	sort.Slice(vs, func(a, b int) bool { return vs[a].Phi < vs[b].Phi })
+	pr.verts = vs
+	pr.vertsAt = len(p.cons)
 	return vs
 }
 
@@ -137,9 +144,10 @@ func (p *PossibleRegion) Cell(objID int32, samples int) *UVCell {
 	}
 	sort.Slice(robjs, func(i, j int) bool { return robjs[i] < robjs[j] })
 	return &UVCell{
-		Object:   objID,
-		Center:   p.center,
-		Vertices: vs,
+		Object: objID,
+		Center: p.center,
+		// Copy: the cell outlives the region's cached sweep buffer.
+		Vertices: append([]Vertex(nil), vs...),
 		RObjects: robjs,
 		area:     p.Area(samples),
 	}

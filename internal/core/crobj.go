@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"uvdiagram/internal/geom"
 	"uvdiagram/internal/rtree"
@@ -29,31 +29,68 @@ type CRResult struct {
 // The seeds are merged into the returned cr-set: they already shaped
 // the possible region, so the overlap tests of Algorithm 5 must see
 // their constraints too.
+//
+// This convenience form allocates its own scratch and returns the full
+// result (region included); the hot paths — Build workers and the
+// Insert/Delete re-derivation — go through DeriveCR with a long-lived
+// DeriveScratch instead. Both produce bitwise-identical cr-sets.
 func DeriveCRObjects(tree *rtree.Tree, oi uncertain.Object, objs []uncertain.Object, domain geom.Rect, k, ks, samples int) CRResult {
-	seeds := SelectSeeds(tree, oi, k, ks)
-	region := NewPossibleRegion(oi.Region.C, domain)
-	for _, id := range seeds {
-		region.AddObject(oi, objs[id])
+	sc := NewDeriveScratch()
+	cr, nI, nC := deriveCR(tree, oi, objs, domain, k, ks, samples, false, sc)
+	// The scratch is throwaway here, so its seeded region and seed list
+	// (in discovery order — deriveCR sorts a copy, not sc.seeds) can be
+	// handed out directly.
+	return CRResult{
+		Seeds:  append([]int32(nil), sc.seeds...),
+		CR:     cr,
+		Region: &sc.region,
+		NI:     nI,
+		NC:     nC,
 	}
-	ids := IPrune(tree, oi, region, samples)
-	kept := CPrune(ids, oi, region, samples, objs)
-
-	cr := mergeIDs(kept, seeds)
-	return CRResult{Seeds: seeds, CR: cr, Region: region, NI: len(ids), NC: len(kept)}
 }
 
-// mergeIDs returns the sorted union of two id slices.
+// mergeIDs returns the sorted union of two id slices without modifying
+// either input. It is the standalone form of the sort-merge union the
+// derivation hot path performs on scratch-owned, pre-sorted inputs
+// (mergeSorted); the old implementation built a map per call.
 func mergeIDs(a, b []int32) []int32 {
-	seen := make(map[int32]bool, len(a)+len(b))
+	as := append(make([]int32, 0, len(a)), a...)
+	bs := append(make([]int32, 0, len(b)), b...)
+	slices.Sort(as)
+	slices.Sort(bs)
+	return mergeSorted(as, bs)
+}
+
+// mergeSorted returns the deduplicated union of two ascending-sorted id
+// slices as a freshly allocated sorted slice (duplicates within either
+// input are collapsed too).
+func mergeSorted(a, b []int32) []int32 {
 	out := make([]int32, 0, len(a)+len(b))
-	for _, s := range [][]int32{a, b} {
-		for _, id := range s {
-			if !seen[id] {
-				seen[id] = true
-				out = append(out, id)
-			}
+	emit := func(v int32) {
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			emit(a[i])
+			i++
+		case b[j] < a[i]:
+			emit(b[j])
+			j++
+		default:
+			emit(a[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		emit(a[i])
+	}
+	for ; j < len(b); j++ {
+		emit(b[j])
+	}
 	return out
 }

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -249,22 +250,43 @@ func (ix *UVIndex) readLeafTuples(n *qnode) ([]pager.LeafTuple, int64, error) {
 	return tuples, ios, nil
 }
 
+// QueryScratch carries the reusable buffers of the PNN hot path — the
+// candidate id list, the fetched-candidate slice, the object decode
+// pool and the probability-integration vectors — so a steady-state
+// batched query allocates only its returned answer slice. A scratch is
+// owned by one goroutine at a time; the batch engine pools them across
+// workers.
+type QueryScratch struct {
+	candIDs []int32
+	cands   []uncertain.Object
+	fetch   uncertain.FetchScratch
+	prob    prob.Scratch
+}
+
 // PNN answers a probabilistic nearest-neighbor query at q (Section V-A):
 // descend to the leaf containing q, read its page list, filter with the
 // dminmax bound of [14], fetch the survivors' uncertainty information
 // and compute qualification probabilities by numerical integration.
 func (ix *UVIndex) PNN(q geom.Point) ([]Answer, QueryStats, error) {
-	return ix.pnn(q, nil)
+	return ix.pnn(q, nil, nil)
 }
 
 // PNNCached is PNN with an optional leaf-tuple cache: on a cache hit the
 // leaf page list is not re-read or re-decoded (IndexIOs stays 0 for the
 // query). Answers are identical to PNN. A nil cache degrades to PNN.
 func (ix *UVIndex) PNNCached(q geom.Point, cache *LeafCache) ([]Answer, QueryStats, error) {
-	return ix.pnn(q, cache)
+	return ix.pnn(q, cache, nil)
 }
 
-func (ix *UVIndex) pnn(q geom.Point, cache *LeafCache) ([]Answer, QueryStats, error) {
+// PNNWith is PNN with both an optional leaf-tuple cache and an optional
+// query scratch — the batch engine's hot path. Answers are bitwise
+// identical whatever combination is passed; nil arguments degrade to
+// the allocating paths.
+func (ix *UVIndex) PNNWith(q geom.Point, cache *LeafCache, sc *QueryScratch) ([]Answer, QueryStats, error) {
+	return ix.pnn(q, cache, sc)
+}
+
+func (ix *UVIndex) pnn(q geom.Point, cache *LeafCache, sc *QueryScratch) ([]Answer, QueryStats, error) {
 	var st QueryStats
 	if !ix.finished {
 		return nil, st, fmt.Errorf("core: PNN before Finish")
@@ -301,6 +323,9 @@ func (ix *UVIndex) pnn(q geom.Point, cache *LeafCache) ([]Answer, QueryStats, er
 		}
 	}
 	var candIDs []int32
+	if sc != nil {
+		candIDs = sc.candIDs[:0]
+	}
 	for _, t := range tuples {
 		dmin := q.Dist(geom.Pt(t.CX, t.CY)) - t.R
 		if dmin < 0 {
@@ -310,39 +335,57 @@ func (ix *UVIndex) pnn(q geom.Point, cache *LeafCache) ([]Answer, QueryStats, er
 			candIDs = append(candIDs, t.ID)
 		}
 	}
+	if sc != nil {
+		sc.candIDs = candIDs
+	}
 	// Canonical candidate order. A fresh build lists leaf tuples in id
 	// order already, but incremental maintenance (DeleteLive re-inserts,
 	// splits) appends out of order, and the probability integration's
 	// floating-point products depend on operand order — sorting keeps
 	// answers BITWISE identical to a fresh build over the same
 	// population.
-	sort.Slice(candIDs, func(i, j int) bool { return candIDs[i] < candIDs[j] })
+	slices.Sort(candIDs)
 	st.Candidates = len(candIDs)
 	st.TraverseDur = time.Since(t0)
 
 	// Phase 2: object retrieval.
 	t1 := time.Now()
-	cands := make([]uncertain.Object, 0, len(candIDs))
+	var cands []uncertain.Object
+	var fetch *uncertain.FetchScratch
+	if sc != nil {
+		cands = sc.cands[:0]
+		fetch = &sc.fetch
+		fetch.Reset()
+	} else {
+		cands = make([]uncertain.Object, 0, len(candIDs))
+	}
 	for _, id := range candIDs {
-		o, err := ix.store.Fetch(id)
+		o, err := ix.store.FetchWith(id, fetch)
 		if err != nil {
 			return nil, st, err
 		}
 		cands = append(cands, o)
 		st.ObjectIOs++
 	}
+	if sc != nil {
+		sc.cands = cands
+	}
 	st.RetrieveDur = time.Since(t1)
 
 	// Phase 3: probability computation.
 	t2 := time.Now()
-	ps := prob.Probs(cands, q, 0)
+	var probSc *prob.Scratch
+	if sc != nil {
+		probSc = &sc.prob
+	}
+	ps := prob.ProbsScratch(cands, q, 0, probSc)
 	var answers []Answer
 	for i, p := range ps {
 		if p > 0 {
 			answers = append(answers, Answer{ID: cands[i].ID, Prob: p})
 		}
 	}
-	sort.Slice(answers, func(i, j int) bool { return answers[i].ID < answers[j].ID })
+	slices.SortFunc(answers, func(a, b Answer) int { return cmp.Compare(a.ID, b.ID) })
 	st.ProbDur = time.Since(t2)
 	return answers, st, nil
 }

@@ -12,18 +12,25 @@ import (
 // the region from ci. The circular range query runs on the R-tree and
 // Oi itself is excluded. The returned ids form the set I.
 func IPrune(tree *rtree.Tree, oi uncertain.Object, region *PossibleRegion, samples int) []int32 {
+	return iPruneInto(tree, oi, region, samples, nil)
+}
+
+// iPruneInto is IPrune appending into a caller-owned buffer (the
+// derivation scratch), collecting ids straight off the R-tree walk
+// without materializing an []Item per call. MaxRadius reads the
+// region's cached profile, so the O(samples × constraints) re-sweep the
+// eager implementation paid here is gone.
+func iPruneInto(tree *rtree.Tree, oi uncertain.Object, region *PossibleRegion, samples int, ids []int32) []int32 {
 	d := region.MaxRadius(samples)
 	radius := 2*d - oi.Region.R
 	if radius <= 0 {
-		return nil
+		return ids
 	}
-	items := tree.CenterRange(geom.Circle{C: oi.Region.C, R: radius})
-	ids := make([]int32, 0, len(items))
-	for _, it := range items {
+	tree.CenterRangeFunc(geom.Circle{C: oi.Region.C, R: radius}, func(it rtree.Item) {
 		if it.ID != oi.ID {
 			ids = append(ids, it.ID)
 		}
-	}
+	})
 	return ids
 }
 
@@ -36,15 +43,30 @@ func IPrune(tree *rtree.Tree, oi uncertain.Object, region *PossibleRegion, sampl
 // so that vertex refinement error can only weaken pruning, never drop
 // a true r-object.
 func CPrune(candidates []int32, oi uncertain.Object, region *PossibleRegion, samples int, objs []uncertain.Object) []int32 {
-	hull := hullOfVertices(region.Vertices(samples))
+	var sc DeriveScratch
+	return cPruneInto(candidates, oi, region, samples, objs, &sc)
+}
+
+// cPruneInto is CPrune through the derivation scratch: the hull, the
+// d-bounds and the survivor list live in sc's buffers (the result
+// aliases sc.kept unless it degenerates to the input), and the region's
+// cached Vertices sweep — already computed by I-pruning's MaxRadius —
+// is reused instead of re-extracted.
+func cPruneInto(candidates []int32, oi uncertain.Object, region *PossibleRegion, samples int, objs []uncertain.Object, sc *DeriveScratch) []int32 {
+	vs := region.Vertices(samples)
+	sc.pts = sc.pts[:0]
+	for _, v := range vs {
+		sc.pts = append(sc.pts, v.P)
+	}
+	hull := geom.ConvexHullScratch(sc.pts, &sc.hull)
 	if len(hull) == 0 {
 		return candidates
 	}
-	bounds := make([]geom.Circle, len(hull))
-	for i, v := range hull {
-		bounds[i] = geom.Circle{C: v, R: v.Dist(oi.Region.C) * (1 + 1e-9)}
+	sc.bounds = sc.bounds[:0]
+	for _, v := range hull {
+		sc.bounds = append(sc.bounds, geom.Circle{C: v, R: v.Dist(oi.Region.C) * (1 + 1e-9)})
 	}
-	kept := make([]int32, 0, len(candidates))
+	kept := sc.kept[:0]
 	for _, id := range candidates {
 		// Objects overlapping Oi contribute no UV-edge and can never be
 		// r-objects; drop them from the candidate set outright.
@@ -52,12 +74,13 @@ func CPrune(candidates []int32, oi uncertain.Object, region *PossibleRegion, sam
 			continue
 		}
 		cj := objs[id].Region.C
-		for _, b := range bounds {
+		for _, b := range sc.bounds {
 			if b.Contains(cj) {
 				kept = append(kept, id)
 				break
 			}
 		}
 	}
+	sc.kept = kept
 	return kept
 }

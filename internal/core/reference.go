@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/rtree"
+	"uvdiagram/internal/uncertain"
+)
+
+// Reference (naive) derivation — the pre-optimization Algorithm 2,
+// retained verbatim as the equivalence oracle for the output-sensitive
+// fast path: SelectSeeds materializes the full (k+1)-NN up front, the
+// radial sweep is re-evaluated from scratch on every MaxRadius /
+// Vertices use, and the id union builds a map per object. The optimized
+// path (DeriveCR, the Build workers) must produce bitwise-identical
+// cr-sets and therefore bitwise-identical indexes and answers; the
+// property tests and `uvbench -exp derive` hold it to that, and the
+// before/after numbers in BENCH_derive.json are measured against this
+// implementation on the same hardware.
+
+// referenceSelectSeeds is the eager sectored seed choice: a full
+// (k+1)-NN query, then one pass over the materialized neighbors.
+func referenceSelectSeeds(tree *rtree.Tree, oi uncertain.Object, k, ks int) []int32 {
+	if k <= 0 {
+		k = DefaultSeedK
+	}
+	if ks <= 0 {
+		ks = DefaultSeedSectors
+	}
+	nbrs := tree.KNN(oi.Region.C, k+1)
+	seeds := make([]int32, 0, ks)
+	taken := make([]bool, ks)
+	found := 0
+	for _, nb := range nbrs {
+		if nb.Item.ID == oi.ID || oi.Region.Overlaps(nb.Item.MBC) {
+			continue
+		}
+		dir := nb.Item.MBC.C.Sub(oi.Region.C)
+		sector := int(geom.NormalizeAngle(dir.Angle()) / (2 * math.Pi) * float64(ks))
+		if sector >= ks {
+			sector = ks - 1
+		}
+		if !taken[sector] {
+			taken[sector] = true
+			seeds = append(seeds, nb.Item.ID)
+			found++
+			if found == ks {
+				break
+			}
+		}
+	}
+	return seeds
+}
+
+// referenceVertices is the from-scratch angular sweep: every sample
+// angle re-evaluates the full constraint list through Radius.
+func referenceVertices(p *PossibleRegion, samples int) []Vertex {
+	if samples < 16 {
+		samples = 16
+	}
+	n := samples
+	phis := make([]float64, n)
+	actives := make([]int, n)
+	for i := 0; i < n; i++ {
+		phis[i] = 2 * math.Pi * float64(i) / float64(n)
+		_, actives[i] = p.Radius(phis[i])
+	}
+	var vs []Vertex
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if actives[i] == actives[j] {
+			continue
+		}
+		lo, hi := phis[i], phis[i]+2*math.Pi/float64(n)
+		aLo := actives[i]
+		for hi-lo > vertexTol {
+			mid := lo + (hi-lo)/2
+			if _, am := p.Radius(mid); am == aLo {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		phi := geom.NormalizeAngle(lo + (hi-lo)/2)
+		r, _ := p.Radius(phi)
+		vs = append(vs, Vertex{
+			Phi:    phi,
+			R:      r,
+			P:      p.center.Add(geom.PolarUnit(phi).Scale(r)),
+			Before: actives[i],
+			After:  actives[j],
+		})
+	}
+	sort.Slice(vs, func(a, b int) bool { return vs[a].Phi < vs[b].Phi })
+	return vs
+}
+
+// referenceMaxRadius re-derives the pruning bound from a fresh sweep.
+func referenceMaxRadius(p *PossibleRegion, samples int) float64 {
+	vs := referenceVertices(p, samples)
+	d := 0.0
+	for _, v := range vs {
+		if v.R > d {
+			d = v.R
+		}
+	}
+	if len(vs) == 0 {
+		for i := 0; i < samples; i++ {
+			if r, _ := p.Radius(2 * math.Pi * float64(i) / float64(samples)); r > d {
+				d = r
+			}
+		}
+	}
+	return d * (1 + 1e-6)
+}
+
+// referenceIPrune materializes the circular range result before
+// filtering out Oi.
+func referenceIPrune(tree *rtree.Tree, oi uncertain.Object, region *PossibleRegion, samples int) []int32 {
+	d := referenceMaxRadius(region, samples)
+	radius := 2*d - oi.Region.R
+	if radius <= 0 {
+		return nil
+	}
+	items := tree.CenterRange(geom.Circle{C: oi.Region.C, R: radius})
+	ids := make([]int32, 0, len(items))
+	for _, it := range items {
+		if it.ID != oi.ID {
+			ids = append(ids, it.ID)
+		}
+	}
+	return ids
+}
+
+// referenceCPrune re-extracts the vertices (a second full sweep) before
+// the d-bound test.
+func referenceCPrune(candidates []int32, oi uncertain.Object, region *PossibleRegion, samples int, objs []uncertain.Object) []int32 {
+	hull := hullOfVertices(referenceVertices(region, samples))
+	if len(hull) == 0 {
+		return candidates
+	}
+	bounds := make([]geom.Circle, len(hull))
+	for i, v := range hull {
+		bounds[i] = geom.Circle{C: v, R: v.Dist(oi.Region.C) * (1 + 1e-9)}
+	}
+	kept := make([]int32, 0, len(candidates))
+	for _, id := range candidates {
+		if oi.Region.Overlaps(objs[id].Region) {
+			continue
+		}
+		cj := objs[id].Region.C
+		for _, b := range bounds {
+			if b.Contains(cj) {
+				kept = append(kept, id)
+				break
+			}
+		}
+	}
+	return kept
+}
+
+// referenceMergeIDs is the map-based sorted union.
+func referenceMergeIDs(a, b []int32) []int32 {
+	seen := make(map[int32]bool, len(a)+len(b))
+	out := make([]int32, 0, len(a)+len(b))
+	for _, s := range [][]int32{a, b} {
+		for _, id := range s {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// referenceCell extracts the r-object ids of an exact cell through the
+// from-scratch sweep (the RObjects half of PossibleRegion.Cell).
+func referenceCell(p *PossibleRegion, samples int) []int32 {
+	if samples <= 0 {
+		samples = DefaultCellSamples
+	}
+	vs := referenceVertices(p, samples)
+	seen := map[int32]bool{}
+	var robjs []int32
+	record := func(active int) {
+		if active < 0 {
+			return
+		}
+		id := p.cons[active].Obj
+		if !seen[id] {
+			seen[id] = true
+			robjs = append(robjs, id)
+		}
+	}
+	for _, v := range vs {
+		record(v.Before)
+		record(v.After)
+	}
+	if len(vs) == 0 {
+		_, a := p.Radius(0)
+		record(a)
+	}
+	sort.Slice(robjs, func(i, j int) bool { return robjs[i] < robjs[j] })
+	return robjs
+}
+
+// DeriveCRObjectsReference is the naive Algorithm 2 for one object —
+// the reference the optimized DeriveCRObjects/DeriveCR must match
+// bitwise.
+func DeriveCRObjectsReference(tree *rtree.Tree, oi uncertain.Object, objs []uncertain.Object, domain geom.Rect, k, ks, samples int) CRResult {
+	seeds := referenceSelectSeeds(tree, oi, k, ks)
+	region := NewPossibleRegion(oi.Region.C, domain)
+	for _, id := range seeds {
+		region.AddObject(oi, objs[id])
+	}
+	ids := referenceIPrune(tree, oi, region, samples)
+	kept := referenceCPrune(ids, oi, region, samples, objs)
+	cr := referenceMergeIDs(kept, seeds)
+	return CRResult{Seeds: seeds, CR: cr, Region: region, NI: len(ids), NC: len(kept)}
+}
+
+// DeriveCRSetsReference is the naive whole-population derivation pass
+// (sequential): per live object the constraint set the pre-optimization
+// builder produced, under any strategy. It is the oracle of the
+// derivation-equivalence property tests and the "before" measurement of
+// `uvbench -exp derive`.
+func DeriveCRSetsReference(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, opts BuildOptions) ([][]int32, error) {
+	opts.normalize()
+	objs := store.Dense()
+	for i, o := range objs {
+		if !store.Alive(int32(i)) {
+			continue
+		}
+		if !domain.Contains(o.Region.C) {
+			return nil, fmt.Errorf("core: object %d center %v outside domain %v", o.ID, o.Region.C, domain)
+		}
+	}
+	if tree == nil && opts.Strategy != StrategyBasic {
+		tree = BuildHelperRTree(store, opts.Fanout)
+	}
+	crSets := make([][]int32, len(objs))
+	for i := range objs {
+		if !store.Alive(int32(i)) {
+			continue
+		}
+		oi := objs[i]
+		switch opts.Strategy {
+		case StrategyBasic:
+			region := NewPossibleRegion(oi.Region.C, domain)
+			for j := range objs {
+				if j != i && store.Alive(int32(j)) {
+					region.AddObject(oi, objs[j])
+				}
+			}
+			crSets[i] = referenceCell(region, opts.CellSamples)
+		case StrategyIC, StrategyICR:
+			seeds := referenceSelectSeeds(tree, oi, opts.SeedK, opts.SeedSectors)
+			region := NewPossibleRegion(oi.Region.C, domain)
+			for _, id := range seeds {
+				region.AddObject(oi, objs[id])
+			}
+			ids := referenceIPrune(tree, oi, region, opts.RegionSamples)
+			kept := ids
+			if !opts.DisableCPrune {
+				kept = referenceCPrune(ids, oi, region, opts.RegionSamples, objs)
+			}
+			cr := referenceMergeIDs(kept, seeds)
+			if opts.Strategy == StrategyIC {
+				crSets[i] = cr
+				break
+			}
+			refined := NewPossibleRegion(oi.Region.C, domain)
+			for _, id := range cr {
+				refined.AddObject(oi, objs[id])
+			}
+			crSets[i] = referenceCell(refined, opts.CellSamples)
+		default:
+			return nil, fmt.Errorf("core: unknown strategy %v", opts.Strategy)
+		}
+	}
+	return crSets, nil
+}

@@ -29,12 +29,86 @@ type PossibleRegion struct {
 	center geom.Point
 	domain geom.Rect
 	cons   []Constraint
+	prof   profile // lazily built incremental radius profile
+}
+
+// profile is the region's incremental radial representation at a fixed
+// angular resolution: radius[i] and active[i] mirror Radius(phis[i])
+// bitwise — the same first-minimum-wins fold over the same constraint
+// order — but are maintained in O(samples) per ADDED constraint instead
+// of re-evaluated in O(samples × constraints) on every MaxRadius /
+// Vertices call. Since constraints are append-only (Add only shrinks
+// the region), folding the un-applied suffix lazily is always sound.
+// The breakpoint list extracted from the profile is cached too, so
+// I-pruning's MaxRadius and C-pruning's hull share one sweep.
+type profile struct {
+	samples int // angular resolution; 0 = unbuilt (or invalidated by Reset)
+	applied int // prefix of cons folded into radius/active
+	phis    []float64
+	dirs    []geom.Point
+	radius  []float64
+	active  []int
+	verts   []Vertex
+	vertsAt int // len(cons) the cached verts were extracted at; -1 = invalid
 }
 
 // NewPossibleRegion starts a possible region as the whole domain D
 // (Step 2 of Algorithm 1). center must lie inside the domain.
 func NewPossibleRegion(center geom.Point, domain geom.Rect) *PossibleRegion {
-	return &PossibleRegion{center: center, domain: domain}
+	p := &PossibleRegion{}
+	p.Reset(center, domain)
+	return p
+}
+
+// Reset re-centers the region over a (possibly different) domain and
+// drops every constraint while retaining the allocated buffers — the
+// per-worker derivation scratch reuses one region across objects this
+// way, making the seeded-region phase allocation-free in steady state.
+func (p *PossibleRegion) Reset(center geom.Point, domain geom.Rect) {
+	p.center, p.domain = center, domain
+	p.cons = p.cons[:0]
+	p.prof.samples = 0 // center/domain moved: force re-init on next sync
+	p.prof.vertsAt = -1
+}
+
+// syncProfile brings the profile to resolution samples with every
+// constraint folded in, (re)initializing from the domain bounds when
+// the resolution changed or the region was Reset.
+func (p *PossibleRegion) syncProfile(samples int) *profile {
+	pr := &p.prof
+	if pr.samples != samples {
+		pr.samples = samples
+		pr.applied = 0
+		pr.vertsAt = -1
+		if cap(pr.phis) < samples {
+			pr.phis = make([]float64, samples)
+			pr.dirs = make([]geom.Point, samples)
+			pr.radius = make([]float64, samples)
+			pr.active = make([]int, samples)
+		} else {
+			pr.phis = pr.phis[:samples]
+			pr.dirs = pr.dirs[:samples]
+			pr.radius = pr.radius[:samples]
+			pr.active = pr.active[:samples]
+		}
+		for i := 0; i < samples; i++ {
+			phi := 2 * math.Pi * float64(i) / float64(samples)
+			pr.phis[i] = phi
+			pr.dirs[i] = geom.PolarUnit(phi)
+			pr.radius[i], pr.active[i] = p.domainBound(pr.dirs[i])
+		}
+	}
+	for pr.applied < len(p.cons) {
+		e := &p.cons[pr.applied].Edge
+		for i, dir := range pr.dirs {
+			if t, ok := e.RadialBound(dir); ok && t < pr.radius[i] {
+				pr.radius[i], pr.active[i] = t, pr.applied
+			}
+		}
+		pr.applied++
+		pr.vertsAt = -1
+	}
+	return pr
 }
 
 // Center returns the star center (the object's center ci).
@@ -134,9 +208,18 @@ func (p *PossibleRegion) MaxRadius(samples int) float64 {
 	}
 	if len(vs) == 0 {
 		// Degenerate sweep (no breakpoints found): fall back to samples.
-		for i := 0; i < samples; i++ {
-			if r, _ := p.Radius(2 * math.Pi * float64(i) / float64(samples)); r > d {
-				d = r
+		if samples >= 16 {
+			// The profile holds exactly Radius(2πi/samples) already.
+			for _, r := range p.syncProfile(samples).radius {
+				if r > d {
+					d = r
+				}
+			}
+		} else {
+			for i := 0; i < samples; i++ {
+				if r, _ := p.Radius(2 * math.Pi * float64(i) / float64(samples)); r > d {
+					d = r
+				}
 			}
 		}
 	}

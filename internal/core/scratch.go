@@ -1,0 +1,67 @@
+package core
+
+import (
+	"slices"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/rtree"
+	"uvdiagram/internal/uncertain"
+)
+
+// DeriveScratch carries the reusable buffers of one derivation worker
+// through the whole of Algorithm 2 — the incremental-NN browse of seed
+// selection, the seeded possible region (with its radius profile), the
+// I-pruning id buffer, the C-pruning hull/bound/survivor buffers and
+// the sorted-merge staging area — so that steady-state derivation
+// allocates nothing but the returned cr-set itself. A scratch is owned
+// by exactly one goroutine: Build gives each worker its own, and the DB
+// keeps one for the Insert/Delete re-derivation path (mutations hold
+// the store lock exclusively, so it is never shared).
+type DeriveScratch struct {
+	it     rtree.NNIterator
+	seeds  []int32
+	taken  []bool
+	ids    []int32 // I-pruning survivors
+	kept   []int32 // C-pruning survivors
+	sorted []int32 // sorted copy of seeds for the union merge
+	pts    []geom.Point
+	hull   geom.HullScratch
+	bounds []geom.Circle
+	region PossibleRegion // seeded region (profile buffers reused)
+	refine PossibleRegion // refinement region for ICR/Basic cells
+}
+
+// NewDeriveScratch returns an empty scratch; buffers grow on first use
+// and are retained across calls.
+func NewDeriveScratch() *DeriveScratch { return &DeriveScratch{} }
+
+// DeriveCR is the output-sensitive Algorithm 2 used by the live
+// mutation paths (Insert and Delete re-derivation): seeds, I-/C-pruning
+// and the sorted-union merge, all through sc's buffers. Only the
+// returned cr-set is freshly allocated — it outlives the scratch (the
+// registry retains it). The set is bitwise identical to
+// DeriveCRObjects(...).CR.
+func DeriveCR(tree *rtree.Tree, oi uncertain.Object, objs []uncertain.Object, domain geom.Rect, k, ks, samples int, sc *DeriveScratch) []int32 {
+	cr, _, _ := deriveCR(tree, oi, objs, domain, k, ks, samples, false, sc)
+	return cr
+}
+
+// deriveCR runs seeds + pruning + merge with sc's buffers, returning
+// the retained cr-set and the |I| / |C-pruning survivor| counters.
+func deriveCR(tree *rtree.Tree, oi uncertain.Object, objs []uncertain.Object, domain geom.Rect, k, ks, samples int, disableCPrune bool, sc *DeriveScratch) (cr []int32, nI, nC int) {
+	sc.selectSeeds(tree, oi, k, ks)
+	region := &sc.region
+	region.Reset(oi.Region.C, domain)
+	for _, id := range sc.seeds {
+		region.AddObject(oi, objs[id])
+	}
+	sc.ids = iPruneInto(tree, oi, region, samples, sc.ids[:0])
+	kept := sc.ids
+	if !disableCPrune {
+		kept = cPruneInto(sc.ids, oi, region, samples, objs, sc)
+	}
+	slices.Sort(kept)
+	sc.sorted = append(sc.sorted[:0], sc.seeds...)
+	slices.Sort(sc.sorted)
+	return mergeSorted(kept, sc.sorted), len(sc.ids), len(kept)
+}

@@ -1,0 +1,254 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"uvdiagram"
+	"uvdiagram/internal/core"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/pager"
+	"uvdiagram/internal/uncertain"
+)
+
+// DeriveJSONPath is where RunDerive records the sweep (the CI and
+// README baseline artifact of the derivation fast path).
+const DeriveJSONPath = "BENCH_derive.json"
+
+// deriveRow is one measured configuration of the derivation sweep.
+type deriveRow struct {
+	N                   int     `json:"n"`
+	ReferenceDeriveMS   float64 `json:"reference_derive_ms"`
+	OptimizedDeriveMS   float64 `json:"optimized_derive_ms"`
+	SpeedupX            float64 `json:"derive_speedup_x"`
+	CRSetsIdentical     bool    `json:"cr_sets_bitwise_identical"`
+	FullBuildMS         float64 `json:"full_build_ms"`
+	CompactMS           float64 `json:"compact_ms"`
+	ReshardMS           float64 `json:"reshard_ms"`
+	RefDeriveAllocsObj  float64 `json:"reference_derive_allocs_per_obj"`
+	OptDeriveAllocsObj  float64 `json:"optimized_derive_allocs_per_obj"`
+	SinglePNNAllocsOp   float64 `json:"single_pnn_allocs_per_query"`
+	BatchPNNAllocsOp    float64 `json:"batch_pnn_allocs_per_query"`
+	BatchPNNNSPerQuery  float64 `json:"batch_pnn_ns_per_query"`
+	AnswersIdentical    bool    `json:"batch_answers_bitwise_identical"`
+	DeriveObjsPerSecond float64 `json:"optimized_derive_objs_per_second"`
+}
+
+type deriveReport struct {
+	Description string         `json:"description"`
+	Environment map[string]any `json:"environment"`
+	Rows        []deriveRow    `json:"rows"`
+	Notes       string         `json:"notes"`
+}
+
+// RunDerive measures the output-sensitive derivation fast path against
+// the retained naive reference (core.DeriveCRSetsReference) on the same
+// hardware: whole-population derivation wall clock before/after (the
+// phase that dominates Build, Compact and Reshard), the maintenance
+// events it feeds, and the allocation profile of derivation and batched
+// PNN. The cr-sets of both paths are compared bitwise — a mismatch
+// fails the experiment — and the batch answers are compared against
+// single-point queries the same way.
+//
+// The sweep also writes BENCH_derive.json to the working directory.
+func RunDerive(sc Scale, progress func(string)) (*Table, error) {
+	t := &Table{
+		ID:    "derive",
+		Title: "Output-sensitive derivation: naive reference vs fast path",
+		Columns: []string{"n", "ref derive", "opt derive", "speedup", "build", "compact",
+			"reshard", "derive allocs/obj", "pnn allocs/q", "answers"},
+		Notes: []string{
+			"ref/opt derive: whole-population cr-set derivation wall clock (naive reference vs incremental/lazy fast path), identical cr-sets verified bitwise",
+			"build/compact/reshard: DB maintenance events dominated by derivation (4 spatial shards)",
+			"derive allocs/obj: heap allocations per object derivation with a long-lived scratch (reference in parentheses)",
+			"pnn allocs/q: allocations per batched PNN query, scratch-pooled with leaf cache (single-point uncached in parentheses)",
+		},
+	}
+	report := deriveReport{
+		Description: fmt.Sprintf("Derivation fast-path sweep: uvbench -exp derive -scale %s. Uniform datasets, paper defaults (SeedK=%d, 8 sectors, 256 region samples), strategy IC, 4 spatial shards for the maintenance events.", sc.Name, core.DefaultSeedK),
+		Environment: map[string]any{
+			"goos":  runtime.GOOS,
+			"cpu":   fmt.Sprintf("%d cores", runtime.NumCPU()),
+			"go":    runtime.Version(),
+			"scale": sc.Name,
+		},
+		Notes: "Acceptance: derive_speedup_x >= 1.5 with cr_sets_bitwise_identical true at every n, and batch_pnn_allocs_per_query within a handful (answer slices only).",
+	}
+
+	for _, n := range []int{800, 4000} {
+		cfg := datagen.Config{N: n, Side: sc.Side, Diameter: sc.Diameter, Seed: sc.Seed}
+		objs := datagen.Uniform(cfg)
+		store, err := uncertain.NewStore(objs, pager.New(uncertain.ObjectPageBytes))
+		if err != nil {
+			return nil, err
+		}
+		bopts := core.DefaultBuildOptions()
+		tree := core.BuildHelperRTree(store, bopts.Fanout)
+		row := deriveRow{N: n}
+
+		progress(fmt.Sprintf("derive: n=%d reference derivation", n))
+		t0 := time.Now()
+		refSets, err := core.DeriveCRSetsReference(store, cfg.Domain(), tree, bopts)
+		if err != nil {
+			return nil, err
+		}
+		refDur := time.Since(t0)
+		row.ReferenceDeriveMS = durMS(refDur)
+
+		progress(fmt.Sprintf("derive: n=%d optimized derivation", n))
+		t1 := time.Now()
+		optSets, _, err := core.DeriveCRSets(store, cfg.Domain(), tree, bopts)
+		if err != nil {
+			return nil, err
+		}
+		optDur := time.Since(t1)
+		row.OptimizedDeriveMS = durMS(optDur)
+		row.SpeedupX = float64(refDur) / float64(optDur)
+		row.DeriveObjsPerSecond = float64(n) / optDur.Seconds()
+		row.CRSetsIdentical = equalCRSets(refSets, optSets)
+		if !row.CRSetsIdentical {
+			return nil, fmt.Errorf("derive: cr-sets diverged from the reference at n=%d", n)
+		}
+
+		// Allocation profile of one object derivation (rotating through
+		// the population so leaf/candidate shapes vary).
+		dense := store.Dense()
+		scD := core.NewDeriveScratch()
+		var i int
+		row.OptDeriveAllocsObj = allocsPerRun(64, func() {
+			core.DeriveCR(tree, dense[i%n], dense, cfg.Domain(), bopts.SeedK, bopts.SeedSectors, bopts.RegionSamples, scD)
+			i++
+		})
+		i = 0
+		row.RefDeriveAllocsObj = allocsPerRun(16, func() {
+			core.DeriveCRObjectsReference(tree, dense[i%n], dense, cfg.Domain(), bopts.SeedK, bopts.SeedSectors, bopts.RegionSamples)
+			i++
+		})
+
+		// Maintenance events dominated by derivation, on a sharded DB.
+		progress(fmt.Sprintf("derive: n=%d build/compact/reshard", n))
+		tb := time.Now()
+		db, err := uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{Shards: 4})
+		if err != nil {
+			return nil, err
+		}
+		row.FullBuildMS = durMS(time.Since(tb))
+		tc := time.Now()
+		if err := db.Compact(context.Background()); err != nil {
+			return nil, err
+		}
+		row.CompactMS = durMS(time.Since(tc))
+		tr := time.Now()
+		if err := db.Reshard(context.Background()); err != nil {
+			return nil, err
+		}
+		row.ReshardMS = durMS(time.Since(tr))
+
+		// Batched PNN: allocations and latency per query with the
+		// scratch pool + leaf caches, answers verified against the
+		// single-point path bitwise.
+		qs := datagen.Queries(256, sc.Side, sc.Seed+3)
+		batchOpts := &uvdiagram.BatchOptions{Workers: 1, CacheSize: 256}
+		batch, err := db.BatchNN(qs, batchOpts)
+		if err != nil {
+			return nil, err
+		}
+		row.AnswersIdentical = true
+		for qi, q := range qs {
+			single, _, err := db.PNN(q)
+			if err != nil {
+				return nil, err
+			}
+			if fmt.Sprintf("%v", single) != fmt.Sprintf("%v", batch[qi]) {
+				row.AnswersIdentical = false
+			}
+		}
+		if !row.AnswersIdentical {
+			return nil, fmt.Errorf("derive: batch answers diverged from single-point PNN at n=%d", n)
+		}
+		row.BatchPNNAllocsOp = allocsPerRun(8, func() {
+			if _, err := db.BatchNN(qs, batchOpts); err != nil {
+				panic(err)
+			}
+		}) / float64(len(qs))
+		var qi int
+		row.SinglePNNAllocsOp = allocsPerRun(256, func() {
+			if _, _, err := db.PNN(qs[qi%len(qs)]); err != nil {
+				panic(err)
+			}
+			qi++
+		})
+		const rounds = 8
+		tq := time.Now()
+		for r := 0; r < rounds; r++ {
+			if _, err := db.BatchNN(qs, batchOpts); err != nil {
+				return nil, err
+			}
+		}
+		row.BatchPNNNSPerQuery = float64(time.Since(tq).Nanoseconds()) / float64(rounds*len(qs))
+
+		progress(fmt.Sprintf("derive: n=%d ref %v, opt %v (%.2fx), batch PNN %.2f allocs/q",
+			n, refDur.Round(time.Millisecond), optDur.Round(time.Millisecond),
+			row.SpeedupX, row.BatchPNNAllocsOp))
+		t.AddRow(fmt.Sprintf("%d", n),
+			refDur.Round(time.Millisecond).String(),
+			optDur.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", row.SpeedupX),
+			fmt.Sprintf("%.0fms", row.FullBuildMS),
+			fmt.Sprintf("%.0fms", row.CompactMS),
+			fmt.Sprintf("%.0fms", row.ReshardMS),
+			fmt.Sprintf("%.1f (%.0f)", row.OptDeriveAllocsObj, row.RefDeriveAllocsObj),
+			fmt.Sprintf("%.2f (%.0f)", row.BatchPNNAllocsOp, row.SinglePNNAllocsOp),
+			"identical")
+		report.Rows = append(report.Rows, row)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(DeriveJSONPath, append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	progress("derive: wrote " + DeriveJSONPath)
+	return t, nil
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// allocsPerRun measures the mean heap allocations of one f() call
+// (testing.AllocsPerRun's method — single-proc, one warm-up run, a
+// Mallocs delta over runs — without linking the testing package into
+// the uvbench binary).
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm up: one-time lazy initializations are not steady state
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+func equalCRSets(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,37 +1,63 @@
 package geom
 
-import "sort"
+import "slices"
 
 // ConvexHull returns the convex hull of pts in counter-clockwise order
 // using Andrew's monotone chain. Collinear points on hull edges are
 // dropped. The input slice is not modified. Degenerate inputs (0, 1 or 2
 // distinct points) return the distinct points themselves.
 func ConvexHull(pts []Point) []Point {
+	return ConvexHullScratch(pts, nil)
+}
+
+// HullScratch holds the reusable buffers of repeated hull extraction
+// (the derivation hot path computes one hull per object). The hull
+// returned through a scratch aliases it and is valid until the next
+// call with the same scratch.
+type HullScratch struct {
+	ps   []Point
+	hull []Point
+}
+
+// ConvexHullScratch is ConvexHull through an optional scratch; a nil
+// scratch allocates fresh buffers (identical to ConvexHull).
+func ConvexHullScratch(pts []Point, sc *HullScratch) []Point {
 	n := len(pts)
 	if n == 0 {
 		return nil
 	}
-	ps := make([]Point, n)
-	copy(ps, pts)
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].X != ps[j].X {
-			return ps[i].X < ps[j].X
+	if sc == nil {
+		sc = &HullScratch{}
+	}
+	ps := append(sc.ps[:0], pts...)
+	slices.SortFunc(ps, func(a, b Point) int {
+		switch {
+		case a.X < b.X:
+			return -1
+		case a.X > b.X:
+			return 1
+		case a.Y < b.Y:
+			return -1
+		case a.Y > b.Y:
+			return 1
 		}
-		return ps[i].Y < ps[j].Y
+		return 0
 	})
-	// Deduplicate.
+	// Deduplicate. (Equal points are indistinguishable, so the sort
+	// algorithm's tie order cannot affect the deduplicated sequence.)
 	uniq := ps[:1]
 	for _, p := range ps[1:] {
 		if p != uniq[len(uniq)-1] {
 			uniq = append(uniq, p)
 		}
 	}
+	sc.ps = ps
 	ps = uniq
 	if len(ps) <= 2 {
 		return ps
 	}
 
-	hull := make([]Point, 0, 2*len(ps))
+	hull := sc.hull[:0]
 	// Lower hull.
 	for _, p := range ps {
 		for len(hull) >= 2 && turn(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
@@ -48,6 +74,7 @@ func ConvexHull(pts []Point) []Point {
 		}
 		hull = append(hull, p)
 	}
+	sc.hull = hull
 	return hull[:len(hull)-1] // last point equals the first
 }
 

@@ -93,6 +93,14 @@ func EncodeObjectRecord(rec ObjectRecord) []byte {
 
 // DecodeObjectRecord parses a page written by EncodeObjectRecord.
 func DecodeObjectRecord(page []byte) (ObjectRecord, error) {
+	return DecodeObjectRecordInto(page, nil)
+}
+
+// DecodeObjectRecordInto is DecodeObjectRecord appending the weights
+// into a caller-owned buffer (pass buf[:0] to reuse it): the query hot
+// path decodes one record per candidate and must not allocate per
+// fetch. A nil buffer allocates as before.
+func DecodeObjectRecordInto(page []byte, buf []float64) (ObjectRecord, error) {
 	var rec ObjectRecord
 	if len(page) < 30 {
 		return rec, fmt.Errorf("pager: object page too short (%d bytes)", len(page))
@@ -105,11 +113,11 @@ func DecodeObjectRecord(page []byte) (ObjectRecord, error) {
 	if len(page) < 30+8*n {
 		return rec, fmt.Errorf("pager: object page truncated")
 	}
-	rec.Weights = make([]float64, n)
 	off := 30
-	for i := range rec.Weights {
-		rec.Weights[i] = math.Float64frombits(binary.LittleEndian.Uint64(page[off:]))
+	for i := 0; i < n; i++ {
+		buf = append(buf, math.Float64frombits(binary.LittleEndian.Uint64(page[off:])))
 		off += 8
 	}
+	rec.Weights = buf
 	return rec, nil
 }

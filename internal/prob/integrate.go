@@ -10,6 +10,29 @@ import (
 // DefaultSteps is the default resolution of the numerical integration.
 const DefaultSteps = 200
 
+// Scratch holds the reusable buffers of the probability integration —
+// the answer-set index list and the out/fPrev/fNext/fMid vectors that
+// Probs used to allocate per query. Batch engines keep one per worker
+// (pooled through batchState) so steady-state PNN probability
+// computation allocates nothing. A scratch is single-goroutine state;
+// slices returned through it are valid until the next call with the
+// same scratch.
+type Scratch struct {
+	out   []float64
+	ans   []int
+	fPrev []float64
+	fNext []float64
+	fMid  []float64
+}
+
+func (sc *Scratch) floats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // Probs computes the qualification probability of every object in objs
 // for the PNN at q, using the numerical-integration method of [14]:
 //
@@ -22,11 +45,27 @@ const DefaultSteps = 200
 // The caller typically passes the candidate set produced by an index;
 // passing the full dataset is valid, only slower.
 func Probs(objs []uncertain.Object, q geom.Point, steps int) []float64 {
+	return ProbsScratch(objs, q, steps, nil)
+}
+
+// ProbsScratch is Probs through an optional scratch: the returned slice
+// aliases sc.out and is valid until the next call with the same
+// scratch. A nil scratch allocates fresh buffers, making it identical
+// to Probs. The arithmetic — and therefore every probability, bitwise —
+// is the same on both paths.
+func ProbsScratch(objs []uncertain.Object, q geom.Point, steps int, sc *Scratch) []float64 {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	if steps <= 0 {
 		steps = DefaultSteps
 	}
-	out := make([]float64, len(objs))
-	ans := AnswerSet(objs, q)
+	out := sc.floats(&sc.out, len(objs))
+	for i := range out {
+		out[i] = 0
+	}
+	sc.ans = answerSetInto(sc.ans[:0], objs, q)
+	ans := sc.ans
 	switch len(ans) {
 	case 0:
 		return out
@@ -56,9 +95,9 @@ func Probs(objs []uncertain.Object, q geom.Point, steps int) []float64 {
 
 	k := len(ans)
 	h := (hi - lo) / float64(steps)
-	fPrev := make([]float64, k)
-	fNext := make([]float64, k)
-	fMid := make([]float64, k)
+	fPrev := sc.floats(&sc.fPrev, k)
+	fNext := sc.floats(&sc.fNext, k)
+	fMid := sc.floats(&sc.fMid, k)
 	for a, i := range ans {
 		fPrev[a] = DistanceCDF(objs[i], q, lo)
 	}

@@ -74,12 +74,18 @@ func Dminmax(objs []uncertain.Object, q geom.Point) (float64, int) {
 // positive qualification probability at q: exactly those with
 // distmin(Oi, q) < min_{j≠i} distmax(Oj, q).
 func AnswerSet(objs []uncertain.Object, q geom.Point) []int {
+	return answerSetInto(nil, objs, q)
+}
+
+// answerSetInto is AnswerSet appending into a caller-owned buffer (the
+// integration scratch path).
+func answerSetInto(ans []int, objs []uncertain.Object, q geom.Point) []int {
 	n := len(objs)
 	if n == 0 {
-		return nil
+		return ans
 	}
 	if n == 1 {
-		return []int{0}
+		return append(ans, 0)
 	}
 	// Two smallest distmax values decide min_{j≠i}.
 	m1, m2 := math.Inf(1), math.Inf(1)
@@ -92,7 +98,6 @@ func AnswerSet(objs []uncertain.Object, q geom.Point) []int {
 			m2 = d
 		}
 	}
-	var ans []int
 	for i := range objs {
 		other := m1
 		if i == arg1 {

@@ -51,8 +51,17 @@ func (t *Tree) SearchCollect(r geom.Rect) []Item {
 // are removed if their centers are beyond the circular range".
 func (t *Tree) CenterRange(c geom.Circle) []Item {
 	var out []Item
+	t.CenterRangeFunc(c, func(it Item) { out = append(out, it) })
+	return out
+}
+
+// CenterRangeFunc visits, in the same depth-first leaf-walk order
+// CenterRange collects them, every item whose MBC center lies inside c.
+// The visitor form lets hot callers (I-pruning) collect ids into their
+// own scratch buffers without materializing an []Item per call.
+func (t *Tree) CenterRangeFunc(c geom.Circle, visit func(Item)) {
 	if t.size == 0 {
-		return nil
+		return
 	}
 	var walk func(n *node)
 	walk = func(n *node) {
@@ -62,7 +71,7 @@ func (t *Tree) CenterRange(c geom.Circle) []Item {
 		if n.isLeaf() {
 			for _, it := range t.readLeaf(n) {
 				if it.MBC.C.Dist(c.C) <= c.R {
-					out = append(out, it)
+					visit(it)
 				}
 			}
 			return
@@ -72,7 +81,6 @@ func (t *Tree) CenterRange(c geom.Circle) []Item {
 		}
 	}
 	walk(t.root)
-	return out
 }
 
 // Neighbor is a k-nearest-neighbor result: an item and its minimum

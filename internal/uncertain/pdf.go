@@ -23,27 +23,45 @@ type HistogramPDF struct {
 // NewHistogramPDF builds a pdf from raw non-negative ring masses,
 // normalizing them to sum to 1.
 func NewHistogramPDF(weights []float64) (*HistogramPDF, error) {
+	p := &HistogramPDF{}
+	if err := p.setWeights(weights); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// setWeights (re)normalizes weights into p, reusing p's buffers when
+// they are large enough — the pooled decode path of Store.FetchWith.
+// The arithmetic is exactly NewHistogramPDF's, so a reused pdf is
+// bitwise identical to a freshly allocated one.
+func (p *HistogramPDF) setWeights(weights []float64) error {
 	if len(weights) == 0 {
-		return nil, fmt.Errorf("uncertain: histogram pdf needs at least one bin")
+		return fmt.Errorf("uncertain: histogram pdf needs at least one bin")
 	}
 	total := 0.0
 	for i, w := range weights {
 		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("uncertain: bin %d has invalid weight %v", i, w)
+			return fmt.Errorf("uncertain: bin %d has invalid weight %v", i, w)
 		}
 		total += w
 	}
 	if total <= 0 {
-		return nil, fmt.Errorf("uncertain: histogram pdf has zero total mass")
+		return fmt.Errorf("uncertain: histogram pdf has zero total mass")
 	}
-	bins := make([]float64, len(weights))
-	cum := make([]float64, len(weights)+1)
+	n := len(weights)
+	if cap(p.bins) < n || cap(p.cum) < n+1 {
+		p.bins = make([]float64, n)
+		p.cum = make([]float64, n+1)
+	}
+	p.bins = p.bins[:n]
+	p.cum = p.cum[:n+1]
+	p.cum[0] = 0
 	for i, w := range weights {
-		bins[i] = w / total
-		cum[i+1] = cum[i] + bins[i]
+		p.bins[i] = w / total
+		p.cum[i+1] = p.cum[i] + p.bins[i]
 	}
-	cum[len(weights)] = 1
-	return &HistogramPDF{bins: bins, cum: cum}, nil
+	p.cum[n] = 1
+	return nil
 }
 
 // Uniform returns the pdf of a position uniformly distributed over the

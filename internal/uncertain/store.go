@@ -127,17 +127,62 @@ func (s *Store) PageOf(i int32) pager.PageID { return s.pageOf[i] }
 // it. It is the query-time path, used so that object-retrieval I/O and
 // decode time are accounted realistically.
 func (s *Store) Fetch(id int32) (Object, error) {
+	return s.FetchWith(id, nil)
+}
+
+// FetchScratch reuses the decode buffers of FetchWith across queries:
+// one weights staging buffer plus a grow-only pool of HistogramPDF
+// structs (every candidate fetched within one query needs its own live
+// pdf, so the pool hands out a fresh struct per fetch and Reset returns
+// them all). Objects fetched before a Reset must no longer be in use —
+// the PNN path copies what it returns (ids and probabilities) before
+// resetting. Single-goroutine state, like the other scratches.
+type FetchScratch struct {
+	weights []float64
+	pdfs    []*HistogramPDF
+	used    int
+}
+
+// Reset makes every pooled pdf reusable again.
+func (sc *FetchScratch) Reset() { sc.used = 0 }
+
+func (sc *FetchScratch) nextPDF() *HistogramPDF {
+	if sc.used == len(sc.pdfs) {
+		sc.pdfs = append(sc.pdfs, &HistogramPDF{})
+	}
+	p := sc.pdfs[sc.used]
+	sc.used++
+	return p
+}
+
+// FetchWith is Fetch through an optional decode scratch: the page read
+// (and its I/O accounting) is identical, but the weights buffer and the
+// pdf normalization arrays are reused instead of allocated per fetch.
+// A nil scratch allocates fresh, making it identical to Fetch; either
+// way the decoded object is bitwise identical.
+func (s *Store) FetchWith(id int32, sc *FetchScratch) (Object, error) {
 	if id < 0 || int(id) >= len(s.pageOf) {
 		return Object{}, fmt.Errorf("uncertain: fetch of unknown object %d", id)
 	}
 	if s.dead[id] {
 		return Object{}, fmt.Errorf("uncertain: fetch of deleted object %d", id)
 	}
-	rec, err := pager.DecodeObjectRecord(s.pg.Read(s.pageOf[id]))
+	var buf []float64
+	if sc != nil {
+		buf = sc.weights[:0]
+	}
+	rec, err := pager.DecodeObjectRecordInto(s.pg.Read(s.pageOf[id]), buf)
 	if err != nil {
 		return Object{}, fmt.Errorf("uncertain: object %d: %w", id, err)
 	}
-	pdf, err := NewHistogramPDF(rec.Weights)
+	var pdf *HistogramPDF
+	if sc != nil {
+		sc.weights = rec.Weights
+		pdf = sc.nextPDF()
+		err = pdf.setWeights(rec.Weights)
+	} else {
+		pdf, err = NewHistogramPDF(rec.Weights)
+	}
 	if err != nil {
 		return Object{}, fmt.Errorf("uncertain: object %d: %w", id, err)
 	}

@@ -1,0 +1,84 @@
+package uvdiagram_test
+
+// Perf smoke gate: the derivation fast path must not regress more than
+// 2x against the committed ns/op baseline (perf_baseline.json,
+// measured on the CI container class by `go test -run
+// TestDerivePerfSmoke -update-perf-baseline`). The threshold is
+// deliberately generous — this is a soft gate against accidental
+// O(n)-regressions in the hot path, not a precision benchmark — and the
+// test is skipped under -short and under the race detector (both
+// distort timing far beyond the threshold).
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+	"time"
+
+	"uvdiagram/internal/core"
+)
+
+const perfBaselinePath = "perf_baseline.json"
+
+var updatePerfBaseline = flag.Bool("update-perf-baseline", false,
+	"rewrite perf_baseline.json with this machine's measurement")
+
+type perfBaseline struct {
+	// DeriveNSPerOp is the wall clock of one whole-population
+	// DeriveCRSets pass at n=800 (paper defaults, strategy IC),
+	// best of three runs.
+	DeriveNSPerOp int64  `json:"derive_ns_per_op"`
+	Note          string `json:"note"`
+}
+
+func TestDerivePerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("perf smoke skipped under the race detector")
+	}
+
+	f := getDeriveFixture(t, 800)
+	best := time.Duration(1<<63 - 1)
+	for run := 0; run < 3; run++ {
+		t0 := time.Now()
+		if _, _, err := core.DeriveCRSets(f.store, f.cfg.Domain(), f.tree, f.opts); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+
+	if *updatePerfBaseline {
+		buf, err := json.MarshalIndent(perfBaseline{
+			DeriveNSPerOp: best.Nanoseconds(),
+			Note:          "DeriveCRSets n=800, IC, paper defaults, best of 3; CI fails soft at >2x",
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(perfBaselinePath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %v", perfBaselinePath, best)
+		return
+	}
+
+	raw, err := os.ReadFile(perfBaselinePath)
+	if err != nil {
+		t.Fatalf("no committed baseline (%v); run with -update-perf-baseline", err)
+	}
+	var base perfBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	limit := time.Duration(2 * base.DeriveNSPerOp)
+	t.Logf("derive n=800: %v (baseline %v, limit %v)", best, time.Duration(base.DeriveNSPerOp), limit)
+	if best > limit {
+		t.Fatalf("derivation perf smoke: %v exceeds 2x the committed baseline %v — the hot path regressed (rebaseline deliberately with -update-perf-baseline if this is expected)",
+			best, time.Duration(base.DeriveNSPerOp))
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package uvdiagram_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// perf smoke gate skips itself under -race (see race_on_test.go).
+const raceEnabled = false

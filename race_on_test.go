@@ -1,0 +1,7 @@
+//go:build race
+
+package uvdiagram_test
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// gates skip themselves when it is.
+const raceEnabled = true

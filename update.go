@@ -65,9 +65,8 @@ func (db *DB) Insert(o Object) error {
 	}
 	tree := db.rtree()
 	tree.Insert(rtree.Item{ID: o.ID, MBC: o.Region, Ptr: uint64(db.store.PageOf(o.ID))})
-	res := core.DeriveCRObjects(tree, o, db.store.Dense(), db.domain,
-		db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
-	if err := db.cr.Append(o.ID, res.CR); err != nil {
+	crIDs := db.deriveCR(tree, o)
+	if err := db.cr.Append(o.ID, crIDs); err != nil {
 		// Registry validation depends only on the id ordering, which the
 		// store append just established; a failure here means the
 		// engine's invariants are already broken — still roll back the
@@ -207,9 +206,7 @@ func (db *DB) deleteBatchLocked(ids []int32) error {
 	// work that remains is leaf surgery bounded by the shard's region.
 	fresh := make([][]int32, len(affected))
 	for i, a := range affected {
-		res := core.DeriveCRObjects(tree, db.store.At(int(a)), db.store.Dense(), db.domain,
-			db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples)
-		fresh[i] = res.CR
+		fresh[i] = db.deriveCR(tree, db.store.At(int(a)))
 		if nsh > 1 {
 			mark(a, fresh[i])
 		}
@@ -408,6 +405,19 @@ func (db *DB) ReshardWith(ctx context.Context, strategy LayoutStrategy) error {
 	db.layout.Store(lo) // the single publication point
 	db.built.Store(&stats)
 	return nil
+}
+
+// deriveCR derives object o's constraint set against the current live
+// population with the DB's long-lived derivation scratch (callers hold
+// smu exclusively, so the scratch is never shared): steady-state
+// mutation re-derivation allocates only the returned, registry-retained
+// set. The set is bitwise identical to DeriveCRObjects'.
+func (db *DB) deriveCR(tree *rtree.Tree, o Object) []int32 {
+	if db.dscratch == nil {
+		db.dscratch = core.NewDeriveScratch()
+	}
+	return core.DeriveCR(tree, o, db.store.Dense(), db.domain,
+		db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples, db.dscratch)
 }
 
 // maybeCompact kicks off background compaction for every shard whose

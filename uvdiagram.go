@@ -311,6 +311,10 @@ type DB struct {
 	// locking notes above).
 	smu   sync.RWMutex
 	batch batchState // per-shard leaf caches reused across Batch* calls
+	// dscratch is the derivation scratch of the live mutation paths
+	// (Insert, Delete re-derivation). Guarded by smu held exclusively —
+	// exactly the sections that derive — so it is never shared.
+	dscratch *core.DeriveScratch
 	// compactHook, when set (tests only, before any concurrency
 	// starts), is called by CompactShard after both of its locks are
 	// held and before the shadow build — the observation point the
