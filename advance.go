@@ -1,0 +1,83 @@
+package uvdiagram
+
+// Bulk session advancement: the fleet-scale half of the continuous
+// moving-query engine. A server holding thousands of open ContinuousPNN
+// sessions advances (or, after a write, re-validates) all of them in
+// one shard-grouped pass through the batch engine's worker pool and
+// per-shard leaf caches, instead of paying a full routing + page-read
+// round per session.
+
+// AdvanceAll advances many moving-query sessions in one batch. qs[i] is
+// session i's new position; a nil qs re-validates every session at its
+// current position instead (the churn-notification path: only sessions
+// whose owning shard actually mutated re-evaluate, the rest return on
+// one atomic generation comparison and touch no pages).
+//
+// The layout and every shard's epoch are pinned ONCE for the whole
+// batch, and session re-opens across epoch/layout swaps are handled
+// centrally here (the same advance path Move uses) rather than
+// per-call. Sessions are dispatched grouped by owning shard, so
+// sessions landing in the same leaf share one decoded page read through
+// that shard's leaf cache.
+//
+// recomputed[i] reports whether session i re-evaluated its answer set;
+// errs[i] carries that session's error. A failing session does not fail
+// the batch — the other sessions still advance — so a serving layer can
+// drop exactly the cursors that went bad (e.g. moved out of the
+// domain).
+//
+// Each session must be owned by at most one goroutine; AdvanceAll takes
+// that ownership for every passed session for the duration of the call.
+// Like all queries, it requires external synchronization against
+// Insert/Delete (the server holds its read lock across the batch).
+func (db *DB) AdvanceAll(sessions []*ContinuousPNN, qs []Point, opts *BatchOptions) (recomputed []bool, errs []error) {
+	if qs != nil && len(qs) != len(sessions) {
+		panic("uvdiagram: AdvanceAll position count does not match session count")
+	}
+	n := len(sessions)
+	recomputed = make([]bool, n)
+	errs = make([]error, n)
+	if n == 0 {
+		return recomputed, errs
+	}
+	lo := db.lo()
+	eps := lo.epochs()
+	pos := func(i int) Point {
+		if qs == nil {
+			return sessions[i].Position()
+		}
+		return qs[i]
+	}
+
+	// Stable counting sort of the sessions by owning shard, exactly like
+	// batchRoute.plan: feeding the pool shard-by-shard keeps one shard's
+	// leaf pages hot in its cache. Out-of-domain positions clamp to an
+	// edge shard, whose index then reports the domain violation into
+	// that session's error slot.
+	owner := make([]int, n)
+	counts := make([]int, len(lo.shards)+1)
+	for i := 0; i < n; i++ {
+		owner[i] = lo.shardIdx(pos(i))
+		counts[owner[i]+1]++
+	}
+	var order []int
+	if len(lo.shards) > 1 && n > 1 {
+		for s := 1; s < len(counts); s++ {
+			counts[s] += counts[s-1]
+		}
+		order = make([]int, n)
+		for i := 0; i < n; i++ {
+			order[counts[owner[i]]] = i
+			counts[owner[i]]++
+		}
+	}
+
+	caches := db.batch.cachesGridFor(opts.cacheSize(), len(eps))
+	runPool(n, opts.workers(), order, "session", func(i int) error {
+		si := owner[i]
+		_, re, err := sessions[i].advance(lo, si, eps[si], pos(i), cacheAt(caches, si), qs != nil)
+		recomputed[i], errs[i] = re, err
+		return nil // per-session errors land in errs; the batch never aborts
+	})
+	return recomputed, errs
+}

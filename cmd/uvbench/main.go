@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards|rebalance|derive]
+//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards|rebalance|derive|continuous]
 //	        [-scale small|medium|paper] [-shards 1] [-quiet]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -15,7 +15,10 @@
 // online to weighted-median cuts and writes BENCH_rebalance.json;
 // -exp derive benchmarks the output-sensitive derivation fast path
 // against the retained naive reference (bitwise-identical cr-sets
-// verified) and writes BENCH_derive.json.
+// verified) and writes BENCH_derive.json; -exp continuous drives fleets
+// of subscribed moving clients (fire-and-forget moves, server-pushed
+// answer deltas) with churn riding on a mutator connection and writes
+// BENCH_continuous.json.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment, so future perf work can be profiled in place (profiles
@@ -37,7 +40,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance, derive")
+	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance, derive, continuous")
 	scaleName := flag.String("scale", "small", "scale preset: small, medium, paper")
 	shards := flag.Int("shards", 1, "spatial shard count for -exp churn (1 = unsharded)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
@@ -113,6 +116,8 @@ func main() {
 		tables, err = single(exp.RunRebalance, sc, progress)
 	case "derive":
 		tables, err = single(exp.RunDerive, sc, progress)
+	case "continuous":
+		tables, err = single(exp.RunContinuous, sc, progress)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *expName)
 	}

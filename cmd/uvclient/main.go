@@ -16,6 +16,14 @@
 //	uvclient [-addr ...] batchknn <k> <x1> <y1> [<x2> <y2> ...]
 //	uvclient [-addr ...] batchthresh <tau> <x1> <y1> [<x2> <y2> ...]
 //	uvclient [-addr ...] bench <single|pipeline|batch> <queries>
+//	uvclient [-addr ...] subscribe <x> <y> [moves] [step]
+//
+// subscribe opens a server-side moving-query subscription at (x, y),
+// streams a deterministic random walk of fire-and-forget moves
+// (default 100 moves of step 1% of the domain diagonal), prints every
+// pushed answer delta as it arrives, and closes the session, reporting
+// the server-side counters — in particular how many of the moves the
+// safe circle absorbed without a recompute.
 //
 // batchpnn/batchknn/batchthresh send all points in one batch frame.
 // bench generates deterministic random in-domain points and measures
@@ -27,6 +35,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"strconv"
@@ -195,6 +204,17 @@ func main() {
 		}
 		bench(cli, rest[0], i(rest, 1))
 
+	case "subscribe":
+		x, y := f64(rest, 0), f64(rest, 1)
+		moves, step := 100, 0.0
+		if len(rest) > 2 {
+			moves = i(rest, 2)
+		}
+		if len(rest) > 3 {
+			step = f64(rest, 3)
+		}
+		subscribe(cli, uvdiagram.Pt(x, y), moves, step)
+
 	default:
 		fatal(fmt.Errorf("unknown command %q", cmd))
 	}
@@ -266,6 +286,56 @@ func bench(cli *server.Client, mode string, n int) {
 	elapsed := time.Since(start)
 	fmt.Printf("%s: %d PNN queries in %v  (%.0f queries/s, %d answers)\n",
 		mode, n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), answers)
+}
+
+// subscribe runs one moving-query subscription: a random walk of
+// fire-and-forget moves with every pushed delta printed as it arrives.
+func subscribe(cli *server.Client, q uvdiagram.Point, moves int, step float64) {
+	st, err := cli.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	w, h := st.Domain.Max.X-st.Domain.Min.X, st.Domain.Max.Y-st.Domain.Min.Y
+	if step <= 0 {
+		step = 0.01 * math.Hypot(w, h)
+	}
+	sub, err := cli.Subscribe(q, func(d server.Delta) {
+		if d.Err != nil {
+			fmt.Printf("push #%d: session dropped: %v\n", d.Seq, d.Err)
+			return
+		}
+		fmt.Printf("push #%d: +%v -%v  safe r=%.3f\n", d.Seq, d.Added, d.Removed, d.Safe.R)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("subscription %d at (%g, %g): %d initial answer(s) %v, safe r=%.3f\n",
+		sub.ID(), q.X, q.Y, len(sub.AnswerIDs()), sub.AnswerIDs(), sub.SafeRegion().R)
+
+	rng := rand.New(rand.NewSource(7))
+	start := time.Now()
+	for k := 0; k < moves; k++ {
+		q.X += (rng.Float64()*2 - 1) * step
+		q.Y += (rng.Float64()*2 - 1) * step
+		q.X = min(max(q.X, st.Domain.Min.X), st.Domain.Max.X)
+		q.Y = min(max(q.Y, st.Domain.Min.Y), st.Domain.Max.Y)
+		if err := sub.Move(q); err != nil {
+			fatal(err)
+		}
+	}
+	if err := cli.Ping(); err != nil { // delta flush barrier
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	stats, err := sub.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d moves in %v (%.0f moves/s): %d recomputes (%.1f%%), %d leaf reads, %d pushes\n",
+		stats.Moves, elapsed.Round(time.Millisecond), float64(stats.Moves)/elapsed.Seconds(),
+		stats.Recomputes, 100*float64(stats.Recomputes)/float64(max(stats.Moves, 1)),
+		stats.IndexIOs, stats.Pushes)
+	fmt.Printf("final answer set: %v\n", sub.AnswerIDs())
 }
 
 // points parses the trailing arguments as x y pairs.

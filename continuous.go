@@ -50,25 +50,55 @@ func (db *DB) NewContinuousPNN(q Point) (*ContinuousPNN, error) {
 func (c *ContinuousPNN) Move(q Point) ([]int32, bool, error) {
 	lo := c.db.lo()
 	si := lo.shardIdx(q)
-	if ep := lo.epAt(si); lo != c.lo || si != c.si || ep.gen != c.ep.gen {
-		// Either the layout was replaced (Reshard), the point crossed
-		// into another shard, or this shard's index was rebuilt
-		// (Compact/Rebuild): the old session's safe circle argues about
-		// the wrong index. Re-open on the owning shard's current epoch,
-		// carrying the work counters forward.
+	return c.advance(lo, si, lo.epAt(si), q, nil, true)
+}
+
+// Revalidate re-evaluates the session at its CURRENT position if — and
+// only if — the index state its safe circle was computed against has
+// changed: a mutation on the owning shard, a Compact/Rebuild epoch swap
+// or a Reshard layout swap. An untouched engine returns immediately on
+// atomic generation comparisons, so calling it after every database
+// write is cheap for the (typical) sessions the write did not affect.
+// It returns the current answer IDs (sorted, shared slice) and whether
+// a re-evaluation ran; unlike Move it does not count a move.
+func (c *ContinuousPNN) Revalidate() ([]int32, bool, error) {
+	lo := c.db.lo()
+	q := c.sess.Position()
+	si := lo.shardIdx(q)
+	return c.advance(lo, si, lo.epAt(si), q, nil, false)
+}
+
+// advance is the ONE re-open + move path shared by Move, Revalidate and
+// DB.AdvanceAll. When the layout was replaced (Reshard), the point
+// crossed into another shard, or the shard's index was swapped
+// (Compact/Rebuild), the old session's safe circle argues about the
+// wrong index: the session re-opens on the owning shard's current
+// epoch, carrying the work counters forward. Otherwise the core
+// session's safe-circle check runs. Counters fold into prior only AFTER
+// a successful re-open: on failure (the fresh evaluation can fail, e.g.
+// on an out-of-domain point) the live session and its tallies stay
+// current, so the next successful call neither double-counts the folded
+// work nor leaves the session bound to a dead epoch forever.
+func (c *ContinuousPNN) advance(lo *shardLayout, si int, ep *indexEpoch, q Point, cache *core.LeafCache, move bool) ([]int32, bool, error) {
+	if lo != c.lo || si != c.si || ep.gen != c.ep.gen {
+		sess, err := ep.index.NewContinuousPNNCached(q, cache)
+		if err != nil {
+			return nil, true, err
+		}
 		st := c.sess.Stats()
 		c.prior.Moves += st.Moves
 		c.prior.Recomputes += st.Recomputes
 		c.prior.IndexIOs += st.IndexIOs
-		sess, err := ep.index.NewContinuousPNN(q)
-		if err != nil {
-			return nil, true, err
-		}
 		c.lo, c.si, c.ep, c.sess = lo, si, ep, sess
-		c.prior.Moves++ // this Move, charged to the fresh session's caller
+		if move {
+			c.prior.Moves++ // this Move, charged to the fresh session's caller
+		}
 		return sess.AnswerIDs(), true, nil
 	}
-	return c.sess.Move(q)
+	if move {
+		return c.sess.MoveCached(q, cache)
+	}
+	return c.sess.RevalidateCached(cache)
 }
 
 // AnswerIDs returns the answer set at the current position (sorted,

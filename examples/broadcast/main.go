@@ -6,15 +6,24 @@
 // UV-index against the R-tree baseline — the Figure 6(b) effect as an
 // application.
 //
+// The closing section turns the broadcast around: instead of every
+// passenger re-polling when taxis move, passengers SUBSCRIBE to a
+// UV-diagram server and the server pushes an answer delta only to the
+// passengers whose answer actually changed — churn in one shard never
+// wakes a subscriber in another.
+//
 //	go run ./examples/broadcast
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand"
+	"net"
 
 	"uvdiagram"
 	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/server"
 )
 
 func main() {
@@ -57,4 +66,57 @@ func main() {
 	fmt.Printf("%-28s %12.1f %12s\n", "avg answers / query", float64(uvAns)/n, "same")
 	fmt.Printf("\nper 1M broadcast clients, the UV-index saves ~%.1fM page tunes\n",
 		(float64(rtIO)-float64(uvIO))/n)
+
+	// Server push instead of re-polling: 64 passengers subscribe, then
+	// 30 taxis relocate (delete + insert). Every subscriber stays exact
+	// — the server revalidates each session against the churned shards —
+	// but only the passengers whose answer set changed hear about it.
+	srv := server.New(db, nil)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(lis) }()
+	defer srv.Close()
+	cli, err := server.Dial(lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	subs := make([]*server.Subscription, 64)
+	for i := range subs {
+		if subs[i], err = cli.Subscribe(queries[i], nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	gone := map[int32]bool{}
+	for k := 0; k < 30; k++ {
+		victim := int32(rng.Intn(cfg.N))
+		for gone[victim] {
+			victim = int32(rng.Intn(cfg.N))
+		}
+		gone[victim] = true
+		if err := cli.Delete(victim); err != nil {
+			log.Fatal(err)
+		}
+		if err := cli.Insert(db.NextID(), rng.Float64()*cfg.Side, rng.Float64()*cfg.Side, cfg.Diameter/2, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cli.Ping(); err != nil { // flush barrier: all deltas applied
+		log.Fatal(err)
+	}
+	var pushes, recomputes uint64
+	for _, sub := range subs {
+		st, err := sub.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pushes += st.Pushes
+		recomputes += st.Recomputes
+	}
+	fmt.Printf("\n60 relocation events × %d subscribed passengers: %d revalidations server-side, only %d pushes on air\n",
+		len(subs), recomputes, pushes)
 }

@@ -7,6 +7,12 @@
 // The ContinuousPNN session keeps a safe circle inside which the answer
 // set provably cannot change, so most ticks cost nothing.
 //
+// The second act replays the same route over the wire: the drone
+// subscribes to a UV-diagram server, streams its positions as
+// fire-and-forget move frames, and the SERVER evaluates the safe circle
+// — the drone's radio only wakes up when the server pushes an answer
+// delta.
+//
 //	go run ./examples/tracking
 package main
 
@@ -15,8 +21,10 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"net"
 
 	"uvdiagram"
+	"uvdiagram/internal/server"
 )
 
 func main() {
@@ -76,6 +84,58 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("stations possibly among the 3 nearest at journey's end: %v\n", ids)
+
+	// Act two: the same drone as a thin client of a UV-diagram server.
+	// Moves are fire-and-forget frames; the server keeps the session and
+	// pushes a delta only when the answer set actually changes.
+	srv := server.New(db, nil)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(lis) }()
+	defer srv.Close()
+
+	cli, err := server.Dial(lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	pos = uvdiagram.Pt(250, 250)
+	pushes := 0
+	sub, err := cli.Subscribe(pos, func(d server.Delta) {
+		pushes++
+		if pushes <= 3 {
+			fmt.Printf("push #%d: stations +%v -%v\n", d.Seq, d.Added, d.Removed)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsubscribed over TCP as session %d: initial stations %v\n", sub.ID(), sub.AnswerIDs())
+
+	rng = rand.New(rand.NewSource(7)) // a fresh route with the same dynamics
+	heading = math.Pi / 4
+	for tick := 0; tick < 2000; tick++ {
+		heading += rng.NormFloat64() * 0.05
+		pos = uvdiagram.Pt(
+			clamp(pos.X+3*math.Cos(heading), 1, side-1),
+			clamp(pos.Y+3*math.Sin(heading), 1, side-1),
+		)
+		if err := sub.Move(pos); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cli.Ping(); err != nil { // flush barrier: all deltas applied
+		log.Fatal(err)
+	}
+	stats, err := sub.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d moves over the wire: %d server recomputes, %d pushes — the radio slept through %.1f%% of the ticks\n",
+		stats.Moves, stats.Recomputes, stats.Pushes, 100*(1-float64(stats.Pushes)/float64(stats.Moves)))
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"uvdiagram/internal/geom"
-	"uvdiagram/internal/pager"
 )
 
 // ContinuousPNN is a session for a moving PNN query point — the
@@ -34,17 +33,29 @@ type ContinuousPNN struct {
 	st   ContinuousStats
 }
 
-// ContinuousStats counts the work saved by the safe region.
+// ContinuousStats counts the work saved by the safe region. The
+// counters are EXACT: Moves counts successful Move calls, Recomputes
+// counts completed re-evaluations (the opening evaluation included),
+// and a failed operation — an out-of-domain point, a leaf read error —
+// charges nothing, so callers can mirror the counts deterministically.
 type ContinuousStats struct {
-	Moves      int   // Move calls
-	Recomputes int   // leaf descents + gap evaluations
+	Moves      int   // successful Move calls
+	Recomputes int   // completed leaf descents + gap evaluations
 	IndexIOs   int64 // leaf pages read across recomputations
 }
 
 // NewContinuousPNN opens a session at the starting point q.
 func (ix *UVIndex) NewContinuousPNN(q geom.Point) (*ContinuousPNN, error) {
+	return ix.NewContinuousPNNCached(q, nil)
+}
+
+// NewContinuousPNNCached opens a session whose initial evaluation reads
+// its leaf through cache (nil for direct page reads) — the bulk
+// session-advance path shares one decoded leaf across every session
+// landing in it.
+func (ix *UVIndex) NewContinuousPNNCached(q geom.Point, cache *LeafCache) (*ContinuousPNN, error) {
 	c := &ContinuousPNN{ix: ix}
-	if err := c.recompute(q); err != nil {
+	if err := c.recompute(q, cache); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -58,12 +69,35 @@ func (ix *UVIndex) NewContinuousPNN(q geom.Point) (*ContinuousPNN, error) {
 // the circle. Move therefore re-evaluates whenever the index's mutation
 // generation has advanced since the last recompute.
 func (c *ContinuousPNN) Move(q geom.Point) ([]int32, bool, error) {
-	c.st.Moves++
+	return c.MoveCached(q, nil)
+}
+
+// MoveCached is Move with a leaf cache for any re-evaluation it needs
+// (nil for direct page reads).
+func (c *ContinuousPNN) MoveCached(q geom.Point, cache *LeafCache) ([]int32, bool, error) {
 	if c.safe.R > 0 && c.safe.C.Dist(q) < c.safe.R && c.gen == c.ix.gen.Load() {
 		c.q = q
+		c.st.Moves++
 		return c.ids, false, nil
 	}
-	if err := c.recompute(q); err != nil {
+	if err := c.recompute(q, cache); err != nil {
+		return nil, true, err
+	}
+	c.st.Moves++
+	return c.ids, true, nil
+}
+
+// RevalidateCached re-evaluates the session at its CURRENT position if
+// — and only if — the index has mutated since the safe circle was
+// computed; an untouched index returns immediately on one atomic
+// generation comparison. It reports whether a re-evaluation ran and,
+// unlike Move, does not count a move: it is the churn-notification
+// path, not a client movement.
+func (c *ContinuousPNN) RevalidateCached(cache *LeafCache) ([]int32, bool, error) {
+	if c.gen == c.ix.gen.Load() {
+		return c.ids, false, nil
+	}
+	if err := c.recompute(c.q, cache); err != nil {
 		return nil, true, err
 	}
 	return c.ids, true, nil
@@ -84,7 +118,7 @@ func (c *ContinuousPNN) Stats() ContinuousStats { return c.st }
 // Position returns the current query point.
 func (c *ContinuousPNN) Position() geom.Point { return c.q }
 
-func (c *ContinuousPNN) recompute(q geom.Point) error {
+func (c *ContinuousPNN) recompute(q geom.Point, cache *LeafCache) error {
 	ix := c.ix
 	if !ix.finished {
 		return fmt.Errorf("core: continuous PNN before Finish")
@@ -92,11 +126,10 @@ func (c *ContinuousPNN) recompute(q geom.Point) error {
 	if !ix.domain.Contains(q) {
 		return fmt.Errorf("core: query point %v outside domain %v", q, ix.domain)
 	}
-	c.st.Recomputes++
 	// Snapshot the generation before reading pages: a mutation landing
 	// mid-read bumps gen past the snapshot, forcing the next Move to
 	// re-evaluate rather than trust a torn answer set.
-	c.gen = ix.gen.Load()
+	gen := ix.gen.Load()
 
 	n, region := ix.root, ix.domain
 	for !n.isLeaf() {
@@ -104,18 +137,21 @@ func (c *ContinuousPNN) recompute(q geom.Point) error {
 		n = n.children[k]
 		region = region.Quadrant(k)
 	}
-	var tuples []pager.LeafTuple
-	for _, pid := range n.pages {
-		ts, err := pager.DecodeLeafTuples(ix.pg.Read(pid))
+	tuples, ok := cache.get(ix, n)
+	var ios int64
+	if !ok {
+		var err error
+		tuples, ios, err = ix.readLeafTuples(n)
 		if err != nil {
-			return fmt.Errorf("core: leaf page %d: %w", pid, err)
+			return err
 		}
-		tuples = append(tuples, ts...)
-		c.st.IndexIOs++
+		cache.put(ix, n, tuples)
 	}
 	if len(tuples) == 0 {
 		return fmt.Errorf("core: empty leaf at %v", q)
 	}
+	c.st.Recomputes++
+	c.st.IndexIOs += ios
 
 	// Two smallest distmax values give m₋ᵢ for every i in one pass.
 	m1, m2 := math.Inf(1), math.Inf(1)
@@ -158,6 +194,7 @@ func (c *ContinuousPNN) recompute(q geom.Point) error {
 	}
 	c.q = q
 	c.safe = geom.Circle{C: q, R: r}
+	c.gen = gen
 	return nil
 }
 

@@ -1,0 +1,282 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+	"uvdiagram/internal/server"
+)
+
+// ContinuousJSONPath is where RunContinuous records the sweep (the CI
+// and README baseline artifact).
+const ContinuousJSONPath = "BENCH_continuous.json"
+
+// continuousRow is one measured configuration of the subscription
+// engine sweep.
+type continuousRow struct {
+	N             int     `json:"n"`
+	Shards        int     `json:"shards"`
+	Sessions      int     `json:"sessions"`
+	Conns         int     `json:"conns"`
+	MovesPerSess  int     `json:"moves_per_session"`
+	SubscribesPS  float64 `json:"subscribes_per_s"`
+	MovesPS       float64 `json:"moves_per_s"`
+	Moves         uint64  `json:"moves"`
+	Recomputes    uint64  `json:"recomputes"`
+	RecomputeRate float64 `json:"recompute_rate"`
+	IndexIOs      uint64  `json:"index_ios"`
+	Pushes        uint64  `json:"pushes"`
+	ChurnOps      int     `json:"churn_ops"`
+	ChurnDeltas   int     `json:"churn_deltas_received"`
+	PushMeanMS    float64 `json:"churn_push_latency_mean_ms"`
+	PushMaxMS     float64 `json:"churn_push_latency_max_ms"`
+}
+
+type continuousReport struct {
+	Description string          `json:"description"`
+	Environment map[string]any  `json:"environment"`
+	Rows        []continuousRow `json:"rows"`
+	Notes       string          `json:"notes"`
+}
+
+// RunContinuous measures the moving-query subscription engine end to
+// end over loopback TCP: a fleet of subscribed clients streams smooth
+// random-walk trajectories as fire-and-forget OpMove frames, the server
+// evaluates each move against the session's safe circle and pushes
+// answer deltas only on boundary crossings, and a separate mutator
+// connection churns the database mid-run so every subscriber is
+// revalidated and pushed to. Recorded per configuration: subscribe and
+// move throughput, the server-side recompute rate (the fraction of
+// moves the safe circle failed to absorb — the number the whole design
+// exists to keep low), and the client-observed latency of
+// churn-triggered pushes from the start of the triggering write.
+//
+// The sweep also writes BENCH_continuous.json to the working directory.
+func RunContinuous(sc Scale, progress func(string)) (*Table, error) {
+	const (
+		shards  = 4
+		conns   = 4
+		moves   = 50
+		churnOp = 20
+	)
+	// Smooth trajectory: 0.005% of the domain side per move. The safe
+	// radius is bounded by the distance to the nearest UV-edge, and at
+	// thousands of uncertain objects those are a few units apart — steps
+	// must be small on THAT scale (a real moving client's update rate),
+	// not on the domain's, for the circle to absorb anything.
+	step := sc.Side * 5e-5
+
+	cfg := datagen.Config{N: sc.MidN, Side: sc.Side, Diameter: sc.Diameter, Seed: sc.Seed}
+	progress(fmt.Sprintf("continuous: building UV-index over %d objects (%d shards)", cfg.N, shards))
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), &uvdiagram.Options{Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(db, nil)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = srv.Serve(lis)
+	}()
+	defer func() {
+		srv.Close()
+		<-serveDone
+		srv.Wait()
+	}()
+
+	t := &Table{
+		ID:    "continuous",
+		Title: fmt.Sprintf("Moving-query subscriptions over loopback TCP (n=%d, %d shards)", sc.MidN, shards),
+		Columns: []string{"sessions", "subs/s", "moves", "moves/s", "recompute",
+			"pushes", "churn push mean", "max"},
+		Notes: []string{
+			"recompute: fraction of moves the safe circle did NOT absorb (server re-ran the PNN)",
+			fmt.Sprintf("trajectories: random walks of %d steps, %.2g units each (%.3g%% of the side)", moves, step, 100*step/sc.Side),
+			fmt.Sprintf("churn push: client-observed delta latency from the start of the triggering Insert/Delete (%d ops on a separate conn)", churnOp),
+		},
+	}
+	report := continuousReport{
+		Description: fmt.Sprintf("Continuous moving-query subscription sweep: uvbench -exp continuous -scale %s. Uniform dataset (n=%d, side=%.0f) behind a %d-shard loopback server; sessions stream fire-and-forget moves on %d connections and receive server-pushed answer deltas; a mutator connection interleaves inserts and deletes.", sc.Name, sc.MidN, sc.Side, shards, conns),
+		Environment: map[string]any{
+			"goos":  runtime.GOOS,
+			"cpu":   fmt.Sprintf("%d cores", runtime.NumCPU()),
+			"go":    runtime.Version(),
+			"scale": sc.Name,
+		},
+		Notes: "Acceptance: recompute_rate well below 1 on smooth trajectories (the safe circle absorbs most moves), with churn pushes delivered in milliseconds.",
+	}
+
+	for _, sessions := range []int{4 * sc.Queries, 16 * sc.Queries} {
+		row, err := runContinuousConfig(db, lis.Addr().String(), sc, sessions, conns, moves, churnOp, step, progress)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", sessions),
+			fmt.Sprintf("%.0f", row.SubscribesPS),
+			fmt.Sprintf("%d", row.Moves),
+			fmt.Sprintf("%.0f", row.MovesPS),
+			fmt.Sprintf("%.1f%%", 100*row.RecomputeRate),
+			fmt.Sprintf("%d", row.Pushes),
+			fmt.Sprintf("%.2fms", row.PushMeanMS),
+			fmt.Sprintf("%.2fms", row.PushMaxMS))
+		report.Rows = append(report.Rows, *row)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(ContinuousJSONPath, append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	progress("continuous: wrote " + ContinuousJSONPath)
+	return t, nil
+}
+
+// runContinuousConfig drives one fleet size through subscribe, smooth
+// movement, churn, and teardown.
+func runContinuousConfig(db *uvdiagram.DB, addr string, sc Scale, sessions, conns, moves, churnOps int, step float64, progress func(string)) (*continuousRow, error) {
+	row := &continuousRow{N: sc.MidN, Shards: 4, Sessions: sessions, Conns: conns, MovesPerSess: moves}
+
+	clients := make([]*server.Client, conns)
+	for i := range clients {
+		cli, err := server.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		defer cli.Close()
+		clients[i] = cli
+	}
+	mutator, err := server.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer mutator.Close()
+
+	// Churn-push latency instrumentation, shared by every delta
+	// callback: while churnT0 holds a start timestamp, received deltas
+	// record their distance from it.
+	var churnT0 atomic.Int64
+	var latMu sync.Mutex
+	var latencies []time.Duration
+	onDelta := func(d server.Delta) {
+		if t0 := churnT0.Load(); t0 != 0 && d.Err == nil {
+			lat := time.Since(time.Unix(0, t0))
+			latMu.Lock()
+			latencies = append(latencies, lat)
+			latMu.Unlock()
+		}
+	}
+
+	// Subscribe the fleet, round-robin across connections.
+	rng := rand.New(rand.NewSource(sc.Seed + 29))
+	subs := make([]*server.Subscription, sessions)
+	pos := make([]uvdiagram.Point, sessions)
+	progress(fmt.Sprintf("continuous: subscribing %d sessions over %d conns", sessions, conns))
+	t0 := time.Now()
+	for i := range subs {
+		pos[i] = uvdiagram.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
+		sub, err := clients[i%conns].Subscribe(pos[i], onDelta)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = sub
+	}
+	row.SubscribesPS = float64(sessions) / time.Since(t0).Seconds()
+
+	// Smooth movement: every session walks `moves` small steps,
+	// interleaved round-robin so the server sees mixed traffic. A Ping
+	// per connection is the delta flush barrier.
+	progress(fmt.Sprintf("continuous: streaming %d moves", sessions*moves))
+	t0 = time.Now()
+	for k := 0; k < moves; k++ {
+		for i, sub := range subs {
+			pos[i].X = min(max(pos[i].X+(rng.Float64()*2-1)*step, 0), sc.Side)
+			pos[i].Y = min(max(pos[i].Y+(rng.Float64()*2-1)*step, 0), sc.Side)
+			if err := sub.Move(pos[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, cli := range clients {
+		if err := cli.Ping(); err != nil {
+			return nil, err
+		}
+	}
+	row.MovesPS = float64(sessions*moves) / time.Since(t0).Seconds()
+
+	// Churn: alternate inserts and deletes on the mutator connection.
+	// The server pushes every shard-invalidated subscriber's delta
+	// before releasing the write's response, so the client-side receive
+	// time minus the write's start bounds the true push latency.
+	progress(fmt.Sprintf("continuous: %d churn ops under %d live sessions", churnOps, sessions))
+	var inserted []int32
+	for k := 0; k < churnOps; k++ {
+		churnT0.Store(time.Now().UnixNano())
+		if k%2 == 0 {
+			id := db.NextID()
+			if err := mutator.Insert(id, rng.Float64()*sc.Side, rng.Float64()*sc.Side, sc.Diameter/2, nil); err != nil {
+				return nil, err
+			}
+			inserted = append(inserted, id)
+		} else {
+			if err := mutator.Delete(inserted[len(inserted)-1]); err != nil {
+				return nil, err
+			}
+			inserted = inserted[:len(inserted)-1]
+		}
+		for _, cli := range clients {
+			if err := cli.Ping(); err != nil { // drain this op's pushes before the next
+				return nil, err
+			}
+		}
+		churnT0.Store(0)
+	}
+	row.ChurnOps = churnOps
+
+	// Teardown: fold the server-side counters.
+	for _, sub := range subs {
+		st, err := sub.Close()
+		if err != nil {
+			return nil, err
+		}
+		row.Moves += st.Moves
+		row.Recomputes += st.Recomputes
+		row.IndexIOs += st.IndexIOs
+		row.Pushes += st.Pushes
+	}
+	if row.Moves > 0 {
+		row.RecomputeRate = float64(row.Recomputes) / float64(row.Moves)
+	}
+
+	latMu.Lock()
+	row.ChurnDeltas = len(latencies)
+	var sum, max time.Duration
+	for _, l := range latencies {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	latMu.Unlock()
+	if row.ChurnDeltas > 0 {
+		row.PushMeanMS = float64(sum.Microseconds()) / 1e3 / float64(row.ChurnDeltas)
+		row.PushMaxMS = float64(max.Microseconds()) / 1e3
+	}
+	progress(fmt.Sprintf("continuous: %d sessions — %.0f moves/s, recompute rate %.1f%%, %d pushes, churn push mean %.2fms",
+		sessions, row.MovesPS, 100*row.RecomputeRate, row.Pushes, row.PushMeanMS))
+	return row, nil
+}

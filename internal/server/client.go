@@ -22,15 +22,19 @@ type Client struct {
 	mu    sync.Mutex // guards queue and err
 	queue []*Call    // outstanding calls, oldest first
 	err   error      // sticky transport error; set once, fails everything after
+
+	submu sync.Mutex               // guards subs
+	subs  map[uint64]*Subscription // live subscriptions by server id
 }
 
 // Call is one in-flight request. When the response (or a transport
 // error) arrives, the call is sent on Done.
 type Call struct {
 	Op   byte
-	Err  error        // set on in-band server errors and transport failures
-	Done chan *Call   // receives the call itself on completion
-	r    *wire.Reader // response payload on success
+	Err  error         // set on in-band server errors and transport failures
+	Done chan *Call    // receives the call itself on completion
+	r    *wire.Reader  // response payload on success
+	sub  *Subscription // subscribe calls: registered by the read loop before completion
 }
 
 // Reader returns the response payload reader, or the call's error. It
@@ -75,12 +79,23 @@ func (c *Client) Close() error { return c.conn.Close() }
 // is dropped rather than allowed to stall the response reader. The
 // returned call is sent on its Done channel when the response arrives.
 func (c *Client) Go(op byte, payload []byte, done chan *Call) *Call {
+	return c.goCall(op, payload, done, nil)
+}
+
+// goWithSub is Go for subscribe calls: the read loop registers sub
+// (decoding the response into it) before completing the call, so no
+// delta pushed right behind the response can miss the subscription.
+func (c *Client) goWithSub(op byte, payload []byte, sub *Subscription) *Call {
+	return c.goCall(op, payload, nil, sub)
+}
+
+func (c *Client) goCall(op byte, payload []byte, done chan *Call, sub *Subscription) *Call {
 	if done == nil {
 		done = make(chan *Call, 1)
 	} else if cap(done) == 0 {
 		panic("server: Go done channel is unbuffered")
 	}
-	call := &Call{Op: op, Done: done}
+	call := &Call{Op: op, Done: done, sub: sub}
 	// An oversized request is rejected before anything touches the
 	// socket: the stream is still in sync, so only this call fails, not
 	// the connection.
@@ -120,6 +135,14 @@ func (c *Client) readLoop() {
 			c.fail(fmt.Errorf("client: receive: %w", err))
 			return
 		}
+		if status == wire.PushAnswerDelta {
+			// Out-of-band server push: not a response, consumes no call.
+			if err := c.handlePush(resp); err != nil {
+				c.fail(err)
+				return
+			}
+			continue
+		}
 		c.mu.Lock()
 		var call *Call
 		if len(c.queue) > 0 {
@@ -135,6 +158,9 @@ func (c *Client) readLoop() {
 		switch status {
 		case wire.StatusOK:
 			call.r = r
+			if call.sub != nil {
+				call.Err = c.registerSub(call.sub, r)
+			}
 		case wire.StatusErr:
 			msg := r.Str()
 			if err := r.Err(); err != nil {
@@ -166,6 +192,26 @@ func (c *Client) fail(err error) {
 		call.Err = err
 		call.complete()
 	}
+}
+
+// send writes one fire-and-forget frame (OpMove): no call is queued and
+// no response will arrive for it.
+func (c *Client) send(op byte, payload []byte) error {
+	c.wmu.Lock()
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		c.wmu.Unlock()
+		return err
+	}
+	c.mu.Unlock()
+	err := wire.WriteFrame(c.conn, op, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("client: send: %w", err))
+	}
+	return err
 }
 
 // roundTrip sends one request and waits for its response.

@@ -125,6 +125,136 @@ func FuzzDeletePayload(f *testing.F) {
 	})
 }
 
+// FuzzSubscribePayload throws corrupted subscribe, move and unsubscribe
+// payloads at the subscription engine. Each execution gets its own
+// connection state with one healthy session seeded, so the fuzz input
+// can hit both the unknown-id and live-session paths. Whatever the
+// bytes: no panic, no session leak, the dispatcher keeps answering
+// queries, and a malformed MOVE only reports the poison error (the
+// decode loop closes the conn; the handler itself must stay total).
+func FuzzSubscribePayload(f *testing.F) {
+	var sub wire.Buffer
+	sub.F64(1000)
+	sub.F64(1000)
+	f.Add(uint8(0), sub.Bytes())
+
+	var move wire.Buffer
+	move.U64(1)
+	move.F64(999)
+	move.F64(999)
+	f.Add(uint8(1), move.Bytes())
+
+	var unsub wire.Buffer
+	unsub.U64(1)
+	f.Add(uint8(2), unsub.Bytes())
+
+	// Truncations, trailing junk, hostile ids.
+	f.Add(uint8(0), []byte{1, 2, 3})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(1), append(move.Bytes(), 0xEE))
+	f.Add(uint8(2), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	srv := New(fuzzDB(), nil)
+	f.Fuzz(func(t *testing.T, opSel uint8, payload []byte) {
+		server, client := net.Pipe()
+		defer server.Close()
+		defer client.Close()
+		go func() { // drain pushes; net.Pipe is unbuffered
+			buf := make([]byte, 4096)
+			for {
+				if _, err := client.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		cs := &connState{s: srv, conn: server, subs: make(map[uint64]*session)}
+
+		// Seed one live, registered session.
+		var seed wire.Buffer
+		seed.F64(1000)
+		seed.F64(1000)
+		sl := &slot{}
+		if _, err := srv.handleSubscribe(cs, sl, seed.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		sl.written()
+
+		switch opSel % 3 {
+		case 0:
+			sl2 := &slot{}
+			if _, err := srv.dispatchConn(cs, sl2, wire.OpSubscribe, payload); err == nil && sl2.written != nil {
+				sl2.written()
+			}
+		case 1:
+			_ = srv.handleMove(cs, payload)
+		case 2:
+			_, _ = srv.dispatchConn(cs, &slot{}, wire.OpUnsubscribe, payload)
+		}
+
+		// The engine must stay serviceable whatever just happened.
+		if _, err := srv.dispatch(wire.OpPNN, pnnPayload(1000, 1000)); err != nil {
+			t.Fatalf("PNN broken after subscription fuzz input: %v", err)
+		}
+		srv.dropConnSessions(cs)
+		if n := srv.Subscriptions(); n != 0 {
+			t.Fatalf("%d sessions leaked past dropConnSessions", n)
+		}
+	})
+}
+
+// FuzzAnswerDelta throws corrupted push frames at the client's delta
+// decoder. Whatever the bytes: no panic, a clean error for anything
+// malformed (the read loop then poisons the connection), an applied
+// delta otherwise — and the reconstructed answer set stays sorted.
+func FuzzAnswerDelta(f *testing.F) {
+	var ok wire.Buffer
+	ok.U64(1) // sub id
+	ok.U64(1) // seq
+	ok.U8(0)
+	ok.F64(10)
+	ok.F64(10)
+	ok.F64(2.5)
+	ok.U32(2)
+	ok.I32(4)
+	ok.I32(9)
+	ok.U32(1)
+	ok.I32(2)
+	f.Add(ok.Bytes())
+
+	var fail wire.Buffer
+	fail.U64(1)
+	fail.U64(1)
+	fail.U8(1)
+	fail.Str("session dropped")
+	f.Add(fail.Bytes())
+
+	var hostile wire.Buffer
+	hostile.U64(1)
+	hostile.U64(1)
+	hostile.U8(0)
+	hostile.F64(0)
+	hostile.F64(0)
+	hostile.F64(0)
+	hostile.U32(1 << 30) // id count far past the payload
+	f.Add(hostile.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(append(ok.Bytes(), 0xAB)) // trailing junk
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		c := &Client{subs: map[uint64]*Subscription{}}
+		sub := &Subscription{c: c, id: 1, ids: []int32{2, 7}}
+		c.subs[1] = sub
+		_ = c.handlePush(payload)
+		ids := sub.AnswerIDs()
+		for i := 1; i < len(ids); i++ {
+			if ids[i-1] >= ids[i] {
+				t.Fatalf("answer set unsorted after push: %v", ids)
+			}
+		}
+	})
+}
+
 func pnnPayload(x, y float64) []byte {
 	var b wire.Buffer
 	b.F64(x)

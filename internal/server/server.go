@@ -77,6 +77,12 @@ type Server struct {
 	lmu    sync.Mutex // guards lis
 	lis    net.Listener
 	closed chan struct{}
+
+	// The subscription engine's server-wide session table, swept by the
+	// churn notifier after every write (see subscribe.go).
+	submu sync.RWMutex
+	subs  map[uint64]*session
+	subid uint64 // last assigned subscription id (guarded by submu)
 }
 
 // New wraps a built database with the default Config. logf may be nil
@@ -98,6 +104,7 @@ func NewWithConfig(db *uvdiagram.DB, logf func(format string, args ...any), cfg 
 		sem:    make(chan struct{}, cfg.Workers),
 		logf:   logf,
 		closed: make(chan struct{}),
+		subs:   make(map[uint64]*session),
 	}
 }
 
@@ -179,6 +186,11 @@ type slot struct {
 	done    chan struct{} // closed when status/payload are final
 	status  byte
 	payload []byte
+	// written, when set, runs on the writer goroutine right after the
+	// response frame is on the wire — the subscribe handler uses it to
+	// publish a session only once the client can know its id, so no
+	// push ever precedes the response carrying that id.
+	written func()
 }
 
 func (sl *slot) finish(resp []byte, err error) {
@@ -209,6 +221,7 @@ func (sl *slot) finish(resp []byte, err error) {
 // across *different* connections order only by the database's
 // read/write lock.
 func (s *Server) serveConn(conn net.Conn) {
+	cs := &connState{s: s, conn: conn, subs: make(map[uint64]*session)}
 	pending := make(chan *slot, s.cfg.Window)
 	var inflight sync.WaitGroup // this connection's executing queries
 	writerDone := make(chan struct{})
@@ -220,9 +233,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			if broken {
 				continue // drain so the decode loop never blocks forever
 			}
-			if err := wire.WriteFrame(conn, sl.status, sl.payload); err != nil {
+			if err := cs.write(sl.status, sl.payload, 0); err != nil {
 				broken = true
 				conn.Close() // unblocks the decode loop's ReadFrame
+				continue
+			}
+			if sl.written != nil {
+				sl.written()
 			}
 		}
 	}()
@@ -230,6 +247,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		close(pending)
 		<-writerDone
 		conn.Close()
+		s.dropConnSessions(cs)
 	}()
 
 	for {
@@ -245,6 +263,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		if op == wire.OpMove {
+			// Fire-and-forget: no response slot. Runs inline so the
+			// move's delta (if any) is on the wire before any later
+			// frame of this connection is decoded.
+			if err := s.handleMove(cs, payload); err != nil {
+				s.logf("server: %v: move: %v", conn.RemoteAddr(), err)
+				return // poison: no in-band channel exists for move errors
+			}
+			continue
+		}
 		sl := &slot{done: make(chan struct{})}
 		pending <- sl // in-flight window (blocks when full)
 		if op == wire.OpInsert || op == wire.OpDelete || op == wire.OpBatchDelete {
@@ -252,6 +280,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.sem <- struct{}{}
 			resp, err := s.dispatch(op, payload)
 			<-s.sem
+			if err == nil {
+				// Push answer deltas to every affected subscriber BEFORE
+				// the write's response is released (see notifySessions).
+				s.notifySessions()
+			}
 			sl.finish(resp, err)
 			continue // later frames decode only after the write landed
 		}
@@ -260,10 +293,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		go func() {
 			defer func() { <-s.sem }()
 			defer inflight.Done()
-			resp, err := s.dispatch(op, payload)
+			resp, err := s.dispatchConn(cs, sl, op, payload)
 			sl.finish(resp, err)
 		}()
 	}
+}
+
+// dispatchConn routes the opcodes that need per-connection state (the
+// subscription engine) and falls through to the stateless dispatch.
+func (s *Server) dispatchConn(cs *connState, sl *slot, op byte, payload []byte) ([]byte, error) {
+	switch op {
+	case wire.OpSubscribe:
+		return s.handleSubscribe(cs, sl, payload)
+	case wire.OpUnsubscribe:
+		return s.handleUnsubscribe(cs, payload)
+	}
+	return s.dispatch(op, payload)
 }
 
 func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {

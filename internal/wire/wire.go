@@ -72,6 +72,33 @@ const (
 	// ids per frame).
 	OpDelete      byte = 0x0E
 	OpBatchDelete byte = 0x0F
+
+	// Continuous subscription opcodes: the moving-query push engine.
+	// A subscription is a server-side ContinuousPNN session keyed by a
+	// server-assigned id; the server evaluates every move against the
+	// session's safe circle and pushes an answer delta (PushAnswerDelta)
+	// only when the answer set actually changed.
+	//
+	// Payloads (little endian):
+	//
+	//	OpSubscribe    f64 x, f64 y  → u64 sub, f64 cx, f64 cy, f64 r (safe circle),
+	//	                               u32 m, m × i32 id (initial answer set, sorted)
+	//	OpMove         u64 sub, f64 x, f64 y  → NO response frame
+	//	OpUnsubscribe  u64 sub  → u64 moves, u64 recomputes, u64 indexIOs, u64 pushes
+	//
+	// OpMove is the one fire-and-forget opcode: a moving client streams
+	// positions without consuming response-window slots, and hears back
+	// only through out-of-band delta pushes. Because it has no response
+	// slot, a malformed move payload (truncated, trailing bytes) poisons
+	// the connection like a framing error — there is no in-band channel
+	// to report it on. A move naming an unknown subscription id is
+	// ignored: it is indistinguishable from a benign race against a
+	// server-side session drop whose error push is still in flight.
+	// Subscribe/Unsubscribe carry responses and report errors in-band
+	// like every other opcode.
+	OpSubscribe   byte = 0x10
+	OpMove        byte = 0x11
+	OpUnsubscribe byte = 0x12
 )
 
 // MaxBatchPoints bounds the query-point count of one batch frame: 2^15
@@ -84,6 +111,30 @@ const (
 	StatusOK  byte = 0x00
 	StatusErr byte = 0x01
 )
+
+// PushAnswerDelta is the kind of a server-pushed answer-delta frame:
+// the only OUT-OF-BAND server→client frame. Responses are written
+// strictly in request order; pushes interleave between them at frame
+// granularity (never mid-frame) and do not consume a request slot, so a
+// pipelined client routes them by kind before FIFO-matching responses.
+//
+// Payload (little endian):
+//
+//	u64 sub   — subscription id
+//	u64 seq   — per-session push sequence, 1-based, gap-free
+//	u8  flags — 0: answer delta, 1: session error (terminal)
+//	flags 0:  f64 cx, f64 cy, f64 r           (the new safe circle)
+//	          u32 nAdd, nAdd × i32 id         (sorted ascending)
+//	          u32 nRem, nRem × i32 id         (sorted ascending)
+//	flags 1:  str message                     (the server dropped the session)
+//
+// Deltas are relative to the answer set the client last held (the
+// subscribe response's initial set, then each applied delta), so
+// applying them in sequence reconstructs exactly the answer set
+// per-move polling would return. The server pushes a delta only when
+// the set actually changed — a re-evaluation that confirms the same
+// answers is silent.
+const PushAnswerDelta byte = 0x80
 
 // MaxFrame bounds a frame's post-length size (kind + payload + crc).
 const MaxFrame = 1 << 20
@@ -133,6 +184,9 @@ type Buffer struct {
 // Bytes returns the accumulated payload.
 func (e *Buffer) Bytes() []byte { return e.b }
 
+// U8 appends a single byte.
+func (e *Buffer) U8(v byte) { e.b = append(e.b, v) }
+
 // U16 appends a uint16.
 func (e *Buffer) U16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
 
@@ -181,6 +235,15 @@ func (d *Reader) take(n int) []byte {
 	out := d.b[d.off : d.off+n]
 	d.off += n
 	return out
+}
+
+// U8 reads a single byte.
+func (d *Reader) U8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
 }
 
 // U16 reads a uint16.

@@ -14,11 +14,12 @@ import (
 // lists as future work. It answers possible-k-NN queries exactly with
 // one point descent, the k-NN analogue of the UV-index PNN path.
 type OrderKIndex struct {
-	db    *DB
-	inner *core.UVIndex
-	k     int
-	built BuildStats
-	batch batchState // leaf cache reused across Batch* calls
+	db       *DB
+	inner    *core.UVIndex
+	k        int
+	built    BuildStats
+	hasBuilt bool       // false for loaded indexes: the stream carries no build stats
+	batch    batchState // leaf cache reused across Batch* calls
 	// snap pins the database state the order-k grid was built over,
 	// across every shard: a Compact/CompactShard/Rebuild (epoch swap)
 	// or an incremental Insert/Delete (shard-index mutation) makes this
@@ -47,7 +48,7 @@ func (db *DB) NewOrderKIndex(k int) (*OrderKIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &OrderKIndex{db: db, inner: ix, k: k, built: stats, snap: db.genSnap()}, nil
+	return &OrderKIndex{db: db, inner: ix, k: k, built: stats, hasBuilt: true, snap: db.genSnap()}, nil
 }
 
 // fresh errors when the database has mutated since the order-k grid
@@ -63,7 +64,10 @@ func (ix *OrderKIndex) fresh() error {
 func (ix *OrderKIndex) K() int { return ix.k }
 
 // BuildStats returns the construction statistics of the order-k index.
-func (ix *OrderKIndex) BuildStats() BuildStats { return ix.built }
+// ok is false for an index re-opened with LoadOrderKIndex: the saved
+// stream does not carry build stats, and reporting zeros would read as
+// an (impossibly) free construction.
+func (ix *OrderKIndex) BuildStats() (stats BuildStats, ok bool) { return ix.built, ix.hasBuilt }
 
 // IndexStats returns the shape of the order-k grid.
 func (ix *OrderKIndex) IndexStats() core.IndexStats { return ix.inner.Stats() }
@@ -94,6 +98,16 @@ func LoadOrderKIndex(r io.Reader, db *DB) (*OrderKIndex, error) {
 	}
 	if inner.OrderK() < 1 {
 		return nil, fmt.Errorf("uvdiagram: loaded index has invalid order %d", inner.OrderK())
+	}
+	// core.LoadUVIndex already validates the stream against the store's
+	// object population (count and id range); the domain is the
+	// remaining degree of freedom. A grid built over a different domain
+	// would route every descent through the wrong quadrant geometry and
+	// answer queries silently wrong, so refuse it here.
+	if d := inner.Domain(); d != db.domain {
+		return nil, fmt.Errorf("uvdiagram: loaded order-%d index was built over domain [%g,%g]x[%g,%g], database domain is [%g,%g]x[%g,%g]",
+			inner.OrderK(), d.Min.X, d.Max.X, d.Min.Y, d.Max.Y,
+			db.domain.Min.X, db.domain.Max.X, db.domain.Min.Y, db.domain.Max.Y)
 	}
 	return &OrderKIndex{db: db, inner: inner, k: inner.OrderK(), snap: db.genSnap()}, nil
 }

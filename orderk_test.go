@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"uvdiagram"
+	"uvdiagram/internal/datagen"
 )
 
 func TestOrderKIndexMatchesPossibleKNN(t *testing.T) {
@@ -71,6 +73,54 @@ func TestOrderKValidation(t *testing.T) {
 	db, _ := buildSmallDB(t, 10, nil)
 	if _, err := db.NewOrderKIndex(0); err == nil {
 		t.Fatal("NewOrderKIndex(0) should fail")
+	}
+}
+
+// TestLoadOrderKIndexRejectsMismatch: an order-k stream is only valid
+// against the database it was built over. Loading it into a database
+// with a different domain or population must fail loudly instead of
+// silently answering k-NN queries from the wrong geometry; and build
+// statistics must be reported as absent (not zero) on a loaded index.
+func TestLoadOrderKIndexRejectsMismatch(t *testing.T) {
+	db, _ := buildSmallDB(t, 40, nil)
+	ix, err := db.NewOrderKIndex(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.BuildStats(); !ok {
+		t.Fatal("freshly built index reports no build stats")
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same population count, different domain.
+	cfgD := datagen.Config{N: 40, Side: 4000, Diameter: 30, Seed: 42}
+	dbDomain, err := uvdiagram.Build(datagen.Uniform(cfgD), cfgD.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uvdiagram.LoadOrderKIndex(bytes.NewReader(buf.Bytes()), dbDomain); err == nil {
+		t.Fatal("order-k stream accepted against a different domain")
+	} else if !strings.Contains(err.Error(), "domain") {
+		t.Fatalf("domain mismatch not named: %v", err)
+	}
+
+	// Same domain, different population.
+	dbPop, _ := buildSmallDB(t, 25, nil)
+	if _, err := uvdiagram.LoadOrderKIndex(bytes.NewReader(buf.Bytes()), dbPop); err == nil {
+		t.Fatal("order-k stream accepted against a different population")
+	}
+
+	// The matching database still loads, and the loaded index reports
+	// its build stats as absent rather than a zeroed struct.
+	loaded, err := uvdiagram.LoadOrderKIndex(bytes.NewReader(buf.Bytes()), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := loaded.BuildStats(); ok {
+		t.Fatalf("loaded index claims build stats %+v", st)
 	}
 }
 

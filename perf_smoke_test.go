@@ -12,11 +12,14 @@ package uvdiagram_test
 import (
 	"encoding/json"
 	"flag"
+	"math/rand"
 	"os"
 	"testing"
 	"time"
 
+	"uvdiagram"
 	"uvdiagram/internal/core"
+	"uvdiagram/internal/datagen"
 )
 
 const perfBaselinePath = "perf_baseline.json"
@@ -28,8 +31,48 @@ type perfBaseline struct {
 	// DeriveNSPerOp is the wall clock of one whole-population
 	// DeriveCRSets pass at n=800 (paper defaults, strategy IC),
 	// best of three runs.
-	DeriveNSPerOp int64  `json:"derive_ns_per_op"`
-	Note          string `json:"note"`
+	DeriveNSPerOp int64 `json:"derive_ns_per_op"`
+	// ContinuousMoveNSPerOp is the mean wall clock of one
+	// ContinuousPNN.Move on a smooth trajectory at n=2000 (mostly
+	// safe-circle absorptions with periodic recomputes), best of three
+	// runs.
+	ContinuousMoveNSPerOp int64  `json:"continuous_move_ns_per_op"`
+	Note                  string `json:"note"`
+}
+
+// loadPerfBaseline reads the committed baseline; absent file is fatal
+// in gate mode (the caller names the rebaseline flag).
+func loadPerfBaseline(t *testing.T) perfBaseline {
+	raw, err := os.ReadFile(perfBaselinePath)
+	if err != nil {
+		t.Fatalf("no committed baseline (%v); run with -update-perf-baseline", err)
+	}
+	var base perfBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// updatePerfBaselineField read-modify-writes one field of the baseline
+// file, so each smoke test can rebaseline its own metric without
+// clobbering the others'.
+func updatePerfBaselineField(t *testing.T, mutate func(*perfBaseline)) {
+	var base perfBaseline
+	if raw, err := os.ReadFile(perfBaselinePath); err == nil {
+		if err := json.Unmarshal(raw, &base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate(&base)
+	base.Note = "best-of-3 wall clocks on the CI container class; CI fails soft at >2x"
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(perfBaselinePath, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDerivePerfSmoke(t *testing.T) {
@@ -53,32 +96,87 @@ func TestDerivePerfSmoke(t *testing.T) {
 	}
 
 	if *updatePerfBaseline {
-		buf, err := json.MarshalIndent(perfBaseline{
-			DeriveNSPerOp: best.Nanoseconds(),
-			Note:          "DeriveCRSets n=800, IC, paper defaults, best of 3; CI fails soft at >2x",
-		}, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(perfBaselinePath, append(buf, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %s: %v", perfBaselinePath, best)
+		updatePerfBaselineField(t, func(b *perfBaseline) { b.DeriveNSPerOp = best.Nanoseconds() })
+		t.Logf("wrote %s: derive %v", perfBaselinePath, best)
 		return
 	}
 
-	raw, err := os.ReadFile(perfBaselinePath)
-	if err != nil {
-		t.Fatalf("no committed baseline (%v); run with -update-perf-baseline", err)
-	}
-	var base perfBaseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		t.Fatal(err)
-	}
+	base := loadPerfBaseline(t)
 	limit := time.Duration(2 * base.DeriveNSPerOp)
 	t.Logf("derive n=800: %v (baseline %v, limit %v)", best, time.Duration(base.DeriveNSPerOp), limit)
 	if best > limit {
 		t.Fatalf("derivation perf smoke: %v exceeds 2x the committed baseline %v — the hot path regressed (rebaseline deliberately with -update-perf-baseline if this is expected)",
 			best, time.Duration(base.DeriveNSPerOp))
 	}
+}
+
+// TestContinuousMovePerfSmoke gates the moving-query hot path: a
+// smooth random walk where most moves land inside the safe circle
+// (cheap point-in-circle checks) and the rest re-evaluate. A >2x
+// regression means either the absorption fast path grew work or the
+// safe circles collapsed (recompute rate explosion) — both of which
+// the subscription engine's push economy depends on.
+func TestContinuousMovePerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("perf smoke skipped under the race detector")
+	}
+
+	cfg := datagen.Config{N: 2000, Side: 10000, Diameter: 40, Seed: 20100301}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const moves = 20000
+	const step = 0.5 // well under the observed safe radii (1–20 units)
+	best := time.Duration(1<<63 - 1)
+	for run := 0; run < 3; run++ {
+		rng := rand.New(rand.NewSource(99))
+		pos := uvdiagram.Pt(cfg.Side/2, cfg.Side/2)
+		sess, err := db.NewContinuousPNN(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := time.Now()
+		for i := 0; i < moves; i++ {
+			pos.X = clampCoord(pos.X+(rng.Float64()*2-1)*step, 1, cfg.Side-1)
+			pos.Y = clampCoord(pos.Y+(rng.Float64()*2-1)*step, 1, cfg.Side-1)
+			if _, _, err := sess.Move(pos); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := time.Since(t0) / moves; d < best {
+			best = d
+		}
+	}
+
+	if *updatePerfBaseline {
+		updatePerfBaselineField(t, func(b *perfBaseline) { b.ContinuousMoveNSPerOp = best.Nanoseconds() })
+		t.Logf("wrote %s: continuous move %v", perfBaselinePath, best)
+		return
+	}
+
+	base := loadPerfBaseline(t)
+	if base.ContinuousMoveNSPerOp == 0 {
+		t.Skip("no continuous baseline committed yet; run with -update-perf-baseline")
+	}
+	limit := time.Duration(2 * base.ContinuousMoveNSPerOp)
+	t.Logf("continuous move n=%d: %v/op (baseline %v, limit %v)", cfg.N, best, time.Duration(base.ContinuousMoveNSPerOp), limit)
+	if best > limit {
+		t.Fatalf("continuous move perf smoke: %v/op exceeds 2x the committed baseline %v — the safe-circle fast path regressed (rebaseline deliberately with -update-perf-baseline if this is expected)",
+			best, time.Duration(base.ContinuousMoveNSPerOp))
+	}
+}
+
+func clampCoord(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
