@@ -51,22 +51,36 @@ func (db *DB) AdvanceAll(sessions []*ContinuousPNN, qs []Point, opts *BatchOptio
 
 	// Stable counting sort of the sessions by owning shard, exactly like
 	// batchRoute.plan: feeding the pool shard-by-shard keeps one shard's
-	// leaf pages hot in its cache. Out-of-domain positions clamp to an
-	// edge shard, whose index then reports the domain violation into
-	// that session's error slot.
+	// leaf pages hot in its cache. Out-of-domain positions are rejected
+	// up front with a typed per-session *DomainError (matching
+	// ErrOutOfDomain) and never dispatched — the session stays at its
+	// last valid position. (They previously clamped to an edge shard
+	// whose index reported a shard-level string error, which serving
+	// layers could only string-match.)
 	owner := make([]int, n)
 	counts := make([]int, len(lo.shards)+1)
+	valid := 0
 	for i := 0; i < n; i++ {
-		owner[i] = lo.shardIdx(pos(i))
+		p := pos(i)
+		if !db.domain.Contains(p) {
+			errs[i] = &DomainError{Point: p, Domain: db.domain}
+			owner[i] = -1
+			continue
+		}
+		owner[i] = lo.shardIdx(p)
 		counts[owner[i]+1]++
+		valid++
 	}
 	var order []int
-	if len(lo.shards) > 1 && n > 1 {
+	if len(lo.shards) > 1 && valid > 1 {
 		for s := 1; s < len(counts); s++ {
 			counts[s] += counts[s-1]
 		}
-		order = make([]int, n)
+		order = make([]int, valid)
 		for i := 0; i < n; i++ {
+			if owner[i] < 0 {
+				continue
+			}
 			order[counts[owner[i]]] = i
 			counts[owner[i]]++
 		}
@@ -75,6 +89,9 @@ func (db *DB) AdvanceAll(sessions []*ContinuousPNN, qs []Point, opts *BatchOptio
 	caches := db.batch.cachesGridFor(opts.cacheSize(), len(eps))
 	runPool(n, opts.workers(), order, "session", func(i int) error {
 		si := owner[i]
+		if si < 0 {
+			return nil // out-of-domain: typed error already recorded
+		}
 		_, re, err := sessions[i].advance(lo, si, eps[si], pos(i), cacheAt(caches, si), qs != nil)
 		recomputed[i], errs[i] = re, err
 		return nil // per-session errors land in errs; the batch never aborts

@@ -101,6 +101,22 @@ func (s *batchState) cacheRTreeFor(size, shards int) *rtree.LeafCache {
 	return rt
 }
 
+// LeafCacheStats aggregates the hit/miss counters of the DB's
+// persistent per-shard grid leaf caches — the batch (and bulk-advance)
+// fast-path economy signal the metrics layer exposes. All zeros until a
+// batch has run with BatchOptions.CacheSize > 0; counters restart when
+// the caches are rebuilt (cache-size or shard-count change).
+func (db *DB) LeafCacheStats() (hits, misses int64) {
+	db.batch.mu.Lock()
+	defer db.batch.mu.Unlock()
+	for _, c := range db.batch.caches {
+		h, m := c.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
 // cacheAt indexes a possibly-nil cache slice.
 func cacheAt(caches []*core.LeafCache, i int) *core.LeafCache {
 	if caches == nil {

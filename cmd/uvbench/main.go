@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards|rebalance|derive|continuous]
+//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards|rebalance|derive|continuous|maintain]
 //	        [-scale small|medium|paper] [-shards 1] [-quiet]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -18,7 +18,10 @@
 // verified) and writes BENCH_derive.json; -exp continuous drives fleets
 // of subscribed moving clients (fire-and-forget moves, server-pushed
 // answer deltas) with churn riding on a mutator connection and writes
-// BENCH_continuous.json.
+// BENCH_continuous.json; -exp maintain churns a uniform dataset toward
+// a Gaussian hot spot with the self-driving maintenance controller off
+// vs on (identical deterministic workloads, bitwise-compared answers)
+// and writes BENCH_maintain.json.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment, so future perf work can be profiled in place (profiles
@@ -40,7 +43,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance, derive, continuous")
+	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance, derive, continuous, maintain")
 	scaleName := flag.String("scale", "small", "scale preset: small, medium, paper")
 	shards := flag.Int("shards", 1, "spatial shard count for -exp churn (1 = unsharded)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
@@ -118,6 +121,8 @@ func main() {
 		tables, err = single(exp.RunDerive, sc, progress)
 	case "continuous":
 		tables, err = single(exp.RunContinuous, sc, progress)
+	case "maintain":
+		tables, err = single(exp.RunMaintain, sc, progress)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *expName)
 	}

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	uvclient [-addr localhost:7031] stats
+//	uvclient [-addr ...] metrics
 //	uvclient [-addr ...] pnn <x> <y>
 //	uvclient [-addr ...] topk <x> <y> <k>
 //	uvclient [-addr ...] knn <x> <y> <k>
@@ -83,6 +84,19 @@ func main() {
 			if f := st.LoadImbalance(); f > 0 {
 				fmt.Printf("load imbalance (max/mean) %.2f\n", f)
 			}
+		}
+
+	case "metrics":
+		ms, err := cli.Metrics()
+		if err != nil {
+			fatal(err)
+		}
+		width := 0
+		for _, m := range ms {
+			width = max(width, len(m.Name))
+		}
+		for _, m := range ms {
+			fmt.Printf("%-*s  %g\n", width, m.Name, m.Value)
 		}
 
 	case "pnn":

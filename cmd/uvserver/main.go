@@ -6,11 +6,23 @@
 //
 //	uvserver [-addr :7031] [-n 10000] [-seed 1] [-load db.uv]
 //	         [-shards 1] [-layout equal|median] [-window 64]
-//	         [-workers N] [-cache 256] [-pprof localhost:6060]
+//	         [-workers N] [-cache 256] [-push-timeout 5s]
+//	         [-pprof localhost:6060]
+//	         [-maintain] [-maintain-interval 2s]
+//	         [-maintain-high 1.6] [-maintain-low 1.25]
+//	         [-maintain-sustain 3] [-maintain-cooldown 30s]
 //
 // With -pprof, the standard net/http/pprof endpoints are served on the
 // given address so a live server can be profiled in place
-// (go tool pprof http://localhost:6060/debug/pprof/profile).
+// (go tool pprof http://localhost:6060/debug/pprof/profile). The same
+// listener serves the full server metrics snapshot as expvar JSON under
+// /debug/vars (key "uvdiagram") — the HTTP twin of `uvclient metrics`.
+//
+// With -maintain, a self-driving maintenance controller samples shard
+// imbalance every -maintain-interval and reshards automatically when it
+// stays above -maintain-high for -maintain-sustain ticks, disarming
+// below -maintain-low (two-threshold hysteresis) with a
+// -maintain-cooldown between runs.
 //
 // With -load, the dataset and index are read from a snapshot written by
 // uvbuild -save (or DB.Save); the snapshot's shard layout wins over
@@ -20,6 +32,7 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -43,6 +56,13 @@ func main() {
 	window := flag.Int("window", 0, "per-connection in-flight request window (0 = default 64)")
 	workers := flag.Int("workers", 0, "server-wide query worker pool size (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "batch leaf-cache size (0 = default 256, negative disables)")
+	pushTimeout := flag.Duration("push-timeout", 0, "per-write deadline for subscription pushes; a slower consumer is disconnected (0 = default 5s)")
+	maintain := flag.Bool("maintain", false, "run the self-driving maintenance controller")
+	maintInterval := flag.Duration("maintain-interval", 0, "maintenance sampling period (0 = default 2s)")
+	maintHigh := flag.Float64("maintain-high", 0, "imbalance high watermark arming a reshard (0 = default 1.6)")
+	maintLow := flag.Float64("maintain-low", 0, "imbalance low watermark disarming the controller (0 = default 1.25)")
+	maintSustain := flag.Int("maintain-sustain", 0, "high-water ticks required before a reshard fires (0 = default 3)")
+	maintCooldown := flag.Duration("maintain-cooldown", 0, "minimum interval between controller reshards (0 = default 30s)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "uvserver: ", log.LstdFlags)
@@ -87,8 +107,33 @@ func main() {
 		logger.Printf("spatial shards: %d (%d×%d grid)", s, gx, gy)
 	}
 
-	srv := server.NewWithConfig(db, server.Logf(logger),
-		server.Config{Window: *window, Workers: *workers, CacheSize: *cache})
+	if *maintain {
+		opts := uvdiagram.MaintainOptions{
+			Interval:     *maintInterval,
+			HighWater:    *maintHigh,
+			LowWater:     *maintLow,
+			SustainTicks: *maintSustain,
+			MinInterval:  *maintCooldown,
+		}
+		if _, err := db.StartMaintainer(opts); err != nil {
+			logger.Fatal(err)
+		}
+		eff := db.Maintainer().Options()
+		logger.Printf("maintenance controller on: interval %v, watermarks %.2f/%.2f, sustain %d, cooldown %v",
+			eff.Interval, eff.HighWater, eff.LowWater, eff.SustainTicks, eff.MinInterval)
+	}
+
+	srv, err := server.NewWithConfig(db, server.Logf(logger),
+		server.Config{Window: *window, Workers: *workers, CacheSize: *cache,
+			PushTimeout: *pushTimeout})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// The snapshot behind OpMetrics, republished as expvar JSON on the
+	// -pprof listener's /debug/vars.
+	expvar.Publish("uvdiagram", expvar.Func(func() any {
+		return srv.MetricsMap()
+	}))
 	logger.Printf("serving on %s", *addr)
 	if err := srv.ListenAndServe(*addr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -33,8 +33,12 @@ type ContinuousPNN struct {
 type ContinuousStats = core.ContinuousStats
 
 // NewContinuousPNN opens a moving-query session at q over the owning
-// shard's UV-index.
+// shard's UV-index. An out-of-domain q fails with a *DomainError
+// (matching ErrOutOfDomain).
 func (db *DB) NewContinuousPNN(q Point) (*ContinuousPNN, error) {
+	if !db.domain.Contains(q) {
+		return nil, &DomainError{Point: q, Domain: db.domain}
+	}
 	lo := db.lo()
 	si := lo.shardIdx(q)
 	ep := lo.epAt(si)
@@ -46,8 +50,13 @@ func (db *DB) NewContinuousPNN(q Point) (*ContinuousPNN, error) {
 }
 
 // Move advances the query point. It returns the current answer IDs
-// (sorted, shared slice) and whether a re-evaluation was needed.
+// (sorted, shared slice) and whether a re-evaluation was needed. A move
+// out of the domain fails with a *DomainError (matching ErrOutOfDomain)
+// and leaves the session at its last valid position.
 func (c *ContinuousPNN) Move(q Point) ([]int32, bool, error) {
+	if !c.db.domain.Contains(q) {
+		return nil, false, &DomainError{Point: q, Domain: c.db.domain}
+	}
 	lo := c.db.lo()
 	si := lo.shardIdx(q)
 	return c.advance(lo, si, lo.epAt(si), q, nil, true)

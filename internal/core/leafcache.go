@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"uvdiagram/internal/lru"
 	"uvdiagram/internal/pager"
 )
@@ -17,6 +19,11 @@ import (
 // served.
 type LeafCache struct {
 	c *lru.Cache[*qnode, []pager.LeafTuple]
+	// hits/misses feed the server's observability layer. A lookup that
+	// was invalidated by a generation bump counts as a miss — from the
+	// caller's perspective the page had to be re-read either way.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewLeafCache returns a cache holding up to capacity leaves
@@ -37,11 +44,26 @@ func (c *LeafCache) Len() int {
 	return c.c.Len()
 }
 
+// Stats returns the cache's cumulative hit and miss counts (zero for a
+// nil cache).
+func (c *LeafCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
 func (c *LeafCache) get(ix *UVIndex, n *qnode) ([]pager.LeafTuple, bool) {
 	if c == nil {
 		return nil, false
 	}
-	return c.c.Get(ix.gen.Load(), n)
+	tuples, ok := c.c.Get(ix.gen.Load(), n)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return tuples, ok
 }
 
 func (c *LeafCache) put(ix *UVIndex, n *qnode, tuples []pager.LeafTuple) {

@@ -42,6 +42,7 @@ type continuousRow struct {
 }
 
 type continuousReport struct {
+	ReportHeader
 	Description string          `json:"description"`
 	Environment map[string]any  `json:"environment"`
 	Rows        []continuousRow `json:"rows"`
@@ -109,7 +110,8 @@ func RunContinuous(sc Scale, progress func(string)) (*Table, error) {
 		},
 	}
 	report := continuousReport{
-		Description: fmt.Sprintf("Continuous moving-query subscription sweep: uvbench -exp continuous -scale %s. Uniform dataset (n=%d, side=%.0f) behind a %d-shard loopback server; sessions stream fire-and-forget moves on %d connections and receive server-pushed answer deltas; a mutator connection interleaves inserts and deletes.", sc.Name, sc.MidN, sc.Side, shards, conns),
+		ReportHeader: newReportHeader("continuous"),
+		Description:  fmt.Sprintf("Continuous moving-query subscription sweep: uvbench -exp continuous -scale %s. Uniform dataset (n=%d, side=%.0f) behind a %d-shard loopback server; sessions stream fire-and-forget moves on %d connections and receive server-pushed answer deltas; a mutator connection interleaves inserts and deletes.", sc.Name, sc.MidN, sc.Side, shards, conns),
 		Environment: map[string]any{
 			"goos":  runtime.GOOS,
 			"cpu":   fmt.Sprintf("%d cores", runtime.NumCPU()),

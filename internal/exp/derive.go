@@ -39,6 +39,7 @@ type deriveRow struct {
 }
 
 type deriveReport struct {
+	ReportHeader
 	Description string         `json:"description"`
 	Environment map[string]any `json:"environment"`
 	Rows        []deriveRow    `json:"rows"`
@@ -69,7 +70,8 @@ func RunDerive(sc Scale, progress func(string)) (*Table, error) {
 		},
 	}
 	report := deriveReport{
-		Description: fmt.Sprintf("Derivation fast-path sweep: uvbench -exp derive -scale %s. Uniform datasets, paper defaults (SeedK=%d, 8 sectors, 256 region samples), strategy IC, 4 spatial shards for the maintenance events.", sc.Name, core.DefaultSeedK),
+		ReportHeader: newReportHeader("derive"),
+		Description:  fmt.Sprintf("Derivation fast-path sweep: uvbench -exp derive -scale %s. Uniform datasets, paper defaults (SeedK=%d, 8 sectors, 256 region samples), strategy IC, 4 spatial shards for the maintenance events.", sc.Name, core.DefaultSeedK),
 		Environment: map[string]any{
 			"goos":  runtime.GOOS,
 			"cpu":   fmt.Sprintf("%d cores", runtime.NumCPU()),

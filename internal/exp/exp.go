@@ -7,8 +7,28 @@ package exp
 import (
 	"fmt"
 	"io"
+	"os"
 	"strings"
+	"time"
 )
+
+// ReportHeader is the top-level schema shared by every BENCH_*.json
+// artifact the harness writes: the experiment name, the run date and
+// the host it ran on. Embedding it (untagged) flattens the fields into
+// the report's top level, so every report can be keyed and compared
+// with the same three fields.
+type ReportHeader struct {
+	Name string `json:"name"`
+	Date string `json:"date"`
+	Host string `json:"host"`
+}
+
+// newReportHeader stamps a report with the experiment name, today's UTC
+// date and the hostname.
+func newReportHeader(name string) ReportHeader {
+	host, _ := os.Hostname()
+	return ReportHeader{Name: name, Date: time.Now().UTC().Format("2006-01-02"), Host: host}
+}
 
 // Scale bundles the workload parameters of an experiment sweep. The
 // paper's exact scale (10k–80k objects, 50 queries) takes tens of

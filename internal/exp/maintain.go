@@ -1,0 +1,233 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+)
+
+// MaintainJSONPath is where RunMaintain records the sweep (the CI and
+// README baseline artifact).
+const MaintainJSONPath = "BENCH_maintain.json"
+
+// maintainRow is one measured pass of the maintenance experiment.
+type maintainRow struct {
+	N          int     `json:"n"`
+	Shards     int     `json:"shards"`
+	Controller bool    `json:"controller"`
+	ChurnOps   int     `json:"churn_ops"`
+	Ticks      uint64  `json:"ticks"`
+	Reshards   uint64  `json:"reshards"`
+	ImbPeak    float64 `json:"imbalance_peak_max_over_mean"`
+	ImbFinal   float64 `json:"imbalance_final_max_over_mean"`
+	// Trajectory is the imbalance sampled at every controller tick, in
+	// tick order — the signal the hysteresis control law consumes.
+	Trajectory   []float64 `json:"imbalance_trajectory"`
+	WorstQueryMS float64   `json:"worst_query_latency_ms"`
+	MeanQueryMS  float64   `json:"mean_query_latency_ms"`
+	// AnswersIdentical reports whether the full query workload answered
+	// bitwise identically to the controller-off pass (controller-on row
+	// only; the controller may move objects between shards but must not
+	// change a single answer bit).
+	AnswersIdentical bool `json:"answers_bitwise_identical_to_off_pass,omitempty"`
+}
+
+type maintainReport struct {
+	ReportHeader
+	Description string         `json:"description"`
+	Environment map[string]any `json:"environment"`
+	Rows        []maintainRow  `json:"rows"`
+	Notes       string         `json:"notes"`
+}
+
+// RunMaintain measures what the self-driving maintenance controller
+// buys on a churny workload whose distribution drifts: a uniform
+// dataset over a 16-shard equal-strip grid is churned toward a Gaussian
+// hot spot (every op deletes a uniform-era object and inserts a
+// clustered one), so per-shard imbalance climbs as the run progresses.
+// The same deterministic workload runs twice — controller off, then on
+// — with the controller clocked explicitly (Maintainer.Tick every
+// tickEvery ops) so the trajectory is reproducible. Recorded per pass:
+// the imbalance trajectory, the reshard count, worst/mean PNN latency
+// sampled at every tick, and whether the full query workload answers
+// bitwise identically across the two passes (it must — maintenance
+// only decides which shard answers).
+//
+// The sweep also writes BENCH_maintain.json to the working directory.
+func RunMaintain(sc Scale, progress func(string)) (*Table, error) {
+	const shards = 16 // 4×4 equal strips; the hot spot lands on the center 4
+	sigma := sc.Side / 12
+	opts := uvdiagram.MaintainOptions{
+		Interval:     time.Hour, // background loop idles; the harness clocks Tick
+		HighWater:    1.5,
+		LowWater:     1.2,
+		SustainTicks: 3,
+		MinInterval:  50 * time.Millisecond,
+	}
+	t := &Table{
+		ID:    "maintain",
+		Title: fmt.Sprintf("Self-driving maintenance under drifting churn (S=%d, σ=%.0f)", shards, sigma),
+		Columns: []string{"n", "controller", "churn", "ticks", "reshards",
+			"imb peak", "imb final", "worst lat", "answers"},
+		Notes: []string{
+			"workload: every op deletes a uniform-era object and inserts one clustered at the domain center — skew builds as the run progresses",
+			fmt.Sprintf("controller: hysteresis watermarks %.2f/%.2f, sustain %d ticks, cooldown %v; ticked explicitly for a reproducible trajectory",
+				opts.HighWater, opts.LowWater, opts.SustainTicks, opts.MinInterval),
+			"answers: bitwise comparison of the full query workload between the off and on passes after identical churn",
+		},
+	}
+	report := maintainReport{
+		ReportHeader: newReportHeader("maintain"),
+		Description:  fmt.Sprintf("Self-driving maintenance sweep: uvbench -exp maintain -scale %s. Uniform dataset churned toward a Gaussian hot spot (sigma=%.0f, side=%.0f) over a %d-shard (4x4) equal-strip grid; identical deterministic workload with the hysteresis controller off vs on.", sc.Name, sigma, sc.Side, shards),
+		Environment: map[string]any{
+			"goos":  runtime.GOOS,
+			"cpu":   fmt.Sprintf("%d cores", runtime.NumCPU()),
+			"go":    runtime.Version(),
+			"scale": sc.Name,
+		},
+		Notes: fmt.Sprintf("Acceptance: the controller-on pass ends with imbalance_final at or below the %.2f high watermark using a bounded number of reshards while the off pass drifts unbounded, with answers_bitwise_identical_to_off_pass true. A final sample inside the (%.2f, %.2f) hysteresis band is by design: the controller does not chase in-band skew.", opts.HighWater, opts.LowWater, opts.HighWater),
+	}
+
+	n := sc.MidN
+	var offAnswers string
+	for _, controller := range []bool{false, true} {
+		row, answers, err := runMaintainPass(sc, n, shards, sigma, opts, controller, progress)
+		if err != nil {
+			return nil, err
+		}
+		if controller {
+			row.AnswersIdentical = answers == offAnswers
+			if !row.AnswersIdentical {
+				return nil, fmt.Errorf("maintain: answers diverged between controller-off and controller-on passes at n=%d", n)
+			}
+		} else {
+			offAnswers = answers
+		}
+		answersCell := "-"
+		if controller {
+			answersCell = "identical"
+		}
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%v", controller),
+			fmt.Sprintf("%d", row.ChurnOps),
+			fmt.Sprintf("%d", row.Ticks),
+			fmt.Sprintf("%d", row.Reshards),
+			fmt.Sprintf("%.2f", row.ImbPeak),
+			fmt.Sprintf("%.2f", row.ImbFinal),
+			fmt.Sprintf("%.2fms", row.WorstQueryMS),
+			answersCell)
+		report.Rows = append(report.Rows, *row)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(MaintainJSONPath, append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	progress("maintain: wrote " + MaintainJSONPath)
+	return t, nil
+}
+
+// runMaintainPass runs one deterministic churn pass and returns its row
+// plus the final answer string of the fixed query workload.
+func runMaintainPass(sc Scale, n, shards int, sigma float64, opts uvdiagram.MaintainOptions, controller bool, progress func(string)) (*maintainRow, string, error) {
+	const tickEvery = 100
+	cfg := datagen.Config{N: n, Side: sc.Side, Diameter: sc.Diameter, Seed: sc.Seed}
+	progress(fmt.Sprintf("maintain: building uniform n=%d over %d shards (controller %v)", n, shards, controller))
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), &uvdiagram.Options{Shards: shards})
+	if err != nil {
+		return nil, "", err
+	}
+	row := &maintainRow{N: n, Shards: shards, Controller: controller}
+
+	var m *uvdiagram.Maintainer
+	if controller {
+		m, err = db.StartMaintainer(opts)
+		if err != nil {
+			return nil, "", err
+		}
+		defer m.Stop()
+	}
+
+	// The fixed query workload compared bitwise across the two passes.
+	qrng := rand.New(rand.NewSource(sc.Seed + 5))
+	queries := make([]uvdiagram.Point, 64)
+	for i := range queries {
+		queries[i] = uvdiagram.Pt(qrng.Float64()*sc.Side, qrng.Float64()*sc.Side)
+	}
+
+	// Drift churn: delete uniform-era objects in id order, insert
+	// Gaussian-clustered replacements at the domain center.
+	rng := rand.New(rand.NewSource(sc.Seed + 31))
+	churn := n / 2
+	row.ChurnOps = churn
+	cx, cy := sc.Side/2, sc.Side/2
+	clamp := func(v float64) float64 { return min(max(v, 0), sc.Side) }
+	var worst, total time.Duration
+	var sampled int
+	tick := func() {
+		imb := db.LoadImbalance()
+		row.Trajectory = append(row.Trajectory, imb)
+		if imb > row.ImbPeak {
+			row.ImbPeak = imb
+		}
+		if m != nil {
+			m.Tick()
+		}
+		q := uvdiagram.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
+		t0 := time.Now()
+		if _, _, err := db.PNN(q); err != nil {
+			panic(err) // in-domain PNN cannot fail
+		}
+		d := time.Since(t0)
+		total += d
+		if d > worst {
+			worst = d
+		}
+		sampled++
+	}
+	for op := 0; op < churn; op++ {
+		if err := db.Delete(int32(op)); err != nil {
+			return nil, "", err
+		}
+		o := uvdiagram.NewObject(db.NextID(),
+			clamp(cx+sigma*rng.NormFloat64()), clamp(cy+sigma*rng.NormFloat64()),
+			sc.Diameter/2, nil)
+		if err := db.Insert(o); err != nil {
+			return nil, "", err
+		}
+		if (op+1)%tickEvery == 0 {
+			tick()
+		}
+	}
+	// Trailing ticks: give pending pressure (sustain + cooldown) room to
+	// converge after the churn stops, like a server that stays up.
+	for i := 0; i < 3*opts.SustainTicks; i++ {
+		time.Sleep(opts.MinInterval / time.Duration(opts.SustainTicks))
+		tick()
+	}
+	row.Ticks = uint64(len(row.Trajectory))
+	row.ImbFinal = db.LoadImbalance()
+	if m != nil {
+		row.Reshards = m.Stats().Reshards
+	}
+	row.WorstQueryMS = float64(worst.Microseconds()) / 1e3
+	if sampled > 0 {
+		row.MeanQueryMS = float64(total.Microseconds()) / 1e3 / float64(sampled)
+	}
+	progress(fmt.Sprintf("maintain: controller %v: imbalance peak %.2f -> final %.2f, %d reshards, worst query %v",
+		controller, row.ImbPeak, row.ImbFinal, row.Reshards, worst.Round(time.Microsecond)))
+	answers, err := answerStrings(db, queries)
+	if err != nil {
+		return nil, "", err
+	}
+	return row, answers, nil
+}

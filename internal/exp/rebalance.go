@@ -37,6 +37,7 @@ type rebalanceRow struct {
 }
 
 type rebalanceReport struct {
+	ReportHeader
 	Description string         `json:"description"`
 	Environment map[string]any `json:"environment"`
 	Rows        []rebalanceRow `json:"rows"`
@@ -71,7 +72,8 @@ func RunRebalance(sc Scale, progress func(string)) (*Table, error) {
 		},
 	}
 	report := rebalanceReport{
-		Description: fmt.Sprintf("Adaptive shard layout sweep: uvbench -exp rebalance -scale %s. Skewed dataset (Gaussian centers, sigma=%.0f, side=%.0f) over a %d-shard (4x4) grid; equal strips vs online Reshard to weighted-median cuts; CompactAll(2) runs concurrently with PNN traffic.", sc.Name, sigma, sc.Side, shards),
+		ReportHeader: newReportHeader("rebalance"),
+		Description:  fmt.Sprintf("Adaptive shard layout sweep: uvbench -exp rebalance -scale %s. Skewed dataset (Gaussian centers, sigma=%.0f, side=%.0f) over a %d-shard (4x4) grid; equal strips vs online Reshard to weighted-median cuts; CompactAll(2) runs concurrently with PNN traffic.", sc.Name, sigma, sc.Side, shards),
 		Environment: map[string]any{
 			"goos":  runtime.GOOS,
 			"cpu":   fmt.Sprintf("%d cores", runtime.NumCPU()),

@@ -1,0 +1,224 @@
+// Package metrics provides the lock-cheap counters, gauges and latency
+// histograms behind the server's observability surface (the OpMetrics
+// wire opcode, `uvclient metrics` and the expvar endpoint). Every
+// mutation is a single atomic operation, so instrumenting a hot path —
+// one counter bump per request, one histogram observation per push —
+// costs nanoseconds and never takes a lock; only registration and
+// snapshotting synchronize.
+//
+// A Set is a named registry. Snapshots flatten every metric into
+// (name, value) pairs sorted by name: counters and gauges contribute
+// one pair, histograms contribute derived pairs (<name>.count,
+// <name>.sum_ns, <name>.max_ns, <name>.p50_ns, <name>.p99_ns), so one
+// flat, stable schema serves the wire encoding, the CLI table and
+// expvar alike.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is ignored: counters never regress).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins float64 level (an imbalance factor, a live
+// session count).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last recorded level.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets is the fixed exponential bucket count of a Histogram:
+// bucket i holds observations in [2^i µs, 2^(i+1) µs), bucket 0 also
+// takes everything below 1µs and the last bucket everything above
+// 2^(histBuckets-1) µs ≈ 1100 s — wide enough for any latency this
+// engine produces.
+const histBuckets = 31
+
+// Histogram accumulates durations into exponential buckets plus exact
+// count/sum/max. Observations are four atomic operations; quantiles are
+// derived from the buckets at snapshot time (within one power-of-two
+// bucket of exact).
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	maxNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe records one duration (negative durations clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := d.Nanoseconds()
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		old := h.maxNS.Load()
+		if ns <= old || h.maxNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// quantileNS returns the upper bound (in ns) of the bucket containing
+// the q-quantile observation, 0 when empty.
+func (h *Histogram) quantileNS(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			// Upper bound of bucket i: 2^(i+1) µs.
+			return int64(1) << uint(i+1) * 1000
+		}
+	}
+	return h.maxNS.Load()
+}
+
+// Value is one flattened metric sample.
+type Value struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Set is a named metric registry. Metrics are created on first use and
+// live for the Set's lifetime; the returned pointers are what hot paths
+// hold, so steady-state instrumentation never touches the registry
+// lock.
+type Set struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gaugs map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewSet returns an empty registry.
+func NewSet() *Set {
+	return &Set{
+		ctrs:  make(map[string]*Counter),
+		gaugs: make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter with the given name.
+func (s *Set) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		s.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the given name.
+func (s *Set) Gauge(name string) *Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gaugs[name]
+	if !ok {
+		g = &Gauge{}
+		s.gaugs[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// name.
+func (s *Set) Histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Histogram{}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot flattens every registered metric into (name, value) pairs
+// sorted by name. Counter and gauge reads are single atomic loads, so a
+// snapshot taken under concurrent traffic is a consistent-enough view:
+// each individual value is exact at its read instant.
+func (s *Set) Snapshot() []Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Value, 0, len(s.ctrs)+len(s.gaugs)+5*len(s.hists))
+	for name, c := range s.ctrs {
+		out = append(out, Value{Name: name, Value: float64(c.Value())})
+	}
+	for name, g := range s.gaugs {
+		out = append(out, Value{Name: name, Value: g.Value()})
+	}
+	for name, h := range s.hists {
+		out = append(out,
+			Value{Name: name + ".count", Value: float64(h.count.Load())},
+			Value{Name: name + ".sum_ns", Value: float64(h.sumNS.Load())},
+			Value{Name: name + ".max_ns", Value: float64(h.maxNS.Load())},
+			Value{Name: name + ".p50_ns", Value: float64(h.quantileNS(0.50))},
+			Value{Name: name + ".p99_ns", Value: float64(h.quantileNS(0.99))},
+		)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Map renders a snapshot as a name → value map (the expvar encoding).
+func (s *Set) Map() map[string]float64 {
+	snap := s.Snapshot()
+	m := make(map[string]float64, len(snap))
+	for _, v := range snap {
+		m[v.Name] = v.Value
+	}
+	return m
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("ops.pnn")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters never regress
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if s.Counter("ops.pnn") != c {
+		t.Fatal("Counter is not idempotent per name")
+	}
+	g := s.Gauge("db.imbalance")
+	g.Set(1.75)
+	if got := g.Value(); got != 1.75 {
+		t.Fatalf("gauge = %v, want 1.75", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.quantileNS(0.50)
+	if p50 < int64(10*time.Microsecond.Nanoseconds()) || p50 > int64(32*time.Microsecond.Nanoseconds()) {
+		t.Fatalf("p50 = %dns, want within a bucket of 10µs", p50)
+	}
+	if p99 := h.quantileNS(0.99); p99 < int64(64*time.Millisecond.Nanoseconds()) {
+		t.Fatalf("p99 = %dns, want to land in the 100ms outlier's bucket", p99)
+	}
+	if max := h.maxNS.Load(); max != (100 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("max = %dns", max)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamps to zero
+	h.Observe(0)
+	h.Observe(time.Hour) // beyond the last bucket bound
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if b := bucketOf(time.Hour); b != histBuckets-1 {
+		t.Fatalf("1h bucket = %d, want last (%d)", b, histBuckets-1)
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	s := NewSet()
+	s.Counter("b").Inc()
+	s.Gauge("a").Set(2)
+	s.Histogram("c").Observe(time.Millisecond)
+	snap := s.Snapshot()
+	want := []string{"a", "b", "c.count", "c.max_ns", "c.p50_ns", "c.p99_ns", "c.sum_ns"}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d values, want %d: %v", len(snap), len(want), snap)
+	}
+	for i, v := range snap {
+		if v.Name != want[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, v.Name, want[i])
+		}
+	}
+	if m := s.Map(); m["b"] != 1 || m["a"] != 2 || m["c.count"] != 1 {
+		t.Fatalf("map = %v", m)
+	}
+}
+
+// TestConcurrentExactness pins the layer's core promise: counts taken
+// under concurrency are exact, not approximate.
+func TestConcurrentExactness(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("hits")
+	h := s.Histogram("lat")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}

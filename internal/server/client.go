@@ -331,6 +331,34 @@ func (c *Client) Stats() (Stats, error) {
 	return st, r.Err()
 }
 
+// Metrics fetches the server's observability snapshot: flattened
+// (name, value) pairs sorted by name. Callers must ignore names they do
+// not recognize — the metric set grows without a protocol bump.
+func (c *Client) Metrics() ([]Metric, error) {
+	r, err := c.roundTrip(wire.OpMetrics, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > r.Remaining() { // each metric is ≥ 12 bytes; cheap sanity cap
+		return nil, fmt.Errorf("client: metric count %d exceeds payload", n)
+	}
+	out := make([]Metric, n)
+	for i := range out {
+		out[i] = Metric{Name: r.Str(), Value: r.F64()}
+	}
+	return out, r.Err()
+}
+
+// Metric is one named sample from the server's metrics snapshot.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
 func decodeAnswers(r *wire.Reader) ([]uvdiagram.Answer, error) {
 	n := int(r.U32())
 	if err := r.Err(); err != nil {

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"uvdiagram"
+	"uvdiagram/internal/metrics"
+	"uvdiagram/internal/wire"
+)
+
+// Server observability: every request frame bumps a per-opcode counter,
+// the push path times its flushes and counts slow-consumer disconnects,
+// and the DB's maintenance observer feeds reshard/compaction events —
+// all lock-free atomics on the hot paths (see internal/metrics). The
+// flattened snapshot is served identically through the OpMetrics wire
+// opcode, Server.MetricsMap (the expvar feed) and `uvclient metrics`.
+//
+// Counter semantics are EXACT: a request frame increments exactly one
+// ops.* counter at decode time, so under any concurrency the counts
+// equal the number of frames the server decoded. Gauges (db.*, sub.*,
+// cache.*, maint.ticks…) are sampled at snapshot time from the live
+// engine.
+type serverMetrics struct {
+	set *metrics.Set
+
+	// ops maps a request opcode byte to its counter; unknown bytes
+	// share ops.unknown. Filled once at construction so the decode loop
+	// never touches the registry lock.
+	ops      [256]*metrics.Counter
+	opErrors *metrics.Counter
+
+	pushDeltas    *metrics.Counter
+	pushFlush     *metrics.Histogram
+	slowConsumers *metrics.Counter
+
+	maintReshards      *metrics.Counter
+	maintCompacts      *metrics.Counter
+	maintShardCompacts *metrics.Counter
+	maintFailures      *metrics.Counter
+	maintReshardDur    *metrics.Histogram
+	maintCompactDur    *metrics.Histogram
+	imbBefore          *metrics.Gauge
+	imbAfter           *metrics.Gauge
+
+	// Snapshot-time gauges.
+	subActive   *metrics.Gauge
+	dbLive      *metrics.Gauge
+	dbSlack     *metrics.Gauge
+	dbImbalance *metrics.Gauge
+	cacheHits   *metrics.Gauge
+	cacheMisses *metrics.Gauge
+	maintTicks  *metrics.Gauge
+	maintArms   *metrics.Gauge
+	maintPress  *metrics.Gauge
+}
+
+func newServerMetrics() *serverMetrics {
+	set := metrics.NewSet()
+	m := &serverMetrics{
+		set:      set,
+		opErrors: set.Counter("ops.errors"),
+
+		pushDeltas:    set.Counter("push.deltas"),
+		pushFlush:     set.Histogram("push.flush"),
+		slowConsumers: set.Counter("push.slow_consumer_disconnects"),
+
+		maintReshards:      set.Counter("maint.reshards"),
+		maintCompacts:      set.Counter("maint.compacts"),
+		maintShardCompacts: set.Counter("maint.shard_compacts"),
+		maintFailures:      set.Counter("maint.failures"),
+		maintReshardDur:    set.Histogram("maint.reshard"),
+		maintCompactDur:    set.Histogram("maint.compact"),
+		imbBefore:          set.Gauge("maint.last_imbalance_before"),
+		imbAfter:           set.Gauge("maint.last_imbalance_after"),
+
+		subActive:   set.Gauge("sub.active"),
+		dbLive:      set.Gauge("db.live"),
+		dbSlack:     set.Gauge("db.slack"),
+		dbImbalance: set.Gauge("db.imbalance"),
+		cacheHits:   set.Gauge("cache.leaf_hits"),
+		cacheMisses: set.Gauge("cache.leaf_misses"),
+		maintTicks:  set.Gauge("maint.ticks"),
+		maintArms:   set.Gauge("maint.compact_arms"),
+		maintPress:  set.Gauge("maint.pressure"),
+	}
+	unknown := set.Counter("ops.unknown")
+	for i := 0; i < 256; i++ {
+		if name := wire.OpName(byte(i)); name != "unknown" {
+			m.ops[i] = set.Counter("ops." + name)
+		} else {
+			m.ops[i] = unknown
+		}
+	}
+	return m
+}
+
+// observeMaint is the DB maintenance observer (see DB.OnMaintenance):
+// it runs synchronously inside the maintenance paths, so it only bumps
+// atomics.
+func (m *serverMetrics) observeMaint(ev uvdiagram.MaintEvent) {
+	if ev.Err != nil {
+		m.maintFailures.Inc()
+		return
+	}
+	switch ev.Kind {
+	case uvdiagram.MaintReshard:
+		m.maintReshards.Inc()
+		m.maintReshardDur.Observe(ev.Dur)
+		m.imbBefore.Set(ev.ImbalanceBefore)
+		m.imbAfter.Set(ev.ImbalanceAfter)
+	case uvdiagram.MaintCompact:
+		m.maintCompacts.Inc()
+		m.maintCompactDur.Observe(ev.Dur)
+	case uvdiagram.MaintCompactShard:
+		m.maintShardCompacts.Inc()
+		m.maintCompactDur.Observe(ev.Dur)
+	}
+}
+
+// MetricsSnapshot samples the live-engine gauges and returns the full
+// flattened metric set, sorted by name — the one source behind the
+// OpMetrics opcode, MetricsMap/expvar and the CLI. Safe to call
+// concurrently with traffic; no server lock is taken (the sampled DB
+// accessors are atomic reads).
+func (s *Server) MetricsSnapshot() []metrics.Value {
+	m := s.metrics
+	m.subActive.Set(float64(s.Subscriptions()))
+	m.dbLive.Set(float64(s.db.Len()))
+	m.dbSlack.Set(float64(s.db.Slack()))
+	m.dbImbalance.Set(s.db.LoadImbalance())
+	hits, misses := s.db.LeafCacheStats()
+	m.cacheHits.Set(float64(hits))
+	m.cacheMisses.Set(float64(misses))
+	if mt := s.db.Maintainer(); mt != nil {
+		st := mt.Stats()
+		m.maintTicks.Set(float64(st.Ticks))
+		m.maintArms.Set(float64(st.CompactArms))
+		m.maintPress.Set(float64(st.Pressure))
+	}
+	return m.set.Snapshot()
+}
+
+// MetricsMap renders MetricsSnapshot as a name → value map — the shape
+// expvar.Func wants, so cmd/uvserver can publish the whole set on the
+// existing -pprof HTTP listener with one registration.
+func (s *Server) MetricsMap() map[string]float64 {
+	snap := s.MetricsSnapshot()
+	out := make(map[string]float64, len(snap))
+	for _, v := range snap {
+		out[v.Name] = v.Value
+	}
+	return out
+}

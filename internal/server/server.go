@@ -30,6 +30,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"time"
 
 	"uvdiagram"
 	"uvdiagram/internal/uncertain"
@@ -49,6 +50,14 @@ type Config struct {
 	// CacheSize is the size of the batch engine's leaf-lookup LRU cache
 	// (default 256; negative disables caching).
 	CacheSize int
+	// PushTimeout bounds one out-of-band push write to a subscriber: a
+	// consumer that stopped reading long enough for its socket buffer
+	// to fill would otherwise stall whoever produces its deltas, so
+	// after PushTimeout its connection is disconnected (and counted in
+	// push.slow_consumer_disconnects). Zero selects the default 5s;
+	// negative values are rejected by NewWithConfig — an unbounded push
+	// write would let one dead subscriber wedge the whole server.
+	PushTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -63,7 +72,18 @@ func (c Config) withDefaults() Config {
 	} else if c.CacheSize < 0 {
 		c.CacheSize = 0
 	}
+	if c.PushTimeout == 0 {
+		c.PushTimeout = 5 * time.Second
+	}
 	return c
+}
+
+// validate rejects configurations withDefaults cannot repair.
+func (c Config) validate() error {
+	if c.PushTimeout < 0 {
+		return fmt.Errorf("server: PushTimeout %v is negative (0 selects the 5s default)", c.PushTimeout)
+	}
+	return nil
 }
 
 // Server serves one DB over a listener.
@@ -83,29 +103,49 @@ type Server struct {
 	submu sync.RWMutex
 	subs  map[uint64]*session
 	subid uint64 // last assigned subscription id (guarded by submu)
+
+	// metrics is the observability registry (see metrics.go), exposed
+	// through OpMetrics, MetricsSnapshot/MetricsMap and uvclient.
+	metrics *serverMetrics
 }
 
 // New wraps a built database with the default Config. logf may be nil
 // to discard logs.
 func New(db *uvdiagram.DB, logf func(format string, args ...any)) *Server {
-	return NewWithConfig(db, logf, Config{})
+	s, err := NewWithConfig(db, logf, Config{})
+	if err != nil {
+		// The zero Config is always valid; reaching here is a
+		// programming error in validate itself.
+		panic(err)
+	}
+	return s
 }
 
 // NewWithConfig wraps a built database with an explicit engine
-// configuration.
-func NewWithConfig(db *uvdiagram.DB, logf func(format string, args ...any), cfg Config) *Server {
+// configuration, rejecting invalid configurations (negative
+// PushTimeout). It registers itself as the database's maintenance
+// observer (DB.OnMaintenance), so reshard/compaction events land in the
+// server's maint.* metrics; a caller-installed observer would be
+// replaced.
+func NewWithConfig(db *uvdiagram.DB, logf func(format string, args ...any), cfg Config) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	cfg = cfg.withDefaults()
-	return &Server{
-		db:     db,
-		cfg:    cfg,
-		sem:    make(chan struct{}, cfg.Workers),
-		logf:   logf,
-		closed: make(chan struct{}),
-		subs:   make(map[uint64]*session),
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:      db,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		logf:    logf,
+		closed:  make(chan struct{}),
+		subs:    make(map[uint64]*session),
+		metrics: newServerMetrics(),
+	}
+	db.OnMaintenance(s.metrics.observeMaint)
+	return s, nil
 }
 
 // DB returns the served database.
@@ -263,11 +303,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		// One decoded request frame = exactly one ops.* increment, here
+		// and nowhere else — what makes the counters ground-truth exact.
+		s.metrics.ops[op].Inc()
 		if op == wire.OpMove {
 			// Fire-and-forget: no response slot. Runs inline so the
 			// move's delta (if any) is on the wire before any later
 			// frame of this connection is decoded.
 			if err := s.handleMove(cs, payload); err != nil {
+				s.metrics.opErrors.Inc()
 				s.logf("server: %v: move: %v", conn.RemoteAddr(), err)
 				return // poison: no in-band channel exists for move errors
 			}
@@ -280,6 +324,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.sem <- struct{}{}
 			resp, err := s.dispatch(op, payload)
 			<-s.sem
+			if err != nil {
+				s.metrics.opErrors.Inc()
+			}
 			if err == nil {
 				// Push answer deltas to every affected subscriber BEFORE
 				// the write's response is released (see notifySessions).
@@ -294,6 +341,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer func() { <-s.sem }()
 			defer inflight.Done()
 			resp, err := s.dispatchConn(cs, sl, op, payload)
+			if err != nil {
+				s.metrics.opErrors.Inc()
+			}
 			sl.finish(resp, err)
 		}()
 	}
@@ -466,6 +516,19 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 			b.F64(p.Region.Max.Y)
 			b.U32(uint32(p.Count))
 			b.F64(p.Density)
+		}
+		return b.Bytes(), nil
+
+	case wire.OpMetrics:
+		if rem := r.Remaining(); rem != 0 {
+			return nil, fmt.Errorf("server: metrics payload has %d trailing bytes", rem)
+		}
+		snap := s.MetricsSnapshot()
+		var b wire.Buffer
+		b.U32(uint32(len(snap)))
+		for _, v := range snap {
+			b.Str(v.Name)
+			b.F64(v.Value)
 		}
 		return b.Bytes(), nil
 

@@ -36,13 +36,13 @@ import (
 //     writes to one connection are serialized, so the client can detect
 //     any hole.
 
-// pushWriteTimeout bounds one out-of-band push write. A subscriber that
-// stopped reading long enough for its socket buffer to fill would
-// otherwise stall whoever produces its deltas (another connection's
-// decode loop, after a write); instead its connection is poisoned — it
-// could not have reconstructed the answer set past a dropped delta
-// anyway.
-const pushWriteTimeout = 5 * time.Second
+// One out-of-band push write is bounded by Config.PushTimeout (default
+// 5s). A subscriber that stopped reading long enough for its socket
+// buffer to fill would otherwise stall whoever produces its deltas
+// (another connection's decode loop, after a write); instead its
+// connection is poisoned — it could not have reconstructed the answer
+// set past a dropped delta anyway. Each such disconnect is counted in
+// the push.slow_consumer_disconnects metric.
 
 // connState is one connection's write path and subscription table. All
 // frame writes — ordered responses from the writer goroutine and
@@ -116,10 +116,15 @@ func (ss *session) pushDelta(ids []int32, safe uvdiagram.Circle) {
 	for _, id := range removed {
 		b.I32(id)
 	}
-	if err := ss.cs.write(wire.PushAnswerDelta, b.Bytes(), pushWriteTimeout); err != nil {
+	m := ss.cs.s.metrics
+	t0 := time.Now()
+	if err := ss.cs.write(wire.PushAnswerDelta, b.Bytes(), ss.cs.s.cfg.PushTimeout); err != nil {
+		m.slowConsumers.Inc()
 		ss.cs.conn.Close() // poisons the subscriber's connection
 		return
 	}
+	m.pushFlush.Observe(time.Since(t0))
+	m.pushDeltas.Inc()
 	ss.last = append(ss.last[:0], ids...)
 }
 
@@ -134,7 +139,8 @@ func (ss *session) fail(cause error) {
 	b.U64(ss.seq)
 	b.U8(1)
 	b.Str(cause.Error())
-	if err := ss.cs.write(wire.PushAnswerDelta, b.Bytes(), pushWriteTimeout); err != nil {
+	if err := ss.cs.write(wire.PushAnswerDelta, b.Bytes(), ss.cs.s.cfg.PushTimeout); err != nil {
+		ss.cs.s.metrics.slowConsumers.Inc()
 		ss.cs.conn.Close()
 	}
 }

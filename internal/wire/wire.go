@@ -99,7 +99,65 @@ const (
 	OpSubscribe   byte = 0x10
 	OpMove        byte = 0x11
 	OpUnsubscribe byte = 0x12
+
+	// OpMetrics retrieves the server's metrics snapshot: flattened
+	// (name, value) pairs sorted by name — counters (ops by opcode,
+	// cache hits, slow-consumer disconnects, maintenance events),
+	// gauges (live objects, imbalance, active subscriptions) and
+	// histogram derivations (<name>.count/.sum_ns/.max_ns/.p50_ns/
+	// .p99_ns). Clients must ignore names they do not recognize: the
+	// set grows without a protocol bump.
+	//
+	// Payload: empty → u32 n, n × (str name, f64 value)
+	OpMetrics byte = 0x13
 )
+
+// OpName returns a stable lower-case mnemonic for a request opcode
+// ("pnn", "batch_pnn", …) — the per-opcode metric naming the server's
+// ops.* counters use — or "unknown" for an unassigned byte.
+func OpName(op byte) string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpStats:
+		return "stats"
+	case OpPNN:
+		return "pnn"
+	case OpTopK:
+		return "topk"
+	case OpPossibleKNN:
+		return "knn"
+	case OpRNN:
+		return "rnn"
+	case OpCellArea:
+		return "cell_area"
+	case OpPartitions:
+		return "partitions"
+	case OpInsert:
+		return "insert"
+	case OpBatchPNN:
+		return "batch_pnn"
+	case OpBatchTopK:
+		return "batch_topk"
+	case OpBatchKNN:
+		return "batch_knn"
+	case OpBatchThreshold:
+		return "batch_threshold"
+	case OpDelete:
+		return "delete"
+	case OpBatchDelete:
+		return "batch_delete"
+	case OpSubscribe:
+		return "subscribe"
+	case OpMove:
+		return "move"
+	case OpUnsubscribe:
+		return "unsubscribe"
+	case OpMetrics:
+		return "metrics"
+	}
+	return "unknown"
+}
 
 // MaxBatchPoints bounds the query-point count of one batch frame: 2^15
 // points fill half a MaxFrame, leaving room for the response of typical

@@ -1,0 +1,435 @@
+package uvdiagram
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"uvdiagram/internal/datagen"
+)
+
+// maintTestOptions is the deterministic controller configuration the
+// hysteresis tests drive by hand: the background loop idles (hour-long
+// interval) and every decision comes from an explicit Tick with an
+// injected clock.
+func maintTestOptions() MaintainOptions {
+	return MaintainOptions{
+		Interval:     time.Hour,
+		HighWater:    2.0,
+		LowWater:     1.5,
+		SustainTicks: 3,
+		MinInterval:  time.Minute,
+	}
+}
+
+func buildMaintDB(t *testing.T) (*DB, datagen.Config) {
+	t.Helper()
+	cfg := datagen.Config{N: 80, Side: 2000, Diameter: 40, Seed: 97}
+	db, err := Build(datagen.Uniform(cfg), cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, cfg
+}
+
+// addCluster inserts k objects in a tight box around (fx, fy) of the
+// domain (fractions of the side), returning their ids. A tight cluster
+// lands in one shard and spikes LoadImbalance.
+func addCluster(t *testing.T, db *DB, cfg datagen.Config, k int, fx, fy float64) []int32 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	ids := make([]int32, 0, k)
+	for j := 0; j < k; j++ {
+		x := (fx + 0.01*rng.Float64()) * cfg.Side
+		y := (fy + 0.01*rng.Float64()) * cfg.Side
+		id := db.NextID()
+		if err := db.Insert(NewObject(id, x, y, cfg.Diameter/2, nil)); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func removeCluster(t *testing.T, db *DB, ids []int32) {
+	t.Helper()
+	for _, id := range ids {
+		if err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMaintainOptionsValidate rejects configurations that cannot
+// implement hysteresis.
+func TestMaintainOptionsValidate(t *testing.T) {
+	db, _ := buildMaintDB(t)
+	for _, opts := range []MaintainOptions{
+		{LowWater: 0.5, HighWater: 2},   // imbalance is never below 1
+		{LowWater: 1.5, HighWater: 1.5}, // empty band
+		{LowWater: 1.5, HighWater: 1.2}, // inverted band
+	} {
+		if _, err := db.StartMaintainer(opts); err == nil {
+			t.Fatalf("StartMaintainer(%+v) accepted an invalid hysteresis band", opts)
+		}
+	}
+	if db.Maintainer() != nil {
+		t.Fatal("failed StartMaintainer left a maintainer attached")
+	}
+}
+
+// TestMaintainerSingleAttach proves the at-most-one-controller contract
+// and that Stop detaches cleanly for a successor.
+func TestMaintainerSingleAttach(t *testing.T) {
+	db, _ := buildMaintDB(t)
+	m, err := db.StartMaintainer(maintTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Maintainer() != m {
+		t.Fatal("Maintainer() does not return the attached controller")
+	}
+	if _, err := db.StartMaintainer(maintTestOptions()); err == nil {
+		t.Fatal("second StartMaintainer succeeded with one already attached")
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	if db.Maintainer() != nil {
+		t.Fatal("Stop left the controller attached")
+	}
+	m2, err := db.StartMaintainer(maintTestOptions())
+	if err != nil {
+		t.Fatalf("restart after Stop: %v", err)
+	}
+	m2.Stop()
+}
+
+// TestMaintainerHysteresisOscillation is the bounded-reshard property:
+// skew that spikes above the high watermark but keeps dipping below the
+// low watermark before sustaining never accumulates enough pressure to
+// fire — an oscillating workload cannot make the controller thrash.
+func TestMaintainerHysteresisOscillation(t *testing.T) {
+	db, cfg := buildMaintDB(t)
+	opts := maintTestOptions()
+	m, err := db.StartMaintainer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { return now }
+
+	if imb := db.LoadImbalance(); imb > opts.LowWater {
+		t.Fatalf("uniform base imbalance %.2f above the low watermark %.2f; retune the fixture", imb, opts.LowWater)
+	}
+	for round := 0; round < 5; round++ {
+		ids := addCluster(t, db, cfg, 3*cfg.N, 0.70, 0.70)
+		if imb := db.LoadImbalance(); imb < opts.HighWater {
+			t.Fatalf("round %d: clustered imbalance %.2f below the high watermark %.2f", round, imb, opts.HighWater)
+		}
+		// One tick short of SustainTicks, then the skew collapses.
+		for k := 0; k < opts.SustainTicks-1; k++ {
+			m.Tick()
+		}
+		removeCluster(t, db, ids)
+		m.Tick() // at or below LowWater: pressure resets
+		if st := m.Stats(); st.Pressure != 0 {
+			t.Fatalf("round %d: pressure %d after dip below the low watermark, want 0", round, st.Pressure)
+		}
+	}
+	if st := m.Stats(); st.Reshards != 0 {
+		t.Fatalf("oscillating skew fired %d reshards, want 0", st.Reshards)
+	}
+}
+
+// TestMaintainerHysteresisSustained is the convergence property:
+// sustained skew fires exactly one reshard once the pressure window
+// fills, the reshard brings imbalance below the low watermark, and the
+// cooldown blocks a re-fire until the injected clock passes it.
+func TestMaintainerHysteresisSustained(t *testing.T) {
+	db, cfg := buildMaintDB(t)
+	opts := maintTestOptions()
+	m, err := db.StartMaintainer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { return now }
+
+	addCluster(t, db, cfg, 3*cfg.N, 0.70, 0.70)
+	for k := 0; k < opts.SustainTicks; k++ {
+		if st := m.Stats(); st.Reshards != 0 {
+			t.Fatalf("reshard fired after %d ticks, before the sustain window filled", k)
+		}
+		m.Tick()
+	}
+	st := m.Stats()
+	if st.Reshards != 1 {
+		t.Fatalf("sustained skew fired %d reshards, want exactly 1", st.Reshards)
+	}
+	if imb := db.LoadImbalance(); imb > opts.LowWater {
+		t.Fatalf("post-reshard imbalance %.2f above the low watermark %.2f: no convergence", imb, opts.LowWater)
+	}
+	if st.Pressure != 0 {
+		t.Fatalf("pressure %d after a successful reshard, want 0", st.Pressure)
+	}
+
+	// Balanced ticks stay quiet.
+	for k := 0; k < 3; k++ {
+		m.Tick()
+	}
+	if st := m.Stats(); st.Reshards != 1 {
+		t.Fatalf("balanced ticks fired %d extra reshards", st.Reshards-1)
+	}
+
+	// New sustained skew inside the cooldown: pressure fills but the
+	// reshard is held until the clock passes MinInterval.
+	addCluster(t, db, cfg, 4*cfg.N, 0.05, 0.05)
+	for k := 0; k < opts.SustainTicks+2; k++ {
+		m.Tick()
+	}
+	st = m.Stats()
+	if st.Reshards != 1 {
+		t.Fatalf("reshard fired inside the cooldown (%d total)", st.Reshards)
+	}
+	if st.CooldownSkips == 0 {
+		t.Fatal("cooldown held no tick despite sustained pressure")
+	}
+	now = now.Add(opts.MinInterval + time.Second)
+	m.Tick()
+	if st := m.Stats(); st.Reshards != 2 {
+		t.Fatalf("reshard did not fire after the cooldown expired (%d total)", st.Reshards)
+	}
+}
+
+// TestMaintainEvents verifies the observer feed: every maintenance
+// path fires a typed event with its kind, shard and imbalance bracket.
+func TestMaintainEvents(t *testing.T) {
+	db, cfg := buildMaintDB(t)
+	var mu sync.Mutex
+	var events []MaintEvent
+	db.OnMaintenance(func(ev MaintEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	take := func() []MaintEvent {
+		mu.Lock()
+		defer mu.Unlock()
+		out := events
+		events = nil
+		return out
+	}
+
+	if err := db.CompactShard(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	evs := take()
+	if len(evs) != 1 || evs[0].Kind != MaintCompactShard || evs[0].Shard != 2 {
+		t.Fatalf("CompactShard events = %+v, want one compact-shard on shard 2", evs)
+	}
+
+	addCluster(t, db, cfg, 2*cfg.N, 0.70, 0.70)
+	before := db.LoadImbalance()
+	if err := db.Reshard(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	evs = take()
+	if len(evs) != 1 || evs[0].Kind != MaintReshard || evs[0].Shard != -1 {
+		t.Fatalf("Reshard events = %+v, want one reshard", evs)
+	}
+	if evs[0].ImbalanceBefore != before || evs[0].ImbalanceAfter >= before {
+		t.Fatalf("reshard event imbalance bracket %.2f -> %.2f, want before=%.2f and a drop",
+			evs[0].ImbalanceBefore, evs[0].ImbalanceAfter, before)
+	}
+
+	db.OnMaintenance(nil)
+	if err := db.CompactShard(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if evs := take(); len(evs) != 0 {
+		t.Fatalf("unregistered observer still received %d events", len(evs))
+	}
+}
+
+// TestDomainErrorsTyped verifies the typed out-of-domain contract of
+// the session paths: NewContinuousPNN, Move and AdvanceAll all fail an
+// out-of-domain position with a *DomainError matching ErrOutOfDomain,
+// and AdvanceAll reports it per session without touching the others.
+func TestDomainErrorsTyped(t *testing.T) {
+	db, cfg := buildMaintDB(t)
+	out := Pt(-cfg.Side, cfg.Side/2)
+
+	if _, err := db.NewContinuousPNN(out); !errors.Is(err, ErrOutOfDomain) {
+		t.Fatalf("NewContinuousPNN out of domain: err = %v, want ErrOutOfDomain", err)
+	}
+	var de *DomainError
+	_, err := db.NewContinuousPNN(out)
+	if !errors.As(err, &de) || de.Point != out || de.Domain != db.Domain() {
+		t.Fatalf("NewContinuousPNN error %v does not carry the point and domain", err)
+	}
+
+	in := Pt(cfg.Side/2, cfg.Side/2)
+	sess, err := db.NewContinuousPNN(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Move(out); !errors.Is(err, ErrOutOfDomain) {
+		t.Fatalf("Move out of domain: err = %v, want ErrOutOfDomain", err)
+	}
+	if got := sess.Position(); got != in {
+		t.Fatalf("failed Move changed the session position to %v, want %v", got, in)
+	}
+
+	other, err := db.NewContinuousPNN(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []Point{out, Pt(cfg.Side/4, cfg.Side/4)}
+	_, errs := db.AdvanceAll([]*ContinuousPNN{sess, other}, qs, nil)
+	if !errors.Is(errs[0], ErrOutOfDomain) {
+		t.Fatalf("AdvanceAll session 0: err = %v, want ErrOutOfDomain", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("AdvanceAll session 1 (in domain) failed: %v", errs[1])
+	}
+	if got := other.Position(); got != qs[1] {
+		t.Fatalf("in-domain session did not advance: at %v, want %v", got, qs[1])
+	}
+	if got := sess.Position(); got != in {
+		t.Fatalf("out-of-domain session moved to %v, want unchanged %v", got, in)
+	}
+}
+
+// TestAutoCompactReshardRace hammers the background-compaction /
+// Reshard interleaving the singleflight fix targets: watermark-armed
+// shard compactions race layout swaps while a mutator churns. The
+// compacting flags must always release (re-armability), and the final
+// answers must match a fresh build of the same objects bit for bit.
+func TestAutoCompactReshardRace(t *testing.T) {
+	cfg := datagen.Config{N: 200, Side: 2000, Diameter: 40, Seed: 7}
+	db, err := Build(datagen.Uniform(cfg), cfg.Domain(),
+		&Options{Shards: 4, CompactSlack: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // layout-swap storm
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Reshard(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ { // churn keeps arming auto-compactions
+		id := int32(rng.Intn(int(db.NextID())))
+		if db.Alive(id) {
+			if err := db.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		o := NewObject(db.NextID(), rng.Float64()*cfg.Side, rng.Float64()*cfg.Side, cfg.Diameter/2, nil)
+		if err := db.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Re-armability: the storm must not strand a compacting flag. A
+	// fresh clustered burst pushes ONE shard's slack over the per-shard
+	// watermark and the background compaction must clear it.
+	for i := 0; i < 40; i++ {
+		o := NewObject(db.NextID(),
+			(0.70+0.01*rng.Float64())*cfg.Side, (0.70+0.01*rng.Float64())*cfg.Side,
+			cfg.Diameter/2, nil)
+		if err := db.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxSlack := func() int64 {
+		var m int64
+		for _, st := range db.ShardStats() {
+			m = max(m, st.Slack)
+		}
+		return m
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for maxSlack() >= 16 {
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-compaction never cleared per-shard slack %d: compacting flag stranded", maxSlack())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Answers must equal a clean single-shard build of the same state.
+	objs := make([]Object, 0, db.Len())
+	for id := int32(0); id < db.NextID(); id++ {
+		if o, err := db.Object(id); err == nil {
+			objs = append(objs, o)
+		}
+	}
+	ref, err := Build(reID(objs), db.Domain(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		q := Pt(rng.Float64()*cfg.Side, rng.Float64()*cfg.Side)
+		got, _, err := db.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ref.PNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %v: %d answers vs reference %d", q, len(got), len(want))
+		}
+	}
+}
+
+// reID renumbers surviving objects densely so they can seed a fresh
+// reference Build (which requires ids 0..n-1).
+func reID(objs []Object) []Object {
+	out := make([]Object, len(objs))
+	for i, o := range objs {
+		o.ID = int32(i)
+		out[i] = o
+	}
+	return out
+}
+
+// BenchmarkMaintainTick is the cost of one idle controller tick — a
+// LoadImbalance sample plus the slack sweep on a balanced database
+// (the steady-state overhead a deployment pays every Interval).
+func BenchmarkMaintainTick(b *testing.B) {
+	cfg := datagen.Config{N: 400, Side: 2000, Diameter: 40, Seed: 97}
+	db, err := Build(datagen.Uniform(cfg), cfg.Domain(), &Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := db.StartMaintainer(maintTestOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tick()
+	}
+}

@@ -36,8 +36,13 @@ type perfBaseline struct {
 	// ContinuousPNN.Move on a smooth trajectory at n=2000 (mostly
 	// safe-circle absorptions with periodic recomputes), best of three
 	// runs.
-	ContinuousMoveNSPerOp int64  `json:"continuous_move_ns_per_op"`
-	Note                  string `json:"note"`
+	ContinuousMoveNSPerOp int64 `json:"continuous_move_ns_per_op"`
+	// MaintainTickNSPerOp is the mean wall clock of one idle
+	// Maintainer.Tick (imbalance sample + slack sweep, no reshard) on a
+	// balanced 4-shard database at n=2000, best of three runs — the
+	// steady-state overhead a deployment pays every sampling interval.
+	MaintainTickNSPerOp int64  `json:"maintain_tick_ns_per_op"`
+	Note                string `json:"note"`
 }
 
 // loadPerfBaseline reads the committed baseline; absent file is fatal
@@ -168,6 +173,61 @@ func TestContinuousMovePerfSmoke(t *testing.T) {
 	if best > limit {
 		t.Fatalf("continuous move perf smoke: %v/op exceeds 2x the committed baseline %v — the safe-circle fast path regressed (rebaseline deliberately with -update-perf-baseline if this is expected)",
 			best, time.Duration(base.ContinuousMoveNSPerOp))
+	}
+}
+
+// TestMaintainTickPerfSmoke gates the maintenance controller's idle
+// cost: one Tick on a balanced database is an imbalance sample plus a
+// per-shard slack sweep and must stay microseconds-cheap, or running
+// the controller at second-scale intervals would tax the server it is
+// supposed to protect. A >2x regression means the sampling path grew
+// per-object work.
+func TestMaintainTickPerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("perf smoke skipped under the race detector")
+	}
+
+	cfg := datagen.Config{N: 2000, Side: 10000, Diameter: 40, Seed: 20100301}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), &uvdiagram.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := db.StartMaintainer(uvdiagram.MaintainOptions{Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	const ticks = 5000
+	best := time.Duration(1<<63 - 1)
+	for run := 0; run < 3; run++ {
+		t0 := time.Now()
+		for i := 0; i < ticks; i++ {
+			m.Tick()
+		}
+		if d := time.Since(t0) / ticks; d < best {
+			best = d
+		}
+	}
+
+	if *updatePerfBaseline {
+		updatePerfBaselineField(t, func(b *perfBaseline) { b.MaintainTickNSPerOp = best.Nanoseconds() })
+		t.Logf("wrote %s: maintain tick %v", perfBaselinePath, best)
+		return
+	}
+
+	base := loadPerfBaseline(t)
+	if base.MaintainTickNSPerOp == 0 {
+		t.Skip("no maintain-tick baseline committed yet; run with -update-perf-baseline")
+	}
+	limit := time.Duration(2 * base.MaintainTickNSPerOp)
+	t.Logf("maintain tick n=%d: %v/op (baseline %v, limit %v)", cfg.N, best, time.Duration(base.MaintainTickNSPerOp), limit)
+	if best > limit {
+		t.Fatalf("maintain tick perf smoke: %v/op exceeds 2x the committed baseline %v — the controller's sampling path regressed (rebaseline deliberately with -update-perf-baseline if this is expected)",
+			best, time.Duration(base.MaintainTickNSPerOp))
 	}
 }
 

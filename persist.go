@@ -341,5 +341,8 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 	db.layout.Store(lo)
 	built := BuildStats{Strategy: bopts.Strategy, N: store.Live(), Index: aggregateIndexStats(shapes)}
 	db.built.Store(&built)
+	if err := db.startConfiguredMaintainer(opts); err != nil {
+		return nil, err
+	}
 	return db, nil
 }

@@ -117,6 +117,19 @@ func (lo *shardLayout) epochs() []*indexEpoch {
 // lo returns the DB's current layout.
 func (db *DB) lo() *shardLayout { return db.layout.Load() }
 
+// anyCompacting reports whether any shard's background auto-compaction
+// singleflight flag is held. The maintenance controller defers a
+// reshard while one is in flight: the layout swap would retire the
+// epochs those shadow builds are about to publish, wasting their work.
+func (lo *shardLayout) anyCompacting() bool {
+	for i := range lo.shards {
+		if lo.shards[i].compacting.Load() {
+			return true
+		}
+	}
+	return false
+}
+
 // shardGrid factors s into the most square gx × gy grid (gx ≥ gy).
 func shardGrid(s int) (gx, gy int) {
 	gy = int(math.Sqrt(float64(s)))

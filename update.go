@@ -260,11 +260,13 @@ func (db *DB) Compact(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tstart := time.Now()
 	// Shadow build: nothing below mutates the live epochs or the store.
 	tree := core.BuildHelperRTree(db.store, db.bopts.Fanout)
 	t0 := time.Now()
 	crSets, stats, err := core.DeriveCRSets(db.store, db.domain, tree, db.bopts)
 	if err != nil {
+		db.fireMaint(MaintEvent{Kind: MaintCompact, Shard: -1, Dur: time.Since(tstart), Err: err})
 		return err
 	}
 	cr := core.NewCRState(crSets)
@@ -273,6 +275,7 @@ func (db *DB) Compact(ctx context.Context) error {
 	db.cr = cr
 	db.tree.Store(tree)
 	db.built.Store(&stats)
+	db.fireMaint(MaintEvent{Kind: MaintCompact, Shard: -1, Dur: time.Since(tstart)})
 	return nil
 }
 
@@ -310,12 +313,23 @@ func (db *DB) CompactShard(ctx context.Context, i int) error {
 	if i < 0 || i >= len(lo.shards) {
 		return fmt.Errorf("uvdiagram: shard %d out of range [0, %d)", i, len(lo.shards))
 	}
+	db.compactShardLocked(lo, i)
+	return nil
+}
+
+// compactShardLocked is CompactShard's body: the shadow build and epoch
+// swap of shard i of lo. The caller holds smu (shared suffices) and lo
+// is the layout current under that hold — smu is what keeps Reshard
+// (which takes it exclusively) from swapping the layout mid-build, so
+// the fresh epoch can never be stored into a retired layout's shard.
+func (db *DB) compactShardLocked(lo *shardLayout, i int) {
 	sh := lo.shards[i]
 	sh.wmu.Lock()
 	defer sh.wmu.Unlock()
 	if hook := db.compactHook; hook != nil {
 		hook(i)
 	}
+	t0 := time.Now()
 	old := sh.ep()
 	ix, _ := core.BuildRegionCR(db.store, sh.rect, db.cr, db.bopts.Index)
 	sh.epoch.Store(&indexEpoch{index: ix, gen: old.gen + 1})
@@ -332,7 +346,7 @@ func (db *DB) CompactShard(ctx context.Context, i int) error {
 			break
 		}
 	}
-	return nil
+	db.fireMaint(MaintEvent{Kind: MaintCompactShard, Shard: i, Dur: time.Since(t0)})
 }
 
 // CompactAll compacts every shard with CompactShard on a bounded worker
@@ -385,6 +399,8 @@ func (db *DB) ReshardWith(ctx context.Context, strategy LayoutStrategy) error {
 			strategy = WeightedMedian{}
 		}
 	}
+	tstart := time.Now()
+	imbBefore := db.LoadImbalance()
 	old := db.lo()
 	xs, ys := strategy.Cuts(db.domain, old.gx, old.gy, db.liveCenters())
 	lo := newShardLayout(old.gen+1, old.gx, old.gy, xs, ys)
@@ -396,6 +412,8 @@ func (db *DB) ReshardWith(ctx context.Context, strategy LayoutStrategy) error {
 	t0 := time.Now()
 	crSets, stats, err := core.DeriveCRSets(db.store, db.domain, tree, db.bopts)
 	if err != nil {
+		db.fireMaint(MaintEvent{Kind: MaintReshard, Shard: -1, Dur: time.Since(tstart),
+			ImbalanceBefore: imbBefore, ImbalanceAfter: imbBefore, Err: err})
 		return err
 	}
 	cr := core.NewCRState(crSets)
@@ -404,6 +422,8 @@ func (db *DB) ReshardWith(ctx context.Context, strategy LayoutStrategy) error {
 	db.tree.Store(tree)
 	db.layout.Store(lo) // the single publication point
 	db.built.Store(&stats)
+	db.fireMaint(MaintEvent{Kind: MaintReshard, Shard: -1, Dur: time.Since(tstart),
+		ImbalanceBefore: imbBefore, ImbalanceAfter: db.LoadImbalance()})
 	return nil
 }
 
@@ -421,16 +441,21 @@ func (db *DB) deriveCR(tree *rtree.Tree, o Object) []int32 {
 }
 
 // maybeCompact kicks off background compaction for every shard whose
-// accumulated slack reached the armed watermark. Singleflight per
-// shard: at most one auto-compaction runs per shard at a time, several
-// shards may compact in parallel (they hold the store-level lock
-// shared), and explicit mutations arriving meanwhile simply serialize
-// behind them.
-func (db *DB) maybeCompact() {
+// accumulated slack reached the armed watermark, returning how many it
+// armed. Singleflight per shard: at most one auto-compaction runs per
+// shard at a time, several shards may compact in parallel (they hold
+// the store-level lock shared), and explicit mutations arriving
+// meanwhile simply serialize behind them. Every exit of the spawned
+// goroutine releases the singleflight flag, so a shard whose run was
+// skipped (layout swapped underneath it) stays re-armable — the
+// maintenance controller's tick also re-runs this check, so slack can
+// never strand once writes stop.
+func (db *DB) maybeCompact() int {
 	if db.bopts.CompactSlack <= 0 {
-		return
+		return 0
 	}
 	lo := db.lo()
+	armed := 0
 	for i := range lo.shards {
 		sh := lo.shards[i]
 		if sh.ep().index.Slack() < int64(db.bopts.CompactSlack) {
@@ -439,22 +464,35 @@ func (db *DB) maybeCompact() {
 		if !sh.compacting.CompareAndSwap(false, true) {
 			continue
 		}
-		go func(sh *shard, i int) {
-			defer sh.compacting.Store(false)
-			// The watermark decision was made against THIS layout's
-			// shard; if a Reshard replaced the layout meanwhile, the new
-			// shard i was just freshly built (zero slack) and carries
-			// its own singleflight flag — skip rather than compact it
-			// redundantly.
-			if db.lo() != lo {
-				return
-			}
-			// The build inputs were validated when the objects entered the
-			// store, so failure here would indicate a programming error;
-			// errors surface on the next explicit Compact call.
-			_ = db.CompactShard(context.Background(), i)
-		}(sh, i)
+		armed++
+		go db.autoCompact(lo, i)
 	}
+	return armed
+}
+
+// autoCompact runs one armed background shard compaction. The
+// layout-identity check happens UNDER the shared store lock: Reshard
+// swaps the layout only while holding smu exclusively, so once the
+// check passes the layout provably stays current for the whole shadow
+// build. (Checking before acquiring smu — as this path originally did —
+// left a window where a Reshard could land in between, making the build
+// target the NEW layout's shard i while the singleflight flag held was
+// the OLD shard's: never wrong answers, but wasted work and a
+// compaction the new shard's own flag did not account for.)
+func (db *DB) autoCompact(lo *shardLayout, i int) {
+	sh := lo.shards[i]
+	defer sh.compacting.Store(false)
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	// The watermark decision was made against THIS layout's shard; if a
+	// Reshard replaced the layout meanwhile, the new shard i was just
+	// freshly built (zero slack) and carries its own singleflight flag —
+	// skip rather than compact it redundantly. The deferred flag release
+	// keeps the old shard re-armable either way.
+	if db.lo() != lo {
+		return
+	}
+	db.compactShardLocked(lo, i)
 }
 
 // PossibleKNN returns the IDs of every object with non-zero probability

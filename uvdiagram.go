@@ -58,6 +58,7 @@
 package uvdiagram
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -179,6 +180,14 @@ type Options struct {
 	// Reshard re-cuts a live database with an adaptive strategy at any
 	// time. The layout never affects answers, only load balance.
 	Layout LayoutStrategy
+	// Maintain, when non-nil, attaches a self-driving maintenance
+	// controller to the database as soon as it is built or loaded: a
+	// background loop that samples LoadImbalance and reshards on
+	// sustained skew with two-threshold hysteresis, cooldown and
+	// backoff (see MaintainOptions; &MaintainOptions{} selects all
+	// defaults). Stop it via DB.Maintainer().Stop(). Nil means no
+	// controller — maintenance stays operator-driven.
+	Maintain *MaintainOptions
 }
 
 func (o *Options) shardCount() (int, error) {
@@ -321,6 +330,12 @@ type DB struct {
 	// wall-clock-overlap test uses to prove disjoint compactions run
 	// inside their critical sections simultaneously.
 	compactHook func(shard int)
+	// maintObs is the maintenance-event observer (DB.OnMaintenance),
+	// fired synchronously from the Compact/CompactShard/Reshard paths.
+	maintObs atomic.Pointer[func(MaintEvent)]
+	// maint is the attached self-driving maintenance controller, nil
+	// when none is running (see StartMaintainer).
+	maint atomic.Pointer[Maintainer]
 }
 
 // Build indexes the objects (dense IDs 0..n-1 required) over the given
@@ -361,7 +376,20 @@ func Build(objects []Object, domain Rect, opts *Options) (*DB, error) {
 	db.buildShards(lo, db.cr, &stats, t0, 0)
 	db.layout.Store(lo)
 	db.built.Store(&stats)
+	if err := db.startConfiguredMaintainer(opts); err != nil {
+		return nil, err
+	}
 	return db, nil
+}
+
+// startConfiguredMaintainer attaches the Options.Maintain controller to
+// a freshly built or loaded database, if one was requested.
+func (db *DB) startConfiguredMaintainer(opts *Options) error {
+	if opts == nil || opts.Maintain == nil {
+		return nil
+	}
+	_, err := db.StartMaintainer(*opts.Maintain)
+	return err
 }
 
 // buildShards shadow-builds every shard of lo's sub-grid from the given
@@ -451,13 +479,37 @@ func (db *DB) PNN(q Point) ([]Answer, QueryStats, error) {
 	return lo.epFor(q).index.PNN(q)
 }
 
+// ErrOutOfDomain is the sentinel every "query point outside the indexed
+// domain" failure matches through errors.Is, whatever path produced it
+// (single-point queries, batch routing, moving-query sessions,
+// AdvanceAll error slots). Serving layers drop exactly the bad cursor by
+// testing for it instead of string-matching error text.
+var ErrOutOfDomain = errors.New("uvdiagram: query point outside domain")
+
+// DomainError is the concrete out-of-domain error: the offending point
+// and the domain it missed. errors.Is(err, ErrOutOfDomain) matches it;
+// errors.As recovers the point for diagnostics.
+type DomainError struct {
+	Point  Point
+	Domain Rect
+}
+
+// Error implements error.
+func (e *DomainError) Error() string {
+	return fmt.Sprintf("uvdiagram: query point %v outside domain %v", e.Point, e.Domain)
+}
+
+// Is makes every DomainError match the ErrOutOfDomain sentinel.
+func (e *DomainError) Is(target error) bool { return target == ErrOutOfDomain }
+
 // checkDomain rejects query points outside a multi-shard engine's
 // domain (with one shard, the index's own domain check reproduces the
 // original core error text). Shared by the single-point and batch
-// routing paths so their semantics can never drift apart.
+// routing paths so their semantics can never drift apart. The returned
+// error is a *DomainError, so it matches ErrOutOfDomain.
 func checkDomain(lo *shardLayout, domain Rect, q Point) error {
 	if len(lo.shards) > 1 && !domain.Contains(q) {
-		return fmt.Errorf("uvdiagram: query point %v outside domain %v", q, domain)
+		return &DomainError{Point: q, Domain: domain}
 	}
 	return nil
 }
