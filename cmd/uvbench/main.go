@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards|rebalance|derive|continuous|maintain]
+//	uvbench [-exp all|fig6|fig7|fig7f|fig7g|fig7h|table2|sensitivity|server|churn|shards|rebalance|derive|continuous|maintain|parity]
 //	        [-scale small|medium|paper] [-shards 1] [-quiet]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -21,7 +21,11 @@
 // BENCH_continuous.json; -exp maintain churns a uniform dataset toward
 // a Gaussian hot spot with the self-driving maintenance controller off
 // vs on (identical deterministic workloads, bitwise-compared answers)
-// and writes BENCH_maintain.json.
+// and writes BENCH_maintain.json; -exp parity benchmarks the order-k
+// and 3D builds on the parallel scratch-threaded fast path against the
+// retained reference loops (bitwise-identical cr-sets, index stats and
+// query answers verified) and writes BENCH_orderk.json and
+// BENCH_uv3.json.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment, so future perf work can be profiled in place (profiles
@@ -43,7 +47,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance, derive, continuous, maintain")
+	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance, derive, continuous, maintain, parity")
 	scaleName := flag.String("scale", "small", "scale preset: small, medium, paper")
 	shards := flag.Int("shards", 1, "spatial shard count for -exp churn (1 = unsharded)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
@@ -123,6 +127,8 @@ func main() {
 		tables, err = single(exp.RunContinuous, sc, progress)
 	case "maintain":
 		tables, err = single(exp.RunMaintain, sc, progress)
+	case "parity":
+		tables, err = single(exp.RunParity, sc, progress)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *expName)
 	}

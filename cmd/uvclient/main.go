@@ -34,12 +34,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"uvdiagram"
@@ -395,5 +397,10 @@ func i(args []string, k int) int {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "uvclient:", err)
+	// Typed match for in-process callers; remote errors cross the wire
+	// as flat "server: ..." strings, so fall back to the message.
+	if errors.Is(err, uvdiagram.ErrStaleSnapshot) || strings.Contains(err.Error(), "index is stale") {
+		fmt.Fprintln(os.Stderr, "uvclient: the server's order-k snapshot predates a mutation; re-issue the query after the server rebuilds it")
+	}
 	os.Exit(1)
 }

@@ -2,6 +2,7 @@ package uvdiagram
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -353,14 +354,14 @@ func TestOrderKIndexStaleAfterMutation(t *testing.T) {
 	if err := db.Delete(4); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := kix.PossibleKNN(q); err == nil {
-		t.Fatal("stale order-k index answered after a delete")
+	if _, _, err := kix.PossibleKNN(q); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("stale order-k index: err = %v, want errors.Is ErrStaleSnapshot", err)
 	}
-	if _, _, err := kix.KNNProbs(q, 100, 1); err == nil {
-		t.Fatal("stale order-k KNNProbs answered after a delete")
+	if _, _, err := kix.KNNProbs(q, 100, 1); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("stale order-k KNNProbs: err = %v, want errors.Is ErrStaleSnapshot", err)
 	}
-	if _, err := kix.BatchPossibleKNN([]Point{q}, nil); err == nil {
-		t.Fatal("stale order-k batch answered after a delete")
+	if _, err := kix.BatchPossibleKNN([]Point{q}, nil); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("stale order-k batch: err = %v, want errors.Is ErrStaleSnapshot", err)
 	}
 
 	// A rebuilt grid answers again and never lists the victim.

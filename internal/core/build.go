@@ -124,6 +124,16 @@ type BuildStats struct {
 	Index IndexStats
 }
 
+// String summarizes the build for logs: strategy, size, the phase
+// breakdown and the pruning outcome.
+func (s BuildStats) String() string {
+	return fmt.Sprintf("build[%s]: n=%d total=%v (seed %v, prune %v, refine %v, index %v), avg|CR|=%.1f, pruned %.1f%%",
+		s.Strategy, s.N, s.TotalDur.Round(time.Millisecond),
+		s.SeedDur.Round(time.Millisecond), s.PruneDur.Round(time.Millisecond),
+		s.RefineDur.Round(time.Millisecond), s.IndexDur.Round(time.Millisecond),
+		s.AvgCR(), 100*s.CPruneRatio())
+}
+
 // IPruneRatio is the pruning ratio pc of I-pruning: the average
 // fraction of the other n−1 objects eliminated.
 func (s BuildStats) IPruneRatio() float64 { return s.ratio(s.SumI) }

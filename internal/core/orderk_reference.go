@@ -1,0 +1,111 @@
+package core
+
+// The pre-fast-path order-k build, retained VERBATIM as the equivalence
+// oracle — the same role reference.go plays for the order-1 derivation.
+// The fast path (orderk.go) must produce bitwise-identical cr-sets,
+// index stats and PossibleKNN answers; TestOrderKParity sweeps worker
+// counts and k against these loops.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/rtree"
+	"uvdiagram/internal/uncertain"
+)
+
+// DeriveOrderKCRReference is the original allocating derivation of one
+// object's order-k cr-set: eager k-NN seed materialization, a fresh
+// PossibleRegion and candidate slice per fixpoint round, closure-driven
+// MaxRadiusK sweeps. Kept as the oracle the scratch-threaded
+// DeriveOrderKCR is compared against.
+func DeriveOrderKCRReference(tree *rtree.Tree, oi uncertain.Object, objs []uncertain.Object, domain geom.Rect, k, samples int) ([]int32, *PossibleRegion) {
+	pr := NewPossibleRegion(oi.Region.C, domain)
+	if tree != nil {
+		for _, nb := range tree.KNN(oi.Region.C, 8*(k+1)) {
+			if nb.Item.ID != oi.ID {
+				pr.AddObject(oi, objs[nb.Item.ID])
+			}
+		}
+	}
+	d := pr.MaxRadiusK(samples, k)
+	var ids []int32
+	for iter := 0; iter < 8; iter++ {
+		radius := 2*d - oi.Region.R
+		if radius <= 0 {
+			radius = d
+		}
+		var cands []int32
+		if tree != nil {
+			for _, it := range tree.CenterRange(geom.Circle{C: oi.Region.C, R: radius}) {
+				if it.ID != oi.ID {
+					cands = append(cands, it.ID)
+				}
+			}
+		} else {
+			for j := range objs {
+				if objs[j].ID != oi.ID && objs[j].Region.C.Dist(oi.Region.C) <= radius {
+					cands = append(cands, objs[j].ID)
+				}
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+		pr = NewPossibleRegion(oi.Region.C, domain)
+		for _, j := range cands {
+			pr.AddObject(oi, objs[j])
+		}
+		ids = cands
+		d2 := pr.MaxRadiusK(samples, k)
+		if d2 >= d*(1-1e-9) {
+			break
+		}
+		d = d2
+	}
+	return ids, pr
+}
+
+// BuildOrderKReference is the original single-threaded order-k build
+// loop: derive and insert object by object, no worker pool, no scratch
+// reuse. Retained verbatim as the fast path's equivalence oracle.
+func BuildOrderKReference(store *uncertain.Store, domain geom.Rect, tree *rtree.Tree, k int, opts BuildOptions) (*UVIndex, BuildStats, error) {
+	if k < 1 {
+		return nil, BuildStats{}, fmt.Errorf("core: BuildOrderK needs k ≥ 1, got %d", k)
+	}
+	if store.Live() == 0 {
+		return nil, BuildStats{}, fmt.Errorf("core: BuildOrderK over empty store")
+	}
+	opts.normalize()
+	stats := BuildStats{Strategy: opts.Strategy, N: store.Live()}
+	t0 := time.Now()
+
+	ix := NewUVIndex(store, domain, opts.Index)
+	ix.orderK = k
+	objs := store.Dense() // position == id; tombstoned slots skipped
+
+	tPrune := time.Duration(0)
+	tIndex := time.Duration(0)
+	for i := 0; i < len(objs); i++ {
+		if !store.Alive(int32(i)) {
+			continue
+		}
+		p0 := time.Now()
+		ids, _ := DeriveOrderKCRReference(tree, objs[i], objs, domain, k, opts.RegionSamples)
+		tPrune += time.Since(p0)
+		stats.SumCR += int64(len(ids))
+
+		i0 := time.Now()
+		ix.Insert(int32(i), ids)
+		tIndex += time.Since(i0)
+	}
+	i1 := time.Now()
+	ix.Finish()
+	tIndex += time.Since(i1)
+
+	stats.PruneDur = tPrune
+	stats.IndexDur = tIndex
+	stats.TotalDur = time.Since(t0)
+	stats.Index = ix.Stats()
+	return ix, stats, nil
+}

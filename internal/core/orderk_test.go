@@ -123,7 +123,7 @@ func TestDeriveOrderKCRPreservesRegion(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	for _, k := range []int{1, 2, 3} {
 		for _, i := range []int{0, 11, 37} {
-			_, derived := DeriveOrderKCR(tree, objs[i], objs, domain, k, 256)
+			_, derived := DeriveOrderKCR(tree, objs[i], objs, domain, k, 256, nil)
 			full := regionWithAll(objs, i, domain)
 			// Membership must agree on random points around the object.
 			d := derived.MaxRadiusK(256, k)

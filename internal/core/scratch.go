@@ -29,6 +29,43 @@ type DeriveScratch struct {
 	bounds []geom.Circle
 	region PossibleRegion // seeded region (profile buffers reused)
 	refine PossibleRegion // refinement region for ICR/Basic cells
+
+	// Order-k derivation buffers (DeriveOrderKCR): the candidate set of
+	// one fixpoint round, the angular sample ring of the max-radius
+	// sweep, and the k-smallest insertion buffer of the radial order
+	// statistic.
+	cands []int32
+	kvals []float64
+	kth   []float64
+
+	// Order-k cross-round bound cache, valid for one DeriveOrderKCR
+	// call. A candidate's radial bound along one sweep angle is a pure
+	// function of the two uncertainty regions, so the fixpoint rounds —
+	// whose candidate sets largely overlap — share one evaluation per
+	// (candidate, angle) pair; only the golden-section polish, which
+	// probes arbitrary angles, evaluates edges live.
+	kDirs   []geom.Point // sweep direction ring (depends only on samples)
+	kDom    []float64    // domain bound per sweep angle for the current center
+	kRowIdx []int32      // object id → row index (−1 = no edge); valid when kRowGen matches kGen
+	kRowGen []uint32     // generation stamp per object id
+	kGen    uint32       // current derive call's generation
+	kRows   [][]float64  // pooled bound rows over the sweep ring (+Inf = no bound)
+	kEdges  []Constraint // cached constraints parallel to kRows
+	kEval   []kEdgeEval  // reduced edge forms parallel to kRows (golden-section probes)
+	kUsed   int          // kRows/kEdges in use for the current object
+	kAct    []int32      // row indices of the current round's constraints
+}
+
+// kEdgeEval is a UVEdge reduced to the pure per-edge subexpressions of
+// RadialBound — the focal offset w = Fi−Fj and the numerator S²−|w|² —
+// so the golden-section polish, which probes arbitrary angles, pays
+// only the direction-dependent arithmetic per evaluation. The edge is
+// known to exist (kRowFor filters), so the existence test is elided;
+// the remaining operations are RadialBound's exactly.
+type kEdgeEval struct {
+	w   geom.Point
+	s   float64
+	num float64
 }
 
 // NewDeriveScratch returns an empty scratch; buffers grow on first use

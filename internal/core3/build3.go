@@ -1,9 +1,13 @@
 package core3
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sort"
+	"sync"
 	"time"
 
 	"uvdiagram/internal/geom3"
@@ -16,30 +20,103 @@ import (
 // dimension).
 const seedCount = 24
 
+// Build3 input validation failures, checkable with errors.Is — the 3D
+// counterparts of the root package's typed ErrOutOfDomain.
+var (
+	// ErrSparseIDs reports objects whose IDs are not dense 0..n−1 (the
+	// octree's leaf lists and cr-registry index by position).
+	ErrSparseIDs = errors.New("core3: objects must carry dense IDs 0..n-1")
+	// ErrOutOfDomain3 reports an object whose center lies outside the
+	// domain box; its UV-cell would be clipped to nothing.
+	ErrOutOfDomain3 = errors.New("core3: object center outside domain")
+)
+
+// Strategy3 names the 3D derivation strategy. Only the paper-
+// recommended I-pruning + center-range strategy exists in 3D (C-pruning
+// needs the 2D convex-hull machinery); the type mirrors the 2D Strategy
+// so build logs read the same for every engine.
+type Strategy3 int
+
+// StrategyIC3 is I-pruning over the hash-grid substrate, the only (and
+// default) 3D strategy.
+const StrategyIC3 Strategy3 = iota
+
+// String implements fmt.Stringer.
+func (s Strategy3) String() string {
+	if s == StrategyIC3 {
+		return "IC"
+	}
+	return fmt.Sprintf("Strategy3(%d)", int(s))
+}
+
+// validate3 checks the build input: dense IDs and in-domain centers.
+func validate3(objs []uncertain3.Object3, domain geom3.Box) error {
+	if len(objs) == 0 {
+		return fmt.Errorf("core3: no objects to index")
+	}
+	for i := range objs {
+		if int(objs[i].ID) != i {
+			return fmt.Errorf("%w: object %d has ID %d", ErrSparseIDs, i, objs[i].ID)
+		}
+		if !domain.Contains(objs[i].Region.C) {
+			return fmt.Errorf("%w: object %d center %v, domain %v", ErrOutOfDomain3, i, objs[i].Region.C, domain)
+		}
+	}
+	return nil
+}
+
 // nearestSeeds returns up to m object ids nearest to oi's center,
 // found by expanding-ball search on the hash grid.
 func nearestSeeds(grid *HashGrid3, oi uncertain3.Object3, objs []uncertain3.Object3, domain geom3.Box, m int) []int32 {
+	return nearestSeedsInto(grid, oi, objs, domain, m, nil, &seedSorter3{})
+}
+
+// seedSorter3 orders seed candidates by center distance. sort.Sort over
+// a retained pointer receiver allocates nothing, and Go's sort package
+// generates the Interface and func variants of pdqsort from the same
+// template, so the comparison/swap sequence — and hence the order of
+// distance ties — is exactly sort.Slice's.
+type seedSorter3 struct {
+	ids  []int32
+	objs []uncertain3.Object3
+	c    geom3.Point3
+}
+
+func (s *seedSorter3) Len() int      { return len(s.ids) }
+func (s *seedSorter3) Swap(a, b int) { s.ids[a], s.ids[b] = s.ids[b], s.ids[a] }
+func (s *seedSorter3) Less(a, b int) bool {
+	return s.objs[s.ids[a]].Region.C.DistSq(s.c) < s.objs[s.ids[b]].Region.C.DistSq(s.c)
+}
+
+// nearestSeedsInto is nearestSeeds through caller-owned buffers. Every
+// intermediate ball is collected in ascending id order (the grid's
+// canonical order), so the distance sort sees the same input as the
+// allocating form and ties break identically.
+func nearestSeedsInto(grid *HashGrid3, oi uncertain3.Object3, objs []uncertain3.Object3, domain geom3.Box, m int, buf []int32, sorter *seedSorter3) []int32 {
 	if grid == nil {
-		return nil
+		return buf[:0]
 	}
 	radius := math.Cbrt(domain.Volume()*float64(m)/float64(len(objs)+1)) + oi.Region.R
 	maxRadius := domain.MaxDist(oi.Region.C)
-	var ids []int32
+	ids := buf
 	for {
-		ids = ids[:0]
-		for _, id := range grid.CenterRange(geom3.Sphere{C: oi.Region.C, R: radius}) {
+		ids = grid.CenterRangeInto(geom3.Sphere{C: oi.Region.C, R: radius}, ids)
+		w := 0
+		for _, id := range ids {
 			if id != oi.ID {
-				ids = append(ids, id)
+				ids[w] = id
+				w++
 			}
 		}
+		ids = ids[:w]
 		if len(ids) >= m || radius >= maxRadius {
 			break
 		}
 		radius *= 2
 	}
-	sort.Slice(ids, func(a, b int) bool {
-		return objs[ids[a]].Region.C.DistSq(oi.Region.C) < objs[ids[b]].Region.C.DistSq(oi.Region.C)
-	})
+	sorter.ids, sorter.objs, sorter.c = ids, objs, oi.Region.C
+	sort.Sort(sorter)
+	sorter.ids, sorter.objs = nil, nil
 	if len(ids) > m {
 		ids = ids[:m]
 	}
@@ -54,28 +131,43 @@ func nearestSeeds(grid *HashGrid3, oi uncertain3.Object3, objs []uncertain3.Obje
 // region cannot intersect the region — and since a region built from
 // fewer constraints is a superset, the seed region's radius is a valid
 // d for the first round.
-func DeriveCR3(grid *HashGrid3, oi uncertain3.Object3, objs []uncertain3.Object3, domain geom3.Box, dirs []geom3.Point3) ([]int32, *PossibleRegion3) {
-	pr := NewPossibleRegion3(oi.Region.C, domain)
-	for _, id := range nearestSeeds(grid, oi, objs, domain, seedCount) {
-		pr.AddObject(oi, objs[id])
+//
+// The derivation runs through sc's reusable buffers (seed and candidate
+// pools, the cross-round bound cache, the region's constraint storage),
+// so a long-lived scratch makes steady-state derivation allocate only
+// the returned cr-set — and the cache means each candidate's
+// hyperboloid bounds are evaluated over the lattice once per derive
+// call instead of once per fixpoint round. A nil sc uses a private one.
+// The returned region is OWNED BY THE SCRATCH and only valid until its
+// next use; the cr-set is freshly allocated and safe to retain. Results
+// are bitwise identical to DeriveCR3Reference.
+func DeriveCR3(grid *HashGrid3, oi uncertain3.Object3, objs []uncertain3.Object3, domain geom3.Box, dirs []geom3.Point3, sc *DeriveScratch3) ([]int32, *PossibleRegion3) {
+	if sc == nil {
+		sc = NewDeriveScratch3()
 	}
-	d := pr.MaxRadius(dirs)
+	sc.beginObject(oi, domain, dirs, len(objs))
+	sc.seeds = nearestSeedsInto(grid, oi, objs, domain, seedCount, sc.seeds, &sc.sorter)
+	d := sc.foldMax(oi, objs, sc.seeds, dirs)
 	if dd := domain.MaxDist(oi.Region.C); dd < d {
 		d = dd // region ⊆ domain: the corner distance is always valid
 	}
-	var ids []int32
+	sc.cands = sc.cands[:0]
 	for iter := 0; iter < 6; iter++ {
 		radius := 2*d - oi.Region.R
 		if radius <= 0 {
 			radius = d
 		}
-		var cands []int32
+		cands := sc.cands[:0]
 		if grid != nil {
-			for _, id := range grid.CenterRange(geom3.Sphere{C: oi.Region.C, R: radius}) {
+			cands = grid.CenterRangeInto(geom3.Sphere{C: oi.Region.C, R: radius}, cands)
+			w := 0
+			for _, id := range cands {
 				if id != oi.ID {
-					cands = append(cands, id)
+					cands[w] = id
+					w++
 				}
 			}
+			cands = cands[:w]
 		} else {
 			for j := range objs {
 				if objs[j].ID != oi.ID && objs[j].Region.C.Dist(oi.Region.C) <= radius {
@@ -83,28 +175,50 @@ func DeriveCR3(grid *HashGrid3, oi uncertain3.Object3, objs []uncertain3.Object3
 				}
 			}
 		}
-		pr = NewPossibleRegion3(oi.Region.C, domain)
-		for _, j := range cands {
-			pr.AddObject(oi, objs[j])
-		}
-		ids = cands
-		d2 := pr.MaxRadius(dirs)
+		sc.cands = cands
+		d2 := sc.foldMax(oi, objs, cands, dirs)
 		if d2 >= d*(1-1e-9) {
 			break
 		}
 		d = d2
 	}
+	// Materialize the final round's region once, from cached constraints
+	// (the constructor is pure, so these are the exact constraints the
+	// reference's per-round AddObject loop ends with).
+	pr := &sc.region
+	pr.Reset(oi.Region.C, domain)
+	for _, j := range sc.cands {
+		if idx := sc.rowFor(oi, objs[j], dirs); idx >= 0 {
+			pr.cons = append(pr.cons, sc.edges[idx])
+		}
+	}
+	if len(sc.cands) == 0 {
+		return nil, pr
+	}
+	ids := make([]int32, len(sc.cands))
+	copy(ids, sc.cands)
 	return ids, pr
 }
 
-// BuildStats3 records 3D construction cost.
+// BuildStats3 records 3D construction cost. With Workers > 1 PruneDur
+// is summed CPU time across workers, while TotalDur remains wall clock.
 type BuildStats3 struct {
+	Strategy Strategy3
 	N        int
 	PruneDur time.Duration
 	IndexDur time.Duration
 	TotalDur time.Duration
 	SumCR    int64
 	Index    IndexStats3
+}
+
+// String summarizes the build for logs, phrased like the 2D
+// BuildStats.String so every engine's build line reads the same.
+func (s BuildStats3) String() string {
+	return fmt.Sprintf("build3[%s]: n=%d total=%v (prune %v, index %v), avg|CR|=%.1f, pruned %.1f%%",
+		s.Strategy, s.N, s.TotalDur.Round(time.Millisecond),
+		s.PruneDur.Round(time.Millisecond), s.IndexDur.Round(time.Millisecond),
+		s.AvgCR(), 100*s.PruneRatio())
 }
 
 // AvgCR returns the mean cr-object count per object.
@@ -124,42 +238,97 @@ func (s BuildStats3) PruneRatio() float64 {
 	return 1 - s.AvgCR()/float64(s.N-1)
 }
 
-// Build3 constructs the 3D UV-index over the objects: derive each
-// object's cr-set through the hash-grid substrate, insert into the
-// octree, seal. Objects must carry dense IDs 0..n−1.
-func Build3(objs []uncertain3.Object3, domain geom3.Box, opts Options3) (*OctIndex, BuildStats3, error) {
-	if len(objs) == 0 {
-		return nil, BuildStats3{}, fmt.Errorf("core3: no objects to index")
-	}
-	for i := range objs {
-		if int(objs[i].ID) != i {
-			return nil, BuildStats3{}, fmt.Errorf("core3: object %d has ID %d, want dense IDs", i, objs[i].ID)
-		}
-		if !domain.Contains(objs[i].Region.C) {
-			return nil, BuildStats3{}, fmt.Errorf("core3: object %d center %v outside domain %v", i, objs[i].Region.C, domain)
-		}
+// DeriveCR3Sets runs the 3D derivation over every object and returns
+// the cr-sets indexed by id — the 3D analogue of DeriveCRSets, and like
+// it Workers-parallel over a shared work queue with per-worker scratch
+// arenas. The hash grid and direction lattice are read-only and shared
+// by all workers. The caller fills in IndexDur/TotalDur/Index after
+// indexing.
+func DeriveCR3Sets(objs []uncertain3.Object3, domain geom3.Box, opts Options3) ([][]int32, BuildStats3, error) {
+	if err := validate3(objs, domain); err != nil {
+		return nil, BuildStats3{}, err
 	}
 	opts.normalize()
-	stats := BuildStats3{N: len(objs)}
-	t0 := time.Now()
-
+	stats := BuildStats3{N: len(objs), Strategy: StrategyIC3}
 	grid := NewHashGrid3(objs, domain, 0)
 	dirs := geom3.FibonacciSphere(opts.Dirs)
-	ix := NewOctIndex(objs, domain, opts)
+	crSets := make([][]int32, len(objs))
 
-	for i := range objs {
-		p0 := time.Now()
-		ids, _ := DeriveCR3(grid, objs[i], objs, domain, dirs)
-		stats.PruneDur += time.Since(p0)
-		stats.SumCR += int64(len(ids))
-
-		i0 := time.Now()
-		ix.Insert(int32(i), ids)
-		stats.IndexDur += time.Since(i0)
+	if opts.Workers > 1 {
+		var (
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			prune  time.Duration
+			sumCR  int64
+			next   = make(chan int)
+			labels = pprof.Labels("engine", "uv3", "stage", "derive")
+		)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pprof.Do(context.Background(), labels, func(context.Context) {
+					sc := NewDeriveScratch3()
+					var localDur time.Duration
+					var localCR int64
+					for i := range next {
+						p0 := time.Now()
+						ids, _ := DeriveCR3(grid, objs[i], objs, domain, dirs, sc)
+						localDur += time.Since(p0)
+						localCR += int64(len(ids))
+						crSets[i] = ids
+					}
+					mu.Lock()
+					prune += localDur
+					sumCR += localCR
+					mu.Unlock()
+				})
+			}()
+		}
+		for i := range objs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		stats.PruneDur, stats.SumCR = prune, sumCR
+	} else {
+		pprof.Do(context.Background(), pprof.Labels("engine", "uv3", "stage", "derive"), func(context.Context) {
+			sc := NewDeriveScratch3()
+			for i := range objs {
+				p0 := time.Now()
+				ids, _ := DeriveCR3(grid, objs[i], objs, domain, dirs, sc)
+				stats.PruneDur += time.Since(p0)
+				stats.SumCR += int64(len(ids))
+				crSets[i] = ids
+			}
+		})
 	}
-	i1 := time.Now()
-	ix.Finish()
-	stats.IndexDur += time.Since(i1)
+	return crSets, stats, nil
+}
+
+// Build3 constructs the 3D UV-index over the objects: derive each
+// object's cr-set through the hash-grid substrate (Workers-parallel,
+// per-worker scratch arenas), insert into the octree sequentially (the
+// octree is not concurrency-safe), seal. Objects must carry dense IDs
+// 0..n−1 (ErrSparseIDs) with in-domain centers (ErrOutOfDomain3). The
+// index — leaf lists, stats and query answers — is bitwise identical to
+// Build3Reference's at every worker count.
+func Build3(objs []uncertain3.Object3, domain geom3.Box, opts Options3) (*OctIndex, BuildStats3, error) {
+	t0 := time.Now()
+	crSets, stats, err := DeriveCR3Sets(objs, domain, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	opts.normalize()
+	ix := NewOctIndex(objs, domain, opts)
+	pprof.Do(context.Background(), pprof.Labels("engine", "uv3", "stage", "index"), func(context.Context) {
+		i0 := time.Now()
+		for i := range objs {
+			ix.Insert(int32(i), crSets[i])
+		}
+		ix.Finish()
+		stats.IndexDur = time.Since(i0)
+	})
 	stats.TotalDur = time.Since(t0)
 	stats.Index = ix.Stats()
 	return ix, stats, nil

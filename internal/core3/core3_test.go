@@ -116,7 +116,7 @@ func TestDeriveCR3PreservesMembership(t *testing.T) {
 	dirs := geom3.FibonacciSphere(512)
 	rng := rand.New(rand.NewSource(8))
 	for _, i := range []int{0, 17, 63, 99} {
-		_, derived := DeriveCR3(grid, objs[i], objs, domain, dirs)
+		_, derived := DeriveCR3(grid, objs[i], objs, domain, dirs, nil)
 		full := NewPossibleRegion3(objs[i].Region.C, domain)
 		for j := range objs {
 			if j != i {

@@ -30,6 +30,10 @@ type Options3 struct {
 	// ProbSteps is the resolution of query-time probability integration
 	// (default prob3.DefaultSteps).
 	ProbSteps int
+	// Workers parallelizes the per-object derivation phase of Build3
+	// across goroutines; results are identical to a sequential build.
+	// 0 or 1 means sequential.
+	Workers int
 }
 
 // DefaultOptions3 mirrors the paper's 2D configuration.
@@ -55,6 +59,9 @@ func (o *Options3) normalize() {
 	}
 	if o.ProbSteps <= 0 {
 		o.ProbSteps = prob3.DefaultSteps
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 }
 

@@ -1,0 +1,94 @@
+package core3
+
+// The pre-fast-path 3D build, retained VERBATIM as the equivalence
+// oracle for the parallel, scratch-threaded path in build3.go. The
+// fast path must produce bitwise-identical cr-sets, index stats and
+// query answers; TestBuild3Parity sweeps worker counts against these
+// loops.
+
+import (
+	"time"
+
+	"uvdiagram/internal/geom3"
+	"uvdiagram/internal/uncertain3"
+)
+
+// DeriveCR3Reference is the original allocating derivation of one
+// object's 3D cr-set: a fresh PossibleRegion3 and candidate slice per
+// fixpoint round, per-call center-range result slices. Kept as the
+// oracle the scratch-threaded DeriveCR3 is compared against.
+func DeriveCR3Reference(grid *HashGrid3, oi uncertain3.Object3, objs []uncertain3.Object3, domain geom3.Box, dirs []geom3.Point3) ([]int32, *PossibleRegion3) {
+	pr := NewPossibleRegion3(oi.Region.C, domain)
+	for _, id := range nearestSeeds(grid, oi, objs, domain, seedCount) {
+		pr.AddObject(oi, objs[id])
+	}
+	d := pr.MaxRadius(dirs)
+	if dd := domain.MaxDist(oi.Region.C); dd < d {
+		d = dd // region ⊆ domain: the corner distance is always valid
+	}
+	var ids []int32
+	for iter := 0; iter < 6; iter++ {
+		radius := 2*d - oi.Region.R
+		if radius <= 0 {
+			radius = d
+		}
+		var cands []int32
+		if grid != nil {
+			for _, id := range grid.CenterRange(geom3.Sphere{C: oi.Region.C, R: radius}) {
+				if id != oi.ID {
+					cands = append(cands, id)
+				}
+			}
+		} else {
+			for j := range objs {
+				if objs[j].ID != oi.ID && objs[j].Region.C.Dist(oi.Region.C) <= radius {
+					cands = append(cands, objs[j].ID)
+				}
+			}
+		}
+		pr = NewPossibleRegion3(oi.Region.C, domain)
+		for _, j := range cands {
+			pr.AddObject(oi, objs[j])
+		}
+		ids = cands
+		d2 := pr.MaxRadius(dirs)
+		if d2 >= d*(1-1e-9) {
+			break
+		}
+		d = d2
+	}
+	return ids, pr
+}
+
+// Build3Reference is the original single-threaded 3D build loop: derive
+// and insert object by object, no worker pool, no scratch reuse.
+// Retained verbatim as the fast path's equivalence oracle.
+func Build3Reference(objs []uncertain3.Object3, domain geom3.Box, opts Options3) (*OctIndex, BuildStats3, error) {
+	if err := validate3(objs, domain); err != nil {
+		return nil, BuildStats3{}, err
+	}
+	opts.normalize()
+	stats := BuildStats3{N: len(objs), Strategy: StrategyIC3}
+	t0 := time.Now()
+
+	grid := NewHashGrid3(objs, domain, 0)
+	dirs := geom3.FibonacciSphere(opts.Dirs)
+	ix := NewOctIndex(objs, domain, opts)
+
+	for i := range objs {
+		p0 := time.Now()
+		ids, _ := DeriveCR3Reference(grid, objs[i], objs, domain, dirs)
+		stats.PruneDur += time.Since(p0)
+		stats.SumCR += int64(len(ids))
+
+		i0 := time.Now()
+		ix.Insert(int32(i), ids)
+		stats.IndexDur += time.Since(i0)
+	}
+	i1 := time.Now()
+	ix.Finish()
+	stats.IndexDur += time.Since(i1)
+	stats.TotalDur = time.Since(t0)
+	stats.Index = ix.Stats()
+	return ix, stats, nil
+}

@@ -52,11 +52,35 @@ type PossibleRegion3 struct {
 	center geom3.Point3
 	domain geom3.Box
 	cons   []Constraint3
+	prof   profile3
+}
+
+// profile3 caches the region's radial extent over one direction
+// lattice: radius[i] is the fold of the domain exit and the first
+// `applied` constraints along dirs[i]. Constraints only ever shrink the
+// radius, so appending constraints needs just the suffix cons[applied:]
+// folded in — and the buffer is retained across Reset, so a derivation
+// worker's whole object stream shares one lattice-sized allocation.
+type profile3 struct {
+	dirs    []geom3.Point3 // lattice identity (length + base pointer)
+	applied int            // cons[:applied] are folded into radius
+	radius  []float64
 }
 
 // NewPossibleRegion3 starts the region as the whole domain.
 func NewPossibleRegion3(center geom3.Point3, domain geom3.Box) *PossibleRegion3 {
 	return &PossibleRegion3{center: center, domain: domain}
+}
+
+// Reset re-centers the region and drops every constraint while keeping
+// the constraint and profile storage for reuse — the steady-state entry
+// point of the derivation fast path.
+func (p *PossibleRegion3) Reset(center geom3.Point3, domain geom3.Box) {
+	p.center = center
+	p.domain = domain
+	p.cons = p.cons[:0]
+	p.prof.dirs = nil
+	p.prof.applied = 0
 }
 
 // Center returns the star center.
@@ -120,6 +144,49 @@ func (p *PossibleRegion3) MaxRadius(dirs []geom3.Point3) float64 {
 	// Lattice resolution: mean angular spacing ~ sqrt(4π/n); the radial
 	// function of a convex-complement region can overshoot a sample by
 	// a factor ~ 1/cos(spacing).
+	n := len(dirs)
+	if n < 1 {
+		n = 1
+	}
+	spacing := math.Sqrt(4 * math.Pi / float64(n))
+	return d * (1 + 2*spacing*spacing)
+}
+
+// maxRadiusProfiled is MaxRadius through the region's reusable radius
+// profile: the per-direction fold lives in a retained buffer and only
+// constraints added since the last call are folded in. The per-
+// direction values run RadiusDir's exact comparisons in the same order
+// and the max/inflation arithmetic is MaxRadius's, so the result is
+// bitwise identical to MaxRadius(dirs).
+func (p *PossibleRegion3) maxRadiusProfiled(dirs []geom3.Point3) float64 {
+	pr := &p.prof
+	same := len(pr.dirs) == len(dirs) &&
+		(len(dirs) == 0 || &pr.dirs[0] == &dirs[0])
+	if !same {
+		pr.dirs = dirs
+		pr.applied = 0
+		if cap(pr.radius) < len(dirs) {
+			pr.radius = make([]float64, len(dirs))
+		}
+		pr.radius = pr.radius[:len(dirs)]
+		for i, u := range dirs {
+			pr.radius[i] = p.domain.RayExit(p.center, u)
+		}
+	}
+	for ; pr.applied < len(p.cons); pr.applied++ {
+		c := &p.cons[pr.applied]
+		for i, u := range dirs {
+			if t, ok := c.Edge.RadialBound(u); ok && t < pr.radius[i] {
+				pr.radius[i] = t
+			}
+		}
+	}
+	d := 0.0
+	for _, r := range pr.radius {
+		if r > d {
+			d = r
+		}
+	}
 	n := len(dirs)
 	if n < 1 {
 		n = 1

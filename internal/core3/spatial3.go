@@ -2,7 +2,7 @@ package core3
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"uvdiagram/internal/geom3"
 	"uvdiagram/internal/uncertain3"
@@ -58,9 +58,19 @@ func (g *HashGrid3) key(p geom3.Point3) [3]int32 {
 // CenterRange returns the IDs of the objects whose centers lie within
 // the ball, sorted ascending.
 func (g *HashGrid3) CenterRange(ball geom3.Sphere) []int32 {
+	return g.CenterRangeInto(ball, nil)
+}
+
+// CenterRangeInto is CenterRange appending into the caller's buffer
+// (reset to length 0 first), so derivation workers pool the candidate
+// storage. The ids are unique, so the ascending result is canonical —
+// identical to CenterRange's. The grid itself is read-only after
+// construction and safe for concurrent CenterRangeInto calls with
+// distinct buffers.
+func (g *HashGrid3) CenterRangeInto(ball geom3.Sphere, out []int32) []int32 {
+	out = out[:0]
 	lo := g.key(ball.C.Sub(geom3.P3(ball.R, ball.R, ball.R)))
 	hi := g.key(ball.C.Add(geom3.P3(ball.R, ball.R, ball.R)))
-	var out []int32
 	for x := lo[0]; x <= hi[0]; x++ {
 		for y := lo[1]; y <= hi[1]; y++ {
 			for z := lo[2]; z <= hi[2]; z++ {
@@ -72,7 +82,7 @@ func (g *HashGrid3) CenterRange(ball geom3.Sphere) []int32 {
 			}
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,6 +1,7 @@
 package uvdiagram
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -51,11 +52,35 @@ func (db *DB) NewOrderKIndex(k int) (*OrderKIndex, error) {
 	return &OrderKIndex{db: db, inner: ix, k: k, built: stats, hasBuilt: true, snap: db.genSnap()}, nil
 }
 
+// ErrStaleSnapshot is the sentinel matched by errors.Is when a
+// snapshot index (an order-k grid) refuses a query because the
+// database has mutated since it was built. The concrete error is a
+// *StaleSnapshotError carrying the order.
+var ErrStaleSnapshot = errors.New("uvdiagram: snapshot index is stale")
+
+// StaleSnapshotError reports a query against an order-k snapshot whose
+// database has since mutated (Insert, Delete, Rebuild or Compact); the
+// grid's leaf lists could miss new objects or still list deleted ones,
+// so queries refuse to answer rather than be silently wrong. It
+// matches ErrStaleSnapshot under errors.Is.
+type StaleSnapshotError struct {
+	K int // order of the stale index
+}
+
+// Error implements error.
+func (e *StaleSnapshotError) Error() string {
+	return fmt.Sprintf("uvdiagram: order-%d index is stale (database mutated since it was built); rebuild it with NewOrderKIndex", e.K)
+}
+
+// Is reports target == ErrStaleSnapshot, making the sentinel checkable
+// through errors.Is without exposing the concrete type.
+func (e *StaleSnapshotError) Is(target error) bool { return target == ErrStaleSnapshot }
+
 // fresh errors when the database has mutated since the order-k grid
 // was built.
 func (ix *OrderKIndex) fresh() error {
 	if ix.db.genSnap() != ix.snap {
-		return fmt.Errorf("uvdiagram: order-%d index is stale (database mutated since it was built); rebuild it with NewOrderKIndex", ix.k)
+		return &StaleSnapshotError{K: ix.k}
 	}
 	return nil
 }

@@ -41,8 +41,16 @@ type perfBaseline struct {
 	// Maintainer.Tick (imbalance sample + slack sweep, no reshard) on a
 	// balanced 4-shard database at n=2000, best of three runs — the
 	// steady-state overhead a deployment pays every sampling interval.
-	MaintainTickNSPerOp int64  `json:"maintain_tick_ns_per_op"`
-	Note                string `json:"note"`
+	MaintainTickNSPerOp int64 `json:"maintain_tick_ns_per_op"`
+	// OrderKBuildNSPerObj is the per-object wall clock of a whole
+	// BuildOrderK (k=2, default options) at n=800 on the scratch-threaded
+	// fast path, best of three runs.
+	OrderKBuildNSPerObj int64 `json:"orderk_build_ns_per_obj"`
+	// Build3NSPerObj is the per-object wall clock of a whole 3D Build3
+	// (default options) at n=600 on the scratch-threaded fast path, best
+	// of three runs.
+	Build3NSPerObj int64  `json:"build3_ns_per_obj"`
+	Note           string `json:"note"`
 }
 
 // loadPerfBaseline reads the committed baseline; absent file is fatal
@@ -228,6 +236,101 @@ func TestMaintainTickPerfSmoke(t *testing.T) {
 	if best > limit {
 		t.Fatalf("maintain tick perf smoke: %v/op exceeds 2x the committed baseline %v — the controller's sampling path regressed (rebaseline deliberately with -update-perf-baseline if this is expected)",
 			best, time.Duration(base.MaintainTickNSPerOp))
+	}
+}
+
+// TestOrderKBuildPerfSmoke gates the order-k build fast path
+// end-to-end: Workers-parallel scratch-threaded derivation (cross-round
+// bound cache, reduced-edge golden polish) plus sequential index
+// insertion. A >2x regression means the derivation hot path grew
+// per-candidate work or started allocating per round again.
+func TestOrderKBuildPerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("perf smoke skipped under the race detector")
+	}
+
+	const n, k = 800, 2
+	f := getDeriveFixture(t, n)
+	best := time.Duration(1<<63 - 1)
+	for run := 0; run < 3; run++ {
+		t0 := time.Now()
+		if _, _, err := core.BuildOrderK(f.store, f.cfg.Domain(), f.tree, k, f.opts); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(t0) / n; d < best {
+			best = d
+		}
+	}
+
+	if *updatePerfBaseline {
+		updatePerfBaselineField(t, func(b *perfBaseline) { b.OrderKBuildNSPerObj = best.Nanoseconds() })
+		t.Logf("wrote %s: orderk build %v/obj", perfBaselinePath, best)
+		return
+	}
+
+	base := loadPerfBaseline(t)
+	if base.OrderKBuildNSPerObj == 0 {
+		t.Skip("no order-k baseline committed yet; run with -update-perf-baseline")
+	}
+	limit := time.Duration(2 * base.OrderKBuildNSPerObj)
+	t.Logf("orderk build n=%d k=%d: %v/obj (baseline %v, limit %v)", n, k, best, time.Duration(base.OrderKBuildNSPerObj), limit)
+	if best > limit {
+		t.Fatalf("order-k build perf smoke: %v/obj exceeds 2x the committed baseline %v — the order-k fast path regressed (rebaseline deliberately with -update-perf-baseline if this is expected)",
+			best, time.Duration(base.OrderKBuildNSPerObj))
+	}
+}
+
+// TestBuild3PerfSmoke gates the 3D build fast path end-to-end:
+// scratch-threaded derivation over the hash grid (per-candidate bound
+// rows over the direction lattice, evaluated once per derive call) plus
+// sequential octree insertion. A >2x regression means the 3D hot path
+// grew per-direction work or started allocating per round again.
+func TestBuild3PerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("perf smoke skipped under the race detector")
+	}
+
+	const n = 600
+	const side = 1000.0
+	rng := rand.New(rand.NewSource(26))
+	objs := make([]uvdiagram.Object3, n)
+	for i := range objs {
+		objs[i] = uvdiagram.NewObject3(int32(i), rng.Float64()*side, rng.Float64()*side, rng.Float64()*side, 1.5, nil)
+	}
+	domain := uvdiagram.CubeDomain(side)
+
+	best := time.Duration(1<<63 - 1)
+	for run := 0; run < 3; run++ {
+		t0 := time.Now()
+		if _, err := uvdiagram.Build3(objs, domain, nil); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(t0) / n; d < best {
+			best = d
+		}
+	}
+
+	if *updatePerfBaseline {
+		updatePerfBaselineField(t, func(b *perfBaseline) { b.Build3NSPerObj = best.Nanoseconds() })
+		t.Logf("wrote %s: 3D build %v/obj", perfBaselinePath, best)
+		return
+	}
+
+	base := loadPerfBaseline(t)
+	if base.Build3NSPerObj == 0 {
+		t.Skip("no 3D build baseline committed yet; run with -update-perf-baseline")
+	}
+	limit := time.Duration(2 * base.Build3NSPerObj)
+	t.Logf("build3 n=%d: %v/obj (baseline %v, limit %v)", n, best, time.Duration(base.Build3NSPerObj), limit)
+	if best > limit {
+		t.Fatalf("3D build perf smoke: %v/obj exceeds 2x the committed baseline %v — the 3D fast path regressed (rebaseline deliberately with -update-perf-baseline if this is expected)",
+			best, time.Duration(base.Build3NSPerObj))
 	}
 }
 

@@ -37,6 +37,15 @@ type (
 	Options3 = core3.Options3
 )
 
+// Typed Build3 validation failures, checkable with errors.Is.
+var (
+	// ErrSparseIDs reports 3D objects whose IDs are not dense 0..n−1.
+	ErrSparseIDs = core3.ErrSparseIDs
+	// ErrOutOfDomain3 reports a 3D object whose center lies outside the
+	// domain box (the 3D counterpart of ErrOutOfDomain).
+	ErrOutOfDomain3 = core3.ErrOutOfDomain3
+)
+
 // Pt3 returns the 3D point (x, y, z).
 func Pt3(x, y, z float64) Point3 { return geom3.P3(x, y, z) }
 
