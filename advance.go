@@ -28,8 +28,8 @@ package uvdiagram
 //
 // Each session must be owned by at most one goroutine; AdvanceAll takes
 // that ownership for every passed session for the duration of the call.
-// Like all queries, it requires external synchronization against
-// Insert/Delete (the server holds its read lock across the batch).
+// Like all queries, it runs lock-free against concurrent Insert/Delete
+// (copy-on-write snapshots; see the DB locking notes).
 func (db *DB) AdvanceAll(sessions []*ContinuousPNN, qs []Point, opts *BatchOptions) (recomputed []bool, errs []error) {
 	if qs != nil && len(qs) != len(sessions) {
 		panic("uvdiagram: AdvanceAll position count does not match session count")
@@ -40,6 +40,8 @@ func (db *DB) AdvanceAll(sessions []*ContinuousPNN, qs []Point, opts *BatchOptio
 	if n == 0 {
 		return recomputed, errs
 	}
+	t := db.egc.Pin() // one pin covers every worker's page reads
+	defer db.egc.Unpin(t)
 	lo := db.lo()
 	eps := lo.epochs()
 	pos := func(i int) Point {

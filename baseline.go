@@ -14,8 +14,14 @@ import (
 // the retrieval cost differs.
 func (db *DB) PNNViaRTree(q Point) ([]Answer, QueryStats, error) {
 	var st QueryStats
+	t := db.egc.Pin()
+	defer db.egc.Unpin(t)
 
 	t0 := time.Now()
+	// View before tree: the R-tree drops a victim before the store
+	// tombstones it, so candidates from whichever tree snapshot we load
+	// are always fetchable through a view captured first.
+	view := db.store.View()
 	tree := db.rtree()
 	before := tree.Pager().Reads()
 	items, dminmax := tree.PNNCandidates(q)
@@ -27,7 +33,7 @@ func (db *DB) PNNViaRTree(q Point) ([]Answer, QueryStats, error) {
 	t1 := time.Now()
 	cands := make([]uncertain.Object, 0, len(items))
 	for _, it := range items {
-		o, err := db.store.Fetch(it.ID)
+		o, err := view.Fetch(it.ID)
 		if err != nil {
 			return nil, st, err
 		}

@@ -256,10 +256,12 @@ func (r batchRoute) plan(qs []Point) (owner, order []int, err error) {
 // order; on any failure the error of the lowest failing query is
 // returned and the results are discarded.
 //
-// Like the single-point queries, batches may run concurrently with each
-// other but require external synchronization against Insert (the server
-// holds its read lock across a whole batch).
+// Like the single-point queries, batches run lock-free against every
+// mutation, including Insert and Delete (copy-on-write snapshots; see
+// the DB locking notes).
 func (db *DB) BatchNN(qs []Point, opts *BatchOptions) ([][]Answer, error) {
+	t := db.egc.Pin() // one pin covers every worker's page reads
+	defer db.egc.Unpin(t)
 	rt := db.route() // one layout + epoch set for the whole batch
 	owner, order, err := rt.plan(qs)
 	if err != nil {
@@ -284,6 +286,8 @@ func (db *DB) BatchNN(qs []Point, opts *BatchOptions) ([][]Answer, error) {
 // BatchTopKPNN answers N top-k probable nearest-neighbor queries (the
 // batch form of TopKPNN), k shared by the whole batch.
 func (db *DB) BatchTopKPNN(qs []Point, k int, opts *BatchOptions) ([][]Answer, error) {
+	t := db.egc.Pin() // one pin covers every worker's page reads
+	defer db.egc.Unpin(t)
 	rt := db.route()
 	owner, order, err := rt.plan(qs)
 	if err != nil {
@@ -313,6 +317,8 @@ func (db *DB) BatchTopKPNN(qs []Point, k int, opts *BatchOptions) ([][]Answer, e
 // is at least tau (the threshold variant of [14]'s PNN formulation).
 // tau ≤ 0 degenerates to BatchNN.
 func (db *DB) BatchThresholdNN(qs []Point, tau float64, opts *BatchOptions) ([][]Answer, error) {
+	t := db.egc.Pin() // one pin covers every worker's page reads
+	defer db.egc.Unpin(t)
 	rt := db.route()
 	owner, order, err := rt.plan(qs)
 	if err != nil {
@@ -348,6 +354,8 @@ func (db *DB) BatchThresholdNN(qs []Point, tau float64, opts *BatchOptions) ([][
 // sequential PossibleKNN calls. Retrieval runs on the shared helper
 // R-tree, so the batch shares one R-tree leaf cache.
 func (db *DB) BatchOrderK(qs []Point, k int, opts *BatchOptions) ([][]int32, error) {
+	t := db.egc.Pin() // one pin covers every worker's page reads
+	defer db.egc.Unpin(t)
 	rt := db.route()
 	cache := db.batch.cacheRTreeFor(opts.cacheSize(), len(rt.eps))
 	out := make([][]int32, len(qs))

@@ -39,6 +39,8 @@ func (db *DB) NewContinuousPNN(q Point) (*ContinuousPNN, error) {
 	if !db.domain.Contains(q) {
 		return nil, &DomainError{Point: q, Domain: db.domain}
 	}
+	t := db.egc.Pin()
+	defer db.egc.Unpin(t)
 	lo := db.lo()
 	si := lo.shardIdx(q)
 	ep := lo.epAt(si)
@@ -57,6 +59,8 @@ func (c *ContinuousPNN) Move(q Point) ([]int32, bool, error) {
 	if !c.db.domain.Contains(q) {
 		return nil, false, &DomainError{Point: q, Domain: c.db.domain}
 	}
+	t := c.db.egc.Pin()
+	defer c.db.egc.Unpin(t)
 	lo := c.db.lo()
 	si := lo.shardIdx(q)
 	return c.advance(lo, si, lo.epAt(si), q, nil, true)
@@ -71,6 +75,8 @@ func (c *ContinuousPNN) Move(q Point) ([]int32, bool, error) {
 // It returns the current answer IDs (sorted, shared slice) and whether
 // a re-evaluation ran; unlike Move it does not count a move.
 func (c *ContinuousPNN) Revalidate() ([]int32, bool, error) {
+	t := c.db.egc.Pin()
+	defer c.db.egc.Unpin(t)
 	lo := c.db.lo()
 	q := c.sess.Position()
 	si := lo.shardIdx(q)

@@ -131,7 +131,7 @@ func (c *ContinuousPNN) recompute(q geom.Point, cache *LeafCache) error {
 	// re-evaluate rather than trust a torn answer set.
 	gen := ix.gen.Load()
 
-	n, region := ix.root, ix.domain
+	n, region := ix.snap().root, ix.domain
 	for !n.isLeaf() {
 		k := region.QuadrantFor(q)
 		n = n.children[k]

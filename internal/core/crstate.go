@@ -88,6 +88,40 @@ func (cr *CRState) Drop(victims []int32) {
 	}
 }
 
+// AddMember appends a freshly inserted id to object a's recorded set —
+// new ids are the dense maximum, so the sort order is preserved — and
+// keeps the reverse map in step. The insert-repair path records a new
+// tight constraint this way without a full Replace. Appending only
+// TIGHTENS the representation (the covered region shrinks), so no leaf
+// surgery is required afterwards.
+func (cr *CRState) AddMember(a, id int32) {
+	cr.crOf[a] = append(cr.crOf[a], id)
+	cr.revCR[id] = append(cr.revCR[id], a)
+}
+
+// Strip removes the victims from object id's recorded set in place,
+// preserving sort order, and reports whether anything was removed. It
+// deliberately leaves the reverse map alone: Drop nils the victims'
+// reverse entries wholesale, and a stripped set never re-references
+// them. This is the no-derivation half of an output-sensitive delete —
+// a live-ids-only representation is always a sound superset rep, so a
+// dependent whose victims were not tight needs exactly this and no
+// leaf-list recomputation beyond re-running the overlap tests.
+func (cr *CRState) Strip(id int32, victims map[int32]bool) bool {
+	s := cr.crOf[id]
+	kept := s[:0]
+	for _, v := range s {
+		if !victims[v] {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == len(s) {
+		return false
+	}
+	cr.crOf[id] = kept
+	return true
+}
+
 // Replace swaps object id's constraint set for a freshly derived one,
 // keeping the inverse map in step.
 func (cr *CRState) Replace(id int32, crIDs []int32) {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uvdiagram/internal/epoch"
 	"uvdiagram/internal/geom"
 	"uvdiagram/internal/pager"
 	"uvdiagram/internal/prob"
@@ -63,6 +64,15 @@ type qnode struct {
 
 func (n *qnode) isLeaf() bool { return n.children == nil }
 
+// treeState is one immutable published snapshot of the adaptive grid:
+// the root and the non-leaf budget spent. Live mutations copy the
+// nodes they change and publish a new treeState with a single pointer
+// store; readers pinned on the old one keep a consistent tree.
+type treeState struct {
+	root    *qnode
+	nonleaf int
+}
+
 // UVIndex is the UV-diagram index: an adaptive quad-tree whose leaves
 // list every object whose UV-cell overlaps the leaf region. Cells are
 // never materialized — overlap is decided from cr-object constraint
@@ -76,9 +86,22 @@ type UVIndex struct {
 	// A standalone index owns its registry; the spatial shards of one
 	// engine all point at the engine's single shared CRState, so cell
 	// representations are recorded once, not once per shard.
-	cr         *CRState
-	root       *qnode
-	nonleaf    int
+	cr *CRState
+	// root/nonleaf are the CONSTRUCTION staging tree: Insert/checkSplit
+	// grow it in place (no readers exist before Finish). Finish
+	// publishes it as the first treeState; from then on every reader
+	// goes through ts and live mutations path-copy (copy-on-write) and
+	// publish a fresh treeState, never touching a published node again.
+	root    *qnode
+	nonleaf int
+	// ts is the published tree snapshot: {root, nonleaf} behind one
+	// atomic pointer, so lock-free readers traverse a consistent tree
+	// while a mutation builds the next one.
+	ts atomic.Pointer[treeState]
+	// dom, when set, reclaims the page slots COW mutations replace once
+	// every reader pinned before publication has finished. Nil orphans
+	// retired pages (the pre-reclamation behavior).
+	dom        *epoch.Domain
 	capPerPage int
 	finished   bool
 	// slack counts the leaf-list churn accumulated by live mutations
@@ -131,6 +154,31 @@ func NewUVIndexCR(store *uncertain.Store, domain geom.Rect, opts IndexOptions, c
 		capPerPage: pager.TuplesPerPage(opts.PageSize),
 		orderK:     1,
 	}
+}
+
+// snap returns the current tree snapshot: the published treeState
+// after Finish, or a wrapper over the construction staging tree before
+// it (construction is single-threaded, so the wrapper is consistent).
+func (ix *UVIndex) snap() *treeState {
+	if ts := ix.ts.Load(); ts != nil {
+		return ts
+	}
+	return &treeState{root: ix.root, nonleaf: ix.nonleaf}
+}
+
+// SetReclaimDomain attaches the epoch domain used to reclaim the page
+// slots COW mutations replace. Without one, retired pages are orphaned
+// on the simulated disk.
+func (ix *UVIndex) SetReclaimDomain(d *epoch.Domain) { ix.dom = d }
+
+// retirePages schedules replaced page slots for reuse once every
+// reader pinned before the mutation published has finished.
+func (ix *UVIndex) retirePages(ids []pager.PageID) {
+	if len(ids) == 0 || ix.dom == nil {
+		return
+	}
+	pg := ix.pg
+	ix.dom.Retire(func() { pg.Free(ids) })
 }
 
 // OrderK returns the cell order the index was built for (1 for the
@@ -224,7 +272,7 @@ func (s QueryStats) Total() time.Duration {
 // descend walks the in-memory non-leaf nodes to the leaf containing q,
 // returning the leaf and its depth.
 func (ix *UVIndex) descend(q geom.Point) (*qnode, int) {
-	n, region, depth := ix.root, ix.domain, 0
+	n, region, depth := ix.snap().root, ix.domain, 0
 	for !n.isLeaf() {
 		k := region.QuadrantFor(q)
 		n = n.children[k]
@@ -295,6 +343,15 @@ func (ix *UVIndex) pnn(q geom.Point, cache *LeafCache, sc *QueryScratch) ([]Answ
 		return nil, st, fmt.Errorf("core: query point %v outside domain %v", q, ix.domain)
 	}
 
+	// Snapshot the population BEFORE the tree. Writers order a delete as
+	// leaf-publish THEN tombstone and an insert as store-append THEN
+	// leaf-publish, so a view captured first can never be missing an
+	// object the subsequently loaded tree still lists (ids past the view
+	// are guarded below, ids dead in the view are filtered) — every query
+	// observes exactly the pre-mutation or the post-mutation answer,
+	// never a hybrid, and never fetches a tombstoned record.
+	view := ix.store.View()
+
 	// Phase 1: index traversal (non-leaf nodes are in memory; leaf page
 	// list is read from disk unless the cache still holds it).
 	t0 := time.Now()
@@ -315,9 +372,17 @@ func (ix *UVIndex) pnn(q geom.Point, cache *LeafCache, sc *QueryScratch) ([]Answ
 	}
 	st.LeafEntries = len(tuples)
 
-	// dminmax filter on MBCs only (no object I/O yet).
+	// dminmax filter on MBCs only (no object I/O yet). Tuples outside
+	// the captured view — tombstoned, or appended after it — are dropped
+	// BEFORE the bound computation, so a dying neighbor can neither
+	// tighten nor loosen dminmax for the population this query answers
+	// over. On a quiescent index the filter passes everything: delete
+	// surgery strips victims from every leaf before they are tombstoned.
 	dminmax := infinity
 	for _, t := range tuples {
+		if int(t.ID) >= view.Len() || !view.Alive(t.ID) {
+			continue
+		}
 		if d := q.Dist(geom.Pt(t.CX, t.CY)) + t.R; d < dminmax {
 			dminmax = d
 		}
@@ -327,6 +392,9 @@ func (ix *UVIndex) pnn(q geom.Point, cache *LeafCache, sc *QueryScratch) ([]Answ
 		candIDs = sc.candIDs[:0]
 	}
 	for _, t := range tuples {
+		if int(t.ID) >= view.Len() || !view.Alive(t.ID) {
+			continue
+		}
 		dmin := q.Dist(geom.Pt(t.CX, t.CY)) - t.R
 		if dmin < 0 {
 			dmin = 0
@@ -360,7 +428,7 @@ func (ix *UVIndex) pnn(q geom.Point, cache *LeafCache, sc *QueryScratch) ([]Answ
 		cands = make([]uncertain.Object, 0, len(candIDs))
 	}
 	for _, id := range candIDs {
-		o, err := ix.store.FetchWith(id, fetch)
+		o, err := view.FetchWith(id, fetch)
 		if err != nil {
 			return nil, st, err
 		}
@@ -405,8 +473,9 @@ type IndexStats struct {
 
 // Stats walks the tree and reports its shape.
 func (ix *UVIndex) Stats() IndexStats {
+	ts := ix.snap()
 	var st IndexStats
-	st.NonLeaf = ix.nonleaf
+	st.NonLeaf = ts.nonleaf
 	var walk func(n *qnode, depth int)
 	walk = func(n *qnode, depth int) {
 		if depth > st.MaxDepth {
@@ -422,7 +491,7 @@ func (ix *UVIndex) Stats() IndexStats {
 			walk(c, depth+1)
 		}
 	}
-	walk(ix.root, 0)
+	walk(ts.root, 0)
 	if st.Leaves > 0 {
 		st.AvgEntries = float64(st.Entries) / float64(st.Leaves)
 	}

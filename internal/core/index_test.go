@@ -125,7 +125,7 @@ func TestLeavesTileDomain(t *testing.T) {
 			walk(n.children[k], region.Quadrant(k), depth+1)
 		}
 	}
-	walk(ix.root, domain, 0)
+	walk(ix.snap().root, domain, 0)
 	if math.Abs(total-domain.Area()) > 1e-6*domain.Area() {
 		t.Errorf("leaf areas sum to %v, want %v", total, domain.Area())
 	}

@@ -42,11 +42,12 @@ func OverlapsRegion(cons []Constraint, r geom.Rect) bool {
 // for k = 1 the test can report spurious overlaps but never misses a
 // true one.
 func (ix *UVIndex) overlapsIDs(oi uncertain.Object, crIDs []int32, r geom.Rect) bool {
+	objs := ix.store.Dense() // one population-snapshot load for the whole scan
 	ci, ri := oi.Region.C, oi.Region.R
 	corners := r.Corners()
 	excluders := 0
 	for _, j := range crIDs {
-		oj := ix.store.At(int(j)).Region
+		oj := objs[j].Region
 		s := ri + oj.R
 		if ci.Dist(oj.C) <= s {
 			continue // overlapping uncertainty regions: no UV-edge
@@ -117,7 +118,7 @@ func (ix *UVIndex) insertObj(id int32, oi uncertain.Object, crIDs []int32, g *qn
 		}
 		return entries, changed
 	}
-	state, kids := ix.checkSplit(id, oi, crIDs, g, region, depth)
+	state, kids := ix.checkSplit(id, oi, crIDs, g, region, depth, ix.nonleaf)
 	switch state {
 	case stateNormal:
 		g.ids = append(g.ids, id)
@@ -158,11 +159,13 @@ func (ix *UVIndex) insertObj(id int32, oi uncertain.Object, crIDs []int32, g *qn
 // checkSplit is Algorithm 4: decide between NORMAL (page space left),
 // OVERFLOW (no splitting allowed or not useful) and SPLIT (redistribute
 // into four children). On SPLIT the tentative children are returned.
-func (ix *UVIndex) checkSplit(id int32, oi uncertain.Object, crIDs []int32, g *qnode, region geom.Rect, depth int) (splitState, *[4]*qnode) {
+// nonleaf is the caller's current non-leaf budget spent (the staging
+// tree's during construction, the COW pass's during live mutation).
+func (ix *UVIndex) checkSplit(id int32, oi uncertain.Object, crIDs []int32, g *qnode, region geom.Rect, depth, nonleaf int) (splitState, *[4]*qnode) {
 	if len(g.ids) < g.pagesAlloc*ix.capPerPage {
 		return stateNormal, nil
 	}
-	if ix.nonleaf+1 > ix.opts.M || depth >= ix.opts.MaxDepth {
+	if nonleaf+1 > ix.opts.M || depth >= ix.opts.MaxDepth {
 		return stateOverflow, nil
 	}
 	// Tentative redistribution of A = {Oi} ∪ g.list into the quadrants.
@@ -214,6 +217,9 @@ func (ix *UVIndex) Finish() {
 	}
 	walk(ix.root)
 	ix.finished = true
+	// Publish the constructed tree; from here on readers traverse the
+	// snapshot and mutations copy-on-write (see treeState).
+	ix.ts.Store(&treeState{root: ix.root, nonleaf: ix.nonleaf})
 }
 
 // writeLeafPages chunks a leaf's tuples into pages (at least one page

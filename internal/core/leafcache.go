@@ -13,10 +13,12 @@ import (
 // decode work from the hot path of batch queries.
 //
 // The cache is safe for concurrent readers (batch workers share one
-// instance). It is tied to the mutation generation of the index it
-// caches for: a live insert bumps the index generation, and the first
-// lookup afterwards discards every entry, so stale tuples are never
-// served.
+// instance). Correctness under mutation comes from copy-on-write: a
+// live mutation replaces every leaf it changes with a fresh node, so a
+// tuple list keyed by node identity can never go stale — entries for
+// replaced leaves stop being looked up and age out of the LRU, while
+// unchanged leaves stay warm across mutations (the generation-flush
+// scheme this replaces dropped the whole cache on every write).
 type LeafCache struct {
 	c *lru.Cache[*qnode, []pager.LeafTuple]
 	// hits/misses feed the server's observability layer. A lookup that
@@ -57,7 +59,9 @@ func (c *LeafCache) get(ix *UVIndex, n *qnode) ([]pager.LeafTuple, bool) {
 	if c == nil {
 		return nil, false
 	}
-	tuples, ok := c.c.Get(ix.gen.Load(), n)
+	// Constant generation: COW leaves are immutable, node identity
+	// alone is the key (see the type comment).
+	tuples, ok := c.c.Get(0, n)
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -70,5 +74,5 @@ func (c *LeafCache) put(ix *UVIndex, n *qnode, tuples []pager.LeafTuple) {
 	if c == nil {
 		return
 	}
-	c.c.Put(ix.gen.Load(), n, tuples)
+	c.c.Put(0, n, tuples)
 }

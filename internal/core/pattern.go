@@ -42,7 +42,7 @@ func (ix *UVIndex) Partitions(r geom.Rect) ([]Partition, time.Duration) {
 			walk(n.children[k], region.Quadrant(k))
 		}
 	}
-	walk(ix.root, ix.domain)
+	walk(ix.snap().root, ix.domain)
 	return out, time.Since(t0)
 }
 
@@ -73,7 +73,7 @@ func (ix *UVIndex) CellArea(id int32) (float64, error) {
 			walk(n.children[k], region.Quadrant(k))
 		}
 	}
-	walk(ix.root, ix.domain)
+	walk(ix.snap().root, ix.domain)
 	return area, nil
 }
 
@@ -96,7 +96,7 @@ func (ix *UVIndex) CellRegions(id int32) []geom.Rect {
 			walk(n.children[k], region.Quadrant(k))
 		}
 	}
-	walk(ix.root, ix.domain)
+	walk(ix.snap().root, ix.domain)
 	return out
 }
 
@@ -117,7 +117,7 @@ func (ix *UVIndex) BuildCellAreas() map[int32]float64 {
 			walk(n.children[k], region.Quadrant(k))
 		}
 	}
-	walk(ix.root, ix.domain)
+	walk(ix.snap().root, ix.domain)
 	return areas
 }
 
@@ -127,7 +127,7 @@ func (ix *UVIndex) LeafRegionFor(q geom.Point) (geom.Rect, error) {
 	if !ix.domain.Contains(q) {
 		return geom.Rect{}, fmt.Errorf("core: point %v outside domain", q)
 	}
-	n, region := ix.root, ix.domain
+	n, region := ix.snap().root, ix.domain
 	for !n.isLeaf() {
 		k := region.QuadrantFor(q)
 		n = n.children[k]
@@ -142,7 +142,7 @@ func (ix *UVIndex) LeafObjects(q geom.Point) ([]int32, error) {
 	if !ix.domain.Contains(q) {
 		return nil, fmt.Errorf("core: point %v outside domain", q)
 	}
-	n, region := ix.root, ix.domain
+	n, region := ix.snap().root, ix.domain
 	for !n.isLeaf() {
 		k := region.QuadrantFor(q)
 		n = n.children[k]

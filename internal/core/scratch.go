@@ -83,6 +83,28 @@ func DeriveCR(tree *rtree.Tree, oi uncertain.Object, objs []uncertain.Object, do
 	return cr
 }
 
+// DeriveCRFrom is region-restricted re-derivation: it rebuilds oi's
+// cr-set seeded from prev — the object's previous live members (sorted,
+// victims already stripped) — instead of a fresh incremental-NN browse.
+// The seeded region is the region of the surviving representation, so
+// I-pruning's search radius starts from the cell as it was and only
+// admits the candidates that can matter now that a tight constraint is
+// gone; the union with prev keeps the result a superset of what the
+// caller already covered. The tree must no longer contain the victims
+// (the delete path removes them from the R-tree before re-deriving).
+func DeriveCRFrom(tree *rtree.Tree, oi uncertain.Object, prev []int32, objs []uncertain.Object, domain geom.Rect, samples int, sc *DeriveScratch) []int32 {
+	region := &sc.region
+	region.Reset(oi.Region.C, domain)
+	for _, id := range prev {
+		region.AddObject(oi, objs[id])
+	}
+	sc.ids = iPruneInto(tree, oi, region, samples, sc.ids[:0])
+	kept := cPruneInto(sc.ids, oi, region, samples, objs, sc)
+	slices.Sort(kept)
+	sc.sorted = append(sc.sorted[:0], prev...)
+	return mergeSorted(kept, sc.sorted)
+}
+
 // deriveCR runs seeds + pruning + merge with sc's buffers, returning
 // the retained cr-set and the |I| / |C-pruning survivor| counters.
 func deriveCR(tree *rtree.Tree, oi uncertain.Object, objs []uncertain.Object, domain geom.Rect, k, ks, samples int, disableCPrune bool, sc *DeriveScratch) (cr []int32, nI, nC int) {

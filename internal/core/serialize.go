@@ -91,7 +91,7 @@ func (ix *UVIndex) Save(w io.Writer) error {
 			walk(c)
 		}
 	}
-	walk(ix.root)
+	walk(ix.snap().root)
 	if cw.err != nil {
 		return fmt.Errorf("core: saving index: %w", cw.err)
 	}

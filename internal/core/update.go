@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"uvdiagram/internal/geom"
 	"uvdiagram/internal/pager"
+	"uvdiagram/internal/uncertain"
 )
 
 // Incremental updates — the extension the paper lists as future work
@@ -22,12 +24,26 @@ import (
 // neighboring UV-cell, so existing leaf lists can stop being supersets.
 // The damage is bounded, though: an object's cell can only change if
 // the victim's constraint participated in its representation, i.e. if
-// the victim is in its cr-set. The delete path therefore re-derives and
-// re-inserts exactly the registry's Dependents of the victim and
-// answers stay exact. The price of both operations is accumulated slack
-// (extra false positives, never wrong answers), counted in Slack
-// weighted by the leaf-list entries touched; long-running deployments
-// compact when it drifts up (DB.Compact / BuildOptions.CompactSlack).
+// the victim is in its cr-set. The delete path therefore strips the
+// victims from every dependent's representation and re-runs the leaf
+// surgery for those dependents — any subset of LIVE constraint ids is
+// a valid (conservative) cell representation, so this is sound whether
+// or not a dependent also re-derives; the topology registry
+// (topology.go) decides which dependents are worth re-deriving because
+// the victim actually shaped their boundary. The price of both
+// operations is accumulated slack (extra false positives, never wrong
+// answers), counted in Slack weighted by the leaf-list entries
+// touched; long-running deployments compact when it drifts up
+// (DB.Compact / BuildOptions.CompactSlack).
+//
+// All live leaf surgery is COPY-ON-WRITE: a mutation path-copies the
+// nodes it changes, writes fresh leaf pages, and publishes the new
+// tree with one treeState store. Readers never synchronize with
+// writers — a query pinned on the old snapshot keeps a consistent
+// tree whose pages are retired through the epoch domain only once
+// every such reader has finished. Mutators themselves must still be
+// externally serialized per index (the per-shard wmu is that
+// writer-writer lock).
 //
 // The registry mutations (CRState) and the leaf surgery are separate
 // layers: a sharded engine updates the shared registry once under its
@@ -35,6 +51,167 @@ import (
 // on each shard its cells reach under that shard's write mutex. The
 // single-index InsertLive / DeleteLiveBatch wrappers below compose both
 // layers for standalone indexes (and the order-k grid).
+
+// cowPass carries one live mutation through the tree: the running
+// non-leaf budget, the entry-weighted churn, the fresh leaves whose
+// pages are not yet written, and the replaced pages to retire after
+// publication. Fresh nodes are recognizable by dirty == true (published
+// nodes always have dirty == false), which lets a multi-step pass
+// (remove, then many reinserts) mutate its OWN nodes in place instead
+// of copying them again.
+type cowPass struct {
+	ix      *UVIndex
+	nonleaf int
+	entries int  // leaf entries touched (removed + created)
+	changed bool // any structural change (splits can change without entries)
+	fresh   []*qnode
+	retired []pager.PageID
+}
+
+// copyLeaf returns a fresh, mutable copy of published leaf n with its
+// pages retired; the copy's pages are written at seal time.
+func (p *cowPass) copyLeaf(n *qnode) *qnode {
+	nl := &qnode{
+		ids:        append([]int32(nil), n.ids...),
+		pagesAlloc: n.pagesAlloc,
+		dirty:      true,
+	}
+	p.retired = append(p.retired, n.pages...)
+	p.fresh = append(p.fresh, nl)
+	return nl
+}
+
+// removeCOW strips every id in remove from the leaf lists of the
+// subtree rooted at n, returning the replacement node (n itself when
+// nothing below changed).
+func (p *cowPass) removeCOW(n *qnode, remove map[int32]bool) *qnode {
+	if !n.isLeaf() {
+		var kids [4]*qnode
+		changed := false
+		for k := 0; k < 4; k++ {
+			kids[k] = p.removeCOW(n.children[k], remove)
+			changed = changed || kids[k] != n.children[k]
+		}
+		if !changed {
+			return n
+		}
+		return &qnode{children: &kids}
+	}
+	removed := 0
+	for _, id := range n.ids {
+		if remove[id] {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return n
+	}
+	nl := n
+	if !n.dirty {
+		nl = p.copyLeaf(n)
+	}
+	kept := nl.ids[:0]
+	for _, id := range nl.ids {
+		if !remove[id] {
+			kept = append(kept, id)
+		}
+	}
+	nl.ids = kept
+	p.entries += removed
+	p.changed = true
+	return nl
+}
+
+// insertCOW descends the grid adding id to every leaf its cell can
+// overlap (the live-mutation counterpart of insertObj), returning the
+// replacement node. Split decisions follow Algorithm 4 exactly as the
+// in-place path did, against the pass's running non-leaf budget.
+func (p *cowPass) insertCOW(id int32, oi uncertain.Object, crIDs []int32, n *qnode, region geom.Rect, depth int) *qnode {
+	ix := p.ix
+	if !ix.overlapsIDs(oi, crIDs, region) {
+		return n
+	}
+	if !n.isLeaf() {
+		var kids [4]*qnode
+		changed := false
+		for k := 0; k < 4; k++ {
+			kids[k] = p.insertCOW(id, oi, crIDs, n.children[k], region.Quadrant(k), depth+1)
+			changed = changed || kids[k] != n.children[k]
+		}
+		if !changed {
+			return n
+		}
+		return &qnode{children: &kids}
+	}
+	state, kids := ix.checkSplit(id, oi, crIDs, n, region, depth, p.nonleaf)
+	switch state {
+	case stateNormal, stateOverflow:
+		nl := n
+		if !n.dirty {
+			nl = p.copyLeaf(n)
+		}
+		if state == stateOverflow && len(nl.ids) >= nl.pagesAlloc*ix.capPerPage {
+			nl.pagesAlloc++ // grant a new page (Algorithm 3 OVERFLOW)
+		}
+		nl.ids = append(nl.ids, id)
+		p.entries++
+		p.changed = true
+		return nl
+	default: // stateSplit
+		// The tentative children (which already include id where it
+		// overlaps) replace the leaf; its pages are retired. A fresh
+		// leaf replaced by its own split is unlinked from the pass so
+		// seal skips it.
+		if n.dirty {
+			n.dirty = false
+			n.ids = nil
+		} else {
+			p.retired = append(p.retired, n.pages...)
+		}
+		for k := 0; k < 4; k++ {
+			kids[k].dirty = true
+			p.fresh = append(p.fresh, kids[k])
+		}
+		p.nonleaf++
+		for k := 0; k < 4; k++ {
+			for _, v := range kids[k].ids {
+				if v == id {
+					p.entries++
+					break
+				}
+			}
+		}
+		p.changed = true
+		return &qnode{children: kids}
+	}
+}
+
+// seal writes the page lists of every fresh leaf still linked into the
+// new tree and clears their dirty flags, making them publishable.
+func (p *cowPass) seal() {
+	for _, n := range p.fresh {
+		if !n.dirty {
+			continue // replaced by a later split within the same pass
+		}
+		n.pages = p.ix.writeLeafPages(n.ids)
+		n.dirty = false
+	}
+}
+
+// publish seals and atomically installs the new tree, retires the
+// replaced pages and accrues the entry-weighted slack. No-op when the
+// pass changed nothing.
+func (p *cowPass) publish(root *qnode) {
+	if !p.changed {
+		return
+	}
+	p.seal()
+	ix := p.ix
+	ix.ts.Store(&treeState{root: root, nonleaf: p.nonleaf})
+	ix.slack.Add(int64(p.entries))
+	ix.gen.Add(1)
+	ix.retirePages(p.retired)
+}
 
 // InsertLeafLive adds object id — whose representation must already be
 // recorded in the registry — to a finished index's leaf lists. It
@@ -52,26 +229,22 @@ func (ix *UVIndex) InsertLeafLive(id int32) (int, error) {
 	if int(id) >= len(ix.cr.crOf) {
 		return 0, fmt.Errorf("core: object %d has no recorded constraint set", id)
 	}
-	entries, changed := ix.insertObj(id, ix.store.At(int(id)), ix.cr.crOf[id], ix.root, ix.domain, 0)
-	if changed {
-		// The flag, not the entry count, gates the flush: a split can
-		// dirty leaves (and allocate children with unwritten page
-		// lists) even when id itself lands in none of them.
-		ix.flushDirty(ix.root)
-		ix.slack.Add(int64(entries))
-		ix.gen.Add(1) // invalidate leaf caches
-	}
-	return entries, nil
+	ts := ix.ts.Load()
+	p := &cowPass{ix: ix, nonleaf: ts.nonleaf}
+	root := p.insertCOW(id, ix.store.At(int(id)), ix.cr.crOf[id], ts.root, ix.domain, 0)
+	p.publish(root)
+	return p.entries, nil
 }
 
 // RemoveAndReinsertLive is the leaf-surgery half of a delete batch: one
 // walk strips every id in remove from the leaf lists, then every id in
-// reinsert (whose FRESH representation must already be in the registry)
-// is re-inserted. It returns the number of leaf entries touched
-// (removed + re-created); slack accrues that weight and the mutation
-// generation bumps once if anything changed. The caller orchestrates
-// the registry: victims dropped, survivors re-derived, all before this
-// runs.
+// reinsert (whose CURRENT representation in the registry — stripped of
+// the victims, re-derived or not — must already be final) is
+// re-inserted. It returns the number of leaf entries touched (removed +
+// re-created); slack accrues that weight and the mutation generation
+// bumps once if anything changed. The caller orchestrates the registry:
+// victims dropped and stripped, tight survivors re-derived, all before
+// this runs.
 func (ix *UVIndex) RemoveAndReinsertLive(remove, reinsert []int32) (int, error) {
 	if !ix.finished {
 		return 0, fmt.Errorf("core: RemoveAndReinsertLive before Finish")
@@ -83,25 +256,19 @@ func (ix *UVIndex) RemoveAndReinsertLive(remove, reinsert []int32) (int, error) 
 		}
 		rm[v] = true
 	}
-	entries := ix.removeFromLeaves(ix.root, rm)
-	changed := entries > 0
+	ts := ix.ts.Load()
+	p := &cowPass{ix: ix, nonleaf: ts.nonleaf}
+	root := p.removeCOW(ts.root, rm)
 	for _, a := range reinsert {
-		e, ch := ix.insertObj(a, ix.store.At(int(a)), ix.cr.crOf[a], ix.root, ix.domain, 0)
-		entries += e
-		changed = changed || ch
+		root = p.insertCOW(a, ix.store.At(int(a)), ix.cr.crOf[a], root, ix.domain, 0)
 	}
-	if changed {
-		ix.flushDirty(ix.root)
-		ix.slack.Add(int64(entries))
-		ix.gen.Add(1) // invalidate leaf caches
-	}
-	return entries, nil
+	p.publish(root)
+	return p.entries, nil
 }
 
 // InsertLive adds object id (already appended to the store) to a
 // standalone finished index, represented by its cr-object ids: the
-// registry append and the leaf insertion in one call. Affected leaf
-// pages are rewritten in place where possible. Indexes sharing a
+// registry append and the leaf insertion in one call. Indexes sharing a
 // registry must not use this (the DB appends to the shared registry
 // once and calls InsertLeafLive per shard).
 func (ix *UVIndex) InsertLive(id int32, crIDs []int32) error {
@@ -136,11 +303,10 @@ func (ix *UVIndex) DeleteLive(victim int32, rederive func(id int32) []int32) ([]
 
 // DeleteLiveBatch is DeleteLive over many victims at once, sharing the
 // expensive whole-tree passes: the victims and the union of their
-// dependents are stripped in ONE leaf walk, dirty pages are flushed
-// once, and the mutation generation (which empties leaf caches) bumps
-// once. Every victim must already be tombstoned in the store and gone
-// from the helper R-tree, so the rederive callbacks see the final
-// post-batch population.
+// dependents are stripped in ONE leaf walk, fresh pages are written
+// once, and the mutation generation bumps once. Every victim must
+// already be tombstoned in the store and gone from the helper R-tree,
+// so the rederive callbacks see the final post-batch population.
 func (ix *UVIndex) DeleteLiveBatch(victims []int32, rederive func(id int32) []int32) ([]int32, error) {
 	if !ix.finished {
 		return nil, fmt.Errorf("core: DeleteLive before Finish")
@@ -162,77 +328,4 @@ func (ix *UVIndex) DeleteLiveBatch(victims []int32, rederive func(id int32) []in
 		return nil, err
 	}
 	return affected, nil
-}
-
-// removeFromLeaves filters every leaf list against the remove set,
-// marking changed leaves dirty for the next flush. It returns the
-// number of entries removed (the entry-weighted churn).
-func (ix *UVIndex) removeFromLeaves(n *qnode, remove map[int32]bool) int {
-	if !n.isLeaf() {
-		entries := 0
-		for _, c := range n.children {
-			entries += ix.removeFromLeaves(c, remove)
-		}
-		return entries
-	}
-	kept := n.ids[:0]
-	for _, id := range n.ids {
-		if !remove[id] {
-			kept = append(kept, id)
-		}
-	}
-	removed := len(n.ids) - len(kept)
-	if removed > 0 {
-		n.ids = kept
-		n.dirty = true
-	}
-	return removed
-}
-
-// flushDirty rewrites the page lists of leaves modified since the last
-// flush, reusing already-allocated pages where they suffice.
-func (ix *UVIndex) flushDirty(n *qnode) {
-	if !n.isLeaf() {
-		for _, c := range n.children {
-			ix.flushDirty(c)
-		}
-		return
-	}
-	if !n.dirty {
-		return
-	}
-	n.dirty = false
-	tuples := make([]pager.LeafTuple, len(n.ids))
-	for i, id := range n.ids {
-		o := ix.store.At(int(id))
-		tuples[i] = pager.LeafTuple{
-			ID: id,
-			CX: o.Region.C.X, CY: o.Region.C.Y, R: o.Region.R,
-			Pointer: uint64(ix.store.PageOf(id)),
-		}
-	}
-	var pages []pager.PageID
-	slot := 0
-	for off := 0; ; off += ix.capPerPage {
-		end := off + ix.capPerPage
-		if end > len(tuples) {
-			end = len(tuples)
-		}
-		var chunk []pager.LeafTuple
-		if off < len(tuples) {
-			chunk = tuples[off:end]
-		}
-		payload := pager.EncodeLeafTuples(chunk)
-		if slot < len(n.pages) {
-			ix.pg.Write(n.pages[slot], payload)
-			pages = append(pages, n.pages[slot])
-		} else {
-			pages = append(pages, ix.pg.Alloc(payload))
-		}
-		slot++
-		if end >= len(tuples) {
-			break
-		}
-	}
-	n.pages = pages
 }

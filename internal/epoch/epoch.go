@@ -1,0 +1,155 @@
+// Package epoch provides epoch-based reclamation (EBR) for the
+// copy-on-write index structures: readers pin the current epoch before
+// walking a published structure snapshot, writers retire replaced
+// resources (simulated disk pages) under the NEXT epoch, and a retired
+// resource is reclaimed only once every pinned reader has advanced past
+// the epoch in which it was still reachable. Readers therefore never
+// synchronize with writers — a pin is one CAS on a free slot and an
+// unpin is one store — while page slots are still recycled instead of
+// leaking.
+package epoch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// slots bounds the number of concurrently pinned readers. The server's
+// worker pool bounds real concurrency far below this; Pin spins (with
+// Gosched) in the pathological case that every slot is taken.
+const slots = 256
+
+// slot is one reader registration, padded to its own cache line so
+// pinning readers on different CPUs never false-share.
+type slot struct {
+	v atomic.Uint64 // 0 = free, otherwise the pinned epoch
+	_ [56]byte
+}
+
+type retired struct {
+	epoch uint64
+	free  func()
+}
+
+// Domain is one reclamation domain. A nil *Domain is valid: pins
+// return immediately and retired resources are simply orphaned (never
+// freed) — the behavior standalone indexes without a DB had before
+// reclamation existed.
+type Domain struct {
+	// gen is the current epoch, starting at 1 so a zero slot value can
+	// mean "free".
+	gen   atomic.Uint64
+	slots [slots]slot
+
+	mu   sync.Mutex
+	dead []retired
+}
+
+// NewDomain returns an empty domain at epoch 1.
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.gen.Store(1)
+	return d
+}
+
+// Pin registers the caller as a reader of the current epoch and
+// returns a ticket for Unpin. Every load of a published structure
+// pointer (and every page read through it) must happen between Pin and
+// Unpin. Pinning is wait-free in the common case: claim the first free
+// slot with one CAS.
+//
+// The pinned value may lag the true epoch by the time the CAS lands;
+// that is safe — a lower pin only delays reclamation, never allows it.
+func (d *Domain) Pin() int {
+	if d == nil {
+		return -1
+	}
+	for {
+		g := d.gen.Load()
+		for i := range d.slots {
+			if d.slots[i].v.CompareAndSwap(0, g) {
+				return i
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unpin releases a ticket returned by Pin. Unpinning an invalid ticket
+// (nil domain's -1) is a no-op.
+func (d *Domain) Unpin(ticket int) {
+	if d == nil || ticket < 0 {
+		return
+	}
+	d.slots[ticket].v.Store(0)
+}
+
+// Retire schedules free to run once no pinned reader can still reach
+// the resource it releases. The caller must have already unpublished
+// the resource (swapped the structure pointer past it): Retire stamps
+// the CURRENT epoch, advances the epoch, and reclaims whatever older
+// retirements have drained.
+//
+// A nil domain orphans the resource (free is never called).
+func (d *Domain) Retire(free func()) {
+	if d == nil || free == nil {
+		return
+	}
+	d.mu.Lock()
+	d.dead = append(d.dead, retired{epoch: d.gen.Load(), free: free})
+	d.mu.Unlock()
+	d.gen.Add(1)
+	d.tryReclaim()
+}
+
+// Advance reclaims whatever retirements have drained without retiring
+// anything new; long-idle domains can call it to bound the dead list.
+func (d *Domain) Advance() {
+	if d == nil {
+		return
+	}
+	d.tryReclaim()
+}
+
+// Pending returns the number of retirements not yet reclaimed
+// (observability and tests).
+func (d *Domain) Pending() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.dead)
+}
+
+// tryReclaim frees every retirement stamped strictly before the oldest
+// pinned epoch. Safety: a retirement stamped e was unpublished before
+// epoch e advanced to e+1, so any reader pinning e+1 or later loads
+// the post-swap pointers and can never reach it; only readers pinned
+// at ≤ e can, and they hold the minimum down until they unpin. A
+// reader that pins between the snapshot below and the frees observes
+// the current epoch, which is already past every stamped retirement.
+func (d *Domain) tryReclaim() {
+	min := d.gen.Load()
+	for i := range d.slots {
+		if v := d.slots[i].v.Load(); v != 0 && v < min {
+			min = v
+		}
+	}
+	var ready []retired
+	d.mu.Lock()
+	kept := d.dead[:0]
+	for _, r := range d.dead {
+		if r.epoch < min {
+			ready = append(ready, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	d.dead = kept
+	d.mu.Unlock()
+	for _, r := range ready {
+		r.free()
+	}
+}

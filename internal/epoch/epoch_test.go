@@ -1,0 +1,112 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilDomain(t *testing.T) {
+	var d *Domain
+	ticket := d.Pin()
+	d.Unpin(ticket)
+	d.Retire(func() { t.Fatal("nil domain must orphan, not free") })
+	d.Advance()
+	if d.Pending() != 0 {
+		t.Fatal("nil domain pending != 0")
+	}
+}
+
+func TestRetireWithoutReaders(t *testing.T) {
+	d := NewDomain()
+	var freed atomic.Int32
+	d.Retire(func() { freed.Add(1) })
+	if freed.Load() != 1 {
+		t.Fatalf("retire with no pinned readers should free immediately, freed=%d", freed.Load())
+	}
+}
+
+func TestPinnedReaderBlocksReclaim(t *testing.T) {
+	d := NewDomain()
+	ticket := d.Pin()
+	var freed atomic.Int32
+	d.Retire(func() { freed.Add(1) })
+	if freed.Load() != 0 {
+		t.Fatal("retirement freed while a reader from its epoch is pinned")
+	}
+	if d.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", d.Pending())
+	}
+	d.Unpin(ticket)
+	d.Advance()
+	if freed.Load() != 1 {
+		t.Fatal("retirement not freed after the pinned reader left")
+	}
+}
+
+// A reader pinned AFTER a retirement must not block it: its epoch is
+// already past the stamp.
+func TestLateReaderDoesNotBlock(t *testing.T) {
+	d := NewDomain()
+	old := d.Pin()
+	var freed atomic.Int32
+	d.Retire(func() { freed.Add(1) })
+	late := d.Pin() // pins epoch ≥ stamp+1
+	d.Unpin(old)
+	d.Advance()
+	if freed.Load() != 1 {
+		t.Fatal("late reader wrongly blocked an older retirement")
+	}
+	d.Unpin(late)
+}
+
+func TestOrderedReclaim(t *testing.T) {
+	d := NewDomain()
+	ticket := d.Pin()
+	var log []int
+	var mu sync.Mutex
+	for i := 0; i < 5; i++ {
+		i := i
+		d.Retire(func() { mu.Lock(); log = append(log, i); mu.Unlock() })
+	}
+	if len(log) != 0 {
+		t.Fatal("freed under a pinned reader")
+	}
+	d.Unpin(ticket)
+	d.Advance()
+	if len(log) != 5 {
+		t.Fatalf("freed %d of 5", len(log))
+	}
+}
+
+func TestConcurrentPinRetire(t *testing.T) {
+	d := NewDomain()
+	var freed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tk := d.Pin()
+				d.Unpin(tk)
+			}
+		}()
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		d.Retire(func() { freed.Add(1) })
+	}
+	close(stop)
+	wg.Wait()
+	d.Advance()
+	if freed.Load() != n {
+		t.Fatalf("freed %d of %d after all readers left", freed.Load(), n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"time"
 
 	"uvdiagram"
@@ -51,10 +52,11 @@ func RunChurn(sc Scale, progress func(string)) (*Table, error) {
 	t := &Table{
 		ID:      "churn",
 		Title:   fmt.Sprintf("Mixed insert/delete/query churn over loopback TCP (n=%d)", sc.MidN),
-		Columns: []string{"workload", "shards", "ops", "inserts", "deletes", "elapsed", "ops/s"},
+		Columns: []string{"workload", "shards", "ops", "inserts", "deletes", "elapsed", "ops/s", "ins p50/p99", "del p50/p99", "rederiv/del"},
 		Notes: []string{
 			"writes are per-connection pipeline barriers; queries are PNN round trips",
-			"delete re-derives only the objects whose cr-set contained the victim (once, shared across shards)",
+			"delete re-derives only the dependents whose cr-set lost a TIGHT constraint; the rest keep their set minus the victim",
+			"ins/del p50,p99 are per-write round-trip latency percentiles; rederiv/del is mean objects re-derived per delete (MutationStats delta)",
 			"compact row: queries during an off-thread DB.Compact (epoch swap); ops/s is query throughput while the rebuild ran",
 		},
 	}
@@ -80,14 +82,18 @@ func RunChurn(sc Scale, progress func(string)) (*Table, error) {
 		{"heavy churn (20% writes)", 20},
 	} {
 		var inserts, deletes int
+		var insLat, delLat []time.Duration
+		msBefore := db.MutationStats()
 		elapsed, err := timeIt(func() error {
 			for i := 0; i < ops; i++ {
 				switch {
 				case mix.writes > 0 && i%100 < mix.writes && i%2 == 0:
 					q := randPt()
+					w0 := time.Now()
 					if err := cli.Insert(nextID, q.X, q.Y, sc.Diameter/2, nil); err != nil {
 						return err
 					}
+					insLat = append(insLat, time.Since(w0))
 					live = append(live, nextID)
 					nextID++
 					inserts++
@@ -99,9 +105,11 @@ func RunChurn(sc Scale, progress func(string)) (*Table, error) {
 					id := live[k]
 					live[k] = live[len(live)-1]
 					live = live[:len(live)-1]
+					w0 := time.Now()
 					if err := cli.Delete(id); err != nil {
 						return err
 					}
+					delLat = append(delLat, time.Since(w0))
 					deletes++
 				default:
 					if _, err := cli.PNN(randPt()); err != nil {
@@ -114,11 +122,17 @@ func RunChurn(sc Scale, progress func(string)) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		msAfter := db.MutationStats()
+		rederivPerDel := "-"
+		if deletes > 0 {
+			rederivPerDel = fmt.Sprintf("%.1f", float64(msAfter.Rederived-msBefore.Rederived)/float64(deletes))
+		}
 		progress(fmt.Sprintf("churn: %s — %d ops in %v", mix.name, ops, elapsed.Round(time.Millisecond)))
 		t.AddRow(mix.name, fmt.Sprintf("%d", shards), fmt.Sprintf("%d", ops),
 			fmt.Sprintf("%d", inserts), fmt.Sprintf("%d", deletes),
 			elapsed.Round(time.Millisecond).String(),
-			fmt.Sprintf("%.0f", float64(ops)/elapsed.Seconds()))
+			fmt.Sprintf("%.0f", float64(ops)/elapsed.Seconds()),
+			latPair(insLat), latPair(delLat), rederivPerDel)
 	}
 
 	// Compaction row: query continuously while a full rebuild runs
@@ -154,4 +168,19 @@ func RunChurn(sc Scale, progress func(string)) (*Table, error) {
 		default:
 		}
 	}
+}
+
+// latPair formats a latency sample set as "p50/p99" (exact order
+// statistics — write counts per mix are small). Empty samples render
+// as "-" (the read-only row).
+func latPair(lat []time.Duration) string {
+	if len(lat) == 0 {
+		return "-"
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return fmt.Sprintf("%v/%v", q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond))
 }

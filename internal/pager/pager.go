@@ -24,8 +24,13 @@ type Pager struct {
 	mu       sync.RWMutex
 	pageSize int
 	pages    [][]byte
-	reads    atomic.Int64
-	writes   atomic.Int64
+	// free holds the ids of freed page slots, reused by Alloc. A reused
+	// slot gets a NEW buffer: the old buffer is never rewritten, so a
+	// reader that obtained it through Read keeps seeing the retired
+	// page's content — the property copy-on-write leaf tables rely on.
+	free   []PageID
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 // New returns an empty pager with the given page size (DefaultPageSize
@@ -40,11 +45,11 @@ func New(size int) *Pager {
 // PageSize returns the page size in bytes.
 func (p *Pager) PageSize() int { return p.pageSize }
 
-// NumPages returns the number of allocated pages.
+// NumPages returns the number of live (allocated, not freed) pages.
 func (p *Pager) NumPages() int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return len(p.pages)
+	return len(p.pages) - len(p.free)
 }
 
 // BytesOnDisk returns the total simulated disk footprint.
@@ -52,8 +57,9 @@ func (p *Pager) BytesOnDisk() int64 {
 	return int64(p.NumPages()) * int64(p.pageSize)
 }
 
-// Alloc writes data to a fresh page and returns its id. It counts as one
-// write. data must fit in a page.
+// Alloc writes data to a fresh page and returns its id, preferring a
+// freed slot over growing the disk. It counts as one write. data must
+// fit in a page.
 func (p *Pager) Alloc(data []byte) PageID {
 	if len(data) > p.pageSize {
 		panic(fmt.Sprintf("pager: payload %d bytes exceeds page size %d", len(data), p.pageSize))
@@ -61,11 +67,31 @@ func (p *Pager) Alloc(data []byte) PageID {
 	page := make([]byte, p.pageSize)
 	copy(page, data)
 	p.mu.Lock()
-	p.pages = append(p.pages, page)
-	id := PageID(len(p.pages) - 1)
+	var id PageID
+	if n := len(p.free); n > 0 {
+		id = p.free[n-1]
+		p.free = p.free[:n-1]
+		p.pages[id] = page
+	} else {
+		p.pages = append(p.pages, page)
+		id = PageID(len(p.pages) - 1)
+	}
 	p.mu.Unlock()
 	p.writes.Add(1)
 	return id
+}
+
+// Free returns page slots to the allocator. The buffers themselves are
+// left untouched until the slot is reused (see Alloc); callers are
+// responsible for freeing a page only once no reader can still reach
+// its id (the epoch domains guarantee this for the COW index paths).
+func (p *Pager) Free(ids []PageID) {
+	if len(ids) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, ids...)
+	p.mu.Unlock()
 }
 
 // Write replaces the content of an existing page; one write.

@@ -39,8 +39,10 @@ func (it *NNIterator) Reset(t *Tree, q geom.Point) {
 		it.h[i] = pqEntry{} // release node/item references
 	}
 	it.h = it.h[:0]
-	if t != nil && t.size > 0 {
-		it.h.push(pqEntry{key: t.root.rect.MinDist(q), node: t.root})
+	if t != nil {
+		if hd := t.hdr.Load(); hd.size > 0 {
+			it.h.push(pqEntry{key: hd.root.rect.MinDist(q), node: hd.root})
+		}
 	}
 }
 

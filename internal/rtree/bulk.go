@@ -21,14 +21,13 @@ func BulkLoad(items []Item, fanout int, pg *pager.Pager) *Tree {
 	copy(sorted, items)
 
 	leaves := strPackLeaves(t, sorted)
-	t.size = len(items)
 	level := leaves
-	t.height = 1
+	height := 1
 	for len(level) > 1 {
 		level = strPackNodes(level, fanout)
-		t.height++
+		height++
 	}
-	t.root = level[0]
+	t.hdr.Store(&treeHdr{root: level[0], height: height, size: len(items)})
 	return t
 }
 

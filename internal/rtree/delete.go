@@ -9,67 +9,75 @@ import (
 // whether an entry was found. The search is guided by the item's MBR,
 // so deletion touches only the subtrees that could hold it.
 //
-// The implementation favors bound maintenance over rebalancing: leaf
-// entries are removed in place and ancestor MBRs are recomputed as the
-// union of their children, but underfull nodes are not condensed or
-// reinserted. A leaf emptied by deletion keeps its last MBR (a stale
-// superset), which can cost a few extra node visits but never a missed
-// item — the same "superset stays sound" contract the UV-index leaf
-// lists follow. Sustained delete-heavy workloads reclaim the slack by
-// rebuilding (DB.Compact bulk-loads a fresh tree).
+// The implementation favors bound maintenance over rebalancing: the
+// root-to-leaf path is path-copied (the leaf's survivors move to a
+// fresh page, the old page is retired) and ancestor MBRs are
+// recomputed as the union of their children, but underfull nodes are
+// not condensed or reinserted. A leaf emptied by deletion keeps its
+// last MBR (a stale superset), which can cost a few extra node visits
+// but never a missed item — the same "superset stays sound" contract
+// the UV-index leaf lists follow. Sustained delete-heavy workloads
+// reclaim the slack by rebuilding (DB.Compact bulk-loads a fresh
+// tree).
 func (t *Tree) Delete(id int32, mbc geom.Circle) bool {
-	if t.size == 0 {
+	h := t.hdr.Load()
+	if h.size == 0 {
 		return false
 	}
 	target := Item{ID: id, MBC: mbc}
-	found := t.deleteAt(t.root, target)
+	var retired []pager.PageID
+	root, found := t.deleteCOW(h.root, target, &retired)
 	if !found {
 		return false
 	}
-	t.size--
+	height := h.height
 	// Collapse a root with a single non-leaf child so the height stays
 	// meaningful after heavy deletion.
-	for !t.root.isLeaf() && len(t.root.children) == 1 {
-		t.root = t.root.children[0]
-		t.height--
+	for !root.isLeaf() && len(root.children) == 1 {
+		root = root.children[0]
+		height--
 	}
-	t.gen.Add(1) // invalidate leaf caches
+	t.hdr.Store(&treeHdr{root: root, height: height, size: h.size - 1})
+	t.gen.Add(1)
+	t.retirePages(retired)
 	return true
 }
 
-// deleteAt removes target from the subtree rooted at n, reporting
-// whether it was found. Ancestor rects are tightened on the way out.
-func (t *Tree) deleteAt(n *node, target Item) bool {
+// deleteCOW removes target from the subtree rooted at n. It returns
+// the replacement node (n itself when nothing below changed) and
+// whether the item was found; ancestor rects are tightened on the
+// copied path.
+func (t *Tree) deleteCOW(n *node, target Item, retired *[]pager.PageID) (*node, bool) {
 	if n.isLeaf() {
 		if n.count == 0 || !n.rect.Overlaps(target.Rect()) {
-			return false
+			return n, false
 		}
 		items := t.readLeaf(n)
 		for i, it := range items {
 			if it.ID == target.ID {
 				items = append(items[:i], items[i+1:]...)
+				*retired = append(*retired, n.page)
 				if len(items) == 0 {
-					// Keep the stale rect: writeLeaf would reset it to
-					// the zero rect at the origin, wrongly extending
-					// ancestor unions toward (0,0).
-					t.pg.Write(n.page, pager.EncodeLeafTuples(nil))
-					n.count = 0
-				} else {
-					t.writeLeaf(n, items)
+					// Keep the stale rect: a zero rect at the origin
+					// would wrongly extend ancestor unions toward (0,0).
+					id := t.pg.Alloc(pager.EncodeLeafTuples(nil))
+					return &node{rect: n.rect, page: id, count: 0}, true
 				}
-				return true
+				return t.newLeaf(items), true
 			}
 		}
-		return false
+		return n, false
 	}
 	if !n.rect.Overlaps(target.Rect()) {
-		return false
+		return n, false
 	}
-	for _, c := range n.children {
-		if t.deleteAt(c, target) {
-			n.rect = unionRects(n.children)
-			return true
+	for i, c := range n.children {
+		if c2, found := t.deleteCOW(c, target, retired); found {
+			kids := make([]*node, len(n.children))
+			copy(kids, n.children)
+			kids[i] = c2
+			return &node{children: kids, rect: unionRects(kids)}, true
 		}
 	}
-	return false
+	return n, false
 }

@@ -1,71 +1,82 @@
 package rtree
 
-import "uvdiagram/internal/geom"
+import (
+	"uvdiagram/internal/geom"
+	"uvdiagram/internal/pager"
+)
 
 // Insert adds one item to the tree: least-enlargement subtree choice
 // with quadratic split, the classic Guttman insertion path. It keeps
 // the tree usable for incremental workloads (the paper's future-work
 // "incremental updates").
+//
+// The mutation is copy-on-write: the root-to-leaf path is copied, the
+// changed leaf is rewritten onto a FRESH page, and the new tree is
+// published with one header store — concurrent readers keep traversing
+// the old snapshot. The replaced leaf page is retired to the reclaim
+// domain.
 func (t *Tree) Insert(it Item) {
-	t.gen.Add(1) // invalidate leaf caches
-	split := t.insertAt(t.root, it)
+	h := t.hdr.Load()
+	var retired []pager.PageID
+	root, split := t.insertCOW(h.root, it, &retired)
+	height := h.height
 	if split != nil {
 		// Root split: grow the tree.
-		newRoot := &node{
-			children: []*node{t.root, split},
-			rect:     t.root.rect.Union(split.rect),
+		root = &node{
+			children: []*node{root, split},
+			rect:     root.rect.Union(split.rect),
 		}
-		t.root = newRoot
-		t.height++
+		height++
 	}
-	t.size++
+	t.hdr.Store(&treeHdr{root: root, height: height, size: h.size + 1})
+	t.gen.Add(1)
+	t.retirePages(retired)
 }
 
-// insertAt inserts into the subtree rooted at n and returns a new
-// sibling node if n was split.
-func (t *Tree) insertAt(n *node, it Item) *node {
+// insertCOW inserts into the subtree rooted at n, returning the copied
+// replacement node and a new sibling if the node was split. Replaced
+// leaf pages accumulate in retired.
+func (t *Tree) insertCOW(n *node, it Item, retired *[]pager.PageID) (*node, *node) {
 	if n.isLeaf() {
 		var items []Item
 		if n.count > 0 {
 			items = t.readLeaf(n)
 		}
 		items = append(items, it)
+		*retired = append(*retired, n.page)
 		if len(items) <= t.fanout {
-			t.writeLeaf(n, items)
-			return nil
+			return t.newLeaf(items), nil
 		}
 		a, b := quadraticSplitItems(items)
-		t.writeLeaf(n, a)
-		return t.newLeaf(b)
+		return t.newLeaf(a), t.newLeaf(b)
 	}
 
-	child := chooseSubtree(n.children, it.Rect())
-	split := t.insertAt(child, it)
-	n.rect = n.rect.Union(it.Rect())
-	if split == nil {
-		return nil
+	idx := chooseSubtreeIdx(n.children, it.Rect())
+	child, split := t.insertCOW(n.children[idx], it, retired)
+	kids := make([]*node, len(n.children), len(n.children)+1)
+	copy(kids, n.children)
+	kids[idx] = child
+	if split != nil {
+		kids = append(kids, split)
 	}
-	n.children = append(n.children, split)
-	n.rect = n.rect.Union(split.rect)
-	if len(n.children) <= t.fanout {
-		return nil
+	if len(kids) <= t.fanout {
+		return &node{children: kids, rect: unionRects(kids)}, nil
 	}
-	ka, kb := quadraticSplitNodes(n.children)
-	n.children = ka
-	n.rect = unionRects(ka)
-	return &node{children: kb, rect: unionRects(kb)}
+	ka, kb := quadraticSplitNodes(kids)
+	return &node{children: ka, rect: unionRects(ka)},
+		&node{children: kb, rect: unionRects(kb)}
 }
 
-// chooseSubtree picks the child whose MBR needs least area enlargement
-// to cover r, breaking ties by smaller area.
-func chooseSubtree(children []*node, r geom.Rect) *node {
-	best := children[0]
-	bestEnl, bestArea := enlargement(best.rect, r), best.rect.Area()
-	for _, c := range children[1:] {
+// chooseSubtreeIdx picks the child whose MBR needs least area
+// enlargement to cover r, breaking ties by smaller area.
+func chooseSubtreeIdx(children []*node, r geom.Rect) int {
+	best := 0
+	bestEnl, bestArea := enlargement(children[0].rect, r), children[0].rect.Area()
+	for i, c := range children[1:] {
 		enl := enlargement(c.rect, r)
 		area := c.rect.Area()
 		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
-			best, bestEnl, bestArea = c, enl, area
+			best, bestEnl, bestArea = i+1, enl, area
 		}
 	}
 	return best

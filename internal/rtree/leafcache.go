@@ -8,10 +8,12 @@ import (
 // node — the R-tree counterpart of the UV-index leaf cache. The
 // branch-and-prune traversals visit (and re-decode) the same leaf pages
 // for every nearby query point, so batch engines running many lookups
-// share one cache. It is safe for concurrent readers and is flushed on
-// the first access after any tree mutation (Insert bumps the tree's
-// generation), so stale pages are never served. A nil cache is valid
-// and disables caching.
+// share one cache. It is safe for concurrent readers. Correctness
+// under mutation comes from copy-on-write: a mutation replaces every
+// node it changes, so a cached tuple list keyed by node identity can
+// never go stale — entries for replaced nodes simply stop being looked
+// up and age out, while unchanged leaves stay warm across mutations. A
+// nil cache is valid and disables caching.
 type LeafCache struct {
 	c *lru.Cache[*node, []Item]
 }
@@ -41,11 +43,12 @@ func (t *Tree) readLeafCached(n *node, cache *LeafCache) []Item {
 	if cache == nil {
 		return t.readLeaf(n)
 	}
-	gen := t.gen.Load()
-	if items, ok := cache.c.Get(gen, n); ok {
+	// Constant generation: node identity alone keys the immutable COW
+	// nodes (see the type comment).
+	if items, ok := cache.c.Get(0, n); ok {
 		return items
 	}
 	items := t.readLeaf(n)
-	cache.c.Put(gen, n, items)
+	cache.c.Put(0, n, items)
 	return items
 }

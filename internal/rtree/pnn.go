@@ -20,12 +20,13 @@ import (
 // The returned set is a superset of the exact answer set (the final
 // strict filter runs on the candidates' exact distances).
 func (t *Tree) PNNCandidates(q geom.Point) (cands []Item, dminmax float64) {
-	if t.size == 0 {
+	hd := t.hdr.Load()
+	if hd.size == 0 {
 		return nil, math.Inf(1)
 	}
 	// Phase 1: find dminmax.
 	dminmax = math.Inf(1)
-	h := &pq{{key: t.root.rect.MinDist(q), node: t.root}}
+	h := &pq{{key: hd.root.rect.MinDist(q), node: hd.root}}
 	for h.Len() > 0 {
 		e := heap.Pop(h).(pqEntry)
 		if e.key > dminmax {
@@ -65,7 +66,7 @@ func (t *Tree) PNNCandidates(q geom.Point) (cands []Item, dminmax float64) {
 			walk(c)
 		}
 	}
-	walk(t.root)
+	walk(hd.root)
 	return cands, dminmax
 }
 
@@ -85,11 +86,12 @@ func (t *Tree) KNNCandidatesCached(q geom.Point, k int, cache *LeafCache) (cands
 }
 
 func (t *Tree) knnCandidates(q geom.Point, k int, cache *LeafCache) (cands []Item, bound float64) {
-	if t.size == 0 || k <= 0 {
+	hd := t.hdr.Load()
+	if hd.size == 0 || k <= 0 {
 		return nil, math.Inf(1)
 	}
-	if k > t.size {
-		k = t.size
+	if k > hd.size {
+		k = hd.size
 	}
 	// Phase 1: the k smallest distmax values via best-first traversal
 	// with a bounded max-heap.
@@ -111,7 +113,7 @@ func (t *Tree) knnCandidates(q geom.Point, k int, cache *LeafCache) (cands []Ite
 			down(top)
 		}
 	}
-	h := &pq{{key: t.root.rect.MinDist(q), node: t.root}}
+	h := &pq{{key: hd.root.rect.MinDist(q), node: hd.root}}
 	for h.Len() > 0 {
 		e := heap.Pop(h).(pqEntry)
 		if e.key > worst(top) {
@@ -149,7 +151,7 @@ func (t *Tree) knnCandidates(q geom.Point, k int, cache *LeafCache) (cands []Ite
 			walk(c)
 		}
 	}
-	walk(t.root)
+	walk(hd.root)
 	return cands, bound
 }
 

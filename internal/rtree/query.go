@@ -11,10 +11,11 @@ import (
 // stop early; Search reports whether the traversal ran to completion.
 // Each visited leaf costs one page read.
 func (t *Tree) Search(r geom.Rect, visit func(Item) bool) bool {
-	if t.size == 0 {
+	h := t.hdr.Load()
+	if h.size == 0 {
 		return true
 	}
-	return t.search(t.root, r, visit)
+	return t.search(h.root, r, visit)
 }
 
 func (t *Tree) search(n *node, r geom.Rect, visit func(Item) bool) bool {
@@ -60,7 +61,8 @@ func (t *Tree) CenterRange(c geom.Circle) []Item {
 // The visitor form lets hot callers (I-pruning) collect ids into their
 // own scratch buffers without materializing an []Item per call.
 func (t *Tree) CenterRangeFunc(c geom.Circle, visit func(Item)) {
-	if t.size == 0 {
+	hd := t.hdr.Load()
+	if hd.size == 0 {
 		return
 	}
 	var walk func(n *node)
@@ -80,7 +82,7 @@ func (t *Tree) CenterRangeFunc(c geom.Circle, visit func(Item)) {
 			walk(ch)
 		}
 	}
-	walk(t.root)
+	walk(hd.root)
 }
 
 // Neighbor is a k-nearest-neighbor result: an item and its minimum
@@ -117,10 +119,11 @@ func (q *pq) Pop() interface{} {
 // lower bound on any contained object's distmin). It is the seed-
 // selection query of Section IV-B.
 func (t *Tree) KNN(q geom.Point, k int) []Neighbor {
-	if k <= 0 || t.size == 0 {
+	hd := t.hdr.Load()
+	if k <= 0 || hd.size == 0 {
 		return nil
 	}
-	h := &pq{{key: t.root.rect.MinDist(q), node: t.root}}
+	h := &pq{{key: hd.root.rect.MinDist(q), node: hd.root}}
 	var out []Neighbor
 	for h.Len() > 0 && len(out) < k {
 		e := heap.Pop(h).(pqEntry)

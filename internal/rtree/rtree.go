@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"uvdiagram/internal/epoch"
 	"uvdiagram/internal/geom"
 	"uvdiagram/internal/pager"
 )
@@ -52,15 +53,30 @@ type node struct {
 
 func (n *node) isLeaf() bool { return n.children == nil }
 
-// Tree is a disk-simulated R-tree over Items.
-type Tree struct {
-	fanout int
-	pg     *pager.Pager
+// treeHdr is one immutable tree snapshot: mutations path-copy the
+// nodes they change, write fresh leaf pages, and publish a new header
+// with a single pointer store — readers traversing an old header keep
+// a consistent tree whose pages are retired only once every pinned
+// reader epoch has advanced (see SetReclaimDomain).
+type treeHdr struct {
 	root   *node
 	height int // 1 = root is a leaf
 	size   int
-	// gen counts mutations; leaf caches compare it against the
-	// generation they were filled at so they never serve stale pages.
+}
+
+// Tree is a disk-simulated R-tree over Items. Reads are lock-free and
+// may run concurrently with one mutator; mutations themselves must be
+// externally serialized (the DB's store mutex does this).
+type Tree struct {
+	fanout int
+	pg     *pager.Pager
+	hdr    atomic.Pointer[treeHdr]
+	// dom, when set, reclaims the page slots a mutation replaced once
+	// no pinned reader can still reach them. Nil orphans retired pages
+	// (the standalone-tree behavior before reclamation existed).
+	dom *epoch.Domain
+	// gen counts mutations; derived structures snapshot it to detect
+	// that the tree has changed under them.
 	gen atomic.Uint64
 }
 
@@ -73,19 +89,34 @@ func New(fanout int, pg *pager.Pager) *Tree {
 	if 2+fanout*pager.LeafTupleSize > pg.PageSize() {
 		panic(fmt.Sprintf("rtree: fanout %d does not fit page size %d", fanout, pg.PageSize()))
 	}
-	t := &Tree{fanout: fanout, pg: pg, height: 1}
-	t.root = t.newLeaf(nil)
+	t := &Tree{fanout: fanout, pg: pg}
+	t.hdr.Store(&treeHdr{root: t.newLeaf(nil), height: 1})
 	return t
 }
 
+// SetReclaimDomain attaches the epoch domain used to reclaim the page
+// slots replaced by COW mutations. Without one, retired pages are
+// orphaned on the simulated disk.
+func (t *Tree) SetReclaimDomain(d *epoch.Domain) { t.dom = d }
+
+// retirePages schedules replaced page slots for reuse once every
+// reader pinned before the mutation published has finished.
+func (t *Tree) retirePages(ids []pager.PageID) {
+	if len(ids) == 0 || t.dom == nil {
+		return
+	}
+	pg := t.pg
+	t.dom.Retire(func() { pg.Free(ids) })
+}
+
 // Len returns the number of indexed items.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree) Len() int { return t.hdr.Load().size }
 
 // Height returns the tree height (1 when the root is a leaf).
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int { return t.hdr.Load().height }
 
 // Bounds returns the MBR of the whole tree.
-func (t *Tree) Bounds() geom.Rect { return t.root.rect }
+func (t *Tree) Bounds() geom.Rect { return t.hdr.Load().root.rect }
 
 // Pager exposes the underlying pager for I/O accounting.
 func (t *Tree) Pager() *pager.Pager { return t.pg }
@@ -104,7 +135,7 @@ func (t *Tree) NonLeafCount() int {
 		}
 		return c
 	}
-	return walk(t.root)
+	return walk(t.hdr.Load().root)
 }
 
 // LeafCount returns the number of leaf pages.
@@ -120,7 +151,7 @@ func (t *Tree) LeafCount() int {
 		}
 		return c
 	}
-	return walk(t.root)
+	return walk(t.hdr.Load().root)
 }
 
 // newLeaf allocates a leaf node holding the given items on a fresh page.
@@ -152,21 +183,4 @@ func (t *Tree) readLeaf(n *node) []Item {
 		items[i] = fromTuple(tu)
 	}
 	return items
-}
-
-// writeLeaf rewrites a leaf's page and bookkeeping after modification.
-func (t *Tree) writeLeaf(n *node, items []Item) {
-	ts := make([]pager.LeafTuple, len(items))
-	r := geom.Rect{}
-	for i, it := range items {
-		ts[i] = toTuple(it)
-		if i == 0 {
-			r = it.Rect()
-		} else {
-			r = r.Union(it.Rect())
-		}
-	}
-	t.pg.Write(n.page, pager.EncodeLeafTuples(ts))
-	n.rect = r
-	n.count = len(items)
 }

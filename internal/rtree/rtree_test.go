@@ -38,8 +38,8 @@ func checkInvariants(t *testing.T, tr *Tree) {
 					t.Fatalf("leaf MBR %v does not contain item %v", n.rect, it.Rect())
 				}
 			}
-			if depth+1 != tr.height {
-				t.Fatalf("leaf at depth %d in tree of height %d", depth, tr.height)
+			if depth+1 != tr.Height() {
+				t.Fatalf("leaf at depth %d in tree of height %d", depth, tr.Height())
 			}
 			return
 		}
@@ -53,7 +53,7 @@ func checkInvariants(t *testing.T, tr *Tree) {
 			walk(c, depth+1)
 		}
 	}
-	walk(tr.root, 0)
+	walk(tr.hdr.Load().root, 0)
 }
 
 func TestBulkLoadInvariants(t *testing.T) {

@@ -148,8 +148,10 @@ func (s *Server) releaseWorkers(n int) {
 }
 
 // dispatchBatch handles the batch opcodes. The caller guarantees op is
-// one of them. The read lock is held across the whole fan-out, so a
-// batch observes one consistent database state.
+// one of them. Batches take no server lock: every query in the fan-out
+// reads a consistent copy-on-write snapshot on its own, and a write
+// landing mid-batch gives each query exactly the pre- or post-write
+// state, never a hybrid.
 //
 // Fan-out width is accounted against the server-wide worker pool: the
 // request itself holds one token, and the batch borrows only tokens
@@ -176,8 +178,6 @@ func (s *Server) dispatchBatch(op byte, r *wire.Reader) ([]byte, error) {
 	defer release()
 	opts := &uvdiagram.BatchOptions{Workers: 1 + borrowed, CacheSize: s.cfg.CacheSize}
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	switch op {
 	case wire.OpBatchPNN:
 		lists, err := s.db.BatchNN(qs, opts)

@@ -88,7 +88,7 @@ func (c Config) validate() error {
 
 // Server serves one DB over a listener.
 type Server struct {
-	mu     sync.RWMutex // guards db state (queries: RLock, Insert: Lock)
+	mu     sync.RWMutex // orders writes against each other and the subscription sweep; queries take no server lock (the DB is lock-free for readers)
 	db     *uvdiagram.DB
 	cfg    Config
 	sem    chan struct{} // server-wide worker pool (one token = one executing request)
@@ -368,8 +368,6 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		return nil, nil
 
 	case wire.OpStats:
-		s.mu.RLock()
-		defer s.mu.RUnlock()
 		d := s.db.Domain()
 		st := s.db.IndexStats()
 		var b wire.Buffer
@@ -424,9 +422,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		s.mu.RLock()
 		answers, _, err := s.db.PNN(q)
-		s.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -438,9 +434,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		s.mu.RLock()
 		answers, _, err := s.db.TopKPNN(q, k)
-		s.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -452,9 +446,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		s.mu.RLock()
 		ids, err := s.db.PossibleKNN(q, k)
-		s.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -470,9 +462,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		s.mu.RLock()
 		answers, _ := s.db.RNN(q)
-		s.mu.RUnlock()
 		var b wire.Buffer
 		b.U32(uint32(len(answers)))
 		for _, a := range answers {
@@ -486,9 +476,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		s.mu.RLock()
 		area, err := s.db.CellArea(id)
-		s.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -504,9 +492,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		s.mu.RLock()
 		parts := s.db.Partitions(rect)
-		s.mu.RUnlock()
 		var b wire.Buffer
 		b.U32(uint32(len(parts)))
 		for _, p := range parts {

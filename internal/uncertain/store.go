@@ -2,6 +2,7 @@ package uncertain
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"uvdiagram/internal/geom"
 	"uvdiagram/internal/pager"
@@ -19,7 +20,23 @@ import (
 // by id), a deleted object merely stops being live. Dead slots stay
 // addressable through Dense/At so geometric code can keep positional
 // id lookups; live-only consumers iterate with All or check Alive.
+//
+// The population is published as an immutable View behind an atomic
+// pointer so lock-free queries read a CONSISTENT population snapshot
+// while mutations run: a mutator builds the next view (appends extend
+// shared backing arrays past every published length; Delete copies the
+// tombstone array) and publishes it with one pointer store. Mutators
+// themselves must be externally serialized (the DB's store mutex does
+// this); only the reader side is synchronization-free.
 type Store struct {
+	pg  *pager.Pager
+	hdr atomic.Pointer[View]
+}
+
+// View is one immutable population snapshot. All read accessors exist
+// on both Store (loading the current view per call) and View (pinning
+// one snapshot across a multi-step read, the lock-free query path).
+type View struct {
 	pg     *pager.Pager
 	pageOf []pager.PageID
 	objs   []Object
@@ -37,7 +54,7 @@ const ObjectPageBytes = 1024
 // store. Objects must have dense IDs 0..n-1 and their records must fit
 // one page.
 func NewStore(objs []Object, pg *pager.Pager) (*Store, error) {
-	s := &Store{pg: pg, pageOf: make([]pager.PageID, len(objs)), objs: objs, dead: make([]bool, len(objs))}
+	v := &View{pg: pg, pageOf: make([]pager.PageID, len(objs)), objs: objs, dead: make([]bool, len(objs))}
 	for i, o := range objs {
 		if int(o.ID) != i {
 			return nil, fmt.Errorf("uncertain: object at index %d has ID %d; stores need dense IDs", i, o.ID)
@@ -46,8 +63,10 @@ func NewStore(objs []Object, pg *pager.Pager) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.pageOf[i] = pg.Alloc(buf)
+		v.pageOf[i] = pg.Alloc(buf)
 	}
+	s := &Store{pg: pg}
+	s.hdr.Store(v)
 	return s, nil
 }
 
@@ -65,31 +84,48 @@ func encodeObject(o Object, pageSize int) ([]byte, error) {
 	return buf, nil
 }
 
+// View returns the current population snapshot. A reader that must see
+// one consistent population across several calls (candidate filter +
+// fetch, for instance) captures a view once and reads through it.
+func (s *Store) View() *View { return s.hdr.Load() }
+
 // Len returns the size of the dense id space: every object ever stored,
 // dead or alive. The next Append must use ID Len(); deleted ids are
 // never reused. Use Live for the population count.
-func (s *Store) Len() int { return len(s.objs) }
+func (s *Store) Len() int { return s.hdr.Load().Len() }
+
+// Len is Store.Len on one snapshot.
+func (v *View) Len() int { return len(v.objs) }
 
 // Live returns the number of live (non-deleted) objects.
-func (s *Store) Live() int { return len(s.objs) - s.nDead }
+func (s *Store) Live() int { return s.hdr.Load().Live() }
+
+// Live is Store.Live on one snapshot.
+func (v *View) Live() int { return len(v.objs) - v.nDead }
 
 // Alive reports whether id names a live object.
-func (s *Store) Alive(id int32) bool {
-	return id >= 0 && int(id) < len(s.objs) && !s.dead[id]
+func (s *Store) Alive(id int32) bool { return s.hdr.Load().Alive(id) }
+
+// Alive is Store.Alive on one snapshot.
+func (v *View) Alive(id int32) bool {
+	return id >= 0 && int(id) < len(v.objs) && !v.dead[id]
 }
 
 // Delete tombstones object id. The slot stays addressable through
 // Dense/At (index structures may still hold geometric references) but
 // the object no longer appears in All and can no longer be Fetched.
 func (s *Store) Delete(id int32) error {
-	if id < 0 || int(id) >= len(s.objs) {
+	v := s.hdr.Load()
+	if id < 0 || int(id) >= len(v.objs) {
 		return fmt.Errorf("uncertain: delete of unknown object %d", id)
 	}
-	if s.dead[id] {
+	if v.dead[id] {
 		return fmt.Errorf("uncertain: object %d already deleted", id)
 	}
-	s.dead[id] = true
-	s.nDead++
+	dead := make([]bool, len(v.dead))
+	copy(dead, v.dead)
+	dead[id] = true
+	s.hdr.Store(&View{pg: v.pg, pageOf: v.pageOf, objs: v.objs, dead: dead, nDead: v.nDead + 1})
 	return nil
 }
 
@@ -97,14 +133,17 @@ func (s *Store) Delete(id int32) error {
 // is the shared dense slice (callers must not modify it); once objects
 // have been deleted it is a fresh filtered copy, so positions no longer
 // equal ids — use Dense or At for positional access by id.
-func (s *Store) All() []Object {
-	if s.nDead == 0 {
-		return s.objs
+func (s *Store) All() []Object { return s.hdr.Load().All() }
+
+// All is Store.All on one snapshot.
+func (v *View) All() []Object {
+	if v.nDead == 0 {
+		return v.objs
 	}
-	out := make([]Object, 0, s.Live())
-	for i := range s.objs {
-		if !s.dead[i] {
-			out = append(out, s.objs[i])
+	out := make([]Object, 0, v.Live())
+	for i := range v.objs {
+		if !v.dead[i] {
+			out = append(out, v.objs[i])
 		}
 	}
 	return out
@@ -113,21 +152,32 @@ func (s *Store) All() []Object {
 // Dense returns the raw dense slice, dead slots included, so that
 // objs[id] addresses object id. Callers must not modify it and must
 // check Alive before treating an entry as part of the population.
-func (s *Store) Dense() []Object { return s.objs }
+func (s *Store) Dense() []Object { return s.hdr.Load().objs }
+
+// Dense is Store.Dense on one snapshot.
+func (v *View) Dense() []Object { return v.objs }
 
 // At returns object i from memory (no I/O accounted), whether or not it
 // is live: index maintenance needs the geometry of tombstoned slots.
-func (s *Store) At(i int) Object { return s.objs[i] }
+func (s *Store) At(i int) Object { return s.hdr.Load().objs[i] }
+
+// At is Store.At on one snapshot.
+func (v *View) At(i int) Object { return v.objs[i] }
 
 // PageOf returns the disk page id holding object i's record; it is the
 // value stored in leaf-tuple pointers.
-func (s *Store) PageOf(i int32) pager.PageID { return s.pageOf[i] }
+func (s *Store) PageOf(i int32) pager.PageID { return s.hdr.Load().pageOf[i] }
 
 // Fetch reads object id's record from disk (one page read) and decodes
 // it. It is the query-time path, used so that object-retrieval I/O and
 // decode time are accounted realistically.
 func (s *Store) Fetch(id int32) (Object, error) {
-	return s.FetchWith(id, nil)
+	return s.hdr.Load().FetchWith(id, nil)
+}
+
+// Fetch is Store.Fetch on one snapshot.
+func (v *View) Fetch(id int32) (Object, error) {
+	return v.FetchWith(id, nil)
 }
 
 // FetchScratch reuses the decode buffers of FetchWith across queries:
@@ -161,17 +211,22 @@ func (sc *FetchScratch) nextPDF() *HistogramPDF {
 // A nil scratch allocates fresh, making it identical to Fetch; either
 // way the decoded object is bitwise identical.
 func (s *Store) FetchWith(id int32, sc *FetchScratch) (Object, error) {
-	if id < 0 || int(id) >= len(s.pageOf) {
+	return s.hdr.Load().FetchWith(id, sc)
+}
+
+// FetchWith is Store.FetchWith on one snapshot.
+func (v *View) FetchWith(id int32, sc *FetchScratch) (Object, error) {
+	if id < 0 || int(id) >= len(v.pageOf) {
 		return Object{}, fmt.Errorf("uncertain: fetch of unknown object %d", id)
 	}
-	if s.dead[id] {
+	if v.dead[id] {
 		return Object{}, fmt.Errorf("uncertain: fetch of deleted object %d", id)
 	}
 	var buf []float64
 	if sc != nil {
 		buf = sc.weights[:0]
 	}
-	rec, err := pager.DecodeObjectRecordInto(s.pg.Read(s.pageOf[id]), buf)
+	rec, err := pager.DecodeObjectRecordInto(v.pg.Read(v.pageOf[id]), buf)
 	if err != nil {
 		return Object{}, fmt.Errorf("uncertain: object %d: %w", id, err)
 	}
@@ -199,32 +254,49 @@ func (s *Store) Pager() *pager.Pager { return s.pg }
 // Append adds a new object to the store on a fresh disk page. Its ID
 // must be the next dense id (current Len). Supports the incremental-
 // update extension of the UV-index.
+//
+// The append extends the current view's backing arrays in place where
+// capacity allows: no published view's length covers the appended slot,
+// so concurrent snapshot readers never observe the write.
 func (s *Store) Append(o Object) error {
-	if int(o.ID) != len(s.objs) {
-		return fmt.Errorf("uncertain: appended object has ID %d, want %d", o.ID, len(s.objs))
+	v := s.hdr.Load()
+	if int(o.ID) != len(v.objs) {
+		return fmt.Errorf("uncertain: appended object has ID %d, want %d", o.ID, len(v.objs))
 	}
 	buf, err := encodeObject(o, s.pg.PageSize())
 	if err != nil {
 		return err
 	}
-	s.pageOf = append(s.pageOf, s.pg.Alloc(buf))
-	s.objs = append(s.objs, o)
-	s.dead = append(s.dead, false)
+	s.hdr.Store(&View{
+		pg:     v.pg,
+		pageOf: append(v.pageOf, s.pg.Alloc(buf)),
+		objs:   append(v.objs, o),
+		dead:   append(v.dead, false),
+		nDead:  v.nDead,
+	})
 	return nil
 }
 
 // RemoveLast pops the most recently appended object, undoing an Append
 // whose follow-up index insertion failed (the insert rollback path).
+// The truncated view gets FRESH backing arrays: a later Append must
+// never rewrite a slot that an older, longer view still publishes.
 func (s *Store) RemoveLast() error {
-	n := len(s.objs)
+	v := s.hdr.Load()
+	n := len(v.objs)
 	if n == 0 {
 		return fmt.Errorf("uncertain: RemoveLast on empty store")
 	}
-	if s.dead[n-1] {
-		s.nDead--
+	nv := &View{
+		pg:     v.pg,
+		pageOf: append([]pager.PageID(nil), v.pageOf[:n-1]...),
+		objs:   append([]Object(nil), v.objs[:n-1]...),
+		dead:   append([]bool(nil), v.dead[:n-1]...),
+		nDead:  v.nDead,
 	}
-	s.objs = s.objs[:n-1]
-	s.pageOf = s.pageOf[:n-1]
-	s.dead = s.dead[:n-1]
+	if v.dead[n-1] {
+		nv.nDead--
+	}
+	s.hdr.Store(nv)
 	return nil
 }

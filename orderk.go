@@ -44,7 +44,11 @@ func (db *DB) NewOrderKIndex(k int) (*OrderKIndex, error) {
 		return nil, fmt.Errorf("uvdiagram: order-k index needs k ≥ 1, got %d", k)
 	}
 	// The shared helper R-tree covers the full live population; the
-	// order-k grid itself spans the whole domain and is not sharded.
+	// order-k grid itself spans the whole domain and is not sharded. The
+	// build reads the shared tree's pages, so it pins the reclaim epoch
+	// (the finished grid owns its pages and its queries need no pin).
+	t := db.egc.Pin()
+	defer db.egc.Unpin(t)
 	ix, stats, err := core.BuildOrderK(db.store, db.domain, db.rtree(), k, db.bopts)
 	if err != nil {
 		return nil, err

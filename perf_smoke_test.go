@@ -49,8 +49,17 @@ type perfBaseline struct {
 	// Build3NSPerObj is the per-object wall clock of a whole 3D Build3
 	// (default options) at n=600 on the scratch-threaded fast path, best
 	// of three runs.
-	Build3NSPerObj int64  `json:"build3_ns_per_obj"`
-	Note           string `json:"note"`
+	Build3NSPerObj int64 `json:"build3_ns_per_obj"`
+	// DeleteNSPerOp is the mean wall clock of one DB.Delete on a
+	// steady 2000-object population at the churn experiment's density
+	// (the output-sensitive path: tightness triage, selective
+	// re-derivation, COW leaf surgery), best of three runs.
+	DeleteNSPerOp int64 `json:"delete_ns_per_op"`
+	// RederivedObjsPerDelete is the mean number of dependents the same
+	// run re-derived per delete — the output-sensitivity signal. CI
+	// fails soft if it doubles: the tightness triage stopped skipping.
+	RederivedObjsPerDelete float64 `json:"rederived_objs_per_delete"`
+	Note                   string  `json:"note"`
 }
 
 // loadPerfBaseline reads the committed baseline; absent file is fatal
@@ -342,4 +351,78 @@ func clampCoord(v, lo, hi float64) float64 {
 		return hi
 	}
 	return v
+}
+
+// TestMutationPerfSmoke gates the output-sensitive delete path: mean
+// Delete wall clock and mean re-derived dependents per delete on a
+// steady population. A >2x ns/op regression means the COW surgery or
+// the triage grew work; a >2x rederived-per-delete regression means the
+// tightness classifier stopped skipping and deletes degraded back
+// toward re-deriving every dependent.
+func TestMutationPerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("perf smoke skipped under the race detector")
+	}
+
+	cfg := datagen.Config{N: 2000, Side: 7000, Diameter: 40, Seed: 7}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), &uvdiagram.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]int32, cfg.N)
+	for i := range live {
+		live[i] = int32(i)
+	}
+	const dels = 60
+	best := time.Duration(1<<63 - 1)
+	cursor := 0
+	for run := 0; run < 3; run++ {
+		var spent time.Duration
+		for i := 0; i < dels; i++ {
+			k := cursor % len(live)
+			cursor++
+			t0 := time.Now()
+			if err := db.Delete(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			spent += time.Since(t0)
+			o := uvdiagram.NewObject(db.NextID(), float64(37+(cursor*131)%6900), float64(91+(cursor*197)%6900), 20, nil)
+			if err := db.Insert(o); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = o.ID
+		}
+		if d := spent / dels; d < best {
+			best = d
+		}
+	}
+	ms := db.MutationStats()
+	rederived := float64(ms.Rederived) / float64(ms.Deletes)
+
+	if *updatePerfBaseline {
+		updatePerfBaselineField(t, func(b *perfBaseline) {
+			b.DeleteNSPerOp = best.Nanoseconds()
+			b.RederivedObjsPerDelete = rederived
+		})
+		t.Logf("wrote %s: delete %v, rederived/delete %.2f", perfBaselinePath, best, rederived)
+		return
+	}
+
+	base := loadPerfBaseline(t)
+	if base.DeleteNSPerOp == 0 {
+		t.Skip("no mutation baseline committed yet; run with -update-perf-baseline")
+	}
+	t.Logf("delete n=%d: %v/op, %.2f rederived/delete (baselines %v, %.2f)",
+		cfg.N, best, rederived, time.Duration(base.DeleteNSPerOp), base.RederivedObjsPerDelete)
+	if best > time.Duration(2*base.DeleteNSPerOp) {
+		t.Fatalf("mutation perf smoke: delete %v/op exceeds 2x the committed baseline %v — the output-sensitive path regressed (rebaseline deliberately with -update-perf-baseline if this is expected)",
+			best, time.Duration(base.DeleteNSPerOp))
+	}
+	if base.RederivedObjsPerDelete > 0 && rederived > 2*base.RederivedObjsPerDelete {
+		t.Fatalf("mutation perf smoke: %.2f re-derived dependents per delete exceeds 2x the committed baseline %.2f — the tightness triage stopped skipping (rebaseline deliberately with -update-perf-baseline if this is expected)",
+			rederived, base.RederivedObjsPerDelete)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"uvdiagram/internal/core"
+	"uvdiagram/internal/epoch"
 	"uvdiagram/internal/pager"
 	"uvdiagram/internal/rtree"
 	"uvdiagram/internal/uncertain"
@@ -293,7 +294,7 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 		}
 	}
 	bopts := opts.toBuildOptions()
-	db := &DB{store: store, domain: domain, bopts: bopts, strategy: opts.layout()}
+	db := &DB{store: store, domain: domain, bopts: bopts, strategy: opts.layout(), egc: epoch.NewDomain()}
 	// The layout comes from the stream: Options.Shards only affects
 	// freshly built databases, never a reopened one.
 	lo := newShardLayout(0, gx, gy, xs, ys)
@@ -304,7 +305,11 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 	go func() { treeDone <- core.BuildHelperRTree(store, bopts.Fanout) }()
 	// The deferred drain covers the error returns below, so a truncated
 	// index stream never leaks the tree build still running.
-	defer func() { db.tree.Store(<-treeDone) }()
+	defer func() {
+		tree := <-treeDone
+		tree.SetReclaimDomain(db.egc)
+		db.tree.Store(tree)
+	}()
 	shapes := make([]core.IndexStats, len(lo.shards))
 	indexes := make([]*core.UVIndex, len(lo.shards))
 	for i := range lo.shards {
@@ -334,7 +339,9 @@ func Load(r io.Reader, opts *Options) (*DB, error) {
 		}
 	}
 	db.cr = reg
+	db.topo = core.NewTopology(reg.Len(), bopts.RegionSamples)
 	for i := range lo.shards {
+		indexes[i].SetReclaimDomain(db.egc)
 		lo.shards[i].epoch.Store(&indexEpoch{index: indexes[i]})
 		shapes[i] = indexes[i].Stats()
 	}

@@ -597,4 +597,74 @@ func TestEntryWeightedSlack(t *testing.T) {
 	if slack <= int64(1+dependents) {
 		t.Fatalf("slack %d after deleting a hub with %d dependents — looks per-object, not entry-weighted", slack, dependents)
 	}
+
+	// The output-sensitive delete path must keep slack proportional to
+	// the entries actually touched: dependents that only got their set
+	// stripped (no re-derivation) still pay for their leaf rewrite, and
+	// shards a mutation provably cannot reach accrue NOTHING — their
+	// publish is a no-op, so slack and generation both stand still.
+	cfg4 := datagen.Config{N: 120, Side: 2000, Diameter: 30, Seed: 31}
+	db4, err := Build(datagen.Uniform(cfg4), cfg4.Domain(), &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db4.ShardStats()
+	// Find a victim whose delete provably stays inside one shard: its
+	// own representation, every dependent's current representation AND
+	// every dependent's victim-stripped representation (the largest
+	// region any post-delete rep can cover — fresh derivations only add
+	// members back) all reach the same single shard.
+	lo4 := db4.lo()
+	reach := func(id int32, crIDs []int32, marks []bool) {
+		for si := range lo4.shards {
+			if lo4.shards[si].ep().index.RepReaches(id, crIDs, lo4.shards[si].rect) {
+				marks[si] = true
+			}
+		}
+	}
+	victim := int32(-1)
+	var touched []bool
+	for id := int32(0); int(id) < db4.Len(); id++ {
+		marks := make([]bool, len(lo4.shards))
+		reach(id, db4.cr.Of(id), marks)
+		for _, a := range db4.cr.Dependents(id) {
+			stripped := make([]int32, 0, len(db4.cr.Of(a)))
+			for _, m := range db4.cr.Of(a) {
+				if m != id {
+					stripped = append(stripped, m)
+				}
+			}
+			reach(a, db4.cr.Of(a), marks)
+			reach(a, stripped, marks)
+		}
+		n := 0
+		for _, m := range marks {
+			if m {
+				n++
+			}
+		}
+		if n == 1 {
+			victim, touched = id, marks
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no single-shard victim in this population")
+	}
+	if err := db4.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	after := db4.ShardStats()
+	for si := range after {
+		delta := after[si].Slack - before[si].Slack
+		if touched[si] {
+			if delta <= 0 {
+				t.Fatalf("shard %d: mutation touched it but slack did not move (%d -> %d)", si, before[si].Slack, after[si].Slack)
+			}
+			continue
+		}
+		if delta != 0 {
+			t.Fatalf("shard %d: untouched by the mutation but accrued %d slack", si, delta)
+		}
+	}
 }

@@ -22,13 +22,22 @@ type RNNStats = rnn.Stats
 // package rnn) through the helper R-tree, then verified exactly against
 // the query point's possible region.
 func (db *DB) RNN(q Point) ([]RNNAnswer, RNNStats) {
-	return rnn.Query(db.store.Dense(), db.rtree(), q, rnn.Options{Alive: db.store.Alive})
+	t := db.egc.Pin()
+	defer db.egc.Unpin(t)
+	// One store view serves both the dense array and the liveness
+	// filter, captured before the tree so a concurrent delete can never
+	// present a tree candidate the view calls dead-but-listed.
+	view := db.store.View()
+	return rnn.Query(view.Dense(), db.rtree(), q, rnn.Options{Alive: view.Alive})
 }
 
 // PossibleRNN returns only the IDs of the probabilistic reverse
 // nearest-neighbor answers at q, skipping probability integration.
 func (db *DB) PossibleRNN(q Point) ([]int32, RNNStats) {
-	return rnn.PossibleRNN(db.store.Dense(), db.rtree(), q, rnn.Options{Alive: db.store.Alive})
+	t := db.egc.Pin()
+	defer db.egc.Unpin(t)
+	view := db.store.View()
+	return rnn.PossibleRNN(view.Dense(), db.rtree(), q, rnn.Options{Alive: view.Alive})
 }
 
 // PossibleRNNUncertain answers the reverse nearest-neighbor query with
@@ -37,5 +46,8 @@ func (db *DB) PossibleRNN(q Point) ([]int32, RNNStats) {
 // non-zero probability that the query's true position is its nearest
 // neighbor. A zero radius reproduces PossibleRNN.
 func (db *DB) PossibleRNNUncertain(region Circle) ([]int32, RNNStats) {
-	return rnn.PossibleRNNUncertain(db.store.Dense(), db.rtree(), region, rnn.Options{Alive: db.store.Alive})
+	t := db.egc.Pin()
+	defer db.egc.Unpin(t)
+	view := db.store.View()
+	return rnn.PossibleRNNUncertain(view.Dense(), db.rtree(), region, rnn.Options{Alive: view.Alive})
 }

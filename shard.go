@@ -50,11 +50,13 @@ const MaxShards = 256
 type shard struct {
 	rect  Rect
 	epoch atomic.Pointer[indexEpoch]
-	// wmu serializes writers of THIS shard's leaf structure and epoch
-	// pointer: in-place Insert/Delete surgery and CompactShard swaps.
-	// It is always acquired after the DB's store-level lock (never the
-	// other way around), and multiple shard locks are taken in
-	// ascending shard order — see the locking notes on DB.
+	// wmu is a writer-writer lock for THIS shard's leaf structure and
+	// epoch pointer: copy-on-write Insert/Delete surgery and
+	// CompactShard swaps exclude each other here, while readers go
+	// through the atomically published pages and never take it. It is
+	// always acquired after the DB's store-level lock (never the other
+	// way around), and multiple shard locks are taken in ascending
+	// shard order — see the locking notes on DB.
 	wmu        sync.Mutex
 	compacting atomic.Bool // per-shard auto-compaction singleflight
 }

@@ -27,12 +27,21 @@ import (
 // compactions of disjoint shards overlap in wall-clock while everything
 // stays serialized against Insert/Delete.
 //
-// Concurrency contract: Insert and Delete require external
-// synchronization against queries (the server holds its write lock
-// across them — incremental maintenance rewrites live leaf pages).
-// Rebuild, Compact, CompactShard, CompactAll and Reshard do NOT: any
-// goroutine may call them while queries run. All mutations serialize
-// against each other internally.
+// Concurrency contract: NO mutation requires external synchronization
+// against queries. Incremental maintenance is copy-on-write throughout
+// — leaf tables, R-tree nodes and the store's population view are
+// replaced behind atomic pointers in a fixed publication order (see the
+// DB locking notes) — so queries run lock-free against every mutation
+// and observe each one atomically. The locks above serialize mutations
+// against EACH OTHER only.
+//
+// Deletes are output-sensitive: the topology registry (core.Topology)
+// splits a victim's dependents into those whose boundary the victim
+// actually shaped (tight — re-derived, seeded from their surviving
+// members) and the rest, which keep their representation stripped of
+// the victim with no derivation at all. Any set of live constraint ids
+// is a sound conservative cell representation, so the split affects
+// slack and cost, never answers.
 
 // Insert adds a new uncertain object to a built database. The object's
 // ID must be the next dense ID (db.NextID(); deleted IDs are never
@@ -108,6 +117,15 @@ func (db *DB) Insert(o Object) error {
 		}
 		applied = append(applied, sh)
 	}
+	// Opportunistic repair: fold the new constraint into every CACHED
+	// boundary profile it can clip, recording the new id in those
+	// representations. Repair only tightens reps (regions shrink), so no
+	// leaf surgery follows; objects without a cached profile are skipped
+	// — their reps, formed before o existed, stay sound as-is.
+	if n := db.topo.RepairOnInsert(db.cr, o, db.store.Dense(), db.store.Alive); n > 0 {
+		db.mstats.repaired.Add(int64(n))
+	}
+	db.mstats.inserts.Add(1)
 	db.maybeCompact()
 	return nil
 }
@@ -122,10 +140,10 @@ func (db *DB) Insert(o Object) error {
 // are locked and touched, keeping every leaf list a superset of the
 // true overlaps. Answers stay exact.
 //
-// Like Insert, Delete requires external synchronization against
-// queries. Each delete adds slack proportional to the leaf entries
-// rewritten in the shards it touches; Compact (or the CompactSlack
-// watermark) clears it.
+// Like Insert, Delete needs no synchronization against queries (see
+// the package comment). Each delete adds slack proportional to the
+// leaf entries rewritten in the shards it touches; Compact (or the
+// CompactSlack watermark) clears it.
 func (db *DB) Delete(id int32) error {
 	db.smu.Lock()
 	defer db.smu.Unlock()
@@ -192,31 +210,59 @@ func (db *DB) deleteBatchLocked(ids []int32) error {
 			mark(a, db.cr.Of(a))
 		}
 	}
-	// Tombstone every victim and drop its R-tree entries first, so the
-	// dependents' re-derivation sees the final post-batch population.
+	// Publication order (see the DB locking notes): R-tree deletes
+	// FIRST — k-NN retrieval flips to the post-batch population with one
+	// header swap, and the re-derivations below scan a victim-free tree
+	// — then the per-shard leaf tables, and the store tombstones LAST,
+	// so a query's view captured before its tree loads always covers
+	// every id the tree can still hand it.
 	tree := db.rtree()
 	for _, id := range ids {
-		o := db.store.At(int(id))
-		if err := db.store.Delete(id); err != nil {
-			return err
-		}
-		tree.Delete(id, o.Region)
+		tree.Delete(id, db.store.At(int(id)).Region)
 	}
-	// One derivation per dependent serves every shard; the per-shard
-	// work that remains is leaf surgery bounded by the shard's region.
-	fresh := make([][]int32, len(affected))
-	for i, a := range affected {
-		fresh[i] = db.deriveCR(tree, db.store.At(int(a)))
-		if nsh > 1 {
-			mark(a, fresh[i])
+	// Output-sensitive dependent triage: a dependent whose victims never
+	// shaped its boundary (not tight in its cached topology profile)
+	// keeps its representation minus the victims — no derivation, and
+	// the stripped profile stays valid. Only tight dependents re-derive.
+	// The store still holds the victims (tombstones come last), so
+	// profiles built here can evaluate victim constraints.
+	vic := make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		vic[id] = true
+	}
+	objs := db.store.Dense()
+	rederive := make([]int32, 0, len(affected))
+	for _, a := range affected {
+		prof := db.topo.Ensure(a, objs[a], db.cr.Of(a), objs, db.domain)
+		tight := prof.AnyTight(ids)
+		db.cr.Strip(a, vic)
+		if tight {
+			rederive = append(rederive, a)
 		}
 	}
-	// Registry update: victims unlinked, dependents re-pointed at their
-	// fresh sets — before the leaf surgery, which reads the registry.
+	// Region-restricted re-derivation for the tight dependents: seeded
+	// from the surviving members (no fresh NN browse), against the
+	// already victim-free tree. One derivation serves every shard.
+	for _, a := range rederive {
+		freshSet := db.deriveCRFrom(tree, objs[a], db.cr.Of(a))
+		db.cr.Replace(a, freshSet)
+		db.topo.Invalidate(a)
+	}
 	db.cr.Drop(ids)
-	for i, a := range affected {
-		db.cr.Replace(a, fresh[i])
+	for _, id := range ids {
+		db.topo.Invalidate(id)
 	}
+	if nsh > 1 {
+		// Stripped and fresh representations cover GROWN cells: re-mark
+		// so reinsertion reaches every shard a grown cell now touches.
+		for _, a := range affected {
+			mark(a, db.cr.Of(a))
+		}
+	}
+	// Leaf surgery per touched shard: strip victims and dependents, then
+	// re-insert every dependent with its CURRENT representation —
+	// stripped or fresh, both are sound supersets — publishing each
+	// shard's new leaf table with one snapshot store.
 	remove := make([]int32, 0, len(ids)+len(affected))
 	remove = append(remove, ids...)
 	remove = append(remove, affected...)
@@ -232,6 +278,16 @@ func (db *DB) deleteBatchLocked(ids []int32) error {
 			return err
 		}
 	}
+	// Tombstone last.
+	for _, id := range ids {
+		if err := db.store.Delete(id); err != nil {
+			return err
+		}
+	}
+	db.mstats.deletes.Add(int64(len(ids)))
+	db.mstats.dependents.Add(int64(len(affected)))
+	db.mstats.rederived.Add(int64(len(rederive)))
+	db.mstats.skipped.Add(int64(len(affected) - len(rederive)))
 	db.maybeCompact()
 	return nil
 }
@@ -263,6 +319,7 @@ func (db *DB) Compact(ctx context.Context) error {
 	tstart := time.Now()
 	// Shadow build: nothing below mutates the live epochs or the store.
 	tree := core.BuildHelperRTree(db.store, db.bopts.Fanout)
+	tree.SetReclaimDomain(db.egc)
 	t0 := time.Now()
 	crSets, stats, err := core.DeriveCRSets(db.store, db.domain, tree, db.bopts)
 	if err != nil {
@@ -273,6 +330,7 @@ func (db *DB) Compact(ctx context.Context) error {
 	lo := db.lo()
 	db.buildShards(lo, cr, &stats, t0, maxGen(lo)+1)
 	db.cr = cr
+	db.topo = core.NewTopology(cr.Len(), db.bopts.RegionSamples)
 	db.tree.Store(tree)
 	db.built.Store(&stats)
 	db.fireMaint(MaintEvent{Kind: MaintCompact, Shard: -1, Dur: time.Since(tstart)})
@@ -332,6 +390,7 @@ func (db *DB) compactShardLocked(lo *shardLayout, i int) {
 	t0 := time.Now()
 	old := sh.ep()
 	ix, _ := core.BuildRegionCR(db.store, sh.rect, db.cr, db.bopts.Index)
+	ix.SetReclaimDomain(db.egc)
 	sh.epoch.Store(&indexEpoch{index: ix, gen: old.gen + 1})
 	// The full-build statistics snapshot keeps its phase timings; only
 	// the aggregate index shape is refreshed. CAS loop: concurrent
@@ -409,6 +468,7 @@ func (db *DB) ReshardWith(ctx context.Context, strategy LayoutStrategy) error {
 	// keeps the derivation's simulated-disk reads off the live tree's
 	// I/O accounting.
 	tree := core.BuildHelperRTree(db.store, db.bopts.Fanout)
+	tree.SetReclaimDomain(db.egc)
 	t0 := time.Now()
 	crSets, stats, err := core.DeriveCRSets(db.store, db.domain, tree, db.bopts)
 	if err != nil {
@@ -419,6 +479,7 @@ func (db *DB) ReshardWith(ctx context.Context, strategy LayoutStrategy) error {
 	cr := core.NewCRState(crSets)
 	db.buildShards(lo, cr, &stats, t0, maxGen(old)+1)
 	db.cr = cr
+	db.topo = core.NewTopology(cr.Len(), db.bopts.RegionSamples)
 	db.tree.Store(tree)
 	db.layout.Store(lo) // the single publication point
 	db.built.Store(&stats)
@@ -438,6 +499,17 @@ func (db *DB) deriveCR(tree *rtree.Tree, o Object) []int32 {
 	}
 	return core.DeriveCR(tree, o, db.store.Dense(), db.domain,
 		db.bopts.SeedK, db.bopts.SeedSectors, db.bopts.RegionSamples, db.dscratch)
+}
+
+// deriveCRFrom is the delete path's region-restricted re-derivation:
+// object o's fresh constraint set seeded from prev, its previous live
+// members (victims already stripped), instead of a fresh NN browse.
+func (db *DB) deriveCRFrom(tree *rtree.Tree, o Object, prev []int32) []int32 {
+	if db.dscratch == nil {
+		db.dscratch = core.NewDeriveScratch()
+	}
+	return core.DeriveCRFrom(tree, o, prev, db.store.Dense(), db.domain,
+		db.bopts.RegionSamples, db.dscratch)
 }
 
 // maybeCompact kicks off background compaction for every shard whose
@@ -503,6 +575,8 @@ func (db *DB) autoCompact(lo *shardLayout, i int) {
 // k = 1 cells, so the branch-and-prune path generalizes while the
 // UV-index stays specialized for PNN.
 func (db *DB) PossibleKNN(q Point, k int) ([]int32, error) {
+	t := db.egc.Pin()
+	defer db.egc.Unpin(t)
 	return db.possibleKNN(db.rtree(), q, k, nil)
 }
 

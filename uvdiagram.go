@@ -65,6 +65,7 @@ import (
 	"time"
 
 	"uvdiagram/internal/core"
+	"uvdiagram/internal/epoch"
 	"uvdiagram/internal/geom"
 	"uvdiagram/internal/pager"
 	"uvdiagram/internal/rtree"
@@ -253,9 +254,10 @@ func (o *Options) toBuildOptions() core.BuildOptions {
 // it always covers the full live population whatever the shard, so the
 // DB keeps one shared tree behind its own atomic pointer.
 //
-// Incremental Insert/Delete mutate the CURRENT epochs in place (bumping
-// gen via each index's own mutation counter); they still require the
-// caller's external synchronization against queries, exactly as before.
+// Incremental Insert/Delete mutate the CURRENT epochs copy-on-write
+// (bumping gen via each index's own mutation counter); the leaf-table
+// swap is atomic and retired pages outlive in-flight readers, so
+// queries need no synchronization against them either.
 type indexEpoch struct {
 	index *core.UVIndex
 	// gen numbers the epoch: it increases by one at every Rebuild /
@@ -287,11 +289,23 @@ type indexEpoch struct {
 //
 // Lock order is always smu before shard mutexes, shard mutexes in
 // ascending index order, and never smu while holding a shard mutex.
-// Queries take NO locks — they read the layout, epoch and tree pointers
-// atomically — so rebuilds never pause them; as before, Insert/Delete
-// require external synchronization against queries (the server's
-// RWMutex), while Compact/CompactShard/CompactAll/Reshard may run
-// concurrently with anything.
+//
+// Queries take NO locks against ANY mutation — including Insert and
+// Delete. Every mutated structure is copy-on-write behind an atomic
+// pointer (the store's population view, the helper R-tree's header,
+// each shard index's tree snapshot), so the locks above only serialize
+// WRITERS against each other: smu and the shard mutexes form a
+// writer-writer hierarchy, and a reader never blocks on (or is blocked
+// by) any of them. Readers see each mutation atomically through a
+// fixed publication order — on delete the R-tree shrinks first, then
+// the leaf tables publish per shard, then the store tombstones; on
+// insert the store appends first, then the R-tree and leaf tables —
+// and a query that snapshots the store view BEFORE loading a tree
+// (see core's pnn) observes exactly the pre- or post-mutation answer,
+// never a hybrid. Replaced index pages are reclaimed through the DB's
+// epoch domain (egc): queries pin it for their page reads, and a page
+// slot is reused only after every reader pinned before the swap has
+// finished.
 type DB struct {
 	store  *uncertain.Store
 	domain Rect
@@ -303,6 +317,19 @@ type DB struct {
 	// index (see core.CRState). Guarded by smu: mutators exclusive,
 	// shard compactions shared.
 	cr *core.CRState
+	// topo is the incremental topology registry riding alongside cr: per
+	// object, which cr-set members actually shape its UV-cell boundary
+	// (core.Topology). It decides which delete dependents re-derive and
+	// which keep their stripped representation. Guarded by smu held
+	// exclusively; rebuilt fresh whenever cr is (Compact/Reshard).
+	topo *core.Topology
+	// egc is the epoch-based reclamation domain shared by the helper
+	// R-tree and every shard index: queries pin it around page reads,
+	// COW mutations retire replaced pages into it, and a page slot is
+	// reused only once every reader pinned before the swap finished.
+	egc *epoch.Domain
+	// mstats counts mutation-path work (see MutationStats).
+	mstats mutationCounters
 	// tree is the shared helper R-tree over the full live population
 	// (pruning, k-NN and RNN retrieval are global no matter which shard
 	// runs them). Queries load it atomically; Insert/Delete mutate it
@@ -357,7 +384,7 @@ func Build(objects []Object, domain Rect, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	bopts := opts.toBuildOptions()
-	db := &DB{store: store, domain: domain, bopts: bopts, strategy: opts.layout()}
+	db := &DB{store: store, domain: domain, bopts: bopts, strategy: opts.layout(), egc: epoch.NewDomain()}
 	gx, gy := shardGrid(nshards)
 	var centers []Point
 	if _, equal := db.strategy.(EqualStrips); !equal {
@@ -366,6 +393,7 @@ func Build(objects []Object, domain Rect, opts *Options) (*DB, error) {
 	xs, ys := db.strategy.Cuts(domain, gx, gy, centers)
 	lo := newShardLayout(0, gx, gy, xs, ys)
 	tree := core.BuildHelperRTree(store, bopts.Fanout)
+	tree.SetReclaimDomain(db.egc)
 	db.tree.Store(tree)
 	t0 := time.Now()
 	crSets, stats, err := core.DeriveCRSets(store, domain, tree, bopts)
@@ -373,6 +401,7 @@ func Build(objects []Object, domain Rect, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	db.cr = core.NewCRState(crSets)
+	db.topo = core.NewTopology(len(crSets), bopts.RegionSamples)
 	db.buildShards(lo, db.cr, &stats, t0, 0)
 	db.layout.Store(lo)
 	db.built.Store(&stats)
@@ -416,6 +445,7 @@ func (db *DB) buildShards(lo *shardLayout, cr *core.CRState, stats *BuildStats, 
 	wg.Wait()
 	shapes := make([]core.IndexStats, len(lo.shards))
 	for i := range lo.shards {
+		results[i].ix.SetReclaimDomain(db.egc)
 		lo.shards[i].epoch.Store(&indexEpoch{index: results[i].ix, gen: gen})
 		stats.IndexDur += results[i].dur
 		shapes[i] = results[i].ix.Stats()
@@ -472,11 +502,49 @@ func (db *DB) IndexStats() core.IndexStats {
 // PNN answers a probabilistic nearest-neighbor query through the owning
 // shard's UV-index (Section V-A).
 func (db *DB) PNN(q Point) ([]Answer, QueryStats, error) {
+	t := db.egc.Pin()
+	defer db.egc.Unpin(t)
 	lo := db.lo()
 	if err := checkDomain(lo, db.domain, q); err != nil {
 		return nil, QueryStats{}, err
 	}
 	return lo.epFor(q).index.PNN(q)
+}
+
+// mutationCounters are the DB's atomic mutation-path tallies.
+type mutationCounters struct {
+	inserts    atomic.Int64
+	deletes    atomic.Int64
+	dependents atomic.Int64
+	rederived  atomic.Int64
+	skipped    atomic.Int64
+	repaired   atomic.Int64
+}
+
+// MutationStats reports the cumulative work of the incremental mutation
+// paths since the database was built or loaded. The Rederived/Skipped
+// split is the output-sensitivity signal: Skipped dependents kept their
+// representation (minus the victims) with no derivation at all because
+// no victim was tight for them (see core.Topology).
+type MutationStats struct {
+	Inserts    int64 // Insert calls applied
+	Deletes    int64 // objects deleted (BatchDelete counts each victim)
+	Dependents int64 // delete dependents examined
+	Rederived  int64 // dependents re-derived (a victim was tight)
+	Skipped    int64 // dependents kept with a stripped representation
+	Repaired   int64 // cached cell profiles tightened in place on insert
+}
+
+// MutationStats returns a snapshot of the mutation counters.
+func (db *DB) MutationStats() MutationStats {
+	return MutationStats{
+		Inserts:    db.mstats.inserts.Load(),
+		Deletes:    db.mstats.deletes.Load(),
+		Dependents: db.mstats.dependents.Load(),
+		Rederived:  db.mstats.rederived.Load(),
+		Skipped:    db.mstats.skipped.Load(),
+		Repaired:   db.mstats.repaired.Load(),
+	}
 }
 
 // ErrOutOfDomain is the sentinel every "query point outside the indexed
