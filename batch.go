@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"uvdiagram/internal/core"
+	"uvdiagram/internal/pager"
 	"uvdiagram/internal/rtree"
 )
 
@@ -115,6 +116,110 @@ func (db *DB) LeafCacheStats() (hits, misses int64) {
 		misses += m
 	}
 	return hits, misses
+}
+
+// BufferPoolStats is the serving-side memory economy snapshot: the
+// leaf-cache (buffer pool) hit/miss/eviction counters for the UV-index
+// grid and the helper R-tree, plus the pager-level I/O and footprint
+// totals summed across the object store, every shard index and the
+// R-tree. The metrics layer samples it into gauges.
+type BufferPoolStats struct {
+	LeafHits       int64 // UV-index leaf cache hits
+	LeafMisses     int64
+	LeafEvictions  int64
+	RTreeHits      int64 // helper R-tree leaf cache hits
+	RTreeMisses    int64
+	RTreeEvictions int64
+	PagerReads     int64 // page reads across all pagers
+	PagerWrites    int64
+	DiskBytes      int64 // simulated disk footprint across all pagers
+	VacuumedBytes  int64 // cumulative storage reclaimed by DB.Vacuum
+
+	// Out-of-core footprint (all zero for an in-heap database): bytes
+	// of snapshot sections served straight off the mapped file, how
+	// many of those are resident in physical memory right now
+	// (ResidentKnown false when the mincore probe is unsupported), and
+	// the heap bytes of the append-only COW tails.
+	MappedBytes   int64
+	ResidentBytes int64
+	ResidentKnown bool
+	TailBytes     int64
+}
+
+// BufferPoolStats returns a snapshot of the buffer-pool counters.
+func (db *DB) BufferPoolStats() BufferPoolStats {
+	var st BufferPoolStats
+	db.batch.mu.Lock()
+	for _, c := range db.batch.caches {
+		h, m := c.Stats()
+		st.LeafHits += h
+		st.LeafMisses += m
+		st.LeafEvictions += c.Evictions()
+	}
+	if rt := db.batch.rt; rt != nil {
+		st.RTreeHits, st.RTreeMisses = rt.Stats()
+		st.RTreeEvictions = rt.Evictions()
+	}
+	db.batch.mu.Unlock()
+	st.ResidentKnown = true
+	for _, pg := range db.pagers() {
+		st.PagerReads += pg.Reads()
+		st.PagerWrites += pg.Writes()
+		st.DiskBytes += pg.BytesOnDisk()
+		if fs, ok := pg.Store().(*pager.FileStore); ok {
+			st.MappedBytes += int64(fs.PageSize()) * int64(fs.BasePages())
+			res, known := fs.Resident()
+			st.ResidentBytes += res
+			st.ResidentKnown = st.ResidentKnown && known
+			st.TailBytes += fs.TailBytes()
+		}
+	}
+	st.VacuumedBytes = db.vacuumed.Load()
+	return st
+}
+
+// DropCaches advises every mmap-backed section out of the OS page
+// cache — the cold-start / resident-set-cap lever of the out-of-core
+// harness. Live pages refault from the snapshot file on their next
+// read; an in-heap database is unaffected (returns 0). Safe
+// concurrently with queries.
+func (db *DB) DropCaches() int64 {
+	var n int64
+	for _, pg := range db.pagers() {
+		if fs, ok := pg.Store().(*pager.FileStore); ok {
+			n += int64(fs.DropCaches())
+		}
+	}
+	return n
+}
+
+// pagers snapshots every pager serving the database: the object store,
+// each shard index and the helper R-tree.
+func (db *DB) pagers() []*pager.Pager {
+	lo := db.lo()
+	out := make([]*pager.Pager, 0, len(lo.shards)+2)
+	out = append(out, db.store.Pager())
+	for i := range lo.shards {
+		out = append(out, lo.epAt(i).index.Pager())
+	}
+	out = append(out, db.rtree().Pager())
+	return out
+}
+
+// Vacuum reclaims the storage behind freed page slots across every
+// pager: heap buffers of freed slots are dropped for the GC, and dead
+// extents of an mmap-backed snapshot are advised out of the OS page
+// cache. Safe concurrently with queries — the frees themselves already
+// ran post-grace through the epoch domain, Vacuum only releases the
+// storage they left behind. Returns the total bytes reclaimed. The
+// maintenance controller calls it every tick.
+func (db *DB) Vacuum() int64 {
+	var n int64
+	for _, pg := range db.pagers() {
+		n += pg.Vacuum()
+	}
+	db.vacuumed.Add(n)
+	return n
 }
 
 // cacheAt indexes a possibly-nil cache slice.

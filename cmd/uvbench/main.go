@@ -25,7 +25,11 @@
 // and 3D builds on the parallel scratch-threaded fast path against the
 // retained reference loops (bitwise-identical cr-sets, index stats and
 // query answers verified) and writes BENCH_orderk.json and
-// BENCH_uv3.json.
+// BENCH_uv3.json; -exp outofcore builds a database on disk as a v5
+// page-image snapshot and serves batched PNN off the mmap-backed file
+// under a resident-set cap below the index size (bitwise-identical
+// answers vs the in-heap engine verified) and writes
+// BENCH_outofcore.json.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment, so future perf work can be profiled in place (profiles
@@ -47,7 +51,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance, derive, continuous, maintain, parity")
+	expName := flag.String("exp", "all", "experiment: all, fig6, fig7, fig7f, fig7g, fig7h, table2, sensitivity, extensions, server, churn, shards, rebalance, derive, continuous, maintain, parity, outofcore")
 	scaleName := flag.String("scale", "small", "scale preset: small, medium, paper")
 	shards := flag.Int("shards", 1, "spatial shard count for -exp churn (1 = unsharded)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
@@ -129,6 +133,8 @@ func main() {
 		tables, err = single(exp.RunMaintain, sc, progress)
 	case "parity":
 		tables, err = single(exp.RunParity, sc, progress)
+	case "outofcore":
+		tables, err = single(exp.RunOutOfCore, sc, progress)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *expName)
 	}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	uvserver [-addr :7031] [-n 10000] [-seed 1] [-load db.uv]
+//	         [-data db.uvsnap] [-pager mmap|heap]
 //	         [-shards 1] [-layout equal|median] [-window 64]
 //	         [-workers N] [-cache 256] [-push-timeout 5s]
 //	         [-pprof localhost:6060]
@@ -24,11 +25,15 @@
 // below -maintain-low (two-threshold hysteresis) with a
 // -maintain-cooldown between runs.
 //
-// With -load, the dataset and index are read from a snapshot written by
-// uvbuild -save (or DB.Save); the snapshot's shard layout wins over
-// -shards. With -shards S > 1 the domain is split into S spatial
-// shards, each with its own sub-grid index, epoch and slack counter —
-// queries route to the owning shard, and compaction is per-shard.
+// With -data, the database file is opened with uvdiagram.Open — any
+// saved version works, and a version-5 page-image snapshot (uvbuild
+// -snapshot) is served straight off the mmap'd file with zero rebuild;
+// -pager heap copies it into memory instead. -load is the older
+// logical-stream reader (uvbuild -save / DB.Save); both take the
+// file's shard layout over -shards. With -shards S > 1 a fresh build
+// splits the domain into S spatial shards, each with its own sub-grid
+// index, epoch and slack counter — queries route to the owning shard,
+// and compaction is per-shard.
 package main
 
 import (
@@ -50,7 +55,9 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	n := flag.Int("n", 10000, "number of synthetic objects (ignored with -load)")
 	seed := flag.Int64("seed", 1, "random seed for the synthetic dataset")
-	load := flag.String("load", "", "load a snapshot instead of generating data")
+	load := flag.String("load", "", "load a logical-stream snapshot instead of generating data")
+	data := flag.String("data", "", "open a saved database file with uvdiagram.Open (v5 snapshots serve off the file) instead of generating data")
+	pagerMode := flag.String("pager", "", "page-store backend for -data v5 snapshots: mmap (default; zero-copy off the file) or heap (copy into memory)")
 	shards := flag.Int("shards", 1, "spatial shard count (ignored with -load; 1 = unsharded)")
 	layout := flag.String("layout", "equal", "shard layout strategy for a fresh build: equal, median")
 	window := flag.Int("window", 0, "per-connection in-flight request window (0 = default 64)")
@@ -77,7 +84,14 @@ func main() {
 	}
 
 	var db *uvdiagram.DB
-	if *load != "" {
+	if *data != "" {
+		var err error
+		db, err = uvdiagram.Open(*data, &uvdiagram.Options{Pager: *pagerMode})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("opened %d objects from %s (pager=%s)", db.Len(), *data, db.PagerMode())
+	} else if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			logger.Fatal(err)

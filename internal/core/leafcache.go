@@ -55,6 +55,16 @@ func (c *LeafCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// Evictions returns how many entries capacity pressure has pushed out —
+// the buffer-pool sizing signal (a high rate means the working set
+// exceeds the cache).
+func (c *LeafCache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.c.Evictions()
+}
+
 func (c *LeafCache) get(ix *UVIndex, n *qnode) ([]pager.LeafTuple, bool) {
 	if c == nil {
 		return nil, false

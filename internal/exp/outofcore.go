@@ -1,0 +1,337 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+)
+
+// OutOfCoreJSONPath is where RunOutOfCore records the sweep (the CI
+// and README artifact of the mmap-backed serving path).
+const OutOfCoreJSONPath = "BENCH_outofcore.json"
+
+// outOfCoreRow is one measured configuration of the out-of-core sweep.
+type outOfCoreRow struct {
+	N             int     `json:"n"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	SaveMS        float64 `json:"save_snapshot_ms"`
+	OpenMmapMS    float64 `json:"open_mmap_ms"`
+	OpenHeapMS    float64 `json:"open_heap_ms"`
+	OpenSpeedupX  float64 `json:"open_speedup_x"`
+
+	HeapQPS       float64 `json:"heap_batch_pnn_qps"`
+	MmapColdQPS   float64 `json:"mmap_cold_batch_pnn_qps"`
+	MmapWarmQPS   float64 `json:"mmap_warm_batch_pnn_qps"`
+	MmapCappedQPS float64 `json:"mmap_capped_batch_pnn_qps"`
+	// ThroughputRatio is the acceptance headline: capped mmap serving
+	// versus in-heap serving (>= 0.5 required).
+	ThroughputRatio float64 `json:"capped_vs_heap_throughput_ratio"`
+
+	MappedBytes       int64 `json:"mapped_bytes"`
+	ResidentCapBytes  int64 `json:"resident_cap_bytes"`
+	ResidentPeakBytes int64 `json:"resident_peak_bytes"`
+	CapHeld           bool  `json:"resident_cap_below_index"`
+	PagedInBytes      int64 `json:"paged_in_bytes"`
+	// ReadAmpVsHeap divides the bytes the capped run paged in from the
+	// snapshot by the bytes the in-heap engine reads to load the same
+	// snapshot once (= the file size): how many times over the capped
+	// server re-read its index to stay under the cap.
+	ReadAmpVsHeap float64 `json:"read_amp_vs_heap"`
+
+	HeapRSSBytes     int64 `json:"heap_serving_vmrss_bytes"`
+	MmapRSSBytes     int64 `json:"mmap_capped_serving_vmrss_bytes"`
+	AnswersIdentical bool  `json:"answers_bitwise_identical"`
+}
+
+type outOfCoreReport struct {
+	ReportHeader
+	Description string         `json:"description"`
+	Environment map[string]any `json:"environment"`
+	Rows        []outOfCoreRow `json:"rows"`
+	Notes       string         `json:"notes"`
+}
+
+// outOfCoreN picks the dataset size: the committed artifact (medium and
+// paper scales) must build at least 50k objects on disk; small stays
+// quick-look.
+func outOfCoreN(sc Scale) int {
+	switch sc.Name {
+	case "paper":
+		return 80000
+	case "medium":
+		return 50000
+	default:
+		if sc.MidN < 4000 {
+			return sc.MidN
+		}
+		return 4000
+	}
+}
+
+// RunOutOfCore measures the out-of-core serving path: a database is
+// built in heap, written as a version-5 page-image snapshot, and then
+// served three ways — rebuilt in heap (the v≤4 economy), mmap-backed
+// warm, and mmap-backed under a resident-set cap at a quarter of the
+// index size (DropCaches whenever the mapping's resident bytes exceed
+// the cap, the way a memory-pressured kernel would evict). Batched PNN
+// answers of every mode are compared bitwise against the heap engine —
+// a divergence fails the experiment — and the capped run reports its
+// read amplification: bytes refaulted from the file over the file size.
+//
+// The sweep also writes BENCH_outofcore.json to the working directory.
+func RunOutOfCore(sc Scale, progress func(string)) (*Table, error) {
+	if progress == nil {
+		progress = func(string) {}
+	}
+	t := &Table{
+		ID:    "outofcore",
+		Title: "Out-of-core serving: mmap-backed snapshot vs in-heap rebuild",
+		Columns: []string{"n", "file", "save", "open mmap", "open heap", "heap q/s",
+			"mmap q/s", "capped q/s", "cap", "peak", "read amp", "answers"},
+		Notes: []string{
+			"open mmap/heap: uvdiagram.Open wall clock on a v5 snapshot — mmap serves straight off the file, heap replays every page",
+			"heap/mmap/capped q/s: batched PNN throughput (workers=4); capped drops the OS page cache whenever the mapping's resident set exceeds cap = mapped/4",
+			"cap/peak: the resident-set cap and the highest resident bytes observed between drops (mincore over the mapped sections)",
+			"read amp: bytes refaulted from the snapshot during the capped run / snapshot size (in-heap reads the file exactly once)",
+			"answers: batched PNN answers of every mode, compared bitwise against the in-heap engine",
+		},
+	}
+	n := outOfCoreN(sc)
+	report := outOfCoreReport{
+		ReportHeader: newReportHeader("outofcore"),
+		Description:  fmt.Sprintf("Out-of-core serving sweep: uvbench -exp outofcore -scale %s. Uniform dataset of %d objects, 4 spatial shards, v5 page-image snapshot served by pager=mmap vs pager=heap.", sc.Name, n),
+		Environment: map[string]any{
+			"goos":  runtime.GOOS,
+			"cpu":   fmt.Sprintf("%d cores", runtime.NumCPU()),
+			"go":    runtime.Version(),
+			"scale": sc.Name,
+		},
+		Notes: "Acceptance: capped_vs_heap_throughput_ratio >= 0.5 with resident_cap_below_index true and answers_bitwise_identical true — the index is served at an RSS cap below its own size without losing correctness or half the throughput.",
+	}
+
+	dir, err := os.MkdirTemp("", "uvdiagram-outofcore-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "uv.snap")
+
+	progress(fmt.Sprintf("outofcore: building n=%d (4 shards) in heap", n))
+	cfg := datagen.Config{N: n, Side: sc.Side, Diameter: sc.Diameter, Seed: sc.Seed}
+	objs := datagen.Uniform(cfg)
+	built, err := uvdiagram.Build(objs, cfg.Domain(), &uvdiagram.Options{Shards: 4})
+	if err != nil {
+		return nil, err
+	}
+	row := outOfCoreRow{N: n}
+
+	t0 := time.Now()
+	if err := built.SaveSnapshot(snapPath); err != nil {
+		return nil, err
+	}
+	row.SaveMS = durMS(time.Since(t0))
+	fi, err := os.Stat(snapPath)
+	if err != nil {
+		return nil, err
+	}
+	row.SnapshotBytes = fi.Size()
+	built.Close()
+	built = nil //nolint:ineffassign // release the build before serving
+
+	qs := datagen.Queries(256, sc.Side, sc.Seed+7)
+	batchOpts := &uvdiagram.BatchOptions{Workers: 4, CacheSize: 256}
+	// qps times rounds of the whole batch until minDur has elapsed.
+	minDur := 2 * time.Second
+	if sc.Name == "tiny" || n <= 4000 {
+		minDur = 300 * time.Millisecond
+	}
+	qps := func(db *uvdiagram.DB, perRound func(*uvdiagram.DB)) (float64, error) {
+		start := time.Now()
+		rounds := 0
+		for time.Since(start) < minDur || rounds < 2 {
+			if _, err := db.BatchNN(qs, batchOpts); err != nil {
+				return 0, err
+			}
+			rounds++
+			if perRound != nil {
+				perRound(db)
+			}
+		}
+		return float64(rounds*len(qs)) / time.Since(start).Seconds(), nil
+	}
+
+	// In-heap serving: Open replays every page into heap pagers.
+	progress("outofcore: open pager=heap (full page replay)")
+	t1 := time.Now()
+	heapDB, err := uvdiagram.Open(snapPath, &uvdiagram.Options{Pager: "heap"})
+	if err != nil {
+		return nil, err
+	}
+	row.OpenHeapMS = durMS(time.Since(t1))
+	wantAns, err := heapDB.BatchNN(qs, batchOpts)
+	if err != nil {
+		return nil, err
+	}
+	if row.HeapQPS, err = qps(heapDB, nil); err != nil {
+		return nil, err
+	}
+	// Return build/open garbage to the OS so VmRSS reflects what heap
+	// serving actually holds live.
+	debug.FreeOSMemory()
+	row.HeapRSSBytes = vmRSS()
+	heapDB.Close()
+
+	// Mmap serving: the same file, zero rebuild.
+	progress("outofcore: open pager=mmap (serve off the file)")
+	t2 := time.Now()
+	db, err := uvdiagram.Open(snapPath, &uvdiagram.Options{Pager: "mmap"})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	row.OpenMmapMS = durMS(time.Since(t2))
+	if row.OpenMmapMS > 0 {
+		row.OpenSpeedupX = row.OpenHeapMS / row.OpenMmapMS
+	}
+	gotAns, err := db.BatchNN(qs, batchOpts)
+	if err != nil {
+		return nil, err
+	}
+	row.AnswersIdentical = fmt.Sprintf("%v", wantAns) == fmt.Sprintf("%v", gotAns)
+	if !row.AnswersIdentical {
+		return nil, fmt.Errorf("outofcore: mmap answers diverged from the in-heap engine at n=%d", n)
+	}
+	bp := db.BufferPoolStats()
+	row.MappedBytes = bp.MappedBytes
+
+	// Cold: everything advised out, first batch pages the working set in.
+	debug.FreeOSMemory()
+	db.DropCaches()
+	tc := time.Now()
+	if _, err := db.BatchNN(qs, batchOpts); err != nil {
+		return nil, err
+	}
+	row.MmapColdQPS = float64(len(qs)) / time.Since(tc).Seconds()
+
+	// Warm steady state.
+	if row.MmapWarmQPS, err = qps(db, nil); err != nil {
+		return nil, err
+	}
+
+	// Capped: whenever the mapping's resident set exceeds a quarter of
+	// the index size, advise it all out — a hard stand-in for the
+	// kernel evicting under memory pressure — and keep serving.
+	capBytes := row.MappedBytes / 4
+	row.ResidentCapBytes = capBytes
+	row.CapHeld = capBytes < row.SnapshotBytes
+	progress(fmt.Sprintf("outofcore: capped serving at %d MiB of a %d MiB index",
+		capBytes>>20, row.MappedBytes>>20))
+	debug.FreeOSMemory()
+	db.DropCaches()
+	prev := residentOf(db)
+	var pagedIn, peak int64
+	row.MmapCappedQPS, err = qps(db, func(db *uvdiagram.DB) {
+		res := residentOf(db)
+		if res > prev {
+			pagedIn += res - prev
+		}
+		if res > peak {
+			peak = res
+		}
+		if res > capBytes {
+			db.DropCaches()
+			res = residentOf(db)
+		}
+		prev = res
+	})
+	if err != nil {
+		return nil, err
+	}
+	row.PagedInBytes = pagedIn
+	row.ResidentPeakBytes = peak
+	if row.SnapshotBytes > 0 {
+		row.ReadAmpVsHeap = float64(pagedIn) / float64(row.SnapshotBytes)
+	}
+	if row.HeapQPS > 0 {
+		row.ThroughputRatio = row.MmapCappedQPS / row.HeapQPS
+	}
+	debug.FreeOSMemory()
+	row.MmapRSSBytes = vmRSS()
+
+	cappedAns, err := db.BatchNN(qs, batchOpts)
+	if err != nil {
+		return nil, err
+	}
+	if fmt.Sprintf("%v", wantAns) != fmt.Sprintf("%v", cappedAns) {
+		return nil, fmt.Errorf("outofcore: capped-serving answers diverged at n=%d", n)
+	}
+
+	progress(fmt.Sprintf("outofcore: heap %.0f q/s, mmap %.0f q/s, capped %.0f q/s (%.2fx heap), read amp %.2f",
+		row.HeapQPS, row.MmapWarmQPS, row.MmapCappedQPS, row.ThroughputRatio, row.ReadAmpVsHeap))
+	t.AddRow(strconv.Itoa(n),
+		fmt.Sprintf("%d MiB", row.SnapshotBytes>>20),
+		fmt.Sprintf("%.0fms", row.SaveMS),
+		fmt.Sprintf("%.1fms", row.OpenMmapMS),
+		fmt.Sprintf("%.0fms", row.OpenHeapMS),
+		fmt.Sprintf("%.0f", row.HeapQPS),
+		fmt.Sprintf("%.0f", row.MmapWarmQPS),
+		fmt.Sprintf("%.0f", row.MmapCappedQPS),
+		fmt.Sprintf("%d MiB", row.ResidentCapBytes>>20),
+		fmt.Sprintf("%d MiB", row.ResidentPeakBytes>>20),
+		fmt.Sprintf("%.2f", row.ReadAmpVsHeap),
+		"identical")
+	report.Rows = append(report.Rows, row)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(OutOfCoreJSONPath, append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	progress("outofcore: wrote " + OutOfCoreJSONPath)
+	return t, nil
+}
+
+// residentOf probes the resident bytes of a DB's mapped sections (0 for
+// in-heap databases or when mincore is unsupported).
+func residentOf(db *uvdiagram.DB) int64 {
+	bp := db.BufferPoolStats()
+	if !bp.ResidentKnown {
+		return 0
+	}
+	return bp.ResidentBytes
+}
+
+// vmRSS reads the process's resident set from /proc/self/status
+// (0 when the proc filesystem is unavailable).
+func vmRSS() int64 {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

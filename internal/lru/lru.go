@@ -15,11 +15,12 @@ import (
 // Cache is a fixed-capacity LRU map from K to V, safe for concurrent
 // use.
 type Cache[K comparable, V any] struct {
-	mu      sync.Mutex
-	cap     int
-	gen     uint64
-	order   *list.List          // front = most recently used
-	entries map[K]*list.Element // key → element; element value is *entry[K, V]
+	mu        sync.Mutex
+	cap       int
+	gen       uint64
+	evictions int64
+	order     *list.List          // front = most recently used
+	entries   map[K]*list.Element // key → element; element value is *entry[K, V]
 }
 
 type entry[K comparable, V any] struct {
@@ -86,8 +87,21 @@ func (c *Cache[K, V]) Put(gen uint64, key K, val V) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*entry[K, V]).key)
+		c.evictions++
 	}
 	c.entries[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+}
+
+// Evictions returns the number of entries pushed out by capacity
+// pressure since creation. Generation flushes do not count: they
+// invalidate, they don't signal an undersized cache.
+func (c *Cache[K, V]) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // syncGenLocked flushes the cache if the owner has mutated since the

@@ -1,0 +1,299 @@
+package pager
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Mapping is a read-only view of a whole snapshot file: an mmap'd
+// region on platforms that support it (see mmap_linux.go), or the file
+// preread into one heap buffer as the portable fallback. Several
+// FileStores (one per snapshot section) share one Mapping.
+type Mapping struct {
+	data   []byte
+	f      *os.File
+	mapped bool // true when data is a real mmap (madvise/mincore work)
+}
+
+// MapFile maps f read-only and takes ownership of it: Close unmaps the
+// region and closes the file. On platforms without mmap support the
+// whole file is preread into memory instead (Mapped reports which).
+func MapFile(f *os.File) (*Mapping, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 {
+		return nil, fmt.Errorf("pager: cannot map empty file %s", f.Name())
+	}
+	if size > 1<<46 {
+		return nil, fmt.Errorf("pager: file %s too large to map (%d bytes)", f.Name(), size)
+	}
+	data, mapped, err := mapFile(f, int(size))
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, f: f, mapped: mapped}, nil
+}
+
+// Data returns the mapped bytes. Read-only: writing through it faults
+// (mmap) or corrupts the shared preread buffer (fallback).
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether the view is a real file mapping (zero heap)
+// rather than the preread fallback.
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close unmaps the region and closes the underlying file. The mapping
+// must not be used afterwards.
+func (m *Mapping) Close() error {
+	var err error
+	if m.mapped && m.data != nil {
+		err = unmap(m.data)
+	}
+	m.data = nil
+	if m.f != nil {
+		if cerr := m.f.Close(); err == nil {
+			err = cerr
+		}
+		m.f = nil
+	}
+	return err
+}
+
+// DropRange advises the OS that [off, off+n) of the mapping will not be
+// needed soon, releasing its resident pages back to the kernel (they
+// refault from the file on the next access). The range is shrunk to OS
+// page boundaries; a no-op on the preread fallback. Returns the bytes
+// actually advised.
+func (m *Mapping) DropRange(off, n int) int {
+	if !m.mapped || n <= 0 || off < 0 || off+n > len(m.data) {
+		return 0
+	}
+	ps := os.Getpagesize()
+	lo := (off + ps - 1) / ps * ps
+	hi := (off + n) / ps * ps
+	if hi <= lo {
+		return 0
+	}
+	if err := advise(m.data[lo:hi], adviseDontNeed); err != nil {
+		return 0
+	}
+	// Madvise only zaps the page tables; the pages stay in the OS page
+	// cache (and mincore keeps counting them) until the paired fadvise
+	// evicts them from the backing file. Best-effort — dirty or busy
+	// pages the kernel declines to drop just stay warm.
+	if m.f != nil {
+		_ = fadviseDontNeed(m.f, int64(lo), int64(hi-lo))
+	}
+	return hi - lo
+}
+
+// Resident returns how many bytes of [off, off+n) are currently
+// resident in physical memory, and whether the probe is supported
+// (false on the preread fallback, where everything is heap anyway).
+func (m *Mapping) Resident(off, n int) (int64, bool) {
+	if !m.mapped || n <= 0 || off < 0 || off+n > len(m.data) {
+		return 0, false
+	}
+	return resident(m.data[off : off+n])
+}
+
+// FileStore serves a fixed array of page images out of a Mapping
+// zero-copy, with an in-heap APPEND-ONLY tail for pages allocated or
+// rewritten after open. The copy-on-write contract holds by
+// construction: the mapped base region is never written (it is a
+// read-only mapping), so slot reuse and page rewrites always point the
+// slot at a fresh heap buffer while the old bytes — mapped or heap —
+// stay intact for any reader that already holds them. Freed or
+// replaced base pages accumulate as dead extents that Vacuum advises
+// out of the page cache, which is what bounds the resident set when an
+// index larger than RAM is served off the file.
+//
+// Reads are lock-free exactly like HeapStore's (same published-snapshot
+// protocol); the slots of base pages simply start out as subslices of
+// the mapping instead of heap buffers.
+type FileStore struct {
+	pageSize int
+	m        *Mapping
+	off      int // byte offset of the base page array inside the mapping
+	base     int // number of base (mapped) pages
+	slots    atomic.Pointer[[][]byte]
+	mu       sync.Mutex // serializes Alloc/Free/Write/Vacuum
+	free     []PageID
+	// dead lists base pages whose mapped bytes are no longer reachable
+	// (freed after the epoch grace period, or replaced by Write); the
+	// next Vacuum advises their extents away and clears the list.
+	dead      []PageID
+	tailPages int // heap pages currently live (allocated - vacuumed)
+}
+
+// NewFileStore returns a store whose pages 0..count-1 are the count
+// page images of the given size starting at byte off of the mapping.
+func NewFileStore(m *Mapping, off, count, pageSize int) (*FileStore, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("pager: file store page size %d", pageSize)
+	}
+	if count < 0 || off < 0 || off+count*pageSize > len(m.data) {
+		return nil, fmt.Errorf("pager: file store section [%d, %d+%d×%d) exceeds mapping of %d bytes",
+			off, off, count, pageSize, len(m.data))
+	}
+	s := &FileStore{pageSize: pageSize, m: m, off: off, base: count}
+	slots := make([][]byte, count)
+	for i := range slots {
+		lo := off + i*pageSize
+		slots[i] = m.data[lo : lo+pageSize : lo+pageSize]
+	}
+	s.slots.Store(&slots)
+	return s, nil
+}
+
+// PageSize returns the page size in bytes.
+func (s *FileStore) PageSize() int { return s.pageSize }
+
+// NumPages returns the number of live (allocated, not freed) pages.
+func (s *FileStore) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(*s.slots.Load()) - len(s.free)
+}
+
+// Read returns page id's buffer — a zero-copy view into the mapped
+// file for base pages, a heap buffer for tail pages — lock-free.
+func (s *FileStore) Read(id PageID) []byte { return (*s.slots.Load())[id] }
+
+// isBaseSlot reports whether slot id currently points into the mapping
+// (callers hold mu).
+func (s *FileStore) isBaseSlot(cur [][]byte, id PageID) bool {
+	if int(id) >= s.base {
+		return false
+	}
+	lo := s.off + int(id)*s.pageSize
+	b := cur[id]
+	return b != nil && len(s.m.data) > 0 && &b[0] == &s.m.data[lo]
+}
+
+// Alloc appends data as a fresh heap (tail) page, reusing a freed slot
+// id when one exists. Mapped bytes are never rewritten.
+func (s *FileStore) Alloc(data []byte) PageID {
+	checkFit(data, s.pageSize)
+	page := make([]byte, s.pageSize)
+	copy(page, data)
+	s.mu.Lock()
+	var id PageID
+	cur := s.slots.Load()
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+		(*cur)[id] = page
+	} else {
+		np := append(*cur, page)
+		id = PageID(len(np) - 1)
+		s.slots.Store(&np)
+	}
+	s.tailPages++
+	s.mu.Unlock()
+	return id
+}
+
+// Free returns page slots to the allocator. Base pages become dead
+// extents for the next Vacuum; tail buffers are retained until reuse or
+// Vacuum.
+func (s *FileStore) Free(ids []PageID) {
+	s.mu.Lock()
+	cur := *s.slots.Load()
+	for _, id := range ids {
+		if s.isBaseSlot(cur, id) {
+			s.dead = append(s.dead, id)
+		}
+	}
+	s.free = append(s.free, ids...)
+	s.mu.Unlock()
+}
+
+// Write replaces page id by pointing its slot at a fresh heap buffer
+// (the mapping is read-only, so in-place rewrite is impossible); the
+// old bytes stay visible to readers that already obtained them, and a
+// replaced base page becomes a dead extent.
+func (s *FileStore) Write(id PageID, data []byte) {
+	checkFit(data, s.pageSize)
+	page := make([]byte, s.pageSize)
+	copy(page, data)
+	s.mu.Lock()
+	cur := *s.slots.Load()
+	if s.isBaseSlot(cur, id) {
+		s.dead = append(s.dead, id)
+		s.tailPages++ // the slot turns from mapped to heap
+	} // replacing an existing heap page keeps the count
+	cur[id] = page
+	s.mu.Unlock()
+}
+
+// Vacuum drops freed tail buffers for the GC and advises the dead base
+// extents out of the OS page cache, returning the bytes reclaimed. Safe
+// only because Free itself runs post-grace (see Pager.Vacuum).
+func (s *FileStore) Vacuum() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.slots.Load()
+	var n int64
+	for _, id := range s.free {
+		if cur[id] != nil && !s.isBaseSlot(cur, id) {
+			cur[id] = nil
+			s.tailPages--
+			n += int64(s.pageSize)
+		}
+	}
+	if len(s.dead) > 0 {
+		sort.Slice(s.dead, func(i, j int) bool { return s.dead[i] < s.dead[j] })
+		runLo, runHi := int(s.dead[0]), int(s.dead[0])+1
+		flush := func() {
+			n += int64(s.m.DropRange(s.off+runLo*s.pageSize, (runHi-runLo)*s.pageSize))
+		}
+		for _, id := range s.dead[1:] {
+			if int(id) == runHi-1 { // duplicate (freed then rewritten)
+				continue
+			}
+			if int(id) == runHi {
+				runHi++
+				continue
+			}
+			flush()
+			runLo, runHi = int(id), int(id)+1
+		}
+		flush()
+		s.dead = s.dead[:0]
+	}
+	return n
+}
+
+// DropCaches advises the WHOLE base region out of the OS page cache —
+// the harness's cold-start / resident-set-cap lever. Live mapped pages
+// refault from the file on their next read. Returns the bytes advised
+// (0 on the preread fallback).
+func (s *FileStore) DropCaches() int {
+	return s.m.DropRange(s.off, s.base*s.pageSize)
+}
+
+// Resident returns how many bytes of the base region are resident in
+// physical memory (false when the probe is unsupported).
+func (s *FileStore) Resident() (int64, bool) {
+	return s.m.Resident(s.off, s.base*s.pageSize)
+}
+
+// BasePages returns the number of base (mapped) page slots the store
+// was opened with; the byte extent it serves off the file is
+// BasePages() × PageSize().
+func (s *FileStore) BasePages() int { return s.base }
+
+// TailBytes returns the heap footprint of the append-only tail (pages
+// allocated or rewritten since open, minus vacuumed ones).
+func (s *FileStore) TailBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.tailPages) * int64(s.pageSize)
+}

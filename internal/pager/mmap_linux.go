@@ -1,0 +1,78 @@
+//go:build linux
+
+package pager
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+const adviseDontNeed = syscall.MADV_DONTNEED
+
+// mapFile mmaps the first size bytes of f read-only. MAP_SHARED on a
+// read-only mapping never writes back; it just lets the kernel share
+// page-cache pages across processes serving the same snapshot.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }
+
+// posixFadvDontNeed is POSIX_FADV_DONTNEED (asm-generic/fadvise.h).
+const posixFadvDontNeed = 4
+
+// fadviseDontNeed asks the kernel to evict the clean page-cache pages
+// backing [off, off+n) of the file. Madvise alone only zaps the page
+// tables — the pages stay cached and mincore keeps reporting them
+// resident — so DropRange pairs it with this to release the memory for
+// real. Best-effort: errors are reported but a failed fadvise leaves
+// nothing worse than warm caches.
+func fadviseDontNeed(f *os.File, off, n int64) error {
+	_, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64,
+		f.Fd(), uintptr(off), uintptr(n), posixFadvDontNeed, 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+func advise(b []byte, advice int) error { return syscall.Madvise(b, advice) }
+
+// resident counts the bytes of b resident in physical memory via
+// mincore(2). b must be OS-page-aligned at its start (mapping bases
+// are; interior probes round inward before calling).
+func resident(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, true
+	}
+	ps := os.Getpagesize()
+	// Round the probe inward to page boundaries: mincore requires an
+	// aligned address.
+	addr := uintptr(unsafe.Pointer(&b[0]))
+	if off := int(addr % uintptr(ps)); off != 0 {
+		skip := ps - off
+		if skip >= len(b) {
+			return 0, true
+		}
+		b = b[skip:]
+		addr += uintptr(skip)
+	}
+	npages := (len(b) + ps - 1) / ps
+	vec := make([]byte, npages)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE, addr, uintptr(len(b)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, false
+	}
+	var n int64
+	for _, v := range vec {
+		if v&1 != 0 {
+			n += int64(ps)
+		}
+	}
+	return n, true
+}

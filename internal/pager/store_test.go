@@ -1,0 +1,248 @@
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// writeTempPages writes n sequential page images of the given size to a
+// temp file and returns its mapping: page i is filled with byte i+1 and
+// stamped with its index, so content mismatches are loud.
+func writeTempPages(t *testing.T, n, pageSize int) *Mapping {
+	t.Helper()
+	buf := make([]byte, n*pageSize)
+	for i := 0; i < n; i++ {
+		page := buf[i*pageSize : (i+1)*pageSize]
+		for j := range page {
+			page[j] = byte(i + 1)
+		}
+		binary.LittleEndian.PutUint32(page, uint32(i))
+	}
+	path := filepath.Join(t.TempDir(), "pages.bin")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestFileStoreReadsAreZeroCopy(t *testing.T) {
+	const n, ps = 8, 128
+	m := writeTempPages(t, n, ps)
+	fs, err := NewFileStore(m, 0, n, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewWithStore(fs)
+	if p.NumPages() != n || p.PageSize() != ps {
+		t.Fatalf("NumPages=%d PageSize=%d", p.NumPages(), p.PageSize())
+	}
+	for i := 0; i < n; i++ {
+		got := p.Read(PageID(i))
+		if int(binary.LittleEndian.Uint32(got)) != i || got[ps-1] != byte(i+1) {
+			t.Fatalf("page %d content wrong", i)
+		}
+		if &got[0] != &m.Data()[i*ps] {
+			t.Fatalf("page %d read is not a view into the mapping", i)
+		}
+	}
+	if p.Reads() != int64(n) {
+		t.Fatalf("reads = %d", p.Reads())
+	}
+}
+
+func TestFileStoreCOWTail(t *testing.T) {
+	const n, ps = 4, 64
+	m := writeTempPages(t, n, ps)
+	fs, err := NewFileStore(m, 0, n, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewWithStore(fs)
+
+	// A reader holds page 1's mapped bytes.
+	old := p.Read(1)
+	oldCopy := append([]byte(nil), old...)
+
+	// Rewrite page 1: the slot must repoint at a heap buffer, the old
+	// view must keep its bytes.
+	p.Write(1, []byte("rewritten"))
+	if !bytes.Equal(old, oldCopy) {
+		t.Fatal("mapped bytes changed under a reader after Write")
+	}
+	if got := p.Read(1); !bytes.Equal(got[:9], []byte("rewritten")) {
+		t.Fatalf("after Write, Read = %q", got[:9])
+	}
+
+	// Free page 2 (grace period elapsed by assumption), then Alloc: the
+	// slot is reused with fresh heap bytes while the old view survives.
+	old2 := p.Read(2)
+	old2Copy := append([]byte(nil), old2...)
+	p.Free([]PageID{2})
+	id := p.Alloc([]byte("reuse"))
+	if id != 2 {
+		t.Fatalf("Alloc reused slot %d, want 2", id)
+	}
+	if !bytes.Equal(old2, old2Copy) {
+		t.Fatal("freed page's bytes changed after slot reuse")
+	}
+	if got := p.Read(2); !bytes.Equal(got[:5], []byte("reuse")) {
+		t.Fatalf("reused slot content = %q", got[:5])
+	}
+
+	// Appending grows past the base region.
+	id = p.Alloc([]byte("tail"))
+	if int(id) != n {
+		t.Fatalf("tail alloc got id %d, want %d", id, n)
+	}
+	if fs.TailBytes() != 3*ps {
+		t.Fatalf("TailBytes = %d, want %d", fs.TailBytes(), 3*ps)
+	}
+
+	// Vacuum reclaims dead base extents without touching live slots.
+	p.Vacuum()
+	for i := 0; i < n; i++ {
+		if i == 1 || i == 2 {
+			continue
+		}
+		got := p.Read(PageID(i))
+		if int(binary.LittleEndian.Uint32(got)) != i {
+			t.Fatalf("page %d corrupted by Vacuum", i)
+		}
+	}
+}
+
+func TestFileStoreSectionBounds(t *testing.T) {
+	m := writeTempPages(t, 4, 64)
+	if _, err := NewFileStore(m, 0, 5, 64); err == nil {
+		t.Error("section past the mapping accepted")
+	}
+	if _, err := NewFileStore(m, 128, 4, 64); err == nil {
+		t.Error("offset section past the mapping accepted")
+	}
+	fs, err := NewFileStore(m, 128, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Read(0); int(binary.LittleEndian.Uint32(got)) != 2 {
+		t.Error("section offset not honored")
+	}
+}
+
+// TestHeapStoreLockFreeRead exercises concurrent lock-free reads
+// against allocation, slot reuse and vacuum under the epoch discipline
+// (readers only ever read ids they were handed, frees only cover ids no
+// reader holds). Run with -race.
+func TestHeapStoreLockFreeRead(t *testing.T) {
+	p := New(64)
+	const readers = 4
+	// Stable pages every reader may read at any time.
+	stable := make([]PageID, 32)
+	for i := range stable {
+		stable[i] = p.Alloc([]byte{byte(i)})
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := stable[(i+seed)%len(stable)]
+				b := p.Read(id)
+				if b[0] != byte((i+seed)%len(stable)) {
+					t.Errorf("page %d content %d", id, b[0])
+					return
+				}
+			}
+		}(r)
+	}
+	// Mutator: churn private pages (alloc, free, vacuum, reuse) while
+	// the readers hammer the stable ones.
+	for i := 0; i < 2000; i++ {
+		ids := []PageID{p.Alloc([]byte("a")), p.Alloc([]byte("b"))}
+		p.Free(ids)
+		if i%16 == 0 {
+			p.Vacuum()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHeapStoreVacuum(t *testing.T) {
+	p := New(128)
+	a := p.Alloc([]byte("a"))
+	b := p.Alloc([]byte("b"))
+	p.Free([]PageID{a})
+	if got := p.Vacuum(); got != 128 {
+		t.Fatalf("Vacuum reclaimed %d bytes, want 128", got)
+	}
+	if got := p.Vacuum(); got != 0 {
+		t.Fatalf("second Vacuum reclaimed %d bytes, want 0", got)
+	}
+	// The freed slot is still reusable and the live page untouched.
+	if id := p.Alloc([]byte("c")); id != a {
+		t.Fatalf("Alloc after Vacuum = %d, want %d", id, a)
+	}
+	if got := p.Read(b); got[0] != 'b' {
+		t.Fatal("live page corrupted by Vacuum")
+	}
+}
+
+func TestPagerPeekDoesNotCount(t *testing.T) {
+	p := New(64)
+	id := p.Alloc([]byte("x"))
+	p.ResetStats()
+	if got := p.Peek(id); got[0] != 'x' {
+		t.Fatal("Peek content")
+	}
+	if p.Reads() != 0 {
+		t.Fatalf("Peek counted as %d reads", p.Reads())
+	}
+}
+
+func TestMappingDropAndResident(t *testing.T) {
+	const n = 64
+	ps := os.Getpagesize()
+	m := writeTempPages(t, n, ps)
+	fs, err := NewFileStore(m, 0, n, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_ = fs.Read(PageID(i))[0]
+	}
+	if res, ok := fs.Resident(); ok && res == 0 {
+		t.Error("no resident bytes after touching every page")
+	}
+	if m.Mapped() {
+		if dropped := fs.DropCaches(); dropped != n*ps {
+			t.Errorf("DropCaches advised %d bytes, want %d", dropped, n*ps)
+		}
+	}
+	// Pages must still read correctly after the drop (refault).
+	for i := 0; i < n; i++ {
+		got := fs.Read(PageID(i))
+		if int(binary.LittleEndian.Uint32(got)) != i {
+			t.Fatalf("page %d corrupted by DropCaches", i)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package rtree
 
 import (
+	"sync/atomic"
+
 	"uvdiagram/internal/lru"
 )
 
@@ -16,6 +18,10 @@ import (
 // nil cache is valid and disables caching.
 type LeafCache struct {
 	c *lru.Cache[*node, []Item]
+	// hits/misses feed the server's buffer-pool gauges, mirroring the
+	// UV-index leaf cache's accounting.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewLeafCache returns a cache holding up to capacity leaves
@@ -36,6 +42,24 @@ func (c *LeafCache) Len() int {
 	return c.c.Len()
 }
 
+// Stats returns the cache's cumulative hit and miss counts (zero for a
+// nil cache).
+func (c *LeafCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Evictions returns how many entries capacity pressure has pushed out
+// (zero for a nil cache).
+func (c *LeafCache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.c.Evictions()
+}
+
 // readLeafCached is readLeaf through an optional cache. Cache hits
 // skip the page read (and its I/O accounting) and the decode; the
 // returned slice is shared and must be treated as read-only.
@@ -46,8 +70,10 @@ func (t *Tree) readLeafCached(n *node, cache *LeafCache) []Item {
 	// Constant generation: node identity alone keys the immutable COW
 	// nodes (see the type comment).
 	if items, ok := cache.c.Get(0, n); ok {
+		cache.hits.Add(1)
 		return items
 	}
+	cache.misses.Add(1)
 	items := t.readLeaf(n)
 	cache.c.Put(0, n, items)
 	return items

@@ -47,6 +47,14 @@ type serverMetrics struct {
 	dbImbalance *metrics.Gauge
 	cacheHits   *metrics.Gauge
 	cacheMisses *metrics.Gauge
+	cacheEvict  *metrics.Gauge
+	rtHits      *metrics.Gauge
+	rtMisses    *metrics.Gauge
+	rtEvict     *metrics.Gauge
+	pagerReads  *metrics.Gauge
+	pagerWrites *metrics.Gauge
+	pagerDisk   *metrics.Gauge
+	pagerVac    *metrics.Gauge
 	maintTicks  *metrics.Gauge
 	maintArms   *metrics.Gauge
 	maintPress  *metrics.Gauge
@@ -77,6 +85,14 @@ func newServerMetrics() *serverMetrics {
 		dbImbalance: set.Gauge("db.imbalance"),
 		cacheHits:   set.Gauge("cache.leaf_hits"),
 		cacheMisses: set.Gauge("cache.leaf_misses"),
+		cacheEvict:  set.Gauge("cache.leaf_evictions"),
+		rtHits:      set.Gauge("cache.rtree_hits"),
+		rtMisses:    set.Gauge("cache.rtree_misses"),
+		rtEvict:     set.Gauge("cache.rtree_evictions"),
+		pagerReads:  set.Gauge("pager.reads"),
+		pagerWrites: set.Gauge("pager.writes"),
+		pagerDisk:   set.Gauge("pager.disk_bytes"),
+		pagerVac:    set.Gauge("pager.vacuumed_bytes"),
 		maintTicks:  set.Gauge("maint.ticks"),
 		maintArms:   set.Gauge("maint.compact_arms"),
 		maintPress:  set.Gauge("maint.pressure"),
@@ -126,9 +142,17 @@ func (s *Server) MetricsSnapshot() []metrics.Value {
 	m.dbLive.Set(float64(s.db.Len()))
 	m.dbSlack.Set(float64(s.db.Slack()))
 	m.dbImbalance.Set(s.db.LoadImbalance())
-	hits, misses := s.db.LeafCacheStats()
-	m.cacheHits.Set(float64(hits))
-	m.cacheMisses.Set(float64(misses))
+	bp := s.db.BufferPoolStats()
+	m.cacheHits.Set(float64(bp.LeafHits))
+	m.cacheMisses.Set(float64(bp.LeafMisses))
+	m.cacheEvict.Set(float64(bp.LeafEvictions))
+	m.rtHits.Set(float64(bp.RTreeHits))
+	m.rtMisses.Set(float64(bp.RTreeMisses))
+	m.rtEvict.Set(float64(bp.RTreeEvictions))
+	m.pagerReads.Set(float64(bp.PagerReads))
+	m.pagerWrites.Set(float64(bp.PagerWrites))
+	m.pagerDisk.Set(float64(bp.DiskBytes))
+	m.pagerVac.Set(float64(bp.VacuumedBytes))
 	if mt := s.db.Maintainer(); mt != nil {
 		st := mt.Stats()
 		m.maintTicks.Set(float64(st.Ticks))

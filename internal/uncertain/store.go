@@ -84,6 +84,50 @@ func encodeObject(o Object, pageSize int) ([]byte, error) {
 	return buf, nil
 }
 
+// OpenStoreSnapshot reattaches a store to a pager that already holds
+// every object record — pages 0..n-1 in id order, as NewStore lays them
+// out (it allocates one page per object, sequentially, and never frees
+// one, so pageOf[i] == i by construction; page-image snapshots persist
+// that invariant). Objects are decoded from the pages themselves, no
+// re-encoding or page writes happen, so the pager can be an mmap-backed
+// read-only FileStore. dead marks tombstoned slots (nil for none).
+func OpenStoreSnapshot(pg *pager.Pager, n int, dead []bool) (*Store, error) {
+	if pg.NumPages() != n {
+		return nil, fmt.Errorf("uncertain: snapshot store holds %d pages, want %d", pg.NumPages(), n)
+	}
+	if dead == nil {
+		dead = make([]bool, n)
+	} else if len(dead) != n {
+		return nil, fmt.Errorf("uncertain: snapshot tombstone array of %d, want %d", len(dead), n)
+	}
+	v := &View{pg: pg, pageOf: make([]pager.PageID, n), objs: make([]Object, n), dead: dead}
+	for i := 0; i < n; i++ {
+		v.pageOf[i] = pager.PageID(i)
+		rec, err := pager.DecodeObjectRecordInto(pg.Peek(pager.PageID(i)), nil)
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: snapshot object page %d: %w", i, err)
+		}
+		if int(rec.ID) != i {
+			return nil, fmt.Errorf("uncertain: snapshot page %d holds object %d", i, rec.ID)
+		}
+		pdf, err := NewHistogramPDF(rec.Weights)
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: snapshot object %d: %w", i, err)
+		}
+		v.objs[i] = Object{
+			ID:     rec.ID,
+			Region: geom.Circle{C: geom.Pt(rec.CX, rec.CY), R: rec.R},
+			PDF:    pdf,
+		}
+		if dead[i] {
+			v.nDead++
+		}
+	}
+	s := &Store{pg: pg}
+	s.hdr.Store(v)
+	return s, nil
+}
+
 // View returns the current population snapshot. A reader that must see
 // one consistent population across several calls (candidate filter +
 // fetch, for instance) captures a view once and reads through it.

@@ -170,6 +170,10 @@ type MaintainerStats struct {
 	// CooldownSkips counts ticks where sustained pressure wanted a
 	// reshard but the cooldown (or backoff) window had not expired.
 	CooldownSkips uint64
+	// VacuumedBytes is the cumulative storage reclaimed by the per-tick
+	// pager vacuum (heap buffers released to the GC, dead mmap extents
+	// advised out of the page cache).
+	VacuumedBytes int64
 	// Pressure is the current sustain counter (ticks at or above
 	// HighWater since the last dip below LowWater or the last reshard).
 	Pressure int
@@ -282,6 +286,12 @@ func (m *Maintainer) Tick() {
 	// the gap for slack stranded when writes stop or an arming race was
 	// lost to a layout swap.
 	m.st.CompactArms += uint64(db.maybeCompact())
+
+	// Storage sweep: release what the COW retire paths have freed since
+	// the last tick — heap page buffers for the GC, dead extents of an
+	// mmap-backed snapshot for the kernel. The frees themselves already
+	// waited out the epoch grace period, so this is pure reclamation.
+	m.st.VacuumedBytes += db.Vacuum()
 
 	switch {
 	case imb >= m.opts.HighWater:

@@ -59,7 +59,11 @@ type perfBaseline struct {
 	// run re-derived per delete — the output-sensitivity signal. CI
 	// fails soft if it doubles: the tightness triage stopped skipping.
 	RederivedObjsPerDelete float64 `json:"rederived_objs_per_delete"`
-	Note                   string  `json:"note"`
+	// OutOfCorePNNNSPerQuery is the per-query wall clock of one batched
+	// PNN round (256 queries, 4 workers) against a database served
+	// mmap-backed off a v5 snapshot at n=2000, best of three rounds.
+	OutOfCorePNNNSPerQuery int64  `json:"outofcore_pnn_ns_per_query"`
+	Note                   string `json:"note"`
 }
 
 // loadPerfBaseline reads the committed baseline; absent file is fatal
@@ -424,5 +428,50 @@ func TestMutationPerfSmoke(t *testing.T) {
 	if base.RederivedObjsPerDelete > 0 && rederived > 2*base.RederivedObjsPerDelete {
 		t.Fatalf("mutation perf smoke: %.2f re-derived dependents per delete exceeds 2x the committed baseline %.2f — the tightness triage stopped skipping (rebaseline deliberately with -update-perf-baseline if this is expected)",
 			rederived, base.RederivedObjsPerDelete)
+	}
+}
+
+// TestOutOfCorePerfSmoke gates the out-of-core serving hot path:
+// per-query wall clock of a batched PNN round against a database
+// served mmap-backed off a v5 snapshot. A >2x regression means the
+// zero-copy read path started copying or the snapshot open stopped
+// handing queries page views (the full heap-vs-mmap-vs-capped economy
+// lives in `uvbench -exp outofcore` / BENCH_outofcore.json).
+func TestOutOfCorePerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("perf smoke skipped under the race detector")
+	}
+
+	f := getOutOfCoreFixture(t)
+	opts := &uvdiagram.BatchOptions{Workers: 4, CacheSize: 256}
+	best := time.Duration(1<<63 - 1)
+	for run := 0; run < 3; run++ {
+		t0 := time.Now()
+		if _, err := f.db.BatchNN(f.queries, opts); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(t0) / time.Duration(len(f.queries)); d < best {
+			best = d
+		}
+	}
+
+	if *updatePerfBaseline {
+		updatePerfBaselineField(t, func(b *perfBaseline) { b.OutOfCorePNNNSPerQuery = best.Nanoseconds() })
+		t.Logf("wrote %s: out-of-core batched PNN %v/query", perfBaselinePath, best)
+		return
+	}
+
+	base := loadPerfBaseline(t)
+	if base.OutOfCorePNNNSPerQuery == 0 {
+		t.Skip("no out-of-core baseline committed yet; run with -update-perf-baseline")
+	}
+	limit := time.Duration(2 * base.OutOfCorePNNNSPerQuery)
+	t.Logf("out-of-core batched PNN n=2000: %v/query (baseline %v, limit %v)", best, time.Duration(base.OutOfCorePNNNSPerQuery), limit)
+	if best > limit {
+		t.Fatalf("out-of-core perf smoke: %v/query exceeds 2x the committed baseline %v — the mmap serving path regressed (rebaseline deliberately with -update-perf-baseline if this is expected)",
+			best, time.Duration(base.OutOfCorePNNNSPerQuery))
 	}
 }

@@ -1,0 +1,320 @@
+package uvdiagram_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uvdiagram"
+	"uvdiagram/internal/datagen"
+)
+
+// saveSnapshotDB builds a database, snapshots it to a temp file and
+// returns both.
+func saveSnapshotDB(t testing.TB, n int, opts *uvdiagram.Options) (*uvdiagram.DB, string) {
+	t.Helper()
+	cfg := datagen.Config{N: n, Side: 2000, Diameter: 30, Seed: 42}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.uv5")
+	if err := db.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	return db, path
+}
+
+// assertEquivalent checks that two databases answer an identical query
+// workload bitwise identically: PNN, TopKPNN, PossibleKNN and the
+// batched PNN path. The paper's engine guarantees bitwise answers, and
+// the snapshot path must not lose that.
+func assertEquivalent(t *testing.T, want, got *uvdiagram.DB, seed int64) {
+	t.Helper()
+	assertEquivalentTol(t, want, got, seed, 0)
+}
+
+// assertEquivalentTol is assertEquivalent with a probability tolerance:
+// the classic Save/Load fallback re-normalizes pdf histograms on load,
+// which may move probabilities by an ulp (snapshot paths use 0 — they
+// preserve page images exactly).
+func assertEquivalentTol(t *testing.T, want, got *uvdiagram.DB, seed int64, tol float64) {
+	t.Helper()
+	eq := func(a, b uvdiagram.Answer) bool {
+		if tol == 0 {
+			return a == b
+		}
+		d := a.Prob - b.Prob
+		return a.ID == b.ID && d <= tol && d >= -tol
+	}
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]uvdiagram.Point, 60)
+	for i := range qs {
+		qs[i] = uvdiagram.Pt(rng.Float64()*2000, rng.Float64()*2000)
+	}
+	for _, q := range qs {
+		a1, _, err1 := want.PNN(q)
+		a2, _, err2 := got.PNN(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("PNN(%v): errs %v, %v", q, err1, err2)
+		}
+		if len(a1) != len(a2) {
+			t.Fatalf("PNN(%v): %d answers vs %d", q, len(a1), len(a2))
+		}
+		for i := range a1 {
+			if !eq(a1[i], a2[i]) {
+				t.Fatalf("PNN(%v)[%d]: %v vs %v", q, i, a1[i], a2[i])
+			}
+		}
+		k1, _, err1 := want.TopKPNN(q, 3)
+		k2, _, err2 := got.TopKPNN(q, 3)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("TopKPNN(%v): errs %v, %v", q, err1, err2)
+		}
+		if len(k1) != len(k2) {
+			t.Fatalf("TopKPNN(%v): %d answers vs %d", q, len(k1), len(k2))
+		}
+		for i := range k1 {
+			if !eq(k1[i], k2[i]) {
+				t.Fatalf("TopKPNN(%v)[%d]: %v vs %v", q, i, k1[i], k2[i])
+			}
+		}
+		n1, err1 := want.PossibleKNN(q, 4)
+		n2, err2 := got.PossibleKNN(q, 4)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("PossibleKNN(%v): errs %v, %v", q, err1, err2)
+		}
+		if len(n1) != len(n2) {
+			t.Fatalf("PossibleKNN(%v): %d ids vs %d", q, len(n1), len(n2))
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				t.Fatalf("PossibleKNN(%v)[%d]: %d vs %d", q, i, n1[i], n2[i])
+			}
+		}
+	}
+	bopts := &uvdiagram.BatchOptions{Workers: 4, CacheSize: 64}
+	b1, err1 := want.BatchNN(qs, bopts)
+	b2, err2 := got.BatchNN(qs, bopts)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("BatchNN: errs %v, %v", err1, err2)
+	}
+	for i := range b1 {
+		if len(b1[i]) != len(b2[i]) {
+			t.Fatalf("BatchNN[%d]: %d answers vs %d", i, len(b1[i]), len(b2[i]))
+		}
+		for j := range b1[i] {
+			if !eq(b1[i][j], b2[i][j]) {
+				t.Fatalf("BatchNN[%d][%d]: %v vs %v", i, j, b1[i][j], b2[i][j])
+			}
+		}
+	}
+}
+
+// TestOpenSnapshotEquivalence is the acceptance property: a database
+// served off a v5 snapshot — mmap-backed or heap-replayed — answers the
+// whole query surface bitwise identically to the in-heap database that
+// wrote it, across shard counts.
+func TestOpenSnapshotEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, mode := range []string{"mmap", "heap"} {
+			t.Run(map[int]string{1: "S1", 4: "S4"}[shards]+"/"+mode, func(t *testing.T) {
+				db, path := saveSnapshotDB(t, 400, &uvdiagram.Options{Shards: shards})
+				opened, err := uvdiagram.Open(path, &uvdiagram.Options{Pager: mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer opened.Close()
+				if got := opened.PagerMode(); got != mode {
+					t.Fatalf("PagerMode = %q, want %q", got, mode)
+				}
+				if opened.Len() != db.Len() || opened.Domain() != db.Domain() {
+					t.Fatalf("shape: Len %d/%d, Domain %v/%v",
+						opened.Len(), db.Len(), opened.Domain(), db.Domain())
+				}
+				if opened.IndexStats() != db.IndexStats() {
+					t.Fatalf("index stats differ:\n%+v\n%+v", opened.IndexStats(), db.IndexStats())
+				}
+				assertEquivalent(t, db, opened, 7)
+			})
+		}
+	}
+}
+
+// TestOpenSnapshotMutable checks that a snapshot-served database stays
+// fully writable: inserts and deletes against the mmap-backed store go
+// to the append-only heap tail, answers track the mutations, and a
+// Vacuum afterwards does not disturb live data.
+func TestOpenSnapshotMutable(t *testing.T) {
+	db, path := saveSnapshotDB(t, 300, &uvdiagram.Options{Shards: 4})
+	opened, err := uvdiagram.Open(path, nil) // default mmap
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+
+	// Apply the same mutations to both engines.
+	for _, eng := range []*uvdiagram.DB{db, opened} {
+		if err := eng.Insert(uvdiagram.NewObject(eng.NextID(), 777, 777, 12, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Delete(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opened.Vacuum()
+	assertEquivalent(t, db, opened, 11)
+
+	// Round-trip again: snapshotting the mutated, mmap-served database
+	// must produce a valid snapshot of the post-mutation state.
+	path2 := filepath.Join(t.TempDir(), "db2.uv5")
+	if err := opened.SaveSnapshot(path2); err != nil {
+		t.Fatal(err)
+	}
+	re, err := uvdiagram.Open(path2, &uvdiagram.Options{Pager: "heap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertEquivalent(t, db, re, 13)
+}
+
+// TestOpenClassicStream checks Open's fallback: a version ≤ 4 stream
+// written by Save loads through the classic path.
+func TestOpenClassicStream(t *testing.T) {
+	cfg := datagen.Config{N: 150, Side: 2000, Diameter: 30, Seed: 42}
+	db, err := uvdiagram.Build(datagen.Uniform(cfg), cfg.Domain(), &uvdiagram.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.uvdb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := uvdiagram.Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if opened.PagerMode() != "heap" {
+		t.Fatalf("classic stream served as %q", opened.PagerMode())
+	}
+	assertEquivalentTol(t, db, opened, 17, 1e-12)
+}
+
+// TestOpenSnapshotCorrupt asserts the robustness contract: truncated or
+// bit-flipped snapshots yield a typed error matching ErrCorruptSnapshot
+// and never a partially constructed DB.
+func TestOpenSnapshotCorrupt(t *testing.T) {
+	_, path := saveSnapshotDB(t, 120, &uvdiagram.Options{Shards: 2})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		bad := mutate(append([]byte(nil), data...))
+		p := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []string{"mmap", "heap"} {
+			db, err := uvdiagram.Open(p, &uvdiagram.Options{Pager: mode})
+			if err == nil {
+				db.Close()
+				t.Fatalf("%s/%s: corrupt snapshot opened", name, mode)
+			}
+			if !errors.Is(err, uvdiagram.ErrCorruptSnapshot) {
+				t.Fatalf("%s/%s: error %v does not match ErrCorruptSnapshot", name, mode, err)
+			}
+			var se *uvdiagram.SnapshotError
+			if !errors.As(err, &se) {
+				t.Fatalf("%s/%s: error %v is not a *SnapshotError", name, mode, err)
+			}
+		}
+	}
+
+	check("truncated-meta", func(b []byte) []byte { return b[:40] })
+	check("truncated-pages", func(b []byte) []byte { return b[:len(b)-4096] })
+	check("meta-overrun", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[8:], uint64(len(b))) // metaLen past EOF
+		return b
+	})
+	check("bad-object-count", func(b []byte) []byte {
+		// n lives right after domain (32) + gx/gy (8) + cuts. With
+		// shards=2: gx=2, gy=1 → xs 3×8, ys 2×8 = 40 bytes of cuts.
+		off := 16 + 32 + 8 + 40
+		binary.LittleEndian.PutUint32(b[off:], 1<<30)
+		return b
+	})
+	check("bad-shard-grid", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[16+32:], 0xFFFFFFFF)
+		return b
+	})
+
+	// Header-level failures are errors too (typed or not, they must not
+	// produce a DB).
+	if _, err := uvdiagram.Open(filepath.Join(t.TempDir(), "missing"), nil); err == nil {
+		t.Fatal("opening a missing file succeeded")
+	}
+	badMagic := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(badMagic[0:], 0xDEADBEEF)
+	p := filepath.Join(t.TempDir(), "bad-magic")
+	if err := os.WriteFile(p, badMagic, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uvdiagram.Open(p, nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	badVer := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(badVer[4:], 99)
+	p = filepath.Join(t.TempDir(), "bad-version")
+	if err := os.WriteFile(p, badVer, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uvdiagram.Open(p, nil); !errors.Is(err, uvdiagram.ErrCorruptSnapshot) {
+		t.Fatalf("version 99: %v", err)
+	}
+}
+
+// FuzzOpenSnapshot feeds arbitrary bytes (seeded with a real snapshot)
+// through Open in heap mode: whatever the corruption, Open must return
+// an error or a servable DB — never panic, never hang.
+func FuzzOpenSnapshot(f *testing.F) {
+	_, path := saveSnapshotDB(f, 60, nil)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:16])
+	f.Add([]byte{})
+	trunc := append([]byte(nil), data[:len(data)/2]...)
+	f.Add(trunc)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.uv5")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Skip()
+		}
+		db, err := uvdiagram.Open(p, &uvdiagram.Options{Pager: "heap"})
+		if err != nil {
+			return
+		}
+		// A structurally valid mutation of the seed must still serve.
+		if _, _, err := db.PNN(uvdiagram.Pt(1000, 1000)); err != nil {
+			t.Logf("PNN on fuzzed-but-openable snapshot: %v", err)
+		}
+		db.Close()
+	})
+}

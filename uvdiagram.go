@@ -181,6 +181,13 @@ type Options struct {
 	// Reshard re-cuts a live database with an adaptive strategy at any
 	// time. The layout never affects answers, only load balance.
 	Layout LayoutStrategy
+	// Pager selects the page-store backend Open uses for a version-5
+	// page-image snapshot: "mmap" (or empty, the default) maps the file
+	// read-only and serves zero-copy page reads off the mapping — the
+	// out-of-core mode; "heap" copies the page images into in-heap
+	// pagers and closes the file. Build and Load ignore it (they are
+	// always in-heap). Answers are identical either way.
+	Pager string
 	// Maintain, when non-nil, attaches a self-driving maintenance
 	// controller to the database as soon as it is built or loaded: a
 	// background loop that samples LoadImbalance and reshards on
@@ -196,6 +203,25 @@ func (o *Options) shardCount() (int, error) {
 		return 1, nil
 	}
 	return validateShards(o.Shards)
+}
+
+// Pager backend names (Options.Pager / DB.PagerMode).
+const (
+	pagerModeHeap = "heap"
+	pagerModeMmap = "mmap"
+)
+
+func (o *Options) pagerMode() (string, error) {
+	if o == nil || o.Pager == "" {
+		return pagerModeMmap, nil
+	}
+	switch o.Pager {
+	case pagerModeHeap, pagerModeMmap:
+		return o.Pager, nil
+	default:
+		return "", fmt.Errorf("uvdiagram: unknown pager backend %q (want %q or %q)",
+			o.Pager, pagerModeHeap, pagerModeMmap)
+	}
 }
 
 func (o *Options) layout() LayoutStrategy {
@@ -330,6 +356,9 @@ type DB struct {
 	egc *epoch.Domain
 	// mstats counts mutation-path work (see MutationStats).
 	mstats mutationCounters
+	// vacuumed accumulates the bytes reclaimed by DB.Vacuum (for the
+	// metrics layer's pager.vacuumed_bytes gauge).
+	vacuumed atomic.Int64
 	// tree is the shared helper R-tree over the full live population
 	// (pruning, k-NN and RNN retrieval are global no matter which shard
 	// runs them). Queries load it atomically; Insert/Delete mutate it
@@ -363,6 +392,38 @@ type DB struct {
 	// maint is the attached self-driving maintenance controller, nil
 	// when none is running (see StartMaintainer).
 	maint atomic.Pointer[Maintainer]
+	// closer releases the snapshot backing (the file mapping) of a
+	// database opened with Open in mmap mode; nil otherwise. See Close.
+	closer func() error
+	// pagerMode records which page-store backend serves this database:
+	// "heap" for Build/Load (and heap-mode Open), "mmap" for an
+	// mmap-backed Open.
+	pagerMode string
+}
+
+// PagerMode reports which page-store backend serves the database:
+// "heap" (Build, Load, heap-mode Open) or "mmap" (out-of-core Open).
+func (db *DB) PagerMode() string {
+	if db.pagerMode == "" {
+		return pagerModeHeap
+	}
+	return db.pagerMode
+}
+
+// Close stops the attached maintainer (if any) and releases the
+// snapshot file mapping of an mmap-backed database. It must only be
+// called once no queries or mutations are in flight: page reads served
+// off the mapping fault after it is unmapped. Idempotent; a no-op
+// (beyond stopping the maintainer) for in-heap databases.
+func (db *DB) Close() error {
+	if m := db.Maintainer(); m != nil {
+		m.Stop()
+	}
+	if c := db.closer; c != nil {
+		db.closer = nil
+		return c()
+	}
+	return nil
 }
 
 // Build indexes the objects (dense IDs 0..n-1 required) over the given
